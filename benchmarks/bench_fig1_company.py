@@ -1,0 +1,49 @@
+"""Figure 1 / Examples 1.1–3.3: the company database.
+
+Regenerates the paper's worked results — the certain current answers of
+Q1–Q4, the certain ordering of Example 3.2 and the determinism of Example 3.3
+— and times the corresponding decision procedures.
+"""
+
+import pytest
+
+from repro.reasoning.ccqa import certain_current_answers
+from repro.reasoning.cop import certain_ordering
+from repro.reasoning.cps import is_consistent
+from repro.reasoning.dcip import is_deterministic
+from repro.workloads import company
+
+
+@pytest.fixture(scope="module")
+def specification():
+    return company.company_specification()
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return company.paper_queries()
+
+
+def test_cps_company(benchmark, specification):
+    assert benchmark(is_consistent, specification)
+
+
+@pytest.mark.parametrize("name", ["Q1", "Q2", "Q3", "Q4"])
+def test_certain_answers_match_paper(benchmark, specification, queries, name, single_round):
+    answers = single_round(benchmark, certain_current_answers, queries[name], specification)
+    assert answers == company.EXPECTED_ANSWERS[name], (
+        f"{name}: expected {company.EXPECTED_ANSWERS[name]}, measured {answers}"
+    )
+
+
+def test_certain_ordering_example_3_2(benchmark, specification, single_round):
+    certain = single_round(
+        benchmark, certain_ordering, specification, "Emp", {"salary": [("s1", "s3")]}
+    )
+    assert certain is True
+    assert not certain_ordering(specification, "Dept", {"mgrFN": [("t3", "t4")]})
+
+
+def test_dcip_example_3_3(benchmark, specification, single_round):
+    deterministic = single_round(benchmark, is_deterministic, specification, "Emp")
+    assert deterministic is True

@@ -1,0 +1,57 @@
+"""Figure 3 / Example 4.1: currency preservation on the Emp + Mgr sources.
+
+Regenerates the paper's claims (ρ not currency preserving for Q2, the
+extension importing s'3 flips the answer to Smith and is itself currency
+preserving) and times CPP / ECP / BCP on the example.
+"""
+
+import pytest
+
+from repro.preservation.bcp import has_bounded_extension
+from repro.preservation.cpp import is_currency_preserving
+from repro.preservation.ecp import currency_preserving_extension_exists, maximal_extension
+from repro.preservation.extensions import apply_imports, candidate_imports
+from repro.reasoning.ccqa import certain_current_answers
+from repro.workloads import company
+
+
+@pytest.fixture(scope="module")
+def specification():
+    return company.manager_specification()
+
+
+@pytest.fixture(scope="module")
+def q2():
+    return company.paper_queries()["Q2"]
+
+
+def test_cpp_rho_not_preserving(benchmark, specification, q2, single_round):
+    preserving = single_round(benchmark, is_currency_preserving, q2, specification)
+    assert preserving is False
+
+
+def test_extension_flips_answer_to_smith(benchmark, specification, q2, single_round):
+    [m3] = [c for c in candidate_imports(specification) if c.source_tid == "m3"]
+    extended = apply_imports(specification, [m3])
+    answers = single_round(benchmark, certain_current_answers, q2, extended.specification)
+    assert answers == frozenset({("Smith",)})
+
+
+def test_cpp_rho1_preserving(benchmark, specification, q2, single_round):
+    [m3] = [c for c in candidate_imports(specification) if c.source_tid == "m3"]
+    extended = apply_imports(specification, [m3])
+    preserving = single_round(benchmark, is_currency_preserving, q2, extended.specification)
+    assert preserving is True
+
+
+def test_ecp_constant_time(benchmark, specification, q2):
+    assert benchmark(currency_preserving_extension_exists, q2, specification)
+
+
+def test_bcp_k1(benchmark, specification, q2, single_round):
+    assert single_round(benchmark, has_bounded_extension, q2, specification, 1)
+
+
+def test_maximal_extension_construction(benchmark, specification, single_round):
+    extension = single_round(benchmark, maximal_extension, specification)
+    assert extension.size_increase == 2

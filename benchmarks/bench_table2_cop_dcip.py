@@ -1,0 +1,69 @@
+"""Table II, COP and DCIP rows: certain ordering and deterministic current
+instances.
+
+Paper claims: Πp2-complete (combined), coNP-complete (data); PTIME without
+denial constraints (Theorem 6.1).  The benchmark checks the COP/DCIP answers
+on the paper's example, exercises the general (SAT-backed) solvers on
+constrained synthetic data, and shows the PTIME chase handling much larger
+constraint-free inputs.
+"""
+
+import pytest
+
+from repro.reasoning.cop import certain_ordering
+from repro.reasoning.dcip import is_deterministic
+from repro.workloads import company
+from repro.workloads.synthetic import SyntheticConfig, chain_copy_specification, random_specification
+
+
+@pytest.fixture(scope="module")
+def company_spec():
+    return company.company_specification()
+
+
+def test_cop_certain_pair_company(benchmark, company_spec, single_round):
+    assert single_round(
+        benchmark, certain_ordering, company_spec, "Emp", {"salary": [("s1", "s3")]}
+    )
+
+
+def test_cop_uncertain_pair_company(benchmark, company_spec, single_round):
+    assert not single_round(
+        benchmark, certain_ordering, company_spec, "Dept", {"mgrFN": [("t3", "t4")]}
+    )
+
+
+def test_cop_chase_large_constraint_free_input(benchmark):
+    spec = chain_copy_specification(
+        relations=3, entities=15, tuples_per_entity=5, order_density=0.5,
+        with_constraints=False, seed=4,
+    )
+    name = spec.instance_names()[0]
+    instance = spec.instance(name)
+    eid = instance.entities()[0]
+    block = instance.entity_tids(eid)
+    probe = {"a0": [(block[0], block[1])]}
+    assert benchmark(certain_ordering, spec, name, probe, "chase") in (True, False)
+
+
+def test_dcip_company_emp(benchmark, company_spec, single_round):
+    assert single_round(benchmark, is_deterministic, company_spec, "Emp")
+
+
+def test_dcip_company_dept_not_deterministic(benchmark, company_spec, single_round):
+    assert not single_round(benchmark, is_deterministic, company_spec, "Dept")
+
+
+def test_dcip_sat_on_constrained_synthetic(benchmark, single_round):
+    spec = random_specification(
+        SyntheticConfig(entities=2, tuples_per_entity=3, attributes=2, with_constraints=True, seed=5)
+    )
+    assert single_round(benchmark, is_deterministic, spec, None, "sat") in (True, False)
+
+
+def test_dcip_chase_large_constraint_free_input(benchmark):
+    spec = random_specification(
+        SyntheticConfig(entities=25, tuples_per_entity=5, attributes=3,
+                        with_constraints=False, order_density=0.9, seed=6)
+    )
+    assert benchmark(is_deterministic, spec, None, "chase") in (True, False)

@@ -1,0 +1,71 @@
+"""Table II, CPS row: consistency of specifications.
+
+Paper claims: Σp2-complete (combined), NP-complete (data); PTIME in the
+absence of denial constraints (Theorem 6.1).  The benchmark regenerates the
+row's *shape*:
+
+* the SAT-backed general solver agrees with exhaustive enumeration and with
+  the hardness reductions (Betweenness, ∃*∀*3DNF) — correctness;
+* without denial constraints the chase decides the same instances in
+  polynomial time and scales to much larger inputs — the tractability boundary.
+"""
+
+import pytest
+
+from repro.reasoning.cps import is_consistent
+from repro.reductions.betweenness import BetweennessInstance, random_betweenness, solve_betweenness
+from repro.reductions.formulas import Clause, DNFFormula, Literal, QuantifiedSentence
+from repro.reductions.to_cps import cps_from_betweenness, cps_from_exists_forall_3dnf
+from repro.workloads.synthetic import SyntheticConfig, random_specification
+
+
+def test_cps_sat_on_company_sized_constrained_spec(benchmark):
+    spec = random_specification(
+        SyntheticConfig(entities=2, tuples_per_entity=3, attributes=3, with_constraints=True, seed=1)
+    )
+    assert benchmark(is_consistent, spec, "sat") in (True, False)
+
+
+def test_cps_chase_without_constraints_large_input(benchmark):
+    # data-complexity tractable case: hundreds of tuples, still fast
+    spec = random_specification(
+        SyntheticConfig(entities=30, tuples_per_entity=6, attributes=4,
+                        with_constraints=False, order_density=0.3, seed=2)
+    )
+    assert benchmark(is_consistent, spec, "chase")
+
+
+@pytest.mark.parametrize("triples", [1, 2, 3])
+def test_cps_betweenness_reduction(benchmark, triples, single_round):
+    """Data-complexity hardness instances (fixed constraints, growing data)."""
+    instance = random_betweenness(4, triples, seed=triples)
+    spec = cps_from_betweenness(instance)
+    result = single_round(benchmark, is_consistent, spec, "sat")
+    assert result == (solve_betweenness(instance) is not None)
+
+
+def test_cps_unsatisfiable_betweenness(benchmark, single_round):
+    instance = BetweennessInstance(("a", "b", "c"), (("a", "b", "c"), ("b", "a", "c")))
+    spec = cps_from_betweenness(instance)
+    assert single_round(benchmark, is_consistent, spec, "sat") is False
+
+
+def test_cps_exists_forall_3dnf_reduction(benchmark, single_round):
+    """Combined-complexity hardness instance (Σp2 gadget)."""
+    sentence = QuantifiedSentence(
+        [("exists", ("x1",)), ("forall", ("y1",))],
+        DNFFormula([Clause((Literal("x1"), Literal("y1"), Literal("y1"))),
+                    Clause((Literal("x1"), Literal("y1", False), Literal("y1", False)))]),
+    )
+    spec = cps_from_exists_forall_3dnf(sentence)
+    result = single_round(benchmark, is_consistent, spec, "sat")
+    assert result == sentence.is_true() == True  # noqa: E712
+
+
+def test_cps_methods_agree_with_enumeration(benchmark, single_round):
+    spec = random_specification(
+        SyntheticConfig(entities=1, tuples_per_entity=3, attributes=2, with_constraints=True, seed=3)
+    )
+    by_sat = is_consistent(spec, "sat")
+    by_enum = single_round(benchmark, is_consistent, spec, "enumerate")
+    assert by_sat == by_enum

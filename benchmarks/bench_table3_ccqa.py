@@ -1,0 +1,76 @@
+"""Table III, CCQA row: certain current query answering.
+
+Paper claims: Πp2-complete for CQ/UCQ/∃FO⁺ and PSPACE-complete for FO
+(combined); coNP-complete (data); PTIME for SP queries without denial
+constraints (Proposition 6.3); still intractable for SP/identity queries with
+denial constraints (Corollary 3.7) and for CQ without constraints
+(Corollary 3.6).  The benchmark exercises each regime.
+"""
+
+import pytest
+
+from repro.query.ast import SPQuery
+from repro.reasoning.ccqa import certain_current_answers, is_certain_answer
+from repro.reductions.formulas import random_3cnf, random_forall_exists_3cnf, random_q3sat
+from repro.reductions.to_ccqa import (
+    ccqa_from_3sat_complement,
+    ccqa_from_forall_exists_3cnf,
+    ccqa_from_q3sat,
+)
+from repro.workloads import company
+from repro.workloads.synthetic import SyntheticConfig, random_specification, random_sp_query
+
+
+def test_ccqa_sp_with_constraints_company(benchmark, single_round):
+    """Corollary 3.7 regime: SP query + denial constraints (general solver)."""
+    spec = company.company_specification()
+    query = company.paper_queries()["Q1"]
+    answers = single_round(benchmark, certain_current_answers, query, spec, "candidates")
+    assert answers == company.EXPECTED_ANSWERS["Q1"]
+
+
+def test_ccqa_sp_without_constraints_ptime(benchmark):
+    """Proposition 6.3 regime: the PTIME algorithm on a larger input."""
+    spec = random_specification(
+        SyntheticConfig(entities=25, tuples_per_entity=5, attributes=3,
+                        with_constraints=False, order_density=0.5, seed=7)
+    )
+    query = random_sp_query(spec, seed=7)
+    answers = benchmark(certain_current_answers, query, spec, "sp")
+    assert isinstance(answers, frozenset)
+
+
+def test_ccqa_cq_combined_hardness_gadget(benchmark, single_round):
+    """Πp2 gadget: ∀*∃*3CNF instance, CQ query over the Boolean circuit relations."""
+    sentence = random_forall_exists_3cnf(2, 2, 3, seed=8)
+    spec, query, answer = ccqa_from_forall_exists_3cnf(sentence)
+    result = single_round(benchmark, is_certain_answer, query, answer, spec)
+    assert result == sentence.is_true()
+
+
+def test_ccqa_data_complexity_gadget(benchmark, single_round):
+    """coNP gadget: fixed CQ query, growing 3SAT data."""
+    formula = random_3cnf(3, 5, seed=9)
+    spec, query, answer = ccqa_from_3sat_complement(formula)
+    result = single_round(benchmark, is_certain_answer, query, answer, spec)
+    assert result == (not formula.is_satisfiable())
+
+
+def test_ccqa_fo_pspace_gadget(benchmark, single_round):
+    """PSPACE gadget: Q3SAT carried by an FO query."""
+    sentence = random_q3sat(2, 2, 4, seed=10)
+    spec, query, answer = ccqa_from_q3sat(sentence)
+    result = single_round(benchmark, is_certain_answer, query, answer, spec)
+    assert result == sentence.is_true()
+
+
+def test_ccqa_identity_query_with_constraints(benchmark, single_round):
+    """Corollary 3.7: identity queries with denial constraints use the general
+    solver (no PTIME shortcut applies)."""
+    spec = company.company_specification()
+    schema = company.emp_schema()
+    identity = SPQuery("Emp", schema, schema.attributes, name="identity")
+    answers = single_round(benchmark, certain_current_answers, identity, spec, "candidates")
+    # Emp is deterministic under the full status semantics, so exactly the
+    # three current tuples are certain
+    assert len(answers) == 3

@@ -1,0 +1,64 @@
+"""Table III, CPP / ECP / BCP rows: currency preservation decisions.
+
+Paper claims: CPP is Πp3-complete (CQ/UCQ/∃FO⁺) and PSPACE-complete (FO),
+Πp2-complete in data complexity; ECP is O(1) for consistent specifications
+(Proposition 5.2); BCP is Σp4-complete / PSPACE-complete / Σp3-complete, and
+PTIME for SP queries without denial constraints when k is fixed
+(Theorem 6.4).  The benchmark exercises the general solvers on the paper's
+example and the hardness gadget, and the PTIME SP algorithms on
+constraint-free synthetic specifications.
+"""
+
+import pytest
+
+from repro.preservation.bcp import has_bounded_extension
+from repro.preservation.cpp import is_currency_preserving
+from repro.preservation.ecp import currency_preserving_extension_exists
+from repro.preservation.sp_fast import sp_has_bounded_extension, sp_is_currency_preserving
+from repro.reductions.formulas import random_q3sat
+from repro.reductions.to_cpp import cpp_from_q3sat
+from repro.workloads import company
+from repro.workloads.synthetic import chain_copy_specification, random_sp_query
+
+
+def test_cpp_general_on_example_4_1(benchmark, single_round):
+    spec = company.manager_specification()
+    q2 = company.paper_queries()["Q2"]
+    assert single_round(benchmark, is_currency_preserving, q2, spec) is False
+
+
+def test_cpp_fo_pspace_gadget(benchmark, single_round):
+    sentence = random_q3sat(2, 2, 4, seed=11)
+    spec, query = cpp_from_q3sat(sentence)
+    result = single_round(benchmark, is_currency_preserving, query, spec)
+    assert result == (not sentence.is_true())
+
+
+def test_cpp_sp_ptime_without_constraints(benchmark):
+    spec = chain_copy_specification(
+        relations=2, entities=6, tuples_per_entity=3, order_density=0.5,
+        with_constraints=False, seed=12,
+    )
+    query = random_sp_query(spec, relation="R1", seed=12)
+    assert benchmark(sp_is_currency_preserving, query, spec) in (True, False)
+
+
+def test_ecp_is_constant_time(benchmark):
+    spec = company.manager_specification()
+    q2 = company.paper_queries()["Q2"]
+    assert benchmark(currency_preserving_extension_exists, q2, spec)
+
+
+def test_bcp_general_on_example_4_1(benchmark, single_round):
+    spec = company.manager_specification()
+    q2 = company.paper_queries()["Q2"]
+    assert single_round(benchmark, has_bounded_extension, q2, spec, 1)
+
+
+def test_bcp_sp_ptime_fixed_k(benchmark, single_round):
+    spec = chain_copy_specification(
+        relations=2, entities=4, tuples_per_entity=3, order_density=0.5,
+        with_constraints=False, seed=13,
+    )
+    query = random_sp_query(spec, relation="R1", seed=13)
+    assert single_round(benchmark, sp_has_bounded_extension, query, spec, 1) in (True, False)

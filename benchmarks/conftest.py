@@ -1,0 +1,22 @@
+"""Shared path setup and helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark *function* with a single round (the solvers under test are
+    deterministic and some calls are deliberately expensive — the intractable
+    regimes of Tables II/III)."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def single_round():
+    return run_once

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""A CRM-style scenario: stale customer records without timestamps.
+
+This example mirrors the motivating scenario of the paper's introduction
+("2% of records in a customer file become obsolete in one month"): a customer
+master table accumulates several records per customer (after entity
+resolution), none of which carries a reliable timestamp.  Business rules play
+the role of denial constraints:
+
+* the loyalty tier only ever increases (bronze → silver → gold),
+* a record with a more current tier also has the customer's current email,
+* the billing system copies addresses from the CRM, and records with a more
+  current address also carry the more current outstanding balance.
+
+The example answers "what is each customer's current email / balance?" with
+certain current answers, shows which cells remain undetermined, and uses the
+currency-preservation analysis to decide whether the billing system has
+imported enough data to answer its query.
+
+Run:  python examples/crm_deduplication.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis.report import render_kv, render_table
+from repro.core.copy_function import CopyFunction, CopySignature
+from repro.core.denial import AttrRef, Comparison, Const, CurrencyAtom, DenialConstraint
+from repro.core.instance import TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.preservation.cpp import is_currency_preserving
+from repro.query.ast import SPQuery
+from repro.reasoning.ccqa import certain_current_answers
+from repro.reasoning.cps import is_consistent
+from repro.reasoning.dcip import is_deterministic, realizable_maxima
+
+TIER_RANK = {"bronze": 1, "silver": 2, "gold": 3}
+
+
+def crm_schema() -> RelationSchema:
+    return RelationSchema("CRM", ("name", "email", "address", "tier_rank"))
+
+
+def billing_schema() -> RelationSchema:
+    return RelationSchema("Billing", ("address", "balance"))
+
+
+def crm_instance() -> TemporalInstance:
+    rows = {
+        # customer c1: three records accumulated over the years
+        "r1": {"EID": "c1", "name": "Ada Byron", "email": "ada@oldmail.example",
+               "address": "1 Analytical Row", "tier_rank": TIER_RANK["bronze"]},
+        "r2": {"EID": "c1", "name": "Ada Byron", "email": "ada@research.example",
+               "address": "7 Engine Street", "tier_rank": TIER_RANK["silver"]},
+        "r3": {"EID": "c1", "name": "Ada Lovelace", "email": "ada@lovelace.example",
+               "address": "7 Engine Street", "tier_rank": TIER_RANK["gold"]},
+        # customer c2: two records, tiers equal — currency undetermined
+        "r4": {"EID": "c2", "name": "Charles Babbage", "email": "cb@mill.example",
+               "address": "2 Difference Lane", "tier_rank": TIER_RANK["silver"]},
+        "r5": {"EID": "c2", "name": "Charles Babbage", "email": "charles@mill.example",
+               "address": "9 Jacquard Ave", "tier_rank": TIER_RANK["silver"]},
+    }
+    return TemporalInstance.from_rows(crm_schema(), rows)
+
+
+def billing_instance() -> TemporalInstance:
+    rows = {
+        "b1": {"EID": "c1", "address": "1 Analytical Row", "balance": 120},
+        "b2": {"EID": "c1", "address": "7 Engine Street", "balance": 0},
+        "b3": {"EID": "c2", "address": "2 Difference Lane", "balance": 340},
+    }
+    return TemporalInstance.from_rows(billing_schema(), rows)
+
+
+def crm_constraints() -> list:
+    schema = crm_schema()
+    tier_monotone = DenialConstraint(
+        schema, ("s", "t"),
+        body=[Comparison(AttrRef("s", "tier_rank"), ">", AttrRef("t", "tier_rank"))],
+        head=CurrencyAtom("t", "tier_rank", "s"),
+        name="tier_monotone",
+    )
+    tier_to_email = DenialConstraint(
+        schema, ("s", "t"),
+        body=[CurrencyAtom("t", "tier_rank", "s")],
+        head=CurrencyAtom("t", "email", "s"),
+        name="tier_implies_email",
+    )
+    tier_to_address = DenialConstraint(
+        schema, ("s", "t"),
+        body=[CurrencyAtom("t", "tier_rank", "s")],
+        head=CurrencyAtom("t", "address", "s"),
+        name="tier_implies_address",
+    )
+    tier_to_name = DenialConstraint(
+        schema, ("s", "t"),
+        body=[CurrencyAtom("t", "tier_rank", "s")],
+        head=CurrencyAtom("t", "name", "s"),
+        name="tier_implies_name",
+    )
+    return [tier_monotone, tier_to_email, tier_to_address, tier_to_name]
+
+
+def billing_constraints() -> list:
+    schema = billing_schema()
+    address_to_balance = DenialConstraint(
+        schema, ("s", "t"),
+        body=[CurrencyAtom("t", "address", "s")],
+        head=CurrencyAtom("t", "balance", "s"),
+        name="address_implies_balance",
+    )
+    return [address_to_balance]
+
+
+def build_specification() -> Specification:
+    copy_addresses = CopyFunction(
+        "billing_addresses",
+        CopySignature(billing_schema(), ("address",), crm_schema(), ("address",)),
+        target="Billing",
+        source="CRM",
+        mapping={"b1": "r1", "b2": "r2", "b3": "r4"},
+    )
+    return Specification(
+        instances={"CRM": crm_instance(), "Billing": billing_instance()},
+        constraints={"CRM": crm_constraints(), "Billing": billing_constraints()},
+        copy_functions=[copy_addresses],
+    )
+
+
+def main() -> None:
+    specification = build_specification()
+    print(render_kv(
+        [
+            ("customers", len(crm_instance().entities())),
+            ("CRM records", len(crm_instance())),
+            ("billing records", len(billing_instance())),
+            ("consistent (CPS)", is_consistent(specification)),
+            ("CRM current instance deterministic (DCIP)", is_deterministic(specification, "CRM")),
+        ],
+        title="CRM + Billing specification",
+    ))
+    print()
+
+    email_query = SPQuery("CRM", crm_schema(), ["name", "email"], name="current_email")
+    balance_query = SPQuery("Billing", billing_schema(), ["balance"], name="current_balance")
+
+    emails = certain_current_answers(email_query, specification)
+    print(render_table(
+        ["customer name", "certain current email"],
+        sorted(emails) or [["(none certain)", ""]],
+        title="Certain current emails",
+    ))
+    print()
+
+    rows = []
+    for eid in crm_instance().entities():
+        for attribute in ("email", "address"):
+            maxima = realizable_maxima(specification, "CRM", eid, attribute)
+            values = sorted({crm_instance().tuple_by_tid(t)[attribute] for t in maxima})
+            rows.append([eid, attribute, "certain" if len(values) == 1 else "ambiguous",
+                         " / ".join(values)])
+    print(render_table(
+        ["customer", "attribute", "status", "possible current values"],
+        rows,
+        title="Per-cell currency analysis",
+    ))
+    print()
+
+    balances = certain_current_answers(balance_query, specification)
+    preserving = is_currency_preserving(balance_query, specification)
+    print(render_kv(
+        [
+            ("certain current balances", sorted(balances)),
+            ("billing copy function currency preserving for the balance query", preserving),
+        ],
+        title="Billing-side analysis (CPP)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

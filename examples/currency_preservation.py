@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Currency preservation in data copying (Figure 3, Example 4.1).
+
+The Emp relation imports tuples from a Mgr source through the copy function
+ρ(s3) = m2.  This example shows
+
+* that ρ is *not* currency preserving for Q2 ("Mary's current last name"):
+  importing the divorced record m3 changes the certain answer from Dupont to
+  Smith;
+* that the extended copy function ρ1 (which also imports m3) *is* currency
+  preserving;
+* that a currency-preserving extension always exists for a consistent
+  specification (ECP, Proposition 5.2), and that one of bounded size exists
+  here (BCP with k = 1).
+
+Run:  python examples/currency_preservation.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis.report import render_kv, render_table
+from repro.preservation.bcp import bounded_currency_preserving_extension
+from repro.preservation.cpp import find_violating_extension, is_currency_preserving
+from repro.preservation.ecp import currency_preserving_extension_exists, maximal_extension
+from repro.preservation.extensions import apply_imports, candidate_imports
+from repro.reasoning.ccqa import certain_current_answers
+from repro.workloads import company
+
+
+def main() -> None:
+    specification = company.manager_specification()
+    q2 = company.paper_queries()["Q2"]
+
+    base_answer = certain_current_answers(q2, specification)
+    print(render_kv(
+        [
+            ("sources", ", ".join(specification.instance_names())),
+            ("copy function", "Emp[FN,LN,address,salary,status] <= Mgr[...] with rho(s3)=m2"),
+            ("certain answer to Q2", sorted(base_answer)),
+            ("rho currency preserving for Q2 (CPP)", is_currency_preserving(q2, specification)),
+        ],
+        title="Specification S1 (Figure 3 + Example 4.1)",
+    ))
+    print()
+
+    witness = find_violating_extension(q2, specification)
+    print("Violating extension found:", witness.describe())
+    extended_answer = certain_current_answers(q2, witness.specification)
+    print("Certain answer to Q2 after that import:", sorted(extended_answer))
+    print()
+
+    rows = []
+    for candidate in candidate_imports(specification):
+        extension = apply_imports(specification, [candidate])
+        answers = certain_current_answers(q2, extension.specification)
+        preserving = is_currency_preserving(q2, extension.specification)
+        rows.append(
+            [
+                f"import {candidate.source_tid} -> {candidate.target_eid}",
+                ", ".join(a[0] for a in sorted(answers)) or "(none certain)",
+                preserving,
+            ]
+        )
+    print(render_table(
+        ["extension of rho", "certain answer to Q2", "currency preserving?"],
+        rows,
+        title="Single-import extensions (Example 4.1)",
+    ))
+    print()
+
+    bounded = bounded_currency_preserving_extension(q2, specification, k=1)
+    print(render_kv(
+        [
+            ("ECP: can rho be extended to preserve currency?",
+             currency_preserving_extension_exists(q2, specification)),
+            ("BCP (k=1): bounded extension found", bounded.describe() if bounded else None),
+            ("maximal extension size", maximal_extension(specification).size_increase),
+        ],
+        title="ECP and BCP",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+Kept so that ``pip install -e .`` works on minimal offline environments that
+lack the ``wheel`` package (pip falls back to the legacy editable install).
+"""
+from setuptools import setup
+
+setup()

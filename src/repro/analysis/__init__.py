@@ -1,0 +1,28 @@
+"""Analysis utilities: the paper's complexity tables as data, runtime-scaling
+measurement, and plain-text report rendering."""
+
+from repro.analysis.complexity import (
+    SPECIAL_CASES,
+    TABLE_II,
+    TABLE_III,
+    ComplexityEntry,
+    lookup,
+    table_rows,
+)
+from repro.analysis.report import render_kv, render_table
+from repro.analysis.runtime import Measurement, ScalingResult, classify_growth, measure_scaling
+
+__all__ = [
+    "ComplexityEntry",
+    "TABLE_II",
+    "TABLE_III",
+    "SPECIAL_CASES",
+    "lookup",
+    "table_rows",
+    "Measurement",
+    "ScalingResult",
+    "measure_scaling",
+    "classify_growth",
+    "render_table",
+    "render_kv",
+]

@@ -1,0 +1,88 @@
+"""The paper's complexity classification (Tables II and III), machine readable.
+
+The benchmark harness prints these expected classifications next to the
+empirically observed behaviour (agreement with brute force, polynomial vs.
+exponential runtime growth), and EXPERIMENTS.md records paper-vs-measured per
+row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "ComplexityEntry",
+    "TABLE_II",
+    "TABLE_III",
+    "SPECIAL_CASES",
+    "lookup",
+    "table_rows",
+]
+
+
+@dataclass(frozen=True)
+class ComplexityEntry:
+    """One cell of Table II or III.
+
+    ``problem`` is one of CPS/COP/DCIP/CCQA/CPP/ECP/BCP; ``setting`` states the
+    query language (or "-" for the query-independent problems); ``measure`` is
+    "data" or "combined"; ``complexity`` is the completeness class claimed by
+    the paper; ``theorem`` names the result proving it.
+    """
+
+    problem: str
+    setting: str
+    measure: str
+    complexity: str
+    theorem: str
+    tractable: bool = False
+
+
+TABLE_II: Tuple[ComplexityEntry, ...] = (
+    ComplexityEntry("CPS", "-", "data", "NP-complete", "Theorem 3.1"),
+    ComplexityEntry("CPS", "-", "combined", "Σp2-complete", "Theorem 3.1"),
+    ComplexityEntry("COP", "-", "data", "coNP-complete", "Theorem 3.4"),
+    ComplexityEntry("COP", "-", "combined", "Πp2-complete", "Theorem 3.4"),
+    ComplexityEntry("DCIP", "-", "data", "coNP-complete", "Theorem 3.4"),
+    ComplexityEntry("DCIP", "-", "combined", "Πp2-complete", "Theorem 3.4"),
+)
+
+TABLE_III: Tuple[ComplexityEntry, ...] = (
+    ComplexityEntry("CCQA", "CQ/UCQ/∃FO+/FO", "data", "coNP-complete", "Theorem 3.5"),
+    ComplexityEntry("CCQA", "CQ/UCQ/∃FO+", "combined", "Πp2-complete", "Theorem 3.5"),
+    ComplexityEntry("CCQA", "FO", "combined", "PSPACE-complete", "Theorem 3.5"),
+    ComplexityEntry("CPP", "CQ/UCQ/∃FO+/FO", "data", "Πp2-complete", "Theorem 5.1"),
+    ComplexityEntry("CPP", "CQ/UCQ/∃FO+", "combined", "Πp3-complete", "Theorem 5.1"),
+    ComplexityEntry("CPP", "FO", "combined", "PSPACE-complete", "Theorem 5.1"),
+    ComplexityEntry("ECP", "CQ/UCQ/∃FO+/FO", "data", "O(1)", "Proposition 5.2", True),
+    ComplexityEntry("ECP", "CQ/UCQ/∃FO+/FO", "combined", "O(1)", "Proposition 5.2", True),
+    ComplexityEntry("BCP", "CQ/UCQ/∃FO+/FO", "data", "Σp3-complete", "Theorem 5.3"),
+    ComplexityEntry("BCP", "CQ/UCQ/∃FO+", "combined", "Σp4-complete", "Theorem 5.3"),
+    ComplexityEntry("BCP", "FO", "combined", "PSPACE-complete", "Theorem 5.3"),
+)
+
+SPECIAL_CASES: Tuple[ComplexityEntry, ...] = (
+    ComplexityEntry("CPS", "no denial constraints", "data+combined", "PTIME", "Theorem 6.1", True),
+    ComplexityEntry("COP", "no denial constraints", "data+combined", "PTIME", "Theorem 6.1", True),
+    ComplexityEntry("DCIP", "no denial constraints", "data+combined", "PTIME", "Theorem 6.1", True),
+    ComplexityEntry("CCQA", "SP, no denial constraints", "data+combined", "PTIME", "Proposition 6.3", True),
+    ComplexityEntry("CCQA", "SP, with denial constraints", "data", "coNP-complete", "Corollary 3.7"),
+    ComplexityEntry("CCQA", "CQ, no denial constraints", "data", "coNP-hard", "Corollary 3.6"),
+    ComplexityEntry("CPP", "SP, no denial constraints", "data+combined", "PTIME", "Theorem 6.4", True),
+    ComplexityEntry("BCP", "SP, no denial constraints, fixed k", "data+combined", "PTIME", "Theorem 6.4", True),
+)
+
+
+def lookup(problem: str, measure: str, setting: Optional[str] = None) -> List[ComplexityEntry]:
+    """All entries matching *problem* (and optionally *setting*) and *measure*."""
+    rows = [e for e in TABLE_II + TABLE_III + SPECIAL_CASES if e.problem == problem]
+    rows = [e for e in rows if measure in e.measure]
+    if setting is not None:
+        rows = [e for e in rows if setting in e.setting or e.setting == "-"]
+    return rows
+
+
+def table_rows(which: str) -> Tuple[ComplexityEntry, ...]:
+    """The rows of ``"II"``, ``"III"`` or ``"special"``."""
+    return {"II": TABLE_II, "III": TABLE_III, "special": SPECIAL_CASES}[which]

@@ -1,0 +1,44 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark scripts print the same row structure as the paper's Tables II
+and III, with an extra column for the observed behaviour of the implemented
+solvers (correctness agreement and runtime-growth class).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "render_kv"]
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render a fixed-width text table."""
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(format_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(format_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render key/value pairs, one per line."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for key, value in pairs:
+        lines.append(f"{key}: {value}")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Runtime-scaling measurement and growth classification.
+
+The paper proves worst-case complexity bounds; the reproduction observes the
+corresponding *behavioural shape* — polynomial versus super-polynomial runtime
+growth of the implemented decision procedures as the input grows.  The helpers
+here time a callable over a parameter sweep and fit simple growth models
+(power law vs. exponential) to the measurements.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Measurement", "ScalingResult", "measure_scaling", "classify_growth"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One timed run: the sweep parameter, the input size and the runtime."""
+
+    parameter: float
+    size: float
+    seconds: float
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """A sweep with its fitted growth classification."""
+
+    label: str
+    measurements: Tuple[Measurement, ...]
+    growth: str
+    power_exponent: Optional[float]
+    exponential_base: Optional[float]
+
+    def summary(self) -> str:
+        """One line per sweep for the benchmark reports."""
+        details = []
+        if self.power_exponent is not None:
+            details.append(f"n^{self.power_exponent:.2f}")
+        if self.exponential_base is not None:
+            details.append(f"{self.exponential_base:.2f}^n")
+        fitted = ", ".join(details) if details else "n/a"
+        return f"{self.label}: growth={self.growth} (fits: {fitted})"
+
+
+def measure_scaling(
+    label: str,
+    runner: Callable[[float], object],
+    parameters: Sequence[float],
+    size_of: Optional[Callable[[float], float]] = None,
+    repeats: int = 1,
+) -> ScalingResult:
+    """Time ``runner(parameter)`` over a parameter sweep and classify growth."""
+    measurements: List[Measurement] = []
+    for parameter in parameters:
+        best = math.inf
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            runner(parameter)
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+        size = float(size_of(parameter)) if size_of is not None else float(parameter)
+        measurements.append(Measurement(float(parameter), size, best))
+    growth, exponent, base = classify_growth(
+        [m.size for m in measurements], [m.seconds for m in measurements]
+    )
+    return ScalingResult(label, tuple(measurements), growth, exponent, base)
+
+
+def _linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float, float]:
+    """Least-squares fit y = a + b x; returns (a, b, residual sum of squares)."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        return mean_y, 0.0, sum((y - mean_y) ** 2 for y in ys)
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / denominator
+    intercept = mean_y - slope * mean_x
+    residual = sum((y - (intercept + slope * x)) ** 2 for x, y in zip(xs, ys))
+    return intercept, slope, residual
+
+
+def classify_growth(
+    sizes: Sequence[float], seconds: Sequence[float]
+) -> Tuple[str, Optional[float], Optional[float]]:
+    """Classify runtime growth as ``"polynomial"``, ``"exponential"`` or
+    ``"flat"`` by comparing log–log against log–linear least-squares fits."""
+    pairs = [(s, t) for s, t in zip(sizes, seconds) if t > 0 and s > 0]
+    if len(pairs) < 3:
+        return "flat", None, None
+    xs = [p[0] for p in pairs]
+    ts = [p[1] for p in pairs]
+    if max(ts) < 10 * min(ts):
+        # runtimes barely move over the sweep: treat as flat / dominated by overhead
+        _, slope_power, _ = _linear_fit([math.log(x) for x in xs], [math.log(t) for t in ts])
+        return "flat", slope_power, None
+    _, slope_power, residual_power = _linear_fit(
+        [math.log(x) for x in xs], [math.log(t) for t in ts]
+    )
+    _, slope_exp, residual_exp = _linear_fit(list(xs), [math.log(t) for t in ts])
+    if residual_exp < residual_power and slope_exp > 0:
+        return "exponential", slope_power, math.exp(slope_exp)
+    return "polynomial", slope_power, math.exp(slope_exp) if slope_exp > 0 else None

@@ -1,0 +1,50 @@
+"""Core data-currency model: schemas, tuples, partial currency orders,
+temporal instances, denial constraints, copy functions, specifications,
+completions and current instances."""
+
+from repro.core.completion import (
+    completions_of_instance,
+    consistent_completions,
+    count_consistent_completions,
+    first_consistent_completion,
+)
+from repro.core.copy_function import CopyFunction, CopySignature
+from repro.core.current import current_database, current_instance, current_tuple
+from repro.core.denial import (
+    AttrRef,
+    Comparison,
+    Const,
+    CurrencyAtom,
+    DenialConstraint,
+    GroundedImplication,
+)
+from repro.core.instance import NormalInstance, TemporalInstance
+from repro.core.partial_order import PartialOrder, linear_extensions
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.core.tuples import RelationTuple
+
+__all__ = [
+    "RelationSchema",
+    "RelationTuple",
+    "PartialOrder",
+    "linear_extensions",
+    "NormalInstance",
+    "TemporalInstance",
+    "AttrRef",
+    "Const",
+    "Comparison",
+    "CurrencyAtom",
+    "DenialConstraint",
+    "GroundedImplication",
+    "CopySignature",
+    "CopyFunction",
+    "Specification",
+    "completions_of_instance",
+    "consistent_completions",
+    "first_consistent_completion",
+    "count_consistent_completions",
+    "current_tuple",
+    "current_instance",
+    "current_database",
+]

@@ -1,0 +1,48 @@
+"""Current tuples and current instances (``LST``, Section 2 of the paper).
+
+Given a completion ``D^c_t`` of a temporal instance, the *current tuple* of an
+entity ``e`` collects, attribute by attribute, the value of the greatest tuple
+of ``I_e`` under the completed currency order for that attribute.  The
+*current instance* ``LST(D^c_t)`` is the normal instance consisting of the
+current tuples of all entities, with currency orders removed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.core.instance import NormalInstance, TemporalInstance
+from repro.core.tuples import RelationTuple
+from repro.exceptions import PartialOrderError
+
+__all__ = ["current_tuple", "current_instance", "current_database"]
+
+
+def current_tuple(completion: TemporalInstance, eid: Any) -> RelationTuple:
+    """``LST(e, D^c_t)``: the current tuple of entity *eid* in a completion.
+
+    Raises :class:`PartialOrderError` if some attribute order is not total on
+    the entity block (i.e. the instance is not a completion).
+    """
+    block = completion.entity_tids(eid)
+    if not block:
+        raise PartialOrderError(f"entity {eid!r} does not occur in {completion.schema.name!r}")
+    values: Dict[str, Any] = {completion.schema.eid: eid}
+    for attribute in completion.schema.attributes:
+        order = completion.order(attribute)
+        greatest_tid = order.greatest(block) if len(block) > 1 else block[0]
+        values[attribute] = completion.tuple_by_tid(greatest_tid)[attribute]
+    return RelationTuple(completion.schema, f"lst::{eid}", values)
+
+
+def current_instance(completion: TemporalInstance) -> NormalInstance:
+    """``LST(D^c_t)``: the current instance of a completed temporal instance."""
+    instance = NormalInstance(completion.schema)
+    for eid in completion.entities():
+        instance.add(current_tuple(completion, eid))
+    return instance
+
+
+def current_database(completion: Mapping[str, TemporalInstance]) -> Dict[str, NormalInstance]:
+    """``LST(D^c)`` for a full consistent completion (name -> current instance)."""
+    return {name: current_instance(instance) for name, instance in completion.items()}

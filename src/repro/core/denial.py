@@ -1,0 +1,249 @@
+"""Denial constraints for data currency (Section 2 of the paper).
+
+A denial constraint for a schema ``R`` has the shape::
+
+    ∀ t1,...,tk : R ( ⋀_j (t1[EID] = tj[EID]) ∧ ψ  →  t_u ≺_Ai t_v )
+
+where ψ is a conjunction of predicates of the forms
+
+1. ``tj ≺_Al th``                      (currency atoms),
+2. ``tj[Al] = th[Al]`` / ``tj[Al] ≠ th[Al]``,
+3. ``tj[Al] = c`` / ``tj[Al] ≠ c``     (constants), and
+4. built-in comparisons on ordered domains (``<``, ``<=``, ``>``, ``>=``).
+
+The constraint is interpreted over *completions* of temporal instances: for
+every assignment of the tuple variables to tuples of the same entity, if ψ
+holds then the head currency pair must belong to the completed order.
+
+The implementation offers
+
+* :meth:`DenialConstraint.satisfied_by` — direct evaluation on a completion,
+* :meth:`DenialConstraint.violations` — the witnessing assignments,
+* :meth:`DenialConstraint.grounded_implications` — grounding over a temporal
+  instance into implications "premise currency pairs ⟹ head currency pair",
+  which is what the SAT-based solvers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.instance import TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.core.tuples import RelationTuple
+from repro.exceptions import ConstraintError
+
+__all__ = [
+    "AttrRef",
+    "Const",
+    "Comparison",
+    "CurrencyAtom",
+    "DenialConstraint",
+    "GroundedImplication",
+]
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class AttrRef:
+    """A term ``var[attribute]`` referring to an attribute of a tuple variable."""
+
+    var: str
+    attribute: str
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant term."""
+
+    value: Any
+
+
+Term = Union[AttrRef, Const]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A built-in predicate ``lhs op rhs`` over terms (op ∈ =, !=, <, <=, >, >=)."""
+
+    lhs: Term
+    op: str
+    rhs: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ConstraintError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, assignment: Dict[str, RelationTuple]) -> bool:
+        """Evaluate under an assignment of tuple variables to tuples."""
+        return _COMPARATORS[self.op](
+            _term_value(self.lhs, assignment), _term_value(self.rhs, assignment)
+        )
+
+
+@dataclass(frozen=True)
+class CurrencyAtom:
+    """A currency predicate ``lower ≺_attribute upper`` between tuple variables."""
+
+    lower: str
+    attribute: str
+    upper: str
+
+
+Predicate = Union[Comparison, CurrencyAtom]
+
+
+@dataclass(frozen=True)
+class GroundedImplication:
+    """A grounded denial constraint over a concrete instance.
+
+    ``premises`` are currency pairs ``(attribute, lower_tid, upper_tid)`` that
+    must all hold for the implication to fire; ``head`` is the currency pair
+    that must then hold, or ``None`` when the head is unsatisfiable (the paper
+    uses heads of the form ``t1 ≺_V t1`` to encode "the body must be false").
+    """
+
+    premises: Tuple[Tuple[str, Hashable, Hashable], ...]
+    head: Optional[Tuple[str, Hashable, Hashable]]
+
+
+def _term_value(term: Term, assignment: Dict[str, RelationTuple]) -> Any:
+    if isinstance(term, Const):
+        return term.value
+    return assignment[term.var][term.attribute]
+
+
+class DenialConstraint:
+    """A currency denial constraint on a single relation schema."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        variables: Sequence[str],
+        body: Sequence[Predicate],
+        head: CurrencyAtom,
+        name: str = "",
+    ) -> None:
+        if not variables:
+            raise ConstraintError("a denial constraint needs at least one tuple variable")
+        if len(set(variables)) != len(variables):
+            raise ConstraintError(f"duplicate tuple variables in {list(variables)}")
+        varset = set(variables)
+        for predicate in body:
+            self._check_predicate(schema, varset, predicate)
+        self._check_predicate(schema, varset, head)
+        self.schema = schema
+        self.variables: Tuple[str, ...] = tuple(variables)
+        self.body: Tuple[Predicate, ...] = tuple(body)
+        self.head = head
+        self.name = name or f"dc_{schema.name}_{id(self) & 0xFFFF:04x}"
+
+    @staticmethod
+    def _check_predicate(schema: RelationSchema, varset: set, predicate: Predicate) -> None:
+        if isinstance(predicate, CurrencyAtom):
+            if predicate.lower not in varset or predicate.upper not in varset:
+                raise ConstraintError(f"currency atom {predicate} uses an unbound variable")
+            schema.check_attributes([predicate.attribute])
+            return
+        if isinstance(predicate, Comparison):
+            for term in (predicate.lhs, predicate.rhs):
+                if isinstance(term, AttrRef):
+                    if term.var not in varset:
+                        raise ConstraintError(f"comparison {predicate} uses unbound variable {term.var!r}")
+                    if term.attribute != schema.eid:
+                        schema.check_attributes([term.attribute])
+            return
+        raise ConstraintError(f"unknown predicate type {type(predicate).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Direct evaluation
+    # ------------------------------------------------------------------ #
+    def _assignments(self, instance: TemporalInstance) -> Iterator[Dict[str, RelationTuple]]:
+        """All assignments of the tuple variables to same-entity tuples."""
+        for eid in instance.entities():
+            block = instance.entity_block(eid)
+            for combo in product(block, repeat=len(self.variables)):
+                yield dict(zip(self.variables, combo))
+
+    def _value_predicates_hold(self, assignment: Dict[str, RelationTuple]) -> bool:
+        return all(
+            predicate.evaluate(assignment)
+            for predicate in self.body
+            if isinstance(predicate, Comparison)
+        )
+
+    def _currency_premises(
+        self, assignment: Dict[str, RelationTuple]
+    ) -> List[Tuple[str, Hashable, Hashable]]:
+        return [
+            (p.attribute, assignment[p.lower].tid, assignment[p.upper].tid)
+            for p in self.body
+            if isinstance(p, CurrencyAtom)
+        ]
+
+    def satisfied_by(self, completion: TemporalInstance) -> bool:
+        """Whether the completion satisfies this constraint (``D^c_t |= ϕ``)."""
+        return not any(True for _ in self.violations(completion, first_only=True))
+
+    def violations(
+        self, completion: TemporalInstance, first_only: bool = False
+    ) -> Iterator[Dict[str, RelationTuple]]:
+        """Assignments whose body holds but whose head currency pair does not."""
+        for assignment in self._assignments(completion):
+            if not self._value_predicates_hold(assignment):
+                continue
+            premises_hold = all(
+                completion.precedes(attribute, lower, upper)
+                for attribute, lower, upper in self._currency_premises(assignment)
+            )
+            if not premises_hold:
+                continue
+            head_lower = assignment[self.head.lower].tid
+            head_upper = assignment[self.head.upper].tid
+            if head_lower == head_upper:
+                yield assignment
+                if first_only:
+                    return
+                continue
+            if not completion.precedes(self.head.attribute, head_lower, head_upper):
+                yield assignment
+                if first_only:
+                    return
+
+    # ------------------------------------------------------------------ #
+    # Grounding (for the SAT-backed solvers)
+    # ------------------------------------------------------------------ #
+    def grounded_implications(self, instance: TemporalInstance) -> Iterator[GroundedImplication]:
+        """Ground the constraint over *instance*.
+
+        For every same-entity assignment whose value (non-currency) predicates
+        hold, yields the implication "all premise currency pairs ⟹ head pair".
+        Implications whose head refers to a single tuple (``t ≺ t``) have
+        ``head=None`` meaning the premises must not all hold simultaneously.
+        """
+        for assignment in self._assignments(instance):
+            if not self._value_predicates_hold(assignment):
+                continue
+            premises = tuple(self._currency_premises(assignment))
+            head_lower = assignment[self.head.lower].tid
+            head_upper = assignment[self.head.upper].tid
+            if head_lower == head_upper:
+                yield GroundedImplication(premises=premises, head=None)
+            else:
+                yield GroundedImplication(
+                    premises=premises,
+                    head=(self.head.attribute, head_lower, head_upper),
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DenialConstraint({self.name!r} on {self.schema.name})"

@@ -1,0 +1,243 @@
+"""Normal and temporal instances.
+
+A *normal instance* is a plain finite relation instance; a *temporal instance*
+``D_t = (D, ≺_A1, ..., ≺_An)`` additionally carries one partial currency order
+per ordinary attribute, relating only tuples of the same entity (Section 2 of
+the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.core.partial_order import PartialOrder
+from repro.core.schema import RelationSchema
+from repro.core.tuples import RelationTuple
+from repro.exceptions import PartialOrderError, SchemaError, TupleError
+
+__all__ = ["NormalInstance", "TemporalInstance"]
+
+
+class NormalInstance:
+    """A finite instance of a relation schema, with set semantics on values.
+
+    Current instances ``LST(D^c)`` are normal instances (the paper strips all
+    currency orders from them); queries are evaluated over normal instances.
+    """
+
+    def __init__(self, schema: RelationSchema, tuples: Iterable[RelationTuple] = ()) -> None:
+        self._schema = schema
+        self._tuples: List[RelationTuple] = []
+        self._by_tid: Dict[Hashable, RelationTuple] = {}
+        for t in tuples:
+            self.add(t)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> RelationSchema:
+        """Schema of this instance."""
+        return self._schema
+
+    def add(self, tup: RelationTuple) -> None:
+        """Add a tuple (tids must be unique within the instance)."""
+        if tup.schema.name != self._schema.name:
+            raise TupleError(
+                f"tuple of schema {tup.schema.name!r} added to instance of {self._schema.name!r}"
+            )
+        if tup.tid in self._by_tid:
+            raise TupleError(f"duplicate tuple id {tup.tid!r} in instance {self._schema.name!r}")
+        self._tuples.append(tup)
+        self._by_tid[tup.tid] = tup
+
+    def tuples(self) -> List[RelationTuple]:
+        """All tuples, in insertion order."""
+        return list(self._tuples)
+
+    def tuple_by_tid(self, tid: Hashable) -> RelationTuple:
+        """Look a tuple up by its tuple id."""
+        try:
+            return self._by_tid[tid]
+        except KeyError:
+            raise TupleError(f"no tuple with id {tid!r} in {self._schema.name!r}") from None
+
+    def has_tid(self, tid: Hashable) -> bool:
+        """Whether a tuple with id *tid* exists."""
+        return tid in self._by_tid
+
+    def tids(self) -> List[Hashable]:
+        """All tuple ids, in insertion order."""
+        return [t.tid for t in self._tuples]
+
+    def entities(self) -> List[Any]:
+        """Distinct entity ids, in first-appearance order."""
+        seen: Set[Any] = set()
+        out: List[Any] = []
+        for t in self._tuples:
+            if t.eid not in seen:
+                seen.add(t.eid)
+                out.append(t.eid)
+        return out
+
+    def entity_block(self, eid: Any) -> List[RelationTuple]:
+        """Tuples pertaining to the entity *eid* (the set ``I_e``)."""
+        return [t for t in self._tuples if t.eid == eid]
+
+    def value_set(self) -> FrozenSet[Tuple[Any, ...]]:
+        """The instance as a set of value tuples (EID first) — set semantics."""
+        return frozenset(t.value_tuple() for t in self._tuples)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[RelationTuple]:
+        return iter(self._tuples)
+
+    def __contains__(self, tup: RelationTuple) -> bool:
+        return tup.tid in self._by_tid
+
+    def __eq__(self, other: object) -> bool:
+        """Equality by schema name and *set of value tuples* (normal instances
+        are compared as relations, not by tuple ids)."""
+        if not isinstance(other, NormalInstance):
+            return NotImplemented
+        return self._schema.name == other._schema.name and self.value_set() == other.value_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NormalInstance({self._schema.name}, {len(self._tuples)} tuples)"
+
+
+class TemporalInstance(NormalInstance):
+    """A normal instance equipped with one partial currency order per attribute.
+
+    The orders are indexed by ordinary attribute name and contain pairs of
+    *tuple ids*.  The class enforces the paper's well-formedness condition
+    that ``t1 ≺_A t2`` implies ``t1[EID] = t2[EID]``.
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        tuples: Iterable[RelationTuple] = (),
+        orders: Optional[Mapping[str, PartialOrder]] = None,
+    ) -> None:
+        super().__init__(schema, tuples)
+        self._orders: Dict[str, PartialOrder] = {a: PartialOrder() for a in schema.attributes}
+        if orders:
+            for attribute, order in orders.items():
+                for lower, upper in order.pairs():
+                    self.add_order(attribute, lower, upper)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_rows(
+        cls,
+        schema: RelationSchema,
+        rows: Mapping[Hashable, Mapping[str, Any]] | Iterable[Tuple[Hashable, Mapping[str, Any]]],
+        orders: Optional[Mapping[str, Iterable[Tuple[Hashable, Hashable]]]] = None,
+    ) -> "TemporalInstance":
+        """Build a temporal instance from ``tid -> {attribute: value}`` rows.
+
+        *orders* maps attribute names to iterables of ``(lower_tid, upper_tid)``
+        pairs.
+        """
+        items = rows.items() if isinstance(rows, Mapping) else rows
+        instance = cls(schema)
+        for tid, values in items:
+            instance.add(RelationTuple(schema, tid, values))
+        if orders:
+            for attribute, pairs in orders.items():
+                for lower, upper in pairs:
+                    instance.add_order(attribute, lower, upper)
+        return instance
+
+    def add(self, tup: RelationTuple) -> None:
+        super().add(tup)
+        # keep carrier sets of existing orders in sync
+        if hasattr(self, "_orders"):
+            for order in self._orders.values():
+                order.add_element(tup.tid)
+
+    def add_order(self, attribute: str, lower_tid: Hashable, upper_tid: Hashable) -> bool:
+        """Record ``lower ≺_attribute upper`` between two existing tuples."""
+        self._schema.check_attributes([attribute])
+        lower = self.tuple_by_tid(lower_tid)
+        upper = self.tuple_by_tid(upper_tid)
+        if lower.eid != upper.eid:
+            raise PartialOrderError(
+                f"currency order on {attribute!r} relates tuples of distinct entities "
+                f"{lower.eid!r} and {upper.eid!r}"
+            )
+        return self._orders[attribute].add(lower_tid, upper_tid)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    def order(self, attribute: str) -> PartialOrder:
+        """The currency order ``≺_attribute`` (over tuple ids)."""
+        self._schema.check_attributes([attribute])
+        return self._orders[attribute]
+
+    def orders(self) -> Dict[str, PartialOrder]:
+        """All currency orders, keyed by attribute."""
+        return dict(self._orders)
+
+    def precedes(self, attribute: str, lower_tid: Hashable, upper_tid: Hashable) -> bool:
+        """Whether ``lower ≺_attribute upper`` is recorded."""
+        return self.order(attribute).precedes(lower_tid, upper_tid)
+
+    def normal_instance(self) -> NormalInstance:
+        """Drop the currency orders (the embedded normal instance)."""
+        return NormalInstance(self._schema, self._tuples)
+
+    def copy(self) -> "TemporalInstance":
+        """A deep copy (tuples are shared; orders are copied)."""
+        clone = TemporalInstance(self._schema, self._tuples)
+        for attribute, order in self._orders.items():
+            for lower, upper in order.pairs():
+                clone.add_order(attribute, lower, upper)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Currency-specific helpers
+    # ------------------------------------------------------------------ #
+    def entity_tids(self, eid: Any) -> List[Hashable]:
+        """Tuple ids of the entity block ``I_e``."""
+        return [t.tid for t in self.entity_block(eid)]
+
+    def contained_in(self, other: "TemporalInstance") -> bool:
+        """Order containment ``self ⊆ other`` (Section 3): same tuples assumed,
+        every currency pair of *self* must appear in *other*."""
+        if set(self._schema.attributes) != set(other.schema.attributes):
+            raise SchemaError("contained_in() requires instances over the same attributes")
+        return all(
+            other.order(attribute).contains(self._orders[attribute])
+            for attribute in self._schema.attributes
+        )
+
+    def is_completion_of(self, base: "TemporalInstance") -> bool:
+        """Whether this instance is a *completion* of *base*: it extends every
+        order of *base* and is total exactly on each entity block."""
+        if not base.contained_in(self):
+            return False
+        return self.is_complete()
+
+    def is_complete(self) -> bool:
+        """Whether every attribute order is total on every entity block and
+        never relates tuples of distinct entities."""
+        blocks = [self.entity_tids(eid) for eid in self.entities()]
+        for attribute in self._schema.attributes:
+            order = self._orders[attribute]
+            for block in blocks:
+                if not order.is_total_on(block):
+                    return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = sum(o.pair_count() for o in self._orders.values())
+        return (
+            f"TemporalInstance({self._schema.name}, {len(self._tuples)} tuples, "
+            f"{pairs} order pairs)"
+        )

@@ -1,0 +1,258 @@
+"""Strict partial orders over tuple identifiers.
+
+A currency order ``≺_A`` of the paper is a strict partial order on the tuples
+of a temporal instance such that only tuples of the same entity are comparable
+(Section 2).  :class:`PartialOrder` is the generic strict-partial-order data
+structure used throughout: it maintains a transitively closed successor
+relation, detects cycles eagerly, and offers the operations the reasoning
+algorithms need — containment tests, unions, restriction to an entity block,
+maximal elements (sinks), and enumeration of linear extensions.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Set, Tuple
+
+from repro.exceptions import CycleError, PartialOrderError
+
+__all__ = ["PartialOrder", "linear_extensions"]
+
+Element = Hashable
+
+
+class PartialOrder:
+    """A strict partial order, stored as a transitively-closed edge set.
+
+    ``order.add(a, b)`` records ``a ≺ b`` ("b is more current than a") and
+    closes transitively; adding an edge that would create a cycle raises
+    :class:`~repro.exceptions.CycleError`.
+    """
+
+    __slots__ = ("_elements", "_succ", "_pred")
+
+    def __init__(
+        self,
+        elements: Iterable[Element] = (),
+        pairs: Iterable[Tuple[Element, Element]] = (),
+    ) -> None:
+        self._elements: Set[Element] = set(elements)
+        self._succ: Dict[Element, Set[Element]] = {e: set() for e in self._elements}
+        self._pred: Dict[Element, Set[Element]] = {e: set() for e in self._elements}
+        for a, b in pairs:
+            self.add(a, b)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "PartialOrder":
+        """A deep copy of this order."""
+        clone = PartialOrder(self._elements)
+        for a, succs in self._succ.items():
+            clone._succ[a] = set(succs)
+        for b, preds in self._pred.items():
+            clone._pred[b] = set(preds)
+        return clone
+
+    def add_element(self, element: Element) -> None:
+        """Register *element* in the carrier set (no order information)."""
+        if element not in self._elements:
+            self._elements.add(element)
+            self._succ[element] = set()
+            self._pred[element] = set()
+
+    def add(self, lower: Element, upper: Element) -> bool:
+        """Record ``lower ≺ upper`` and transitively close.
+
+        Returns ``True`` if new order information was added, ``False`` if the
+        pair was already present.  Raises :class:`CycleError` if the edge
+        would make the relation cyclic (including ``lower == upper``).
+        """
+        if lower == upper:
+            raise CycleError(f"cannot add reflexive pair {lower!r} ≺ {lower!r}")
+        self.add_element(lower)
+        self.add_element(upper)
+        if upper in self._succ[lower]:
+            return False
+        if lower in self._succ[upper]:
+            raise CycleError(f"adding {lower!r} ≺ {upper!r} creates a cycle")
+        # Everything below-or-equal lower precedes everything above-or-equal upper.
+        lowers = self._pred[lower] | {lower}
+        uppers = self._succ[upper] | {upper}
+        for a in lowers:
+            for b in uppers:
+                if a == b:
+                    raise CycleError(f"adding {lower!r} ≺ {upper!r} creates a cycle")
+                self._succ[a].add(b)
+                self._pred[b].add(a)
+        return True
+
+    def update(self, other: "PartialOrder") -> None:
+        """Add every pair of *other* to this order (may raise CycleError)."""
+        for a, b in other.pairs():
+            self.add(a, b)
+
+    @staticmethod
+    def union(first: "PartialOrder", second: "PartialOrder") -> "PartialOrder":
+        """The transitive closure of the union of two orders."""
+        merged = first.copy()
+        for element in second.elements():
+            merged.add_element(element)
+        merged.update(second)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def elements(self) -> FrozenSet[Element]:
+        """The carrier set."""
+        return frozenset(self._elements)
+
+    def pairs(self) -> Iterator[Tuple[Element, Element]]:
+        """Iterate over all pairs ``(a, b)`` with ``a ≺ b``."""
+        for a, succs in self._succ.items():
+            for b in succs:
+                yield (a, b)
+
+    def pair_count(self) -> int:
+        """Number of ordered pairs (size of the strict order relation)."""
+        return sum(len(s) for s in self._succ.values())
+
+    def precedes(self, lower: Element, upper: Element) -> bool:
+        """Whether ``lower ≺ upper`` holds."""
+        return upper in self._succ.get(lower, ())
+
+    def comparable(self, a: Element, b: Element) -> bool:
+        """Whether ``a`` and ``b`` are comparable (in either direction)."""
+        return self.precedes(a, b) or self.precedes(b, a)
+
+    def successors(self, element: Element) -> FrozenSet[Element]:
+        """All elements strictly above *element*."""
+        return frozenset(self._succ.get(element, ()))
+
+    def predecessors(self, element: Element) -> FrozenSet[Element]:
+        """All elements strictly below *element*."""
+        return frozenset(self._pred.get(element, ()))
+
+    def contains(self, other: "PartialOrder") -> bool:
+        """Whether every pair of *other* is a pair of this order."""
+        return all(self.precedes(a, b) for a, b in other.pairs())
+
+    def restrict(self, subset: Iterable[Element]) -> "PartialOrder":
+        """The induced order on *subset*."""
+        keep = set(subset)
+        restricted = PartialOrder(keep & self._elements)
+        for a, b in self.pairs():
+            if a in keep and b in keep:
+                restricted._succ[a].add(b)
+                restricted._pred[b].add(a)
+        return restricted
+
+    def maxima(self, subset: Iterable[Element] | None = None) -> List[Element]:
+        """Maximal elements ("sinks": no successor) within *subset*.
+
+        When *subset* is None, maxima of the whole carrier set are returned.
+        A sink corresponds to a tuple that can be the most current one in some
+        completion (cf. the DCIP algorithm of Theorem 6.1).
+        """
+        pool = set(subset) if subset is not None else set(self._elements)
+        return [e for e in pool if not (self._succ.get(e, set()) & pool)]
+
+    def minima(self, subset: Iterable[Element] | None = None) -> List[Element]:
+        """Minimal elements within *subset*."""
+        pool = set(subset) if subset is not None else set(self._elements)
+        return [e for e in pool if not (self._pred.get(e, set()) & pool)]
+
+    def is_total_on(self, subset: Iterable[Element]) -> bool:
+        """Whether the order is total (a linear order) on *subset*."""
+        items = list(subset)
+        for i, a in enumerate(items):
+            for b in items[i + 1 :]:
+                if a != b and not self.comparable(a, b):
+                    return False
+        return True
+
+    def greatest(self, subset: Iterable[Element]) -> Element:
+        """The greatest element of *subset* (requires totality on subset)."""
+        items = list(subset)
+        if not items:
+            raise PartialOrderError("greatest() of an empty set")
+        best = items[0]
+        for candidate in items[1:]:
+            if self.precedes(best, candidate):
+                best = candidate
+            elif not self.precedes(candidate, best) and candidate != best:
+                raise PartialOrderError(
+                    f"elements {best!r} and {candidate!r} are incomparable; "
+                    "greatest() requires a total order on the subset"
+                )
+        return best
+
+    def topological_order(self, subset: Iterable[Element] | None = None) -> List[Element]:
+        """A topological (linearising) order of *subset* consistent with ≺."""
+        pool = set(subset) if subset is not None else set(self._elements)
+        remaining = set(pool)
+        result: List[Element] = []
+        while remaining:
+            layer = [e for e in remaining if not (self._pred.get(e, set()) & remaining)]
+            if not layer:
+                raise CycleError("cycle detected during topological sort")
+            layer.sort(key=repr)
+            result.extend(layer)
+            remaining -= set(layer)
+        return result
+
+    def linear_extensions(self, subset: Iterable[Element]) -> Iterator[Tuple[Element, ...]]:
+        """Enumerate all linear extensions of the induced order on *subset*.
+
+        Exponential in general; used by the exhaustive ("ground truth")
+        solvers and by tests on small instances.
+        """
+        items = sorted(set(subset), key=repr)
+        yield from _linear_extensions_rec(self, tuple(items), ())
+
+    # ------------------------------------------------------------------ #
+    # Dunder plumbing
+    # ------------------------------------------------------------------ #
+    def __contains__(self, pair: Tuple[Element, Element]) -> bool:
+        lower, upper = pair
+        return self.precedes(lower, upper)
+
+    def __len__(self) -> int:
+        return self.pair_count()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartialOrder):
+            return NotImplemented
+        return (
+            self._elements == other._elements
+            and all(self._succ[e] == other._succ.get(e, set()) for e in self._elements)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = sorted((repr(a), repr(b)) for a, b in self.pairs())
+        return f"PartialOrder({len(self._elements)} elements, pairs={pairs})"
+
+
+def _linear_extensions_rec(
+    order: PartialOrder,
+    remaining: Tuple[Element, ...],
+    prefix: Tuple[Element, ...],
+) -> Iterator[Tuple[Element, ...]]:
+    if not remaining:
+        yield prefix
+        return
+    remaining_set = set(remaining)
+    for candidate in remaining:
+        preds = order.predecessors(candidate)
+        if preds & remaining_set:
+            continue
+        rest = tuple(e for e in remaining if e != candidate)
+        yield from _linear_extensions_rec(order, rest, prefix + (candidate,))
+
+
+def linear_extensions(
+    order: PartialOrder, subset: Iterable[Element]
+) -> Iterator[Tuple[Element, ...]]:
+    """Module-level convenience wrapper for :meth:`PartialOrder.linear_extensions`."""
+    yield from order.linear_extensions(subset)

@@ -1,0 +1,89 @@
+"""Relation schemas with an entity-id (EID) attribute.
+
+The paper specifies a relation schema as ``R = (EID, A1, ..., An)`` where EID
+identifies tuples pertaining to the same real-world entity (Section 2).  A
+:class:`RelationSchema` captures the relation name, the EID attribute name and
+the ordered list of ordinary (non-EID) attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Tuple
+
+from repro.exceptions import SchemaError
+
+__all__ = ["RelationSchema"]
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation schema ``R(EID, A1, ..., An)``.
+
+    Parameters
+    ----------
+    name:
+        Relation name, e.g. ``"Emp"``.
+    attributes:
+        The ordinary attributes ``A1..An`` (excluding EID), in order.
+    eid:
+        Name of the entity-id attribute.  Defaults to ``"EID"``.
+    """
+
+    name: str
+    attributes: Tuple[str, ...]
+    eid: str = "EID"
+
+    def __init__(self, name: str, attributes: Sequence[str], eid: str = "EID") -> None:
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError(f"schema {name!r} must have at least one non-EID attribute")
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"schema {name!r} has duplicate attributes: {attrs}")
+        if eid in attrs:
+            raise SchemaError(f"EID attribute {eid!r} must not appear among ordinary attributes")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attrs)
+        object.__setattr__(self, "eid", eid)
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def all_attributes(self) -> Tuple[str, ...]:
+        """All attributes including EID, EID first (the paper's convention)."""
+        return (self.eid,) + self.attributes
+
+    @property
+    def arity(self) -> int:
+        """Number of ordinary (non-EID) attributes."""
+        return len(self.attributes)
+
+    def has_attribute(self, attribute: str) -> bool:
+        """Whether *attribute* is an ordinary attribute of this schema."""
+        return attribute in self.attributes
+
+    def check_attribute(self, attribute: str) -> str:
+        """Return *attribute* if valid, else raise :class:`SchemaError`."""
+        if attribute == self.eid or attribute in self.attributes:
+            return attribute
+        raise SchemaError(
+            f"unknown attribute {attribute!r} for schema {self.name!r}; "
+            f"expected one of {self.all_attributes}"
+        )
+
+    def check_attributes(self, attributes: Iterable[str]) -> Tuple[str, ...]:
+        """Validate a sequence of ordinary attributes (EID not allowed)."""
+        out = []
+        for attribute in attributes:
+            if attribute not in self.attributes:
+                raise SchemaError(
+                    f"attribute {attribute!r} is not an ordinary attribute of {self.name!r}"
+                )
+            out.append(attribute)
+        return tuple(out)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({', '.join(self.all_attributes)})"

@@ -1,0 +1,176 @@
+"""Specifications of data currency (Section 2 of the paper).
+
+A specification ``S`` consists of
+
+1. a collection of temporal instances (possibly of distinct schemas and
+   belonging to different data sources),
+2. a set of denial constraints per instance, and
+3. a collection of copy functions importing values between instances.
+
+A *consistent completion* of ``S`` completes every partial currency order to a
+total order per entity block, satisfies all denial constraints, and is
+≺-compatible with every copy function.  ``Mod(S)`` denotes the set of all
+consistent completions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.copy_function import CopyFunction
+from repro.core.denial import DenialConstraint
+from repro.core.instance import TemporalInstance
+from repro.exceptions import SpecificationError
+
+__all__ = ["Specification"]
+
+
+class Specification:
+    """A specification of data currency.
+
+    Parameters
+    ----------
+    instances:
+        Mapping from instance name to :class:`TemporalInstance`.  Instance
+        names (not schema names) identify data sources, so two sources may
+        share a schema.
+    constraints:
+        Mapping from instance name to a list of denial constraints imposed on
+        that instance.
+    copy_functions:
+        Copy functions between the named instances.
+    """
+
+    def __init__(
+        self,
+        instances: Mapping[str, TemporalInstance],
+        constraints: Optional[Mapping[str, Iterable[DenialConstraint]]] = None,
+        copy_functions: Iterable[CopyFunction] = (),
+    ) -> None:
+        self.instances: Dict[str, TemporalInstance] = dict(instances)
+        if not self.instances:
+            raise SpecificationError("a specification needs at least one temporal instance")
+        self.constraints: Dict[str, List[DenialConstraint]] = {
+            name: [] for name in self.instances
+        }
+        for name, constraint_list in (constraints or {}).items():
+            if name not in self.instances:
+                raise SpecificationError(f"constraints reference unknown instance {name!r}")
+            for constraint in constraint_list:
+                self.add_constraint(name, constraint)
+        self.copy_functions: List[CopyFunction] = []
+        for copy_function in copy_functions:
+            self.add_copy_function(copy_function)
+
+    # ------------------------------------------------------------------ #
+    # Mutation helpers (used while building specifications)
+    # ------------------------------------------------------------------ #
+    def add_constraint(self, instance_name: str, constraint: DenialConstraint) -> None:
+        """Attach a denial constraint to the named instance."""
+        instance = self.instance(instance_name)
+        if constraint.schema.name != instance.schema.name:
+            raise SpecificationError(
+                f"constraint {constraint.name!r} is over schema {constraint.schema.name!r} "
+                f"but instance {instance_name!r} has schema {instance.schema.name!r}"
+            )
+        self.constraints.setdefault(instance_name, []).append(constraint)
+
+    def add_copy_function(self, copy_function: CopyFunction) -> None:
+        """Attach a copy function; validates names, schemas and the copying condition."""
+        if copy_function.target not in self.instances:
+            raise SpecificationError(
+                f"copy function {copy_function.name!r} targets unknown instance "
+                f"{copy_function.target!r}"
+            )
+        if copy_function.source not in self.instances:
+            raise SpecificationError(
+                f"copy function {copy_function.name!r} copies from unknown instance "
+                f"{copy_function.source!r}"
+            )
+        target = self.instances[copy_function.target]
+        source = self.instances[copy_function.source]
+        if copy_function.signature.target_schema.name != target.schema.name:
+            raise SpecificationError(
+                f"copy function {copy_function.name!r}: signature target schema mismatch"
+            )
+        if copy_function.signature.source_schema.name != source.schema.name:
+            raise SpecificationError(
+                f"copy function {copy_function.name!r}: signature source schema mismatch"
+            )
+        copy_function.check_copying_condition(target, source)
+        self.copy_functions.append(copy_function)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    def instance(self, name: str) -> TemporalInstance:
+        """The temporal instance registered under *name*."""
+        try:
+            return self.instances[name]
+        except KeyError:
+            raise SpecificationError(f"unknown instance {name!r}") from None
+
+    def instance_names(self) -> List[str]:
+        """Names of all instances (sources) in the specification."""
+        return list(self.instances)
+
+    def constraints_for(self, name: str) -> List[DenialConstraint]:
+        """Denial constraints imposed on instance *name*."""
+        return list(self.constraints.get(name, []))
+
+    def copy_functions_into(self, target_name: str) -> List[CopyFunction]:
+        """Copy functions whose target is *target_name*."""
+        return [cf for cf in self.copy_functions if cf.target == target_name]
+
+    def total_size(self) -> int:
+        """Total number of tuples across all instances (used by benchmarks)."""
+        return sum(len(instance) for instance in self.instances.values())
+
+    def has_denial_constraints(self) -> bool:
+        """Whether any instance carries denial constraints (the tractability
+        boundary of Section 6)."""
+        return any(self.constraints.get(name) for name in self.instances)
+
+    # ------------------------------------------------------------------ #
+    # Completion checking
+    # ------------------------------------------------------------------ #
+    def is_consistent_completion(self, completion: Mapping[str, TemporalInstance]) -> bool:
+        """Whether *completion* (name -> completed instance) belongs to ``Mod(S)``.
+
+        Checks the three conditions of Section 2: each instance is a completion
+        of the corresponding temporal instance, satisfies its denial
+        constraints, and every copy function is ≺-compatible.
+        """
+        for name, base in self.instances.items():
+            if name not in completion:
+                return False
+            completed = completion[name]
+            if not completed.is_completion_of(base):
+                return False
+            for constraint in self.constraints.get(name, []):
+                if not constraint.satisfied_by(completed):
+                    return False
+        for copy_function in self.copy_functions:
+            target = completion[copy_function.target]
+            source = completion[copy_function.source]
+            if not copy_function.is_compatible(target, source):
+                return False
+        return True
+
+    def copy(self) -> "Specification":
+        """A structural copy (instances are deep-copied; constraints shared)."""
+        return Specification(
+            {name: instance.copy() for name, instance in self.instances.items()},
+            {name: list(cs) for name, cs in self.constraints.items()},
+            [
+                CopyFunction(cf.name, cf.signature, cf.target, cf.source, dict(cf.mapping))
+                for cf in self.copy_functions
+            ],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Specification({len(self.instances)} instances, "
+            f"{sum(len(v) for v in self.constraints.values())} constraints, "
+            f"{len(self.copy_functions)} copy functions)"
+        )

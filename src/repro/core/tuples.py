@@ -1,0 +1,109 @@
+"""Tuples of a temporal/normal instance.
+
+Tuples in the paper are identified positionally (``s1``, ``t3`` ...) because a
+temporal instance may contain duplicate value combinations that still need to
+be distinguished by the currency orders.  We therefore give every tuple an
+explicit *tuple id* (``tid``), keep the attribute values in an immutable
+mapping, and treat tuples with equal tids as the same tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterator, Mapping, Tuple
+
+from repro.core.schema import RelationSchema
+from repro.exceptions import TupleError
+
+__all__ = ["RelationTuple"]
+
+
+class RelationTuple:
+    """An immutable tuple of a relation with an explicit tuple id.
+
+    Parameters
+    ----------
+    schema:
+        The :class:`~repro.core.schema.RelationSchema` the tuple belongs to.
+    tid:
+        Hashable tuple identifier, unique within its instance (e.g. ``"s1"``).
+    values:
+        Mapping from attribute name (including the EID attribute) to value.
+    """
+
+    __slots__ = ("_schema", "_tid", "_values", "_hash")
+
+    def __init__(self, schema: RelationSchema, tid: Hashable, values: Mapping[str, Any]) -> None:
+        missing = [a for a in schema.all_attributes if a not in values]
+        if missing:
+            raise TupleError(f"tuple {tid!r} of {schema.name!r} missing attributes {missing}")
+        extra = [a for a in values if a not in schema.all_attributes]
+        if extra:
+            raise TupleError(f"tuple {tid!r} of {schema.name!r} has unknown attributes {extra}")
+        self._schema = schema
+        self._tid = tid
+        self._values: Dict[str, Any] = {a: values[a] for a in schema.all_attributes}
+        self._hash = hash((schema.name, tid))
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> RelationSchema:
+        """Schema this tuple conforms to."""
+        return self._schema
+
+    @property
+    def tid(self) -> Hashable:
+        """Tuple identifier (unique within an instance)."""
+        return self._tid
+
+    @property
+    def eid(self) -> Any:
+        """The entity id value of this tuple."""
+        return self._values[self._schema.eid]
+
+    def __getitem__(self, attribute: str) -> Any:
+        try:
+            return self._values[attribute]
+        except KeyError:
+            raise TupleError(
+                f"tuple {self._tid!r} of {self._schema.name!r} has no attribute {attribute!r}"
+            ) from None
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        """Value of *attribute*, or *default* when absent."""
+        return self._values.get(attribute, default)
+
+    def values(self) -> Dict[str, Any]:
+        """A fresh dict of attribute -> value (including EID)."""
+        return dict(self._values)
+
+    def projection(self, attributes: Tuple[str, ...]) -> Tuple[Any, ...]:
+        """Values of *attributes*, in the given order."""
+        return tuple(self[a] for a in attributes)
+
+    def value_tuple(self) -> Tuple[Any, ...]:
+        """All values in schema order (EID first); used for set semantics."""
+        return tuple(self._values[a] for a in self._schema.all_attributes)
+
+    # ------------------------------------------------------------------ #
+    # Identity / ordering plumbing
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.value_tuple())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationTuple):
+            return NotImplemented
+        return self._schema.name == other._schema.name and self._tid == other._tid
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        vals = ", ".join(f"{a}={self._values[a]!r}" for a in self._schema.all_attributes)
+        return f"{self._schema.name}[{self._tid}]({vals})"
+
+    def same_values(self, other: "RelationTuple") -> bool:
+        """Whether *other* agrees with this tuple on every attribute."""
+        return self.value_tuple() == other.value_tuple()

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the data-currency reproduction library.
+
+All library-specific errors derive from :class:`CurrencyError` so callers can
+catch a single base class.  The individual subclasses mirror the places where
+the paper's model imposes well-formedness conditions: schemas, partial orders,
+denial constraints, copy functions and specifications.
+"""
+
+from __future__ import annotations
+
+
+class CurrencyError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(CurrencyError):
+    """A relation schema is malformed or an attribute reference is invalid."""
+
+
+class TupleError(CurrencyError):
+    """A tuple does not conform to its schema."""
+
+
+class PartialOrderError(CurrencyError):
+    """A partial currency order violates irreflexivity/asymmetry/transitivity,
+    or relates tuples of distinct entities."""
+
+
+class CycleError(PartialOrderError):
+    """Adding an edge (or propagating copy constraints) created a cycle."""
+
+
+class ConstraintError(CurrencyError):
+    """A denial constraint is syntactically malformed."""
+
+
+class CopyFunctionError(CurrencyError):
+    """A copy function violates the copying condition or its signature."""
+
+
+class SpecificationError(CurrencyError):
+    """A specification of data currency is malformed."""
+
+
+class InconsistentSpecificationError(SpecificationError):
+    """Raised when an operation requires a consistent specification
+    (``Mod(S)`` non-empty) but the given one has no consistent completion."""
+
+
+class QueryError(CurrencyError):
+    """A query AST is malformed or outside the expected language fragment."""
+
+
+class EvaluationError(CurrencyError):
+    """Query evaluation failed (unbound variable, unsafe negation, ...)."""
+
+
+class SolverError(CurrencyError):
+    """The SAT/QBF substrate was used incorrectly."""
+
+
+class ReductionError(CurrencyError):
+    """A reduction was given an input outside its expected form."""

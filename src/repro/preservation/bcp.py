@@ -1,0 +1,86 @@
+"""BCP — the bounded copying problem (Section 5).
+
+``BCP(Q, S, ρ, k)``: does an extension ρ^e of ρ exist that is currency
+preserving for ``Q`` and imports at most ``k`` additional tuples
+(``|ρ^e| ≤ |ρ| + k``)?
+
+Theorem 5.3: Σp4-complete (combined, CQ/UCQ/∃FO⁺), PSPACE-complete (FO),
+Σp3-complete in data complexity; PTIME for SP queries without denial
+constraints when ``k`` is fixed (Theorem 6.4).
+
+The general solver enumerates extensions of size ≤ k and checks each with the
+CPP decision procedure — i.e. exactly the "guess an extension, then invoke the
+CPP oracle" algorithm from the upper-bound proof of Theorem 5.3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.specification import Specification
+from repro.exceptions import InconsistentSpecificationError, SpecificationError
+from repro.preservation.cpp import is_currency_preserving
+from repro.preservation.extensions import SpecificationExtension, enumerate_extensions
+from repro.query.ast import Query, SPQuery
+from repro.reasoning.cps import is_consistent
+
+__all__ = ["bounded_currency_preserving_extension", "has_bounded_extension"]
+
+AnyQuery = Union[Query, SPQuery]
+
+
+def bounded_currency_preserving_extension(
+    query: AnyQuery,
+    specification: Specification,
+    k: int,
+    method: str = "auto",
+    match_entities_by_eid: bool = True,
+) -> Optional[SpecificationExtension]:
+    """A currency-preserving extension importing at most *k* tuples, or None.
+
+    The size-zero "extension" (ρ itself) is also considered: when ρ is already
+    currency preserving, the empty extension witnesses the bound.
+    """
+    if k < 0:
+        raise SpecificationError("the bound k must be non-negative")
+    if not is_consistent(specification):
+        return None
+    if is_currency_preserving(
+        query, specification, method=method, match_entities_by_eid=match_entities_by_eid
+    ):
+        from repro.preservation.extensions import apply_imports
+
+        return apply_imports(specification, [])
+    for extension in enumerate_extensions(
+        specification, max_imports=k, match_entities_by_eid=match_entities_by_eid
+    ):
+        if not is_consistent(extension.specification):
+            continue
+        if is_currency_preserving(
+            query,
+            extension.specification,
+            method=method,
+            match_entities_by_eid=match_entities_by_eid,
+        ):
+            return extension
+    return None
+
+
+def has_bounded_extension(
+    query: AnyQuery,
+    specification: Specification,
+    k: int,
+    method: str = "auto",
+    match_entities_by_eid: bool = True,
+) -> bool:
+    """Decide BCP."""
+    return (
+        bounded_currency_preserving_extension(
+            query,
+            specification,
+            k,
+            method=method,
+            match_entities_by_eid=match_entities_by_eid,
+        )
+        is not None
+    )

@@ -1,0 +1,106 @@
+"""CPP — the currency preservation problem (Sections 4 and 5).
+
+A collection of copy functions ρ in a specification ``S`` is *currency
+preserving* for a query ``Q`` iff
+
+1. ``Mod(S)`` is non-empty, and
+2. for every extension ρ^e of ρ with ``Mod(S^e)`` non-empty, the certain
+   current answers to ``Q`` w.r.t. ``S`` and w.r.t. ``S^e`` coincide.
+
+Theorem 5.1 places the decision problem at Πp3-complete (combined, CQ/UCQ/∃FO⁺)
+and PSPACE-complete (FO), Πp2-complete in data complexity; Theorem 6.4 gives a
+PTIME algorithm for SP queries when no denial constraints are present
+(implemented in :mod:`repro.preservation.sp_fast`).
+
+The general solver enumerates ``Ext(ρ)`` explicitly (exponential in the number
+of candidate imports — exactly the behaviour the complexity results predict)
+and compares certain answers computed by the CCQA layer.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple, Union
+
+from repro.core.specification import Specification
+from repro.exceptions import InconsistentSpecificationError, SpecificationError
+from repro.preservation.extensions import SpecificationExtension, enumerate_extensions
+from repro.query.ast import Query, SPQuery
+from repro.reasoning.ccqa import certain_current_answers
+
+__all__ = ["is_currency_preserving", "find_violating_extension"]
+
+AnyQuery = Union[Query, SPQuery]
+_METHODS = ("auto", "enumerate", "sp")
+
+
+def _certain(query: AnyQuery, specification: Specification, ccqa_method: str) -> Optional[FrozenSet]:
+    try:
+        return certain_current_answers(query, specification, method=ccqa_method)
+    except InconsistentSpecificationError:
+        return None
+
+
+def find_violating_extension(
+    query: AnyQuery,
+    specification: Specification,
+    max_imports: Optional[int] = None,
+    match_entities_by_eid: bool = True,
+    ccqa_method: str = "auto",
+) -> Optional[SpecificationExtension]:
+    """A witness extension whose certain answers differ from the base ones, or
+    None when every (consistent) extension preserves them.
+
+    Raises :class:`InconsistentSpecificationError` when ``Mod(S)`` is empty —
+    in that case ρ is not currency preserving by definition and there is no
+    meaningful witness to return.
+    """
+    base_answers = _certain(query, specification, ccqa_method)
+    if base_answers is None:
+        raise InconsistentSpecificationError(
+            "the base specification has no consistent completion"
+        )
+    for extension in enumerate_extensions(
+        specification, max_imports=max_imports, match_entities_by_eid=match_entities_by_eid
+    ):
+        extended_answers = _certain(query, extension.specification, ccqa_method)
+        if extended_answers is None:
+            continue  # inconsistent extensions do not count
+        if extended_answers != base_answers:
+            return extension
+    return None
+
+
+def is_currency_preserving(
+    query: AnyQuery,
+    specification: Specification,
+    method: str = "auto",
+    max_imports: Optional[int] = None,
+    match_entities_by_eid: bool = True,
+    ccqa_method: str = "auto",
+) -> bool:
+    """Decide CPP: are the specification's copy functions currency preserving
+    for *query*?"""
+    if method not in _METHODS:
+        raise SpecificationError(f"unknown CPP method {method!r}; expected one of {_METHODS}")
+    if method == "auto":
+        if isinstance(query, SPQuery) and not specification.has_denial_constraints():
+            method = "sp"
+        else:
+            method = "enumerate"
+    if method == "sp":
+        from repro.preservation.sp_fast import sp_is_currency_preserving
+
+        return sp_is_currency_preserving(
+            query, specification, match_entities_by_eid=match_entities_by_eid
+        )
+    try:
+        witness = find_violating_extension(
+            query,
+            specification,
+            max_imports=max_imports,
+            match_entities_by_eid=match_entities_by_eid,
+            ccqa_method=ccqa_method,
+        )
+    except InconsistentSpecificationError:
+        return False
+    return witness is None

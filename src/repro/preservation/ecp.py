@@ -1,0 +1,70 @@
+"""ECP — the existence problem for currency-preserving extensions (Section 5).
+
+Proposition 5.2: for a *consistent* specification whose copy functions are not
+currency preserving for ``Q``, a currency-preserving extension always exists —
+the decision problem is O(1) (answer "yes").  The proposition's proof is
+constructive: greedily extend the copy functions with one candidate import at
+a time, skipping imports that would make the specification inconsistent, until
+no further import is possible; the resulting *maximal* extension cannot be
+extended further and is therefore trivially currency preserving.
+
+When the specification is inconsistent, the problem coincides with CPS
+(Σp2-complete / NP-complete): ρ can be made currency preserving iff ``Mod(S)``
+is non-empty, which for an inconsistent ``S`` it is not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.specification import Specification
+from repro.preservation.extensions import (
+    CandidateImport,
+    SpecificationExtension,
+    apply_imports,
+    candidate_imports,
+)
+from repro.query.ast import Query, SPQuery
+from repro.reasoning.cps import is_consistent
+
+__all__ = ["currency_preserving_extension_exists", "maximal_extension"]
+
+AnyQuery = Union[Query, SPQuery]
+
+
+def currency_preserving_extension_exists(
+    query: AnyQuery, specification: Specification
+) -> bool:
+    """Decide ECP.
+
+    For consistent specifications the answer is always True (Proposition 5.2);
+    the query is irrelevant to the decision.  For inconsistent specifications
+    no extension can be currency preserving (condition (a) of the definition
+    fails for every extension), so the answer is False.
+    """
+    del query  # the decision does not depend on the query (Proposition 5.2)
+    return is_consistent(specification)
+
+
+def maximal_extension(
+    specification: Specification,
+    match_entities_by_eid: bool = True,
+) -> SpecificationExtension:
+    """Construct a maximal (hence currency-preserving) extension greedily.
+
+    Candidate imports are considered one at a time (in a deterministic order);
+    an import is kept iff the specification extended so far plus this import
+    is still consistent.  The result admits no further consistent import, so
+    by the definition of currency preservation it preserves the certain
+    answers of every query.
+    """
+    kept: list[CandidateImport] = []
+    current = apply_imports(specification, [])
+    for candidate in candidate_imports(
+        specification, match_entities_by_eid=match_entities_by_eid
+    ):
+        trial = apply_imports(specification, kept + [candidate])
+        if is_consistent(trial.specification):
+            kept.append(candidate)
+            current = trial
+    return current

@@ -1,0 +1,204 @@
+"""Extensions of copy functions (Section 4 of the paper).
+
+An *extension* of a copy function ``ρ : Ri[~A] ⇐ Rj[~B]`` imports additional
+tuples from the source into the target:
+
+* the target instance grows by new tuples whose signature-attribute values are
+  copied verbatim from some source tuple (the signature must cover every
+  non-EID attribute of the target, so the new tuple is fully determined up to
+  its EID);
+* no new entities are introduced (``π_EID(D^e) = π_EID(D)``);
+* the extended copy function agrees with ρ wherever ρ was defined and maps
+  every new tuple to the source tuple it was copied from.
+
+``Ext(ρ)`` — all extensions of a collection of copy functions — is realised
+here as the set of non-empty subsets of *candidate imports*; a candidate
+import is a (copy function, source tuple, target entity) triple.  By default a
+source tuple is imported into the target entity carrying the same EID value
+(the workloads keep entity ids aligned across sources); set
+``match_entities_by_eid=False`` to consider every target entity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.copy_function import CopyFunction
+from repro.core.instance import TemporalInstance
+from repro.core.specification import Specification
+from repro.core.tuples import RelationTuple
+from repro.exceptions import SpecificationError
+
+__all__ = ["CandidateImport", "SpecificationExtension", "candidate_imports", "enumerate_extensions"]
+
+
+@dataclass(frozen=True)
+class CandidateImport:
+    """One potential import: copy *source_tid* of the source instance into the
+    target instance as a new tuple for entity *target_eid*."""
+
+    copy_function: str
+    source_tid: Hashable
+    target_eid: Hashable
+
+    def new_tid(self) -> str:
+        """The tuple id used for the imported tuple."""
+        return f"import::{self.copy_function}::{self.source_tid}::{self.target_eid}"
+
+
+@dataclass
+class SpecificationExtension:
+    """An element of ``Ext(ρ)`` applied to a specification.
+
+    ``imports`` lists the candidate imports realised by this extension;
+    ``specification`` is the extended specification ``S^e`` (new tuples added
+    to the target instances, copy functions extended accordingly).
+    """
+
+    base: Specification
+    imports: Tuple[CandidateImport, ...]
+    specification: Specification
+
+    @property
+    def size_increase(self) -> int:
+        """Number of additional mapped tuples (``|ρ^e| - |ρ|``)."""
+        return len(self.imports)
+
+    def describe(self) -> str:
+        """A short human-readable description (used by examples and benches)."""
+        parts = [
+            f"{imp.copy_function}: {imp.source_tid}→entity {imp.target_eid}"
+            for imp in self.imports
+        ]
+        return "; ".join(parts) if parts else "(no imports)"
+
+
+# --------------------------------------------------------------------------- #
+# Candidate enumeration
+# --------------------------------------------------------------------------- #
+def _extendable_copy_functions(specification: Specification) -> List[CopyFunction]:
+    return [
+        cf
+        for cf in specification.copy_functions
+        if cf.signature.covers_all_target_attributes()
+    ]
+
+
+def candidate_imports(
+    specification: Specification,
+    match_entities_by_eid: bool = True,
+    copy_function_names: Optional[Iterable[str]] = None,
+) -> List[CandidateImport]:
+    """All candidate imports of the specification's extendable copy functions.
+
+    A source tuple already imported (i.e. some mapped target tuple has exactly
+    its signature values for the same entity) is skipped — re-importing it
+    cannot change any completion.
+    """
+    wanted = set(copy_function_names) if copy_function_names is not None else None
+    candidates: List[CandidateImport] = []
+    for copy_function in _extendable_copy_functions(specification):
+        if wanted is not None and copy_function.name not in wanted:
+            continue
+        source = specification.instance(copy_function.source)
+        target = specification.instance(copy_function.target)
+        target_entities = target.entities()
+        for source_tuple in source.tuples():
+            if match_entities_by_eid:
+                entities = [source_tuple.eid] if source_tuple.eid in target_entities else []
+            else:
+                entities = list(target_entities)
+            for eid in entities:
+                if _already_present(copy_function, target, source_tuple, eid):
+                    continue
+                candidates.append(
+                    CandidateImport(copy_function.name, source_tuple.tid, eid)
+                )
+    return candidates
+
+
+def _already_present(
+    copy_function: CopyFunction,
+    target: TemporalInstance,
+    source_tuple: RelationTuple,
+    eid: Hashable,
+) -> bool:
+    """Whether the target already contains a *mapped* copy of *source_tuple*
+    for entity *eid* (importing it again is a no-op)."""
+    for target_tid, source_tid in copy_function.mapping.items():
+        if source_tid != source_tuple.tid:
+            continue
+        if target.tuple_by_tid(target_tid).eid == eid:
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------- #
+# Applying extensions
+# --------------------------------------------------------------------------- #
+def apply_imports(
+    specification: Specification, imports: Sequence[CandidateImport]
+) -> SpecificationExtension:
+    """Build the extended specification ``S^e`` realising *imports*."""
+    by_function: Dict[str, List[CandidateImport]] = {}
+    for imp in imports:
+        by_function.setdefault(imp.copy_function, []).append(imp)
+    functions_by_name = {cf.name: cf for cf in specification.copy_functions}
+    for name in by_function:
+        if name not in functions_by_name:
+            raise SpecificationError(f"unknown copy function {name!r} in extension")
+        if not functions_by_name[name].signature.covers_all_target_attributes():
+            raise SpecificationError(
+                f"copy function {name!r} does not cover all target attributes and "
+                "therefore cannot be extended"
+            )
+
+    extended = specification.copy()
+    new_mappings: Dict[str, Dict[Hashable, Hashable]] = {name: {} for name in by_function}
+    for name, function_imports in by_function.items():
+        copy_function = functions_by_name[name]
+        source = specification.instance(copy_function.source)
+        target_extended = extended.instance(copy_function.target)
+        target_schema = target_extended.schema
+        for imp in function_imports:
+            source_tuple = source.tuple_by_tid(imp.source_tid)
+            values = {target_schema.eid: imp.target_eid}
+            for target_attr, source_attr in copy_function.signature.pairs():
+                values[target_attr] = source_tuple[source_attr]
+            new_tid = imp.new_tid()
+            if not target_extended.has_tid(new_tid):
+                target_extended.add(RelationTuple(target_schema, new_tid, values))
+            new_mappings[name][new_tid] = imp.source_tid
+
+    extended_functions: List[CopyFunction] = []
+    for copy_function in extended.copy_functions:
+        additions = new_mappings.get(copy_function.name)
+        if additions:
+            extended_functions.append(copy_function.extended_with(additions))
+        else:
+            extended_functions.append(copy_function)
+    extended.copy_functions = extended_functions
+    return SpecificationExtension(
+        base=specification, imports=tuple(imports), specification=extended
+    )
+
+
+def enumerate_extensions(
+    specification: Specification,
+    max_imports: Optional[int] = None,
+    match_entities_by_eid: bool = True,
+    copy_function_names: Optional[Iterable[str]] = None,
+) -> Iterator[SpecificationExtension]:
+    """Enumerate ``Ext(ρ)``: every non-empty subset of candidate imports
+    (optionally capped at *max_imports* imports per extension)."""
+    candidates = candidate_imports(
+        specification,
+        match_entities_by_eid=match_entities_by_eid,
+        copy_function_names=copy_function_names,
+    )
+    upper = len(candidates) if max_imports is None else min(max_imports, len(candidates))
+    for size in range(1, upper + 1):
+        for subset in combinations(candidates, size):
+            yield apply_imports(specification, subset)

@@ -1,0 +1,393 @@
+"""Query abstract syntax: terms, first-order formulas and queries.
+
+The paper evaluates certain current answers for queries in CQ, UCQ, ∃FO⁺ and
+FO (Section 3), plus the SP fragment (selection/projection CQ queries without
+join, Section 3 after Corollary 3.6).  We model all of them with one FO AST:
+
+* terms are variables or constants;
+* atomic formulas are relation atoms (positional, EID first) and comparisons;
+* formulas are closed under ∧, ∨, ¬, ∃ and ∀;
+* a :class:`Query` is a formula with a tuple of free head variables.
+
+:class:`SPQuery` is a convenience front-end for the SP fragment that also
+exposes the attribute-level structure the PTIME algorithms of Section 6 need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.schema import RelationSchema
+from repro.exceptions import QueryError
+
+__all__ = [
+    "Var",
+    "Constant",
+    "Term",
+    "RelationAtom",
+    "Compare",
+    "And",
+    "Or",
+    "Not",
+    "Exists",
+    "ForAll",
+    "Formula",
+    "Query",
+    "SPQuery",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Terms
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Var:
+    """A query variable."""
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant value."""
+
+    value: Any
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self.value)
+
+
+Term = Union[Var, Constant]
+
+
+def _as_term(value: Any) -> Term:
+    if isinstance(value, (Var, Constant)):
+        return value
+    return Constant(value)
+
+
+# --------------------------------------------------------------------------- #
+# Formulas
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RelationAtom:
+    """A positional relation atom ``R(term_1, ..., term_n)``.
+
+    *relation* names an instance of the database the query is posed on; the
+    terms correspond positionally to the schema's attributes with EID first.
+    """
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def __init__(self, relation: str, terms: Sequence[Any]) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(_as_term(t) for t in terms))
+
+
+_COMPARE_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+@dataclass(frozen=True)
+class Compare:
+    """A comparison atom ``lhs op rhs`` between terms."""
+
+    lhs: Term
+    op: str
+    rhs: Term
+
+    def __init__(self, lhs: Any, op: str, rhs: Any) -> None:
+        if op not in _COMPARE_OPS:
+            raise QueryError(f"unknown comparison operator {op!r}")
+        object.__setattr__(self, "lhs", _as_term(lhs))
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "rhs", _as_term(rhs))
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction of sub-formulas."""
+
+    children: Tuple["Formula", ...]
+
+    def __init__(self, *children: "Formula") -> None:
+        flat: List[Formula] = []
+        for child in children:
+            if isinstance(child, And):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        object.__setattr__(self, "children", tuple(flat))
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction of sub-formulas."""
+
+    children: Tuple["Formula", ...]
+
+    def __init__(self, *children: "Formula") -> None:
+        flat: List[Formula] = []
+        for child in children:
+            if isinstance(child, Or):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        object.__setattr__(self, "children", tuple(flat))
+
+
+@dataclass(frozen=True)
+class Not:
+    """Negation."""
+
+    child: "Formula"
+
+
+@dataclass(frozen=True)
+class Exists:
+    """Existential quantification over one or more variables."""
+
+    variables: Tuple[Var, ...]
+    child: "Formula"
+
+    def __init__(self, variables: Union[Var, Iterable[Var]], child: "Formula") -> None:
+        if isinstance(variables, Var):
+            variables = (variables,)
+        object.__setattr__(self, "variables", tuple(variables))
+        object.__setattr__(self, "child", child)
+
+
+@dataclass(frozen=True)
+class ForAll:
+    """Universal quantification over one or more variables."""
+
+    variables: Tuple[Var, ...]
+    child: "Formula"
+
+    def __init__(self, variables: Union[Var, Iterable[Var]], child: "Formula") -> None:
+        if isinstance(variables, Var):
+            variables = (variables,)
+        object.__setattr__(self, "variables", tuple(variables))
+        object.__setattr__(self, "child", child)
+
+
+Formula = Union[RelationAtom, Compare, And, Or, Not, Exists, ForAll]
+
+
+def formula_variables(formula: Formula) -> FrozenSet[str]:
+    """All variable names occurring in *formula* (bound or free)."""
+    if isinstance(formula, RelationAtom):
+        return frozenset(t.name for t in formula.terms if isinstance(t, Var))
+    if isinstance(formula, Compare):
+        return frozenset(t.name for t in (formula.lhs, formula.rhs) if isinstance(t, Var))
+    if isinstance(formula, (And, Or)):
+        out: FrozenSet[str] = frozenset()
+        for child in formula.children:
+            out |= formula_variables(child)
+        return out
+    if isinstance(formula, Not):
+        return formula_variables(formula.child)
+    if isinstance(formula, (Exists, ForAll)):
+        return formula_variables(formula.child) | frozenset(v.name for v in formula.variables)
+    raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
+def free_variables(formula: Formula) -> FrozenSet[str]:
+    """Free variable names of *formula*."""
+    if isinstance(formula, RelationAtom):
+        return frozenset(t.name for t in formula.terms if isinstance(t, Var))
+    if isinstance(formula, Compare):
+        return frozenset(t.name for t in (formula.lhs, formula.rhs) if isinstance(t, Var))
+    if isinstance(formula, (And, Or)):
+        out: FrozenSet[str] = frozenset()
+        for child in formula.children:
+            out |= free_variables(child)
+        return out
+    if isinstance(formula, Not):
+        return free_variables(formula.child)
+    if isinstance(formula, (Exists, ForAll)):
+        return free_variables(formula.child) - frozenset(v.name for v in formula.variables)
+    raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
+def relations_used(formula: Formula) -> FrozenSet[str]:
+    """Relation (instance) names mentioned in *formula*."""
+    if isinstance(formula, RelationAtom):
+        return frozenset({formula.relation})
+    if isinstance(formula, Compare):
+        return frozenset()
+    if isinstance(formula, (And, Or)):
+        out: FrozenSet[str] = frozenset()
+        for child in formula.children:
+            out |= relations_used(child)
+        return out
+    if isinstance(formula, Not):
+        return relations_used(formula.child)
+    if isinstance(formula, (Exists, ForAll)):
+        return relations_used(formula.child)
+    raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
+def query_constants(formula: Formula) -> FrozenSet[Any]:
+    """Constants occurring in *formula* (part of the active domain)."""
+    if isinstance(formula, RelationAtom):
+        return frozenset(t.value for t in formula.terms if isinstance(t, Constant))
+    if isinstance(formula, Compare):
+        return frozenset(
+            t.value for t in (formula.lhs, formula.rhs) if isinstance(t, Constant)
+        )
+    if isinstance(formula, (And, Or)):
+        out: FrozenSet[Any] = frozenset()
+        for child in formula.children:
+            out |= query_constants(child)
+        return out
+    if isinstance(formula, Not):
+        return query_constants(formula.child)
+    if isinstance(formula, (Exists, ForAll)):
+        return query_constants(formula.child)
+    raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# Queries
+# --------------------------------------------------------------------------- #
+class Query:
+    """A query ``Q(x1, ..., xk) = formula`` with free head variables.
+
+    Boolean queries have an empty head; their answer is either ``{()}``
+    ("true") or ``{}`` ("false").
+    """
+
+    def __init__(self, head: Sequence[Var], formula: Formula, name: str = "Q") -> None:
+        self.head: Tuple[Var, ...] = tuple(head)
+        self.formula = formula
+        self.name = name
+        head_names = {v.name for v in self.head}
+        free = free_variables(formula)
+        unbound = head_names - free
+        if unbound:
+            raise QueryError(
+                f"head variables {sorted(unbound)} of query {name!r} do not occur freely "
+                "in the body"
+            )
+        dangling = free - head_names
+        if dangling:
+            raise QueryError(
+                f"free body variables {sorted(dangling)} of query {name!r} are not in the head; "
+                "quantify them explicitly"
+            )
+
+    @property
+    def arity(self) -> int:
+        """Number of head variables."""
+        return len(self.head)
+
+    def relations(self) -> FrozenSet[str]:
+        """Relation (instance) names the query refers to."""
+        return relations_used(self.formula)
+
+    def constants(self) -> FrozenSet[Any]:
+        """Constants mentioned in the query."""
+        return query_constants(self.formula)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = ", ".join(v.name for v in self.head)
+        return f"Query {self.name}({head})"
+
+
+class SPQuery:
+    """An SP query: selection and projection on a single relation.
+
+    ``Q(~x) = ∃ e, ~y (R(e, ~x, ~y) ∧ ψ)`` where ψ is a conjunction of equality
+    atoms (attribute = constant or attribute = attribute) and no variable
+    repeats in the relation atom.  SP queries support projection and selection
+    only — the queries Q1–Q4 of Example 1.1 are SP queries.
+
+    Parameters
+    ----------
+    relation:
+        Name of the (single) instance the query is posed on.
+    schema:
+        Schema of that instance.
+    projection:
+        Ordinary attributes to project on, in output order.
+    eq_const:
+        Selection conditions ``attribute = constant``.
+    eq_attr:
+        Selection conditions ``attribute = attribute``.
+    """
+
+    def __init__(
+        self,
+        relation: str,
+        schema: RelationSchema,
+        projection: Sequence[str],
+        eq_const: Optional[Dict[str, Any]] = None,
+        eq_attr: Optional[Iterable[Tuple[str, str]]] = None,
+        name: str = "Q",
+    ) -> None:
+        self.relation = relation
+        self.schema = schema
+        self.projection: Tuple[str, ...] = schema.check_attributes(projection)
+        self.eq_const: Dict[str, Any] = dict(eq_const or {})
+        schema.check_attributes(self.eq_const.keys())
+        self.eq_attr: Tuple[Tuple[str, str], ...] = tuple(eq_attr or ())
+        for left, right in self.eq_attr:
+            schema.check_attributes([left, right])
+        self.name = name
+        if not self.projection:
+            raise QueryError(f"SP query {name!r} must project at least one attribute")
+
+    @property
+    def arity(self) -> int:
+        """Number of projected attributes."""
+        return len(self.projection)
+
+    def selection_attributes(self) -> FrozenSet[str]:
+        """Attributes constrained by the selection condition ψ."""
+        out = set(self.eq_const)
+        for left, right in self.eq_attr:
+            out.add(left)
+            out.add(right)
+        return frozenset(out)
+
+    def relevant_attributes(self) -> FrozenSet[str]:
+        """Attributes that are projected on or involved in selections."""
+        return frozenset(self.projection) | self.selection_attributes()
+
+    def is_identity(self) -> bool:
+        """Whether this is an identity query (ψ is a tautology, all attributes
+        projected)."""
+        return (
+            not self.eq_const
+            and not self.eq_attr
+            and tuple(self.projection) == tuple(self.schema.attributes)
+        )
+
+    def to_query(self) -> Query:
+        """The equivalent :class:`Query` (for the generic evaluator)."""
+        eid_var = Var("_eid")
+        attribute_vars = {a: Var(f"_{a}") for a in self.schema.attributes}
+        atom = RelationAtom(
+            self.relation, (eid_var,) + tuple(attribute_vars[a] for a in self.schema.attributes)
+        )
+        conjuncts: List[Formula] = [atom]
+        for attribute, value in self.eq_const.items():
+            conjuncts.append(Compare(attribute_vars[attribute], "=", Constant(value)))
+        for left, right in self.eq_attr:
+            conjuncts.append(Compare(attribute_vars[left], "=", attribute_vars[right]))
+        body: Formula = And(*conjuncts) if len(conjuncts) > 1 else conjuncts[0]
+        head = tuple(attribute_vars[a] for a in self.projection)
+        bound = [eid_var] + [
+            attribute_vars[a] for a in self.schema.attributes if a not in self.projection
+        ]
+        if bound:
+            body = Exists(tuple(bound), body)
+        return Query(head, body, name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SPQuery {self.name}: π_{list(self.projection)} σ({self.eq_const}) {self.relation}"

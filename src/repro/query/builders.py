@@ -1,0 +1,61 @@
+"""Ergonomic constructors for common query shapes.
+
+These helpers keep the reductions and workloads readable: conjunctive queries
+are assembled from atom lists, and variables are created in bulk.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.query.ast import (
+    And,
+    Compare,
+    Constant,
+    Exists,
+    Formula,
+    Or,
+    Query,
+    RelationAtom,
+    Var,
+    free_variables,
+)
+
+__all__ = ["variables", "conjunctive_query", "union_query", "atom", "eq"]
+
+
+def variables(*names: str) -> Tuple[Var, ...]:
+    """Create several variables at once: ``x, y = variables("x", "y")``."""
+    return tuple(Var(name) for name in names)
+
+
+def atom(relation: str, *terms: Any) -> RelationAtom:
+    """A relation atom; plain Python values become constants."""
+    return RelationAtom(relation, terms)
+
+
+def eq(lhs: Any, rhs: Any) -> Compare:
+    """An equality atom."""
+    return Compare(lhs, "=", rhs)
+
+
+def conjunctive_query(
+    head: Sequence[Var],
+    atoms: Iterable[Formula],
+    name: str = "Q",
+) -> Query:
+    """Build a CQ: conjunction of *atoms* with all non-head variables
+    existentially quantified."""
+    conjuncts: List[Formula] = list(atoms)
+    body: Formula = And(*conjuncts) if len(conjuncts) != 1 else conjuncts[0]
+    head_names = {v.name for v in head}
+    bound = sorted(free_variables(body) - head_names)
+    if bound:
+        body = Exists(tuple(Var(name) for name in bound), body)
+    return Query(head, body, name=name)
+
+
+def union_query(head: Sequence[Var], disjuncts: Iterable[Query], name: str = "Q") -> Query:
+    """Build a UCQ from CQ queries sharing the same head arity."""
+    bodies = [q.formula for q in disjuncts]
+    return Query(head, Or(*bodies), name=name)

@@ -1,0 +1,109 @@
+"""Classification of queries into the paper's language fragments.
+
+The complexity of CCQA/CPP/BCP depends on the query language ``L_Q``
+(Tables II and III): CQ, UCQ, ∃FO⁺, FO — plus the SP fragment of CQ used in
+the tractable cases of Section 6.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.query.ast import (
+    And,
+    Compare,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    Query,
+    RelationAtom,
+    SPQuery,
+)
+
+__all__ = [
+    "QueryLanguage",
+    "is_conjunctive",
+    "is_union_of_conjunctive",
+    "is_positive_existential",
+    "is_first_order",
+    "classify",
+]
+
+
+class QueryLanguage:
+    """Symbolic names of the query languages studied in the paper."""
+
+    SP = "SP"
+    CQ = "CQ"
+    UCQ = "UCQ"
+    EFO_PLUS = "∃FO+"
+    FO = "FO"
+
+    ORDERED = (SP, CQ, UCQ, EFO_PLUS, FO)
+
+
+def _is_cq_formula(formula: Formula, equality_only: bool = True) -> bool:
+    """Conjunctive: atoms, equality comparisons, ∧ and ∃ only."""
+    if isinstance(formula, RelationAtom):
+        return True
+    if isinstance(formula, Compare):
+        return formula.op == "=" if equality_only else True
+    if isinstance(formula, And):
+        return all(_is_cq_formula(child, equality_only) for child in formula.children)
+    if isinstance(formula, Exists):
+        return _is_cq_formula(formula.child, equality_only)
+    return False
+
+
+def _is_positive_formula(formula: Formula) -> bool:
+    if isinstance(formula, (RelationAtom, Compare)):
+        return True
+    if isinstance(formula, (And, Or)):
+        return all(_is_positive_formula(child) for child in formula.children)
+    if isinstance(formula, Exists):
+        return _is_positive_formula(formula.child)
+    return False
+
+
+def is_conjunctive(query: Union[Query, SPQuery]) -> bool:
+    """Whether the query is in CQ."""
+    if isinstance(query, SPQuery):
+        return True
+    return _is_cq_formula(query.formula)
+
+
+def is_union_of_conjunctive(query: Union[Query, SPQuery]) -> bool:
+    """Whether the query is in UCQ (a top-level union of CQ bodies)."""
+    if isinstance(query, SPQuery):
+        return True
+    formula = query.formula
+    if isinstance(formula, Or):
+        return all(_is_cq_formula(child) for child in formula.children)
+    return _is_cq_formula(formula)
+
+
+def is_positive_existential(query: Union[Query, SPQuery]) -> bool:
+    """Whether the query is in ∃FO⁺ (no negation, no universal quantifier)."""
+    if isinstance(query, SPQuery):
+        return True
+    return _is_positive_formula(query.formula)
+
+
+def is_first_order(query: Union[Query, SPQuery]) -> bool:
+    """Every query of this library is first-order."""
+    return True
+
+
+def classify(query: Union[Query, SPQuery]) -> str:
+    """The smallest fragment of ``{SP, CQ, UCQ, ∃FO+, FO}`` containing *query*."""
+    if isinstance(query, SPQuery):
+        return QueryLanguage.SP
+    if is_conjunctive(query):
+        return QueryLanguage.CQ
+    if is_union_of_conjunctive(query):
+        return QueryLanguage.UCQ
+    if is_positive_existential(query):
+        return QueryLanguage.EFO_PLUS
+    return QueryLanguage.FO

@@ -1,0 +1,263 @@
+"""Query evaluation over databases of normal instances.
+
+Queries are posed on *current instances*, which are normal instances carrying
+no currency orders (Section 2).  A *database* here is a mapping from instance
+name to :class:`~repro.core.instance.NormalInstance`.
+
+Two evaluation strategies are used:
+
+* positive existential formulas (CQ, UCQ, ∃FO⁺) are evaluated by structural
+  enumeration of satisfying assignments (backtracking joins);
+* full FO (with ¬ and ∀) is evaluated with active-domain semantics, as is
+  standard for the certain-answer constructions in the paper's reductions.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Dict, FrozenSet, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.core.instance import NormalInstance
+from repro.exceptions import EvaluationError
+from repro.query.ast import (
+    And,
+    Compare,
+    Constant,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    Query,
+    RelationAtom,
+    SPQuery,
+    Var,
+    query_constants,
+)
+
+__all__ = ["Database", "active_domain", "evaluate", "evaluate_boolean", "holds"]
+
+Database = Mapping[str, NormalInstance]
+Assignment = Dict[str, Any]
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+def active_domain(database: Database, query: Optional[Query] = None) -> List[Any]:
+    """The active domain: all constants in the database plus query constants."""
+    domain: Set[Any] = set()
+    for instance in database.values():
+        for row in instance.value_set():
+            domain.update(row)
+    if query is not None:
+        domain.update(query.constants())
+    # a deterministic order keeps evaluation reproducible
+    return sorted(domain, key=repr)
+
+
+def _is_positive_existential(formula: Formula) -> bool:
+    if isinstance(formula, (RelationAtom, Compare)):
+        return True
+    if isinstance(formula, (And, Or)):
+        return all(_is_positive_existential(child) for child in formula.children)
+    if isinstance(formula, Exists):
+        return _is_positive_existential(formula.child)
+    return False
+
+
+def _term_value(term: Any, assignment: Assignment) -> Tuple[bool, Any]:
+    """(is_bound, value) of a term under *assignment*."""
+    if isinstance(term, Constant):
+        return True, term.value
+    if isinstance(term, Var):
+        if term.name in assignment:
+            return True, assignment[term.name]
+        return False, None
+    raise EvaluationError(f"unexpected term {term!r}")
+
+
+def _relation_rows(database: Database, relation: str) -> FrozenSet[Tuple[Any, ...]]:
+    try:
+        instance = database[relation]
+    except KeyError:
+        raise EvaluationError(f"query refers to unknown relation {relation!r}") from None
+    return instance.value_set()
+
+
+# --------------------------------------------------------------------------- #
+# Positive-existential evaluation by structural enumeration
+# --------------------------------------------------------------------------- #
+def _match_atom(
+    atom: RelationAtom, assignment: Assignment, database: Database
+) -> Iterator[Assignment]:
+    rows = _relation_rows(database, atom.relation)
+    arity = len(atom.terms)
+    for row in rows:
+        if len(row) != arity:
+            raise EvaluationError(
+                f"atom over {atom.relation!r} has arity {arity} but the relation has "
+                f"arity {len(row)}"
+            )
+        extended = dict(assignment)
+        ok = True
+        for term, value in zip(atom.terms, row):
+            bound, current = _term_value(term, extended)
+            if bound:
+                if current != value:
+                    ok = False
+                    break
+            else:
+                extended[term.name] = value
+        if ok:
+            yield extended
+
+
+def _match_compare(
+    comparison: Compare, assignment: Assignment
+) -> Iterator[Assignment]:
+    lhs_bound, lhs = _term_value(comparison.lhs, assignment)
+    rhs_bound, rhs = _term_value(comparison.rhs, assignment)
+    if lhs_bound and rhs_bound:
+        if _COMPARATORS[comparison.op](lhs, rhs):
+            yield assignment
+        return
+    if comparison.op == "=" and lhs_bound != rhs_bound:
+        extended = dict(assignment)
+        if lhs_bound:
+            extended[comparison.rhs.name] = lhs  # type: ignore[union-attr]
+        else:
+            extended[comparison.lhs.name] = rhs  # type: ignore[union-attr]
+        yield extended
+        return
+    raise EvaluationError(
+        f"comparison {comparison} is unsafe at evaluation time (unbound variables)"
+    )
+
+
+def _ordered_children(children: Tuple[Formula, ...]) -> List[Formula]:
+    """Evaluate relation atoms and nested structures before comparisons, so
+    comparisons see bound variables (standard safe-CQ evaluation order)."""
+    binding = [c for c in children if not isinstance(c, Compare)]
+    filters = [c for c in children if isinstance(c, Compare)]
+    return binding + filters
+
+
+def _enumerate(
+    formula: Formula, assignment: Assignment, database: Database
+) -> Iterator[Assignment]:
+    if isinstance(formula, RelationAtom):
+        yield from _match_atom(formula, assignment, database)
+        return
+    if isinstance(formula, Compare):
+        yield from _match_compare(formula, assignment)
+        return
+    if isinstance(formula, And):
+        children = _ordered_children(formula.children)
+
+        def recurse(index: int, current: Assignment) -> Iterator[Assignment]:
+            if index == len(children):
+                yield current
+                return
+            for extended in _enumerate(children[index], current, database):
+                yield from recurse(index + 1, extended)
+
+        yield from recurse(0, assignment)
+        return
+    if isinstance(formula, Or):
+        for child in formula.children:
+            yield from _enumerate(child, assignment, database)
+        return
+    if isinstance(formula, Exists):
+        quantified = {v.name for v in formula.variables}
+        for extended in _enumerate(formula.child, assignment, database):
+            yield {k: v for k, v in extended.items() if k not in quantified or k in assignment}
+        return
+    raise EvaluationError(
+        f"node {type(formula).__name__} is not part of the positive-existential fragment"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Full FO evaluation with active-domain semantics
+# --------------------------------------------------------------------------- #
+def holds(
+    formula: Formula,
+    assignment: Assignment,
+    database: Database,
+    domain: List[Any],
+) -> bool:
+    """Whether *formula* holds under *assignment* with active-domain quantifiers."""
+    if isinstance(formula, RelationAtom):
+        row = []
+        for term in formula.terms:
+            bound, value = _term_value(term, assignment)
+            if not bound:
+                raise EvaluationError(f"unbound variable {term!r} in relation atom")
+            row.append(value)
+        return tuple(row) in _relation_rows(database, formula.relation)
+    if isinstance(formula, Compare):
+        lhs_bound, lhs = _term_value(formula.lhs, assignment)
+        rhs_bound, rhs = _term_value(formula.rhs, assignment)
+        if not (lhs_bound and rhs_bound):
+            raise EvaluationError(f"unbound variable in comparison {formula}")
+        return _COMPARATORS[formula.op](lhs, rhs)
+    if isinstance(formula, And):
+        return all(holds(child, assignment, database, domain) for child in formula.children)
+    if isinstance(formula, Or):
+        return any(holds(child, assignment, database, domain) for child in formula.children)
+    if isinstance(formula, Not):
+        return not holds(formula.child, assignment, database, domain)
+    if isinstance(formula, Exists):
+        names = [v.name for v in formula.variables]
+        for values in product(domain, repeat=len(names)):
+            extended = dict(assignment)
+            extended.update(zip(names, values))
+            if holds(formula.child, extended, database, domain):
+                return True
+        return False
+    if isinstance(formula, ForAll):
+        names = [v.name for v in formula.variables]
+        for values in product(domain, repeat=len(names)):
+            extended = dict(assignment)
+            extended.update(zip(names, values))
+            if not holds(formula.child, extended, database, domain):
+                return False
+        return True
+    raise EvaluationError(f"unknown formula node {type(formula).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# Public entry points
+# --------------------------------------------------------------------------- #
+def evaluate(query: Query | SPQuery, database: Database) -> FrozenSet[Tuple[Any, ...]]:
+    """Evaluate *query* on *database*; returns the set of answer tuples."""
+    if isinstance(query, SPQuery):
+        query = query.to_query()
+    head_names = [v.name for v in query.head]
+    if _is_positive_existential(query.formula):
+        answers: Set[Tuple[Any, ...]] = set()
+        for assignment in _enumerate(query.formula, {}, database):
+            answers.add(tuple(assignment[name] for name in head_names))
+        return frozenset(answers)
+    domain = active_domain(database, query)
+    answers = set()
+    for values in product(domain, repeat=len(head_names)):
+        assignment = dict(zip(head_names, values))
+        if holds(query.formula, assignment, database, domain):
+            answers.add(tuple(values))
+    return frozenset(answers)
+
+
+def evaluate_boolean(query: Query | SPQuery, database: Database) -> bool:
+    """Evaluate a Boolean query (empty head): True iff the answer is ``{()}``."""
+    return bool(evaluate(query, database))

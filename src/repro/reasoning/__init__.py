@@ -1,0 +1,27 @@
+"""Reasoning about data currency: CPS, COP, DCIP and CCQA (Sections 3 and 6)."""
+
+from repro.reasoning.ccqa import (
+    UnknownValue,
+    certain_current_answers,
+    is_certain_answer,
+    sp_certain_answers,
+)
+from repro.reasoning.chase import ChaseResult, chase_certain_orders
+from repro.reasoning.cop import certain_ordering
+from repro.reasoning.cps import is_consistent
+from repro.reasoning.current_db import CurrentDatabaseEnumerator
+from repro.reasoning.dcip import is_deterministic, realizable_maxima
+
+__all__ = [
+    "is_consistent",
+    "certain_ordering",
+    "is_deterministic",
+    "realizable_maxima",
+    "certain_current_answers",
+    "is_certain_answer",
+    "sp_certain_answers",
+    "UnknownValue",
+    "chase_certain_orders",
+    "ChaseResult",
+    "CurrentDatabaseEnumerator",
+]

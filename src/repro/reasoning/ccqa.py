@@ -1,0 +1,196 @@
+"""CCQA — certain current query answering (Sections 2, 3 and 6).
+
+A tuple ``t`` is a *certain current answer* to a query ``Q`` w.r.t. a
+specification ``S`` iff ``t ∈ Q(LST(D^c))`` for every consistent completion
+``D^c ∈ Mod(S)``.
+
+Theorem 3.5 places the decision problem at Πp2-complete (combined, CQ/UCQ/∃FO⁺)
+and PSPACE-complete (FO), coNP-complete in data complexity — and the lower
+bounds need neither denial constraints nor copy functions (Corollary 3.6).
+Proposition 6.3 gives a PTIME algorithm for SP queries when no denial
+constraints are present; Corollary 3.7 shows that with denial constraints even
+identity queries stay intractable.
+
+Strategies
+----------
+* ``"enumerate"``   — exhaustive enumeration of ``Mod(S)`` (ground truth).
+* ``"candidates"``  — enumeration of realizable *current databases* via the
+  SAT-backed :class:`~repro.reasoning.current_db.CurrentDatabaseEnumerator`
+  (the default general path).
+* ``"sp"``          — the PTIME algorithm of Proposition 6.3 (SP queries, no
+  denial constraints).
+* ``"auto"``        — picks ``"sp"`` when applicable, ``"candidates"`` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, Optional, Set, Tuple, Union
+
+from repro.core.completion import consistent_completions
+from repro.core.current import current_database
+from repro.core.instance import NormalInstance
+from repro.core.specification import Specification
+from repro.core.tuples import RelationTuple
+from repro.exceptions import InconsistentSpecificationError, QueryError, SpecificationError
+from repro.query.ast import Query, SPQuery
+from repro.query.evaluator import evaluate
+from repro.reasoning.chase import chase_certain_orders
+from repro.reasoning.current_db import CurrentDatabaseEnumerator
+
+__all__ = [
+    "certain_current_answers",
+    "is_certain_answer",
+    "sp_certain_answers",
+    "UnknownValue",
+]
+
+AnyQuery = Union[Query, SPQuery]
+_METHODS = ("auto", "enumerate", "candidates", "sp")
+
+
+class UnknownValue:
+    """A fresh constant ``c_{e,A}`` marking a cell with several possible
+    current values (Proposition 6.3).  Unknown values compare equal only to
+    themselves, so any selection or join condition touching them fails and the
+    corresponding answer tuples are discarded."""
+
+    __slots__ = ("entity", "attribute")
+
+    def __init__(self, entity: Any, attribute: str) -> None:
+        self.entity = entity
+        self.attribute = attribute
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"⊥({self.entity},{self.attribute})"
+
+    def __hash__(self) -> int:
+        return hash((id(self),))
+
+
+def _query_relations(query: AnyQuery) -> Tuple[str, ...]:
+    if isinstance(query, SPQuery):
+        return (query.relation,)
+    return tuple(sorted(query.relations()))
+
+
+# --------------------------------------------------------------------------- #
+# General strategies
+# --------------------------------------------------------------------------- #
+def _answers_by_enumeration(query: AnyQuery, specification: Specification) -> Optional[FrozenSet]:
+    """Intersection of Q over all consistent completions; None when Mod(S)=∅."""
+    intersection: Optional[Set[Tuple[Any, ...]]] = None
+    for completion in consistent_completions(specification):
+        database = current_database(completion)
+        answers = set(evaluate(query, database))
+        intersection = answers if intersection is None else (intersection & answers)
+        if intersection is not None and not intersection:
+            # keep scanning only to confirm consistency was already witnessed
+            return frozenset()
+    if intersection is None:
+        return None
+    return frozenset(intersection)
+
+
+def _answers_by_candidates(query: AnyQuery, specification: Specification) -> Optional[FrozenSet]:
+    """Intersection of Q over realizable current databases; None when Mod(S)=∅."""
+    enumerator = CurrentDatabaseEnumerator(specification, relations=_query_relations(query))
+    intersection: Optional[Set[Tuple[Any, ...]]] = None
+    for database in enumerator.databases():
+        answers = set(evaluate(query, database))
+        intersection = answers if intersection is None else (intersection & answers)
+        if intersection is not None and not intersection:
+            return frozenset()
+    if intersection is None:
+        return None
+    return frozenset(intersection)
+
+
+# --------------------------------------------------------------------------- #
+# SP / no denial constraints: Proposition 6.3
+# --------------------------------------------------------------------------- #
+def sp_certain_answers(query: SPQuery, specification: Specification) -> Optional[FrozenSet]:
+    """The PTIME algorithm of Proposition 6.3.
+
+    Requires an SP query and a specification without denial constraints.
+    Returns None when ``Mod(S)`` is empty.
+    """
+    if specification.has_denial_constraints():
+        raise SpecificationError(
+            "the SP algorithm applies only to specifications without denial constraints"
+        )
+    if not isinstance(query, SPQuery):
+        raise QueryError("sp_certain_answers() requires an SPQuery")
+    chase = chase_certain_orders(specification)
+    if not chase.consistent:
+        return None
+    instance = specification.instance(query.relation)
+    schema = instance.schema
+    poss = NormalInstance(schema)
+    for eid in instance.entities():
+        block = instance.entity_tids(eid)
+        values: Dict[str, Any] = {schema.eid: eid}
+        for attribute in schema.attributes:
+            order = chase.orders[(query.relation, attribute)]
+            sinks = order.maxima(block)
+            sink_values = {instance.tuple_by_tid(tid)[attribute] for tid in sinks}
+            if len(sink_values) == 1:
+                values[attribute] = next(iter(sink_values))
+            else:
+                values[attribute] = UnknownValue(eid, attribute)
+        poss.add(RelationTuple(schema, f"poss::{eid}", values))
+    answers = evaluate(query, {query.relation: poss})
+    return frozenset(
+        row for row in answers if not any(isinstance(value, UnknownValue) for value in row)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Public API
+# --------------------------------------------------------------------------- #
+def certain_current_answers(
+    query: AnyQuery,
+    specification: Specification,
+    method: str = "auto",
+) -> FrozenSet[Tuple[Any, ...]]:
+    """The set of certain current answers to *query* w.r.t. *specification*.
+
+    Raises :class:`InconsistentSpecificationError` when ``Mod(S)`` is empty
+    (every tuple would be vacuously certain; there is no meaningful answer
+    set to return).
+    """
+    if method not in _METHODS:
+        raise SpecificationError(f"unknown CCQA method {method!r}; expected one of {_METHODS}")
+    if method == "auto":
+        if isinstance(query, SPQuery) and not specification.has_denial_constraints():
+            method = "sp"
+        else:
+            method = "candidates"
+    if method == "sp":
+        answers = sp_certain_answers(query, specification)  # type: ignore[arg-type]
+    elif method == "enumerate":
+        answers = _answers_by_enumeration(query, specification)
+    else:
+        answers = _answers_by_candidates(query, specification)
+    if answers is None:
+        raise InconsistentSpecificationError(
+            "the specification has no consistent completion; certain answers are vacuous"
+        )
+    return answers
+
+
+def is_certain_answer(
+    query: AnyQuery,
+    answer: Tuple[Any, ...],
+    specification: Specification,
+    method: str = "auto",
+) -> bool:
+    """Decide CCQA for a single candidate tuple.
+
+    Follows the paper's convention that the problem is vacuously true when the
+    specification is inconsistent.
+    """
+    try:
+        answers = certain_current_answers(query, specification, method=method)
+    except InconsistentSpecificationError:
+        return True
+    return tuple(answer) in answers

@@ -1,0 +1,50 @@
+"""CPS — the consistency problem for specifications (Section 3).
+
+``CPS(S)``: is ``Mod(S)`` non-empty?  Theorem 3.1 places the problem at
+Σp2-complete (combined) / NP-complete (data); Theorem 6.1 shows it drops to
+PTIME when no denial constraints are present.
+
+Three strategies are provided:
+
+* ``"chase"`` — the PTIME fixpoint algorithm (complete only without denial
+  constraints);
+* ``"sat"``   — the guess-and-check algorithm of Theorem 3.1, realised as one
+  SAT call on the completion encoding;
+* ``"enumerate"`` — exhaustive enumeration of completions (ground truth for
+  tests; exponential).
+
+``"auto"`` picks the chase when the specification carries no denial
+constraints and SAT otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.completion import first_consistent_completion
+from repro.core.specification import Specification
+from repro.exceptions import SpecificationError
+from repro.reasoning.chase import chase_certain_orders
+from repro.solvers.order_encoding import CompletionEncoder
+
+__all__ = ["is_consistent"]
+
+_METHODS = ("auto", "chase", "sat", "enumerate")
+
+
+def is_consistent(specification: Specification, method: str = "auto") -> bool:
+    """Decide CPS: whether the specification has a consistent completion."""
+    if method not in _METHODS:
+        raise SpecificationError(f"unknown CPS method {method!r}; expected one of {_METHODS}")
+    if method == "auto":
+        method = "chase" if not specification.has_denial_constraints() else "sat"
+    if method == "chase":
+        if specification.has_denial_constraints():
+            raise SpecificationError(
+                "the chase decides CPS only for specifications without denial constraints; "
+                "use method='sat' or 'auto'"
+            )
+        return chase_certain_orders(specification).consistent
+    if method == "sat":
+        return CompletionEncoder(specification).satisfiable()
+    return first_consistent_completion(specification) is not None

@@ -1,0 +1,127 @@
+"""Enumeration of realizable current databases.
+
+The current instance ``LST(D^c)`` of a consistent completion is determined by
+the choice, per (instance, entity, attribute), of the *maximal* tuple of the
+entity block.  To enumerate the distinct current databases of ``Mod(S)``
+without enumerating all completions, we augment the completion encoding with
+one auxiliary Boolean "maximality" variable per candidate tuple and enumerate
+SAT models *projected* onto those variables — each projected model is one
+realizable current database.
+
+This is the optimisation called "sink-candidate enumeration" in DESIGN.md and
+is ablated against full completion enumeration in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.instance import NormalInstance
+from repro.core.specification import Specification
+from repro.core.tuples import RelationTuple
+from repro.solvers.order_encoding import CompletionEncoder
+from repro.solvers.sat import iterate_models
+
+__all__ = ["CurrentDatabaseEnumerator"]
+
+MaxVariable = Tuple[str, str, Hashable, Hashable, str]  # ("max", instance, eid, tid, attribute)
+
+
+class CurrentDatabaseEnumerator:
+    """Enumerate the realizable current databases of a specification.
+
+    Parameters
+    ----------
+    specification:
+        The specification ``S``.
+    relations:
+        Instance names whose current instances are needed (e.g. the relations
+        a query refers to).  Defaults to all instances.
+    """
+
+    def __init__(
+        self, specification: Specification, relations: Optional[Iterable[str]] = None
+    ) -> None:
+        self.specification = specification
+        self.relations: List[str] = (
+            list(relations) if relations is not None else specification.instance_names()
+        )
+        for name in self.relations:
+            specification.instance(name)  # validates the name
+        self.encoder = CompletionEncoder(specification)
+        self._max_variables: List[MaxVariable] = []
+        self._add_maximality_variables()
+
+    # ------------------------------------------------------------------ #
+    def _max_name(self, instance: str, eid: Any, tid: Hashable, attribute: str) -> MaxVariable:
+        return ("max", instance, eid, tid, attribute)
+
+    def _add_maximality_variables(self) -> None:
+        cnf = self.encoder.cnf
+        for name in self.relations:
+            instance = self.specification.instance(name)
+            for eid in instance.entities():
+                block = instance.entity_tids(eid)
+                for attribute in instance.schema.attributes:
+                    for tid in block:
+                        max_var = self._max_name(name, eid, tid, attribute)
+                        self._max_variables.append(max_var)
+                        others = [other for other in block if other != tid]
+                        if not others:
+                            cnf.add_unit(max_var, True)
+                            continue
+                        pair_vars = [
+                            self.encoder.pair_name(name, attribute, other, tid)
+                            for other in others
+                        ]
+                        # max ↔ ∧_other (other ≺ tid)
+                        for pair in pair_vars:
+                            cnf.add_named_clause([(max_var, False), (pair, True)])
+                        cnf.add_named_clause(
+                            [(pair, False) for pair in pair_vars] + [(max_var, True)]
+                        )
+
+    # ------------------------------------------------------------------ #
+    def _decode(self, model: Dict[int, bool]) -> Dict[str, NormalInstance]:
+        named = self.encoder.cnf.decode_model(model)
+        database: Dict[str, NormalInstance] = {}
+        for name in self.relations:
+            instance = self.specification.instance(name)
+            current = NormalInstance(instance.schema)
+            for eid in instance.entities():
+                values: Dict[str, Any] = {instance.schema.eid: eid}
+                for attribute in instance.schema.attributes:
+                    chosen: Optional[Hashable] = None
+                    for tid in instance.entity_tids(eid):
+                        if named.get(self._max_name(name, eid, tid, attribute), False):
+                            chosen = tid
+                            break
+                    if chosen is None:  # pragma: no cover - defensive
+                        chosen = instance.entity_tids(eid)[0]
+                    values[attribute] = instance.tuple_by_tid(chosen)[attribute]
+                current.add(RelationTuple(instance.schema, f"lst::{eid}", values))
+            database[name] = current
+        return database
+
+    # ------------------------------------------------------------------ #
+    def databases(self, limit: Optional[int] = None) -> Iterator[Dict[str, NormalInstance]]:
+        """Enumerate realizable current databases (deduplicated by value)."""
+        projection = [self.encoder.cnf.variable(v) for v in self._max_variables]
+        seen = set()
+        produced = 0
+        for model in iterate_models(self.encoder.cnf, project_onto=projection):
+            database = self._decode(model)
+            key = tuple(sorted((name, database[name].value_set()) for name in self.relations))
+            if key in seen:
+                continue
+            seen.add(key)
+            yield database
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+    def is_empty(self) -> bool:
+        """Whether ``Mod(S)`` is empty (no realizable current database)."""
+        for _ in self.databases(limit=1):
+            return False
+        return True

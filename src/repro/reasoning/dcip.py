@@ -1,0 +1,102 @@
+"""DCIP — the deterministic current instance problem (Section 3).
+
+``DCIP(S, R)``: does every consistent completion of ``S`` yield the same
+current instance for relation ``R``?  (Vacuously true when ``Mod(S)`` is
+empty.)
+
+Theorem 3.4: Πp2-complete (combined) / coNP-complete (data); PTIME without
+denial constraints (Theorem 6.1: the specification is deterministic iff, per
+entity and attribute, all sinks of ``PO∞`` agree on the attribute value).
+
+The general solver decomposes the question per (entity, attribute) cell: the
+current value of the cell is the value of the block's maximal tuple, so the
+current instance is unique iff every *realizable* maximal tuple of every cell
+carries the same value.  Realizability of "tuple t is maximal for (e, A)" is
+one SAT call on the completion encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Tuple
+
+from repro.core.specification import Specification
+from repro.exceptions import SpecificationError
+from repro.reasoning.chase import chase_certain_orders
+from repro.solvers.order_encoding import CompletionEncoder
+
+__all__ = ["is_deterministic", "realizable_maxima"]
+
+_METHODS = ("auto", "chase", "sat")
+
+
+def realizable_maxima(
+    specification: Specification, instance_name: str, eid: Hashable, attribute: str
+) -> List[Hashable]:
+    """Tuple ids of the entity block that are maximal for *attribute* in at
+    least one consistent completion (each check is one SAT call)."""
+    instance = specification.instance(instance_name)
+    block = instance.entity_tids(eid)
+    certain = chase_certain_orders(specification)
+    maxima: List[Hashable] = []
+    for tid in block:
+        # sound pruning: a tuple below another one in every completion can
+        # never be maximal
+        if certain.consistent and any(
+            certain.certain(instance_name, attribute, tid, other) for other in block if other != tid
+        ):
+            continue
+        encoder = CompletionEncoder(specification)
+        encoder.require_maximal(instance_name, attribute, eid, tid)
+        if encoder.satisfiable():
+            maxima.append(tid)
+    return maxima
+
+
+def is_deterministic(
+    specification: Specification,
+    instance_name: Optional[str] = None,
+    method: str = "auto",
+) -> bool:
+    """Decide DCIP for the named relation (or for every relation when None)."""
+    if method not in _METHODS:
+        raise SpecificationError(f"unknown DCIP method {method!r}; expected one of {_METHODS}")
+    names = [instance_name] if instance_name is not None else specification.instance_names()
+    for name in names:
+        specification.instance(name)
+
+    if method == "auto":
+        method = "chase" if not specification.has_denial_constraints() else "sat"
+
+    if method == "chase":
+        if specification.has_denial_constraints():
+            raise SpecificationError(
+                "the chase decides DCIP only without denial constraints; use method='sat'"
+            )
+        result = chase_certain_orders(specification)
+        if not result.consistent:
+            return True  # vacuously deterministic
+        for name in names:
+            instance = specification.instance(name)
+            for attribute in instance.schema.attributes:
+                order = result.orders[(name, attribute)]
+                for eid in instance.entities():
+                    block = instance.entity_tids(eid)
+                    sinks = order.maxima(block)
+                    values = {instance.tuple_by_tid(tid)[attribute] for tid in sinks}
+                    if len(values) > 1:
+                        return False
+        return True
+
+    # SAT-backed per-cell decomposition.
+    base = CompletionEncoder(specification)
+    if not base.satisfiable():
+        return True  # Mod(S) empty: vacuously deterministic
+    for name in names:
+        instance = specification.instance(name)
+        for eid in instance.entities():
+            for attribute in instance.schema.attributes:
+                maxima = realizable_maxima(specification, name, eid, attribute)
+                values = {instance.tuple_by_tid(tid)[attribute] for tid in maxima}
+                if len(values) > 1:
+                    return False
+    return True

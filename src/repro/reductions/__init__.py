@@ -1,0 +1,51 @@
+"""The paper's hardness reductions, implemented as instance generators and
+validated empirically on bounded formula families."""
+
+from repro.reductions.betweenness import (
+    BetweennessInstance,
+    random_betweenness,
+    solve_betweenness,
+)
+from repro.reductions.formulas import (
+    Clause,
+    CNFFormula,
+    DNFFormula,
+    Literal,
+    QuantifiedSentence,
+    random_3cnf,
+    random_3dnf,
+    random_exists_forall_3dnf,
+    random_forall_exists_3cnf,
+    random_q3sat,
+)
+from repro.reductions.to_ccqa import (
+    ccqa_from_3sat_complement,
+    ccqa_from_forall_exists_3cnf,
+    ccqa_from_q3sat,
+    gadget_instances,
+)
+from repro.reductions.to_cpp import cpp_from_q3sat
+from repro.reductions.to_cps import cps_from_betweenness, cps_from_exists_forall_3dnf
+
+__all__ = [
+    "Literal",
+    "Clause",
+    "CNFFormula",
+    "DNFFormula",
+    "QuantifiedSentence",
+    "random_3cnf",
+    "random_3dnf",
+    "random_exists_forall_3dnf",
+    "random_forall_exists_3cnf",
+    "random_q3sat",
+    "BetweennessInstance",
+    "solve_betweenness",
+    "random_betweenness",
+    "cps_from_exists_forall_3dnf",
+    "cps_from_betweenness",
+    "ccqa_from_forall_exists_3cnf",
+    "ccqa_from_3sat_complement",
+    "ccqa_from_q3sat",
+    "gadget_instances",
+    "cpp_from_q3sat",
+]

@@ -1,0 +1,79 @@
+"""The Betweenness problem and its brute-force solver.
+
+Theorem 3.1 proves NP-hardness of the data complexity of CPS by reduction from
+Betweenness: given a finite set ``A`` and a set ``B`` of ordered triples over
+``A``, decide whether there is a bijection ``π : A → {1..|A|}`` such that for
+every triple ``(a_i, a_j, a_k)`` either ``π(a_i) < π(a_j) < π(a_k)`` or
+``π(a_k) < π(a_j) < π(a_i)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import permutations
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ReductionError
+
+__all__ = ["BetweennessInstance", "solve_betweenness", "random_betweenness"]
+
+
+@dataclass(frozen=True)
+class BetweennessInstance:
+    """A Betweenness instance: element universe and triples."""
+
+    elements: Tuple[str, ...]
+    triples: Tuple[Tuple[str, str, str], ...]
+
+    def __post_init__(self) -> None:
+        universe = set(self.elements)
+        for triple in self.triples:
+            if len(set(triple)) != 3:
+                raise ReductionError(f"triple {triple} must contain three distinct elements")
+            if not set(triple) <= universe:
+                raise ReductionError(f"triple {triple} uses elements outside the universe")
+
+
+def _satisfies(order: Sequence[str], triple: Tuple[str, str, str]) -> bool:
+    position = {element: index for index, element in enumerate(order)}
+    a, b, c = (position[x] for x in triple)
+    return a < b < c or c < b < a
+
+
+def solve_betweenness(instance: BetweennessInstance) -> Optional[Tuple[str, ...]]:
+    """A witnessing ordering, or None when no valid bijection exists.
+
+    Brute force over permutations — only intended for the bounded instances
+    used to validate the reduction of Theorem 3.1.
+    """
+    for order in permutations(instance.elements):
+        if all(_satisfies(order, triple) for triple in instance.triples):
+            return order
+    return None
+
+
+def random_betweenness(
+    num_elements: int, num_triples: int, satisfiable_bias: bool = True, seed: int = 0
+) -> BetweennessInstance:
+    """A random Betweenness instance.
+
+    With ``satisfiable_bias`` the triples are sampled consistently with a
+    hidden ordering (the instance is guaranteed satisfiable); otherwise the
+    triples are drawn independently and may be unsatisfiable.
+    """
+    if num_elements < 3:
+        raise ReductionError("Betweenness needs at least three elements")
+    rng = random.Random(seed)
+    elements = [f"a{i}" for i in range(num_elements)]
+    hidden = list(elements)
+    rng.shuffle(hidden)
+    triples: List[Tuple[str, str, str]] = []
+    for _ in range(num_triples):
+        chosen = rng.sample(elements, 3)
+        if satisfiable_bias:
+            chosen.sort(key=hidden.index)
+            if rng.random() < 0.5:
+                chosen.reverse()
+        triples.append(tuple(chosen))
+    return BetweennessInstance(tuple(elements), tuple(triples))

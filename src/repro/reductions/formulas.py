@@ -1,0 +1,177 @@
+"""Propositional formula families used by the paper's reductions.
+
+The lower bounds of Theorems 3.1, 3.4, 3.5, 5.1 and 5.3 reduce from quantified
+propositional problems: 3SAT, ∃*∀*3DNF, ∀*∃*3CNF, ∃*∀*∃*3CNF, ∃*∀*∃*∀*3DNF and
+Q3SAT.  This module provides literal/clause/formula datatypes, quantified
+sentences with exact (expansion-based) evaluation, and seeded random
+generators for bounded formula families.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ReductionError
+from repro.solvers.qbf import QuantifierBlock, evaluate_qbf
+
+__all__ = [
+    "Literal",
+    "Clause",
+    "CNFFormula",
+    "DNFFormula",
+    "QuantifiedSentence",
+    "random_3cnf",
+    "random_3dnf",
+    "random_exists_forall_3dnf",
+    "random_forall_exists_3cnf",
+    "random_q3sat",
+]
+
+Assignment = Dict[str, bool]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A propositional literal: a variable or its negation."""
+
+    variable: str
+    positive: bool = True
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        value = assignment[self.variable]
+        return value if self.positive else not value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.variable if self.positive else f"¬{self.variable}"
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A clause: for CNF a disjunction of literals, for DNF a conjunction."""
+
+    literals: Tuple[Literal, ...]
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(literal.variable for literal in self.literals)
+
+
+class _Formula:
+    """Shared plumbing of CNF/DNF formulas."""
+
+    def __init__(self, clauses: Sequence[Clause]) -> None:
+        if not clauses:
+            raise ReductionError("a formula needs at least one clause")
+        self.clauses: Tuple[Clause, ...] = tuple(clauses)
+
+    def variables(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for clause in self.clauses:
+            for variable in clause.variables():
+                if variable not in seen:
+                    seen.append(variable)
+        return tuple(seen)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+
+class CNFFormula(_Formula):
+    """A conjunction of disjunctive clauses."""
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return all(
+            any(literal.evaluate(assignment) for literal in clause.literals)
+            for clause in self.clauses
+        )
+
+    def is_satisfiable(self) -> bool:
+        """Brute-force satisfiability (the formula families are small)."""
+        return QuantifiedSentence([("exists", self.variables())], self).is_true()
+
+
+class DNFFormula(_Formula):
+    """A disjunction of conjunctive clauses."""
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return any(
+            all(literal.evaluate(assignment) for literal in clause.literals)
+            for clause in self.clauses
+        )
+
+
+@dataclass
+class QuantifiedSentence:
+    """A quantified propositional sentence ``prefix . matrix``."""
+
+    prefix: List[QuantifierBlock]
+    matrix: CNFFormula | DNFFormula
+
+    def is_true(self) -> bool:
+        """Exact evaluation by quantifier expansion."""
+        return evaluate_qbf(self.prefix, self.matrix.evaluate)
+
+    def variables_of(self, block_index: int) -> Tuple[str, ...]:
+        return tuple(self.prefix[block_index][1])
+
+
+# --------------------------------------------------------------------------- #
+# Random generators (deterministic given a seed)
+# --------------------------------------------------------------------------- #
+def _random_clause(variables: Sequence[str], rng: random.Random, width: int = 3) -> Clause:
+    literals = tuple(
+        Literal(rng.choice(list(variables)), rng.random() < 0.5) for _ in range(width)
+    )
+    return Clause(literals)
+
+
+def random_3cnf(num_variables: int, num_clauses: int, seed: int = 0) -> CNFFormula:
+    """A random 3CNF formula over ``x1..xn``."""
+    rng = random.Random(seed)
+    variables = [f"x{i}" for i in range(1, num_variables + 1)]
+    return CNFFormula([_random_clause(variables, rng) for _ in range(num_clauses)])
+
+
+def random_3dnf(num_variables: int, num_clauses: int, seed: int = 0) -> DNFFormula:
+    """A random 3DNF formula over ``x1..xn``."""
+    rng = random.Random(seed)
+    variables = [f"x{i}" for i in range(1, num_variables + 1)]
+    return DNFFormula([_random_clause(variables, rng) for _ in range(num_clauses)])
+
+
+def random_exists_forall_3dnf(
+    num_exists: int, num_forall: int, num_clauses: int, seed: int = 0
+) -> QuantifiedSentence:
+    """A random ∃X ∀Y ψ sentence with ψ in 3DNF (the ∃*∀*3DNF problem)."""
+    rng = random.Random(seed)
+    xs = [f"x{i}" for i in range(1, num_exists + 1)]
+    ys = [f"y{j}" for j in range(1, num_forall + 1)]
+    matrix = DNFFormula([_random_clause(xs + ys, rng) for _ in range(num_clauses)])
+    return QuantifiedSentence([("exists", tuple(xs)), ("forall", tuple(ys))], matrix)
+
+
+def random_forall_exists_3cnf(
+    num_forall: int, num_exists: int, num_clauses: int, seed: int = 0
+) -> QuantifiedSentence:
+    """A random ∀X ∃Y ψ sentence with ψ in 3CNF (the ∀*∃*3CNF problem)."""
+    rng = random.Random(seed)
+    xs = [f"x{i}" for i in range(1, num_forall + 1)]
+    ys = [f"y{j}" for j in range(1, num_exists + 1)]
+    matrix = CNFFormula([_random_clause(xs + ys, rng) for _ in range(num_clauses)])
+    return QuantifiedSentence([("forall", tuple(xs)), ("exists", tuple(ys))], matrix)
+
+
+def random_q3sat(
+    num_blocks: int, variables_per_block: int, num_clauses: int, seed: int = 0
+) -> QuantifiedSentence:
+    """A random Q3SAT sentence ``P1 X1 ... Pm Xm ψ`` with alternating quantifiers."""
+    rng = random.Random(seed)
+    prefix: List[QuantifierBlock] = []
+    all_variables: List[str] = []
+    for block in range(num_blocks):
+        names = tuple(f"v{block}_{i}" for i in range(variables_per_block))
+        all_variables.extend(names)
+        prefix.append(("exists" if block % 2 == 0 else "forall", names))
+    matrix = CNFFormula([_random_clause(all_variables, rng) for _ in range(num_clauses)])
+    return QuantifiedSentence(prefix, matrix)

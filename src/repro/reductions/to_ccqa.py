@@ -1,0 +1,288 @@
+"""The reductions of Theorem 3.5 (hardness of CCQA), as instance generators.
+
+Implemented constructions:
+
+* ``ccqa_from_forall_exists_3cnf`` — Πp2-hardness for CCQA(CQ), combined
+  complexity: from ``ϕ = ∀X ∃Y ψ`` (ψ in 3CNF) build a specification (no
+  denial constraints, no copy functions), a CQ query ``Q`` and the tuple
+  ``t = (1)`` such that ϕ is true iff ``t`` is a certain current answer.
+  The Boolean connectives are evaluated inside the query through the gadget
+  relations ``I_∨``, ``I_∧``, ``I_¬`` and ``I_01`` of Figure 2.
+* ``ccqa_from_3sat_complement`` — coNP-hardness of the data complexity: from a
+  3SAT instance ψ build a specification and a *fixed* CQ query such that ψ is
+  unsatisfiable iff ``(1)`` is a certain current answer.
+* ``ccqa_from_q3sat`` — PSPACE-hardness for CCQA(FO): from a Q3SAT sentence
+  build a (trivially ordered) specification and an FO query whose certain
+  answer is ``(1)`` iff the sentence is true.
+"""
+
+from __future__ import annotations
+
+from itertools import count, product
+from typing import Dict, List, Tuple
+
+from repro.core.instance import TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.core.tuples import RelationTuple
+from repro.exceptions import ReductionError
+from repro.query.ast import And, Compare, Constant, Exists, ForAll, Formula, Or, Query, RelationAtom, Var
+from repro.reductions.formulas import CNFFormula, Literal, QuantifiedSentence
+
+__all__ = [
+    "ccqa_from_forall_exists_3cnf",
+    "ccqa_from_3sat_complement",
+    "ccqa_from_q3sat",
+    "gadget_instances",
+]
+
+
+# --------------------------------------------------------------------------- #
+# The Boolean gadget relations of Figure 2
+# --------------------------------------------------------------------------- #
+def gadget_instances() -> Dict[str, TemporalInstance]:
+    """The instances ``I_∨``, ``I_∧``, ``I_¬``, ``I_01`` and ``I_b`` of
+    Figure 2 (each tuple is its own entity, so their completions — and hence
+    their current instances — are the instances themselves)."""
+    or_schema = RelationSchema("Ror", ("A", "A1", "A2"))
+    and_schema = RelationSchema("Rand", ("A", "A1", "A2"))
+    not_schema = RelationSchema("Rnot", ("A", "Abar"))
+    bit_schema = RelationSchema("R01", ("A",))
+    flag_schema = RelationSchema("Rb", ("A",))
+
+    or_instance = TemporalInstance(or_schema)
+    and_instance = TemporalInstance(and_schema)
+    for index, (a1, a2) in enumerate(product((0, 1), repeat=2)):
+        or_instance.add(
+            RelationTuple(or_schema, f"or{index}",
+                          {"EID": f"or{index}", "A": int(a1 or a2), "A1": a1, "A2": a2})
+        )
+        and_instance.add(
+            RelationTuple(and_schema, f"and{index}",
+                          {"EID": f"and{index}", "A": int(a1 and a2), "A1": a1, "A2": a2})
+        )
+    not_instance = TemporalInstance(not_schema)
+    not_instance.add(RelationTuple(not_schema, "not0", {"EID": "not0", "A": 0, "Abar": 1}))
+    not_instance.add(RelationTuple(not_schema, "not1", {"EID": "not1", "A": 1, "Abar": 0}))
+    bit_instance = TemporalInstance(bit_schema)
+    bit_instance.add(RelationTuple(bit_schema, "bit1", {"EID": "bit1", "A": 1}))
+    bit_instance.add(RelationTuple(bit_schema, "bit0", {"EID": "bit0", "A": 0}))
+    flag_instance = TemporalInstance(flag_schema)
+    flag_instance.add(RelationTuple(flag_schema, "flag", {"EID": "flag", "A": 1}))
+    return {
+        "Ror": or_instance,
+        "Rand": and_instance,
+        "Rnot": not_instance,
+        "R01": bit_instance,
+        "Rb": flag_instance,
+    }
+
+
+class _CircuitBuilder:
+    """Builds the CQ atoms that evaluate a 3CNF formula through the gadgets."""
+
+    def __init__(self) -> None:
+        self.atoms: List[Formula] = []
+        self._fresh = count()
+
+    def fresh(self, prefix: str) -> Var:
+        return Var(f"{prefix}_{next(self._fresh)}")
+
+    def negation(self, value: Var) -> Var:
+        out = self.fresh("neg")
+        self.atoms.append(RelationAtom("Rnot", (self.fresh("e"), value, out)))
+        return out
+
+    def disjunction(self, left: Var, right: Var) -> Var:
+        out = self.fresh("or")
+        self.atoms.append(RelationAtom("Ror", (self.fresh("e"), out, left, right)))
+        return out
+
+    def conjunction(self, left: Var, right: Var) -> Var:
+        out = self.fresh("and")
+        self.atoms.append(RelationAtom("Rand", (self.fresh("e"), out, left, right)))
+        return out
+
+    def literal(self, literal: Literal, value_vars: Dict[str, Var]) -> Var:
+        base = value_vars[literal.variable]
+        return base if literal.positive else self.negation(base)
+
+    def cnf(self, formula: CNFFormula, value_vars: Dict[str, Var]) -> Var:
+        clause_outputs: List[Var] = []
+        for clause in formula.clauses:
+            literal_vars = [self.literal(lit, value_vars) for lit in clause.literals]
+            current = literal_vars[0]
+            for nxt in literal_vars[1:]:
+                current = self.disjunction(current, nxt)
+            clause_outputs.append(current)
+        result = clause_outputs[0]
+        for nxt in clause_outputs[1:]:
+            result = self.conjunction(result, nxt)
+        return result
+
+
+# --------------------------------------------------------------------------- #
+# Πp2-hardness (combined): ∀*∃*3CNF  →  CCQA(CQ)
+# --------------------------------------------------------------------------- #
+def ccqa_from_forall_exists_3cnf(
+    sentence: QuantifiedSentence,
+) -> Tuple[Specification, Query, Tuple[int, ...]]:
+    """Build (specification, CQ query, answer tuple) from ``∀X ∃Y ψ``."""
+    if len(sentence.prefix) != 2 or sentence.prefix[0][0] != "forall" or sentence.prefix[1][0] != "exists":
+        raise ReductionError("the reduction expects a sentence of the form ∀X ∃Y ψ")
+    if not isinstance(sentence.matrix, CNFFormula):
+        raise ReductionError("the reduction expects a 3CNF matrix")
+    xs = list(sentence.prefix[0][1])
+    ys = list(sentence.prefix[1][1])
+
+    # I_X: one entity per universal variable, two tuples (values 1 and 0);
+    # each consistent completion selects a truth assignment for X.
+    x_schema = RelationSchema("RX", ("Ax",))
+    x_instance = TemporalInstance(x_schema)
+    for i, _x in enumerate(xs, start=1):
+        x_instance.add(RelationTuple(x_schema, f"x{i}_1", {"EID": i, "Ax": 1}))
+        x_instance.add(RelationTuple(x_schema, f"x{i}_0", {"EID": i, "Ax": 0}))
+
+    instances: Dict[str, TemporalInstance] = {"RX": x_instance}
+    instances.update(gadget_instances())
+    specification = Specification(instances)
+
+    builder = _CircuitBuilder()
+    value_vars: Dict[str, Var] = {}
+    # Q_X: read the current truth value of every universal variable.
+    for i, x in enumerate(xs, start=1):
+        var = Var(f"vx_{x}")
+        value_vars[x] = var
+        builder.atoms.append(RelationAtom("RX", (Constant(i), var)))
+    # Q_Y: existential variables range over the Boolean domain I_01.
+    for y in ys:
+        var = Var(f"vy_{y}")
+        value_vars[y] = var
+        builder.atoms.append(RelationAtom("R01", (builder.fresh("e"), var)))
+    # Q_ψ: the circuit; the query returns w only when ψ evaluates to 1 and the
+    # flag relation contains w.
+    result = builder.cnf(sentence.matrix, value_vars)
+    w = Var("w")
+    builder.atoms.append(Compare(result, "=", w))
+    builder.atoms.append(RelationAtom("Rb", (builder.fresh("e"), w)))
+
+    body: Formula = And(*builder.atoms)
+    from repro.query.ast import free_variables
+
+    bound = sorted(free_variables(body) - {"w"})
+    query = Query((w,), Exists(tuple(Var(name) for name in bound), body), name="Q_forall_exists")
+    return specification, query, (1,)
+
+
+# --------------------------------------------------------------------------- #
+# coNP-hardness (data): complement of 3SAT  →  CCQA with a fixed CQ query
+# --------------------------------------------------------------------------- #
+def ccqa_from_3sat_complement(
+    formula: CNFFormula,
+) -> Tuple[Specification, Query, Tuple[int, ...]]:
+    """Build (specification, fixed CQ query, answer tuple) from a 3SAT formula ψ.
+
+    ψ is unsatisfiable iff ``(1,)`` is a certain current answer.
+    """
+    variables = list(formula.variables())
+    x_schema = RelationSchema("RX", ("Vx",), eid="EIDx")
+    x_instance = TemporalInstance(x_schema)
+    for variable in variables:
+        x_instance.add(RelationTuple(x_schema, f"{variable}_0", {"EIDx": variable, "Vx": 0}))
+        x_instance.add(RelationTuple(x_schema, f"{variable}_1", {"EIDx": variable, "Vx": 1}))
+
+    clause_schema = RelationSchema("Rneg", ("idC", "Px", "Xvar", "Bx", "W"))
+    clause_instance = TemporalInstance(clause_schema)
+    counter = count()
+    for j, clause in enumerate(formula.clauses, start=1):
+        for position, literal in enumerate(clause.literals, start=1):
+            # the tuple stores the value that makes the literal FALSE
+            falsifying = 0 if literal.positive else 1
+            tid = f"c{j}_{position}_{next(counter)}"
+            clause_instance.add(
+                RelationTuple(
+                    clause_schema,
+                    tid,
+                    {"EID": tid, "idC": j, "Px": position, "Xvar": literal.variable,
+                     "Bx": falsifying, "W": 1},
+                )
+            )
+
+    specification = Specification({"RX": x_instance, "Rneg": clause_instance})
+
+    # The fixed query: does some clause have all three literals falsified by the
+    # current truth assignment?
+    j, w = Var("j"), Var("w")
+    x1, x2, x3 = Var("x1"), Var("x2"), Var("x3")
+    v1, v2, v3 = Var("v1"), Var("v2"), Var("v3")
+    e1, e2, e3 = Var("e1"), Var("e2"), Var("e3")
+    body = And(
+        RelationAtom("RX", (x1, v1)),
+        RelationAtom("RX", (x2, v2)),
+        RelationAtom("RX", (x3, v3)),
+        RelationAtom("Rneg", (e1, j, Constant(1), x1, v1, w)),
+        RelationAtom("Rneg", (e2, j, Constant(2), x2, v2, w)),
+        RelationAtom("Rneg", (e3, j, Constant(3), x3, v3, w)),
+    )
+    query = Query(
+        (w,),
+        Exists((j, x1, x2, x3, v1, v2, v3, e1, e2, e3), body),
+        name="Q_unsat_witness",
+    )
+    return specification, query, (1,)
+
+
+# --------------------------------------------------------------------------- #
+# PSPACE-hardness (combined): Q3SAT  →  CCQA(FO)
+# --------------------------------------------------------------------------- #
+def ccqa_from_q3sat(
+    sentence: QuantifiedSentence,
+) -> Tuple[Specification, Query, Tuple[int, ...]]:
+    """Build (specification, FO query, answer tuple) from a Q3SAT sentence.
+
+    The specification has exactly one consistent completion (every entity has
+    a single tuple), so the certain answer coincides with the query answer on
+    the database itself; the quantifier structure of the sentence is carried
+    entirely by the FO query.
+    """
+    if not isinstance(sentence.matrix, CNFFormula):
+        raise ReductionError("the reduction expects a CNF matrix")
+    c_schema = RelationSchema("Rc", ("C",))
+    c_instance = TemporalInstance(c_schema)
+    c_instance.add(RelationTuple(c_schema, "c0", {"EID": 1, "C": 0}))
+    c_instance.add(RelationTuple(c_schema, "c1", {"EID": 2, "C": 1}))
+    b_schema = RelationSchema("RbFO", ("B",))
+    b_instance = TemporalInstance(b_schema)
+    b_instance.add(RelationTuple(b_schema, "b1", {"EID": 1, "B": 1}))
+    specification = Specification({"Rc": c_instance, "RbFO": b_instance})
+
+    answer_var = Var("c")
+    matrix: Formula = And(
+        *[
+            Or(
+                *[
+                    Compare(Var(lit.variable), "=", Constant(1 if lit.positive else 0))
+                    for lit in clause.literals
+                ]
+            )
+            for clause in sentence.matrix.clauses
+        ]
+    )
+    body: Formula = And(matrix, RelationAtom("RbFO", (Var("e"), answer_var)))
+    body = Exists((Var("e"),), body)
+    # Relativised quantifier prefix, innermost first.
+    for kind, names in reversed(sentence.prefix):
+        for name in reversed(names):
+            domain_atom = Exists((Var(f"ed_{name}"),), RelationAtom("Rc", (Var(f"ed_{name}"), Var(name))))
+            if kind == "exists":
+                body = Exists((Var(name),), And(domain_atom, body))
+            else:
+                body = ForAll((Var(name),), Or(_negate(domain_atom), body))
+    query = Query((answer_var,), body, name="Q_q3sat")
+    return specification, query, (1,)
+
+
+def _negate(formula: Formula) -> Formula:
+    from repro.query.ast import Not
+
+    return Not(formula)

@@ -1,0 +1,87 @@
+"""The FO reduction of Theorem 5.1(2) (PSPACE-hardness of CPP), as an
+instance generator.
+
+Given a Q3SAT sentence ϕ, build a specification with data sources
+``D' = {I'_b}`` and ``D = {I_01, I_b}``, a single copy function
+``ρ : R_b[C] ⇐ R'_b[C]`` mapping ``(1, c) ↦ (1, c)``, and an FO query ``Q``
+such that **ϕ is true iff ρ is *not* currency preserving for Q**.
+
+The only possible extension of ρ imports the tuple ``(1, d)`` from ``I'_b``
+into ``I_b``; afterwards the current instance of ``I_b`` is either
+``{(1, c)}`` or ``{(1, d)}`` depending on the completion, so the certain
+answer of ``Q`` (which returns the current C value exactly when ϕ is true)
+drops from ``{(c,)}`` to ``∅`` — a currency-preservation violation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.copy_function import CopyFunction, CopySignature
+from repro.core.instance import TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.core.tuples import RelationTuple
+from repro.exceptions import ReductionError
+from repro.query.ast import And, Compare, Constant, Exists, ForAll, Formula, Not, Or, Query, RelationAtom, Var
+from repro.reductions.formulas import CNFFormula, QuantifiedSentence
+
+__all__ = ["cpp_from_q3sat"]
+
+
+def cpp_from_q3sat(sentence: QuantifiedSentence) -> Tuple[Specification, Query]:
+    """Build (specification with copy function ρ, FO query Q) from a Q3SAT
+    sentence; the sentence is true iff ρ is not currency preserving for Q."""
+    if not isinstance(sentence.matrix, CNFFormula):
+        raise ReductionError("the reduction expects a CNF matrix")
+
+    bit_schema = RelationSchema("R01", ("A",))
+    bits = TemporalInstance(bit_schema)
+    bits.add(RelationTuple(bit_schema, "bit0", {"EID": 1, "A": 0}))
+    bits.add(RelationTuple(bit_schema, "bit1", {"EID": 2, "A": 1}))
+
+    b_schema = RelationSchema("Rb", ("C",))
+    target = TemporalInstance(b_schema)
+    target.add(RelationTuple(b_schema, "b_c", {"EID": 1, "C": "c"}))
+
+    source_schema = RelationSchema("RbSrc", ("C",))
+    source = TemporalInstance(source_schema)
+    source.add(RelationTuple(source_schema, "src_c", {"EID": 1, "C": "c"}))
+    source.add(RelationTuple(source_schema, "src_d", {"EID": 1, "C": "d"}))
+
+    copy_function = CopyFunction(
+        "rho_b",
+        CopySignature(b_schema, ("C",), source_schema, ("C",)),
+        target="Rb",
+        source="RbSrc",
+        mapping={"b_c": "src_c"},
+    )
+    specification = Specification(
+        {"R01": bits, "Rb": target, "RbSrc": source}, copy_functions=[copy_function]
+    )
+
+    answer_var = Var("v")
+    matrix: Formula = And(
+        *[
+            Or(
+                *[
+                    Compare(Var(lit.variable), "=", Constant(1 if lit.positive else 0))
+                    for lit in clause.literals
+                ]
+            )
+            for clause in sentence.matrix.clauses
+        ]
+    )
+    body: Formula = And(matrix, RelationAtom("Rb", (Var("e"), answer_var)))
+    body = Exists((Var("e"),), body)
+    for kind, names in reversed(sentence.prefix):
+        for name in reversed(names):
+            domain_atom = Exists(
+                (Var(f"ed_{name}"),), RelationAtom("R01", (Var(f"ed_{name}"), Var(name)))
+            )
+            if kind == "exists":
+                body = Exists((Var(name),), And(domain_atom, body))
+            else:
+                body = ForAll((Var(name),), Or(Not(domain_atom), body))
+    query = Query((answer_var,), body, name="Q_cpp_q3sat")
+    return specification, query

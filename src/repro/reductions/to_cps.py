@@ -1,0 +1,245 @@
+"""The reductions of Theorem 3.1 (hardness of CPS), as instance generators.
+
+Two constructions are implemented faithfully:
+
+* ``cps_from_exists_forall_3dnf`` — the Σp2-hardness reduction (combined
+  complexity): given ``ϕ = ∃X ∀Y ψ`` with ψ in 3DNF, build a specification
+  ``S`` over the single schema ``RV(EID, V, v, A1, A2, A3, B)`` with one denial
+  constraint such that ``Mod(S) ≠ ∅`` iff ϕ is true.
+* ``cps_from_betweenness`` — the NP-hardness reduction (data complexity):
+  given a Betweenness instance, build a specification over the fixed schema
+  ``R(EID, TID, elem, P, O)`` with a fixed set of denial constraints such that
+  ``Mod(S) ≠ ∅`` iff the instance has a valid betweenness ordering.
+
+Both are validated empirically in the test suite on bounded families
+(formula truth / betweenness solvability computed by brute force, specification
+consistency decided by the SAT-backed CPS solver).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Tuple
+
+from repro.core.denial import AttrRef, Comparison, Const, CurrencyAtom, DenialConstraint
+from repro.core.instance import TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.core.tuples import RelationTuple
+from repro.exceptions import ReductionError
+from repro.reductions.betweenness import BetweennessInstance
+from repro.reductions.formulas import DNFFormula, QuantifiedSentence
+
+__all__ = ["cps_from_exists_forall_3dnf", "cps_from_betweenness"]
+
+HASH = "#"  # the placeholder symbol of the constructions
+
+
+# --------------------------------------------------------------------------- #
+# Σp2-hardness: ∃*∀*3DNF  →  CPS (combined complexity)
+# --------------------------------------------------------------------------- #
+def cps_from_exists_forall_3dnf(sentence: QuantifiedSentence) -> Specification:
+    """Build the specification of Theorem 3.1(1) from ``∃X ∀Y ψ`` (ψ in 3DNF)."""
+    if len(sentence.prefix) != 2 or sentence.prefix[0][0] != "exists" or sentence.prefix[1][0] != "forall":
+        raise ReductionError("the reduction expects a sentence of the form ∃X ∀Y ψ")
+    if not isinstance(sentence.matrix, DNFFormula):
+        raise ReductionError("the reduction expects a 3DNF matrix")
+    xs = list(sentence.prefix[0][1])
+    ys = list(sentence.prefix[1][1])
+    psi = sentence.matrix
+
+    schema = RelationSchema("RV", ("V", "v", "A1", "A2", "A3", "B"))
+    instance = TemporalInstance(schema)
+    eid = "e"
+
+    def add(tid: str, V, v, a1, a2, a3, b) -> None:
+        instance.add(
+            RelationTuple(
+                schema, tid, {"EID": eid, "V": V, "v": v, "A1": a1, "A2": a2, "A3": a3, "B": b}
+            )
+        )
+
+    # I_X: two tuples per existential variable (v = 1 and v = 0)
+    for i, x in enumerate(xs, start=1):
+        add(f"t{i}", x, 1, HASH, HASH, HASH, HASH)
+        add(f"t{i}'", x, 0, HASH, HASH, HASH, HASH)
+    # I_Y: two tuples per universal variable
+    for j, y in enumerate(ys, start=1):
+        add(f"s{j}", y, 1, HASH, HASH, HASH, HASH)
+        add(f"s{j}'", y, 0, HASH, HASH, HASH, HASH)
+    # I_∨: the 8 disjunction tuples
+    for a1, a2, a3 in product((0, 1), repeat=3):
+        add(f"c{a1}{a2}{a3}", HASH, HASH, a1, a2, a3, int(bool(a1 or a2 or a3)))
+
+    # The initial currency order on V described in the construction.
+    def v_rank(tup: RelationTuple) -> Tuple[int, int]:
+        value = tup["V"]
+        if value in xs:
+            return (1, xs.index(value))
+        if value in ys:
+            return (2, ys.index(value))
+        return (0, 0)  # the I_∨ tuples come first
+
+    tuples = instance.tuples()
+    for lower in tuples:
+        for upper in tuples:
+            if lower.tid == upper.tid:
+                continue
+            lower_rank, upper_rank = v_rank(lower), v_rank(upper)
+            if lower_rank < upper_rank:
+                if not instance.precedes("V", lower.tid, upper.tid):
+                    instance.add_order("V", lower.tid, upper.tid)
+
+    # The denial constraint φ encoding ϕ.
+    variables: List[str] = []
+    body: List = []
+    for i, x in enumerate(xs, start=1):
+        ti, ti_prime = f"T{i}", f"T{i}p"
+        variables += [ti, ti_prime]
+        body += [
+            Comparison(AttrRef(ti, "V"), "=", Const(x)),
+            Comparison(AttrRef(ti_prime, "V"), "=", Const(x)),
+            CurrencyAtom(ti_prime, "v", ti),
+        ]
+    for j, y in enumerate(ys, start=1):
+        sj = f"S{j}"
+        variables.append(sj)
+        body.append(Comparison(AttrRef(sj, "V"), "=", Const(y)))
+    for l, clause in enumerate(psi.clauses, start=1):
+        cl = f"C{l}"
+        variables.append(cl)
+        body.append(Comparison(AttrRef(cl, "B"), "=", Const(1)))
+        for p, literal in enumerate(clause.literals, start=1):
+            if literal.variable in xs:
+                witness = f"T{xs.index(literal.variable) + 1}"
+            elif literal.variable in ys:
+                witness = f"S{ys.index(literal.variable) + 1}"
+            else:
+                raise ReductionError(f"literal variable {literal.variable!r} is unquantified")
+            operator = "!=" if literal.positive else "="
+            body.append(Comparison(AttrRef(cl, f"A{p}"), operator, AttrRef(witness, "v")))
+    head_var = variables[0]
+    constraint = DenialConstraint(
+        schema, variables, body, CurrencyAtom(head_var, "V", head_var), name="phi_3dnf"
+    )
+    return Specification({"RV": instance}, {"RV": [constraint]})
+
+
+# --------------------------------------------------------------------------- #
+# NP-hardness (data complexity): Betweenness  →  CPS
+# --------------------------------------------------------------------------- #
+def cps_from_betweenness(instance: BetweennessInstance) -> Specification:
+    """Build the specification of Theorem 3.1(2) from a Betweenness instance.
+
+    The schema is ``R(EID, TID, elem, P, O)`` and the denial constraints σ1–σ5
+    are fixed (they do not depend on the instance), exactly as required for a
+    data-complexity lower bound.
+    """
+    schema = RelationSchema("RB", ("TID", "elem", "P", "O"))
+    temporal = TemporalInstance(schema)
+    eid = "e"
+
+    def add(tid: str, triple_id, element, position, ordering) -> None:
+        temporal.add(
+            RelationTuple(
+                schema,
+                tid,
+                {"EID": eid, "TID": triple_id, "elem": element, "P": position, "O": ordering},
+            )
+        )
+
+    for index, (a, b, c) in enumerate(instance.triples):
+        add(f"r{index}_1_1", index, a, 1, 1)
+        add(f"r{index}_1_2", index, b, 2, 1)
+        add(f"r{index}_1_3", index, c, 3, 1)
+        add(f"r{index}_2_1", index, a, 3, 2)
+        add(f"r{index}_2_2", index, b, 2, 2)
+        add(f"r{index}_2_3", index, c, 1, 2)
+    add("separator", HASH, HASH, HASH, HASH)
+
+    constraints = _betweenness_constraints(schema)
+    return Specification({"RB": temporal}, {"RB": constraints})
+
+
+def _betweenness_constraints(schema: RelationSchema) -> List[DenialConstraint]:
+    """The fixed denial constraints σ1–σ5 of the Betweenness reduction."""
+    false_head = CurrencyAtom("t1", "elem", "t1")
+
+    # σ1: the three tuples of one ordering of a triple are on the same side of
+    # the separator: no t1, t2 of the same (TID, O) may straddle it.
+    sigma1 = DenialConstraint(
+        schema,
+        ("t1", "t2", "s"),
+        body=[
+            Comparison(AttrRef("t1", "TID"), "=", AttrRef("t2", "TID")),
+            Comparison(AttrRef("t1", "O"), "=", AttrRef("t2", "O")),
+            Comparison(AttrRef("s", "elem"), "=", Const(HASH)),
+            CurrencyAtom("t1", "elem", "s"),
+            CurrencyAtom("s", "elem", "t2"),
+        ],
+        head=false_head,
+        name="sigma1",
+    )
+    # σ2: the two orderings of a triple cannot both be above the separator.
+    sigma2 = DenialConstraint(
+        schema,
+        ("t1", "t2", "s"),
+        body=[
+            Comparison(AttrRef("t1", "TID"), "=", AttrRef("t2", "TID")),
+            Comparison(AttrRef("t1", "O"), "!=", AttrRef("t2", "O")),
+            Comparison(AttrRef("s", "elem"), "=", Const(HASH)),
+            CurrencyAtom("s", "elem", "t1"),
+            CurrencyAtom("s", "elem", "t2"),
+        ],
+        head=false_head,
+        name="sigma2",
+    )
+    # σ3: nor can they both be below the separator.
+    sigma3 = DenialConstraint(
+        schema,
+        ("t1", "t2", "s"),
+        body=[
+            Comparison(AttrRef("t1", "TID"), "=", AttrRef("t2", "TID")),
+            Comparison(AttrRef("t1", "O"), "!=", AttrRef("t2", "O")),
+            Comparison(AttrRef("s", "elem"), "=", Const(HASH)),
+            CurrencyAtom("t1", "elem", "s"),
+            CurrencyAtom("t2", "elem", "s"),
+        ],
+        head=false_head,
+        name="sigma3",
+    )
+    # σ4: within the selected ordering of a triple, tuples appear in P order.
+    sigma4 = DenialConstraint(
+        schema,
+        ("t1", "t2", "s"),
+        body=[
+            Comparison(AttrRef("t1", "TID"), "=", AttrRef("t2", "TID")),
+            Comparison(AttrRef("t1", "O"), "=", AttrRef("t2", "O")),
+            Comparison(AttrRef("s", "elem"), "=", Const(HASH)),
+            CurrencyAtom("s", "elem", "t1"),
+            CurrencyAtom("s", "elem", "t2"),
+            Comparison(AttrRef("t1", "P"), "<", AttrRef("t2", "P")),
+        ],
+        head=CurrencyAtom("t1", "elem", "t2"),
+        name="sigma4",
+    )
+    # σ5: above the separator, tuples carrying the same element are consecutive
+    # (no tuple with a different element strictly between them).
+    sigma5 = DenialConstraint(
+        schema,
+        ("t1", "t2", "u", "s"),
+        body=[
+            Comparison(AttrRef("s", "elem"), "=", Const(HASH)),
+            CurrencyAtom("s", "elem", "t1"),
+            CurrencyAtom("s", "elem", "t2"),
+            CurrencyAtom("s", "elem", "u"),
+            Comparison(AttrRef("t1", "elem"), "=", AttrRef("t2", "elem")),
+            Comparison(AttrRef("u", "elem"), "!=", AttrRef("t1", "elem")),
+            Comparison(AttrRef("u", "elem"), "!=", Const(HASH)),
+            CurrencyAtom("t1", "elem", "u"),
+            CurrencyAtom("u", "elem", "t2"),
+        ],
+        head=false_head,
+        name="sigma5",
+    )
+    return [sigma1, sigma2, sigma3, sigma4, sigma5]

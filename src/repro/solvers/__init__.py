@@ -1,0 +1,20 @@
+"""SAT/QBF solving substrate and the Boolean encoding of consistent completions."""
+
+from repro.solvers.cnf import CNF
+from repro.solvers.order_encoding import CompletionEncoder, PairVariable
+from repro.solvers.qbf import QuantifierBlock, evaluate_qbf, exists, forall
+from repro.solvers.sat import is_satisfiable, iterate_models, solve, solve_cnf
+
+__all__ = [
+    "CNF",
+    "solve",
+    "solve_cnf",
+    "is_satisfiable",
+    "iterate_models",
+    "CompletionEncoder",
+    "PairVariable",
+    "evaluate_qbf",
+    "exists",
+    "forall",
+    "QuantifierBlock",
+]

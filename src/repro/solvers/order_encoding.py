@@ -1,0 +1,203 @@
+"""Boolean encoding of consistent completions (the SAT back-end).
+
+The encoding follows the guess-and-check algorithm in the proof of
+Theorem 3.1: a completion is a choice, per instance and attribute, of a total
+order on every entity block that extends the given partial currency order,
+satisfies the (grounded) denial constraints, and is ≺-compatible with the copy
+functions.  Each potential currency pair becomes one Boolean variable
+
+    ``(instance_name, attribute, lower_tid, upper_tid)``
+
+and the well-formedness conditions become clauses:
+
+* antisymmetry and totality within an entity block,
+* transitivity,
+* unit clauses for the given partial orders,
+* grounded denial-constraint implications,
+* copy-function ≺-compatibility implications.
+
+A model decodes back into a full consistent completion.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.core.instance import TemporalInstance
+from repro.core.specification import Specification
+from repro.solvers.cnf import CNF
+from repro.solvers.sat import iterate_models, solve_cnf
+
+__all__ = ["PairVariable", "CompletionEncoder"]
+
+PairVariable = Tuple[str, str, Hashable, Hashable]
+
+
+class CompletionEncoder:
+    """Encode ``Mod(S) ≠ ∅`` (and refinements of it) as CNF satisfiability."""
+
+    def __init__(self, specification: Specification) -> None:
+        self.specification = specification
+        self.cnf = CNF()
+        self._pair_domain: Dict[Tuple[str, str], List[Tuple[Hashable, Hashable]]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def pair_name(
+        self, instance: str, attribute: str, lower: Hashable, upper: Hashable
+    ) -> PairVariable:
+        """The variable name for ``lower ≺_attribute upper`` in *instance*."""
+        return (instance, attribute, lower, upper)
+
+    def _build(self) -> None:
+        for name, instance in self.specification.instances.items():
+            self._encode_instance(name, instance)
+        for name in self.specification.instances:
+            self._encode_denial_constraints(name)
+        self._encode_copy_functions()
+
+    def _encode_instance(self, name: str, instance: TemporalInstance) -> None:
+        for attribute in instance.schema.attributes:
+            order = instance.order(attribute)
+            for eid in instance.entities():
+                block = instance.entity_tids(eid)
+                for lower, upper in permutations(block, 2):
+                    self.cnf.variable(self.pair_name(name, attribute, lower, upper))
+                    self._pair_domain.setdefault((name, attribute), []).append((lower, upper))
+                for lower, upper in combinations(block, 2):
+                    forward = self.pair_name(name, attribute, lower, upper)
+                    backward = self.pair_name(name, attribute, upper, lower)
+                    # antisymmetry and totality on the entity block
+                    self.cnf.add_named_clause([(forward, False), (backward, False)])
+                    self.cnf.add_named_clause([(forward, True), (backward, True)])
+                # transitivity
+                for a in block:
+                    for b in block:
+                        for c in block:
+                            if len({a, b, c}) != 3:
+                                continue
+                            self.cnf.add_implication(
+                                [
+                                    (self.pair_name(name, attribute, a, b), True),
+                                    (self.pair_name(name, attribute, b, c), True),
+                                ],
+                                (self.pair_name(name, attribute, a, c), True),
+                            )
+                # the given partial currency order must be extended
+            for lower, upper in order.pairs():
+                self.cnf.add_unit(self.pair_name(name, attribute, lower, upper), True)
+
+    def _same_entity(self, instance: TemporalInstance, lower: Hashable, upper: Hashable) -> bool:
+        return (
+            lower != upper
+            and instance.tuple_by_tid(lower).eid == instance.tuple_by_tid(upper).eid
+        )
+
+    def _encode_denial_constraints(self, name: str) -> None:
+        instance = self.specification.instance(name)
+        for constraint in self.specification.constraints_for(name):
+            for implication in constraint.grounded_implications(instance):
+                premises: List[Tuple[PairVariable, bool]] = []
+                vacuous = False
+                for attribute, lower, upper in implication.premises:
+                    if not self._same_entity(instance, lower, upper):
+                        vacuous = True  # the premise can never hold
+                        break
+                    premises.append((self.pair_name(name, attribute, lower, upper), True))
+                if vacuous:
+                    continue
+                head = implication.head
+                if head is None:
+                    self.cnf.add_implication(premises, None)
+                    continue
+                attribute, lower, upper = head
+                if not self._same_entity(instance, lower, upper):
+                    # the head can never be satisfied: the premises must fail
+                    self.cnf.add_implication(premises, None)
+                else:
+                    self.cnf.add_implication(
+                        premises, (self.pair_name(name, attribute, lower, upper), True)
+                    )
+
+    def _encode_copy_functions(self) -> None:
+        for copy_function in self.specification.copy_functions:
+            target = self.specification.instance(copy_function.target)
+            source = self.specification.instance(copy_function.source)
+            for (src_attr, s1, s2), (tgt_attr, t1, t2) in copy_function.compatibility_implications(
+                target, source
+            ):
+                if not self._same_entity(source, s1, s2):
+                    continue
+                source_pair = (self.pair_name(copy_function.source, src_attr, s1, s2), True)
+                if not self._same_entity(target, t1, t2):
+                    self.cnf.add_implication([source_pair], None)
+                else:
+                    self.cnf.add_implication(
+                        [source_pair],
+                        (self.pair_name(copy_function.target, tgt_attr, t1, t2), True),
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Extra constraints used by the decision procedures
+    # ------------------------------------------------------------------ #
+    def require_pair(self, instance: str, attribute: str, lower: Hashable, upper: Hashable) -> None:
+        """Force ``lower ≺_attribute upper`` in every model."""
+        self.cnf.add_unit(self.pair_name(instance, attribute, lower, upper), True)
+
+    def forbid_all_of(self, pairs: Iterable[Tuple[str, str, Hashable, Hashable]]) -> None:
+        """Require that at least one of *pairs* does **not** hold (one clause)."""
+        clause = [(self.pair_name(*pair), False) for pair in pairs]
+        self.cnf.add_named_clause(clause)
+
+    def require_maximal(
+        self, instance_name: str, attribute: str, eid: Hashable, tid: Hashable
+    ) -> None:
+        """Force *tid* to be the greatest tuple of its entity block for *attribute*."""
+        instance = self.specification.instance(instance_name)
+        for other in instance.entity_tids(eid):
+            if other != tid:
+                self.require_pair(instance_name, attribute, other, tid)
+
+    # ------------------------------------------------------------------ #
+    # Solving and decoding
+    # ------------------------------------------------------------------ #
+    def solve(self) -> Optional[Dict[str, TemporalInstance]]:
+        """A consistent completion satisfying all added constraints, or None."""
+        model = solve_cnf(self.cnf)
+        if model is None:
+            return None
+        return self.decode(model)
+
+    def satisfiable(self) -> bool:
+        """Whether a consistent completion (with the added constraints) exists."""
+        return solve_cnf(self.cnf) is not None
+
+    def decode(self, model: Dict[int, bool]) -> Dict[str, TemporalInstance]:
+        """Turn a SAT model into a completion (name -> completed instance)."""
+        named = self.cnf.decode_model(model)
+        completion: Dict[str, TemporalInstance] = {}
+        for name, instance in self.specification.instances.items():
+            completed = TemporalInstance(instance.schema, instance.tuples())
+            for attribute, order in instance.orders().items():
+                for lower, upper in order.pairs():
+                    completed.add_order(attribute, lower, upper)
+            for variable, value in named.items():
+                if not value or not isinstance(variable, tuple) or len(variable) != 4:
+                    continue
+                var_instance, attribute, lower, upper = variable
+                if var_instance != name:
+                    continue
+                if not completed.precedes(attribute, lower, upper):
+                    completed.add_order(attribute, lower, upper)
+            completion[name] = completed
+        return completion
+
+    def iterate_completions(
+        self, limit: Optional[int] = None
+    ) -> Iterable[Dict[str, TemporalInstance]]:
+        """Enumerate consistent completions (distinct SAT models)."""
+        for model in iterate_models(self.cnf, limit=limit):
+            yield self.decode(model)

@@ -1,0 +1,67 @@
+"""A small quantified-Boolean-formula evaluator.
+
+The paper's lower bounds reduce from quantified propositional problems
+(∃*∀*3DNF, ∀*∃*3CNF, ∃*∀*∃*3CNF, ∃*∀*∃*∀*3DNF and Q3SAT).  To *validate* the
+reductions empirically we need ground truth for those formulas; this module
+evaluates quantified Boolean formulas by recursive expansion, which is exact
+and fast enough for the bounded formula families used in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.exceptions import SolverError
+
+__all__ = ["QuantifierBlock", "evaluate_qbf", "exists", "forall"]
+
+Assignment = Dict[str, bool]
+Matrix = Callable[[Assignment], bool]
+QuantifierBlock = Tuple[str, Tuple[str, ...]]  # ("exists"|"forall", variable names)
+
+
+def exists(*names: str) -> QuantifierBlock:
+    """An existential quantifier block."""
+    return ("exists", tuple(names))
+
+
+def forall(*names: str) -> QuantifierBlock:
+    """A universal quantifier block."""
+    return ("forall", tuple(names))
+
+
+def evaluate_qbf(
+    prefix: Sequence[QuantifierBlock],
+    matrix: Matrix,
+    assignment: Assignment | None = None,
+) -> bool:
+    """Evaluate ``prefix matrix`` by recursive expansion.
+
+    *matrix* is any callable from a total assignment of the quantified
+    variables (plus whatever *assignment* pre-binds) to a Boolean.
+    """
+    assignment = dict(assignment or {})
+    flat: List[Tuple[str, str]] = []
+    for kind, names in prefix:
+        if kind not in ("exists", "forall"):
+            raise SolverError(f"unknown quantifier kind {kind!r}")
+        for name in names:
+            flat.append((kind, name))
+
+    def recurse(index: int, current: Assignment) -> bool:
+        if index == len(flat):
+            return matrix(current)
+        kind, name = flat[index]
+        results = []
+        for value in (False, True):
+            extended = dict(current)
+            extended[name] = value
+            result = recurse(index + 1, extended)
+            if kind == "exists" and result:
+                return True
+            if kind == "forall" and not result:
+                return False
+            results.append(result)
+        return results[-1] if kind == "exists" else True
+
+    return recurse(0, assignment)

@@ -1,0 +1,147 @@
+"""A self-contained DPLL SAT solver.
+
+No external SAT/SMT bindings are available offline, so the library ships its
+own complete solver: DPLL with unit propagation and a most-occurrences
+branching heuristic.  It is more than adequate for the instance sizes the
+reasoning layer produces (hundreds of variables), and any complete solver
+would give identical decisions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.solvers.cnf import CNF, Literal
+
+__all__ = ["solve", "solve_cnf", "is_satisfiable", "iterate_models"]
+
+Clause = Tuple[Literal, ...]
+Model = Dict[int, bool]
+
+
+def _simplify(clauses: List[Clause], literal: Literal) -> Optional[List[Clause]]:
+    """Assign *literal* true: drop satisfied clauses, shrink the others.
+
+    Returns None if an empty clause (conflict) arises.
+    """
+    out: List[Clause] = []
+    for clause in clauses:
+        if literal in clause:
+            continue
+        if -literal in clause:
+            reduced = tuple(l for l in clause if l != -literal)
+            if not reduced:
+                return None
+            out.append(reduced)
+        else:
+            out.append(clause)
+    return out
+
+
+def _unit_propagate(
+    clauses: List[Clause], assignment: Model
+) -> Optional[Tuple[List[Clause], Model]]:
+    """Exhaustively propagate unit clauses; None on conflict."""
+    current = clauses
+    model = dict(assignment)
+    while True:
+        units = [clause[0] for clause in current if len(clause) == 1]
+        if not units:
+            return current, model
+        for literal in units:
+            variable = abs(literal)
+            value = literal > 0
+            if variable in model:
+                if model[variable] != value:
+                    return None
+                continue
+            model[variable] = value
+            simplified = _simplify(current, literal)
+            if simplified is None:
+                return None
+            current = simplified
+
+
+def _choose_literal(clauses: List[Clause]) -> Literal:
+    counts: Counter = Counter()
+    for clause in clauses:
+        counts.update(clause)
+    literal, _ = counts.most_common(1)[0]
+    return literal
+
+
+def _dpll(clauses: List[Clause], assignment: Model) -> Optional[Model]:
+    propagated = _unit_propagate(clauses, assignment)
+    if propagated is None:
+        return None
+    clauses, assignment = propagated
+    if not clauses:
+        return assignment
+    literal = _choose_literal(clauses)
+    for chosen in (literal, -literal):
+        simplified = _simplify(clauses, chosen)
+        if simplified is None:
+            continue
+        extended = dict(assignment)
+        extended[abs(chosen)] = chosen > 0
+        result = _dpll(simplified, extended)
+        if result is not None:
+            return result
+    return None
+
+
+def solve(
+    clauses: Sequence[Clause], num_variables: Optional[int] = None
+) -> Optional[Model]:
+    """Solve a raw clause list; returns a total model or None if unsatisfiable."""
+    for clause in clauses:
+        if not clause:
+            return None
+    model = _dpll([tuple(c) for c in clauses], {})
+    if model is None:
+        return None
+    if num_variables is not None:
+        for variable in range(1, num_variables + 1):
+            model.setdefault(variable, False)
+    return model
+
+
+def solve_cnf(cnf: CNF) -> Optional[Model]:
+    """Solve a :class:`CNF`; returns a total model over its variables or None."""
+    return solve(cnf.clauses, cnf.num_variables)
+
+
+def is_satisfiable(cnf: CNF) -> bool:
+    """Whether the CNF has at least one model."""
+    return solve_cnf(cnf) is not None
+
+
+def iterate_models(
+    cnf: CNF, project_onto: Optional[Sequence[int]] = None, limit: Optional[int] = None
+) -> Iterator[Model]:
+    """Enumerate models, optionally projected onto a subset of variables.
+
+    Projection enumerates distinct assignments of *project_onto* (blocking
+    clauses are added on those variables only).  Without projection every
+    total model is blocked individually.
+    """
+    clauses: List[Clause] = list(cnf.clauses)
+    produced = 0
+    variables = list(project_onto) if project_onto is not None else list(
+        range(1, cnf.num_variables + 1)
+    )
+    while True:
+        model = solve(clauses, cnf.num_variables)
+        if model is None:
+            return
+        yield model
+        produced += 1
+        if limit is not None and produced >= limit:
+            return
+        blocking = tuple(
+            -variable if model.get(variable, False) else variable for variable in variables
+        )
+        if not blocking:
+            return
+        clauses.append(blocking)

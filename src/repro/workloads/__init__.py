@@ -1,0 +1,25 @@
+"""Workloads: the paper's company database and synthetic specification generators."""
+
+from repro.workloads import company
+from repro.workloads.company import (
+    company_specification,
+    manager_specification,
+    paper_queries,
+)
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    random_specification,
+    random_sp_query,
+    chain_copy_specification,
+)
+
+__all__ = [
+    "company",
+    "company_specification",
+    "manager_specification",
+    "paper_queries",
+    "SyntheticConfig",
+    "random_specification",
+    "random_sp_query",
+    "chain_copy_specification",
+]

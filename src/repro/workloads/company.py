@@ -1,0 +1,377 @@
+"""The paper's running example: the company database of Figures 1 and 3.
+
+This module builds
+
+* the ``Emp`` and ``Dept`` relations of Figure 1, the denial constraints
+  ϕ1–ϕ4 of Example 2.1 and the copy function ρ of Example 2.2 (specification
+  ``S0`` of Example 2.3);
+* the queries Q1–Q4 of Example 1.1 (as SP queries);
+* the ``Mgr`` relation of Figure 3 and the specification ``S1`` of
+  Example 4.1, used by the currency-preservation examples.
+
+Two encoding notes (documented in EXPERIMENTS.md as well):
+
+* salaries and budgets are stored as integers in thousands (``50`` for "50k",
+  ``6500`` for "6500k") so that the built-in ``>`` of ϕ1 works on a numeric
+  domain; the certain answers become ``80`` (Q1) and ``6000`` (Q4);
+* for the Example 4.1 specification we use the *full* currency semantics
+  described in Example 1.1(2) — the marital status evolves single → married →
+  divorced and tuples with the most current status carry the most current
+  last name — rather than only the simplified constraint ϕ2 of Example 2.1.
+  The simplified ϕ2 suffices for Q2 on Figure 1 but not for the
+  currency-preservation claims of Example 4.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.copy_function import CopyFunction, CopySignature
+from repro.core.denial import AttrRef, Comparison, Const, CurrencyAtom, DenialConstraint
+from repro.core.instance import TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.query.ast import SPQuery
+
+__all__ = [
+    "emp_schema",
+    "dept_schema",
+    "mgr_schema",
+    "emp_instance",
+    "dept_instance",
+    "mgr_instance",
+    "emp_constraints",
+    "dept_constraints",
+    "mgr_constraints",
+    "status_transition_constraints",
+    "status_currency_constraints",
+    "paper_queries",
+    "dept_copy_function",
+    "company_specification",
+    "manager_specification",
+    "manager_copy_function",
+    "query_q1_salary",
+    "query_q2_last_name",
+    "query_q3_address",
+    "query_q4_budget",
+    "EXPECTED_ANSWERS",
+]
+
+# Entity ids: Mary (s1-s3), Bob (s4) and Robert (s5) are three distinct entities
+# (Example 2.3 orders s1..s3 only; Example 2.4 treats merging s4/s5 as a what-if).
+MARY, BOB, ROBERT = "e_mary", "e_bob", "e_robert"
+
+EXPECTED_ANSWERS: Dict[str, frozenset] = {
+    "Q1": frozenset({(80,)}),
+    "Q2": frozenset({("Dupont",)}),
+    "Q3": frozenset({("6 Main St",)}),
+    "Q4": frozenset({(6000,)}),
+}
+
+
+# --------------------------------------------------------------------------- #
+# Schemas
+# --------------------------------------------------------------------------- #
+def emp_schema() -> RelationSchema:
+    """``Emp(EID, FN, LN, address, salary, status)``."""
+    return RelationSchema("Emp", ("FN", "LN", "address", "salary", "status"))
+
+
+def dept_schema() -> RelationSchema:
+    """``Dept(dname, mgrFN, mgrLN, mgrAddr, budget)`` — dname is the EID."""
+    return RelationSchema("Dept", ("mgrFN", "mgrLN", "mgrAddr", "budget"), eid="dname")
+
+
+def mgr_schema() -> RelationSchema:
+    """``Mgr`` shares the attribute structure of ``Emp`` (Figure 3)."""
+    return RelationSchema("Mgr", ("FN", "LN", "address", "salary", "status"))
+
+
+# --------------------------------------------------------------------------- #
+# Instances (Figure 1 and Figure 3)
+# --------------------------------------------------------------------------- #
+def emp_instance() -> TemporalInstance:
+    """The ``Emp`` relation of Figure 1 with empty initial currency orders."""
+    schema = emp_schema()
+    rows = {
+        "s1": {"EID": MARY, "FN": "Mary", "LN": "Smith", "address": "2 Small St",
+               "salary": 50, "status": "single"},
+        "s2": {"EID": MARY, "FN": "Mary", "LN": "Dupont", "address": "10 Elm Ave",
+               "salary": 50, "status": "married"},
+        "s3": {"EID": MARY, "FN": "Mary", "LN": "Dupont", "address": "6 Main St",
+               "salary": 80, "status": "married"},
+        "s4": {"EID": BOB, "FN": "Bob", "LN": "Luth", "address": "8 Cowan St",
+               "salary": 80, "status": "married"},
+        "s5": {"EID": ROBERT, "FN": "Robert", "LN": "Luth", "address": "8 Drum St",
+               "salary": 55, "status": "married"},
+    }
+    return TemporalInstance.from_rows(schema, rows)
+
+
+def dept_instance() -> TemporalInstance:
+    """The ``Dept`` relation of Figure 1 (single entity: department R&D)."""
+    schema = dept_schema()
+    rows = {
+        "t1": {"dname": "R&D", "mgrFN": "Mary", "mgrLN": "Smith",
+               "mgrAddr": "2 Small St", "budget": 6500},
+        "t2": {"dname": "R&D", "mgrFN": "Mary", "mgrLN": "Smith",
+               "mgrAddr": "2 Small St", "budget": 7000},
+        "t3": {"dname": "R&D", "mgrFN": "Mary", "mgrLN": "Dupont",
+               "mgrAddr": "6 Main St", "budget": 6000},
+        "t4": {"dname": "R&D", "mgrFN": "Ed", "mgrLN": "Luth",
+               "mgrAddr": "8 Cowan St", "budget": 6000},
+    }
+    return TemporalInstance.from_rows(schema, rows)
+
+
+def mgr_instance() -> TemporalInstance:
+    """The ``Mgr`` relation of Figure 3 (one entity: Mary)."""
+    schema = mgr_schema()
+    rows = {
+        "m1": {"EID": MARY, "FN": "Mary", "LN": "Dupont", "address": "6 Main St",
+               "salary": 60, "status": "married"},
+        "m2": {"EID": MARY, "FN": "Mary", "LN": "Dupont", "address": "6 Main St",
+               "salary": 80, "status": "married"},
+        "m3": {"EID": MARY, "FN": "Mary", "LN": "Smith", "address": "2 Small St",
+               "salary": 80, "status": "divorced"},
+    }
+    return TemporalInstance.from_rows(schema, rows)
+
+
+# --------------------------------------------------------------------------- #
+# Denial constraints
+# --------------------------------------------------------------------------- #
+def _phi1(schema: RelationSchema) -> DenialConstraint:
+    """ϕ1: higher salary ⇒ more current salary (salaries never decrease)."""
+    return DenialConstraint(
+        schema,
+        ("s", "t"),
+        body=[Comparison(AttrRef("s", "salary"), ">", AttrRef("t", "salary"))],
+        head=CurrencyAtom("t", "salary", "s"),
+        name=f"phi1_{schema.name}",
+    )
+
+
+def _phi2(schema: RelationSchema) -> DenialConstraint:
+    """ϕ2 (Example 2.1): married is more current than single in LN."""
+    return DenialConstraint(
+        schema,
+        ("s", "t"),
+        body=[
+            Comparison(AttrRef("s", "status"), "=", Const("married")),
+            Comparison(AttrRef("t", "status"), "=", Const("single")),
+        ],
+        head=CurrencyAtom("t", "LN", "s"),
+        name=f"phi2_{schema.name}",
+    )
+
+
+def _phi3(schema: RelationSchema) -> DenialConstraint:
+    """ϕ3: more current salary ⇒ more current address."""
+    return DenialConstraint(
+        schema,
+        ("s", "t"),
+        body=[CurrencyAtom("t", "salary", "s")],
+        head=CurrencyAtom("t", "address", "s"),
+        name=f"phi3_{schema.name}",
+    )
+
+
+def _phi4(schema: RelationSchema) -> DenialConstraint:
+    """ϕ4: more current manager address ⇒ more current budget (on Dept)."""
+    return DenialConstraint(
+        schema,
+        ("s", "t"),
+        body=[CurrencyAtom("t", "mgrAddr", "s")],
+        head=CurrencyAtom("t", "budget", "s"),
+        name=f"phi4_{schema.name}",
+    )
+
+
+def _phi5(schema: RelationSchema) -> DenialConstraint:
+    """ϕ5 (Example 4.1): divorced is more current than married in LN."""
+    return DenialConstraint(
+        schema,
+        ("s", "t"),
+        body=[
+            Comparison(AttrRef("s", "status"), "=", Const("divorced")),
+            Comparison(AttrRef("t", "status"), "=", Const("married")),
+        ],
+        head=CurrencyAtom("t", "LN", "s"),
+        name=f"phi5_{schema.name}",
+    )
+
+
+def status_transition_constraints(schema: RelationSchema) -> List[DenialConstraint]:
+    """Example 1.1(2)(a): the marital status evolves single → married →
+    divorced and never back, expressed on the ``status`` currency order."""
+    transitions: List[Tuple[str, str]] = [
+        ("single", "married"),
+        ("married", "divorced"),
+        ("single", "divorced"),
+    ]
+    constraints: List[DenialConstraint] = []
+    for older, newer in transitions:
+        constraints.append(
+            DenialConstraint(
+                schema,
+                ("s", "t"),
+                body=[
+                    Comparison(AttrRef("s", "status"), "=", Const(newer)),
+                    Comparison(AttrRef("t", "status"), "=", Const(older)),
+                ],
+                head=CurrencyAtom("t", "status", "s"),
+                name=f"status_{older}_{newer}_{schema.name}",
+            )
+        )
+    return constraints
+
+
+def status_currency_constraints(schema: RelationSchema) -> List[DenialConstraint]:
+    """The full status semantics of Example 1.1(2).
+
+    (a) the marital status evolves single → married → divorced (never back),
+    expressed on the ``status`` currency order, and (b) tuples with the most
+    current status also carry the most current last name
+    (``t ≺_status s → t ≺_LN s``).
+    """
+    transitions: List[Tuple[str, str]] = [
+        ("single", "married"),
+        ("married", "divorced"),
+        ("single", "divorced"),
+    ]
+    constraints: List[DenialConstraint] = []
+    for older, newer in transitions:
+        constraints.append(
+            DenialConstraint(
+                schema,
+                ("s", "t"),
+                body=[
+                    Comparison(AttrRef("s", "status"), "=", Const(newer)),
+                    Comparison(AttrRef("t", "status"), "=", Const(older)),
+                ],
+                head=CurrencyAtom("t", "status", "s"),
+                name=f"status_{older}_{newer}_{schema.name}",
+            )
+        )
+    constraints.append(
+        DenialConstraint(
+            schema,
+            ("s", "t"),
+            body=[CurrencyAtom("t", "status", "s")],
+            head=CurrencyAtom("t", "LN", "s"),
+            name=f"status_implies_ln_{schema.name}",
+        )
+    )
+    return constraints
+
+
+def emp_constraints() -> List[DenialConstraint]:
+    """ϕ1–ϕ3 of Example 2.1, on ``Emp``."""
+    schema = emp_schema()
+    return [_phi1(schema), _phi2(schema), _phi3(schema)]
+
+
+def dept_constraints() -> List[DenialConstraint]:
+    """ϕ4 of Example 2.1, on ``Dept``."""
+    return [_phi4(dept_schema())]
+
+
+def mgr_constraints() -> List[DenialConstraint]:
+    """ϕ5 of Example 4.1, on ``Mgr``."""
+    return [_phi5(mgr_schema())]
+
+
+# --------------------------------------------------------------------------- #
+# Copy functions
+# --------------------------------------------------------------------------- #
+def dept_copy_function() -> CopyFunction:
+    """ρ of Example 2.2: ``Dept[mgrAddr] ⇐ Emp[address]``."""
+    signature = CopySignature(dept_schema(), ("mgrAddr",), emp_schema(), ("address",))
+    return CopyFunction(
+        "rho_dept",
+        signature,
+        target="Dept",
+        source="Emp",
+        mapping={"t1": "s1", "t2": "s1", "t3": "s3", "t4": "s4"},
+    )
+
+
+def manager_copy_function() -> CopyFunction:
+    """ρ of Example 4.1: ``Emp[FN,LN,address,salary,status] ⇐ Mgr[...]`` with
+    ``ρ(s3) = m2``."""
+    attributes = ("FN", "LN", "address", "salary", "status")
+    signature = CopySignature(emp_schema(), attributes, mgr_schema(), attributes)
+    return CopyFunction("rho_mgr", signature, target="Emp", source="Mgr", mapping={"s3": "m2"})
+
+
+# --------------------------------------------------------------------------- #
+# Specifications
+# --------------------------------------------------------------------------- #
+def company_specification(
+    with_copy_function: bool = True, include_status_semantics: bool = True
+) -> Specification:
+    """Specification ``S0`` of Example 2.3: Figure 1, ϕ1–ϕ4 and ρ.
+
+    By default the status-transition constraints of Example 1.1(2)(a) are
+    included as well; they are needed for the determinism claim of Example 3.3
+    (``LST(Emp) = {s3, s4, s5}`` in every consistent completion).  Pass
+    ``include_status_semantics=False`` for the literal constraint set ϕ1–ϕ4 of
+    Example 2.1, under which the queries Q1–Q4 still have the paper's certain
+    answers but ``Emp`` is not deterministic (the status attribute is
+    unconstrained).
+    """
+    copy_functions = [dept_copy_function()] if with_copy_function else []
+    constraints_emp = emp_constraints()
+    if include_status_semantics:
+        constraints_emp += status_transition_constraints(emp_schema())
+    return Specification(
+        instances={"Emp": emp_instance(), "Dept": dept_instance()},
+        constraints={"Emp": constraints_emp, "Dept": dept_constraints()},
+        copy_functions=copy_functions,
+    )
+
+
+def manager_specification() -> Specification:
+    """Specification ``S1`` of Example 4.1: ``Emp`` + ``Mgr``, full status
+    semantics on Emp, ϕ5 on Mgr, and the copy function ρ(s3)=m2."""
+    emp = emp_schema()
+    constraints_emp = [_phi1(emp), _phi3(emp)] + status_currency_constraints(emp)
+    return Specification(
+        instances={"Emp": emp_instance(), "Mgr": mgr_instance()},
+        constraints={"Emp": constraints_emp, "Mgr": mgr_constraints()},
+        copy_functions=[manager_copy_function()],
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Queries Q1–Q4 of Example 1.1 (SP queries)
+# --------------------------------------------------------------------------- #
+def query_q1_salary() -> SPQuery:
+    """Q1: Mary's current salary (certain answer: 80, i.e. "80k")."""
+    return SPQuery("Emp", emp_schema(), ["salary"], eq_const={"FN": "Mary"}, name="Q1")
+
+
+def query_q2_last_name() -> SPQuery:
+    """Q2: Mary's current last name (certain answer: "Dupont")."""
+    return SPQuery("Emp", emp_schema(), ["LN"], eq_const={"FN": "Mary"}, name="Q2")
+
+
+def query_q3_address() -> SPQuery:
+    """Q3: Mary's current address (certain answer: "6 Main St")."""
+    return SPQuery("Emp", emp_schema(), ["address"], eq_const={"FN": "Mary"}, name="Q3")
+
+
+def query_q4_budget() -> SPQuery:
+    """Q4: the current budget of department R&D (certain answer: 6000)."""
+    return SPQuery("Dept", dept_schema(), ["budget"], name="Q4")
+
+
+def paper_queries() -> Dict[str, SPQuery]:
+    """All four queries keyed by their paper name."""
+    return {
+        "Q1": query_q1_salary(),
+        "Q2": query_q2_last_name(),
+        "Q3": query_q3_address(),
+        "Q4": query_q4_budget(),
+    }

@@ -1,0 +1,239 @@
+"""Synthetic specification generators.
+
+The paper has no empirical evaluation of its own (it is a theory paper); the
+benchmark harness therefore exercises the decision procedures on controlled
+synthetic specifications whose size parameters map directly onto the inputs of
+the complexity results: number of entities, tuples per entity, number of
+attributes, density of the initial partial currency orders, presence/absence
+of denial constraints, and copy-function topology.
+
+All generators are deterministic given a seed (``random.Random(seed)``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.copy_function import CopyFunction, CopySignature
+from repro.core.denial import AttrRef, Comparison, CurrencyAtom, DenialConstraint
+from repro.core.instance import TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.core.tuples import RelationTuple
+from repro.query.ast import SPQuery
+
+__all__ = [
+    "SyntheticConfig",
+    "random_specification",
+    "random_sp_query",
+    "chain_copy_specification",
+]
+
+
+@dataclass
+class SyntheticConfig:
+    """Parameters of a synthetic specification.
+
+    Attributes
+    ----------
+    entities:
+        Number of distinct entities per relation.
+    tuples_per_entity:
+        Size of every entity block.
+    attributes:
+        Number of ordinary attributes.
+    order_density:
+        Probability that a pair of same-entity tuples is initially ordered
+        (per attribute); densities close to 1 approximate reliable timestamps.
+    value_domain:
+        Size of the per-attribute value domain.
+    with_constraints:
+        Whether to attach the standard denial-constraint template (a
+        "non-decreasing value ⇒ more current" rule on attribute ``a0`` plus a
+        correlation rule ``a0 ⇒ a1``); this is the tractability switch of
+        Section 6.
+    relations:
+        Number of relations; relation ``i+1`` copies attribute ``a0`` from
+        relation ``i`` when ``with_copy_functions`` is set.
+    with_copy_functions:
+        Whether to add the chain of copy functions.
+    seed:
+        Seed of the pseudo-random generator.
+    """
+
+    entities: int = 2
+    tuples_per_entity: int = 3
+    attributes: int = 3
+    order_density: float = 0.3
+    value_domain: int = 4
+    with_constraints: bool = True
+    relations: int = 1
+    with_copy_functions: bool = False
+    seed: int = 0
+
+    def describe(self) -> str:
+        """A compact human-readable parameter summary (used in bench output)."""
+        return (
+            f"entities={self.entities} block={self.tuples_per_entity} "
+            f"attrs={self.attributes} density={self.order_density} "
+            f"dcs={'yes' if self.with_constraints else 'no'} "
+            f"relations={self.relations} copies={'yes' if self.with_copy_functions else 'no'}"
+        )
+
+
+def _schema(index: int, config: SyntheticConfig) -> RelationSchema:
+    return RelationSchema(f"R{index}", tuple(f"a{j}" for j in range(config.attributes)))
+
+
+def _template_constraints(schema: RelationSchema) -> List[DenialConstraint]:
+    """The standard constraint template: larger ``a0`` is more current, and the
+    ``a0`` order propagates to ``a1`` (mirrors ϕ1/ϕ3 of the paper)."""
+    constraints = [
+        DenialConstraint(
+            schema,
+            ("s", "t"),
+            body=[Comparison(AttrRef("s", "a0"), ">", AttrRef("t", "a0"))],
+            head=CurrencyAtom("t", "a0", "s"),
+            name=f"monotone_a0_{schema.name}",
+        )
+    ]
+    if schema.has_attribute("a1"):
+        constraints.append(
+            DenialConstraint(
+                schema,
+                ("s", "t"),
+                body=[CurrencyAtom("t", "a0", "s")],
+                head=CurrencyAtom("t", "a1", "s"),
+                name=f"correlate_a0_a1_{schema.name}",
+            )
+        )
+    return constraints
+
+
+def _random_instance(
+    schema: RelationSchema, config: SyntheticConfig, rng: random.Random
+) -> TemporalInstance:
+    instance = TemporalInstance(schema)
+    for entity_index in range(config.entities):
+        eid = f"e{entity_index}"
+        for tuple_index in range(config.tuples_per_entity):
+            tid = f"{schema.name}_{eid}_t{tuple_index}"
+            values = {schema.eid: eid}
+            for attribute in schema.attributes:
+                values[attribute] = rng.randrange(config.value_domain)
+            instance.add(RelationTuple(schema, tid, values))
+    # sprinkle initial partial currency orders (always acyclic: respect an
+    # arbitrary per-entity base permutation)
+    for attribute in schema.attributes:
+        for entity_index in range(config.entities):
+            eid = f"e{entity_index}"
+            block = instance.entity_tids(eid)
+            base = list(block)
+            rng.shuffle(base)
+            for i in range(len(base)):
+                for j in range(i + 1, len(base)):
+                    if rng.random() < config.order_density:
+                        instance.add_order(attribute, base[i], base[j])
+    return instance
+
+
+def random_specification(config: SyntheticConfig) -> Specification:
+    """A synthetic specification following *config*."""
+    rng = random.Random(config.seed)
+    instances: Dict[str, TemporalInstance] = {}
+    constraints: Dict[str, List[DenialConstraint]] = {}
+    schemas: List[RelationSchema] = []
+    for index in range(config.relations):
+        schema = _schema(index, config)
+        schemas.append(schema)
+        instances[schema.name] = _random_instance(schema, config, rng)
+        constraints[schema.name] = _template_constraints(schema) if config.with_constraints else []
+    copy_functions: List[CopyFunction] = []
+    if config.with_copy_functions and config.relations > 1:
+        copy_functions = _chain_copy_functions(schemas, instances, rng)
+    return Specification(instances, constraints, copy_functions)
+
+
+def _chain_copy_functions(
+    schemas: Sequence[RelationSchema],
+    instances: Dict[str, TemporalInstance],
+    rng: random.Random,
+) -> List[CopyFunction]:
+    """Copy ``a0`` of relation i into relation i+1 wherever values agree.
+
+    The mapping is built value-consistently so the copying condition holds by
+    construction: a target tuple maps to a same-entity source tuple with the
+    same ``a0`` value, when one exists.
+    """
+    functions: List[CopyFunction] = []
+    for index in range(len(schemas) - 1):
+        source_schema, target_schema = schemas[index], schemas[index + 1]
+        source = instances[source_schema.name]
+        target = instances[target_schema.name]
+        mapping: Dict[str, str] = {}
+        for target_tuple in target.tuples():
+            candidates = [
+                s.tid
+                for s in source.entity_block(target_tuple.eid)
+                if s["a0"] == target_tuple["a0"]
+            ]
+            if candidates:
+                mapping[target_tuple.tid] = rng.choice(candidates)
+        if not mapping:
+            continue
+        signature = CopySignature(target_schema, ("a0",), source_schema, ("a0",))
+        functions.append(
+            CopyFunction(
+                f"copy_{source_schema.name}_to_{target_schema.name}",
+                signature,
+                target=target_schema.name,
+                source=source_schema.name,
+                mapping=mapping,
+            )
+        )
+    return functions
+
+
+def chain_copy_specification(
+    relations: int = 2,
+    entities: int = 2,
+    tuples_per_entity: int = 3,
+    order_density: float = 0.4,
+    with_constraints: bool = False,
+    seed: int = 0,
+) -> Specification:
+    """A convenience wrapper: *relations* sources chained by copy functions."""
+    config = SyntheticConfig(
+        entities=entities,
+        tuples_per_entity=tuples_per_entity,
+        attributes=3,
+        order_density=order_density,
+        with_constraints=with_constraints,
+        relations=relations,
+        with_copy_functions=True,
+        seed=seed,
+    )
+    return random_specification(config)
+
+
+def random_sp_query(
+    specification: Specification,
+    relation: Optional[str] = None,
+    seed: int = 0,
+) -> SPQuery:
+    """A random SP query over one relation of *specification*: project one
+    attribute, select on another attribute = a value drawn from the instance."""
+    rng = random.Random(seed)
+    name = relation or specification.instance_names()[0]
+    instance = specification.instance(name)
+    schema = instance.schema
+    projected = rng.choice(schema.attributes)
+    selectable = [a for a in schema.attributes if a != projected]
+    eq_const = {}
+    if selectable and len(instance) > 0:
+        attribute = rng.choice(selectable)
+        witness = rng.choice(instance.tuples())
+        eq_const[attribute] = witness[attribute]
+    return SPQuery(name, schema, [projected], eq_const=eq_const, name=f"SP_{name}")

@@ -1,0 +1,86 @@
+"""Tests for the analysis utilities (complexity tables, scaling, reports)."""
+
+import time
+
+from repro.analysis.complexity import SPECIAL_CASES, TABLE_II, TABLE_III, lookup, table_rows
+from repro.analysis.report import render_kv, render_table
+from repro.analysis.runtime import classify_growth, measure_scaling
+
+
+class TestComplexityTables:
+    def test_table_ii_covers_three_problems(self):
+        assert {entry.problem for entry in TABLE_II} == {"CPS", "COP", "DCIP"}
+
+    def test_table_iii_covers_four_problems(self):
+        assert {entry.problem for entry in TABLE_III} == {"CCQA", "CPP", "ECP", "BCP"}
+
+    def test_paper_claims_are_recorded(self):
+        [cps_data] = [e for e in TABLE_II if e.problem == "CPS" and e.measure == "data"]
+        assert cps_data.complexity == "NP-complete"
+        [ccqa_fo] = [e for e in TABLE_III if e.problem == "CCQA" and e.setting == "FO"]
+        assert ccqa_fo.complexity == "PSPACE-complete"
+
+    def test_special_cases_are_tractable(self):
+        ptime = [e for e in SPECIAL_CASES if e.complexity == "PTIME"]
+        assert all(e.tractable for e in ptime)
+        assert {e.problem for e in ptime} == {"CPS", "COP", "DCIP", "CCQA", "CPP", "BCP"}
+
+    def test_lookup_by_problem_and_measure(self):
+        rows = lookup("CCQA", "combined")
+        assert any("PSPACE" in r.complexity for r in rows)
+        assert all(r.problem == "CCQA" for r in rows)
+
+    def test_table_rows_accessor(self):
+        assert table_rows("II") is TABLE_II
+        assert table_rows("III") is TABLE_III
+        assert table_rows("special") is SPECIAL_CASES
+
+
+class TestRuntimeAnalysis:
+    def test_classify_flat(self):
+        growth, _, _ = classify_growth([1, 2, 3, 4], [0.001, 0.0011, 0.0012, 0.001])
+        assert growth == "flat"
+
+    def test_classify_polynomial(self):
+        sizes = [10, 20, 40, 80, 160]
+        seconds = [s**2 / 1e6 for s in sizes]
+        growth, exponent, _ = classify_growth(sizes, seconds)
+        assert growth == "polynomial"
+        assert 1.5 < exponent < 2.5
+
+    def test_classify_exponential(self):
+        sizes = [5, 10, 15, 20, 25]
+        seconds = [2**s / 1e8 for s in sizes]
+        growth, _, base = classify_growth(sizes, seconds)
+        assert growth == "exponential"
+        assert base > 1.5
+
+    def test_too_few_points_is_flat(self):
+        growth, _, _ = classify_growth([1, 2], [0.1, 0.2])
+        assert growth == "flat"
+
+    def test_measure_scaling_runs_the_callable(self):
+        calls = []
+
+        def runner(n):
+            calls.append(n)
+            time.sleep(0)
+
+        result = measure_scaling("noop", runner, [1, 2, 3])
+        assert calls == [1, 2, 3]
+        assert len(result.measurements) == 3
+        assert "noop" in result.summary()
+
+
+class TestReports:
+    def test_render_table_aligns_columns(self):
+        text = render_table(["problem", "bound"], [["CPS", "NP-complete"], ["COP", "coNP"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "problem" in lines[2]
+        assert len(lines) == 6
+
+    def test_render_kv(self):
+        text = render_kv([("rows", 3), ("status", "ok")], title="Summary")
+        assert "rows: 3" in text
+        assert text.startswith("Summary")

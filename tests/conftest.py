@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite.
+
+The ``src`` layout is added to ``sys.path`` so the tests run even when the
+package has not been installed (offline environments without the ``wheel``
+package cannot perform PEP 660 editable installs).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+from repro.core import (
+    CurrencyAtom,
+    DenialConstraint,
+    PartialOrder,
+    RelationSchema,
+    RelationTuple,
+    TemporalInstance,
+)
+from repro.workloads import company
+
+
+@pytest.fixture()
+def emp_schema():
+    return company.emp_schema()
+
+
+@pytest.fixture()
+def emp_instance():
+    return company.emp_instance()
+
+
+@pytest.fixture()
+def company_spec():
+    return company.company_specification()
+
+
+@pytest.fixture()
+def company_spec_literal():
+    return company.company_specification(include_status_semantics=False)
+
+
+@pytest.fixture()
+def manager_spec():
+    return company.manager_specification()
+
+
+@pytest.fixture()
+def paper_queries():
+    return company.paper_queries()
+
+
+@pytest.fixture()
+def pair_schema():
+    """A tiny two-attribute schema used by many unit tests."""
+    return RelationSchema("R", ("A", "B"))
+
+
+@pytest.fixture()
+def two_entity_instance(pair_schema):
+    """Two entities with two tuples each and no initial currency orders."""
+    rows = {
+        "t1": {"EID": "e1", "A": 1, "B": 10},
+        "t2": {"EID": "e1", "A": 2, "B": 20},
+        "u1": {"EID": "e2", "A": 3, "B": 30},
+        "u2": {"EID": "e2", "A": 4, "B": 40},
+    }
+    return TemporalInstance.from_rows(pair_schema, rows)

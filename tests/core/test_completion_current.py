@@ -1,0 +1,112 @@
+"""Unit tests for completion enumeration and current instances (LST)."""
+
+import pytest
+
+from repro.core.completion import (
+    completions_of_instance,
+    consistent_completions,
+    count_consistent_completions,
+    first_consistent_completion,
+)
+from repro.core.current import current_database, current_instance, current_tuple
+from repro.core.instance import TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.exceptions import PartialOrderError
+from repro.workloads import company
+
+
+@pytest.fixture()
+def small_instance():
+    schema = RelationSchema("R", ("A", "B"))
+    return TemporalInstance.from_rows(
+        schema,
+        {
+            "t1": {"EID": "e", "A": 1, "B": 10},
+            "t2": {"EID": "e", "A": 2, "B": 20},
+        },
+    )
+
+
+class TestCompletionEnumeration:
+    def test_two_tuples_two_attributes_give_four_completions(self, small_instance):
+        assert sum(1 for _ in completions_of_instance(small_instance)) == 4
+
+    def test_initial_orders_restrict_completions(self, small_instance):
+        small_instance.add_order("A", "t1", "t2")
+        completions = list(completions_of_instance(small_instance))
+        assert len(completions) == 2
+        assert all(c.precedes("A", "t1", "t2") for c in completions)
+
+    def test_completions_are_complete(self, small_instance):
+        for completion in completions_of_instance(small_instance):
+            assert completion.is_complete()
+            assert completion.is_completion_of(small_instance)
+
+    def test_singleton_blocks_have_single_completion(self):
+        schema = RelationSchema("R", ("A",))
+        instance = TemporalInstance.from_rows(schema, {"t": {"EID": "e", "A": 1}})
+        assert sum(1 for _ in completions_of_instance(instance)) == 1
+
+    def test_consistent_completions_respect_constraints(self):
+        spec = company.company_specification(with_copy_function=False)
+        # restrict to the Dept relation only: 4 tuples, one entity
+        dept_only = Specification(
+            {"Dept": spec.instance("Dept")}, {"Dept": spec.constraints_for("Dept")}
+        )
+        for completion in consistent_completions(dept_only, limit=5):
+            dept = completion["Dept"]
+            for constraint in dept_only.constraints_for("Dept"):
+                assert constraint.satisfied_by(dept)
+
+    def test_first_and_count(self, small_instance):
+        spec = Specification({"R": small_instance})
+        assert first_consistent_completion(spec) is not None
+        assert count_consistent_completions(spec) == 4
+
+
+class TestCurrentInstances:
+    def test_current_tuple_mixes_attributes(self, small_instance):
+        """Example 2.4 shape: different attributes can take their current value
+        from different tuples."""
+        small_instance.add_order("A", "t1", "t2")
+        small_instance.add_order("B", "t2", "t1")
+        [completion] = list(completions_of_instance(small_instance))
+        lst = current_tuple(completion, "e")
+        assert lst["A"] == 2  # from t2
+        assert lst["B"] == 10  # from t1
+
+    def test_current_tuple_requires_known_entity(self, small_instance):
+        small_instance.add_order("A", "t1", "t2")
+        small_instance.add_order("B", "t1", "t2")
+        [completion] = list(completions_of_instance(small_instance))
+        with pytest.raises(PartialOrderError):
+            current_tuple(completion, "unknown")
+
+    def test_current_instance_has_one_tuple_per_entity(self, two_entity_instance):
+        two_entity_instance.add_order("A", "t1", "t2")
+        two_entity_instance.add_order("B", "t1", "t2")
+        two_entity_instance.add_order("A", "u1", "u2")
+        two_entity_instance.add_order("B", "u1", "u2")
+        lst = current_instance(two_entity_instance)
+        assert len(lst) == 2
+        assert {t.eid for t in lst} == {"e1", "e2"}
+
+    def test_example_2_4_current_instances(self, company_spec):
+        """LST of the completion D^c_0 is {s3, s4, s5} for Emp and {t3} for Dept."""
+        emp = company_spec.instance("Emp").copy()
+        dept = company_spec.instance("Dept").copy()
+        for attribute in emp.schema.attributes:
+            emp.add_order(attribute, "s1", "s2")
+            emp.add_order(attribute, "s2", "s3")
+        for attribute in dept.schema.attributes:
+            dept.add_order(attribute, "t1", "t2")
+            dept.add_order(attribute, "t2", "t4")
+            dept.add_order(attribute, "t4", "t3")
+        database = current_database({"Emp": emp, "Dept": dept})
+        emp_values = database["Emp"].value_set()
+        assert (company.MARY, "Mary", "Dupont", "6 Main St", 80, "married") in emp_values
+        assert (company.BOB, "Bob", "Luth", "8 Cowan St", 80, "married") in emp_values
+        assert (company.ROBERT, "Robert", "Luth", "8 Drum St", 55, "married") in emp_values
+        dept_values = database["Dept"].value_set()
+        assert dept_values == {("R&D", "Mary", "Dupont", "6 Main St", 6000)}

@@ -1,0 +1,108 @@
+"""Unit tests for copy functions (copying condition, ≺-compatibility)."""
+
+import pytest
+
+from repro.core.copy_function import CopyFunction, CopySignature
+from repro.exceptions import CopyFunctionError
+from repro.workloads import company
+
+
+@pytest.fixture()
+def emp():
+    return company.emp_instance()
+
+
+@pytest.fixture()
+def dept():
+    return company.dept_instance()
+
+
+@pytest.fixture()
+def rho(emp, dept):
+    return company.dept_copy_function()
+
+
+class TestCopySignature:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(CopyFunctionError):
+            CopySignature(company.dept_schema(), ("mgrAddr",), company.emp_schema(), ("address", "FN"))
+
+    def test_empty_signature_rejected(self):
+        with pytest.raises(CopyFunctionError):
+            CopySignature(company.dept_schema(), (), company.emp_schema(), ())
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(Exception):
+            CopySignature(company.dept_schema(), ("nope",), company.emp_schema(), ("address",))
+
+    def test_covers_all_target_attributes(self):
+        partial = CopySignature(company.dept_schema(), ("mgrAddr",), company.emp_schema(), ("address",))
+        assert not partial.covers_all_target_attributes()
+        attrs = ("FN", "LN", "address", "salary", "status")
+        full = CopySignature(company.emp_schema(), attrs, company.mgr_schema(), attrs)
+        assert full.covers_all_target_attributes()
+
+
+class TestCopyingCondition:
+    def test_paper_copy_function_satisfies_condition(self, rho, emp, dept):
+        rho.check_copying_condition(dept, emp)  # does not raise
+        assert rho.satisfies_copying_condition(dept, emp)
+
+    def test_violation_detected(self, emp, dept):
+        bad = CopyFunction(
+            "bad",
+            CopySignature(company.dept_schema(), ("mgrAddr",), company.emp_schema(), ("address",)),
+            target="Dept",
+            source="Emp",
+            mapping={"t1": "s3"},  # t1's mgrAddr is "2 Small St" but s3's address is "6 Main St"
+        )
+        assert not bad.satisfies_copying_condition(dept, emp)
+        with pytest.raises(CopyFunctionError):
+            bad.check_copying_condition(dept, emp)
+
+    def test_call_returns_mapped_source(self, rho):
+        assert rho("t1") == "s1"
+        assert rho("t9") is None
+        assert rho.is_defined_on("t3")
+        assert not rho.is_defined_on("t9")
+
+
+class TestCompatibility:
+    def test_compatible_when_no_orders(self, rho, emp, dept):
+        # Example 2.2: with empty currency orders ρ is ≺-compatible
+        assert rho.is_compatible(dept, emp)
+
+    def test_incompatible_orders_detected(self, rho, emp, dept):
+        # Example 2.2 continued: s1 ≺_address s3 in Emp but t3 ≺_mgrAddr t1 in Dept
+        emp.add_order("address", "s1", "s3")
+        dept.add_order("mgrAddr", "t3", "t1")
+        assert not rho.is_compatible(dept, emp)
+
+    def test_compatible_when_target_follows_source(self, rho, emp, dept):
+        emp.add_order("address", "s1", "s3")
+        dept.add_order("mgrAddr", "t1", "t3")
+        dept.add_order("mgrAddr", "t2", "t3")
+        assert rho.is_compatible(dept, emp)
+
+    def test_compatibility_implications_cover_same_entity_pairs(self, rho, emp, dept):
+        implications = list(rho.compatibility_implications(dept, emp))
+        # t1,t2,t3 are all department R&D and map to Mary tuples; t4 maps to Bob
+        # (distinct source entity), so only pairs among {t1,t2,t3} appear.
+        targets = {(imp[1][1], imp[1][2]) for imp in implications}
+        assert ("t1", "t3") in targets
+        assert all("t4" not in pair for pair in targets)
+
+
+class TestExtension:
+    def test_extended_with_merges(self, rho):
+        extended = rho.extended_with({"t9": "s5"})
+        assert extended("t9") == "s5"
+        assert extended("t1") == "s1"
+        assert len(extended) == len(rho) + 1
+
+    def test_extension_cannot_redefine(self, rho):
+        with pytest.raises(CopyFunctionError):
+            rho.extended_with({"t1": "s2"})
+
+    def test_extension_with_same_value_is_noop(self, rho):
+        assert len(rho.extended_with({"t1": "s1"})) == len(rho)

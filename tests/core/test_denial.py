@@ -1,0 +1,171 @@
+"""Unit tests for denial constraints."""
+
+import pytest
+
+from repro.core.denial import AttrRef, Comparison, Const, CurrencyAtom, DenialConstraint
+from repro.core.instance import TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.exceptions import ConstraintError
+
+
+@pytest.fixture()
+def schema():
+    return RelationSchema("R", ("A", "B"))
+
+
+@pytest.fixture()
+def instance(schema):
+    return TemporalInstance.from_rows(
+        schema,
+        {
+            "t1": {"EID": "e", "A": 1, "B": 10},
+            "t2": {"EID": "e", "A": 2, "B": 20},
+            "u1": {"EID": "f", "A": 5, "B": 50},
+        },
+    )
+
+
+def monotone_constraint(schema):
+    """s[A] > t[A]  →  t ≺_A s (mirrors ϕ1 of the paper)."""
+    return DenialConstraint(
+        schema,
+        ("s", "t"),
+        body=[Comparison(AttrRef("s", "A"), ">", AttrRef("t", "A"))],
+        head=CurrencyAtom("t", "A", "s"),
+    )
+
+
+def propagation_constraint(schema):
+    """t ≺_A s  →  t ≺_B s (mirrors ϕ3 of the paper)."""
+    return DenialConstraint(
+        schema,
+        ("s", "t"),
+        body=[CurrencyAtom("t", "A", "s")],
+        head=CurrencyAtom("t", "B", "s"),
+    )
+
+
+class TestConstruction:
+    def test_requires_variables(self, schema):
+        with pytest.raises(ConstraintError):
+            DenialConstraint(schema, (), [], CurrencyAtom("s", "A", "t"))
+
+    def test_rejects_duplicate_variables(self, schema):
+        with pytest.raises(ConstraintError):
+            DenialConstraint(schema, ("s", "s"), [], CurrencyAtom("s", "A", "s"))
+
+    def test_rejects_unbound_variable_in_head(self, schema):
+        with pytest.raises(ConstraintError):
+            DenialConstraint(schema, ("s",), [], CurrencyAtom("s", "A", "t"))
+
+    def test_rejects_unknown_attribute(self, schema):
+        from repro.exceptions import CurrencyError
+
+        with pytest.raises(CurrencyError):
+            DenialConstraint(schema, ("s", "t"), [], CurrencyAtom("s", "Z", "t"))
+
+    def test_rejects_unknown_operator(self, schema):
+        with pytest.raises(ConstraintError):
+            Comparison(AttrRef("s", "A"), "~", Const(1))
+
+    def test_rejects_unbound_variable_in_comparison(self, schema):
+        with pytest.raises(ConstraintError):
+            DenialConstraint(
+                schema,
+                ("s",),
+                [Comparison(AttrRef("x", "A"), "=", Const(1))],
+                CurrencyAtom("s", "A", "s"),
+            )
+
+
+class TestSatisfaction:
+    def test_satisfied_when_head_pair_present(self, schema, instance):
+        completion = instance.copy()
+        completion.add_order("A", "t1", "t2")
+        completion.add_order("B", "t1", "t2")
+        assert monotone_constraint(schema).satisfied_by(completion)
+
+    def test_violated_when_head_pair_missing(self, schema, instance):
+        completion = instance.copy()
+        completion.add_order("A", "t2", "t1")  # contradicts the monotone rule
+        completion.add_order("B", "t1", "t2")
+        assert not monotone_constraint(schema).satisfied_by(completion)
+
+    def test_currency_premise_triggers_head(self, schema, instance):
+        completion = instance.copy()
+        completion.add_order("A", "t1", "t2")
+        completion.add_order("B", "t2", "t1")
+        assert not propagation_constraint(schema).satisfied_by(completion)
+        # flipping B satisfies it
+        fixed = instance.copy()
+        fixed.add_order("A", "t1", "t2")
+        fixed.add_order("B", "t1", "t2")
+        assert propagation_constraint(schema).satisfied_by(fixed)
+
+    def test_constraint_applies_per_entity_only(self, schema, instance):
+        # u1 (entity f) has the largest A value but no same-entity partner, so
+        # the monotone rule imposes nothing across entities.
+        completion = instance.copy()
+        completion.add_order("A", "t1", "t2")
+        completion.add_order("B", "t1", "t2")
+        assert monotone_constraint(schema).satisfied_by(completion)
+
+    def test_violations_yield_witnesses(self, schema, instance):
+        completion = instance.copy()
+        completion.add_order("A", "t2", "t1")
+        completion.add_order("B", "t1", "t2")
+        witnesses = list(monotone_constraint(schema).violations(completion))
+        assert witnesses
+        assert {w["s"].tid for w in witnesses} == {"t2"}
+
+    def test_unsatisfiable_head_means_body_must_fail(self, schema, instance):
+        # head t ≺ t encodes "the body must never hold"
+        constraint = DenialConstraint(
+            schema,
+            ("s", "t"),
+            body=[Comparison(AttrRef("s", "A"), ">", AttrRef("t", "A"))],
+            head=CurrencyAtom("t", "A", "t"),
+        )
+        completion = instance.copy()
+        completion.add_order("A", "t1", "t2")
+        completion.add_order("B", "t1", "t2")
+        assert not constraint.satisfied_by(completion)
+
+
+class TestGrounding:
+    def test_grounded_implications_filter_value_predicates(self, schema, instance):
+        grounded = list(monotone_constraint(schema).grounded_implications(instance))
+        # only the assignment s=t2, t=t1 satisfies s[A] > t[A] within entity e
+        assert len(grounded) == 1
+        assert grounded[0].head == ("A", "t1", "t2")
+        assert grounded[0].premises == ()
+
+    def test_grounded_implications_carry_premises(self, schema, instance):
+        grounded = list(propagation_constraint(schema).grounded_implications(instance))
+        heads = {g.head for g in grounded}
+        assert ("B", "t1", "t2") in heads
+        premises = {g.premises for g in grounded if g.head == ("B", "t1", "t2")}
+        assert (("A", "t1", "t2"),) in premises
+
+    def test_grounded_unsatisfiable_head_is_none(self, schema, instance):
+        constraint = DenialConstraint(
+            schema,
+            ("s", "t"),
+            body=[Comparison(AttrRef("s", "A"), ">", AttrRef("t", "A"))],
+            head=CurrencyAtom("t", "A", "t"),
+        )
+        grounded = list(constraint.grounded_implications(instance))
+        assert any(g.head is None for g in grounded)
+
+    def test_constant_comparisons(self, schema, instance):
+        constraint = DenialConstraint(
+            schema,
+            ("s", "t"),
+            body=[
+                Comparison(AttrRef("s", "A"), "=", Const(2)),
+                Comparison(AttrRef("t", "A"), "=", Const(1)),
+            ],
+            head=CurrencyAtom("t", "B", "s"),
+        )
+        grounded = list(constraint.grounded_implications(instance))
+        assert [g.head for g in grounded] == [("B", "t1", "t2")]

@@ -1,0 +1,141 @@
+"""Unit tests for normal and temporal instances."""
+
+import pytest
+
+from repro.core.instance import NormalInstance, TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.core.tuples import RelationTuple
+from repro.exceptions import PartialOrderError, TupleError
+
+
+@pytest.fixture()
+def schema():
+    return RelationSchema("R", ("A", "B"))
+
+
+def make_tuple(schema, tid, eid, a, b):
+    return RelationTuple(schema, tid, {"EID": eid, "A": a, "B": b})
+
+
+class TestNormalInstance:
+    def test_add_and_lookup(self, schema):
+        instance = NormalInstance(schema)
+        instance.add(make_tuple(schema, "t1", "e", 1, 2))
+        assert instance.tuple_by_tid("t1")["A"] == 1
+        assert instance.has_tid("t1")
+        assert len(instance) == 1
+
+    def test_duplicate_tid_rejected(self, schema):
+        instance = NormalInstance(schema, [make_tuple(schema, "t1", "e", 1, 2)])
+        with pytest.raises(TupleError):
+            instance.add(make_tuple(schema, "t1", "e", 3, 4))
+
+    def test_wrong_schema_rejected(self, schema):
+        other = RelationSchema("S", ("A", "B"))
+        instance = NormalInstance(schema)
+        with pytest.raises(TupleError):
+            instance.add(make_tuple(other, "t1", "e", 1, 2))
+
+    def test_unknown_tid_lookup_raises(self, schema):
+        with pytest.raises(TupleError):
+            NormalInstance(schema).tuple_by_tid("zzz")
+
+    def test_entities_in_first_appearance_order(self, schema):
+        instance = NormalInstance(
+            schema,
+            [
+                make_tuple(schema, "t1", "e2", 1, 2),
+                make_tuple(schema, "t2", "e1", 1, 2),
+                make_tuple(schema, "t3", "e2", 5, 6),
+            ],
+        )
+        assert instance.entities() == ["e2", "e1"]
+
+    def test_entity_block(self, schema):
+        instance = NormalInstance(
+            schema,
+            [make_tuple(schema, "t1", "e1", 1, 2), make_tuple(schema, "t2", "e2", 3, 4)],
+        )
+        assert [t.tid for t in instance.entity_block("e1")] == ["t1"]
+
+    def test_value_set_equality_ignores_tids(self, schema):
+        first = NormalInstance(schema, [make_tuple(schema, "t1", "e", 1, 2)])
+        second = NormalInstance(schema, [make_tuple(schema, "x9", "e", 1, 2)])
+        assert first == second
+
+    def test_value_set_inequality(self, schema):
+        first = NormalInstance(schema, [make_tuple(schema, "t1", "e", 1, 2)])
+        second = NormalInstance(schema, [make_tuple(schema, "t1", "e", 1, 3)])
+        assert first != second
+
+
+class TestTemporalInstance:
+    def test_orders_start_empty(self, two_entity_instance):
+        for attribute in two_entity_instance.schema.attributes:
+            assert two_entity_instance.order(attribute).pair_count() == 0
+
+    def test_add_order_same_entity(self, two_entity_instance):
+        assert two_entity_instance.add_order("A", "t1", "t2")
+        assert two_entity_instance.precedes("A", "t1", "t2")
+
+    def test_add_order_cross_entity_rejected(self, two_entity_instance):
+        with pytest.raises(PartialOrderError):
+            two_entity_instance.add_order("A", "t1", "u1")
+
+    def test_from_rows_with_orders(self, schema):
+        instance = TemporalInstance.from_rows(
+            schema,
+            {"t1": {"EID": "e", "A": 1, "B": 1}, "t2": {"EID": "e", "A": 2, "B": 2}},
+            orders={"A": [("t1", "t2")]},
+        )
+        assert instance.precedes("A", "t1", "t2")
+
+    def test_normal_instance_drops_orders(self, two_entity_instance):
+        two_entity_instance.add_order("A", "t1", "t2")
+        normal = two_entity_instance.normal_instance()
+        assert isinstance(normal, NormalInstance)
+        assert not isinstance(normal, TemporalInstance)
+        assert len(normal) == len(two_entity_instance)
+
+    def test_copy_is_deep_for_orders(self, two_entity_instance):
+        clone = two_entity_instance.copy()
+        clone.add_order("A", "t1", "t2")
+        assert not two_entity_instance.precedes("A", "t1", "t2")
+
+    def test_contained_in(self, schema):
+        base = TemporalInstance.from_rows(
+            schema,
+            {"t1": {"EID": "e", "A": 1, "B": 1}, "t2": {"EID": "e", "A": 2, "B": 2}},
+        )
+        extended = base.copy()
+        extended.add_order("A", "t1", "t2")
+        assert base.contained_in(extended)
+        assert not extended.contained_in(base)
+
+    def test_is_complete_detects_missing_comparability(self, two_entity_instance):
+        assert not two_entity_instance.is_complete()
+        two_entity_instance.add_order("A", "t1", "t2")
+        two_entity_instance.add_order("B", "t1", "t2")
+        two_entity_instance.add_order("A", "u1", "u2")
+        two_entity_instance.add_order("B", "u2", "u1")
+        assert two_entity_instance.is_complete()
+
+    def test_is_completion_of(self, schema):
+        base = TemporalInstance.from_rows(
+            schema,
+            {"t1": {"EID": "e", "A": 1, "B": 1}, "t2": {"EID": "e", "A": 2, "B": 2}},
+            orders={"A": [("t1", "t2")]},
+        )
+        completion = base.copy()
+        completion.add_order("B", "t2", "t1")
+        assert completion.is_completion_of(base)
+        # reversing the base pair is not a completion of it
+        other = TemporalInstance.from_rows(
+            schema,
+            {"t1": {"EID": "e", "A": 1, "B": 1}, "t2": {"EID": "e", "A": 2, "B": 2}},
+            orders={"A": [("t2", "t1")], "B": [("t1", "t2")]},
+        )
+        assert not other.is_completion_of(base)
+
+    def test_entity_tids(self, two_entity_instance):
+        assert two_entity_instance.entity_tids("e1") == ["t1", "t2"]

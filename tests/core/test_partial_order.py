@@ -1,0 +1,145 @@
+"""Unit tests for the strict-partial-order data structure."""
+
+import pytest
+
+from repro.core.partial_order import PartialOrder
+from repro.exceptions import CycleError, PartialOrderError
+
+
+class TestAddAndQuery:
+    def test_add_records_pair(self):
+        order = PartialOrder()
+        assert order.add("a", "b")
+        assert order.precedes("a", "b")
+        assert not order.precedes("b", "a")
+
+    def test_add_is_idempotent(self):
+        order = PartialOrder(pairs=[("a", "b")])
+        assert not order.add("a", "b")
+
+    def test_transitive_closure_maintained(self):
+        order = PartialOrder(pairs=[("a", "b"), ("b", "c")])
+        assert order.precedes("a", "c")
+
+    def test_closure_through_new_edge(self):
+        order = PartialOrder(pairs=[("a", "b"), ("c", "d")])
+        order.add("b", "c")
+        assert order.precedes("a", "d")
+
+    def test_reflexive_pair_rejected(self):
+        with pytest.raises(CycleError):
+            PartialOrder().add("a", "a")
+
+    def test_direct_cycle_rejected(self):
+        order = PartialOrder(pairs=[("a", "b")])
+        with pytest.raises(CycleError):
+            order.add("b", "a")
+
+    def test_indirect_cycle_rejected(self):
+        order = PartialOrder(pairs=[("a", "b"), ("b", "c")])
+        with pytest.raises(CycleError):
+            order.add("c", "a")
+
+    def test_comparable(self):
+        order = PartialOrder(pairs=[("a", "b")])
+        order.add_element("c")
+        assert order.comparable("a", "b")
+        assert order.comparable("b", "a")
+        assert not order.comparable("a", "c")
+
+    def test_pair_count_and_len(self):
+        order = PartialOrder(pairs=[("a", "b"), ("b", "c")])
+        assert len(order) == order.pair_count() == 3  # includes the closure pair
+
+    def test_contains_protocol(self):
+        order = PartialOrder(pairs=[("a", "b")])
+        assert ("a", "b") in order
+        assert ("b", "a") not in order
+
+
+class TestSetOperations:
+    def test_copy_is_independent(self):
+        order = PartialOrder(pairs=[("a", "b")])
+        clone = order.copy()
+        clone.add("b", "c")
+        assert not order.precedes("b", "c")
+
+    def test_union(self):
+        first = PartialOrder(pairs=[("a", "b")])
+        second = PartialOrder(pairs=[("b", "c")])
+        merged = PartialOrder.union(first, second)
+        assert merged.precedes("a", "c")
+        assert not first.precedes("a", "c")
+
+    def test_union_conflicting_orders_raises(self):
+        first = PartialOrder(pairs=[("a", "b")])
+        second = PartialOrder(pairs=[("b", "a")])
+        with pytest.raises(CycleError):
+            PartialOrder.union(first, second)
+
+    def test_contains_order(self):
+        big = PartialOrder(pairs=[("a", "b"), ("b", "c")])
+        small = PartialOrder(pairs=[("a", "c")])
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_restrict(self):
+        order = PartialOrder(pairs=[("a", "b"), ("b", "c")])
+        restricted = order.restrict({"a", "c"})
+        assert restricted.precedes("a", "c")
+        assert restricted.elements() == frozenset({"a", "c"})
+
+    def test_equality(self):
+        assert PartialOrder(pairs=[("a", "b")]) == PartialOrder(pairs=[("a", "b")])
+        assert PartialOrder(pairs=[("a", "b")]) != PartialOrder(pairs=[("b", "a")])
+
+
+class TestExtremaAndExtensions:
+    def test_maxima_and_minima(self):
+        order = PartialOrder(pairs=[("a", "b"), ("a", "c")])
+        assert set(order.maxima()) == {"b", "c"}
+        assert order.minima() == ["a"]
+
+    def test_maxima_within_subset(self):
+        order = PartialOrder(pairs=[("a", "b"), ("b", "c")])
+        assert order.maxima({"a", "b"}) == ["b"]
+
+    def test_greatest_requires_totality(self):
+        order = PartialOrder(pairs=[("a", "b"), ("a", "c")])
+        with pytest.raises(PartialOrderError):
+            order.greatest({"a", "b", "c"})
+
+    def test_greatest_of_chain(self):
+        order = PartialOrder(pairs=[("a", "b"), ("b", "c")])
+        assert order.greatest({"a", "b", "c"}) == "c"
+
+    def test_greatest_of_empty_raises(self):
+        with pytest.raises(PartialOrderError):
+            PartialOrder().greatest(set())
+
+    def test_is_total_on(self):
+        order = PartialOrder(pairs=[("a", "b"), ("b", "c")])
+        assert order.is_total_on({"a", "b", "c"})
+        order.add_element("d")
+        assert not order.is_total_on({"a", "d"})
+
+    def test_topological_order_respects_pairs(self):
+        order = PartialOrder(pairs=[("a", "b"), ("b", "c")])
+        topo = order.topological_order()
+        assert topo.index("a") < topo.index("b") < topo.index("c")
+
+    def test_linear_extensions_of_antichain(self):
+        order = PartialOrder(["a", "b", "c"])
+        extensions = list(order.linear_extensions({"a", "b", "c"}))
+        assert len(extensions) == 6
+
+    def test_linear_extensions_of_chain_is_unique(self):
+        order = PartialOrder(pairs=[("a", "b"), ("b", "c")])
+        assert list(order.linear_extensions({"a", "b", "c"})) == [("a", "b", "c")]
+
+    def test_linear_extensions_respect_constraints(self):
+        order = PartialOrder(pairs=[("a", "b")])
+        order.add_element("c")
+        extensions = set(order.linear_extensions({"a", "b", "c"}))
+        assert all(ext.index("a") < ext.index("b") for ext in extensions)
+        assert len(extensions) == 3

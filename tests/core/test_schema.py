@@ -1,0 +1,69 @@
+"""Unit tests for relation schemas."""
+
+import pytest
+
+from repro.core.schema import RelationSchema
+from repro.exceptions import SchemaError
+
+
+class TestRelationSchema:
+    def test_basic_construction(self):
+        schema = RelationSchema("Emp", ("FN", "LN"))
+        assert schema.name == "Emp"
+        assert schema.attributes == ("FN", "LN")
+        assert schema.eid == "EID"
+
+    def test_all_attributes_puts_eid_first(self):
+        schema = RelationSchema("R", ("A", "B"))
+        assert schema.all_attributes == ("EID", "A", "B")
+
+    def test_custom_eid_attribute(self):
+        schema = RelationSchema("Dept", ("budget",), eid="dname")
+        assert schema.eid == "dname"
+        assert schema.all_attributes == ("dname", "budget")
+
+    def test_arity_counts_ordinary_attributes(self):
+        assert RelationSchema("R", ("A", "B", "C")).arity == 3
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ("A",))
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ())
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("A", "A"))
+
+    def test_eid_clashing_with_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("A", "EID"))
+
+    def test_has_attribute(self):
+        schema = RelationSchema("R", ("A", "B"))
+        assert schema.has_attribute("A")
+        assert not schema.has_attribute("EID")
+        assert not schema.has_attribute("Z")
+
+    def test_check_attribute_accepts_eid_and_ordinary(self):
+        schema = RelationSchema("R", ("A",))
+        assert schema.check_attribute("A") == "A"
+        assert schema.check_attribute("EID") == "EID"
+
+    def test_check_attribute_rejects_unknown(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("A",)).check_attribute("Z")
+
+    def test_check_attributes_rejects_eid(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("A",)).check_attributes(["EID"])
+
+    def test_check_attributes_returns_tuple(self):
+        schema = RelationSchema("R", ("A", "B"))
+        assert schema.check_attributes(["B", "A"]) == ("B", "A")
+
+    def test_schemas_are_value_equal(self):
+        assert RelationSchema("R", ("A",)) == RelationSchema("R", ("A",))
+        assert RelationSchema("R", ("A",)) != RelationSchema("R", ("B",))

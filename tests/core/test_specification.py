@@ -1,0 +1,119 @@
+"""Unit tests for specifications of data currency."""
+
+import pytest
+
+from repro.core.copy_function import CopyFunction, CopySignature
+from repro.core.denial import AttrRef, Comparison, CurrencyAtom, DenialConstraint
+from repro.core.instance import TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.exceptions import SpecificationError
+from repro.workloads import company
+
+
+class TestConstruction:
+    def test_requires_at_least_one_instance(self):
+        with pytest.raises(SpecificationError):
+            Specification({})
+
+    def test_constraint_for_unknown_instance_rejected(self):
+        schema = RelationSchema("R", ("A",))
+        instance = TemporalInstance.from_rows(schema, {"t": {"EID": "e", "A": 1}})
+        constraint = DenialConstraint(
+            schema, ("s", "t"),
+            [Comparison(AttrRef("s", "A"), ">", AttrRef("t", "A"))],
+            CurrencyAtom("t", "A", "s"),
+        )
+        with pytest.raises(SpecificationError):
+            Specification({"R": instance}, constraints={"S": [constraint]})
+
+    def test_constraint_schema_mismatch_rejected(self):
+        schema = RelationSchema("R", ("A",))
+        other = RelationSchema("S", ("A",))
+        instance = TemporalInstance.from_rows(schema, {"t": {"EID": "e", "A": 1}})
+        constraint = DenialConstraint(
+            other, ("s", "t"),
+            [Comparison(AttrRef("s", "A"), ">", AttrRef("t", "A"))],
+            CurrencyAtom("t", "A", "s"),
+        )
+        with pytest.raises(SpecificationError):
+            Specification({"R": instance}, constraints={"R": [constraint]})
+
+    def test_copy_function_unknown_instances_rejected(self):
+        spec_schema = RelationSchema("R", ("A",))
+        instance = TemporalInstance.from_rows(spec_schema, {"t": {"EID": "e", "A": 1}})
+        cf = CopyFunction(
+            "cf", CopySignature(spec_schema, ("A",), spec_schema, ("A",)), target="R", source="Z"
+        )
+        with pytest.raises(SpecificationError):
+            Specification({"R": instance}, copy_functions=[cf])
+
+    def test_copy_function_violating_copying_condition_rejected(self):
+        emp = company.emp_instance()
+        dept = company.dept_instance()
+        bad = CopyFunction(
+            "bad",
+            CopySignature(company.dept_schema(), ("mgrAddr",), company.emp_schema(), ("address",)),
+            target="Dept",
+            source="Emp",
+            mapping={"t1": "s3"},
+        )
+        with pytest.raises(Exception):
+            Specification({"Emp": emp, "Dept": dept}, copy_functions=[bad])
+
+    def test_company_specification_builds(self, company_spec):
+        assert set(company_spec.instance_names()) == {"Emp", "Dept"}
+        assert company_spec.has_denial_constraints()
+        assert len(company_spec.copy_functions) == 1
+        assert company_spec.total_size() == 9
+
+
+class TestAccessors:
+    def test_unknown_instance_raises(self, company_spec):
+        with pytest.raises(SpecificationError):
+            company_spec.instance("Nope")
+
+    def test_constraints_for(self, company_spec):
+        assert len(company_spec.constraints_for("Dept")) == 1
+        assert company_spec.constraints_for("Emp")
+
+    def test_copy_functions_into(self, company_spec):
+        assert [cf.name for cf in company_spec.copy_functions_into("Dept")] == ["rho_dept"]
+        assert company_spec.copy_functions_into("Emp") == []
+
+    def test_copy_is_independent(self, company_spec):
+        clone = company_spec.copy()
+        clone.instance("Emp").add_order("salary", "s1", "s2")
+        assert not company_spec.instance("Emp").precedes("salary", "s1", "s2")
+
+
+class TestCompletionChecking:
+    def test_example_2_3_completion_is_consistent(self, company_spec):
+        """The completion D^c_0 of Example 2.3 belongs to Mod(S0)."""
+        emp = company_spec.instance("Emp").copy()
+        dept = company_spec.instance("Dept").copy()
+        for attribute in emp.schema.attributes:
+            emp.add_order(attribute, "s1", "s2")
+            emp.add_order(attribute, "s2", "s3")
+        for attribute in dept.schema.attributes:
+            dept.add_order(attribute, "t1", "t2")
+            dept.add_order(attribute, "t2", "t4")
+            dept.add_order(attribute, "t4", "t3")
+        assert company_spec.is_consistent_completion({"Emp": emp, "Dept": dept})
+
+    def test_reversed_salary_order_is_inconsistent(self, company_spec):
+        emp = company_spec.instance("Emp").copy()
+        dept = company_spec.instance("Dept").copy()
+        for attribute in emp.schema.attributes:
+            emp.add_order(attribute, "s3", "s2")
+            emp.add_order(attribute, "s2", "s1")  # violates ϕ1 (salaries decrease)
+        for attribute in dept.schema.attributes:
+            dept.add_order(attribute, "t1", "t2")
+            dept.add_order(attribute, "t2", "t4")
+            dept.add_order(attribute, "t4", "t3")
+        assert not company_spec.is_consistent_completion({"Emp": emp, "Dept": dept})
+
+    def test_incomplete_orders_are_not_a_completion(self, company_spec):
+        emp = company_spec.instance("Emp").copy()
+        dept = company_spec.instance("Dept").copy()
+        assert not company_spec.is_consistent_completion({"Emp": emp, "Dept": dept})

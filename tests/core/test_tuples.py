@@ -1,0 +1,72 @@
+"""Unit tests for relation tuples."""
+
+import pytest
+
+from repro.core.schema import RelationSchema
+from repro.core.tuples import RelationTuple
+from repro.exceptions import TupleError
+
+
+@pytest.fixture()
+def schema():
+    return RelationSchema("R", ("A", "B"))
+
+
+class TestRelationTuple:
+    def test_construction_and_access(self, schema):
+        t = RelationTuple(schema, "t1", {"EID": "e", "A": 1, "B": 2})
+        assert t.tid == "t1"
+        assert t.eid == "e"
+        assert t["A"] == 1
+        assert t["B"] == 2
+
+    def test_missing_attribute_rejected(self, schema):
+        with pytest.raises(TupleError):
+            RelationTuple(schema, "t1", {"EID": "e", "A": 1})
+
+    def test_extra_attribute_rejected(self, schema):
+        with pytest.raises(TupleError):
+            RelationTuple(schema, "t1", {"EID": "e", "A": 1, "B": 2, "C": 3})
+
+    def test_unknown_attribute_lookup_raises(self, schema):
+        t = RelationTuple(schema, "t1", {"EID": "e", "A": 1, "B": 2})
+        with pytest.raises(TupleError):
+            t["Z"]
+
+    def test_get_with_default(self, schema):
+        t = RelationTuple(schema, "t1", {"EID": "e", "A": 1, "B": 2})
+        assert t.get("A") == 1
+        assert t.get("Z", "missing") == "missing"
+
+    def test_value_tuple_is_eid_first(self, schema):
+        t = RelationTuple(schema, "t1", {"B": 2, "A": 1, "EID": "e"})
+        assert t.value_tuple() == ("e", 1, 2)
+
+    def test_projection(self, schema):
+        t = RelationTuple(schema, "t1", {"EID": "e", "A": 1, "B": 2})
+        assert t.projection(("B", "A")) == (2, 1)
+
+    def test_equality_by_schema_and_tid(self, schema):
+        a = RelationTuple(schema, "t1", {"EID": "e", "A": 1, "B": 2})
+        b = RelationTuple(schema, "t1", {"EID": "e", "A": 9, "B": 9})
+        c = RelationTuple(schema, "t2", {"EID": "e", "A": 1, "B": 2})
+        assert a == b  # identity is (schema, tid)
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_same_values(self, schema):
+        a = RelationTuple(schema, "t1", {"EID": "e", "A": 1, "B": 2})
+        b = RelationTuple(schema, "t2", {"EID": "e", "A": 1, "B": 2})
+        c = RelationTuple(schema, "t3", {"EID": "e", "A": 1, "B": 3})
+        assert a.same_values(b)
+        assert not a.same_values(c)
+
+    def test_values_returns_fresh_dict(self, schema):
+        t = RelationTuple(schema, "t1", {"EID": "e", "A": 1, "B": 2})
+        values = t.values()
+        values["A"] = 99
+        assert t["A"] == 1
+
+    def test_iteration_yields_values(self, schema):
+        t = RelationTuple(schema, "t1", {"EID": "e", "A": 1, "B": 2})
+        assert list(t) == ["e", 1, 2]

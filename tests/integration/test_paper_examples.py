@@ -1,0 +1,158 @@
+"""End-to-end reproduction of the paper's worked examples (Sections 1–4).
+
+Each test cites the example it reproduces; EXPERIMENTS.md records the mapping.
+"""
+
+import pytest
+
+from repro.core.current import current_database
+from repro.preservation.cpp import find_violating_extension, is_currency_preserving
+from repro.preservation.ecp import currency_preserving_extension_exists
+from repro.preservation.extensions import apply_imports, candidate_imports
+from repro.reasoning.ccqa import certain_current_answers
+from repro.reasoning.cop import certain_ordering
+from repro.reasoning.cps import is_consistent
+from repro.reasoning.dcip import is_deterministic
+from repro.workloads import company
+
+
+class TestExample11And25:
+    """Example 1.1 / 2.5: the four queries and their certain current answers."""
+
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("Q1", {(80,)}),
+            ("Q2", {("Dupont",)}),
+            ("Q3", {("6 Main St",)}),
+            ("Q4", {(6000,)}),
+        ],
+    )
+    def test_certain_answers(self, company_spec, paper_queries, name, expected):
+        assert certain_current_answers(paper_queries[name], company_spec) == frozenset(expected)
+
+
+class TestExample22:
+    """Example 2.2: ≺-compatibility of the copy function ρ."""
+
+    def test_compatible_with_empty_orders(self):
+        rho = company.dept_copy_function()
+        assert rho.is_compatible(company.dept_instance(), company.emp_instance())
+
+    def test_incompatible_with_reversed_orders(self):
+        rho = company.dept_copy_function()
+        emp, dept = company.emp_instance(), company.dept_instance()
+        emp.add_order("address", "s1", "s3")
+        dept.add_order("mgrAddr", "t3", "t1")
+        assert not rho.is_compatible(dept, emp)
+
+
+class TestExample23And24:
+    """Example 2.3 / 2.4: consistency of S0 and current instances of D^c_0."""
+
+    def test_s0_is_consistent(self, company_spec):
+        assert is_consistent(company_spec)
+
+    def test_s0_with_conflicting_budget_copy_is_inconsistent(self):
+        from repro.core.copy_function import CopyFunction, CopySignature
+        from repro.core.instance import TemporalInstance
+        from repro.core.schema import RelationSchema
+
+        spec = company.company_specification()
+        src_schema = RelationSchema("Src", ("budget",), eid="dname")
+        src = TemporalInstance.from_rows(
+            src_schema,
+            {"x1": {"dname": "R&D", "budget": 6500}, "x3": {"dname": "R&D", "budget": 6000}},
+            orders={"budget": [("x3", "x1")]},
+        )
+        spec.instances["Src"] = src
+        spec.constraints.setdefault("Src", [])
+        spec.add_copy_function(
+            CopyFunction(
+                "rho1",
+                CopySignature(company.dept_schema(), ("budget",), src_schema, ("budget",)),
+                target="Dept", source="Src", mapping={"t1": "x1", "t3": "x3"},
+            )
+        )
+        assert not is_consistent(spec)
+
+    def test_dc0_current_instances(self, company_spec):
+        emp = company_spec.instance("Emp").copy()
+        dept = company_spec.instance("Dept").copy()
+        for attribute in emp.schema.attributes:
+            emp.add_order(attribute, "s1", "s2")
+            emp.add_order(attribute, "s2", "s3")
+        for attribute in dept.schema.attributes:
+            dept.add_order(attribute, "t1", "t2")
+            dept.add_order(attribute, "t2", "t4")
+            dept.add_order(attribute, "t4", "t3")
+        assert company_spec.is_consistent_completion({"Emp": emp, "Dept": dept})
+        lst = current_database({"Emp": emp, "Dept": dept})
+        assert len(lst["Emp"]) == 3
+        assert lst["Dept"].value_set() == {("R&D", "Mary", "Dupont", "6 Main St", 6000)}
+
+    def test_example_2_4_merged_entity_mixes_attributes(self):
+        """If s4 and s5 referred to the same person, the current tuple mixes
+        attributes of both (Robert/Luth/8 Drum St/80/married)."""
+        from repro.core.current import current_tuple
+        from repro.core.instance import TemporalInstance
+
+        schema = company.emp_schema()
+        merged = TemporalInstance(schema)
+        for tup in company.emp_instance().tuples():
+            if tup.tid in ("s4", "s5"):
+                values = tup.values()
+                values["EID"] = "e_bob_robert"
+                from repro.core.tuples import RelationTuple
+
+                merged.add(RelationTuple(schema, tup.tid, values))
+        for attribute in ("FN", "LN", "address", "status"):
+            merged.add_order(attribute, "s4", "s5")
+        merged.add_order("salary", "s5", "s4")
+        lst = current_tuple(merged, "e_bob_robert")
+        assert lst.values() == {
+            "EID": "e_bob_robert", "FN": "Robert", "LN": "Luth",
+            "address": "8 Drum St", "salary": 80, "status": "married",
+        }
+
+
+class TestExample32And33:
+    """Example 3.2 (certain ordering) and 3.3 (deterministic current instance)."""
+
+    def test_salary_ordering_is_certain(self, company_spec):
+        assert certain_ordering(company_spec, "Emp", {"salary": [("s1", "s3")]})
+
+    def test_mgrfn_ordering_is_not_certain(self, company_spec):
+        assert not certain_ordering(company_spec, "Dept", {"mgrFN": [("t3", "t4")]})
+
+    def test_emp_is_deterministic_for_current_instances(self, company_spec):
+        assert is_deterministic(company_spec, "Emp")
+
+
+class TestExample41:
+    """Example 4.1: currency preservation with the Mgr relation of Figure 3."""
+
+    def test_s1_is_consistent(self, manager_spec):
+        assert is_consistent(manager_spec)
+
+    def test_rho_is_not_currency_preserving_for_q2(self, manager_spec, paper_queries):
+        assert not is_currency_preserving(paper_queries["Q2"], manager_spec)
+
+    def test_extension_changes_q2_to_smith(self, manager_spec, paper_queries):
+        q2 = paper_queries["Q2"]
+        assert certain_current_answers(q2, manager_spec) == frozenset({("Dupont",)})
+        [m3] = [c for c in candidate_imports(manager_spec) if c.source_tid == "m3"]
+        extended = apply_imports(manager_spec, [m3])
+        assert certain_current_answers(q2, extended.specification) == frozenset({("Smith",)})
+
+    def test_rho1_is_currency_preserving(self, manager_spec, paper_queries):
+        [m3] = [c for c in candidate_imports(manager_spec) if c.source_tid == "m3"]
+        extended = apply_imports(manager_spec, [m3])
+        assert is_currency_preserving(paper_queries["Q2"], extended.specification)
+
+    def test_violating_extension_witness(self, manager_spec, paper_queries):
+        witness = find_violating_extension(paper_queries["Q2"], manager_spec)
+        assert witness is not None and witness.size_increase >= 1
+
+    def test_ecp_holds_for_s1(self, manager_spec, paper_queries):
+        assert currency_preserving_extension_exists(paper_queries["Q2"], manager_spec)

@@ -1,0 +1,114 @@
+"""Tests for CPP, ECP and BCP."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.preservation.bcp import bounded_currency_preserving_extension, has_bounded_extension
+from repro.preservation.cpp import find_violating_extension, is_currency_preserving
+from repro.preservation.ecp import currency_preserving_extension_exists, maximal_extension
+from repro.preservation.extensions import apply_imports, candidate_imports
+from repro.reasoning.ccqa import certain_current_answers
+from repro.workloads import company
+
+
+@pytest.fixture()
+def q2():
+    return company.paper_queries()["Q2"]
+
+
+@pytest.fixture()
+def q1():
+    return company.paper_queries()["Q1"]
+
+
+def extend_with(spec, source_tid):
+    [candidate] = [c for c in candidate_imports(spec) if c.source_tid == source_tid]
+    return apply_imports(spec, [candidate])
+
+
+class TestCPPExample41:
+    def test_rho_is_not_currency_preserving_for_q2(self, manager_spec, q2):
+        assert not is_currency_preserving(q2, manager_spec)
+
+    def test_violating_extension_copies_m3(self, manager_spec, q2):
+        witness = find_violating_extension(q2, manager_spec)
+        assert witness is not None
+        assert any(imp.source_tid == "m3" for imp in witness.imports)
+
+    def test_answer_changes_from_dupont_to_smith(self, manager_spec, q2):
+        base = certain_current_answers(q2, manager_spec)
+        assert base == frozenset({("Dupont",)})
+        extended = extend_with(manager_spec, "m3")
+        assert certain_current_answers(q2, extended.specification) == frozenset({("Smith",)})
+
+    def test_rho1_is_currency_preserving_for_q2(self, manager_spec, q2):
+        """Example 4.1: after importing s'3 (our m3), copying more tuples from
+        Mgr does not change the answer to Q2."""
+        extended = extend_with(manager_spec, "m3")
+        assert is_currency_preserving(q2, extended.specification)
+
+    def test_q1_salary_is_already_preserved(self, manager_spec, q1):
+        # Mgr's salaries (60, 80) never exceed the certain current salary 80
+        assert is_currency_preserving(q1, manager_spec)
+
+    def test_no_extendable_copy_function_means_preserving(self, company_spec, q1):
+        # Ext(ρ) is empty, so the condition holds vacuously (S0 is consistent)
+        assert is_currency_preserving(q1, company_spec)
+
+
+class TestECP:
+    def test_always_true_for_consistent_specifications(self, manager_spec, q2):
+        assert currency_preserving_extension_exists(q2, manager_spec)
+
+    def test_false_for_inconsistent_specifications(self, q2):
+        from repro.core.denial import AttrRef, Comparison, CurrencyAtom, DenialConstraint
+        from repro.core.instance import TemporalInstance
+        from repro.core.schema import RelationSchema
+        from repro.core.specification import Specification
+
+        schema = RelationSchema("R", ("A",))
+        instance = TemporalInstance.from_rows(
+            schema, {"t1": {"EID": "e", "A": 1}, "t2": {"EID": "e", "A": 2}}
+        )
+        up = DenialConstraint(
+            schema, ("s", "t"),
+            [Comparison(AttrRef("s", "A"), ">", AttrRef("t", "A"))],
+            CurrencyAtom("t", "A", "s"), name="up",
+        )
+        down = DenialConstraint(
+            schema, ("s", "t"),
+            [Comparison(AttrRef("s", "A"), "<", AttrRef("t", "A"))],
+            CurrencyAtom("t", "A", "s"), name="down",
+        )
+        spec = Specification({"R": instance}, {"R": [up, down]})
+        assert not currency_preserving_extension_exists(q2, spec)
+
+    def test_maximal_extension_imports_everything_importable(self, manager_spec, q2):
+        extension = maximal_extension(manager_spec)
+        assert extension.size_increase == 2  # m1 and m3
+        assert is_currency_preserving(q2, extension.specification)
+
+    def test_maximal_extension_of_unextendable_spec_is_empty(self, company_spec):
+        assert maximal_extension(company_spec).size_increase == 0
+
+
+class TestBCP:
+    def test_bounded_extension_exists_with_k1(self, manager_spec, q2):
+        assert has_bounded_extension(q2, manager_spec, k=1)
+
+    def test_witness_has_at_most_k_imports(self, manager_spec, q2):
+        witness = bounded_currency_preserving_extension(q2, manager_spec, k=1)
+        assert witness is not None
+        assert witness.size_increase <= 1
+        assert is_currency_preserving(q2, witness.specification)
+
+    def test_k0_requires_rho_itself_to_preserve(self, manager_spec, q2, q1):
+        assert not has_bounded_extension(q2, manager_spec, k=0)
+        assert has_bounded_extension(q1, manager_spec, k=0)
+
+    def test_negative_k_rejected(self, manager_spec, q2):
+        with pytest.raises(SpecificationError):
+            has_bounded_extension(q2, manager_spec, k=-1)
+
+    def test_already_preserving_spec_trivially_bounded(self, company_spec, q1):
+        assert has_bounded_extension(q1, company_spec, k=0)

@@ -1,0 +1,92 @@
+"""Tests for extension enumeration (Ext(ρ))."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.preservation.extensions import (
+    apply_imports,
+    candidate_imports,
+    enumerate_extensions,
+)
+from repro.reasoning.cps import is_consistent
+from repro.workloads import company
+
+
+class TestCandidateImports:
+    def test_manager_spec_candidates(self, manager_spec):
+        candidates = candidate_imports(manager_spec)
+        # m2 is already imported (ρ(s3) = m2); m1 and m3 remain
+        assert {(c.source_tid, c.target_eid) for c in candidates} == {
+            ("m1", company.MARY),
+            ("m3", company.MARY),
+        }
+
+    def test_company_spec_has_no_extendable_copy_function(self, company_spec):
+        # ρ of Example 2.2 covers only mgrAddr, so it cannot be extended
+        assert candidate_imports(company_spec) == []
+
+    def test_match_entities_by_eid_toggle(self, manager_spec):
+        liberal = candidate_imports(manager_spec, match_entities_by_eid=False)
+        strict = candidate_imports(manager_spec, match_entities_by_eid=True)
+        assert len(liberal) >= len(strict)
+        # Emp has three entities, so each Mgr tuple may target each of them
+        assert len(liberal) == 3 * 3 - 1  # minus the already-imported (m2, Mary)
+
+    def test_copy_function_name_filter(self, manager_spec):
+        assert candidate_imports(manager_spec, copy_function_names=["nonexistent"]) == []
+
+
+class TestApplyImports:
+    def test_new_tuple_added_with_copied_values(self, manager_spec):
+        [candidate] = [c for c in candidate_imports(manager_spec) if c.source_tid == "m3"]
+        extension = apply_imports(manager_spec, [candidate])
+        emp = extension.specification.instance("Emp")
+        assert len(emp) == len(manager_spec.instance("Emp")) + 1
+        new_tuple = emp.tuple_by_tid(candidate.new_tid())
+        assert new_tuple["LN"] == "Smith"
+        assert new_tuple["status"] == "divorced"
+        assert new_tuple.eid == company.MARY
+
+    def test_copy_function_extended(self, manager_spec):
+        [candidate] = [c for c in candidate_imports(manager_spec) if c.source_tid == "m3"]
+        extension = apply_imports(manager_spec, [candidate])
+        [cf] = extension.specification.copy_functions
+        assert cf(candidate.new_tid()) == "m3"
+        assert cf("s3") == "m2"  # the original mapping is preserved
+        assert extension.size_increase == 1
+
+    def test_base_specification_untouched(self, manager_spec):
+        before = len(manager_spec.instance("Emp"))
+        [candidate] = [c for c in candidate_imports(manager_spec) if c.source_tid == "m1"]
+        apply_imports(manager_spec, [candidate])
+        assert len(manager_spec.instance("Emp")) == before
+
+    def test_extended_specification_remains_consistent(self, manager_spec):
+        for candidate in candidate_imports(manager_spec):
+            extension = apply_imports(manager_spec, [candidate])
+            assert is_consistent(extension.specification)
+
+    def test_unknown_copy_function_rejected(self, manager_spec):
+        from repro.preservation.extensions import CandidateImport
+
+        with pytest.raises(SpecificationError):
+            apply_imports(manager_spec, [CandidateImport("nope", "m1", company.MARY)])
+
+    def test_empty_extension_describes_itself(self, manager_spec):
+        extension = apply_imports(manager_spec, [])
+        assert extension.describe() == "(no imports)"
+        assert extension.size_increase == 0
+
+
+class TestEnumerateExtensions:
+    def test_all_nonempty_subsets(self, manager_spec):
+        extensions = list(enumerate_extensions(manager_spec))
+        assert len(extensions) == 3  # {m1}, {m3}, {m1, m3}
+
+    def test_max_imports_bound(self, manager_spec):
+        extensions = list(enumerate_extensions(manager_spec, max_imports=1))
+        assert len(extensions) == 2
+        assert all(e.size_increase == 1 for e in extensions)
+
+    def test_no_extensions_when_nothing_to_import(self, company_spec):
+        assert list(enumerate_extensions(company_spec)) == []

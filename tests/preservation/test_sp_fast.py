@@ -1,0 +1,86 @@
+"""Tests for the PTIME CPP/BCP algorithms (SP queries, no denial constraints),
+validated against the exhaustive solvers."""
+
+import pytest
+
+from repro.exceptions import QueryError, SpecificationError
+from repro.preservation.cpp import is_currency_preserving
+from repro.preservation.sp_fast import sp_has_bounded_extension, sp_is_currency_preserving
+from repro.query.ast import SPQuery
+from repro.workloads import company
+from repro.workloads.synthetic import chain_copy_specification, random_sp_query
+
+
+class TestApplicability:
+    def test_requires_sp_query(self):
+        spec = chain_copy_specification(relations=2, entities=2, tuples_per_entity=2, seed=0)
+        from repro.query.builders import atom, conjunctive_query, variables
+
+        x, y = variables("x", "y")
+        cq = conjunctive_query((x,), [atom("R0", x, y, y, y)])
+        with pytest.raises(QueryError):
+            sp_is_currency_preserving(cq, spec)
+
+    def test_requires_no_denial_constraints(self, manager_spec):
+        with pytest.raises(SpecificationError):
+            sp_is_currency_preserving(company.paper_queries()["Q2"], manager_spec)
+
+
+class TestAgreementWithBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cpp_agreement_on_chained_specs(self, seed):
+        spec = chain_copy_specification(
+            relations=2, entities=2, tuples_per_entity=2, order_density=0.5,
+            with_constraints=False, seed=seed,
+        )
+        query = random_sp_query(spec, relation="R1", seed=seed)
+        fast = sp_is_currency_preserving(query, spec)
+        slow = is_currency_preserving(query, spec, method="enumerate", ccqa_method="candidates")
+        assert fast == slow, f"seed {seed}"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cpp_agreement_on_projection_queries(self, seed):
+        spec = chain_copy_specification(
+            relations=2, entities=2, tuples_per_entity=2, order_density=0.3,
+            with_constraints=False, seed=seed + 100,
+        )
+        schema = spec.instance("R1").schema
+        query = SPQuery("R1", schema, ["a0"])
+        fast = sp_is_currency_preserving(query, spec)
+        slow = is_currency_preserving(query, spec, method="enumerate", ccqa_method="candidates")
+        assert fast == slow, f"seed {seed}"
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bcp_agreement_for_k1(self, seed):
+        from repro.preservation.bcp import has_bounded_extension
+
+        spec = chain_copy_specification(
+            relations=2, entities=2, tuples_per_entity=2, order_density=0.5,
+            with_constraints=False, seed=seed,
+        )
+        query = random_sp_query(spec, relation="R1", seed=seed)
+        fast = sp_has_bounded_extension(query, spec, k=1)
+        slow = has_bounded_extension(query, spec, k=1, method="enumerate")
+        assert fast == slow, f"seed {seed}"
+
+
+class TestEdgeCases:
+    def test_no_copy_functions_is_trivially_preserving(self):
+        from repro.workloads.synthetic import SyntheticConfig, random_specification
+
+        spec = random_specification(SyntheticConfig(with_constraints=False, seed=7))
+        query = random_sp_query(spec, seed=7)
+        assert sp_is_currency_preserving(query, spec)
+
+    def test_bounded_with_k0_equals_plain_cpp(self):
+        spec = chain_copy_specification(
+            relations=2, entities=2, tuples_per_entity=2, with_constraints=False, seed=3
+        )
+        query = random_sp_query(spec, relation="R1", seed=3)
+        assert sp_has_bounded_extension(query, spec, k=0) == sp_is_currency_preserving(query, spec)
+
+    def test_negative_k_rejected(self):
+        spec = chain_copy_specification(relations=2, with_constraints=False, seed=1)
+        query = random_sp_query(spec, relation="R1", seed=1)
+        with pytest.raises(SpecificationError):
+            sp_has_bounded_extension(query, spec, k=-2)

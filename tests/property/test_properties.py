@@ -1,0 +1,186 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import TemporalInstance
+from repro.core.partial_order import PartialOrder
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.core.tuples import RelationTuple
+from repro.exceptions import CycleError
+from repro.query.ast import SPQuery
+from repro.reasoning.ccqa import certain_current_answers
+from repro.reasoning.chase import chase_certain_orders
+from repro.reasoning.cps import is_consistent
+from repro.solvers.cnf import CNF
+from repro.solvers.sat import solve
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+elements = st.integers(min_value=0, max_value=6)
+pairs = st.lists(st.tuples(elements, elements).filter(lambda p: p[0] != p[1]), max_size=12)
+
+
+def build_order(pair_list):
+    """Insert pairs, skipping those that would create a cycle."""
+    order = PartialOrder()
+    for lower, upper in pair_list:
+        try:
+            order.add(lower, upper)
+        except CycleError:
+            pass
+    return order
+
+
+clause_literals = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=5), st.booleans()), min_size=1, max_size=4
+)
+cnf_clauses = st.lists(clause_literals, min_size=1, max_size=12)
+
+
+# --------------------------------------------------------------------------- #
+# Partial-order invariants
+# --------------------------------------------------------------------------- #
+class TestPartialOrderProperties:
+    @given(pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_transitivity_and_asymmetry(self, pair_list):
+        order = build_order(pair_list)
+        for a, b in order.pairs():
+            assert not order.precedes(b, a)
+            for c in order.elements():
+                if order.precedes(b, c):
+                    assert order.precedes(a, c)
+
+    @given(pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_linear_extensions_contain_the_order(self, pair_list):
+        order = build_order(pair_list)
+        subset = list(order.elements())[:5]
+        for extension in order.linear_extensions(subset):
+            position = {e: i for i, e in enumerate(extension)}
+            for a, b in order.restrict(subset).pairs():
+                assert position[a] < position[b]
+
+    @given(pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_maxima_have_no_successors(self, pair_list):
+        order = build_order(pair_list)
+        pool = order.elements()
+        for sink in order.maxima(pool):
+            assert not (order.successors(sink) & pool)
+
+    @given(pairs, pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_union_contains_both_operands_when_defined(self, first_pairs, second_pairs):
+        first, second = build_order(first_pairs), build_order(second_pairs)
+        try:
+            merged = PartialOrder.union(first, second)
+        except CycleError:
+            return
+        assert merged.contains(first)
+        assert merged.contains(second)
+
+
+# --------------------------------------------------------------------------- #
+# SAT solver invariants
+# --------------------------------------------------------------------------- #
+class TestSATProperties:
+    @given(cnf_clauses)
+    @settings(max_examples=60, deadline=None)
+    def test_models_satisfy_every_clause(self, clause_spec):
+        clauses = [
+            tuple(var if positive else -var for var, positive in clause)
+            for clause in clause_spec
+        ]
+        model = solve(clauses, num_variables=5)
+        if model is None:
+            # verify unsatisfiability by brute force over 5 variables
+            from itertools import product
+
+            for bits in product([False, True], repeat=5):
+                assignment = {i + 1: bits[i] for i in range(5)}
+                assert not all(
+                    any(assignment[abs(l)] == (l > 0) for l in clause) for clause in clauses
+                )
+        else:
+            for clause in clauses:
+                assert any(model[abs(l)] == (l > 0) for l in clause)
+
+
+# --------------------------------------------------------------------------- #
+# Chase / CCQA invariants on random constraint-free specifications
+# --------------------------------------------------------------------------- #
+def build_specification(values, order_choices):
+    """A single-relation specification with one entity and random orders."""
+    schema = RelationSchema("R", ("A", "B"))
+    instance = TemporalInstance(schema)
+    for index, (a, b) in enumerate(values):
+        instance.add(RelationTuple(schema, f"t{index}", {"EID": "e", "A": a, "B": b}))
+    tids = instance.tids()
+    for attribute, (i, j) in order_choices:
+        lower, upper = tids[i % len(tids)], tids[j % len(tids)]
+        if lower != upper:
+            try:
+                instance.add_order(attribute, lower, upper)
+            except CycleError:
+                pass
+    return Specification({"R": instance})
+
+
+spec_values = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=1, max_size=4
+)
+spec_orders = st.lists(
+    st.tuples(st.sampled_from(["A", "B"]), st.tuples(st.integers(0, 3), st.integers(0, 3))),
+    max_size=6,
+)
+
+
+class TestReasoningProperties:
+    @given(spec_values, spec_orders)
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_constraint_free_specifications_are_consistent(self, values, order_choices):
+        specification = build_specification(values, order_choices)
+        assert is_consistent(specification, method="chase")
+        assert is_consistent(specification, method="sat")
+
+    @given(spec_values, spec_orders)
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_chase_orders_are_certain(self, values, order_choices):
+        specification = build_specification(values, order_choices)
+        chase = chase_certain_orders(specification)
+        from repro.core.completion import consistent_completions
+
+        completions = list(consistent_completions(specification))
+        assert completions
+        for (name, attribute), order in chase.orders.items():
+            for lower, upper in order.pairs():
+                assert all(c[name].precedes(attribute, lower, upper) for c in completions)
+
+    @given(spec_values, spec_orders)
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_sp_certain_answers_hold_in_every_completion(self, values, order_choices):
+        specification = build_specification(values, order_choices)
+        schema = specification.instance("R").schema
+        query = SPQuery("R", schema, ["A"])
+        answers = certain_current_answers(query, specification, method="sp")
+        from repro.core.completion import consistent_completions
+        from repro.core.current import current_database
+        from repro.query.evaluator import evaluate
+
+        for completion in consistent_completions(specification):
+            database = current_database(completion)
+            assert answers <= evaluate(query, database)
+
+    @given(spec_values, spec_orders)
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_sp_and_enumeration_agree(self, values, order_choices):
+        specification = build_specification(values, order_choices)
+        schema = specification.instance("R").schema
+        query = SPQuery("R", schema, ["B"])
+        fast = certain_current_answers(query, specification, method="sp")
+        slow = certain_current_answers(query, specification, method="enumerate")
+        assert fast == slow

@@ -1,0 +1,127 @@
+"""Unit tests for the query AST."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query.ast import (
+    And,
+    Compare,
+    Constant,
+    Exists,
+    ForAll,
+    Not,
+    Or,
+    Query,
+    RelationAtom,
+    SPQuery,
+    Var,
+    free_variables,
+    formula_variables,
+    query_constants,
+    relations_used,
+)
+from repro.workloads import company
+
+
+class TestTermsAndAtoms:
+    def test_relation_atom_wraps_plain_values_as_constants(self):
+        atom = RelationAtom("R", ("e1", Var("x"), 5))
+        assert isinstance(atom.terms[0], Constant)
+        assert isinstance(atom.terms[1], Var)
+        assert atom.terms[2].value == 5
+
+    def test_compare_rejects_unknown_operator(self):
+        with pytest.raises(QueryError):
+            Compare(Var("x"), "~", 1)
+
+    def test_and_or_flatten_nested_nodes(self):
+        a = Compare(Var("x"), "=", 1)
+        b = Compare(Var("y"), "=", 2)
+        c = Compare(Var("z"), "=", 3)
+        assert len(And(And(a, b), c).children) == 3
+        assert len(Or(Or(a, b), c).children) == 3
+
+    def test_exists_accepts_single_variable(self):
+        formula = Exists(Var("x"), Compare(Var("x"), "=", 1))
+        assert formula.variables == (Var("x"),)
+
+
+class TestVariableAnalysis:
+    def test_free_variables_of_atom(self):
+        atom = RelationAtom("R", (Var("x"), 1, Var("y")))
+        assert free_variables(atom) == frozenset({"x", "y"})
+
+    def test_free_variables_respect_quantifiers(self):
+        formula = Exists(Var("y"), And(RelationAtom("R", (Var("x"), Var("y"))),))
+        assert free_variables(formula) == frozenset({"x"})
+        assert formula_variables(formula) == frozenset({"x", "y"})
+
+    def test_forall_binds_variables(self):
+        formula = ForAll(Var("x"), Not(RelationAtom("R", (Var("x"),))))
+        assert free_variables(formula) == frozenset()
+
+    def test_relations_used(self):
+        formula = And(RelationAtom("R", (Var("x"),)), RelationAtom("S", (Var("x"),)))
+        assert relations_used(formula) == frozenset({"R", "S"})
+
+    def test_query_constants(self):
+        formula = And(RelationAtom("R", (Var("x"), 7)), Compare(Var("x"), "=", "c"))
+        assert query_constants(formula) == frozenset({7, "c"})
+
+
+class TestQueryValidation:
+    def test_head_variables_must_be_free(self):
+        body = Exists(Var("x"), RelationAtom("R", (Var("x"),)))
+        with pytest.raises(QueryError):
+            Query((Var("x"),), body)
+
+    def test_free_body_variables_must_be_in_head(self):
+        body = RelationAtom("R", (Var("x"), Var("y")))
+        with pytest.raises(QueryError):
+            Query((Var("x"),), body)
+
+    def test_boolean_query_allowed(self):
+        body = Exists((Var("x"), Var("y")), RelationAtom("R", (Var("x"), Var("y"))))
+        query = Query((), body)
+        assert query.arity == 0
+
+    def test_query_reports_relations_and_constants(self):
+        body = RelationAtom("R", (Var("x"), 3))
+        query = Query((Var("x"),), body)
+        assert query.relations() == frozenset({"R"})
+        assert 3 in query.constants()
+
+
+class TestSPQuery:
+    def test_q1_structure(self):
+        q1 = company.query_q1_salary()
+        assert q1.relation == "Emp"
+        assert q1.projection == ("salary",)
+        assert q1.eq_const == {"FN": "Mary"}
+        assert not q1.is_identity()
+
+    def test_identity_query(self):
+        schema = company.emp_schema()
+        identity = SPQuery("Emp", schema, schema.attributes)
+        assert identity.is_identity()
+
+    def test_projection_must_be_nonempty(self):
+        with pytest.raises(QueryError):
+            SPQuery("Emp", company.emp_schema(), [])
+
+    def test_relevant_attributes(self):
+        q = SPQuery(
+            "Emp",
+            company.emp_schema(),
+            ["salary"],
+            eq_const={"FN": "Mary"},
+            eq_attr=[("LN", "address")],
+        )
+        assert q.relevant_attributes() == frozenset({"salary", "FN", "LN", "address"})
+
+    def test_to_query_round_trip_is_cq(self):
+        from repro.query.classify import classify
+
+        generic = company.query_q2_last_name().to_query()
+        assert classify(generic) == "CQ"
+        assert generic.arity == 1

@@ -1,0 +1,82 @@
+"""Unit tests for query-language classification."""
+
+from repro.query.ast import And, Compare, Exists, ForAll, Not, Or, Query, RelationAtom, Var
+from repro.query.builders import atom, conjunctive_query, union_query, variables
+from repro.query.classify import (
+    QueryLanguage,
+    classify,
+    is_conjunctive,
+    is_first_order,
+    is_positive_existential,
+    is_union_of_conjunctive,
+)
+from repro.workloads import company
+
+
+def simple_cq():
+    x, y = variables("x", "y")
+    return conjunctive_query((x,), [atom("R", x, y), Compare(y, "=", 1)])
+
+
+def simple_ucq():
+    x = Var("x")
+    q1 = conjunctive_query((x,), [atom("R", x, 1)])
+    q2 = conjunctive_query((x,), [atom("R", x, 2)])
+    return union_query((x,), [q1, q2])
+
+
+def positive_existential():
+    x, y = variables("x", "y")
+    body = Exists(y, And(Or(RelationAtom("R", (x, y)), RelationAtom("S", (x, y)))))
+    return Query((x,), body)
+
+
+def full_fo():
+    x = Var("x")
+    body = And(
+        Exists(Var("y"), RelationAtom("R", (x, Var("y")))),
+        Not(RelationAtom("S", (x, x))),
+    )
+    return Query((x,), body)
+
+
+class TestFragments:
+    def test_sp_queries_classify_as_sp(self):
+        assert classify(company.query_q1_salary()) == QueryLanguage.SP
+
+    def test_cq_classification(self):
+        q = simple_cq()
+        assert is_conjunctive(q)
+        assert is_union_of_conjunctive(q)
+        assert is_positive_existential(q)
+        assert classify(q) == QueryLanguage.CQ
+
+    def test_ucq_classification(self):
+        q = simple_ucq()
+        assert not is_conjunctive(q)
+        assert is_union_of_conjunctive(q)
+        assert classify(q) == QueryLanguage.UCQ
+
+    def test_positive_existential_classification(self):
+        q = positive_existential()
+        assert not is_conjunctive(q)
+        assert is_positive_existential(q)
+        assert classify(q) == QueryLanguage.EFO_PLUS
+
+    def test_fo_classification(self):
+        q = full_fo()
+        assert not is_positive_existential(q)
+        assert is_first_order(q)
+        assert classify(q) == QueryLanguage.FO
+
+    def test_sp_to_query_is_cq(self):
+        assert classify(company.query_q3_address().to_query()) == QueryLanguage.CQ
+
+    def test_inequality_comparison_leaves_cq(self):
+        x, y = variables("x", "y")
+        q = conjunctive_query((x,), [atom("R", x, y), Compare(y, "!=", 1)])
+        # non-equality selections push the query out of the pure CQ fragment
+        assert classify(q) in (QueryLanguage.EFO_PLUS, QueryLanguage.UCQ)
+
+    def test_language_order(self):
+        assert QueryLanguage.ORDERED == ("SP", "CQ", "UCQ", "∃FO+", "FO")

@@ -1,0 +1,146 @@
+"""Unit tests for query evaluation over normal instances."""
+
+import pytest
+
+from repro.core.instance import NormalInstance
+from repro.core.schema import RelationSchema
+from repro.core.tuples import RelationTuple
+from repro.exceptions import EvaluationError
+from repro.query.ast import (
+    And,
+    Compare,
+    Constant,
+    Exists,
+    ForAll,
+    Not,
+    Or,
+    Query,
+    RelationAtom,
+    SPQuery,
+    Var,
+)
+from repro.query.builders import atom, conjunctive_query, eq, union_query, variables
+from repro.query.evaluator import active_domain, evaluate, evaluate_boolean
+
+
+@pytest.fixture()
+def schema():
+    return RelationSchema("R", ("A", "B"))
+
+
+@pytest.fixture()
+def database(schema):
+    instance = NormalInstance(schema)
+    rows = [("e1", 1, 10), ("e2", 2, 20), ("e3", 2, 30)]
+    for index, (eid, a, b) in enumerate(rows):
+        instance.add(RelationTuple(schema, f"t{index}", {"EID": eid, "A": a, "B": b}))
+    return {"R": instance}
+
+
+class TestPositiveEvaluation:
+    def test_full_scan(self, database):
+        x, y, z = variables("x", "y", "z")
+        query = Query((x, y, z), RelationAtom("R", (x, y, z)))
+        assert len(evaluate(query, database)) == 3
+
+    def test_selection_via_constant(self, database):
+        x, y = variables("x", "y")
+        query = conjunctive_query((x, y), [atom("R", x, 2, y)])
+        assert evaluate(query, database) == frozenset({("e2", 20), ("e3", 30)})
+
+    def test_selection_via_comparison(self, database):
+        x, y, z = variables("x", "y", "z")
+        query = conjunctive_query((x,), [atom("R", x, y, z), eq(y, 1)])
+        assert evaluate(query, database) == frozenset({("e1",)})
+
+    def test_join_on_shared_variable(self, database):
+        x1, x2, a = variables("x1", "x2", "a")
+        query = conjunctive_query(
+            (x1, x2),
+            [atom("R", x1, a, Var("b1")), atom("R", x2, a, Var("b2")), eq(Var("b1"), 10)],
+        )
+        # entity e1 is the only one with B=10; it joins with itself on A=1
+        assert evaluate(query, database) == frozenset({("e1", "e1")})
+
+    def test_union_query(self, database):
+        x = Var("x")
+        q1 = conjunctive_query((x,), [atom("R", x, 1, Var("b"))])
+        q2 = conjunctive_query((x,), [atom("R", x, Var("a"), 30)])
+        query = union_query((x,), [q1, q2])
+        assert evaluate(query, database) == frozenset({("e1",), ("e3",)})
+
+    def test_boolean_query(self, database):
+        query = conjunctive_query((), [atom("R", Var("x"), 2, Var("b"))])
+        assert evaluate_boolean(query, database)
+        empty = conjunctive_query((), [atom("R", Var("x"), 99, Var("b"))])
+        assert not evaluate_boolean(empty, database)
+
+    def test_unknown_relation_raises(self, database):
+        query = conjunctive_query((), [atom("Nope", Var("x"), Var("a"), Var("b"))])
+        with pytest.raises(EvaluationError):
+            evaluate(query, database)
+
+    def test_arity_mismatch_raises(self, database):
+        query = conjunctive_query((), [atom("R", Var("x"), Var("a"))])
+        with pytest.raises(EvaluationError):
+            evaluate(query, database)
+
+
+class TestFirstOrderEvaluation:
+    def test_negation(self, database):
+        x = Var("x")
+        body = And(
+            Exists((Var("a"), Var("b")), RelationAtom("R", (x, Var("a"), Var("b")))),
+            Not(Exists(Var("b"), RelationAtom("R", (x, Constant(1), Var("b"))))),
+        )
+        query = Query((x,), body)
+        assert evaluate(query, database) == frozenset({("e2",), ("e3",)})
+
+    def test_universal_quantification(self, database):
+        # "every entity with A=2 has B >= 20" — boolean, true on this database
+        x, b = variables("x", "b")
+        body = ForAll(
+            (x, b),
+            Or(
+                Not(RelationAtom("R", (x, Constant(2), b))),
+                Compare(b, ">=", 20),
+            ),
+        )
+        assert evaluate_boolean(Query((), body), database)
+
+    def test_universal_quantification_false_case(self, database):
+        x, b = variables("x", "b")
+        body = ForAll(
+            (x, b),
+            Or(
+                Not(RelationAtom("R", (x, Constant(2), b))),
+                Compare(b, ">", 20),
+            ),
+        )
+        assert not evaluate_boolean(Query((), body), database)
+
+    def test_active_domain_contains_all_values_and_query_constants(self, database):
+        x = Var("x")
+        query = conjunctive_query((x,), [atom("R", x, 77, Var("b"))])
+        domain = active_domain(database, query)
+        assert 77 in domain and "e1" in domain and 30 in domain
+
+
+class TestSPEvaluation:
+    def test_sp_query_evaluation(self):
+        from repro.workloads import company
+
+        schema = company.emp_schema()
+        instance = NormalInstance(schema)
+        instance.add(
+            RelationTuple(
+                schema,
+                "lst1",
+                {"EID": "e", "FN": "Mary", "LN": "Dupont", "address": "6 Main St",
+                 "salary": 80, "status": "married"},
+            )
+        )
+        q1 = company.query_q1_salary()
+        assert evaluate(q1, {"Emp": instance}) == frozenset({(80,)})
+        q_other = SPQuery("Emp", schema, ["LN"], eq_const={"FN": "Bob"})
+        assert evaluate(q_other, {"Emp": instance}) == frozenset()

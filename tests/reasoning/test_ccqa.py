@@ -1,0 +1,158 @@
+"""Tests for CCQA — certain current query answering."""
+
+import pytest
+
+from repro.core.instance import TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.exceptions import InconsistentSpecificationError, QueryError, SpecificationError
+from repro.query.ast import SPQuery
+from repro.query.builders import atom, conjunctive_query, variables
+from repro.reasoning.ccqa import (
+    certain_current_answers,
+    is_certain_answer,
+    sp_certain_answers,
+)
+from repro.workloads import company
+from repro.workloads.synthetic import SyntheticConfig, random_specification, random_sp_query
+
+
+class TestPaperQueries:
+    @pytest.mark.parametrize("name", ["Q1", "Q2", "Q3", "Q4"])
+    def test_example_1_1_certain_answers(self, company_spec, paper_queries, name):
+        answers = certain_current_answers(paper_queries[name], company_spec)
+        assert answers == company.EXPECTED_ANSWERS[name]
+
+    @pytest.mark.parametrize("name", ["Q1", "Q2", "Q3", "Q4"])
+    def test_candidates_and_enumeration_agree_on_company(self, company_spec, paper_queries, name):
+        by_candidates = certain_current_answers(paper_queries[name], company_spec, method="candidates")
+        by_enumeration = certain_current_answers(paper_queries[name], company_spec, method="enumerate")
+        assert by_candidates == by_enumeration
+
+    def test_is_certain_answer(self, company_spec, paper_queries):
+        assert is_certain_answer(paper_queries["Q1"], (80,), company_spec)
+        assert not is_certain_answer(paper_queries["Q1"], (50,), company_spec)
+
+    def test_literal_constraints_still_answer_q1_q4(self, company_spec_literal, paper_queries):
+        """The queries of Example 1.1 need only ϕ1–ϕ4."""
+        for name in ("Q1", "Q2", "Q3", "Q4"):
+            answers = certain_current_answers(paper_queries[name], company_spec_literal)
+            assert answers == company.EXPECTED_ANSWERS[name]
+
+
+class TestSPAlgorithm:
+    def test_sp_requires_no_denial_constraints(self, company_spec, paper_queries):
+        with pytest.raises(SpecificationError):
+            sp_certain_answers(paper_queries["Q1"], company_spec)
+
+    def test_sp_requires_sp_query(self):
+        config = SyntheticConfig(with_constraints=False, seed=1)
+        spec = random_specification(config)
+        x, y = variables("x", "y")
+        cq = conjunctive_query((x,), [atom("R0", x, y, y, y)])
+        with pytest.raises(QueryError):
+            sp_certain_answers(cq, spec)
+
+    def test_sp_agrees_with_enumeration(self):
+        for seed in range(5):
+            config = SyntheticConfig(
+                entities=2, tuples_per_entity=2, attributes=2,
+                with_constraints=False, order_density=0.5, seed=seed,
+            )
+            spec = random_specification(config)
+            query = random_sp_query(spec, seed=seed)
+            fast = certain_current_answers(query, spec, method="sp")
+            slow = certain_current_answers(query, spec, method="enumerate")
+            assert fast == slow, f"seed {seed}: {fast} != {slow}"
+
+    def test_sp_agrees_with_candidates_with_copy_functions(self):
+        from repro.workloads.synthetic import chain_copy_specification
+
+        for seed in range(4):
+            spec = chain_copy_specification(
+                relations=2, entities=2, tuples_per_entity=2, order_density=0.5, seed=seed
+            )
+            query = random_sp_query(spec, relation="R1", seed=seed)
+            fast = certain_current_answers(query, spec, method="sp")
+            slow = certain_current_answers(query, spec, method="candidates")
+            assert fast == slow, f"seed {seed}: {fast} != {slow}"
+
+    def test_unknown_value_blocks_answers(self):
+        """An entity whose projected attribute has several possible current
+        values contributes nothing (Proposition 6.3)."""
+        schema = RelationSchema("R", ("A", "B"))
+        instance = TemporalInstance.from_rows(
+            schema,
+            {
+                "t1": {"EID": "e", "A": 1, "B": 5},
+                "t2": {"EID": "e", "A": 2, "B": 5},
+            },
+        )
+        spec = Specification({"R": instance})
+        ambiguous = SPQuery("R", schema, ["A"])
+        assert certain_current_answers(ambiguous, spec) == frozenset()
+        stable = SPQuery("R", schema, ["B"])
+        assert certain_current_answers(stable, spec) == frozenset({(5,)})
+
+
+class TestGeneralBehaviour:
+    def test_inconsistent_specification_raises_for_answer_sets(self):
+        from repro.core.denial import AttrRef, Comparison, CurrencyAtom, DenialConstraint
+
+        schema = RelationSchema("R", ("A",))
+        instance = TemporalInstance.from_rows(
+            schema, {"t1": {"EID": "e", "A": 1}, "t2": {"EID": "e", "A": 2}}
+        )
+        up = DenialConstraint(
+            schema, ("s", "t"),
+            [Comparison(AttrRef("s", "A"), ">", AttrRef("t", "A"))],
+            CurrencyAtom("t", "A", "s"), name="up",
+        )
+        down = DenialConstraint(
+            schema, ("s", "t"),
+            [Comparison(AttrRef("s", "A"), "<", AttrRef("t", "A"))],
+            CurrencyAtom("t", "A", "s"), name="down",
+        )
+        spec = Specification({"R": instance}, {"R": [up, down]})
+        query = SPQuery("R", schema, ["A"])
+        with pytest.raises(InconsistentSpecificationError):
+            certain_current_answers(query, spec)
+        # the decision variant is vacuously true
+        assert is_certain_answer(query, (1,), spec)
+        assert is_certain_answer(query, (99,), spec)
+
+    def test_join_query_across_relations(self, company_spec):
+        """A CQ joining Emp and Dept: the current manager's salary."""
+        salary, fn = variables("salary", "fn")
+        query = conjunctive_query(
+            (fn, salary),
+            [
+                atom("Dept", "R&D", fn, variables("ln")[0], variables("addr")[0], variables("b")[0]),
+                atom("Emp", variables("e")[0], fn, variables("ln2")[0], variables("addr2")[0],
+                     salary, variables("st")[0]),
+            ],
+            name="manager_salary",
+        )
+        answers = certain_current_answers(query, company_spec, method="candidates")
+        # the current manager FN is not certain (Mary or Ed), so no join result is certain
+        assert answers == frozenset()
+
+    def test_methods_agree_on_small_constrained_specs(self):
+        for seed in range(3):
+            config = SyntheticConfig(
+                entities=1, tuples_per_entity=3, attributes=2,
+                with_constraints=True, order_density=0.3, seed=seed,
+            )
+            spec = random_specification(config)
+            from repro.reasoning.cps import is_consistent
+
+            if not is_consistent(spec):
+                continue
+            query = random_sp_query(spec, seed=seed)
+            fast = certain_current_answers(query, spec, method="candidates")
+            slow = certain_current_answers(query, spec, method="enumerate")
+            assert fast == slow
+
+    def test_unknown_method_rejected(self, company_spec, paper_queries):
+        with pytest.raises(SpecificationError):
+            certain_current_answers(paper_queries["Q1"], company_spec, method="zzz")

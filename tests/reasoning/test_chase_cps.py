@@ -1,0 +1,169 @@
+"""Tests for the currency-order chase (Theorem 6.1) and CPS."""
+
+import pytest
+
+from repro.core.copy_function import CopyFunction, CopySignature
+from repro.core.instance import TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.exceptions import SpecificationError
+from repro.reasoning.chase import chase_certain_orders
+from repro.reasoning.cps import is_consistent
+from repro.workloads import company
+from repro.workloads.synthetic import SyntheticConfig, chain_copy_specification, random_specification
+
+
+def two_source_spec(source_pairs=(), target_pairs=()):
+    """Two relations R (source) and S (target); S copies attribute A from R."""
+    schema_r = RelationSchema("R", ("A",))
+    schema_s = RelationSchema("S", ("A",))
+    r = TemporalInstance.from_rows(
+        schema_r,
+        {"r1": {"EID": "e", "A": 1}, "r2": {"EID": "e", "A": 2}},
+        orders={"A": source_pairs},
+    )
+    s = TemporalInstance.from_rows(
+        schema_s,
+        {"s1": {"EID": "e", "A": 1}, "s2": {"EID": "e", "A": 2}},
+        orders={"A": target_pairs},
+    )
+    cf = CopyFunction(
+        "cf",
+        CopySignature(schema_s, ("A",), schema_r, ("A",)),
+        target="S",
+        source="R",
+        mapping={"s1": "r1", "s2": "r2"},
+    )
+    return Specification({"R": r, "S": s}, copy_functions=[cf])
+
+
+class TestChase:
+    def test_propagates_source_orders_to_target(self):
+        spec = two_source_spec(source_pairs=[("r1", "r2")])
+        result = chase_certain_orders(spec)
+        assert result.consistent
+        assert result.certain("S", "A", "s1", "s2")
+
+    def test_propagates_target_orders_back_to_source(self):
+        spec = two_source_spec(target_pairs=[("s2", "s1")])
+        result = chase_certain_orders(spec)
+        assert result.consistent
+        assert result.certain("R", "A", "r2", "r1")
+
+    def test_conflicting_orders_detected_as_inconsistent(self):
+        spec = two_source_spec(source_pairs=[("r1", "r2")], target_pairs=[("s2", "s1")])
+        result = chase_certain_orders(spec)
+        assert not result.consistent
+
+    def test_certain_is_vacuous_on_inconsistent_spec(self):
+        spec = two_source_spec(source_pairs=[("r1", "r2")], target_pairs=[("s2", "s1")])
+        result = chase_certain_orders(spec)
+        assert result.certain("R", "A", "r2", "r1")  # vacuously true
+
+    def test_no_copy_functions_keeps_initial_orders(self):
+        config = SyntheticConfig(entities=2, tuples_per_entity=3, with_constraints=False, seed=3)
+        spec = random_specification(config)
+        result = chase_certain_orders(spec)
+        assert result.consistent
+        for name, instance in spec.instances.items():
+            for attribute in instance.schema.attributes:
+                assert result.orders[(name, attribute)].contains(instance.order(attribute))
+
+    def test_chain_of_copies_propagates_transitively(self):
+        spec = chain_copy_specification(relations=3, entities=2, tuples_per_entity=2, seed=5)
+        result = chase_certain_orders(spec)
+        assert result.consistent
+
+    def test_chase_matches_enumeration_on_certain_pairs(self):
+        """Lemma 6.2: PO∞ equals the intersection of all completed orders."""
+        from repro.core.completion import consistent_completions
+
+        spec = two_source_spec(source_pairs=[("r1", "r2")])
+        result = chase_certain_orders(spec)
+        completions = list(consistent_completions(spec))
+        assert completions
+        for (name, attribute), order in result.orders.items():
+            for lower, upper in order.pairs():
+                assert all(c[name].precedes(attribute, lower, upper) for c in completions)
+        # and conversely: pairs held in every completion are in PO∞
+        sample = completions[0]
+        for name, instance in sample.items():
+            for attribute in instance.schema.attributes:
+                for lower, upper in instance.order(attribute).pairs():
+                    if all(c[name].precedes(attribute, lower, upper) for c in completions):
+                        assert result.certain(name, attribute, lower, upper)
+
+
+class TestCPS:
+    def test_company_specification_is_consistent(self, company_spec):
+        assert is_consistent(company_spec)
+        assert is_consistent(company_spec, method="sat")
+
+    def test_manager_specification_is_consistent(self, manager_spec):
+        assert is_consistent(manager_spec)
+
+    def test_methods_agree_without_constraints(self):
+        for seed in range(4):
+            spec = chain_copy_specification(relations=2, entities=2, tuples_per_entity=2, seed=seed)
+            assert is_consistent(spec, method="chase") == is_consistent(spec, method="sat")
+
+    def test_sat_agrees_with_enumeration_on_small_specs(self):
+        for seed in range(3):
+            config = SyntheticConfig(
+                entities=1, tuples_per_entity=3, attributes=2, with_constraints=True,
+                order_density=0.5, seed=seed,
+            )
+            spec = random_specification(config)
+            assert is_consistent(spec, method="sat") == is_consistent(spec, method="enumerate")
+
+    def test_chase_method_requires_no_constraints(self, company_spec):
+        with pytest.raises(SpecificationError):
+            is_consistent(company_spec, method="chase")
+
+    def test_unknown_method_rejected(self, company_spec):
+        with pytest.raises(SpecificationError):
+            is_consistent(company_spec, method="nope")
+
+    def test_inconsistent_example_2_3_scenario(self):
+        """The ρ1 scenario of Example 2.3 has no consistent completion."""
+        spec = company.company_specification()
+        source_schema = RelationSchema("Src", ("budget",), eid="dname")
+        source = TemporalInstance.from_rows(
+            source_schema,
+            {"x1": {"dname": "R&D", "budget": 6500}, "x3": {"dname": "R&D", "budget": 6000}},
+            orders={"budget": [("x3", "x1")]},
+        )
+        spec.instances["Src"] = source
+        spec.constraints.setdefault("Src", [])
+        spec.add_copy_function(
+            CopyFunction(
+                "rho1",
+                CopySignature(company.dept_schema(), ("budget",), source_schema, ("budget",)),
+                target="Dept",
+                source="Src",
+                mapping={"t1": "x1", "t3": "x3"},
+            )
+        )
+        assert not is_consistent(spec)
+
+    def test_contradictory_initial_orders_are_inconsistent(self):
+        schema = RelationSchema("R", ("A",))
+        instance = TemporalInstance.from_rows(
+            schema, {"t1": {"EID": "e", "A": 1}, "t2": {"EID": "e", "A": 2}}
+        )
+        from repro.core.denial import AttrRef, Comparison, CurrencyAtom, DenialConstraint
+
+        # A larger and A smaller must both be more current: impossible
+        up = DenialConstraint(
+            schema, ("s", "t"),
+            [Comparison(AttrRef("s", "A"), ">", AttrRef("t", "A"))],
+            CurrencyAtom("t", "A", "s"), name="up",
+        )
+        down = DenialConstraint(
+            schema, ("s", "t"),
+            [Comparison(AttrRef("s", "A"), "<", AttrRef("t", "A"))],
+            CurrencyAtom("t", "A", "s"), name="down",
+        )
+        spec = Specification({"R": instance}, {"R": [up, down]})
+        assert not is_consistent(spec, method="sat")
+        assert not is_consistent(spec, method="enumerate")

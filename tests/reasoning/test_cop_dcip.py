@@ -1,0 +1,154 @@
+"""Tests for COP (certain ordering) and DCIP (deterministic current instance)."""
+
+import pytest
+
+from repro.core.instance import TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.exceptions import SpecificationError
+from repro.reasoning.cop import certain_ordering
+from repro.reasoning.dcip import is_deterministic, realizable_maxima
+from repro.workloads import company
+from repro.workloads.synthetic import SyntheticConfig, random_specification
+
+
+class TestCOP:
+    def test_example_3_2_salary_order_is_certain(self, company_spec):
+        assert certain_ordering(company_spec, "Emp", {"salary": [("s1", "s3")]})
+
+    def test_example_3_2_mgrfn_order_is_not_certain(self, company_spec):
+        assert not certain_ordering(company_spec, "Dept", {"mgrFN": [("t3", "t4")]})
+
+    def test_derived_address_order_is_certain(self, company_spec):
+        # ϕ1 + ϕ3 force s2 ≺_address s3 as well
+        assert certain_ordering(company_spec, "Emp", {"address": [("s2", "s3"), ("s1", "s3")]})
+
+    def test_copied_order_is_certain_in_dept(self, company_spec):
+        # ≺-compatibility imports s1 ≺_address s3 into Dept as t1 ≺_mgrAddr t3
+        assert certain_ordering(company_spec, "Dept", {"mgrAddr": [("t1", "t3")]})
+        # and ϕ4 lifts it to budget
+        assert certain_ordering(company_spec, "Dept", {"budget": [("t1", "t3"), ("t2", "t3")]})
+
+    def test_empty_order_is_trivially_certain(self, company_spec):
+        assert certain_ordering(company_spec, "Emp", {})
+
+    def test_order_as_temporal_instance(self, company_spec):
+        order = TemporalInstance(company.emp_schema(), company_spec.instance("Emp").tuples())
+        order.add_order("salary", "s1", "s3")
+        assert certain_ordering(company_spec, "Emp", order)
+
+    def test_cross_entity_order_not_certain_when_consistent(self, company_spec):
+        assert not certain_ordering(company_spec, "Emp", {"salary": [("s4", "s5")]})
+
+    def test_vacuous_truth_on_inconsistent_specification(self):
+        from repro.core.denial import AttrRef, Comparison, CurrencyAtom, DenialConstraint
+
+        schema = RelationSchema("R", ("A",))
+        instance = TemporalInstance.from_rows(
+            schema, {"t1": {"EID": "e", "A": 1}, "t2": {"EID": "e", "A": 2}}
+        )
+        up = DenialConstraint(
+            schema, ("s", "t"),
+            [Comparison(AttrRef("s", "A"), ">", AttrRef("t", "A"))],
+            CurrencyAtom("t", "A", "s"), name="up",
+        )
+        down = DenialConstraint(
+            schema, ("s", "t"),
+            [Comparison(AttrRef("s", "A"), "<", AttrRef("t", "A"))],
+            CurrencyAtom("t", "A", "s"), name="down",
+        )
+        spec = Specification({"R": instance}, {"R": [up, down]})
+        assert certain_ordering(spec, "R", {"A": [("t1", "t2")]})
+        assert certain_ordering(spec, "R", {"A": [("t2", "t1")]})
+
+    def test_chase_and_sat_methods_agree_without_constraints(self):
+        config = SyntheticConfig(entities=2, tuples_per_entity=3, with_constraints=False, seed=11,
+                                 order_density=0.4)
+        spec = random_specification(config)
+        name = spec.instance_names()[0]
+        instance = spec.instance(name)
+        # probe every same-entity pair in both directions
+        for eid in instance.entities():
+            block = instance.entity_tids(eid)
+            for lower in block:
+                for upper in block:
+                    if lower == upper:
+                        continue
+                    probe = {"a0": [(lower, upper)]}
+                    assert certain_ordering(spec, name, probe, method="chase") == certain_ordering(
+                        spec, name, probe, method="sat"
+                    )
+
+    def test_chase_method_requires_no_constraints(self, company_spec):
+        with pytest.raises(SpecificationError):
+            certain_ordering(company_spec, "Emp", {"salary": [("s1", "s3")]}, method="chase")
+
+
+class TestDCIP:
+    def test_example_3_3_emp_is_deterministic(self, company_spec):
+        assert is_deterministic(company_spec, "Emp")
+
+    def test_dept_is_not_deterministic(self, company_spec):
+        # mgrFN of R&D can currently be either "Mary" (t3 last) or "Ed" (t4 last)
+        assert not is_deterministic(company_spec, "Dept")
+
+    def test_literal_constraints_leave_status_uncertain(self, company_spec_literal):
+        """Without the status-transition semantics of Example 1.1(2)(a) the
+        status attribute of Mary is not determined, so Emp is not deterministic."""
+        assert not is_deterministic(company_spec_literal, "Emp")
+
+    def test_whole_specification_determinism(self, company_spec):
+        assert not is_deterministic(company_spec)  # Dept spoils it
+
+    def test_realizable_maxima_for_salary(self, company_spec):
+        maxima = realizable_maxima(company_spec, "Emp", company.MARY, "salary")
+        assert maxima == ["s3"]
+
+    def test_realizable_maxima_for_ln(self, company_spec):
+        maxima = set(realizable_maxima(company_spec, "Emp", company.MARY, "LN"))
+        assert maxima == {"s2", "s3"}  # both carry "Dupont"
+
+    def test_realizable_maxima_for_budget(self, company_spec):
+        maxima = set(realizable_maxima(company_spec, "Dept", "R&D", "budget"))
+        assert maxima == {"t3", "t4"}  # both 6000 — hence Q4 is certain
+
+    def test_singleton_blocks_are_deterministic(self):
+        config = SyntheticConfig(entities=3, tuples_per_entity=1, with_constraints=False, seed=2)
+        spec = random_specification(config)
+        assert is_deterministic(spec)
+
+    def test_unordered_distinct_values_are_not_deterministic(self):
+        schema = RelationSchema("R", ("A",))
+        instance = TemporalInstance.from_rows(
+            schema, {"t1": {"EID": "e", "A": 1}, "t2": {"EID": "e", "A": 2}}
+        )
+        spec = Specification({"R": instance})
+        assert not is_deterministic(spec)
+
+    def test_totally_ordered_block_is_deterministic(self):
+        schema = RelationSchema("R", ("A",))
+        instance = TemporalInstance.from_rows(
+            schema,
+            {"t1": {"EID": "e", "A": 1}, "t2": {"EID": "e", "A": 2}},
+            orders={"A": [("t1", "t2")]},
+        )
+        spec = Specification({"R": instance})
+        assert is_deterministic(spec)
+        assert is_deterministic(spec, method="chase")
+
+    def test_same_values_make_order_irrelevant(self):
+        schema = RelationSchema("R", ("A",))
+        instance = TemporalInstance.from_rows(
+            schema, {"t1": {"EID": "e", "A": 7}, "t2": {"EID": "e", "A": 7}}
+        )
+        spec = Specification({"R": instance})
+        assert is_deterministic(spec)
+
+    def test_chase_and_sat_agree_without_constraints(self):
+        for seed in range(4):
+            config = SyntheticConfig(
+                entities=2, tuples_per_entity=2, attributes=2,
+                with_constraints=False, order_density=0.5, seed=seed,
+            )
+            spec = random_specification(config)
+            assert is_deterministic(spec, method="chase") == is_deterministic(spec, method="sat")

@@ -1,0 +1,108 @@
+"""Tests for the formula families and the Betweenness substrate."""
+
+import pytest
+
+from repro.exceptions import ReductionError
+from repro.reductions.betweenness import BetweennessInstance, random_betweenness, solve_betweenness
+from repro.reductions.formulas import (
+    Clause,
+    CNFFormula,
+    DNFFormula,
+    Literal,
+    QuantifiedSentence,
+    random_3cnf,
+    random_3dnf,
+    random_exists_forall_3dnf,
+    random_forall_exists_3cnf,
+    random_q3sat,
+)
+
+
+class TestFormulas:
+    def test_literal_evaluation(self):
+        assert Literal("x").evaluate({"x": True})
+        assert not Literal("x", False).evaluate({"x": True})
+
+    def test_cnf_evaluation(self):
+        formula = CNFFormula([Clause((Literal("x"), Literal("y", False)))])
+        assert formula.evaluate({"x": True, "y": True})
+        assert not formula.evaluate({"x": False, "y": True})
+
+    def test_dnf_evaluation(self):
+        formula = DNFFormula([Clause((Literal("x"), Literal("y")))])
+        assert formula.evaluate({"x": True, "y": True})
+        assert not formula.evaluate({"x": True, "y": False})
+
+    def test_empty_formula_rejected(self):
+        with pytest.raises(ReductionError):
+            CNFFormula([])
+
+    def test_variables_in_first_appearance_order(self):
+        formula = CNFFormula(
+            [Clause((Literal("b"), Literal("a"))), Clause((Literal("a"), Literal("c")))]
+        )
+        assert formula.variables() == ("b", "a", "c")
+
+    def test_satisfiability_bruteforce(self):
+        sat = CNFFormula([Clause((Literal("x"), Literal("y")))])
+        unsat = CNFFormula([Clause((Literal("x"),) * 3), Clause((Literal("x", False),) * 3)])
+        assert sat.is_satisfiable()
+        assert not unsat.is_satisfiable()
+
+    def test_quantified_sentence_truth(self):
+        # ∀x ∃y (x ∨ y) is true; ∃y ∀x (x ∧ y) is false
+        matrix = CNFFormula([Clause((Literal("x"), Literal("y"), Literal("y")))])
+        s = QuantifiedSentence([("forall", ("x",)), ("exists", ("y",))], matrix)
+        assert s.is_true()
+        matrix2 = DNFFormula([Clause((Literal("x"), Literal("y"), Literal("y")))])
+        s2 = QuantifiedSentence([("exists", ("y",)), ("forall", ("x",))], matrix2)
+        assert not s2.is_true()
+
+    def test_generators_are_deterministic(self):
+        assert random_3cnf(3, 4, seed=5).variables() == random_3cnf(3, 4, seed=5).variables()
+        a = random_exists_forall_3dnf(2, 2, 3, seed=9)
+        b = random_exists_forall_3dnf(2, 2, 3, seed=9)
+        assert a.is_true() == b.is_true()
+
+    def test_generator_shapes(self):
+        assert len(random_3dnf(3, 5, seed=0)) == 5
+        sentence = random_forall_exists_3cnf(2, 1, 4, seed=0)
+        assert sentence.prefix[0][0] == "forall"
+        assert sentence.prefix[1][0] == "exists"
+        q3 = random_q3sat(3, 2, 4, seed=0)
+        assert [kind for kind, _ in q3.prefix] == ["exists", "forall", "exists"]
+
+
+class TestBetweenness:
+    def test_single_triple_is_solvable(self):
+        instance = BetweennessInstance(("a", "b", "c"), (("a", "b", "c"),))
+        assert solve_betweenness(instance) is not None
+
+    def test_contradictory_triples_unsolvable(self):
+        instance = BetweennessInstance(("a", "b", "c"), (("a", "b", "c"), ("b", "a", "c")))
+        assert solve_betweenness(instance) is None
+
+    def test_solution_satisfies_all_triples(self):
+        instance = random_betweenness(5, 4, seed=3)
+        order = solve_betweenness(instance)
+        assert order is not None
+        position = {element: index for index, element in enumerate(order)}
+        for a, b, c in instance.triples:
+            assert position[a] < position[b] < position[c] or position[c] < position[b] < position[a]
+
+    def test_biased_generator_always_solvable(self):
+        for seed in range(5):
+            instance = random_betweenness(5, 5, satisfiable_bias=True, seed=seed)
+            assert solve_betweenness(instance) is not None
+
+    def test_degenerate_triple_rejected(self):
+        with pytest.raises(ReductionError):
+            BetweennessInstance(("a", "b", "c"), (("a", "a", "b"),))
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(ReductionError):
+            BetweennessInstance(("a", "b", "c"), (("a", "b", "z"),))
+
+    def test_too_few_elements_rejected(self):
+        with pytest.raises(ReductionError):
+            random_betweenness(2, 1)

@@ -1,0 +1,115 @@
+"""Unit tests for the CNF representation and the DPLL solver."""
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.solvers.cnf import CNF
+from repro.solvers.sat import is_satisfiable, iterate_models, solve, solve_cnf
+
+
+class TestCNF:
+    def test_variable_allocation_is_stable(self):
+        cnf = CNF()
+        assert cnf.variable("a") == 1
+        assert cnf.variable("b") == 2
+        assert cnf.variable("a") == 1
+        assert cnf.num_variables == 2
+        assert cnf.name_of(2) == "b"
+
+    def test_unknown_index_raises(self):
+        with pytest.raises(SolverError):
+            CNF().name_of(1)
+
+    def test_literal_polarity(self):
+        cnf = CNF()
+        assert cnf.literal("a", True) == 1
+        assert cnf.literal("a", False) == -1
+
+    def test_add_named_clause_and_unit(self):
+        cnf = CNF()
+        cnf.add_named_clause([("a", True), ("b", False)])
+        cnf.add_unit("c", False)
+        assert len(cnf) == 2
+
+    def test_add_implication_with_and_without_conclusion(self):
+        cnf = CNF()
+        cnf.add_implication([("a", True)], ("b", True))
+        cnf.add_implication([("a", True), ("b", True)], None)
+        assert cnf.clauses[0] == (-1, 2)
+        assert cnf.clauses[1] == (-1, -2)
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(SolverError):
+            CNF().add_clause([0])
+
+    def test_decode_model(self):
+        cnf = CNF()
+        cnf.add_unit("a", True)
+        model = solve_cnf(cnf)
+        assert cnf.decode_model(model) == {"a": True}
+
+
+class TestDPLL:
+    def test_satisfiable_simple(self):
+        assert solve([(1, 2), (-1, 2)]) is not None
+
+    def test_unsatisfiable_pair(self):
+        assert solve([(1,), (-1,)]) is None
+
+    def test_empty_clause_is_unsat(self):
+        assert solve([()]) is None
+
+    def test_empty_formula_is_sat(self):
+        assert solve([]) == {}
+
+    def test_model_satisfies_all_clauses(self):
+        clauses = [(1, 2, 3), (-1, -2), (-2, -3), (-1, -3), (2, 3)]
+        model = solve(clauses, num_variables=3)
+        assert model is not None
+        for clause in clauses:
+            assert any(model[abs(l)] == (l > 0) for l in clause)
+
+    def test_pigeonhole_2_into_1_is_unsat(self):
+        # two pigeons, one hole: x1 and x2 must both hold but clash
+        clauses = [(1,), (2,), (-1, -2)]
+        assert solve(clauses) is None
+
+    def test_chain_implication_propagation(self):
+        # a, a->b, b->c, c-> not a  is unsatisfiable
+        clauses = [(1,), (-1, 2), (-2, 3), (-3, -1)]
+        assert solve(clauses) is None
+
+    def test_is_satisfiable_wrapper(self):
+        cnf = CNF()
+        cnf.add_named_clause([("x", True), ("y", True)])
+        assert is_satisfiable(cnf)
+        cnf.add_unit("x", False)
+        cnf.add_unit("y", False)
+        assert not is_satisfiable(cnf)
+
+
+class TestModelEnumeration:
+    def test_enumerate_all_models(self):
+        cnf = CNF()
+        cnf.add_named_clause([("a", True), ("b", True)])
+        models = list(iterate_models(cnf))
+        assert len(models) == 3  # TT, TF, FT
+
+    def test_enumeration_respects_limit(self):
+        cnf = CNF()
+        cnf.add_named_clause([("a", True), ("b", True)])
+        assert len(list(iterate_models(cnf, limit=2))) == 2
+
+    def test_projected_enumeration(self):
+        cnf = CNF()
+        a, b = cnf.variable("a"), cnf.variable("b")
+        cnf.add_clause([a, -a])  # tautology touching a
+        cnf.add_clause([b, -b])
+        projected = list(iterate_models(cnf, project_onto=[a]))
+        assert len(projected) == 2  # only the two values of a
+
+    def test_unsat_enumeration_is_empty(self):
+        cnf = CNF()
+        cnf.add_unit("a", True)
+        cnf.add_unit("a", False)
+        assert list(iterate_models(cnf)) == []

@@ -1,0 +1,124 @@
+"""Tests for the company workload (Figures 1 and 3) and the synthetic generators."""
+
+import pytest
+
+from repro.query.classify import classify
+from repro.reasoning.cps import is_consistent
+from repro.workloads import company
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    chain_copy_specification,
+    random_specification,
+    random_sp_query,
+)
+
+
+class TestCompanyWorkload:
+    def test_figure_1_emp_contents(self):
+        emp = company.emp_instance()
+        assert len(emp) == 5
+        assert emp.tuple_by_tid("s3")["address"] == "6 Main St"
+        assert emp.tuple_by_tid("s1")["status"] == "single"
+        assert emp.entities() == [company.MARY, company.BOB, company.ROBERT]
+
+    def test_figure_1_dept_contents(self):
+        dept = company.dept_instance()
+        assert len(dept) == 4
+        assert dept.schema.eid == "dname"
+        assert dept.entities() == ["R&D"]
+        assert dept.tuple_by_tid("t2")["budget"] == 7000
+
+    def test_figure_3_mgr_contents(self):
+        mgr = company.mgr_instance()
+        assert len(mgr) == 3
+        assert mgr.tuple_by_tid("m3")["status"] == "divorced"
+
+    def test_initial_currency_orders_are_empty(self):
+        for instance in (company.emp_instance(), company.dept_instance(), company.mgr_instance()):
+            for attribute in instance.schema.attributes:
+                assert instance.order(attribute).pair_count() == 0
+
+    def test_constraint_sets(self):
+        assert [c.name for c in company.emp_constraints()] == ["phi1_Emp", "phi2_Emp", "phi3_Emp"]
+        assert [c.name for c in company.dept_constraints()] == ["phi4_Dept"]
+        assert [c.name for c in company.mgr_constraints()] == ["phi5_Mgr"]
+        assert len(company.status_transition_constraints(company.emp_schema())) == 3
+        assert len(company.status_currency_constraints(company.emp_schema())) == 4
+
+    def test_copy_function_of_example_2_2(self):
+        rho = company.dept_copy_function()
+        assert rho("t1") == "s1" and rho("t2") == "s1"
+        assert rho("t3") == "s3" and rho("t4") == "s4"
+
+    def test_specifications_are_consistent(self):
+        assert is_consistent(company.company_specification())
+        assert is_consistent(company.company_specification(include_status_semantics=False))
+        assert is_consistent(company.manager_specification())
+        assert is_consistent(company.company_specification(with_copy_function=False))
+
+    def test_queries_are_sp(self):
+        for query in company.paper_queries().values():
+            assert classify(query) == "SP"
+
+    def test_expected_answers_table(self):
+        assert set(company.EXPECTED_ANSWERS) == {"Q1", "Q2", "Q3", "Q4"}
+
+
+class TestSyntheticWorkloads:
+    def test_generator_is_deterministic(self):
+        a = random_specification(SyntheticConfig(seed=4))
+        b = random_specification(SyntheticConfig(seed=4))
+        assert a.instance("R0").value_set() == b.instance("R0").value_set()
+
+    def test_size_parameters_respected(self):
+        config = SyntheticConfig(entities=3, tuples_per_entity=4, attributes=2, relations=2)
+        spec = random_specification(config)
+        assert len(spec.instance_names()) == 2
+        assert len(spec.instance("R0")) == 12
+        assert spec.instance("R0").schema.attributes == ("a0", "a1")
+
+    def test_constraint_switch(self):
+        with_dcs = random_specification(SyntheticConfig(with_constraints=True, seed=1))
+        without = random_specification(SyntheticConfig(with_constraints=False, seed=1))
+        assert with_dcs.has_denial_constraints()
+        assert not without.has_denial_constraints()
+
+    def test_order_density_zero_and_one(self):
+        empty = random_specification(SyntheticConfig(order_density=0.0, with_constraints=False, seed=2))
+        full = random_specification(SyntheticConfig(order_density=1.0, with_constraints=False, seed=2))
+        assert all(
+            order.pair_count() == 0
+            for order in empty.instance("R0").orders().values()
+        )
+        # with density 1 every block is totally ordered
+        instance = full.instance("R0")
+        for attribute in instance.schema.attributes:
+            for eid in instance.entities():
+                assert instance.order(attribute).is_total_on(instance.entity_tids(eid))
+
+    def test_initial_orders_are_consistent(self):
+        for seed in range(5):
+            spec = random_specification(
+                SyntheticConfig(order_density=0.7, with_constraints=False, seed=seed)
+            )
+            assert is_consistent(spec, method="chase")
+
+    def test_chain_copy_specification_has_copy_functions(self):
+        spec = chain_copy_specification(relations=3, seed=1)
+        assert len(spec.instance_names()) == 3
+        assert spec.copy_functions  # at least one chain link materialised
+
+    def test_copy_functions_satisfy_copying_condition(self):
+        spec = chain_copy_specification(relations=2, seed=6)
+        for cf in spec.copy_functions:
+            cf.check_copying_condition(spec.instance(cf.target), spec.instance(cf.source))
+
+    def test_random_sp_query_targets_requested_relation(self):
+        spec = chain_copy_specification(relations=2, seed=0)
+        query = random_sp_query(spec, relation="R1", seed=0)
+        assert query.relation == "R1"
+        assert classify(query) == "SP"
+
+    def test_describe_mentions_parameters(self):
+        config = SyntheticConfig(entities=5, tuples_per_entity=2)
+        assert "entities=5" in config.describe()
