@@ -1,0 +1,115 @@
+"""Driver: run every ``bench_*.py`` in smoke mode and emit ``BENCH_*.json``.
+
+Benchmarks are opt-in — the tier-1 gate stays ``python -m pytest -x -q``
+(which never collects ``bench_*.py``).  This driver runs:
+
+* script-style benchmarks (those exposing a ``main()`` CLI, currently
+  ``bench_query_evaluator.py``) with ``--smoke``;
+* pytest-benchmark suites via ``pytest <file> --benchmark-json=BENCH_<name>.json``.
+
+Usage:
+
+    python benchmarks/run_all.py [--output-dir DIR] [--timeout SECONDS] \
+        [--only SUBSTRING]
+
+Each benchmark writes ``BENCH_<name>.json`` into ``--output-dir`` (default:
+the repository root).  Failures and timeouts are reported but do not abort the
+remaining benchmarks; the driver exits non-zero if any benchmark failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+
+# benchmarks that are standalone scripts with their own --smoke / --output CLI
+SCRIPT_BENCHMARKS = {"bench_query_evaluator.py"}
+
+
+def discover() -> list:
+    return sorted(
+        name
+        for name in os.listdir(BENCH_DIR)
+        if name.startswith("bench_") and name.endswith(".py")
+    )
+
+
+def run_one(name: str, output_dir: str, timeout: float) -> dict:
+    stem = name[len("bench_"):-len(".py")]
+    output = os.path.join(output_dir, f"BENCH_{stem}.json")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if name in SCRIPT_BENCHMARKS:
+        command = [sys.executable, os.path.join(BENCH_DIR, name), "--smoke",
+                   "--output", output]
+    else:
+        command = [
+            sys.executable, "-m", "pytest", os.path.join(BENCH_DIR, name),
+            "-q", "--benchmark-disable-gc", f"--benchmark-json={output}",
+        ]
+    started = time.perf_counter()
+    try:
+        completed = subprocess.run(
+            command, cwd=REPO_ROOT, env=env, timeout=timeout,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        status = "ok" if completed.returncode == 0 else "failed"
+        detail = "" if status == "ok" else completed.stdout.decode(errors="replace")[-2000:]
+    except subprocess.TimeoutExpired:
+        status = "timeout"
+        detail = f"exceeded {timeout:.0f}s"
+    return {
+        "benchmark": name,
+        "status": status,
+        "seconds": round(time.perf_counter() - started, 2),
+        "output": output if status == "ok" else None,
+        "detail": detail,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output-dir", default=REPO_ROOT,
+                        help="directory for the BENCH_*.json files")
+    parser.add_argument("--timeout", type=float, default=900.0,
+                        help="per-benchmark timeout in seconds")
+    parser.add_argument("--only", default=None,
+                        help="run only benchmarks whose filename contains this substring")
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    names = discover()
+    if args.only:
+        names = [name for name in names if args.only in name]
+    if not names:
+        print("no benchmarks matched", file=sys.stderr)
+        return 2
+
+    results = []
+    for name in names:
+        print(f"[run_all] {name} ...", flush=True)
+        result = run_one(name, args.output_dir, args.timeout)
+        print(f"[run_all] {name}: {result['status']} ({result['seconds']}s)", flush=True)
+        if result["detail"]:
+            print(result["detail"], flush=True)
+        results.append(result)
+
+    summary_path = os.path.join(args.output_dir, "BENCH_summary.json")
+    with open(summary_path, "w") as handle:
+        json.dump({"benchmarks": results}, handle, indent=2)
+    failed = [r for r in results if r["status"] != "ok"]
+    print(f"[run_all] {len(results) - len(failed)}/{len(results)} ok; summary: {summary_path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

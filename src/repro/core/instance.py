@@ -23,12 +23,24 @@ class NormalInstance:
 
     Current instances ``LST(D^c)`` are normal instances (the paper strips all
     currency orders from them); queries are evaluated over normal instances.
+
+    Index lifecycle
+    ---------------
+    The instance maintains per-column hash indexes for the query evaluator
+    (:mod:`repro.query.evaluator`).  Indexes are built lazily on the first
+    :meth:`index_on` / :meth:`rows` call and invalidated whenever a tuple is
+    added, so instances that are never queried pay nothing and instances that
+    are queried repeatedly (the candidate-enumeration loops of the CCQA and
+    preservation layers) amortise one index build over many probes.
     """
 
     def __init__(self, schema: RelationSchema, tuples: Iterable[RelationTuple] = ()) -> None:
         self._schema = schema
         self._tuples: List[RelationTuple] = []
         self._by_tid: Dict[Hashable, RelationTuple] = {}
+        self._rows: Optional[Tuple[Tuple[Any, ...], ...]] = None
+        self._value_set: Optional[FrozenSet[Tuple[Any, ...]]] = None
+        self._indexes: Dict[int, Dict[Any, Tuple[Tuple[Any, ...], ...]]] = {}
         for t in tuples:
             self.add(t)
 
@@ -48,6 +60,9 @@ class NormalInstance:
             raise TupleError(f"duplicate tuple id {tup.tid!r} in instance {self._schema.name!r}")
         self._tuples.append(tup)
         self._by_tid[tup.tid] = tup
+        self._rows = None
+        self._value_set = None
+        self._indexes.clear()
 
     def tuples(self) -> List[RelationTuple]:
         """All tuples, in insertion order."""
@@ -84,7 +99,41 @@ class NormalInstance:
 
     def value_set(self) -> FrozenSet[Tuple[Any, ...]]:
         """The instance as a set of value tuples (EID first) — set semantics."""
-        return frozenset(t.value_tuple() for t in self._tuples)
+        if self._value_set is None:
+            self._value_set = frozenset(self.rows())
+        return self._value_set
+
+    def rows(self) -> Tuple[Tuple[Any, ...], ...]:
+        """Distinct value tuples (EID first) in first-appearance order.
+
+        Cached; the cache (and every column index) is invalidated by
+        :meth:`add`.
+        """
+        if self._rows is None:
+            seen: Set[Tuple[Any, ...]] = set()
+            out: List[Tuple[Any, ...]] = []
+            for t in self._tuples:
+                row = t.value_tuple()
+                if row not in seen:
+                    seen.add(row)
+                    out.append(row)
+            self._rows = tuple(out)
+        return self._rows
+
+    def index_on(self, column: int) -> Mapping[Any, Tuple[Tuple[Any, ...], ...]]:
+        """A hash index on *column* (0 = EID, then ordinary attributes).
+
+        Maps each value occurring at that position to the tuple of distinct
+        rows carrying it.  Built lazily and cached until the next :meth:`add`.
+        """
+        index = self._indexes.get(column)
+        if index is None:
+            buckets: Dict[Any, List[Tuple[Any, ...]]] = {}
+            for row in self.rows():
+                buckets.setdefault(row[column], []).append(row)
+            index = {value: tuple(rows) for value, rows in buckets.items()}
+            self._indexes[column] = index
+        return index
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:

@@ -22,6 +22,7 @@ from repro.exceptions import InconsistentSpecificationError, SpecificationError
 from repro.preservation.cpp import is_currency_preserving
 from repro.preservation.extensions import SpecificationExtension, enumerate_extensions
 from repro.query.ast import Query, SPQuery
+from repro.query.engine import QueryEngine
 from repro.reasoning.cps import is_consistent
 
 __all__ = ["bounded_currency_preserving_extension", "has_bounded_extension"]
@@ -45,8 +46,14 @@ def bounded_currency_preserving_extension(
         raise SpecificationError("the bound k must be non-negative")
     if not is_consistent(specification):
         return None
+    # one compiled engine serves every CPP check in the bounded search
+    engine = QueryEngine(query)
     if is_currency_preserving(
-        query, specification, method=method, match_entities_by_eid=match_entities_by_eid
+        query,
+        specification,
+        method=method,
+        match_entities_by_eid=match_entities_by_eid,
+        engine=engine,
     ):
         from repro.preservation.extensions import apply_imports
 
@@ -61,6 +68,7 @@ def bounded_currency_preserving_extension(
             extension.specification,
             method=method,
             match_entities_by_eid=match_entities_by_eid,
+            engine=engine,
         ):
             return extension
     return None

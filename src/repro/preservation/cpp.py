@@ -25,6 +25,7 @@ from repro.core.specification import Specification
 from repro.exceptions import InconsistentSpecificationError, SpecificationError
 from repro.preservation.extensions import SpecificationExtension, enumerate_extensions
 from repro.query.ast import Query, SPQuery
+from repro.query.engine import QueryEngine
 from repro.reasoning.ccqa import certain_current_answers
 
 __all__ = ["is_currency_preserving", "find_violating_extension"]
@@ -33,9 +34,14 @@ AnyQuery = Union[Query, SPQuery]
 _METHODS = ("auto", "enumerate", "sp")
 
 
-def _certain(query: AnyQuery, specification: Specification, ccqa_method: str) -> Optional[FrozenSet]:
+def _certain(
+    query: AnyQuery,
+    specification: Specification,
+    ccqa_method: str,
+    engine: Optional[QueryEngine] = None,
+) -> Optional[FrozenSet]:
     try:
-        return certain_current_answers(query, specification, method=ccqa_method)
+        return certain_current_answers(query, specification, method=ccqa_method, engine=engine)
     except InconsistentSpecificationError:
         return None
 
@@ -46,6 +52,7 @@ def find_violating_extension(
     max_imports: Optional[int] = None,
     match_entities_by_eid: bool = True,
     ccqa_method: str = "auto",
+    engine: Optional[QueryEngine] = None,
 ) -> Optional[SpecificationExtension]:
     """A witness extension whose certain answers differ from the base ones, or
     None when every (consistent) extension preserves them.
@@ -53,8 +60,14 @@ def find_violating_extension(
     Raises :class:`InconsistentSpecificationError` when ``Mod(S)`` is empty —
     in that case ρ is not currency preserving by definition and there is no
     meaningful witness to return.
+
+    One :class:`QueryEngine` (supplied or built here) is shared by the base
+    check and every extension, so the compiled plan — and answer sets of
+    value-identical current databases — are reused across ``Ext(ρ)``.
     """
-    base_answers = _certain(query, specification, ccqa_method)
+    if engine is None:
+        engine = QueryEngine(query)
+    base_answers = _certain(query, specification, ccqa_method, engine=engine)
     if base_answers is None:
         raise InconsistentSpecificationError(
             "the base specification has no consistent completion"
@@ -62,7 +75,7 @@ def find_violating_extension(
     for extension in enumerate_extensions(
         specification, max_imports=max_imports, match_entities_by_eid=match_entities_by_eid
     ):
-        extended_answers = _certain(query, extension.specification, ccqa_method)
+        extended_answers = _certain(query, extension.specification, ccqa_method, engine=engine)
         if extended_answers is None:
             continue  # inconsistent extensions do not count
         if extended_answers != base_answers:
@@ -77,6 +90,7 @@ def is_currency_preserving(
     max_imports: Optional[int] = None,
     match_entities_by_eid: bool = True,
     ccqa_method: str = "auto",
+    engine: Optional[QueryEngine] = None,
 ) -> bool:
     """Decide CPP: are the specification's copy functions currency preserving
     for *query*?"""
@@ -100,6 +114,7 @@ def is_currency_preserving(
             max_imports=max_imports,
             match_entities_by_eid=match_entities_by_eid,
             ccqa_method=ccqa_method,
+            engine=engine,
         )
     except InconsistentSpecificationError:
         return False

@@ -73,7 +73,7 @@ def _entity_contribution(
     block = instance.entity_tids(eid)
     values: Dict[str, Any] = {}
     for attribute in schema.attributes:
-        order = chase.orders[(query.relation, attribute)]
+        order = chase.order_for(query.relation, attribute)
         sinks = order.maxima(block)
         sink_values = {instance.tuple_by_tid(tid)[attribute] for tid in sinks}
         values[attribute] = (

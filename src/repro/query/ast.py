@@ -35,6 +35,7 @@ __all__ = [
     "Formula",
     "Query",
     "SPQuery",
+    "standardize_apart",
 ]
 
 
@@ -230,6 +231,65 @@ def relations_used(formula: Formula) -> FrozenSet[str]:
     if isinstance(formula, (Exists, ForAll)):
         return relations_used(formula.child)
     raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
+def standardize_apart(formula: Formula, reserved: Iterable[str] = ()) -> Formula:
+    """Rename quantified variables so no quantifier shadows another binding.
+
+    After renaming, every ``Exists``/``ForAll`` binds names that are distinct
+    from the names in *reserved* (typically the query's head variables), from
+    the formula's free variables, and from the names bound by any enclosing
+    quantifier.  Evaluators can then treat variable names as globally unique:
+    a bound occurrence never collides with an outer assignment, which is the
+    precondition for the assignment-threading in
+    :mod:`repro.query.evaluator`.
+
+    The input formula is not modified (AST nodes are immutable); renamed
+    copies are built only along paths that change.
+    """
+    used = set(reserved) | set(formula_variables(formula))
+    counter = [0]
+
+    def fresh(name: str) -> str:
+        while True:
+            candidate = f"{name}~{counter[0]}"
+            counter[0] += 1
+            if candidate not in used:
+                used.add(candidate)
+                return candidate
+
+    def rename_term(term: Term, mapping: Dict[str, str]) -> Term:
+        if isinstance(term, Var) and term.name in mapping:
+            return Var(mapping[term.name])
+        return term
+
+    def walk(node: Formula, mapping: Dict[str, str], in_scope: FrozenSet[str]) -> Formula:
+        if isinstance(node, RelationAtom):
+            return RelationAtom(node.relation, tuple(rename_term(t, mapping) for t in node.terms))
+        if isinstance(node, Compare):
+            return Compare(rename_term(node.lhs, mapping), node.op, rename_term(node.rhs, mapping))
+        if isinstance(node, And):
+            return And(*[walk(child, mapping, in_scope) for child in node.children])
+        if isinstance(node, Or):
+            return Or(*[walk(child, mapping, in_scope) for child in node.children])
+        if isinstance(node, Not):
+            return Not(walk(node.child, mapping, in_scope))
+        if isinstance(node, (Exists, ForAll)):
+            inner_mapping = dict(mapping)
+            scope = set(in_scope)
+            new_variables: List[Var] = []
+            for variable in node.variables:
+                name = fresh(variable.name) if variable.name in scope else variable.name
+                inner_mapping[variable.name] = name
+                scope.add(name)
+                new_variables.append(Var(name))
+            child = walk(node.child, inner_mapping, frozenset(scope))
+            constructor = Exists if isinstance(node, Exists) else ForAll
+            return constructor(tuple(new_variables), child)
+        raise QueryError(f"unknown formula node {type(node).__name__}")
+
+    initial_scope = frozenset(set(reserved) | set(free_variables(formula)))
+    return walk(formula, {}, initial_scope)
 
 
 def query_constants(formula: Formula) -> FrozenSet[Any]:

@@ -4,18 +4,50 @@ Queries are posed on *current instances*, which are normal instances carrying
 no currency orders (Section 2).  A *database* here is a mapping from instance
 name to :class:`~repro.core.instance.NormalInstance`.
 
-Two evaluation strategies are used:
+Evaluation strategies
+---------------------
 
-* positive existential formulas (CQ, UCQ, ∃FO⁺) are evaluated by structural
-  enumeration of satisfying assignments (backtracking joins);
-* full FO (with ¬ and ∀) is evaluated with active-domain semantics, as is
-  standard for the certain-answer constructions in the paper's reductions.
+The default engine (:func:`evaluate`) is index-driven:
+
+* positive existential formulas (CQ, UCQ, ∃FO⁺) are evaluated by backtracking
+  joins whose atom order is chosen **dynamically**: at every step the engine
+  picks the conjunct with the most bound variables and probes the per-column
+  hash indexes of :class:`~repro.core.instance.NormalInstance`
+  (:meth:`~repro.core.instance.NormalInstance.index_on`) instead of scanning
+  the full relation;
+* full FO (with ¬ and ∀) uses active-domain semantics, but the head-variable
+  search is driven by the query's **positive skeleton**: the positive
+  top-level conjuncts are enumerated with the indexed join engine and only
+  head variables not covered by the skeleton fall back to the
+  ``domain^k`` product.  Existential subformulas inside :func:`holds` that are
+  positive are likewise decided by indexed enumeration rather than by a
+  ``domain^k`` sweep.
+
+The seed full-scan engine is retained as :func:`evaluate_naive` (full-scan
+backtracking for the positive fragment, ``domain^|head|`` enumeration for full
+FO) and serves as the reference implementation in the property-based tests.
+
+Index lifecycle: indexes live on the instances themselves, are built lazily on
+first probe and are invalidated when a tuple is added — see
+:class:`~repro.core.instance.NormalInstance`.  For answer-level caching across
+repeated databases (candidate-enumeration loops) see
+:class:`repro.query.engine.QueryEngine`.
+
+Correctness notes (both engines):
+
+* quantified variables are standardised apart before evaluation
+  (:func:`repro.query.ast.standardize_apart`), so a quantifier that reuses the
+  name of an outer variable shadows it instead of acting as an accidental
+  equality constraint;
+* duplicate head variables (a head like ``(x, x)``) are deduplicated before
+  the assignment search and the answer tuples are expanded from the
+  assignment, so ``(x, x)`` only ever admits tuples of the form ``(a, a)``.
 """
 
 from __future__ import annotations
 
 from itertools import product
-from typing import Any, Dict, FrozenSet, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.instance import NormalInstance
 from repro.exceptions import EvaluationError
@@ -32,10 +64,19 @@ from repro.query.ast import (
     RelationAtom,
     SPQuery,
     Var,
-    query_constants,
+    free_variables,
+    standardize_apart,
 )
 
-__all__ = ["Database", "active_domain", "evaluate", "evaluate_boolean", "holds"]
+__all__ = [
+    "Database",
+    "EvaluationPlan",
+    "active_domain",
+    "evaluate",
+    "evaluate_naive",
+    "evaluate_boolean",
+    "holds",
+]
 
 Database = Mapping[str, NormalInstance]
 Assignment = Dict[str, Any]
@@ -57,7 +98,7 @@ def active_domain(database: Database, query: Optional[Query] = None) -> List[Any
     """The active domain: all constants in the database plus query constants."""
     domain: Set[Any] = set()
     for instance in database.values():
-        for row in instance.value_set():
+        for row in instance.rows():
             domain.update(row)
     if query is not None:
         domain.update(query.constants())
@@ -75,6 +116,28 @@ def _is_positive_existential(formula: Formula) -> bool:
     return False
 
 
+def _classify_positive(formula: Formula, memo: Dict[int, bool]) -> bool:
+    """Populate *memo* with ``id(node) -> is-positive-existential`` for every
+    subformula, so the classification is computed once per plan instead of on
+    every :func:`holds` visit.  The memo owner must keep the formula alive."""
+    if isinstance(formula, (RelationAtom, Compare)):
+        result = True
+    elif isinstance(formula, (And, Or)):
+        result = True
+        for child in formula.children:
+            if not _classify_positive(child, memo):
+                result = False
+    elif isinstance(formula, Exists):
+        result = _classify_positive(formula.child, memo)
+    elif isinstance(formula, (Not, ForAll)):
+        _classify_positive(formula.child, memo)
+        result = False
+    else:  # pragma: no cover - defensive
+        result = False
+    memo[id(formula)] = result
+    return result
+
+
 def _term_value(term: Any, assignment: Assignment) -> Tuple[bool, Any]:
     """(is_bound, value) of a term under *assignment*."""
     if isinstance(term, Constant):
@@ -86,28 +149,55 @@ def _term_value(term: Any, assignment: Assignment) -> Tuple[bool, Any]:
     raise EvaluationError(f"unexpected term {term!r}")
 
 
-def _relation_rows(database: Database, relation: str) -> FrozenSet[Tuple[Any, ...]]:
+def _instance(database: Database, relation: str) -> NormalInstance:
     try:
-        instance = database[relation]
+        return database[relation]
     except KeyError:
         raise EvaluationError(f"query refers to unknown relation {relation!r}") from None
-    return instance.value_set()
+
+
+def _relation_rows(database: Database, relation: str) -> FrozenSet[Tuple[Any, ...]]:
+    return _instance(database, relation).value_set()
+
+
+def _check_arity(atom: RelationAtom, instance: NormalInstance) -> None:
+    expected = len(instance.schema.attributes) + 1  # EID first
+    if len(atom.terms) != expected:
+        raise EvaluationError(
+            f"atom over {atom.relation!r} has arity {len(atom.terms)} but the relation has "
+            f"arity {expected}"
+        )
 
 
 # --------------------------------------------------------------------------- #
-# Positive-existential evaluation by structural enumeration
+# Positive-existential evaluation: indexed backtracking joins
 # --------------------------------------------------------------------------- #
 def _match_atom(
     atom: RelationAtom, assignment: Assignment, database: Database
 ) -> Iterator[Assignment]:
-    rows = _relation_rows(database, atom.relation)
-    arity = len(atom.terms)
-    for row in rows:
-        if len(row) != arity:
-            raise EvaluationError(
-                f"atom over {atom.relation!r} has arity {arity} but the relation has "
-                f"arity {len(row)}"
-            )
+    """Extensions of *assignment* matching one relation atom.
+
+    When at least one term is bound the candidate rows come from the smallest
+    index bucket among the bound positions; unbound atoms fall back to a scan
+    of the (cached) distinct rows.
+    """
+    instance = _instance(database, atom.relation)
+    _check_arity(atom, instance)
+    candidates: Optional[Tuple[Tuple[Any, ...], ...]] = None
+    for position, term in enumerate(atom.terms):
+        bound, value = _term_value(term, assignment)
+        if bound:
+            try:
+                bucket = instance.index_on(position).get(value, ())
+            except TypeError:  # unhashable probe value: scan instead
+                continue
+            if not bucket:
+                return
+            if candidates is None or len(bucket) < len(candidates):
+                candidates = bucket
+    if candidates is None:
+        candidates = instance.rows()
+    for row in candidates:
         extended = dict(assignment)
         ok = True
         for term, value in zip(atom.terms, row):
@@ -144,12 +234,101 @@ def _match_compare(
     )
 
 
-def _ordered_children(children: Tuple[Formula, ...]) -> List[Formula]:
-    """Evaluate relation atoms and nested structures before comparisons, so
-    comparisons see bound variables (standard safe-CQ evaluation order)."""
-    binding = [c for c in children if not isinstance(c, Compare)]
-    filters = [c for c in children if isinstance(c, Compare)]
-    return binding + filters
+_UNSAFE = float("inf")
+
+
+def _conjunct_cost(
+    child: Formula,
+    child_free: Optional[FrozenSet[str]],
+    assignment: Assignment,
+    database: Database,
+) -> Tuple[int, float]:
+    """(priority, estimated fan-out) of evaluating *child* next; lower wins.
+
+    Priorities: 0 — fully bound comparison (pure filter); 1 — equality that
+    propagates a binding, or a sub-formula whose free variables are all bound;
+    2 — relation atom with at least one bound position (indexed probe, cost =
+    smallest bucket size); 3 — unbound relation atom (scan, cost = relation
+    size); 4 — sub-formula with unbound variables; 5 — comparison that is not
+    yet safe.
+    """
+    if isinstance(child, Compare):
+        lhs_bound, _ = _term_value(child.lhs, assignment)
+        rhs_bound, _ = _term_value(child.rhs, assignment)
+        if lhs_bound and rhs_bound:
+            return (0, 0.0)
+        if child.op == "=" and (lhs_bound or rhs_bound):
+            return (1, 0.0)
+        return (5, _UNSAFE)
+    if isinstance(child, RelationAtom):
+        instance = _instance(database, child.relation)
+        _check_arity(child, instance)
+        best: Optional[int] = None
+        for position, term in enumerate(child.terms):
+            bound, value = _term_value(term, assignment)
+            if bound:
+                try:
+                    bucket = instance.index_on(position).get(value, ())
+                except TypeError:
+                    continue
+                size = len(bucket)
+                if best is None or size < best:
+                    best = size
+        if best is None:
+            return (3, float(len(instance.rows())))
+        return (2, float(best))
+    unbound = sum(1 for name in child_free or () if name not in assignment)
+    if unbound == 0:
+        return (1, 0.0)
+    return (4, float(unbound))
+
+
+def _enumerate_conjunction(
+    children: Sequence[Formula], assignment: Assignment, database: Database
+) -> Iterator[Assignment]:
+    """Backtracking join with dynamic conjunct ordering.
+
+    The next conjunct is re-selected at every extension point, so bindings
+    produced by earlier conjuncts steer later ones onto index probes.  Free
+    variables of nested sub-formulas are computed once here, not per
+    extension point.
+    """
+    annotated = [
+        (
+            child,
+            None
+            if isinstance(child, (RelationAtom, Compare))
+            else free_variables(child),
+        )
+        for child in children
+    ]
+    yield from _enumerate_conjunction_rec(annotated, assignment, database)
+
+
+def _enumerate_conjunction_rec(
+    annotated: Sequence[Tuple[Formula, Optional[FrozenSet[str]]]],
+    assignment: Assignment,
+    database: Database,
+) -> Iterator[Assignment]:
+    if not annotated:
+        yield assignment
+        return
+    best_index = 0
+    best_cost = _conjunct_cost(annotated[0][0], annotated[0][1], assignment, database)
+    for index in range(1, len(annotated)):
+        cost = _conjunct_cost(annotated[index][0], annotated[index][1], assignment, database)
+        if cost < best_cost:
+            best_cost = cost
+            best_index = index
+    if best_cost[1] == _UNSAFE:
+        raise EvaluationError(
+            f"comparison {annotated[best_index][0]} is unsafe at evaluation time "
+            "(unbound variables)"
+        )
+    chosen = annotated[best_index][0]
+    rest = [pair for index, pair in enumerate(annotated) if index != best_index]
+    for extended in _enumerate(chosen, assignment, database):
+        yield from _enumerate_conjunction_rec(rest, extended, database)
 
 
 def _enumerate(
@@ -162,16 +341,7 @@ def _enumerate(
         yield from _match_compare(formula, assignment)
         return
     if isinstance(formula, And):
-        children = _ordered_children(formula.children)
-
-        def recurse(index: int, current: Assignment) -> Iterator[Assignment]:
-            if index == len(children):
-                yield current
-                return
-            for extended in _enumerate(children[index], current, database):
-                yield from recurse(index + 1, extended)
-
-        yield from recurse(0, assignment)
+        yield from _enumerate_conjunction(formula.children, assignment, database)
         return
     if isinstance(formula, Or):
         for child in formula.children:
@@ -179,8 +349,18 @@ def _enumerate(
         return
     if isinstance(formula, Exists):
         quantified = {v.name for v in formula.variables}
-        for extended in _enumerate(formula.child, assignment, database):
-            yield {k: v for k, v in extended.items() if k not in quantified or k in assignment}
+        # Rebind locally: a quantified variable shadowing an outer binding is a
+        # fresh variable, never an equality constraint on the outer value.
+        shadowed = {k: assignment[k] for k in quantified if k in assignment}
+        inner = (
+            {k: v for k, v in assignment.items() if k not in quantified}
+            if shadowed
+            else assignment
+        )
+        for extended in _enumerate(formula.child, inner, database):
+            result = {k: v for k, v in extended.items() if k not in quantified}
+            result.update(shadowed)
+            yield result
         return
     raise EvaluationError(
         f"node {type(formula).__name__} is not part of the positive-existential fragment"
@@ -195,8 +375,19 @@ def holds(
     assignment: Assignment,
     database: Database,
     domain: List[Any],
+    positive_memo: Optional[Dict[int, bool]] = None,
 ) -> bool:
-    """Whether *formula* holds under *assignment* with active-domain quantifiers."""
+    """Whether *formula* holds under *assignment* with active-domain quantifiers.
+
+    *positive_memo* is the plan-driven fast path (see
+    :class:`EvaluationPlan`): it marks positive existential subformulas, which
+    are then decided by the indexed join engine instead of a ``domain^k``
+    sweep.  That shortcut is sound only because the plan always passes the
+    full active domain of the database-plus-query, which contains every
+    enumerable witness value by construction.  Direct callers (no memo) get
+    the exact sweep over whatever *domain* they supply, so a caller-restricted
+    domain keeps its documented semantics.
+    """
     if isinstance(formula, RelationAtom):
         row = []
         for term in formula.terms:
@@ -212,17 +403,34 @@ def holds(
             raise EvaluationError(f"unbound variable in comparison {formula}")
         return _COMPARATORS[formula.op](lhs, rhs)
     if isinstance(formula, And):
-        return all(holds(child, assignment, database, domain) for child in formula.children)
+        return all(
+            holds(child, assignment, database, domain, positive_memo)
+            for child in formula.children
+        )
     if isinstance(formula, Or):
-        return any(holds(child, assignment, database, domain) for child in formula.children)
+        return any(
+            holds(child, assignment, database, domain, positive_memo)
+            for child in formula.children
+        )
     if isinstance(formula, Not):
-        return not holds(formula.child, assignment, database, domain)
+        return not holds(formula.child, assignment, database, domain, positive_memo)
     if isinstance(formula, Exists):
         names = [v.name for v in formula.variables]
+        if positive_memo is not None and positive_memo.get(id(formula.child), False):
+            # plan-driven evaluation: *domain* is the full active domain, so
+            # every value an enumeration can bind is within it automatically
+            quantified = set(names)
+            inner = {k: v for k, v in assignment.items() if k not in quantified}
+            try:
+                for _ in _enumerate(formula.child, inner, database):
+                    return True
+                return False
+            except EvaluationError:
+                pass  # unsafe for enumeration — fall back to the domain sweep
         for values in product(domain, repeat=len(names)):
             extended = dict(assignment)
             extended.update(zip(names, values))
-            if holds(formula.child, extended, database, domain):
+            if holds(formula.child, extended, database, domain, positive_memo):
                 return True
         return False
     if isinstance(formula, ForAll):
@@ -230,34 +438,281 @@ def holds(
         for values in product(domain, repeat=len(names)):
             extended = dict(assignment)
             extended.update(zip(names, values))
-            if not holds(formula.child, extended, database, domain):
+            if not holds(formula.child, extended, database, domain, positive_memo):
                 return False
         return True
     raise EvaluationError(f"unknown formula node {type(formula).__name__}")
 
 
 # --------------------------------------------------------------------------- #
+# Compiled evaluation plans (shared by evaluate() and QueryEngine)
+# --------------------------------------------------------------------------- #
+class EvaluationPlan:
+    """A query pre-processed for evaluation.
+
+    Standardises quantified variables apart, deduplicates head names and —
+    for full-FO queries — splits the top-level conjunction into the positive
+    skeleton (evaluated by indexed enumeration) and the residual (checked by
+    :func:`holds` with active-domain fallback for uncovered head variables).
+    """
+
+    __slots__ = (
+        "query",
+        "head_names",
+        "unique_head",
+        "formula",
+        "positive",
+        "skeleton",
+        "covered",
+        "residual",
+        "positive_memo",
+    )
+
+    def __init__(self, query: Query | SPQuery) -> None:
+        if isinstance(query, SPQuery):
+            query = query.to_query()
+        self.query = query
+        self.head_names: List[str] = [v.name for v in query.head]
+        # duplicate head variables collapse to one search variable; answers
+        # are expanded back through the assignment
+        self.unique_head: List[str] = list(dict.fromkeys(self.head_names))
+        self.formula: Formula = standardize_apart(query.formula, reserved=self.head_names)
+        # id(node) -> is-positive-existential for every subformula; valid for
+        # the plan's lifetime because the plan owns self.formula
+        self.positive_memo: Dict[int, bool] = {}
+        self.positive: bool = _classify_positive(self.formula, self.positive_memo)
+        if self.positive:
+            self.skeleton: Optional[Formula] = self.formula
+            self.covered: List[str] = list(self.unique_head)
+            self.residual: List[str] = []
+            return
+        conjuncts = (
+            list(self.formula.children) if isinstance(self.formula, And) else [self.formula]
+        )
+        positive_conjuncts = [c for c in conjuncts if self.positive_memo[id(c)]]
+        covered: Set[str] = set()
+        for conjunct in positive_conjuncts:
+            covered |= set(free_variables(conjunct))
+        self.covered = [name for name in self.unique_head if name in covered]
+        self.residual = [name for name in self.unique_head if name not in covered]
+        if positive_conjuncts:
+            self.skeleton = (
+                And(*positive_conjuncts)
+                if len(positive_conjuncts) > 1
+                else positive_conjuncts[0]
+            )
+        else:
+            self.skeleton = None
+
+    # ------------------------------------------------------------------ #
+    def _expand(self, assignment: Assignment) -> Tuple[Any, ...]:
+        return tuple(assignment[name] for name in self.head_names)
+
+    def _answers_positive(self, database: Database) -> FrozenSet[Tuple[Any, ...]]:
+        answers: Set[Tuple[Any, ...]] = set()
+        for assignment in _enumerate(self.formula, {}, database):
+            answers.add(self._expand(assignment))
+        return frozenset(answers)
+
+    def _candidate_assignments(
+        self, database: Database
+    ) -> Optional[Set[Tuple[Any, ...]]]:
+        """Distinct covered-head bindings satisfying the positive skeleton, or
+        None when the skeleton is absent or unsafe to enumerate."""
+        if self.skeleton is None:
+            return None
+        candidates: Set[Tuple[Any, ...]] = set()
+        try:
+            for assignment in _enumerate(self.skeleton, {}, database):
+                candidates.add(tuple(assignment[name] for name in self.covered))
+        except (EvaluationError, KeyError):
+            return None  # unsafe skeleton: fall back to the full domain product
+        return candidates
+
+    def _answers_first_order(self, database: Database) -> FrozenSet[Tuple[Any, ...]]:
+        domain = active_domain(database, self.query)
+        candidates = self._candidate_assignments(database)
+        if candidates is None:
+            covered: List[str] = []
+            residual = list(self.unique_head)
+            candidates = {()}
+        else:
+            covered = self.covered
+            residual = self.residual
+        answers: Set[Tuple[Any, ...]] = set()
+        for candidate in candidates:
+            base = dict(zip(covered, candidate))
+            for values in product(domain, repeat=len(residual)):
+                assignment = dict(base)
+                assignment.update(zip(residual, values))
+                if holds(self.formula, assignment, database, domain, self.positive_memo):
+                    answers.add(self._expand(assignment))
+        return frozenset(answers)
+
+    def answers(self, database: Database) -> FrozenSet[Tuple[Any, ...]]:
+        """Evaluate the compiled query on *database*."""
+        if self.positive:
+            return self._answers_positive(database)
+        return self._answers_first_order(database)
+
+
+# --------------------------------------------------------------------------- #
 # Public entry points
 # --------------------------------------------------------------------------- #
 def evaluate(query: Query | SPQuery, database: Database) -> FrozenSet[Tuple[Any, ...]]:
-    """Evaluate *query* on *database*; returns the set of answer tuples."""
-    if isinstance(query, SPQuery):
-        query = query.to_query()
-    head_names = [v.name for v in query.head]
-    if _is_positive_existential(query.formula):
-        answers: Set[Tuple[Any, ...]] = set()
-        for assignment in _enumerate(query.formula, {}, database):
-            answers.add(tuple(assignment[name] for name in head_names))
-        return frozenset(answers)
-    domain = active_domain(database, query)
-    answers = set()
-    for values in product(domain, repeat=len(head_names)):
-        assignment = dict(zip(head_names, values))
-        if holds(query.formula, assignment, database, domain):
-            answers.add(tuple(values))
-    return frozenset(answers)
+    """Evaluate *query* on *database* with the indexed engine; returns the set
+    of answer tuples."""
+    return EvaluationPlan(query).answers(database)
 
 
 def evaluate_boolean(query: Query | SPQuery, database: Database) -> bool:
     """Evaluate a Boolean query (empty head): True iff the answer is ``{()}``."""
     return bool(evaluate(query, database))
+
+
+# --------------------------------------------------------------------------- #
+# The seed full-scan engine (reference implementation)
+# --------------------------------------------------------------------------- #
+def _ordered_children(children: Tuple[Formula, ...]) -> List[Formula]:
+    """Static safe-CQ order: relation atoms and nested structures before
+    comparisons, so comparisons see bound variables."""
+    binding = [c for c in children if not isinstance(c, Compare)]
+    filters = [c for c in children if isinstance(c, Compare)]
+    return binding + filters
+
+
+def _match_atom_naive(
+    atom: RelationAtom, assignment: Assignment, database: Database
+) -> Iterator[Assignment]:
+    rows = _relation_rows(database, atom.relation)
+    arity = len(atom.terms)
+    for row in rows:
+        if len(row) != arity:
+            raise EvaluationError(
+                f"atom over {atom.relation!r} has arity {arity} but the relation has "
+                f"arity {len(row)}"
+            )
+        extended = dict(assignment)
+        ok = True
+        for term, value in zip(atom.terms, row):
+            bound, current = _term_value(term, extended)
+            if bound:
+                if current != value:
+                    ok = False
+                    break
+            else:
+                extended[term.name] = value
+        if ok:
+            yield extended
+
+
+def _enumerate_naive(
+    formula: Formula, assignment: Assignment, database: Database
+) -> Iterator[Assignment]:
+    if isinstance(formula, RelationAtom):
+        yield from _match_atom_naive(formula, assignment, database)
+        return
+    if isinstance(formula, Compare):
+        yield from _match_compare(formula, assignment)
+        return
+    if isinstance(formula, And):
+        children = _ordered_children(formula.children)
+
+        def recurse(index: int, current: Assignment) -> Iterator[Assignment]:
+            if index == len(children):
+                yield current
+                return
+            for extended in _enumerate_naive(children[index], current, database):
+                yield from recurse(index + 1, extended)
+
+        yield from recurse(0, assignment)
+        return
+    if isinstance(formula, Or):
+        for child in formula.children:
+            yield from _enumerate_naive(child, assignment, database)
+        return
+    if isinstance(formula, Exists):
+        quantified = {v.name for v in formula.variables}
+        shadowed = {k: assignment[k] for k in quantified if k in assignment}
+        inner = (
+            {k: v for k, v in assignment.items() if k not in quantified}
+            if shadowed
+            else assignment
+        )
+        for extended in _enumerate_naive(formula.child, inner, database):
+            result = {k: v for k, v in extended.items() if k not in quantified}
+            result.update(shadowed)
+            yield result
+        return
+    raise EvaluationError(
+        f"node {type(formula).__name__} is not part of the positive-existential fragment"
+    )
+
+
+def _holds_naive(
+    formula: Formula,
+    assignment: Assignment,
+    database: Database,
+    domain: List[Any],
+) -> bool:
+    """Seed :func:`holds` without the positive-existential shortcut."""
+    if isinstance(formula, And):
+        return all(_holds_naive(c, assignment, database, domain) for c in formula.children)
+    if isinstance(formula, Or):
+        return any(_holds_naive(c, assignment, database, domain) for c in formula.children)
+    if isinstance(formula, Not):
+        return not _holds_naive(formula.child, assignment, database, domain)
+    if isinstance(formula, Exists):
+        names = [v.name for v in formula.variables]
+        for values in product(domain, repeat=len(names)):
+            extended = dict(assignment)
+            extended.update(zip(names, values))
+            if _holds_naive(formula.child, extended, database, domain):
+                return True
+        return False
+    if isinstance(formula, ForAll):
+        names = [v.name for v in formula.variables]
+        for values in product(domain, repeat=len(names)):
+            extended = dict(assignment)
+            extended.update(zip(names, values))
+            if not _holds_naive(formula.child, extended, database, domain):
+                return False
+        return True
+    return holds(formula, assignment, database, domain)  # atoms and comparisons
+
+
+def evaluate_naive(query: Query | SPQuery, database: Database) -> FrozenSet[Tuple[Any, ...]]:
+    """Evaluate *query* with the seed full-scan engine.
+
+    Positive existential queries use full-scan backtracking joins in static
+    child order; full FO enumerates ``domain^|head|`` assignments.  Kept as
+    the reference implementation for the property-based equivalence tests and
+    the evaluator benchmark; both correctness fixes (duplicate head variables,
+    quantifier shadowing) apply here too.
+
+    Equivalence caveat: both engines return identical answer sets for *safe*
+    (range-restricted) queries.  On unsafe queries — a comparison whose
+    variable no relation atom can ever bind — both reject with
+    :class:`EvaluationError`, but because the two engines visit conjuncts in
+    different orders they may disagree on *when* the unsafety is discovered:
+    one may raise where the other has already exhausted all candidate rows
+    and returns an empty set.  Equivalence tests should therefore only
+    generate range-restricted queries.
+    """
+    if isinstance(query, SPQuery):
+        query = query.to_query()
+    head_names = [v.name for v in query.head]
+    formula = standardize_apart(query.formula, reserved=head_names)
+    if _is_positive_existential(formula):
+        answers: Set[Tuple[Any, ...]] = set()
+        for assignment in _enumerate_naive(formula, {}, database):
+            answers.add(tuple(assignment[name] for name in head_names))
+        return frozenset(answers)
+    domain = active_domain(database, query)
+    unique_head = list(dict.fromkeys(head_names))
+    answers = set()
+    for values in product(domain, repeat=len(unique_head)):
+        assignment = dict(zip(unique_head, values))
+        if _holds_naive(formula, assignment, database, domain):
+            answers.add(tuple(assignment[name] for name in head_names))
+    return frozenset(answers)

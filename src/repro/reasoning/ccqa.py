@@ -27,12 +27,13 @@ from __future__ import annotations
 from typing import Any, Dict, FrozenSet, Hashable, Optional, Set, Tuple, Union
 
 from repro.core.completion import consistent_completions
-from repro.core.current import current_database
+from repro.core.current import current_database, current_instance
 from repro.core.instance import NormalInstance
 from repro.core.specification import Specification
 from repro.core.tuples import RelationTuple
 from repro.exceptions import InconsistentSpecificationError, QueryError, SpecificationError
 from repro.query.ast import Query, SPQuery
+from repro.query.engine import QueryEngine
 from repro.query.evaluator import evaluate
 from repro.reasoning.chase import chase_certain_orders
 from repro.reasoning.current_db import CurrentDatabaseEnumerator
@@ -67,21 +68,35 @@ class UnknownValue:
         return hash((id(self),))
 
 
-def _query_relations(query: AnyQuery) -> Tuple[str, ...]:
-    if isinstance(query, SPQuery):
-        return (query.relation,)
-    return tuple(sorted(query.relations()))
-
-
 # --------------------------------------------------------------------------- #
 # General strategies
 # --------------------------------------------------------------------------- #
-def _answers_by_enumeration(query: AnyQuery, specification: Specification) -> Optional[FrozenSet]:
-    """Intersection of Q over all consistent completions; None when Mod(S)=∅."""
+def _answers_by_enumeration(
+    query: AnyQuery,
+    specification: Specification,
+    engine: Optional[QueryEngine] = None,
+) -> Optional[FrozenSet]:
+    """Intersection of Q over all consistent completions; None when Mod(S)=∅.
+
+    The query is compiled once into a :class:`QueryEngine`; completions that
+    induce value-identical current databases share one evaluation.  For
+    positive queries (no active-domain dependence) only the current instances
+    of the relations the query reads are materialised per completion.
+    """
+    engine = engine if engine is not None else QueryEngine(query)
+    needed = set(engine.relations)
+    restrict = engine.plan.positive
     intersection: Optional[Set[Tuple[Any, ...]]] = None
     for completion in consistent_completions(specification):
-        database = current_database(completion)
-        answers = set(evaluate(query, database))
+        if restrict:
+            database = {
+                name: current_instance(instance)
+                for name, instance in completion.items()
+                if name in needed
+            }
+        else:
+            database = current_database(completion)
+        answers = set(engine.answers(database))
         intersection = answers if intersection is None else (intersection & answers)
         if intersection is not None and not intersection:
             # keep scanning only to confirm consistency was already witnessed
@@ -91,12 +106,17 @@ def _answers_by_enumeration(query: AnyQuery, specification: Specification) -> Op
     return frozenset(intersection)
 
 
-def _answers_by_candidates(query: AnyQuery, specification: Specification) -> Optional[FrozenSet]:
+def _answers_by_candidates(
+    query: AnyQuery,
+    specification: Specification,
+    engine: Optional[QueryEngine] = None,
+) -> Optional[FrozenSet]:
     """Intersection of Q over realizable current databases; None when Mod(S)=∅."""
-    enumerator = CurrentDatabaseEnumerator(specification, relations=_query_relations(query))
+    engine = engine if engine is not None else QueryEngine(query)
+    enumerator = CurrentDatabaseEnumerator(specification, relations=engine.relations)
     intersection: Optional[Set[Tuple[Any, ...]]] = None
     for database in enumerator.databases():
-        answers = set(evaluate(query, database))
+        answers = set(engine.answers(database))
         intersection = answers if intersection is None else (intersection & answers)
         if intersection is not None and not intersection:
             return frozenset()
@@ -130,7 +150,7 @@ def sp_certain_answers(query: SPQuery, specification: Specification) -> Optional
         block = instance.entity_tids(eid)
         values: Dict[str, Any] = {schema.eid: eid}
         for attribute in schema.attributes:
-            order = chase.orders[(query.relation, attribute)]
+            order = chase.order_for(query.relation, attribute)
             sinks = order.maxima(block)
             sink_values = {instance.tuple_by_tid(tid)[attribute] for tid in sinks}
             if len(sink_values) == 1:
@@ -151,15 +171,22 @@ def certain_current_answers(
     query: AnyQuery,
     specification: Specification,
     method: str = "auto",
+    engine: Optional[QueryEngine] = None,
 ) -> FrozenSet[Tuple[Any, ...]]:
     """The set of certain current answers to *query* w.r.t. *specification*.
 
     Raises :class:`InconsistentSpecificationError` when ``Mod(S)`` is empty
     (every tuple would be vacuously certain; there is no meaningful answer
     set to return).
+
+    *engine* optionally supplies a pre-built :class:`QueryEngine` for *query*
+    so callers that decide CCQA repeatedly (the preservation layer) reuse the
+    compiled plan and the answer cache across specifications.
     """
     if method not in _METHODS:
         raise SpecificationError(f"unknown CCQA method {method!r}; expected one of {_METHODS}")
+    if engine is not None and engine.source is not query:
+        raise SpecificationError("the supplied engine was compiled for a different query")
     if method == "auto":
         if isinstance(query, SPQuery) and not specification.has_denial_constraints():
             method = "sp"
@@ -168,9 +195,9 @@ def certain_current_answers(
     if method == "sp":
         answers = sp_certain_answers(query, specification)  # type: ignore[arg-type]
     elif method == "enumerate":
-        answers = _answers_by_enumeration(query, specification)
+        answers = _answers_by_enumeration(query, specification, engine=engine)
     else:
-        answers = _answers_by_candidates(query, specification)
+        answers = _answers_by_candidates(query, specification, engine=engine)
     if answers is None:
         raise InconsistentSpecificationError(
             "the specification has no consistent completion; certain answers are vacuous"
@@ -183,6 +210,7 @@ def is_certain_answer(
     answer: Tuple[Any, ...],
     specification: Specification,
     method: str = "auto",
+    engine: Optional[QueryEngine] = None,
 ) -> bool:
     """Decide CCQA for a single candidate tuple.
 
@@ -190,7 +218,7 @@ def is_certain_answer(
     specification is inconsistent.
     """
     try:
-        answers = certain_current_answers(query, specification, method=method)
+        answers = certain_current_answers(query, specification, method=method, engine=engine)
     except InconsistentSpecificationError:
         return True
     return tuple(answer) in answers

@@ -23,7 +23,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.core.partial_order import PartialOrder
 from repro.core.specification import Specification
-from repro.exceptions import CycleError
+from repro.exceptions import CycleError, SpecificationError
 
 __all__ = ["ChaseResult", "chase_certain_orders"]
 
@@ -43,6 +43,22 @@ class ChaseResult:
     consistent: bool
     orders: Dict[OrderKey, PartialOrder]
     iterations: int
+
+    def order_for(self, instance: str, attribute: str) -> PartialOrder:
+        """The fixpoint order for ``(instance, attribute)``.
+
+        Raises :class:`SpecificationError` (not ``KeyError``) when the chase
+        produced no entry — i.e. the caller's schema does not match the
+        specification the chase ran on.
+        """
+        try:
+            return self.orders[(instance, attribute)]
+        except KeyError:
+            raise SpecificationError(
+                f"the chase produced no certain-order entry for "
+                f"({instance!r}, {attribute!r}); the query's schema does not "
+                "match the specification's instance"
+            ) from None
 
     def certain(self, instance: str, attribute: str, lower: Hashable, upper: Hashable) -> bool:
         """Whether ``lower ≺_attribute upper`` is certain (holds in every completion)."""

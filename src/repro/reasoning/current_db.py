@@ -50,6 +50,16 @@ class CurrentDatabaseEnumerator:
             specification.instance(name)  # validates the name
         self.encoder = CompletionEncoder(specification)
         self._max_variables: List[MaxVariable] = []
+        # Decoded instances are cached by value so that models inducing the
+        # same current instance share one NormalInstance object — and with it
+        # the lazily built per-column indexes of the query evaluator.  Yielded
+        # databases share these instances; callers must not mutate them.  The
+        # cache is cleared wholesale at a size cap so unboundedly many
+        # distinct current databases cannot pin memory.
+        self._instance_cache: Dict[
+            Tuple[str, Tuple[Tuple[Any, ...], ...]], NormalInstance
+        ] = {}
+        self._max_cached_instances = 4096
         self._add_maximality_variables()
 
     # ------------------------------------------------------------------ #
@@ -87,7 +97,7 @@ class CurrentDatabaseEnumerator:
         database: Dict[str, NormalInstance] = {}
         for name in self.relations:
             instance = self.specification.instance(name)
-            current = NormalInstance(instance.schema)
+            rows: List[Tuple[Any, Dict[str, Any]]] = []
             for eid in instance.entities():
                 values: Dict[str, Any] = {instance.schema.eid: eid}
                 for attribute in instance.schema.attributes:
@@ -99,7 +109,20 @@ class CurrentDatabaseEnumerator:
                     if chosen is None:  # pragma: no cover - defensive
                         chosen = instance.entity_tids(eid)[0]
                     values[attribute] = instance.tuple_by_tid(chosen)[attribute]
-                current.add(RelationTuple(instance.schema, f"lst::{eid}", values))
+                rows.append((eid, values))
+            attributes = instance.schema.attributes
+            key = (
+                name,
+                tuple((eid,) + tuple(values[a] for a in attributes) for eid, values in rows),
+            )
+            current = self._instance_cache.get(key)
+            if current is None:
+                current = NormalInstance(instance.schema)
+                for eid, values in rows:
+                    current.add(RelationTuple(instance.schema, f"lst::{eid}", values))
+                if len(self._instance_cache) >= self._max_cached_instances:
+                    self._instance_cache.clear()
+                self._instance_cache[key] = current
             database[name] = current
         return database
 

@@ -14,6 +14,15 @@ Implemented constructions:
 * ``ccqa_from_q3sat`` — PSPACE-hardness for CCQA(FO): from a Q3SAT sentence
   build a (trivially ordered) specification and an FO query whose certain
   answer is ``(1)`` iff the sentence is true.
+
+Evaluation note: the CQ gadget circuits join many small relations and are the
+queries that the CCQA candidate-enumeration loops evaluate over every
+realizable current database — they are exactly the workload the indexed
+engine's dynamic join ordering targets (pass an ``engine=`` to
+``is_certain_answer`` to reuse one compiled plan across repeated decisions).
+The relativised quantifier atoms of the FO gadgets (``∃ e Rc(e, x)``) are
+decided by indexed enumeration inside :func:`repro.query.evaluator.holds`
+rather than by an active-domain sweep.
 """
 
 from __future__ import annotations

@@ -72,22 +72,42 @@ def _choose_literal(clauses: List[Clause]) -> Literal:
 
 
 def _dpll(clauses: List[Clause], assignment: Model) -> Optional[Model]:
-    propagated = _unit_propagate(clauses, assignment)
-    if propagated is None:
-        return None
-    clauses, assignment = propagated
-    if not clauses:
-        return assignment
-    literal = _choose_literal(clauses)
-    for chosen in (literal, -literal):
+    """DPLL search with an explicit work stack.
+
+    The recursion depth of the textbook formulation equals the number of
+    branching decisions, which for the CNFs produced by
+    ``CurrentDatabaseEnumerator`` on large specifications can exceed Python's
+    recursion limit; the explicit stack makes the search depth-unbounded.
+    Frames are explored in the same order as the recursive version (the
+    most-occurrences literal first, then its negation).
+    """
+    # each frame: (clauses, assignment, pending); pending is None for a frame
+    # not yet propagated, or the decision literals still to try on it —
+    # branches are simplified lazily, so the negation branch costs nothing
+    # unless the first branch actually fails
+    stack: List[Tuple[List[Clause], Model, Optional[List[Literal]]]] = [
+        (clauses, assignment, None)
+    ]
+    while stack:
+        clauses, assignment, pending = stack.pop()
+        if pending is None:
+            propagated = _unit_propagate(clauses, assignment)
+            if propagated is None:
+                continue
+            clauses, assignment = propagated
+            if not clauses:
+                return assignment
+            literal = _choose_literal(clauses)
+            pending = [literal, -literal]
+        chosen = pending.pop(0)
+        if pending:
+            stack.append((clauses, assignment, pending))
         simplified = _simplify(clauses, chosen)
         if simplified is None:
             continue
         extended = dict(assignment)
         extended[abs(chosen)] = chosen > 0
-        result = _dpll(simplified, extended)
-        if result is not None:
-            return result
+        stack.append((simplified, extended, None))
     return None
 
 

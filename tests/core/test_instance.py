@@ -69,6 +69,45 @@ class TestNormalInstance:
         assert first != second
 
 
+class TestInstanceIndexes:
+    def test_rows_deduplicate_and_preserve_order(self, schema):
+        instance = NormalInstance(
+            schema,
+            [
+                make_tuple(schema, "t1", "e1", 1, 2),
+                make_tuple(schema, "t2", "e1", 1, 2),  # value-duplicate
+                make_tuple(schema, "t3", "e2", 3, 4),
+            ],
+        )
+        assert instance.rows() == (("e1", 1, 2), ("e2", 3, 4))
+        assert instance.value_set() == frozenset({("e1", 1, 2), ("e2", 3, 4)})
+
+    def test_index_on_groups_rows_by_column_value(self, schema):
+        instance = NormalInstance(
+            schema,
+            [
+                make_tuple(schema, "t1", "e1", 1, 10),
+                make_tuple(schema, "t2", "e2", 1, 20),
+                make_tuple(schema, "t3", "e3", 2, 30),
+            ],
+        )
+        index = instance.index_on(1)  # column 1 = attribute A
+        assert set(index[1]) == {("e1", 1, 10), ("e2", 1, 20)}
+        assert index[2] == (("e3", 2, 30),)
+
+    def test_indexes_invalidated_on_add(self, schema):
+        instance = NormalInstance(schema, [make_tuple(schema, "t1", "e1", 1, 10)])
+        assert instance.index_on(1)[1] == (("e1", 1, 10),)
+        instance.add(make_tuple(schema, "t2", "e2", 1, 20))
+        assert set(instance.index_on(1)[1]) == {("e1", 1, 10), ("e2", 1, 20)}
+        assert instance.rows() == (("e1", 1, 10), ("e2", 1, 20))
+
+    def test_temporal_instance_inherits_indexes(self, two_entity_instance):
+        index = two_entity_instance.index_on(0)
+        assert {eid for eid in index} == {"e1", "e2"}
+        assert len(index["e1"]) == 2
+
+
 class TestTemporalInstance:
     def test_orders_start_empty(self, two_entity_instance):
         for attribute in two_entity_instance.schema.attributes:

@@ -9,7 +9,8 @@ from repro.core.schema import RelationSchema
 from repro.core.specification import Specification
 from repro.core.tuples import RelationTuple
 from repro.exceptions import CycleError
-from repro.query.ast import SPQuery
+from repro.query.ast import And, Compare, Constant, Exists, Not, Query, RelationAtom, SPQuery, Var
+from repro.query.evaluator import evaluate, evaluate_naive
 from repro.reasoning.ccqa import certain_current_answers
 from repro.reasoning.chase import chase_certain_orders
 from repro.reasoning.cps import is_consistent
@@ -137,6 +138,85 @@ spec_orders = st.lists(
     st.tuples(st.sampled_from(["A", "B"]), st.tuples(st.integers(0, 3), st.integers(0, 3))),
     max_size=6,
 )
+
+
+class TestEvaluatorEquivalence:
+    """The indexed engine (`evaluate`) and the retained seed engine
+    (`evaluate_naive`) return identical answer sets on randomized synthetic
+    instances."""
+
+    @staticmethod
+    def _database(seed):
+        from repro.workloads.synthetic import SyntheticConfig, random_specification
+
+        config = SyntheticConfig(
+            entities=3,
+            tuples_per_entity=2,
+            attributes=2,
+            order_density=0.0,
+            value_domain=3,
+            with_constraints=False,
+            relations=2,
+            seed=seed,
+        )
+        specification = random_specification(config)
+        return {name: specification.instance(name) for name in specification.instance_names()}
+
+    @staticmethod
+    def _queries(constant):
+        e, f, a, b, c = Var("e"), Var("f"), Var("a"), Var("b"), Var("c")
+        join = Query(
+            (e, f),
+            Exists(
+                (a, b, c),
+                And(
+                    RelationAtom("R0", (e, a, b)),
+                    RelationAtom("R1", (f, a, c)),
+                ),
+            ),
+            name="join",
+        )
+        selection = Query(
+            (e, a),
+            Exists(
+                b,
+                And(RelationAtom("R0", (e, a, b)), Compare(b, "=", Constant(constant))),
+            ),
+            name="selection",
+        )
+        duplicate_head = Query(
+            (e, e),
+            Exists((a, b), RelationAtom("R0", (e, a, b))),
+            name="dup-head",
+        )
+        shadowing = Query(
+            (e,),
+            Exists(
+                (a, b),
+                And(
+                    RelationAtom("R0", (e, a, b)),
+                    # inner ∃f,a shadows the outer a
+                    Exists((f, a), RelationAtom("R1", (f, a, Constant(constant)))),
+                ),
+            ),
+            name="shadowing",
+        )
+        fo_negation = Query(
+            (e, a),
+            And(
+                Exists(b, RelationAtom("R0", (e, a, b))),
+                Not(Exists((f, c), RelationAtom("R1", (f, a, c)))),
+            ),
+            name="fo-negation",
+        )
+        return [join, selection, duplicate_head, shadowing, fo_negation]
+
+    @given(st.integers(min_value=0, max_value=200), st.integers(min_value=0, max_value=2))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_indexed_and_naive_engines_agree(self, seed, constant):
+        database = self._database(seed)
+        for query in self._queries(constant):
+            assert evaluate(query, database) == evaluate_naive(query, database), query.name
 
 
 class TestReasoningProperties:

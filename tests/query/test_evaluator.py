@@ -20,7 +20,7 @@ from repro.query.ast import (
     Var,
 )
 from repro.query.builders import atom, conjunctive_query, eq, union_query, variables
-from repro.query.evaluator import active_domain, evaluate, evaluate_boolean
+from repro.query.evaluator import active_domain, evaluate, evaluate_boolean, evaluate_naive
 
 
 @pytest.fixture()
@@ -124,6 +124,151 @@ class TestFirstOrderEvaluation:
         query = conjunctive_query((x,), [atom("R", x, 77, Var("b"))])
         domain = active_domain(database, query)
         assert 77 in domain and "e1" in domain and 30 in domain
+
+
+class TestDuplicateHeadVariables:
+    """Regression: a head like ``(x, x)`` must only admit tuples ``(a, a)``.
+
+    The seed FO path enumerated ``domain^|head|`` and built the assignment
+    with ``dict(zip(head_names, values))``, collapsing duplicates so that
+    ``(a, b)`` with ``a != b`` could be admitted."""
+
+    def test_duplicate_head_positive_path(self, database):
+        y, b = variables("y", "b")
+        body = Exists((Var("e"), b), RelationAtom("R", (Var("e"), y, b)))
+        query = Query((y, y), body)
+        expected = frozenset({(1, 1), (2, 2)})
+        assert evaluate(query, database) == expected
+        assert evaluate_naive(query, database) == expected
+
+    def test_duplicate_head_first_order_path(self, database):
+        y, b = variables("y", "b")
+        body = And(
+            Exists((Var("e"), b), RelationAtom("R", (Var("e"), y, b))),
+            Not(Compare(y, "=", Constant(99))),
+        )
+        query = Query((y, y), body)
+        expected = frozenset({(1, 1), (2, 2)})
+        assert evaluate(query, database) == expected
+        assert evaluate_naive(query, database) == expected
+
+
+class TestQuantifierShadowing:
+    """Regression: a quantified variable reusing an outer variable's name is a
+    fresh variable, not an equality constraint on the outer binding."""
+
+    def test_exists_shadows_outer_binding_in_positive_path(self, database):
+        x, y, a, b = variables("x", "y", "a", "b")
+        # inner ∃a must not be constrained to equal the outer a bound by the
+        # first atom; only e3 has B=30
+        body = And(
+            RelationAtom("R", (x, a, b)),
+            Exists(a, RelationAtom("R", (y, a, Constant(30)))),
+        )
+        query = Query((x, y), Exists((a, b), body))
+        expected = frozenset({("e1", "e3"), ("e2", "e3"), ("e3", "e3")})
+        assert evaluate(query, database) == expected
+        assert evaluate_naive(query, database) == expected
+
+    def test_exists_shadows_head_variable_in_first_order_path(self, database):
+        x, a, b = variables("x", "a", "b")
+        # inner ∃x shadows the head variable x; R(x', 1, b') is satisfiable,
+        # so the negation kills every candidate
+        body = And(
+            Exists((a, b), RelationAtom("R", (x, a, b))),
+            Not(Exists((x, b), RelationAtom("R", (x, Constant(1), b)))),
+        )
+        query = Query((x,), body)
+        assert evaluate(query, database) == frozenset()
+        assert evaluate_naive(query, database) == frozenset()
+
+    def test_forall_shadows_outer_binding(self, database):
+        x, a, b = variables("x", "a", "b")
+        # ∀x,b (R(x,2,b) → b >= 20) is true regardless of the outer head x
+        inner = ForAll(
+            (x, b),
+            Or(Not(RelationAtom("R", (x, Constant(2), b))), Compare(b, ">=", 20)),
+        )
+        body = And(Exists((a, b), RelationAtom("R", (x, a, b))), inner)
+        query = Query((x,), body)
+        expected = frozenset({("e1",), ("e2",), ("e3",)})
+        assert evaluate(query, database) == expected
+        assert evaluate_naive(query, database) == expected
+
+
+class TestEngineAgreement:
+    """The indexed engine and the retained seed engine agree on the unit
+    database for every query shape exercised above."""
+
+    def test_agreement_on_unit_queries(self, database):
+        x, y, z, a, b = variables("x", "y", "z", "a", "b")
+        queries = [
+            Query((x, y, z), RelationAtom("R", (x, y, z))),
+            conjunctive_query((x, y), [atom("R", x, 2, y)]),
+            conjunctive_query((x,), [atom("R", x, y, z), eq(y, 1)]),
+            union_query(
+                (x,),
+                [
+                    conjunctive_query((x,), [atom("R", x, 1, Var("b"))]),
+                    conjunctive_query((x,), [atom("R", x, Var("a"), 30)]),
+                ],
+            ),
+            Query(
+                (x,),
+                And(
+                    Exists((a, b), RelationAtom("R", (x, a, b))),
+                    Not(Exists(b, RelationAtom("R", (x, Constant(1), b)))),
+                ),
+            ),
+        ]
+        for query in queries:
+            assert evaluate(query, database) == evaluate_naive(query, database)
+
+
+class TestQueryEngineCaching:
+    def test_engine_caches_by_database_value(self, database, schema):
+        from repro.query.engine import QueryEngine
+
+        x, y = variables("x", "y")
+        engine = QueryEngine(conjunctive_query((x, y), [atom("R", x, 2, y)]))
+        first = engine.answers(database)
+        assert engine.cache_info()["misses"] == 1
+        # a value-identical copy with different tids hits the cache
+        clone = NormalInstance(schema)
+        for index, (eid, a, b) in enumerate([("e1", 1, 10), ("e2", 2, 20), ("e3", 2, 30)]):
+            clone.add(RelationTuple(schema, f"other{index}", {"EID": eid, "A": a, "B": b}))
+        assert engine.answers({"R": clone}) == first
+        assert engine.cache_info()["hits"] == 1
+
+    def test_fo_engine_fingerprints_whole_database(self, schema):
+        """Regression: FO answers depend on the active domain (all relations),
+        so the cache key must cover relations the query never reads."""
+        from repro.query.engine import QueryEngine
+
+        other = RelationSchema("S", ("C",))
+        r = NormalInstance(schema)
+        r.add(RelationTuple(schema, "t0", {"EID": "e1", "A": 1, "B": 2}))
+        s1 = NormalInstance(other)
+        s1.add(RelationTuple(other, "u0", {"EID": "s1", "C": 42}))
+        s2 = NormalInstance(other)
+        s2.add(RelationTuple(other, "u0", {"EID": "s2", "C": 43}))
+        x = Var("x")
+        query = Query((x,), Not(Exists((Var("a"), Var("b")), RelationAtom("R", (x, Var("a"), Var("b"))))))
+        engine = QueryEngine(query)
+        first = engine.answers({"R": r, "S": s1})
+        second = engine.answers({"R": r, "S": s2})
+        assert first == evaluate(query, {"R": r, "S": s1})
+        assert second == evaluate(query, {"R": r, "S": s2})
+        assert first != second  # different active domains -> different answers
+
+    def test_engine_sees_new_tuples(self, database, schema):
+        from repro.query.engine import QueryEngine
+
+        x, y = variables("x", "y")
+        engine = QueryEngine(conjunctive_query((x, y), [atom("R", x, 2, y)]))
+        assert engine.answers(database) == frozenset({("e2", 20), ("e3", 30)})
+        database["R"].add(RelationTuple(schema, "t99", {"EID": "e9", "A": 2, "B": 90}))
+        assert ("e9", 90) in engine.answers(database)
 
 
 class TestSPEvaluation:

@@ -53,6 +53,23 @@ class TestSPAlgorithm:
         with pytest.raises(QueryError):
             sp_certain_answers(cq, spec)
 
+    def test_missing_chase_order_entry_raises_specification_error(self, monkeypatch):
+        """Regression: a chase result lacking a (relation, attribute) entry
+        must surface as a clear SpecificationError, not a bare KeyError."""
+        from repro.reasoning import ccqa
+        from repro.reasoning.chase import ChaseResult
+
+        config = SyntheticConfig(with_constraints=False, seed=3)
+        spec = random_specification(config)
+        query = random_sp_query(spec, seed=3)
+        monkeypatch.setattr(
+            ccqa,
+            "chase_certain_orders",
+            lambda specification: ChaseResult(consistent=True, orders={}, iterations=0),
+        )
+        with pytest.raises(SpecificationError, match="certain-order entry"):
+            sp_certain_answers(query, spec)
+
     def test_sp_agrees_with_enumeration(self):
         for seed in range(5):
             config = SyntheticConfig(

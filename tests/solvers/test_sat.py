@@ -79,6 +79,24 @@ class TestDPLL:
         clauses = [(1,), (-1, 2), (-2, 3), (-3, -1)]
         assert solve(clauses) is None
 
+    def test_deep_branching_does_not_hit_recursion_limit(self):
+        # 1500 independent binary clauses force one branching decision each;
+        # the recursive seed formulation exceeded Python's recursion limit
+        # (regression test for the explicit-stack rewrite)
+        n = 1500
+        clauses = [(i, i + n) for i in range(1, n + 1)]
+        model = solve(clauses, num_variables=2 * n)
+        assert model is not None
+        for clause in clauses:
+            assert any(model[abs(l)] == (l > 0) for l in clause)
+
+    def test_deep_unsatisfiable_formula(self):
+        # same shape plus a contradiction on the last pair
+        n = 1200
+        clauses = [(i, i + n) for i in range(1, n + 1)]
+        clauses += [(-n, ), (-2 * n,)]
+        assert solve(clauses) is None
+
     def test_is_satisfiable_wrapper(self):
         cnf = CNF()
         cnf.add_named_clause([("x", True), ("y", True)])
