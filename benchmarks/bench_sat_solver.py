@@ -1,0 +1,221 @@
+"""Benchmark: the CDCL SAT core vs the retained seed DPLL (``solve_naive``).
+
+Three workloads, each asserting the engines agree before timings are
+reported:
+
+* ``random_3cnf``  — one satisfiable random 3-CNF near the solubility phase
+  transition (single solve);
+* ``pigeonhole``   — an unsatisfiable pigeonhole instance (conflict-driven
+  learning vs simplify-and-copy search);
+* ``enumeration``  — the largest workload: projected model enumeration over
+  the completion encoding of the company specification with maximality
+  variables (the CNF behind ``CurrentDatabaseEnumerator``).  The CDCL path
+  adds blocking clauses to one warm incremental :class:`Solver`; the naive
+  path re-solves the growing clause list from scratch per model, exactly as
+  the seed ``iterate_models`` did.
+
+Standalone script (not collected by pytest):
+
+    PYTHONPATH=src python benchmarks/bench_sat_solver.py [--smoke] \
+        [--output BENCH_sat_solver.json]
+
+Emits ``BENCH_sat_solver.json`` with per-workload and overall speedups so the
+perf trajectory of the solver subsystem is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.reasoning.current_db import CurrentDatabaseEnumerator
+from repro.solvers.cnf import CNF
+from repro.solvers.sat import Solver, iterate_models, solve_naive
+from repro.workloads import company
+
+
+def random_3cnf_clauses(num_variables: int, num_clauses: int, seed: int = 42):
+    rng = random.Random(seed)
+    return [
+        tuple(rng.choice([1, -1]) * v for v in rng.sample(range(1, num_variables + 1), 3))
+        for _ in range(num_clauses)
+    ]
+
+
+def pigeonhole_cnf(pigeons: int, holes: int) -> CNF:
+    """The (unsatisfiable for pigeons > holes) pigeonhole principle."""
+    cnf = CNF()
+    var = {(p, h): cnf.variable((p, h)) for p in range(pigeons) for h in range(holes)}
+    for p in range(pigeons):
+        cnf.add_clause([var[(p, h)] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add_clause([-var[(p1, h)], -var[(p2, h)]])
+    return cnf
+
+
+def enumeration_workload():
+    """The completion encoding (plus maximality variables) of the company
+    specification, and its maximality projection — the CNF that the CCQA
+    candidate loops enumerate."""
+    enumerator = CurrentDatabaseEnumerator(company.company_specification())
+    cnf = enumerator.encoder.cnf
+    projection = [cnf.variable(v) for v in enumerator._max_variables]
+    return cnf, projection
+
+
+def count_models_naive(cnf: CNF, projection) -> int:
+    """Seed-style projected enumeration: re-solve the growing clause list
+    from scratch for every model."""
+    clauses = list(cnf.clauses)
+    count = 0
+    while True:
+        model = solve_naive(clauses, cnf.num_variables)
+        if model is None:
+            return count
+        count += 1
+        blocking = tuple(
+            -variable if model.get(variable, False) else variable for variable in projection
+        )
+        if not blocking:
+            return count
+        clauses.append(blocking)
+
+
+def _timed(function, *args):
+    start = time.perf_counter()
+    result = function(*args)
+    return time.perf_counter() - start, result
+
+
+def run(smoke: bool, output: str) -> dict:
+    results = []
+    total_naive = 0.0
+    total_cdcl = 0.0
+
+    # ------------------------------------------------------------------ #
+    # random 3-CNF near the phase transition
+    # ------------------------------------------------------------------ #
+    num_vars, num_clauses = (100, 420) if smoke else (140, 590)
+    clauses = random_3cnf_clauses(num_vars, num_clauses)
+
+    def cdcl_solve():
+        solver = Solver(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        return solver.solve()
+
+    cdcl_s, cdcl_model = _timed(cdcl_solve)
+    naive_s, naive_model = _timed(solve_naive, clauses, num_vars)
+    if (cdcl_model is None) != (naive_model is None):
+        raise AssertionError("engines disagree on the random 3-CNF verdict")
+    if cdcl_model is not None:
+        for clause in clauses:
+            if not any(cdcl_model[abs(l)] == (l > 0) for l in clause):
+                raise AssertionError("CDCL model violates a clause")
+    results.append(
+        {
+            "workload": "random_3cnf",
+            "variables": num_vars,
+            "clauses": num_clauses,
+            "satisfiable": cdcl_model is not None,
+            "naive_s": round(naive_s, 6),
+            "cdcl_s": round(cdcl_s, 6),
+            "speedup": round(naive_s / cdcl_s, 2) if cdcl_s > 0 else None,
+        }
+    )
+    total_naive += naive_s
+    total_cdcl += cdcl_s
+
+    # ------------------------------------------------------------------ #
+    # unsatisfiable pigeonhole
+    # ------------------------------------------------------------------ #
+    pigeons, holes = (6, 5) if smoke else (7, 6)
+    php = pigeonhole_cnf(pigeons, holes)
+
+    def cdcl_php():
+        solver = Solver(php.num_variables)
+        for clause in php.clauses:
+            solver.add_clause(clause)
+        return solver.solve()
+
+    cdcl_s, cdcl_model = _timed(cdcl_php)
+    naive_s, naive_model = _timed(solve_naive, php.clauses, php.num_variables)
+    if cdcl_model is not None or naive_model is not None:
+        raise AssertionError("pigeonhole instance must be unsatisfiable")
+    results.append(
+        {
+            "workload": "pigeonhole",
+            "pigeons": pigeons,
+            "holes": holes,
+            "satisfiable": False,
+            "naive_s": round(naive_s, 6),
+            "cdcl_s": round(cdcl_s, 6),
+            "speedup": round(naive_s / cdcl_s, 2) if cdcl_s > 0 else None,
+        }
+    )
+    total_naive += naive_s
+    total_cdcl += cdcl_s
+
+    # ------------------------------------------------------------------ #
+    # projected model enumeration (the largest workload)
+    # ------------------------------------------------------------------ #
+    cnf, projection = enumeration_workload()
+
+    def cdcl_enumerate():
+        return sum(1 for _ in iterate_models(cnf, project_onto=projection))
+
+    cdcl_s, cdcl_count = _timed(cdcl_enumerate)
+    naive_s, naive_count = _timed(count_models_naive, cnf, projection)
+    if cdcl_count != naive_count:
+        raise AssertionError(
+            f"enumeration counts diverge: cdcl={cdcl_count} naive={naive_count}"
+        )
+    results.append(
+        {
+            "workload": "enumeration",
+            "variables": cnf.num_variables,
+            "clauses": len(cnf.clauses),
+            "projection": len(projection),
+            "models": cdcl_count,
+            "naive_s": round(naive_s, 6),
+            "cdcl_s": round(cdcl_s, 6),
+            "speedup": round(naive_s / cdcl_s, 2) if cdcl_s > 0 else None,
+        }
+    )
+    total_naive += naive_s
+    total_cdcl += cdcl_s
+
+    report = {
+        "benchmark": "sat_solver",
+        "smoke": smoke,
+        "results": results,
+        "total_naive_s": round(total_naive, 6),
+        "total_cdcl_s": round(total_cdcl, 6),
+        "overall_speedup": round(total_naive / total_cdcl, 2) if total_cdcl > 0 else None,
+    }
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller formula sizes for CI smoke runs")
+    parser.add_argument("--output", default="BENCH_sat_solver.json")
+    args = parser.parse_args(argv)
+    report = run(args.smoke, args.output)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,18 +3,22 @@
 Benchmarks are opt-in — the tier-1 gate stays ``python -m pytest -x -q``
 (which never collects ``bench_*.py``).  This driver runs:
 
-* script-style benchmarks (those exposing a ``main()`` CLI, currently
-  ``bench_query_evaluator.py``) with ``--smoke``;
+* script-style benchmarks (those exposing a ``main()`` CLI) with ``--smoke``;
 * pytest-benchmark suites via ``pytest <file> --benchmark-json=BENCH_<name>.json``.
 
 Usage:
 
     python benchmarks/run_all.py [--output-dir DIR] [--timeout SECONDS] \
-        [--only SUBSTRING]
+        [--only SUBSTRING] [--compare]
 
 Each benchmark writes ``BENCH_<name>.json`` into ``--output-dir`` (default:
 the repository root).  Failures and timeouts are reported but do not abort the
 remaining benchmarks; the driver exits non-zero if any benchmark failed.
+
+``--compare`` runs the benchmarks into a scratch directory instead, diffs the
+freshly produced ``BENCH_*.json`` against the committed ones in the repository
+root, and prints a per-benchmark regression table (ratio > 1 means the fresh
+run is slower).
 """
 
 from __future__ import annotations
@@ -24,13 +28,17 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 import time
 
 BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(BENCH_DIR)
 
 # benchmarks that are standalone scripts with their own --smoke / --output CLI
-SCRIPT_BENCHMARKS = {"bench_query_evaluator.py"}
+SCRIPT_BENCHMARKS = {"bench_query_evaluator.py", "bench_sat_solver.py"}
+
+# fresh-vs-committed ratio above which --compare flags a metric
+REGRESSION_THRESHOLD = 1.25
 
 
 def discover() -> list:
@@ -76,6 +84,76 @@ def run_one(name: str, output_dir: str, timeout: float) -> dict:
     }
 
 
+def extract_metrics(report: dict) -> dict:
+    """Flatten a BENCH_*.json report to ``{metric name: seconds}``.
+
+    pytest-benchmark files contribute each test's mean; script-style reports
+    contribute every numeric field whose key ends in ``_s`` (per-result
+    entries are qualified by their ``query``/``workload`` label).
+    """
+    metrics = {}
+    if "benchmarks" in report:  # pytest-benchmark shape
+        for entry in report["benchmarks"]:
+            metrics[entry["name"]] = entry["stats"]["mean"]
+        return metrics
+
+    def label_of(container: dict) -> str:
+        return str(container.get("query") or container.get("workload") or "")
+
+    for key, value in report.items():
+        if key.endswith("_s") and isinstance(value, (int, float)):
+            metrics[key] = float(value)
+        elif key == "results" and isinstance(value, list):
+            for entry in value:
+                if not isinstance(entry, dict):
+                    continue
+                prefix = label_of(entry)
+                for sub_key, sub_value in entry.items():
+                    if sub_key.endswith("_s") and isinstance(sub_value, (int, float)):
+                        name = f"{prefix}.{sub_key}" if prefix else sub_key
+                        metrics[name] = float(sub_value)
+    return metrics
+
+
+def compare_reports(fresh_dir: str, committed_dir: str) -> int:
+    """Diff fresh BENCH_*.json files against committed ones; the number of
+    regressed metrics (ratio > REGRESSION_THRESHOLD)."""
+    regressions = 0
+    fresh_files = sorted(
+        name for name in os.listdir(fresh_dir)
+        if name.startswith("BENCH_") and name.endswith(".json")
+        and name != "BENCH_summary.json"
+    )
+    if not fresh_files:
+        print("[compare] no fresh BENCH_*.json files to compare")
+        return 0
+    for name in fresh_files:
+        committed_path = os.path.join(committed_dir, name)
+        if not os.path.exists(committed_path):
+            print(f"\n[compare] {name}: no committed baseline (new benchmark)")
+            continue
+        with open(os.path.join(fresh_dir, name)) as handle:
+            fresh = extract_metrics(json.load(handle))
+        with open(committed_path) as handle:
+            committed = extract_metrics(json.load(handle))
+        shared = sorted(set(fresh) & set(committed))
+        print(f"\n[compare] {name}")
+        width = max((len(metric) for metric in shared), default=10)
+        print(f"  {'metric':<{width}}  {'committed':>12}  {'fresh':>12}  {'ratio':>7}")
+        for metric in shared:
+            old, new = committed[metric], fresh[metric]
+            ratio = new / old if old > 0 else float("inf")
+            flag = "  << REGRESSION" if ratio > REGRESSION_THRESHOLD else ""
+            print(
+                f"  {metric:<{width}}  {old:>12.6f}  {new:>12.6f}  {ratio:>7.2f}{flag}"
+            )
+            if ratio > REGRESSION_THRESHOLD:
+                regressions += 1
+        for metric in sorted(set(fresh) - set(committed)):
+            print(f"  {metric:<{width}}  {'-':>12}  {fresh[metric]:>12.6f}  (new metric)")
+    return regressions
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output-dir", default=REPO_ROOT,
@@ -84,8 +162,14 @@ def main(argv=None) -> int:
                         help="per-benchmark timeout in seconds")
     parser.add_argument("--only", default=None,
                         help="run only benchmarks whose filename contains this substring")
+    parser.add_argument("--compare", action="store_true",
+                        help="run into a scratch dir and diff against the committed "
+                             "BENCH_*.json files (prints a regression table)")
     args = parser.parse_args(argv)
 
+    if args.compare and os.path.realpath(args.output_dir) == os.path.realpath(REPO_ROOT):
+        args.output_dir = tempfile.mkdtemp(prefix="bench_fresh_")
+        print(f"[run_all] --compare: fresh results go to {args.output_dir}")
     os.makedirs(args.output_dir, exist_ok=True)
     names = discover()
     if args.only:
@@ -108,6 +192,10 @@ def main(argv=None) -> int:
         json.dump({"benchmarks": results}, handle, indent=2)
     failed = [r for r in results if r["status"] != "ok"]
     print(f"[run_all] {len(results) - len(failed)}/{len(results)} ok; summary: {summary_path}")
+    if args.compare:
+        regressions = compare_reports(args.output_dir, REPO_ROOT)
+        print(f"\n[compare] {regressions} regressed metric(s) "
+              f"(threshold {REGRESSION_THRESHOLD}x)")
     return 1 if failed else 0
 
 

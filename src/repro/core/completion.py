@@ -10,12 +10,15 @@ block sizes, exactly as the paper's complexity results predict.
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
-from repro.core.instance import TemporalInstance
+from repro.core.current import current_tuple
+from repro.core.instance import NormalInstance, TemporalInstance
 from repro.core.specification import Specification
+from repro.core.tuples import RelationTuple
 
 __all__ = [
+    "CurrentDatabaseCache",
     "attribute_block_extensions",
     "completions_of_instance",
     "consistent_completions",
@@ -24,6 +27,64 @@ __all__ = [
 ]
 
 Completion = Dict[str, TemporalInstance]
+
+
+class CurrentDatabaseCache:
+    """Share current instances *by value* across enumerated completions.
+
+    Distinct completions frequently induce the same current instance, and the
+    enumeration loops of the CCQA layer evaluate one query against each of
+    them.  Interning the decoded instances here (exactly as
+    :meth:`~repro.reasoning.current_db.CurrentDatabaseEnumerator._decode` does
+    for projected SAT models) means each distinct current instance is
+    constructed once, its lazily built per-column query indexes are reused,
+    and the :class:`~repro.query.engine.QueryEngine` answer cache — keyed by
+    instance identity-independent value fingerprints — is probed with cheap,
+    already-fingerprinted objects.  Shared instances must not be mutated by
+    callers.  The cache is cleared wholesale at a size cap so unboundedly
+    many distinct current databases cannot pin memory.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self._cache: Dict[Tuple[str, Tuple[Tuple[Any, ...], ...]], NormalInstance] = {}
+        self._max_entries = max_entries
+
+    def intern_rows(
+        self, schema, rows: List[Tuple[Any, Mapping[str, Any]]]
+    ) -> NormalInstance:
+        """The shared instance for *rows* (``(tid, {attribute: value})`` pairs
+        over *schema*), constructing it only on the first occurrence of the
+        value combination."""
+        key = (
+            schema.name,
+            tuple(tuple(values[a] for a in schema.all_attributes) for _tid, values in rows),
+        )
+        instance = self._cache.get(key)
+        if instance is None:
+            instance = NormalInstance(schema)
+            for tid, values in rows:
+                instance.add(RelationTuple(schema, tid, values))
+            if len(self._cache) >= self._max_entries:
+                self._cache.clear()
+            self._cache[key] = instance
+        return instance
+
+    def current_instance(self, completion: TemporalInstance) -> NormalInstance:
+        """``LST(D^c_t)`` of one completed instance, interned by value."""
+        rows = [
+            (tup.tid, tup.values())
+            for tup in (current_tuple(completion, eid) for eid in completion.entities())
+        ]
+        return self.intern_rows(completion.schema, rows)
+
+    def current_database(
+        self,
+        completion: Mapping[str, TemporalInstance],
+        relations: Optional[Iterable[str]] = None,
+    ) -> Dict[str, NormalInstance]:
+        """``LST(D^c)`` with every current instance interned by value."""
+        names = completion.keys() if relations is None else relations
+        return {name: self.current_instance(completion[name]) for name in names}
 
 
 def attribute_block_extensions(

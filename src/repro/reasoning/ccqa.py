@@ -26,8 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, FrozenSet, Hashable, Optional, Set, Tuple, Union
 
-from repro.core.completion import consistent_completions
-from repro.core.current import current_database, current_instance
+from repro.core.completion import CurrentDatabaseCache, consistent_completions
 from repro.core.instance import NormalInstance
 from repro.core.specification import Specification
 from repro.core.tuples import RelationTuple
@@ -79,23 +78,25 @@ def _answers_by_enumeration(
     """Intersection of Q over all consistent completions; None when Mod(S)=∅.
 
     The query is compiled once into a :class:`QueryEngine`; completions that
-    induce value-identical current databases share one evaluation.  For
+    induce value-identical current databases share one evaluation — and, via
+    :class:`~repro.core.completion.CurrentDatabaseCache`, one decoded
+    :class:`NormalInstance` per distinct current instance, so the engine's
+    answer cache and the per-column query indexes are both reused.  For
     positive queries (no active-domain dependence) only the current instances
     of the relations the query reads are materialised per completion.
     """
     engine = engine if engine is not None else QueryEngine(query)
     needed = set(engine.relations)
     restrict = engine.plan.positive
+    cache = CurrentDatabaseCache()
     intersection: Optional[Set[Tuple[Any, ...]]] = None
     for completion in consistent_completions(specification):
         if restrict:
-            database = {
-                name: current_instance(instance)
-                for name, instance in completion.items()
-                if name in needed
-            }
+            database = cache.current_database(
+                completion, relations=[name for name in completion if name in needed]
+            )
         else:
-            database = current_database(completion)
+            database = cache.current_database(completion)
         answers = set(engine.answers(database))
         intersection = answers if intersection is None else (intersection & answers)
         if intersection is not None and not intersection:

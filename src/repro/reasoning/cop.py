@@ -77,13 +77,14 @@ def certain_ordering(
             for name, attribute, lower, upper in all_pairs
         )
 
+    # One encoder (and one warm incremental solver) serves both questions.
+    encoder = CompletionEncoder(specification)
     # A pair relating tuples of different entities can never hold in any
     # completion, so such an order is certain only vacuously (Mod(S) empty).
     for _name, _attribute, lower, upper in all_pairs:
         if instance.tuple_by_tid(lower).eid != instance.tuple_by_tid(upper).eid:
-            return not CompletionEncoder(specification).satisfiable()
+            return not encoder.satisfiable()
     # Complement question as one SAT call: does a consistent completion exist
     # in which at least one pair of O_t is missing?
-    complement = CompletionEncoder(specification)
-    complement.forbid_all_of(all_pairs)
-    return not complement.satisfiable()
+    encoder.forbid_all_of(all_pairs)
+    return not encoder.satisfiable()

@@ -16,11 +16,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.completion import CurrentDatabaseCache
 from repro.core.instance import NormalInstance
 from repro.core.specification import Specification
-from repro.core.tuples import RelationTuple
 from repro.solvers.order_encoding import CompletionEncoder
-from repro.solvers.sat import iterate_models
 
 __all__ = ["CurrentDatabaseEnumerator"]
 
@@ -50,17 +49,17 @@ class CurrentDatabaseEnumerator:
             specification.instance(name)  # validates the name
         self.encoder = CompletionEncoder(specification)
         self._max_variables: List[MaxVariable] = []
-        # Decoded instances are cached by value so that models inducing the
+        # Decoded instances are interned by value so that models inducing the
         # same current instance share one NormalInstance object — and with it
         # the lazily built per-column indexes of the query evaluator.  Yielded
-        # databases share these instances; callers must not mutate them.  The
-        # cache is cleared wholesale at a size cap so unboundedly many
-        # distinct current databases cannot pin memory.
-        self._instance_cache: Dict[
-            Tuple[str, Tuple[Tuple[Any, ...], ...]], NormalInstance
-        ] = {}
-        self._max_cached_instances = 4096
+        # databases share these instances; callers must not mutate them.
+        self._instance_cache = CurrentDatabaseCache()
         self._add_maximality_variables()
+        # Blocking clauses of one enumeration pass are gated behind a fresh
+        # activation literal per pass, so the encoder's incremental solver —
+        # and everything it has learnt — is shared across passes without one
+        # pass's blocking clauses leaking into another's.
+        self._activation_literals: List[int] = []
 
     # ------------------------------------------------------------------ #
     def _max_name(self, instance: str, eid: Any, tid: Hashable, attribute: str) -> MaxVariable:
@@ -109,31 +108,46 @@ class CurrentDatabaseEnumerator:
                     if chosen is None:  # pragma: no cover - defensive
                         chosen = instance.entity_tids(eid)[0]
                     values[attribute] = instance.tuple_by_tid(chosen)[attribute]
-                rows.append((eid, values))
-            attributes = instance.schema.attributes
-            key = (
-                name,
-                tuple((eid,) + tuple(values[a] for a in attributes) for eid, values in rows),
-            )
-            current = self._instance_cache.get(key)
-            if current is None:
-                current = NormalInstance(instance.schema)
-                for eid, values in rows:
-                    current.add(RelationTuple(instance.schema, f"lst::{eid}", values))
-                if len(self._instance_cache) >= self._max_cached_instances:
-                    self._instance_cache.clear()
-                self._instance_cache[key] = current
-            database[name] = current
+                rows.append((f"lst::{eid}", values))
+            database[name] = self._instance_cache.intern_rows(instance.schema, rows)
         return database
 
     # ------------------------------------------------------------------ #
     def databases(self, limit: Optional[int] = None) -> Iterator[Dict[str, NormalInstance]]:
-        """Enumerate realizable current databases (deduplicated by value)."""
-        projection = [self.encoder.cnf.variable(v) for v in self._max_variables]
+        """Enumerate realizable current databases (deduplicated by value).
+
+        Enumeration runs on the encoder's shared incremental solver: blocking
+        clauses cover the maximality (projection) variables only and are gated
+        behind a per-pass activation literal, so the learnt-clause database
+        stays warm both between successive models and between enumeration
+        passes.  Each solve assumes this pass's activation literal and the
+        negation of every other pass's, so concurrently consumed generators
+        never see each other's blocking clauses.
+        """
+        cnf = self.encoder.cnf
+        projection = [cnf.variable(v) for v in self._max_variables]
+        solver = self.encoder.solver
+        activation = cnf.variable(("__block__", len(self._activation_literals) + 1))
+        self._activation_literals.append(activation)
+        solver.ensure_vars(cnf.num_variables)
         seen = set()
         produced = 0
-        for model in iterate_models(self.encoder.cnf, project_onto=projection):
+        while True:
+            # recomputed per model: passes started after this one must be
+            # deactivated too
+            assumptions = [activation] + [
+                -other for other in self._activation_literals if other != activation
+            ]
+            model = solver.solve(assumptions)
+            if model is None:
+                return
+            blocking = [-activation] + [
+                -variable if model.get(variable, False) else variable
+                for variable in projection
+            ]
             database = self._decode(model)
+            if not solver.add_clause(blocking):
+                return
             key = tuple(sorted((name, database[name].value_set()) for name in self.relations))
             if key in seen:
                 continue

@@ -30,13 +30,29 @@ _METHODS = ("auto", "chase", "sat")
 
 
 def realizable_maxima(
-    specification: Specification, instance_name: str, eid: Hashable, attribute: str
+    specification: Specification,
+    instance_name: str,
+    eid: Hashable,
+    attribute: str,
+    encoder: Optional[CompletionEncoder] = None,
+    certain=None,
 ) -> List[Hashable]:
     """Tuple ids of the entity block that are maximal for *attribute* in at
-    least one consistent completion (each check is one SAT call)."""
+    least one consistent completion.
+
+    Each check is one *assumption-based* SAT call: "tuple t is maximal" is the
+    conjunction of the pair variables ``other ≺_attribute t``, which is passed
+    as assumptions to the encoder's incremental solver instead of re-encoding
+    the specification per candidate.  Callers probing many cells (DCIP) pass a
+    shared *encoder* (and optionally the pre-computed chase result *certain*)
+    so clauses learnt on one cell prune the search on every later cell.
+    """
     instance = specification.instance(instance_name)
     block = instance.entity_tids(eid)
-    certain = chase_certain_orders(specification)
+    if certain is None:
+        certain = chase_certain_orders(specification)
+    if encoder is None:
+        encoder = CompletionEncoder(specification)
     maxima: List[Hashable] = []
     for tid in block:
         # sound pruning: a tuple below another one in every completion can
@@ -45,9 +61,10 @@ def realizable_maxima(
             certain.certain(instance_name, attribute, tid, other) for other in block if other != tid
         ):
             continue
-        encoder = CompletionEncoder(specification)
-        encoder.require_maximal(instance_name, attribute, eid, tid)
-        if encoder.satisfiable():
+        assumptions = [
+            (instance_name, attribute, other, tid) for other in block if other != tid
+        ]
+        if encoder.satisfiable(assumptions):
             maxima.append(tid)
     return maxima
 
@@ -87,15 +104,20 @@ def is_deterministic(
                         return False
         return True
 
-    # SAT-backed per-cell decomposition.
+    # SAT-backed per-cell decomposition on one shared incremental encoder:
+    # the consistency check and every per-cell maximality probe reuse the
+    # same solver, so learnt clauses accumulate across the whole scan.
     base = CompletionEncoder(specification)
     if not base.satisfiable():
         return True  # Mod(S) empty: vacuously deterministic
+    certain = chase_certain_orders(specification)
     for name in names:
         instance = specification.instance(name)
         for eid in instance.entities():
             for attribute in instance.schema.attributes:
-                maxima = realizable_maxima(specification, name, eid, attribute)
+                maxima = realizable_maxima(
+                    specification, name, eid, attribute, encoder=base, certain=certain
+                )
                 values = {instance.tuple_by_tid(tid)[attribute] for tid in maxima}
                 if len(values) > 1:
                     return False

@@ -14,7 +14,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.exceptions import ReductionError
+from repro.solvers.cnf import CNF as _SolverCNF
 from repro.solvers.qbf import QuantifierBlock, evaluate_qbf
+from repro.solvers.sat import is_satisfiable as _sat_is_satisfiable
 
 __all__ = [
     "Literal",
@@ -87,8 +89,18 @@ class CNFFormula(_Formula):
         )
 
     def is_satisfiable(self) -> bool:
-        """Brute-force satisfiability (the formula families are small)."""
-        return QuantifiedSentence([("exists", self.variables())], self).is_true()
+        """Satisfiability via the CDCL solver (:mod:`repro.solvers.sat`).
+
+        The seed evaluated this by quantifier expansion, which is exponential
+        in the number of variables; routing it through the solver lets the
+        reduction benchmarks scale the formula families past ~20 variables.
+        """
+        cnf = _SolverCNF()
+        for clause in self.clauses:
+            cnf.add_clause(
+                cnf.literal(literal.variable, literal.positive) for literal in clause.literals
+            )
+        return _sat_is_satisfiable(cnf)
 
 
 class DNFFormula(_Formula):

@@ -3,11 +3,13 @@
 from repro.solvers.cnf import CNF
 from repro.solvers.order_encoding import CompletionEncoder, PairVariable
 from repro.solvers.qbf import QuantifierBlock, evaluate_qbf, exists, forall
-from repro.solvers.sat import is_satisfiable, iterate_models, solve, solve_cnf
+from repro.solvers.sat import Solver, is_satisfiable, iterate_models, solve, solve_cnf, solve_naive
 
 __all__ = [
     "CNF",
+    "Solver",
     "solve",
+    "solve_naive",
     "solve_cnf",
     "is_satisfiable",
     "iterate_models",

@@ -4,7 +4,7 @@ The SAT-backed solvers encode "does a consistent completion with property X
 exist?" questions as CNF satisfiability.  Variables are identified by
 arbitrary hashable names (e.g. ``("Emp", "salary", "s1", "s2")`` for the
 currency pair ``s1 ≺_salary s2``); the formula maps them to positive integers
-for the DPLL solver.
+for the CDCL solver (:mod:`repro.solvers.sat`).
 """
 
 from __future__ import annotations

@@ -26,8 +26,9 @@ from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.instance import TemporalInstance
 from repro.core.specification import Specification
+from repro.exceptions import SolverError
 from repro.solvers.cnf import CNF
-from repro.solvers.sat import iterate_models, solve_cnf
+from repro.solvers.sat import Model, Solver, iterate_models
 
 __all__ = ["PairVariable", "CompletionEncoder"]
 
@@ -35,12 +36,26 @@ PairVariable = Tuple[str, str, Hashable, Hashable]
 
 
 class CompletionEncoder:
-    """Encode ``Mod(S) ≠ ∅`` (and refinements of it) as CNF satisfiability."""
+    """Encode ``Mod(S) ≠ ∅`` (and refinements of it) as CNF satisfiability.
+
+    The encoder owns one incremental :class:`~repro.solvers.sat.Solver` that
+    is kept in sync with ``self.cnf``: clauses added after construction (e.g.
+    by :meth:`require_pair` or the maximality encoding of the current-database
+    enumerator) are fed to it lazily, and clauses the solver *learns* while
+    answering one question keep pruning the search for every later question on
+    the same encoder.  :meth:`satisfiable` accepts *assumptions* — named
+    currency pairs temporarily forced true — so per-candidate probes (e.g.
+    "can tuple t be maximal?") reuse one warm solver instead of re-encoding
+    the specification per candidate.
+    """
 
     def __init__(self, specification: Specification) -> None:
         self.specification = specification
         self.cnf = CNF()
         self._pair_domain: Dict[Tuple[str, str], List[Tuple[Hashable, Hashable]]] = {}
+        self._solver: Optional[Solver] = None
+        self._fed_clauses = 0
+        self._cached_model: Optional[Tuple[int, Optional[Model]]] = None
         self._build()
 
     # ------------------------------------------------------------------ #
@@ -164,16 +179,58 @@ class CompletionEncoder:
     # ------------------------------------------------------------------ #
     # Solving and decoding
     # ------------------------------------------------------------------ #
+    @property
+    def solver(self) -> Solver:
+        """The incremental solver, synced with every clause of ``self.cnf``."""
+        if self._solver is None:
+            self._solver = Solver(self.cnf.num_variables)
+        solver = self._solver
+        solver.ensure_vars(self.cnf.num_variables)
+        clauses = self.cnf.clauses
+        while self._fed_clauses < len(clauses):
+            solver.add_clause(clauses[self._fed_clauses])
+            self._fed_clauses += 1
+        return solver
+
+    def _solve_model(self) -> Optional[Model]:
+        """One model of the current encoding, memoised until a clause is added
+        (so ``solve()`` followed by ``satisfiable()`` costs a single solve)."""
+        key = len(self.cnf.clauses)
+        if self._cached_model is not None and self._cached_model[0] == key:
+            return self._cached_model[1]
+        model = self.solver.solve()
+        self._cached_model = (key, model)
+        return model
+
     def solve(self) -> Optional[Dict[str, TemporalInstance]]:
         """A consistent completion satisfying all added constraints, or None."""
-        model = solve_cnf(self.cnf)
+        model = self._solve_model()
         if model is None:
             return None
         return self.decode(model)
 
-    def satisfiable(self) -> bool:
-        """Whether a consistent completion (with the added constraints) exists."""
-        return solve_cnf(self.cnf) is not None
+    def satisfiable(
+        self, assumptions: Optional[Iterable[Tuple[str, str, Hashable, Hashable]]] = None
+    ) -> bool:
+        """Whether a consistent completion (with the added constraints) exists.
+
+        *assumptions*, when given, is an iterable of currency pairs
+        ``(instance, attribute, lower, upper)`` forced true for this call only
+        — the encoding is not mutated, and the solver state (learnt clauses,
+        activities, phases) carries over to the next call.
+        """
+        if assumptions is None:
+            return self._solve_model() is not None
+        literals = []
+        for pair in assumptions:
+            name = self.pair_name(*pair)
+            if not self.cnf.has_variable(name):
+                # allocating a fresh unconstrained variable here would make
+                # the probe vacuously satisfiable — reject caller mistakes
+                # (cross-entity or unknown pairs are never encoded)
+                raise SolverError(f"currency pair {pair!r} is not part of the encoding")
+            literals.append(self.cnf.literal(name))
+        return self.solver.solve(literals) is not None
 
     def decode(self, model: Dict[int, bool]) -> Dict[str, TemporalInstance]:
         """Turn a SAT model into a completion (name -> completed instance)."""

@@ -1,25 +1,565 @@
-"""A self-contained DPLL SAT solver.
+"""A conflict-driven clause-learning (CDCL) SAT solver with an incremental API.
 
 No external SAT/SMT bindings are available offline, so the library ships its
-own complete solver: DPLL with unit propagation and a most-occurrences
-branching heuristic.  It is more than adequate for the instance sizes the
-reasoning layer produces (hundreds of variables), and any complete solver
-would give identical decisions.
+own complete solver.  The engine is a modern CDCL core:
+
+* two-watched-literal unit propagation (clauses are never copied or shrunk);
+* first-UIP conflict analysis with clause learning and self-subsumption
+  minimisation of the learnt clause;
+* non-chronological backjumping;
+* VSIDS-style decision scoring with phase saving;
+* Luby-sequence restarts;
+* periodic reduction of the learnt-clause database.
+
+The incremental :class:`Solver` keeps all of this state — learnt clauses,
+variable activities, saved phases — alive across calls, so the enumeration
+loops of the reasoning layer (model iteration with blocking clauses,
+per-cell maximality probes under assumptions) pay the cold-start cost once
+instead of once per query.  ``solve(assumptions=...)`` decides satisfiability
+under a temporary conjunction of literals without mutating the clause
+database, exactly like MiniSat's ``solve(assumps)``.
+
+The seed simplify-and-copy DPLL engine is retained as :func:`solve_naive`
+(mirroring ``evaluate_naive`` in the query layer) and serves as the reference
+oracle for the property-based equivalence tests.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from heapq import heapify, heappop, heappush
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.exceptions import SolverError
 from repro.solvers.cnf import CNF, Literal
 
-__all__ = ["solve", "solve_cnf", "is_satisfiable", "iterate_models"]
+__all__ = [
+    "Solver",
+    "solve",
+    "solve_naive",
+    "solve_cnf",
+    "is_satisfiable",
+    "iterate_models",
+]
 
 Clause = Tuple[Literal, ...]
 Model = Dict[int, bool]
 
 
+def _luby(base: int, index: int) -> int:
+    """``base ** k`` where ``k`` is the *index*-th term of the Luby sequence
+    (0-based): 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ..."""
+    size, sequence = 1, 0
+    while size < index + 1:
+        sequence += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) // 2
+        sequence -= 1
+        index %= size
+    return base ** sequence
+
+
+class _Clause:
+    """A clause under two-watched-literal invariants.
+
+    ``lits[0]`` and ``lits[1]`` are the watched literals.  Learnt clauses
+    carry an activity score for the database-reduction heuristic and can be
+    marked deleted (they are then dropped lazily from the watch lists).
+    """
+
+    __slots__ = ("lits", "learnt", "activity", "deleted")
+
+    def __init__(self, lits: List[int], learnt: bool) -> None:
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+        self.deleted = False
+
+
+class Solver:
+    """An incremental CDCL solver over positive-integer variables.
+
+    Usage::
+
+        solver = Solver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 3])
+        model = solver.solve()              # {1: ..., 2: ..., 3: ...} or None
+        model = solver.solve(assumptions=[-3])   # decide under -3, keep state
+
+    State persists between calls: clauses learnt while answering one query
+    prune the search of the next, variable activities keep steering decisions
+    toward recently conflicting variables, and saved phases keep the model
+    stable across blocking-clause enumeration.  ``add_clause`` may be called
+    at any point between ``solve`` calls; an empty clause (or a root-level
+    conflict) makes the solver permanently unsatisfiable.
+    """
+
+    _RESTART_BASE = 128
+    _ACTIVITY_RESCALE = 1e100
+    _CLAUSE_RESCALE = 1e20
+
+    def __init__(self, num_variables: int = 0) -> None:
+        # per-variable state, 1-indexed (slot 0 unused)
+        self._values: List[int] = [0]  # 0 unassigned, +1 true, -1 false
+        self._levels: List[int] = [0]
+        self._reasons: List[Optional[_Clause]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._watches: Dict[int, List[_Clause]] = {}
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._seen = bytearray(1)
+        self._heap: List[Tuple[float, int]] = []
+        self._var_inc = 1.0
+        self._var_decay = 1.0 / 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 1.0 / 0.999
+        self._max_learnts = 1000.0
+        self._ok = True
+        self._stats = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learnt": 0,
+            "deleted": 0,
+            "max_backjump": 0,
+        }
+        self.ensure_vars(num_variables)
+
+    # ------------------------------------------------------------------ #
+    # Variables and clauses
+    # ------------------------------------------------------------------ #
+    @property
+    def num_variables(self) -> int:
+        """Number of variables allocated so far."""
+        return len(self._values) - 1
+
+    def ensure_vars(self, count: int) -> None:
+        """Grow the variable space to at least *count* variables."""
+        while self.num_variables < count:
+            variable = self.num_variables + 1
+            self._values.append(0)
+            self._levels.append(0)
+            self._reasons.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+            self._seen.append(0)
+            self._watches[variable] = []
+            self._watches[-variable] = []
+            heappush(self._heap, (0.0, variable))
+
+    def _lit_value(self, lit: int) -> int:
+        value = self._values[lit if lit > 0 else -lit]
+        return value if lit > 0 else -value
+
+    def add_clause(self, literals: Sequence[int]) -> bool:
+        """Add a clause; returns False iff the solver became unsatisfiable.
+
+        The clause is simplified against root-level facts: satisfied clauses
+        are dropped, falsified literals are removed.  May be called between
+        ``solve`` calls at any time; learnt state is preserved.
+        """
+        if not self._ok:
+            return False
+        if self._trail_lim:  # defensive: callers only add between solves
+            self._cancel_until(0)
+        lits: List[int] = []
+        seen = set()
+        for lit in literals:
+            if lit == 0:
+                raise SolverError("0 is not a valid literal")
+            self.ensure_vars(abs(lit))
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            value = self._lit_value(lit)
+            if value == 1:
+                return True  # already satisfied at the root level
+            if value == -1:
+                continue  # falsified at the root level: drop the literal
+            seen.add(lit)
+            lits.append(lit)
+        if not lits:
+            self._ok = False
+            return False
+        if len(lits) == 1:
+            self._enqueue(lits[0], None)
+            return True
+        clause = _Clause(lits, learnt=False)
+        self._clauses.append(clause)
+        self._watches[lits[0]].append(clause)
+        self._watches[lits[1]].append(clause)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Trail management
+    # ------------------------------------------------------------------ #
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> None:
+        variable = abs(lit)
+        self._values[variable] = 1 if lit > 0 else -1
+        self._levels[variable] = len(self._trail_lim)
+        self._reasons[variable] = reason
+        self._trail.append(lit)
+
+    def _decide(self, lit: int) -> None:
+        self._trail_lim.append(len(self._trail))
+        self._enqueue(lit, None)
+
+    def _cancel_until(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        bound = self._trail_lim[level]
+        for index in range(len(self._trail) - 1, bound - 1, -1):
+            lit = self._trail[index]
+            variable = abs(lit)
+            self._phase[variable] = lit > 0  # phase saving
+            self._values[variable] = 0
+            self._reasons[variable] = None
+            heappush(self._heap, (-self._activity[variable], variable))
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------ #
+    # Propagation
+    # ------------------------------------------------------------------ #
+    def _propagate(self) -> Optional[_Clause]:
+        """Exhaust the propagation queue; the conflicting clause or None."""
+        values = self._values
+        watches = self._watches
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self._stats["propagations"] += 1
+            watchers = watches[-lit]
+            kept: List[_Clause] = []
+            watches[-lit] = kept
+            for position, clause in enumerate(watchers):
+                if clause.deleted:
+                    continue
+                lits = clause.lits
+                # put the falsified watch at slot 1
+                if lits[0] == -lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                value = values[first] if first > 0 else -values[-first]
+                if value == 1:
+                    kept.append(clause)
+                    continue
+                for index in range(2, len(lits)):
+                    other = lits[index]
+                    if (values[other] if other > 0 else -values[-other]) != -1:
+                        lits[1], lits[index] = lits[index], lits[1]
+                        watches[lits[1]].append(clause)
+                        break
+                else:
+                    kept.append(clause)
+                    if value == -1:  # conflict
+                        kept.extend(watchers[position + 1:])
+                        self._qhead = len(self._trail)
+                        return clause
+                    self._enqueue(first, clause)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------ #
+    def _bump_var(self, variable: int) -> None:
+        activity = self._activity[variable] + self._var_inc
+        self._activity[variable] = activity
+        if activity > self._ACTIVITY_RESCALE:
+            scale = 1.0 / self._ACTIVITY_RESCALE
+            for v in range(1, self.num_variables + 1):
+                self._activity[v] *= scale
+            self._var_inc *= scale
+            self._heap = [
+                (-self._activity[v], v)
+                for v in range(1, self.num_variables + 1)
+                if self._values[v] == 0
+            ]
+            heapify(self._heap)
+        elif self._values[variable] == 0:
+            heappush(self._heap, (-activity, variable))
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > self._CLAUSE_RESCALE:
+            scale = 1.0 / self._CLAUSE_RESCALE
+            for learnt in self._learnts:
+                learnt.activity *= scale
+            self._cla_inc *= scale
+
+    def _analyze(self, conflict: _Clause) -> Tuple[int, List[int]]:
+        """First-UIP learnt clause and the backjump level."""
+        seen = self._seen
+        levels = self._levels
+        trail = self._trail
+        current_level = len(self._trail_lim)
+        learnt: List[int] = []
+        to_clear: List[int] = []
+        path_count = 0
+        asserting: Optional[int] = None
+        index = len(trail) - 1
+        clause: Optional[_Clause] = conflict
+        while True:
+            assert clause is not None
+            if clause.learnt:
+                self._bump_clause(clause)
+            for lit in clause.lits:
+                variable = abs(lit)
+                if not seen[variable] and levels[variable] > 0:
+                    seen[variable] = 1
+                    to_clear.append(variable)
+                    self._bump_var(variable)
+                    if levels[variable] >= current_level:
+                        path_count += 1
+                    else:
+                        learnt.append(lit)
+            while not seen[abs(trail[index])]:
+                index -= 1
+            asserting = trail[index]
+            index -= 1
+            path_count -= 1
+            if path_count == 0:
+                break
+            clause = self._reasons[abs(asserting)]
+        # self-subsumption minimisation: a context literal is redundant when
+        # its reason is made entirely of literals already in the clause
+        minimized: List[int] = []
+        for lit in learnt:
+            reason = self._reasons[abs(lit)]
+            if reason is None:
+                minimized.append(lit)
+                continue
+            for other in reason.lits:
+                variable = abs(other)
+                if not seen[variable] and levels[variable] > 0:
+                    minimized.append(lit)
+                    break
+        learnt_clause = [-asserting] + minimized
+        seen[abs(asserting)] = 0
+        for variable in to_clear:
+            seen[variable] = 0
+        if len(learnt_clause) == 1:
+            return 0, learnt_clause
+        # watch a literal of the backjump level at slot 1
+        max_index = 1
+        for index in range(2, len(learnt_clause)):
+            if levels[abs(learnt_clause[index])] > levels[abs(learnt_clause[max_index])]:
+                max_index = index
+        learnt_clause[1], learnt_clause[max_index] = learnt_clause[max_index], learnt_clause[1]
+        return levels[abs(learnt_clause[1])], learnt_clause
+
+    def _record_learnt(self, lits: List[int]) -> None:
+        self._stats["learnt"] += 1
+        if len(lits) == 1:
+            self._enqueue(lits[0], None)
+            return
+        clause = _Clause(lits, learnt=True)
+        self._bump_clause(clause)
+        self._learnts.append(clause)
+        self._watches[lits[0]].append(clause)
+        self._watches[lits[1]].append(clause)
+        self._enqueue(lits[0], clause)
+
+    def _reduce_learnts(self) -> None:
+        """Drop the less active half of the learnt clauses (keep binary
+        clauses and clauses that are currently propagation reasons)."""
+        self._learnts.sort(key=lambda c: c.activity)
+        keep_from = len(self._learnts) // 2
+        kept: List[_Clause] = []
+        for index, clause in enumerate(self._learnts):
+            locked = self._reasons[abs(clause.lits[0])] is clause
+            if index >= keep_from or len(clause.lits) <= 2 or locked:
+                kept.append(clause)
+            else:
+                clause.deleted = True
+                self._stats["deleted"] += 1
+        self._learnts = kept
+        self._max_learnts *= 1.3
+
+    def _decay_activities(self) -> None:
+        self._var_inc *= self._var_decay
+        self._cla_inc *= self._cla_decay
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def _pick_branch_variable(self) -> Optional[int]:
+        heap = self._heap
+        activity = self._activity
+        values = self._values
+        while heap:
+            negated, variable = heappop(heap)
+            if values[variable] == 0 and -negated == activity[variable]:
+                return variable
+        for variable in range(1, self.num_variables + 1):  # stale-heap fallback
+            if values[variable] == 0:
+                return variable
+        return None
+
+    def _search(self, assumptions: Sequence[int], budget: int) -> Optional[bool]:
+        """Run CDCL until SAT (True), UNSAT (False) or *budget* conflicts
+        trigger a restart (None)."""
+        conflicts = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self._stats["conflicts"] += 1
+                conflicts += 1
+                if not self._trail_lim:
+                    self._ok = False  # conflict at the root: UNSAT forever
+                    return False
+                backjump, learnt = self._analyze(conflict)
+                jump = len(self._trail_lim) - backjump
+                if jump > self._stats["max_backjump"]:
+                    self._stats["max_backjump"] = jump
+                self._cancel_until(backjump)
+                self._record_learnt(learnt)
+                self._decay_activities()
+                continue
+            if conflicts >= budget:
+                self._stats["restarts"] += 1
+                self._cancel_until(0)
+                return None
+            if len(self._learnts) > self._max_learnts + len(self._trail):
+                self._reduce_learnts()
+            # next decision: pending assumptions first
+            decided = False
+            while len(self._trail_lim) < len(assumptions):
+                assumption = assumptions[len(self._trail_lim)]
+                value = self._lit_value(assumption)
+                if value == 1:
+                    self._trail_lim.append(len(self._trail))  # dummy level
+                elif value == -1:
+                    return False  # UNSAT under the assumptions
+                else:
+                    self._decide(assumption)
+                    decided = True
+                    break
+            if decided:
+                continue
+            variable = self._pick_branch_variable()
+            if variable is None:
+                return True  # every variable assigned: model found
+            self._stats["decisions"] += 1
+            self._decide(variable if self._phase[variable] else -variable)
+
+    def solve(self, assumptions: Sequence[int] = ()) -> Optional[Model]:
+        """A total model over all allocated variables, or None (UNSAT).
+
+        *assumptions* is a conjunction of literals assumed true for this call
+        only; the clause database is not modified.  Learnt clauses, variable
+        activities and saved phases persist to the next call.
+        """
+        if not self._ok:
+            return None
+        assumed = list(assumptions)
+        for lit in assumed:
+            if lit == 0:
+                raise SolverError("0 is not a valid literal")
+            self.ensure_vars(abs(lit))
+        self._cancel_until(0)
+        outcome: Optional[bool] = None
+        attempt = 0
+        while outcome is None:
+            outcome = self._search(assumed, _luby(2, attempt) * self._RESTART_BASE)
+            attempt += 1
+        if not outcome:
+            self._cancel_until(0)
+            return None
+        model = {
+            variable: self._values[variable] == 1
+            for variable in range(1, self.num_variables + 1)
+        }
+        self._cancel_until(0)
+        return model
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """Search statistics (conflicts, decisions, restarts, learnt, ...)."""
+        return dict(self._stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Solver({self.num_variables} variables, {len(self._clauses)} clauses, "
+            f"{len(self._learnts)} learnt)"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Module-level API (CDCL-backed)
+# --------------------------------------------------------------------------- #
+def solve(
+    clauses: Sequence[Clause], num_variables: Optional[int] = None
+) -> Optional[Model]:
+    """Solve a raw clause list; returns a total model or None if unsatisfiable."""
+    solver = Solver(num_variables or 0)
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            return None
+    return solver.solve()
+
+
+def solve_cnf(cnf: CNF) -> Optional[Model]:
+    """Solve a :class:`CNF`; returns a total model over its variables or None."""
+    return solve(cnf.clauses, cnf.num_variables)
+
+
+def is_satisfiable(cnf: CNF) -> bool:
+    """Whether the CNF has at least one model."""
+    return solve_cnf(cnf) is not None
+
+
+def iterate_models(
+    cnf: CNF, project_onto: Optional[Sequence[int]] = None, limit: Optional[int] = None
+) -> Iterator[Model]:
+    """Enumerate models, optionally projected onto a subset of variables.
+
+    Projection enumerates distinct assignments of *project_onto* (blocking
+    clauses are added on those variables only).  Without projection every
+    total model is blocked individually.  One incremental :class:`Solver`
+    carries the whole enumeration, so clauses learnt while finding one model
+    (and the variable activities and saved phases) keep pruning the search
+    for all later models instead of restarting from scratch.
+    """
+    solver = Solver(cnf.num_variables)
+    for clause in cnf.clauses:
+        if not solver.add_clause(clause):
+            return
+    variables = list(project_onto) if project_onto is not None else list(
+        range(1, cnf.num_variables + 1)
+    )
+    produced = 0
+    while True:
+        model = solver.solve()
+        if model is None:
+            return
+        yield model
+        produced += 1
+        if limit is not None and produced >= limit:
+            return
+        blocking = [
+            -variable if model.get(variable, False) else variable for variable in variables
+        ]
+        if not blocking:
+            return
+        if not solver.add_clause(blocking):
+            return
+
+
+# --------------------------------------------------------------------------- #
+# The retained seed engine (reference oracle)
+# --------------------------------------------------------------------------- #
 def _simplify(clauses: List[Clause], literal: Literal) -> Optional[List[Clause]]:
     """Assign *literal* true: drop satisfied clauses, shrink the others.
 
@@ -72,7 +612,7 @@ def _choose_literal(clauses: List[Clause]) -> Literal:
 
 
 def _dpll(clauses: List[Clause], assignment: Model) -> Optional[Model]:
-    """DPLL search with an explicit work stack.
+    """DPLL search with an explicit work stack (the seed engine).
 
     The recursion depth of the textbook formulation equals the number of
     branching decisions, which for the CNFs produced by
@@ -111,10 +651,15 @@ def _dpll(clauses: List[Clause], assignment: Model) -> Optional[Model]:
     return None
 
 
-def solve(
+def solve_naive(
     clauses: Sequence[Clause], num_variables: Optional[int] = None
 ) -> Optional[Model]:
-    """Solve a raw clause list; returns a total model or None if unsatisfiable."""
+    """The seed DPLL engine (simplify-and-copy, most-occurrences branching).
+
+    Kept as the reference oracle for equivalence tests and ablation
+    benchmarks, mirroring ``evaluate_naive`` in the query layer.  Returns a
+    total model (missing variables default to False) or None.
+    """
     for clause in clauses:
         if not clause:
             return None
@@ -125,43 +670,3 @@ def solve(
         for variable in range(1, num_variables + 1):
             model.setdefault(variable, False)
     return model
-
-
-def solve_cnf(cnf: CNF) -> Optional[Model]:
-    """Solve a :class:`CNF`; returns a total model over its variables or None."""
-    return solve(cnf.clauses, cnf.num_variables)
-
-
-def is_satisfiable(cnf: CNF) -> bool:
-    """Whether the CNF has at least one model."""
-    return solve_cnf(cnf) is not None
-
-
-def iterate_models(
-    cnf: CNF, project_onto: Optional[Sequence[int]] = None, limit: Optional[int] = None
-) -> Iterator[Model]:
-    """Enumerate models, optionally projected onto a subset of variables.
-
-    Projection enumerates distinct assignments of *project_onto* (blocking
-    clauses are added on those variables only).  Without projection every
-    total model is blocked individually.
-    """
-    clauses: List[Clause] = list(cnf.clauses)
-    produced = 0
-    variables = list(project_onto) if project_onto is not None else list(
-        range(1, cnf.num_variables + 1)
-    )
-    while True:
-        model = solve(clauses, cnf.num_variables)
-        if model is None:
-            return
-        yield model
-        produced += 1
-        if limit is not None and produced >= limit:
-            return
-        blocking = tuple(
-            -variable if model.get(variable, False) else variable for variable in variables
-        )
-        if not blocking:
-            return
-        clauses.append(blocking)

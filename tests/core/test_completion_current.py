@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.completion import (
+    CurrentDatabaseCache,
     completions_of_instance,
     consistent_completions,
     count_consistent_completions,
@@ -110,3 +111,46 @@ class TestCurrentInstances:
         assert (company.ROBERT, "Robert", "Luth", "8 Drum St", 55, "married") in emp_values
         dept_values = database["Dept"].value_set()
         assert dept_values == {("R&D", "Mary", "Dupont", "6 Main St", 6000)}
+
+
+class TestCurrentDatabaseCache:
+    def test_value_identical_completions_share_one_instance(self, small_instance):
+        """Completions inducing the same current instance decode to the *same*
+        NormalInstance object, so query indexes and answer-cache fingerprints
+        are shared (the `enumerate` CCQA path)."""
+        cache = CurrentDatabaseCache()
+        completions = list(completions_of_instance(small_instance))
+        assert len(completions) >= 2
+        decoded = [cache.current_instance(c) for c in completions]
+        by_value = {}
+        for completion, instance in zip(completions, decoded):
+            again = cache.current_instance(completion)
+            assert again is instance
+            by_value.setdefault(instance.value_set(), instance)
+            assert by_value[instance.value_set()] is instance
+
+    def test_current_database_matches_uncached_decoding(self, small_instance):
+        small_instance.add_order("A", "t1", "t2")
+        small_instance.add_order("B", "t1", "t2")
+        [completion] = list(completions_of_instance(small_instance))
+        cache = CurrentDatabaseCache()
+        cached = cache.current_database({"R": completion})
+        plain = current_database({"R": completion})
+        assert cached["R"].value_set() == plain["R"].value_set()
+
+    def test_relation_filter(self, small_instance):
+        small_instance.add_order("A", "t1", "t2")
+        small_instance.add_order("B", "t1", "t2")
+        [completion] = list(completions_of_instance(small_instance))
+        cache = CurrentDatabaseCache()
+        database = cache.current_database({"R": completion}, relations=[])
+        assert database == {}
+
+    def test_cache_cap_clears_wholesale(self, small_instance):
+        cache = CurrentDatabaseCache(max_entries=1)
+        completions = list(completions_of_instance(small_instance))
+        first = cache.current_instance(completions[0])
+        second = cache.current_instance(completions[1])
+        assert first.value_set() != second.value_set()
+        # the cap evicted the first entry; re-decoding builds a fresh object
+        assert cache.current_instance(completions[0]) is not first

@@ -15,7 +15,7 @@ from repro.reasoning.ccqa import certain_current_answers
 from repro.reasoning.chase import chase_certain_orders
 from repro.reasoning.cps import is_consistent
 from repro.solvers.cnf import CNF
-from repro.solvers.sat import solve
+from repro.solvers.sat import iterate_models, solve, solve_naive
 
 # --------------------------------------------------------------------------- #
 # Strategies
@@ -109,6 +109,44 @@ class TestSATProperties:
         else:
             for clause in clauses:
                 assert any(model[abs(l)] == (l > 0) for l in clause)
+
+    @given(cnf_clauses)
+    @settings(max_examples=60, deadline=None)
+    def test_cdcl_and_naive_verdicts_agree(self, clause_spec):
+        """The CDCL engine and the retained seed DPLL (`solve_naive`) return
+        the same satisfiability verdict on random formulas."""
+        clauses = [
+            tuple(var if positive else -var for var, positive in clause)
+            for clause in clause_spec
+        ]
+        assert (solve(clauses, num_variables=5) is None) == (
+            solve_naive(clauses, num_variables=5) is None
+        )
+
+    @given(cnf_clauses, st.lists(st.integers(1, 5), min_size=1, max_size=5, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_projected_model_counts_match_naive_enumeration(self, clause_spec, projection):
+        """Incremental CDCL enumeration under `project_onto` yields exactly as
+        many distinct projected models as seed-style from-scratch re-solving
+        with blocking clauses."""
+        cnf = CNF()
+        for variable in range(1, 6):
+            cnf.variable(f"x{variable}")
+        for clause in clause_spec:
+            cnf.add_clause(var if positive else -var for var, positive in clause)
+        cdcl_count = sum(1 for _ in iterate_models(cnf, project_onto=projection))
+
+        clauses = list(cnf.clauses)
+        naive_count = 0
+        while True:
+            model = solve_naive(clauses, cnf.num_variables)
+            if model is None:
+                break
+            naive_count += 1
+            clauses.append(
+                tuple(-v if model.get(v, False) else v for v in projection)
+            )
+        assert cdcl_count == naive_count
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,75 @@
+"""Unit tests for the SAT-backed current-database enumerator."""
+
+from repro.core.instance import TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.reasoning.current_db import CurrentDatabaseEnumerator
+
+
+def two_block_specification():
+    """One relation, two entities with two tuples each, no orders: every
+    attribute choice is free, giving four distinct current databases."""
+    schema = RelationSchema("R", ("A",))
+    instance = TemporalInstance.from_rows(
+        schema,
+        {
+            "t1": {"EID": "e1", "A": 1},
+            "t2": {"EID": "e1", "A": 2},
+            "u1": {"EID": "e2", "A": 3},
+            "u2": {"EID": "e2", "A": 4},
+        },
+    )
+    return Specification({"R": instance})
+
+
+def value_sets(databases):
+    return {database["R"].value_set() for database in databases}
+
+
+class TestCurrentDatabaseEnumerator:
+    def test_enumerates_all_current_databases(self):
+        enumerator = CurrentDatabaseEnumerator(two_block_specification())
+        databases = list(enumerator.databases())
+        assert len(databases) == 4
+        assert value_sets(databases) == {
+            frozenset({("e1", a), ("e2", b)}) for a in (1, 2) for b in (3, 4)
+        }
+
+    def test_repeated_passes_reuse_the_warm_solver(self):
+        enumerator = CurrentDatabaseEnumerator(two_block_specification())
+        first = value_sets(enumerator.databases())
+        second = value_sets(enumerator.databases())
+        assert first == second and len(first) == 4
+
+    def test_interleaved_passes_are_independent(self):
+        """Two concurrently consumed generators must not see each other's
+        blocking clauses (regression: the first pass was silently truncated)."""
+        enumerator = CurrentDatabaseEnumerator(two_block_specification())
+        first = enumerator.databases()
+        second = enumerator.databases()
+        collected_first, collected_second = [], []
+        while True:
+            a = next(first, None)
+            b = next(second, None)
+            if a is None and b is None:
+                break
+            if a is not None:
+                collected_first.append(a)
+            if b is not None:
+                collected_second.append(b)
+        assert len(collected_first) == 4
+        assert len(collected_second) == 4
+        assert value_sets(collected_first) == value_sets(collected_second)
+
+    def test_limit_and_is_empty(self):
+        enumerator = CurrentDatabaseEnumerator(two_block_specification())
+        assert len(list(enumerator.databases(limit=2))) == 2
+        assert not enumerator.is_empty()
+
+    def test_value_identical_models_share_instances(self):
+        """Decoded current instances are interned by value: re-enumerating
+        yields the same NormalInstance objects, so query indexes are shared."""
+        enumerator = CurrentDatabaseEnumerator(two_block_specification())
+        first = {db["R"].value_set(): db["R"] for db in enumerator.databases()}
+        for database in enumerator.databases():
+            assert database["R"] is first[database["R"].value_set()]

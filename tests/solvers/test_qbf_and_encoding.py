@@ -81,6 +81,49 @@ class TestCompletionEncoder:
         assert len(completions) == 2
         assert all(spec.is_consistent_completion(c) for c in completions)
 
+    def test_solve_then_satisfiable_reuses_the_cached_model(self, company_spec):
+        encoder = CompletionEncoder(company_spec)
+        assert encoder.solve() is not None
+        decisions = encoder.solver.stats()["decisions"]
+        assert encoder.satisfiable()
+        assert encoder.solve() is not None
+        # no clause was added, so no further search happened
+        assert encoder.solver.stats()["decisions"] == decisions
+        # adding a clause invalidates the cache and re-solves
+        encoder.require_pair("Emp", "salary", "s3", "s1")  # contradicts ϕ1
+        assert not encoder.satisfiable()
+        assert encoder.solver.stats()["decisions"] >= decisions
+
+    def test_satisfiable_under_assumptions(self):
+        schema = RelationSchema("R", ("A",))
+        instance = TemporalInstance.from_rows(
+            schema,
+            {"t1": {"EID": "e", "A": 1}, "t2": {"EID": "e", "A": 2}},
+        )
+        encoder = CompletionEncoder(Specification({"R": instance}))
+        assert encoder.satisfiable([("R", "A", "t1", "t2")])
+        assert encoder.satisfiable([("R", "A", "t2", "t1")])
+        # antisymmetry: both directions at once are contradictory
+        assert not encoder.satisfiable(
+            [("R", "A", "t1", "t2"), ("R", "A", "t2", "t1")]
+        )
+        # assumptions never mutate the encoding
+        assert encoder.satisfiable()
+        assert len(encoder.cnf.clauses) == 2  # antisymmetry + totality only
+
+    def test_unknown_assumption_pair_rejected(self):
+        from repro.exceptions import SolverError
+
+        schema = RelationSchema("R", ("A",))
+        instance = TemporalInstance.from_rows(
+            schema,
+            {"t1": {"EID": "e1", "A": 1}, "t2": {"EID": "e2", "A": 2}},
+        )
+        encoder = CompletionEncoder(Specification({"R": instance}))
+        # t1 and t2 belong to different entities, so their pair is not encoded
+        with pytest.raises(SolverError):
+            encoder.satisfiable([("R", "A", "t1", "t2")])
+
     def test_inconsistent_copy_orders_unsat(self):
         """Example 2.3's second scenario: copied budget orders conflicting with
         the orders that ϕ1/ϕ3/ϕ4 force make the specification inconsistent."""

@@ -1,10 +1,17 @@
-"""Unit tests for the CNF representation and the DPLL solver."""
+"""Unit tests for the CNF representation and the CDCL/naive SAT engines."""
 
 import pytest
 
 from repro.exceptions import SolverError
 from repro.solvers.cnf import CNF
-from repro.solvers.sat import is_satisfiable, iterate_models, solve, solve_cnf
+from repro.solvers.sat import (
+    Solver,
+    is_satisfiable,
+    iterate_models,
+    solve,
+    solve_cnf,
+    solve_naive,
+)
 
 
 class TestCNF:
@@ -104,6 +111,136 @@ class TestDPLL:
         cnf.add_unit("x", False)
         cnf.add_unit("y", False)
         assert not is_satisfiable(cnf)
+
+
+class TestIncrementalSolver:
+    """The CDCL :class:`Solver`: assumptions, incrementality, backjumping."""
+
+    def test_solve_under_assumptions_does_not_mutate_the_clauses(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 3])
+        model = solver.solve(assumptions=[-2])
+        assert model is not None and model[1] and model[3]
+        assert solver.solve(assumptions=[-1, -2]) is None
+        # the database is untouched: the unconstrained polarity is back
+        assert solver.solve(assumptions=[2]) is not None
+        assert solver.solve() is not None
+
+    def test_contradictory_assumptions_are_unsat(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[1, -1]) is None
+        assert solver.solve() is not None
+
+    def test_assumptions_on_fresh_variables_allocate_them(self):
+        solver = Solver()
+        solver.add_clause([1])
+        model = solver.solve(assumptions=[-5])
+        assert model is not None
+        assert model[5] is False
+        assert solver.num_variables == 5
+
+    def test_incremental_clause_addition(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert solver.solve() is not None
+        solver.add_clause([-1])
+        model = solver.solve()
+        assert model is not None and model[2]
+        solver.add_clause([-2])
+        assert solver.solve() is None
+        # a root-level contradiction is permanent
+        assert solver.add_clause([1, 2]) is False
+        assert solver.solve() is None
+
+    def test_models_are_total(self):
+        solver = Solver(num_variables=4)
+        solver.add_clause([1])
+        model = solver.solve()
+        assert set(model) == {1, 2, 3, 4}
+
+    def test_learnt_clauses_persist_across_calls(self):
+        solver = Solver()
+        # chain: assuming 1 forces 2..5, then conflicts
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        solver.add_clause([-3, 4])
+        solver.add_clause([-4, 5])
+        solver.add_clause([-5, -1])
+        assert solver.solve(assumptions=[1]) is None
+        learnt_after_first = solver.stats()["learnt"]
+        assert solver.solve(assumptions=[1]) is None
+        assert solver.solve() is not None
+        assert solver.stats()["learnt"] >= learnt_after_first
+
+    def test_non_chronological_backjump(self):
+        # default phases decide -1, -2, ..., -5 in variable order; the two
+        # clauses conflict only once both 1 and 5 are false, and the learnt
+        # clause (5 ∨ 1) jumps from decision level 5 straight back to level 1,
+        # skipping the unrelated decisions on 2, 3 and 4
+        solver = Solver(num_variables=6)
+        solver.add_clause([1, 5, 6])
+        solver.add_clause([1, 5, -6])
+        model = solver.solve()
+        assert model is not None
+        for clause in ([1, 5, 6], [1, 5, -6]):
+            assert any(model[abs(l)] == (l > 0) for l in clause)
+        stats = solver.stats()
+        assert stats["conflicts"] >= 1
+        assert stats["learnt"] >= 1
+        assert stats["max_backjump"] >= 3
+
+    def test_zero_literal_rejected_everywhere(self):
+        solver = Solver()
+        with pytest.raises(SolverError):
+            solver.add_clause([0])
+        with pytest.raises(SolverError):
+            solver.solve(assumptions=[0])
+
+    def test_blocking_clause_enumeration_stays_warm(self):
+        # enumerate all 8 models of a tautological 3-variable formula on one
+        # solver via blocking clauses — the learnt state must never corrupt
+        # the model set
+        solver = Solver(num_variables=3)
+        solver.add_clause([1, 2, 3, -1])
+        models = set()
+        while True:
+            model = solver.solve()
+            if model is None:
+                break
+            assignment = tuple(model[v] for v in (1, 2, 3))
+            assert assignment not in models
+            models.add(assignment)
+            solver.add_clause([-v if model[v] else v for v in (1, 2, 3)])
+        assert len(models) == 8
+
+
+class TestCDCLAgainstNaive:
+    """The CDCL engine and the retained seed engine agree on verdicts."""
+
+    def _random_clauses(self, seed, num_variables=8, max_clauses=40):
+        import random
+
+        rng = random.Random(seed)
+        count = rng.randint(1, max_clauses)
+        return [
+            tuple(
+                rng.choice([1, -1]) * rng.randint(1, num_variables)
+                for _ in range(rng.randint(1, 3))
+            )
+            for _ in range(count)
+        ]
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_verdict_equivalence_on_random_formulas(self, seed):
+        clauses = self._random_clauses(seed)
+        cdcl = solve(clauses, num_variables=8)
+        naive = solve_naive(clauses, num_variables=8)
+        assert (cdcl is None) == (naive is None)
+        if cdcl is not None:
+            for clause in clauses:
+                assert any(cdcl[abs(l)] == (l > 0) for l in clause)
 
 
 class TestModelEnumeration:
