@@ -1,0 +1,151 @@
+"""Benchmark: SAT-encoded extension search vs the naive ``Ext(ρ)`` sweep.
+
+CPP and BCP are decided twice per workload on the ``preservation_workload``
+generator (growing candidate-import counts, conflict groups making most
+subsets inconsistent):
+
+* ``sat``   — :mod:`repro.preservation.sat_extensions`: one warm encoding,
+  consistent extensions enumerated as projected SAT models, certain answers
+  per extension computed on the shared incremental solver;
+* ``naive`` — the seed path retained as
+  :func:`~repro.preservation.extensions.enumerate_extensions_naive`: every
+  subset materialised as a fresh specification and re-encoded from scratch.
+
+Verdicts are asserted equal before any timing is reported.  The naive engine
+is skipped (per workload) once a smaller workload exceeded the naive budget,
+so the largest sizes chart the SAT engine alone; the headline
+``largest_shared_speedup`` is the speedup on the largest workload the naive
+path finished.
+
+Standalone script (not collected by pytest):
+
+    PYTHONPATH=src python benchmarks/bench_extensions.py [--smoke] \
+        [--output BENCH_extensions.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.preservation.bcp import has_bounded_extension
+from repro.preservation.cpp import is_currency_preserving
+from repro.preservation.sat_extensions import ExtensionSearchSpace
+from repro.workloads.synthetic import preservation_workload
+
+# per-workload wall-clock budget for the naive engine; once one workload
+# exceeds it, larger workloads skip the naive runs entirely
+NAIVE_BUDGET_S = 300.0
+
+
+def _timed(function, *args, **kwargs):
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def run(smoke: bool, output: str) -> dict:
+    if smoke:
+        sizes = [(4, 2), (6, 2), (8, 3), (10, 3)]
+    else:
+        sizes = [(6, 2), (8, 2), (10, 3), (12, 3), (14, 4)]
+    bcp_k = 2
+    results = []
+    naive_exceeded = False
+    largest_shared = None
+    for candidates, groups in sizes:
+        specification, query = preservation_workload(
+            candidates=candidates, conflict_groups=groups, seed=7
+        )
+        space = ExtensionSearchSpace(specification)
+        consistent = sum(1 for _ in space.iterate_consistent_selections())
+
+        sat_cpp_s, sat_cpp = _timed(
+            is_currency_preserving, query, specification, method="sat"
+        )
+        sat_bcp_s, sat_bcp = _timed(
+            has_bounded_extension, query, specification, bcp_k, search="sat"
+        )
+        entry = {
+            "workload": f"candidates={candidates}",
+            "candidates": candidates,
+            "conflict_groups": groups,
+            "subsets": 2 ** candidates,
+            "consistent_extensions": consistent,
+            "cpp_verdict": sat_cpp,
+            "bcp_k": bcp_k,
+            "bcp_verdict": sat_bcp,
+            "sat_cpp_s": round(sat_cpp_s, 6),
+            "sat_bcp_s": round(sat_bcp_s, 6),
+            "sat_s": round(sat_cpp_s + sat_bcp_s, 6),
+        }
+        if naive_exceeded:
+            entry["naive_skipped"] = True
+        else:
+            naive_cpp_s, naive_cpp = _timed(
+                is_currency_preserving, query, specification, method="enumerate"
+            )
+            naive_bcp_s, naive_bcp = _timed(
+                has_bounded_extension,
+                query, specification, bcp_k, method="enumerate", search="naive",
+            )
+            if sat_cpp != naive_cpp or sat_bcp != naive_bcp:
+                raise AssertionError(
+                    f"engines disagree on candidates={candidates}: "
+                    f"CPP sat={sat_cpp} naive={naive_cpp}, "
+                    f"BCP sat={sat_bcp} naive={naive_bcp}"
+                )
+            naive_total = naive_cpp_s + naive_bcp_s
+            entry.update(
+                {
+                    "naive_cpp_s": round(naive_cpp_s, 6),
+                    "naive_bcp_s": round(naive_bcp_s, 6),
+                    "naive_s": round(naive_total, 6),
+                    "speedup": round(naive_total / (sat_cpp_s + sat_bcp_s), 2)
+                    if sat_cpp_s + sat_bcp_s > 0
+                    else None,
+                }
+            )
+            largest_shared = entry
+            if naive_total > NAIVE_BUDGET_S:
+                naive_exceeded = True
+        results.append(entry)
+        print(
+            f"[bench_extensions] candidates={candidates}: "
+            f"sat {entry['sat_s']}s naive {entry.get('naive_s', 'skipped')}s "
+            f"(consistent {consistent}/{2 ** candidates} subsets)",
+            flush=True,
+        )
+
+    report = {
+        "benchmark": "extensions",
+        "smoke": smoke,
+        "results": results,
+        "largest_shared_workload": largest_shared["workload"] if largest_shared else None,
+        "largest_shared_naive_s": largest_shared["naive_s"] if largest_shared else None,
+        "largest_shared_sat_s": largest_shared["sat_s"] if largest_shared else None,
+        "largest_shared_speedup": largest_shared["speedup"] if largest_shared else None,
+    }
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller workloads for CI smoke runs")
+    parser.add_argument("--output", default="BENCH_extensions.json")
+    args = parser.parse_args(argv)
+    report = run(args.smoke, args.output)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,7 +35,7 @@ BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(BENCH_DIR)
 
 # benchmarks that are standalone scripts with their own --smoke / --output CLI
-SCRIPT_BENCHMARKS = {"bench_query_evaluator.py", "bench_sat_solver.py"}
+SCRIPT_BENCHMARKS = {"bench_query_evaluator.py", "bench_sat_solver.py", "bench_extensions.py"}
 
 # fresh-vs-committed ratio above which --compare flags a metric
 REGRESSION_THRESHOLD = 1.25

@@ -160,9 +160,13 @@ class CopyFunction:
         """≺-compatibility as implications "source pair ⟹ target pair".
 
         Yields ``((source_attr, s1, s2), (target_attr, t1, t2))`` for every
-        pair of mapped target tuples sharing an EID whose source tuples also
-        share an EID, and every attribute pair of the signature.  A completion
-        is ≺-compatible iff it satisfies all these implications.
+        pair of mapped target tuples sharing an EID whose source tuples are
+        *distinct* and share an EID, and every attribute pair of the
+        signature.  A completion is ≺-compatible iff it satisfies all these
+        implications.  Pairs of target tuples copied from the same source
+        tuple are skipped: ``s ≺ s`` never holds, so their implication is
+        vacuous — and the chase's back-transfer (which relies on the
+        contrapositive plus totality) is only sound for distinct sources.
         """
         mapped: List[Hashable] = list(self.mapping)
         for i, t1 in enumerate(mapped):
@@ -174,6 +178,8 @@ class CopyFunction:
                 if target1.eid != target2.eid:
                     continue
                 s1, s2 = self.mapping[t1], self.mapping[t2]
+                if s1 == s2:
+                    continue
                 source1 = source_instance.tuple_by_tid(s1)
                 source2 = source_instance.tuple_by_tid(s2)
                 if source1.eid != source2.eid:

@@ -231,19 +231,34 @@ class DenialConstraint:
         Implications whose head refers to a single tuple (``t ≺ t``) have
         ``head=None`` meaning the premises must not all hold simultaneously.
         """
+        for implication, _support in self.grounded_implications_with_support(instance):
+            yield implication
+
+    def grounded_implications_with_support(
+        self, instance: TemporalInstance
+    ) -> Iterator[Tuple[GroundedImplication, Tuple[Hashable, ...]]]:
+        """Ground the constraint, pairing each implication with its *support*:
+        the tuple ids the grounding assigns to the constraint's variables.
+
+        The support can exceed the tids mentioned in the implication — a
+        variable may occur only in (pre-evaluated) value comparisons.  The
+        extension encoder needs the full support to gate each grounded clause
+        on the presence of every tuple it was grounded over.
+        """
         for assignment in self._assignments(instance):
             if not self._value_predicates_hold(assignment):
                 continue
+            support = tuple(dict.fromkeys(t.tid for t in assignment.values()))
             premises = tuple(self._currency_premises(assignment))
             head_lower = assignment[self.head.lower].tid
             head_upper = assignment[self.head.upper].tid
             if head_lower == head_upper:
-                yield GroundedImplication(premises=premises, head=None)
+                yield GroundedImplication(premises=premises, head=None), support
             else:
                 yield GroundedImplication(
                     premises=premises,
                     head=(self.head.attribute, head_lower, head_upper),
-                )
+                ), support
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DenialConstraint({self.name!r} on {self.schema.name})"

@@ -1,7 +1,11 @@
 """Currency preservation in data copying: Ext(ρ), CPP, ECP and BCP
 (Sections 4, 5 and 6 of the paper)."""
 
-from repro.preservation.bcp import bounded_currency_preserving_extension, has_bounded_extension
+from repro.preservation.bcp import (
+    bound_violation_core,
+    bounded_currency_preserving_extension,
+    has_bounded_extension,
+)
 from repro.preservation.cpp import find_violating_extension, is_currency_preserving
 from repro.preservation.ecp import currency_preserving_extension_exists, maximal_extension
 from repro.preservation.extensions import (
@@ -10,21 +14,26 @@ from repro.preservation.extensions import (
     apply_imports,
     candidate_imports,
     enumerate_extensions,
+    enumerate_extensions_naive,
 )
+from repro.preservation.sat_extensions import ExtensionSearchSpace
 from repro.preservation.sp_fast import sp_has_bounded_extension, sp_is_currency_preserving
 
 __all__ = [
     "CandidateImport",
     "SpecificationExtension",
+    "ExtensionSearchSpace",
     "candidate_imports",
     "apply_imports",
     "enumerate_extensions",
+    "enumerate_extensions_naive",
     "is_currency_preserving",
     "find_violating_extension",
     "currency_preserving_extension_exists",
     "maximal_extension",
     "has_bounded_extension",
     "bounded_currency_preserving_extension",
+    "bound_violation_core",
     "sp_is_currency_preserving",
     "sp_has_bounded_extension",
 ]

@@ -8,42 +8,63 @@ Theorem 5.3: Σp4-complete (combined, CQ/UCQ/∃FO⁺), PSPACE-complete (FO),
 Σp3-complete in data complexity; PTIME for SP queries without denial
 constraints when ``k`` is fixed (Theorem 6.4).
 
-The general solver enumerates extensions of size ≤ k and checks each with the
-CPP decision procedure — i.e. exactly the "guess an extension, then invoke the
-CPP oracle" algorithm from the upper-bound proof of Theorem 5.3.
+Both engines realise the "guess an extension, then invoke the CPP oracle"
+algorithm from the upper-bound proof of Theorem 5.3:
+
+* ``search="sat"`` (the default) guesses only *consistent* selections of at
+  most ``k`` imports — the size bound is a single assumption literal on the
+  sequential-counter encoding of
+  :class:`~repro.preservation.sat_extensions.ExtensionSearchSpace`, so bound
+  sweeps reuse the warm solver.  When the copy functions do not chain
+  (imports never create new candidate imports), the inner CPP oracle also
+  runs in-space, as a sweep over the consistent *supersets* of the guessed
+  selection; chained specifications fall back to a per-extension CPP call,
+  which is still fed by SAT-pruned guesses.
+* ``search="naive"`` is the seed path over
+  :func:`~repro.preservation.extensions.enumerate_extensions_naive` — the
+  reference oracle for the differential tests.
+
+:func:`bound_violation_core` reports *why* a bound cannot be met: the subset
+of required imports in the solver's final assumption core
+(:meth:`~repro.solvers.sat.Solver.analyze_final`), and whether the size bound
+itself participates in the conflict.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.specification import Specification
-from repro.exceptions import InconsistentSpecificationError, SpecificationError
+from repro.exceptions import SpecificationError
 from repro.preservation.cpp import is_currency_preserving
-from repro.preservation.extensions import SpecificationExtension, enumerate_extensions
+from repro.preservation.extensions import (
+    CandidateImport,
+    SpecificationExtension,
+    apply_imports,
+    enumerate_extensions_naive,
+)
+from repro.preservation.sat_extensions import SEARCHES, ExtensionSearchSpace, space_for
 from repro.query.ast import Query, SPQuery
 from repro.query.engine import QueryEngine
 from repro.reasoning.cps import is_consistent
 
-__all__ = ["bounded_currency_preserving_extension", "has_bounded_extension"]
+__all__ = [
+    "bounded_currency_preserving_extension",
+    "has_bounded_extension",
+    "bound_violation_core",
+]
 
 AnyQuery = Union[Query, SPQuery]
 
 
-def bounded_currency_preserving_extension(
+def _bounded_naive(
     query: AnyQuery,
     specification: Specification,
     k: int,
-    method: str = "auto",
-    match_entities_by_eid: bool = True,
+    method: str,
+    match_entities_by_eid: bool,
 ) -> Optional[SpecificationExtension]:
-    """A currency-preserving extension importing at most *k* tuples, or None.
-
-    The size-zero "extension" (ρ itself) is also considered: when ρ is already
-    currency preserving, the empty extension witnesses the bound.
-    """
-    if k < 0:
-        raise SpecificationError("the bound k must be non-negative")
+    """The seed search: every subset of at most *k* imports, CPP oracle each."""
     if not is_consistent(specification):
         return None
     # one compiled engine serves every CPP check in the bounded search
@@ -55,10 +76,8 @@ def bounded_currency_preserving_extension(
         match_entities_by_eid=match_entities_by_eid,
         engine=engine,
     ):
-        from repro.preservation.extensions import apply_imports
-
         return apply_imports(specification, [])
-    for extension in enumerate_extensions(
+    for extension in enumerate_extensions_naive(
         specification, max_imports=k, match_entities_by_eid=match_entities_by_eid
     ):
         if not is_consistent(extension.specification):
@@ -74,12 +93,105 @@ def bounded_currency_preserving_extension(
     return None
 
 
+def _selection_preserving_by_sweep(
+    space: ExtensionSearchSpace,
+    engine: QueryEngine,
+    selection: Sequence[int],
+) -> bool:
+    """CPP of ``S^selection`` as an in-space sweep over consistent supersets.
+
+    Exact when imports cannot create new candidate imports (no chained copy
+    functions): the extensions of ρ^selection are then precisely the strict
+    supersets of *selection* within the base candidate universe.
+    """
+    base_answers = space.certain_answers(engine, selection)
+    chosen = set(selection)
+    for superset in space.iterate_consistent_selections(supersets_of=selection):
+        if set(superset) == chosen:
+            continue
+        if space.certain_answers(engine, superset) != base_answers:
+            return False
+    return True
+
+
+def bounded_currency_preserving_extension(
+    query: AnyQuery,
+    specification: Specification,
+    k: int,
+    method: str = "auto",
+    match_entities_by_eid: bool = True,
+    search: str = "auto",
+    engine: Optional[QueryEngine] = None,
+    space: Optional[ExtensionSearchSpace] = None,
+) -> Optional[SpecificationExtension]:
+    """A currency-preserving extension importing at most *k* tuples, or None.
+
+    The size-zero "extension" (ρ itself) is also considered: when ρ is already
+    currency preserving, the empty extension witnesses the bound.  *method*
+    is the CPP method applied to each guessed extension (see
+    :func:`~repro.preservation.cpp.is_currency_preserving`).
+    """
+    if k < 0:
+        raise SpecificationError("the bound k must be non-negative")
+    if search not in SEARCHES:
+        raise SpecificationError(f"unknown BCP search {search!r}; expected one of {SEARCHES}")
+    if search == "naive":
+        return _bounded_naive(query, specification, k, method, match_entities_by_eid)
+    space = space_for(specification, match_entities_by_eid, space)
+    if not space.selection_consistent(()):
+        return None
+    if engine is None:
+        engine = QueryEngine(query)
+    sp_applicable = isinstance(query, SPQuery) and not specification.has_denial_constraints()
+    sweep = (
+        method in ("auto", "sat")
+        and not (method == "auto" and sp_applicable)
+        and not space.has_chained_candidates
+    )
+
+    def preserving(selection: Tuple[int, ...]) -> bool:
+        if sweep:
+            return _selection_preserving_by_sweep(space, engine, selection)
+        if not selection:
+            # ρ itself: reuse the space for the CPP check on S directly
+            return is_currency_preserving(
+                query,
+                specification,
+                method=method,
+                match_entities_by_eid=match_entities_by_eid,
+                engine=engine,
+                space=space,
+            )
+        return is_currency_preserving(
+            query,
+            space.extension(selection).specification,
+            method=method,
+            match_entities_by_eid=match_entities_by_eid,
+            engine=engine,
+        )
+
+    # ρ itself first, mirroring the seed order (and the k = 0 case)
+    if preserving(()):
+        return apply_imports(specification, [])
+    if k == 0:
+        return None
+    for selection in space.iterate_consistent_selections(max_imports=k):
+        if not selection:
+            continue  # ρ itself was already checked
+        if preserving(selection):
+            return space.extension(selection)
+    return None
+
+
 def has_bounded_extension(
     query: AnyQuery,
     specification: Specification,
     k: int,
     method: str = "auto",
     match_entities_by_eid: bool = True,
+    search: str = "auto",
+    engine: Optional[QueryEngine] = None,
+    space: Optional[ExtensionSearchSpace] = None,
 ) -> bool:
     """Decide BCP."""
     return (
@@ -89,6 +201,39 @@ def has_bounded_extension(
             k,
             method=method,
             match_entities_by_eid=match_entities_by_eid,
+            search=search,
+            engine=engine,
+            space=space,
         )
         is not None
     )
+
+
+def bound_violation_core(
+    specification: Specification,
+    required_imports: Sequence[CandidateImport],
+    k: int,
+    match_entities_by_eid: bool = True,
+    space: Optional[ExtensionSearchSpace] = None,
+) -> Optional[Tuple[List[CandidateImport], bool]]:
+    """Why no consistent extension realises *required_imports* within *k*.
+
+    Returns None when some consistent extension imports all of
+    *required_imports* using at most *k* imports in total.  Otherwise returns
+    ``(imports, bound_hit)``: the required imports appearing in the solver's
+    final assumption core — the ones that jointly force the failure — and
+    whether the size bound itself takes part in the conflict (``bound_hit``
+    False means the imports are already inconsistent regardless of *k*).
+    """
+    if k < 0:
+        raise SpecificationError("the bound k must be non-negative")
+    space = space_for(specification, match_entities_by_eid, space)
+    indices = []
+    for imp in required_imports:
+        try:
+            indices.append(space.candidates.index(imp))
+        except ValueError:
+            raise SpecificationError(
+                f"{imp!r} is not a candidate import of the specification"
+            ) from None
+    return space.bounded_selection_core(indices, k)

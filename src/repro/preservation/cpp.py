@@ -12,9 +12,17 @@ and PSPACE-complete (FO), Πp2-complete in data complexity; Theorem 6.4 gives a
 PTIME algorithm for SP queries when no denial constraints are present
 (implemented in :mod:`repro.preservation.sp_fast`).
 
-The general solver enumerates ``Ext(ρ)`` explicitly (exponential in the number
-of candidate imports — exactly the behaviour the complexity results predict)
-and compares certain answers computed by the CCQA layer.
+Two general engines realise the quantification over ``Ext(ρ)``:
+
+* ``search="sat"`` (the default) walks only the *consistent* extensions, as
+  projected models of the one-shot encoding in
+  :mod:`repro.preservation.sat_extensions` — inconsistent subsets are pruned
+  by the solver wholesale, and every certain-answer computation runs on the
+  same warm incremental solver;
+* ``search="naive"`` is the seed path: explicit enumeration of every subset
+  via :func:`~repro.preservation.extensions.enumerate_extensions_naive`, each
+  materialised and re-encoded from scratch.  It is the reference oracle for
+  the property-based differential tests.
 """
 
 from __future__ import annotations
@@ -23,7 +31,11 @@ from typing import FrozenSet, Optional, Tuple, Union
 
 from repro.core.specification import Specification
 from repro.exceptions import InconsistentSpecificationError, SpecificationError
-from repro.preservation.extensions import SpecificationExtension, enumerate_extensions
+from repro.preservation.extensions import (
+    SpecificationExtension,
+    enumerate_extensions_naive,
+)
+from repro.preservation.sat_extensions import SEARCHES, ExtensionSearchSpace, space_for
 from repro.query.ast import Query, SPQuery
 from repro.query.engine import QueryEngine
 from repro.reasoning.ccqa import certain_current_answers
@@ -31,7 +43,7 @@ from repro.reasoning.ccqa import certain_current_answers
 __all__ = ["is_currency_preserving", "find_violating_extension"]
 
 AnyQuery = Union[Query, SPQuery]
-_METHODS = ("auto", "enumerate", "sp")
+_METHODS = ("auto", "enumerate", "sp", "sat")
 
 
 def _certain(
@@ -46,6 +58,31 @@ def _certain(
         return None
 
 
+def _find_violating_naive(
+    query: AnyQuery,
+    specification: Specification,
+    max_imports: Optional[int],
+    match_entities_by_eid: bool,
+    ccqa_method: str,
+    engine: QueryEngine,
+) -> Optional[SpecificationExtension]:
+    """The seed search: materialise every subset of candidate imports."""
+    base_answers = _certain(query, specification, ccqa_method, engine=engine)
+    if base_answers is None:
+        raise InconsistentSpecificationError(
+            "the base specification has no consistent completion"
+        )
+    for extension in enumerate_extensions_naive(
+        specification, max_imports=max_imports, match_entities_by_eid=match_entities_by_eid
+    ):
+        extended_answers = _certain(query, extension.specification, ccqa_method, engine=engine)
+        if extended_answers is None:
+            continue  # inconsistent extensions do not count
+        if extended_answers != base_answers:
+            return extension
+    return None
+
+
 def find_violating_extension(
     query: AnyQuery,
     specification: Specification,
@@ -53,6 +90,8 @@ def find_violating_extension(
     match_entities_by_eid: bool = True,
     ccqa_method: str = "auto",
     engine: Optional[QueryEngine] = None,
+    search: str = "auto",
+    space: Optional[ExtensionSearchSpace] = None,
 ) -> Optional[SpecificationExtension]:
     """A witness extension whose certain answers differ from the base ones, or
     None when every (consistent) extension preserves them.
@@ -64,22 +103,35 @@ def find_violating_extension(
     One :class:`QueryEngine` (supplied or built here) is shared by the base
     check and every extension, so the compiled plan — and answer sets of
     value-identical current databases — are reused across ``Ext(ρ)``.
+
+    *search* picks the engine: ``"sat"`` (the ``"auto"`` default) enumerates
+    consistent extensions on the warm solver of *space* (built here when not
+    supplied), ``"naive"`` is the seed subset enumeration.  *ccqa_method*
+    applies to the naive search only; the SAT search computes certain answers
+    through the space's own current-database enumeration.  Witness identity
+    may differ between the engines (the SAT search returns witnesses in
+    solver order, the naive search in subset-size order); the *verdict* —
+    witness vs no witness — always agrees.
     """
+    if search not in SEARCHES:
+        raise SpecificationError(f"unknown CPP search {search!r}; expected one of {SEARCHES}")
     if engine is None:
         engine = QueryEngine(query)
-    base_answers = _certain(query, specification, ccqa_method, engine=engine)
+    if search == "naive":
+        return _find_violating_naive(
+            query, specification, max_imports, match_entities_by_eid, ccqa_method, engine
+        )
+    space = space_for(specification, match_entities_by_eid, space)
+    base_answers = space.certain_answers(engine, ())
     if base_answers is None:
         raise InconsistentSpecificationError(
             "the base specification has no consistent completion"
         )
-    for extension in enumerate_extensions(
-        specification, max_imports=max_imports, match_entities_by_eid=match_entities_by_eid
-    ):
-        extended_answers = _certain(query, extension.specification, ccqa_method, engine=engine)
-        if extended_answers is None:
-            continue  # inconsistent extensions do not count
-        if extended_answers != base_answers:
-            return extension
+    for selection in space.iterate_consistent_selections(max_imports=max_imports):
+        if not selection:
+            continue  # the empty selection is ρ itself, not an extension
+        if space.certain_answers(engine, selection) != base_answers:
+            return space.extension(selection)
     return None
 
 
@@ -91,16 +143,24 @@ def is_currency_preserving(
     match_entities_by_eid: bool = True,
     ccqa_method: str = "auto",
     engine: Optional[QueryEngine] = None,
+    space: Optional[ExtensionSearchSpace] = None,
 ) -> bool:
     """Decide CPP: are the specification's copy functions currency preserving
-    for *query*?"""
+    for *query*?
+
+    *method* selects the decision procedure: ``"sp"`` the PTIME algorithm of
+    Theorem 6.4 (SP queries, no denial constraints), ``"sat"`` the SAT-encoded
+    extension search, ``"enumerate"`` the seed explicit enumeration (the
+    oracle), and ``"auto"`` picks ``"sp"`` when applicable and ``"sat"``
+    otherwise.
+    """
     if method not in _METHODS:
         raise SpecificationError(f"unknown CPP method {method!r}; expected one of {_METHODS}")
     if method == "auto":
         if isinstance(query, SPQuery) and not specification.has_denial_constraints():
             method = "sp"
         else:
-            method = "enumerate"
+            method = "sat"
     if method == "sp":
         from repro.preservation.sp_fast import sp_is_currency_preserving
 
@@ -115,6 +175,8 @@ def is_currency_preserving(
             match_entities_by_eid=match_entities_by_eid,
             ccqa_method=ccqa_method,
             engine=engine,
+            search="naive" if method == "enumerate" else "sat",
+            space=space,
         )
     except InconsistentSpecificationError:
         return False

@@ -11,6 +11,15 @@ extended further and is therefore trivially currency preserving.
 When the specification is inconsistent, the problem coincides with CPS
 (Σp2-complete / NP-complete): ρ can be made currency preserving iff ``Mod(S)``
 is non-empty, which for an inconsistent ``S`` it is not.
+
+The greedy construction runs, by default, as a sequence of consistency probes
+under assumptions on the warm solver of
+:class:`~repro.preservation.sat_extensions.ExtensionSearchSpace` — one
+encoding instead of one :class:`~repro.core.specification.Specification`
+materialisation plus one cold consistency check per candidate.  The seed
+materialise-and-check loop is retained under ``search="naive"`` as the
+differential-testing oracle; both produce the *same* extension (the greedy
+order is the candidate order in both engines).
 """
 
 from __future__ import annotations
@@ -18,12 +27,14 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.core.specification import Specification
+from repro.exceptions import SpecificationError
 from repro.preservation.extensions import (
     CandidateImport,
     SpecificationExtension,
     apply_imports,
     candidate_imports,
 )
+from repro.preservation.sat_extensions import SEARCHES, ExtensionSearchSpace, space_for
 from repro.query.ast import Query, SPQuery
 from repro.reasoning.cps import is_consistent
 
@@ -33,7 +44,9 @@ AnyQuery = Union[Query, SPQuery]
 
 
 def currency_preserving_extension_exists(
-    query: AnyQuery, specification: Specification
+    query: AnyQuery,
+    specification: Specification,
+    space: Optional[ExtensionSearchSpace] = None,
 ) -> bool:
     """Decide ECP.
 
@@ -41,14 +54,22 @@ def currency_preserving_extension_exists(
     the query is irrelevant to the decision.  For inconsistent specifications
     no extension can be currency preserving (condition (a) of the definition
     fails for every extension), so the answer is False.
+
+    When *space* is supplied the consistency check is one assumption probe on
+    its warm solver; otherwise it is a standalone CPS decision (the chase for
+    constraint-free specifications, one SAT call otherwise).
     """
     del query  # the decision does not depend on the query (Proposition 5.2)
+    if space is not None:
+        return space.selection_consistent(())
     return is_consistent(specification)
 
 
 def maximal_extension(
     specification: Specification,
     match_entities_by_eid: bool = True,
+    search: str = "auto",
+    space: Optional[ExtensionSearchSpace] = None,
 ) -> SpecificationExtension:
     """Construct a maximal (hence currency-preserving) extension greedily.
 
@@ -58,13 +79,22 @@ def maximal_extension(
     by the definition of currency preservation it preserves the certain
     answers of every query.
     """
-    kept: list[CandidateImport] = []
-    current = apply_imports(specification, [])
-    for candidate in candidate_imports(
-        specification, match_entities_by_eid=match_entities_by_eid
-    ):
-        trial = apply_imports(specification, kept + [candidate])
-        if is_consistent(trial.specification):
-            kept.append(candidate)
-            current = trial
-    return current
+    if search not in SEARCHES:
+        raise SpecificationError(f"unknown ECP search {search!r}; expected one of {SEARCHES}")
+    if search == "naive":
+        kept: list[CandidateImport] = []
+        current = apply_imports(specification, [])
+        for candidate in candidate_imports(
+            specification, match_entities_by_eid=match_entities_by_eid
+        ):
+            trial = apply_imports(specification, kept + [candidate])
+            if is_consistent(trial.specification):
+                kept.append(candidate)
+                current = trial
+        return current
+    space = space_for(specification, match_entities_by_eid, space)
+    chosen: list[int] = []
+    for index in range(len(space.candidates)):
+        if space.selection_consistent(chosen + [index]):
+            chosen.append(index)
+    return space.extension(chosen)

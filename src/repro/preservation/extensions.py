@@ -31,7 +31,14 @@ from repro.core.specification import Specification
 from repro.core.tuples import RelationTuple
 from repro.exceptions import SpecificationError
 
-__all__ = ["CandidateImport", "SpecificationExtension", "candidate_imports", "enumerate_extensions"]
+__all__ = [
+    "CandidateImport",
+    "SpecificationExtension",
+    "candidate_imports",
+    "apply_imports",
+    "enumerate_extensions",
+    "enumerate_extensions_naive",
+]
 
 
 @dataclass(frozen=True)
@@ -141,7 +148,14 @@ def _already_present(
 def apply_imports(
     specification: Specification, imports: Sequence[CandidateImport]
 ) -> SpecificationExtension:
-    """Build the extended specification ``S^e`` realising *imports*."""
+    """Build the extended specification ``S^e`` realising *imports*.
+
+    Duplicate candidate imports are deduplicated (order preserved): importing
+    the same source tuple into the same entity twice is a no-op on the
+    extended instance, and ``size_increase`` must count mapped tuples, not
+    repetitions of the request.
+    """
+    imports = tuple(dict.fromkeys(imports))
     by_function: Dict[str, List[CandidateImport]] = {}
     for imp in imports:
         by_function.setdefault(imp.copy_function, []).append(imp)
@@ -185,14 +199,22 @@ def apply_imports(
     )
 
 
-def enumerate_extensions(
+def enumerate_extensions_naive(
     specification: Specification,
     max_imports: Optional[int] = None,
     match_entities_by_eid: bool = True,
     copy_function_names: Optional[Iterable[str]] = None,
 ) -> Iterator[SpecificationExtension]:
-    """Enumerate ``Ext(ρ)``: every non-empty subset of candidate imports
-    (optionally capped at *max_imports* imports per extension)."""
+    """Enumerate ``Ext(ρ)`` explicitly: every non-empty subset of candidate
+    imports (optionally capped at *max_imports* imports per extension), in
+    increasing subset size.
+
+    This is the seed path — exponential in the number of candidates, and it
+    materialises a full :class:`~repro.core.specification.Specification` per
+    subset.  It is retained as the reference oracle for the SAT-encoded
+    search (:mod:`repro.preservation.sat_extensions`), mirroring
+    ``evaluate_naive`` and ``solve_naive`` in the query and solver layers.
+    """
     candidates = candidate_imports(
         specification,
         match_entities_by_eid=match_entities_by_eid,
@@ -202,3 +224,7 @@ def enumerate_extensions(
     for size in range(1, upper + 1):
         for subset in combinations(candidates, size):
             yield apply_imports(specification, subset)
+
+
+#: Backwards-compatible name for the explicit enumerator.
+enumerate_extensions = enumerate_extensions_naive

@@ -1,0 +1,690 @@
+"""SAT-encoded search over ``Ext(ρ)`` (Sections 4 and 5 of the paper).
+
+The preservation problems all quantify over the extensions of a collection of
+copy functions: CPP asks whether *every* consistent extension preserves the
+certain current answers, ECP whether *some* currency-preserving extension
+exists, and BCP whether one exists importing at most ``k`` tuples.  The seed
+realisation (`repro.preservation.extensions.enumerate_extensions_naive`)
+materialises every non-empty subset of candidate imports as a fresh
+:class:`~repro.core.specification.Specification` and re-encodes each one from
+scratch — exponential work even on the (frequent) subsets whose ``Mod(S^e)``
+is empty.
+
+This module instead encodes the *whole* search space once, as CNF over one
+**selector variable** per candidate import, conjoined with the completion
+order-encoding of the *maximal* extension (every candidate applied):
+
+=====================  =====================================================
+Paper notion           Clauses
+=====================  =====================================================
+``ρ^e`` extends ρ      selector variable ``("sel", i)`` per candidate import
+                       ``i``; a model's selector assignment *is* an element
+                       of ``Ext(ρ)`` (the empty selection is ρ itself)
+completion of S^e      currency-pair variables ``(instance, attribute, t1,
+                       t2)`` over the entity blocks of the maximal extension;
+                       antisymmetry and transitivity are asserted outright,
+                       totality of a pair only under the presence (selector)
+                       of both tuples — absent tuples degrade to unconstrained
+                       junk that any total order of the block satisfies
+``D^c_t |= φ``         every grounded denial-constraint implication is gated
+                       on the selectors of its grounding's *support* tuples
+                       (a grounding over an unimported tuple does not exist
+                       in ``S^e`` and must not fire)
+≺-compatibility        copy-function implications "s1 ≺ s2 ⟹ t1 ≺ t2" of the
+                       maximal extension, gated on the selectors of the
+                       mapped tuples involved
+``LST(D^c)``           one maximality variable per (instance, entity, tuple,
+                       attribute): ``max ⟹ present`` and ``max ∧ present(u)
+                       ⟹ u ≺ t``, with an at-least-one clause per (entity,
+                       attribute) — projected model enumeration over these
+                       variables yields the realizable current databases of
+                       ``S^e``, mirroring
+                       :class:`~repro.reasoning.current_db.CurrentDatabaseEnumerator`
+``|ρ^e| ≤ |ρ| + k``    a sequential-counter order encoding of the selector
+                       count (``("cnt", i, j)`` ⟺ "≥ j of the first i
+                       selectors hold"); the bound ``k`` is one assumption
+                       literal ``¬("cnt", n, k+1)``, so BCP bound sweeps
+                       reuse the warm solver
+=====================  =====================================================
+
+All questions run on **one incremental CDCL solver**
+(:class:`~repro.solvers.sat.Solver`):
+
+* consistency probes (``Mod(S^e) ≠ ∅``) are `solve(assumptions=selectors)`
+  calls — by upward monotonicity of inconsistency a positive-only probe is
+  exact, and :meth:`~repro.solvers.sat.Solver.analyze_final` then names the
+  imports that jointly force the inconsistency or bound violation;
+* enumeration (of consistent extensions, and of current databases per
+  extension) adds blocking clauses gated behind a fresh activation literal
+  per pass, so concurrently consumed enumerations never see each other's
+  blocking clauses and everything the solver learns stays warm across the
+  whole CPP/ECP/BCP decision;
+* finished passes retire their activation literal with a root-level unit so
+  assumption lists do not grow with the number of passes.
+
+The seed enumerator is retained as the reference oracle; the property-based
+harness in ``tests/property/test_extension_search.py`` checks both engines
+agree on randomized specifications.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.completion import CurrentDatabaseCache
+from repro.core.instance import NormalInstance, TemporalInstance
+from repro.core.specification import Specification
+from repro.exceptions import SolverError, SpecificationError
+from repro.preservation.extensions import (
+    CandidateImport,
+    SpecificationExtension,
+    apply_imports,
+    candidate_imports,
+)
+from repro.query.engine import QueryEngine
+from repro.solvers.cnf import CNF
+from repro.solvers.sat import Model, Solver
+
+__all__ = ["ExtensionSearchSpace", "space_for", "SEARCHES"]
+
+Selection = Tuple[int, ...]
+
+#: Search-engine selector shared by the CPP/ECP/BCP entry points.
+SEARCHES = ("auto", "sat", "naive")
+
+
+def space_for(
+    specification: Specification,
+    match_entities_by_eid: bool,
+    space: Optional["ExtensionSearchSpace"],
+) -> "ExtensionSearchSpace":
+    """*space* validated against (specification, flag), or a fresh space.
+
+    The decision procedures accept a pre-built space so one warm solver
+    serves a whole CPP/ECP/BCP conversation; a space built for a different
+    specification or entity-matching mode would silently answer the wrong
+    question, so mismatches are rejected here.
+    """
+    if space is None:
+        return ExtensionSearchSpace(
+            specification, match_entities_by_eid=match_entities_by_eid
+        )
+    if space.specification is not specification:
+        raise SpecificationError(
+            "the supplied extension search space was built for a different specification"
+        )
+    if space.match_entities_by_eid != match_entities_by_eid:
+        raise SpecificationError(
+            "the supplied extension search space uses a different entity-matching mode"
+        )
+    return space
+
+
+class ExtensionSearchSpace:
+    """One warm SAT encoding of the extension search space of a specification.
+
+    Parameters
+    ----------
+    specification:
+        The base specification ``S`` (never mutated).
+    match_entities_by_eid:
+        Forwarded to :func:`~repro.preservation.extensions.candidate_imports`;
+        must match the flag used by the naive path being replaced.
+
+    A *selection* is a tuple of candidate indices (into :attr:`candidates`);
+    the empty selection denotes ρ itself (``S^∅ = S``).
+    """
+
+    def __init__(
+        self, specification: Specification, match_entities_by_eid: bool = True
+    ) -> None:
+        self.specification = specification
+        self.match_entities_by_eid = match_entities_by_eid
+        self.candidates: List[CandidateImport] = candidate_imports(
+            specification, match_entities_by_eid=match_entities_by_eid
+        )
+        self.full_extension: SpecificationExtension = apply_imports(
+            specification, self.candidates
+        )
+        #: the maximal extension S^full — every candidate import applied
+        self.full: Specification = self.full_extension.specification
+        self.cnf = CNF()
+        self._selector_vars: List[int] = []
+        # (instance name, imported tid) -> candidate index
+        self._selector_by_tid: Dict[Tuple[str, Hashable], int] = {}
+        # instance -> [(eid, [(attribute, [(tid, max var)])])] for decoding
+        self._max_slots: Dict[str, List[Tuple[Any, List[Tuple[str, List[Tuple[Hashable, int]]]]]]] = {}
+        self._solver: Optional[Solver] = None
+        self._fed_clauses = 0
+        self._activation_literals: List[int] = []
+        self._activation_count = 0
+        self._counter_built = False
+        self._instance_cache = CurrentDatabaseCache()
+        self._answer_cache: Dict[Tuple[Any, FrozenSet[int]], Optional[FrozenSet]] = {}
+        extendable_targets = {
+            cf.target
+            for cf in specification.copy_functions
+            if cf.signature.covers_all_target_attributes()
+        }
+        #: imports into a source of another extendable copy function can create
+        #: candidate imports that do not exist in the base specification; the
+        #: in-space superset sweep is only exact when this cannot happen
+        self.has_chained_candidates = bool(self.candidates) and any(
+            cf.source in extendable_targets
+            for cf in specification.copy_functions
+            if cf.signature.covers_all_target_attributes()
+        )
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def _pair(self, instance: str, attribute: str, lower: Hashable, upper: Hashable) -> int:
+        """The variable of ``lower ≺_attribute upper`` in *instance*."""
+        return self.cnf.variable((instance, attribute, lower, upper))
+
+    def selector(self, index: int) -> int:
+        """The selector variable of candidate import *index*."""
+        return self._selector_vars[index]
+
+    def _guards(self, instance: str, tids: Iterable[Hashable]) -> List[int]:
+        """Presence guards: ``¬sel`` literals for the imported tuples among
+        *tids* (base tuples are always present and contribute nothing)."""
+        literals: List[int] = []
+        for tid in tids:
+            index = self._selector_by_tid.get((instance, tid))
+            if index is not None:
+                literals.append(-self._selector_vars[index])
+        return literals
+
+    def _build(self) -> None:
+        targets = {cf.name: cf.target for cf in self.specification.copy_functions}
+        for index, candidate in enumerate(self.candidates):
+            self._selector_vars.append(self.cnf.variable(("sel", index)))
+            self._selector_by_tid[
+                (targets[candidate.copy_function], candidate.new_tid())
+            ] = index
+        for name, instance in self.full.instances.items():
+            self._encode_instance(name, instance)
+        for name in self.full.instances:
+            self._encode_denial_constraints(name)
+        self._encode_copy_functions()
+        for name, instance in self.full.instances.items():
+            self._encode_maximality(name, instance)
+
+    def _encode_instance(self, name: str, instance: TemporalInstance) -> None:
+        cnf = self.cnf
+        for attribute in instance.schema.attributes:
+            order = instance.order(attribute)
+            for eid in instance.entities():
+                block = instance.entity_tids(eid)
+                for lower, upper in combinations(block, 2):
+                    forward = self._pair(name, attribute, lower, upper)
+                    backward = self._pair(name, attribute, upper, lower)
+                    # antisymmetry holds for any total order of the full
+                    # block, present or not — assert it outright
+                    cnf.add_clause([-forward, -backward])
+                    # totality only binds pairs of *present* tuples
+                    cnf.add_clause(
+                        self._guards(name, (lower, upper)) + [forward, backward]
+                    )
+                # transitivity also survives absent tuples (any total order
+                # of the full block satisfies it) and sharpens propagation
+                for a in block:
+                    for b in block:
+                        for c in block:
+                            if len({a, b, c}) != 3:
+                                continue
+                            cnf.add_clause(
+                                [
+                                    -self._pair(name, attribute, a, b),
+                                    -self._pair(name, attribute, b, c),
+                                    self._pair(name, attribute, a, c),
+                                ]
+                            )
+            # the given partial currency order (base tuples only) is forced
+            for lower, upper in order.pairs():
+                cnf.add_clause([self._pair(name, attribute, lower, upper)])
+
+    def _same_entity(
+        self, instance: TemporalInstance, lower: Hashable, upper: Hashable
+    ) -> bool:
+        return (
+            lower != upper
+            and instance.tuple_by_tid(lower).eid == instance.tuple_by_tid(upper).eid
+        )
+
+    def _encode_denial_constraints(self, name: str) -> None:
+        instance = self.full.instance(name)
+        for constraint in self.full.constraints_for(name):
+            for implication, support in constraint.grounded_implications_with_support(
+                instance
+            ):
+                guards = self._guards(name, support)
+                premises: List[int] = []
+                vacuous = False
+                for attribute, lower, upper in implication.premises:
+                    if not self._same_entity(instance, lower, upper):
+                        vacuous = True  # the premise can never hold
+                        break
+                    premises.append(-self._pair(name, attribute, lower, upper))
+                if vacuous:
+                    continue
+                head = implication.head
+                if head is None:
+                    self.cnf.add_clause(guards + premises)
+                    continue
+                attribute, lower, upper = head
+                if not self._same_entity(instance, lower, upper):
+                    # the head can never be satisfied: the premises must fail
+                    self.cnf.add_clause(guards + premises)
+                else:
+                    self.cnf.add_clause(
+                        guards + premises + [self._pair(name, attribute, lower, upper)]
+                    )
+
+    def _encode_copy_functions(self) -> None:
+        for copy_function in self.full.copy_functions:
+            target = self.full.instance(copy_function.target)
+            source = self.full.instance(copy_function.source)
+            # compatibility_implications yields only distinct same-entity
+            # source pairs and distinct same-entity target pairs
+            for (src_attr, s1, s2), (tgt_attr, t1, t2) in copy_function.compatibility_implications(
+                target, source
+            ):
+                guards = self._guards(copy_function.source, (s1, s2)) + self._guards(
+                    copy_function.target, (t1, t2)
+                )
+                self.cnf.add_clause(
+                    guards
+                    + [
+                        -self._pair(copy_function.source, src_attr, s1, s2),
+                        self._pair(copy_function.target, tgt_attr, t1, t2),
+                    ]
+                )
+
+    def _encode_maximality(self, name: str, instance: TemporalInstance) -> None:
+        """``max(t)`` ⟺ t is the ≺-greatest *present* tuple of its block.
+
+        Encoded as ``max(t) ⟹ present(t)``, ``max(t) ∧ present(u) ⟹ u ≺ t``
+        and one at-least-one clause per (entity, attribute); with totality and
+        antisymmetry on present tuples this pins exactly the true maximum, so
+        the maximality variables are fully determined by (selectors, order).
+        """
+        cnf = self.cnf
+        slots: List[Tuple[Any, List[Tuple[str, List[Tuple[Hashable, int]]]]]] = []
+        for eid in instance.entities():
+            block = instance.entity_tids(eid)
+            per_attribute: List[Tuple[str, List[Tuple[Hashable, int]]]] = []
+            for attribute in instance.schema.attributes:
+                column: List[Tuple[Hashable, int]] = []
+                for tid in block:
+                    max_var = cnf.variable(("max", name, eid, tid, attribute))
+                    column.append((tid, max_var))
+                    index = self._selector_by_tid.get((name, tid))
+                    if index is not None:  # an absent tuple is never maximal
+                        cnf.add_clause([-max_var, self._selector_vars[index]])
+                    for other in block:
+                        if other == tid:
+                            continue
+                        cnf.add_clause(
+                            [-max_var]
+                            + self._guards(name, (other,))
+                            + [self._pair(name, attribute, other, tid)]
+                        )
+                cnf.add_clause([max_var for _tid, max_var in column])
+                per_attribute.append((attribute, column))
+            slots.append((eid, per_attribute))
+        self._max_slots[name] = slots
+
+    # ------------------------------------------------------------------ #
+    # Cardinality (sequential counter over the selectors)
+    # ------------------------------------------------------------------ #
+    def _count_var(self, i: int, j: int) -> int:
+        """``("cnt", i, j)`` ⟺ at least *j* of the first *i* selectors hold."""
+        return self.cnf.variable(("cnt", i, j))
+
+    def _ensure_counter(self) -> None:
+        if self._counter_built:
+            return
+        self._counter_built = True
+        cnf = self.cnf
+        for i in range(1, len(self._selector_vars) + 1):
+            x = self._selector_vars[i - 1]
+            for j in range(1, i + 1):
+                s_ij = self._count_var(i, j)
+                if j == 1:
+                    cnf.add_clause([-x, s_ij])
+                    reverse = [-s_ij, x]
+                else:
+                    cnf.add_clause([-x, -self._count_var(i - 1, j - 1), s_ij])
+                    cnf.add_clause(
+                        [-s_ij, self._count_var(i - 1, j - 1)]
+                        + ([self._count_var(i - 1, j)] if j <= i - 1 else [])
+                    )
+                    reverse = [-s_ij, x]
+                if j <= i - 1:
+                    cnf.add_clause([-self._count_var(i - 1, j), s_ij])
+                    reverse.append(self._count_var(i - 1, j))
+                cnf.add_clause(reverse)
+
+    def bound_assumption(self, max_imports: int) -> Optional[int]:
+        """The assumption literal enforcing ``|selection| ≤ max_imports``, or
+        None when the bound is not binding (``max_imports ≥ |candidates|``)."""
+        if max_imports < 0:
+            raise SpecificationError("the import bound must be non-negative")
+        if max_imports >= len(self._selector_vars):
+            return None
+        self._ensure_counter()
+        return -self._count_var(len(self._selector_vars), max_imports + 1)
+
+    # ------------------------------------------------------------------ #
+    # The shared solver
+    # ------------------------------------------------------------------ #
+    @property
+    def solver(self) -> Solver:
+        """The incremental solver, synced with every clause of ``self.cnf``."""
+        if self._solver is None:
+            self._solver = Solver(self.cnf.num_variables)
+        solver = self._solver
+        solver.ensure_vars(self.cnf.num_variables)
+        clauses = self.cnf.clauses
+        while self._fed_clauses < len(clauses):
+            solver.add_clause(clauses[self._fed_clauses])
+            self._fed_clauses += 1
+        return solver
+
+    def _deactivations(self) -> List[int]:
+        return [-literal for literal in self._activation_literals]
+
+    def _new_activation(self) -> int:
+        self._activation_count += 1
+        literal = self.cnf.variable(("__act__", self._activation_count))
+        self._activation_literals.append(literal)
+        return literal
+
+    def _retire_activation(self, literal: int) -> None:
+        """Permanently disable a finished enumeration pass's blocking clauses
+        so later solve calls need not assume its negation."""
+        if literal in self._activation_literals:
+            self._activation_literals.remove(literal)
+            self.solver.add_clause([-literal])
+
+    # ------------------------------------------------------------------ #
+    # Probes
+    # ------------------------------------------------------------------ #
+    def _selection_literals(self, selection: Sequence[int], exact: bool) -> List[int]:
+        chosen = set(selection)
+        for index in chosen:
+            if not 0 <= index < len(self._selector_vars):
+                raise SolverError(f"unknown candidate-import index {index}")
+        if exact:
+            return [
+                var if index in chosen else -var
+                for index, var in enumerate(self._selector_vars)
+            ]
+        return [self._selector_vars[index] for index in sorted(chosen)]
+
+    def selection_consistent(self, selection: Sequence[int] = ()) -> bool:
+        """Whether ``Mod(S^selection)`` is non-empty.
+
+        The probe assumes only the *positive* selectors: adding imports only
+        adds constraints, so inconsistency is upward monotone over selections
+        and the positive-only probe is exact — and its
+        :meth:`~repro.solvers.sat.Solver.analyze_final` core names imports.
+        """
+        assumptions = self._deactivations() + self._selection_literals(selection, exact=False)
+        return self.solver.solve(assumptions) is not None
+
+    def inconsistency_core(self, selection: Sequence[int]) -> Optional[List[CandidateImport]]:
+        """The imports of *selection* that jointly force ``Mod(S^e) = ∅``, or
+        None when the selection is consistent."""
+        if self.selection_consistent(selection):
+            return None
+        core = self.solver.analyze_final() or []
+        positions = {var: index for index, var in enumerate(self._selector_vars)}
+        return [self.candidates[positions[lit]] for lit in core if lit in positions]
+
+    def bounded_selection_core(
+        self, required: Sequence[int], max_imports: int
+    ) -> Optional[Tuple[List[CandidateImport], bool]]:
+        """Why importing *required* within *max_imports* total imports fails.
+
+        Returns None when a consistent extension containing *required* with at
+        most *max_imports* imports exists; otherwise ``(imports, bound_hit)``
+        where *imports* are the required imports in the solver's assumption
+        core and *bound_hit* tells whether the size bound itself participates
+        (extracted with :meth:`~repro.solvers.sat.Solver.analyze_final`).
+        """
+        assumptions = self._deactivations() + self._selection_literals(required, exact=False)
+        bound = self.bound_assumption(max_imports)
+        if bound is not None:
+            assumptions.append(bound)
+        if self.solver.solve(assumptions) is not None:
+            return None
+        core = self.solver.analyze_final() or []
+        positions = {var: index for index, var in enumerate(self._selector_vars)}
+        imports = [self.candidates[positions[lit]] for lit in core if lit in positions]
+        return imports, bound is not None and bound in core
+
+    # ------------------------------------------------------------------ #
+    # Enumeration
+    # ------------------------------------------------------------------ #
+    def iterate_consistent_selections(
+        self,
+        max_imports: Optional[int] = None,
+        supersets_of: Sequence[int] = (),
+        limit: Optional[int] = None,
+    ) -> Iterator[Selection]:
+        """Enumerate the selections with ``Mod(S^e) ≠ ∅`` (the empty selection
+        included when the base specification is consistent).
+
+        Runs on the shared solver, projected onto the selector variables with
+        activation-literal-gated blocking clauses — learnt state survives both
+        between models and between enumeration passes.  *supersets_of*
+        restricts to selections containing the given candidate indices;
+        *max_imports* bounds the selection size via the counter encoding.
+        """
+        fixed = self._selection_literals(supersets_of, exact=False)
+        if max_imports is not None:
+            bound = self.bound_assumption(max_imports)
+            if bound is not None:
+                fixed.append(bound)
+        activation = self._new_activation()
+        solver = self.solver
+        solver.ensure_vars(self.cnf.num_variables)
+        produced = 0
+        try:
+            while True:
+                assumptions = (
+                    [activation]
+                    + [-o for o in self._activation_literals if o != activation]
+                    + fixed
+                )
+                model = self.solver.solve(assumptions)
+                if model is None:
+                    return
+                selection = tuple(
+                    index
+                    for index, var in enumerate(self._selector_vars)
+                    if model.get(var, False)
+                )
+                blocking = [-activation] + [
+                    -var if model.get(var, False) else var
+                    for var in self._selector_vars
+                ]
+                if not solver.add_clause(blocking):
+                    return
+                yield selection
+                produced += 1
+                if limit is not None and produced >= limit:
+                    return
+        finally:
+            self._retire_activation(activation)
+
+    def extension(self, selection: Sequence[int]) -> SpecificationExtension:
+        """The :class:`SpecificationExtension` realising *selection*."""
+        return apply_imports(
+            self.specification, [self.candidates[index] for index in sorted(set(selection))]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Current databases and certain answers per extension
+    # ------------------------------------------------------------------ #
+    def current_databases(
+        self,
+        selection: Sequence[int] = (),
+        relations: Optional[Iterable[str]] = None,
+        limit: Optional[int] = None,
+    ) -> Iterator[Dict[str, NormalInstance]]:
+        """The realizable current databases of ``S^selection`` (deduplicated
+        by value), mirroring
+        :meth:`~repro.reasoning.current_db.CurrentDatabaseEnumerator.databases`
+        but on the shared extension solver: the selection is fixed through
+        *exact* selector assumptions and blocking clauses cover the maximality
+        variables of *relations* only, gated behind this pass's activation
+        literal."""
+        names = list(relations) if relations is not None else list(self.full.instances)
+        for name in names:
+            self.full.instance(name)  # validates the name
+        fixed = self._selection_literals(selection, exact=True)
+        projection = [
+            max_var
+            for name in names
+            for _eid, per_attribute in self._max_slots[name]
+            for _attribute, column in per_attribute
+            for _tid, max_var in column
+        ]
+        present = self._present_tids(selection)
+        activation = self._new_activation()
+        solver = self.solver
+        solver.ensure_vars(self.cnf.num_variables)
+        seen: Set = set()
+        produced = 0
+        try:
+            while True:
+                assumptions = (
+                    [activation]
+                    + [-o for o in self._activation_literals if o != activation]
+                    + fixed
+                )
+                model = self.solver.solve(assumptions)
+                if model is None:
+                    return
+                blocking = [-activation] + [
+                    -var if model.get(var, False) else var for var in projection
+                ]
+                database = self._decode(model, names, present)
+                if not solver.add_clause(blocking):
+                    return
+                key = tuple(sorted((name, database[name].value_set()) for name in names))
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield database
+                produced += 1
+                if limit is not None and produced >= limit:
+                    return
+        finally:
+            self._retire_activation(activation)
+
+    def _present_tids(self, selection: Sequence[int]) -> Dict[str, Set[Hashable]]:
+        """Imported tids present under *selection*, per instance name."""
+        chosen = set(selection)
+        present: Dict[str, Set[Hashable]] = {}
+        for (name, tid), index in self._selector_by_tid.items():
+            if index in chosen:
+                present.setdefault(name, set()).add(tid)
+        return present
+
+    def _decode(
+        self,
+        model: Model,
+        names: Sequence[str],
+        present: Dict[str, Set[Hashable]],
+    ) -> Dict[str, NormalInstance]:
+        database: Dict[str, NormalInstance] = {}
+        for name in names:
+            instance = self.full.instance(name)
+            schema = instance.schema
+            imported_present = present.get(name, set())
+            rows: List[Tuple[Any, Dict[str, Any]]] = []
+            for eid, per_attribute in self._max_slots[name]:
+                values: Dict[str, Any] = {schema.eid: eid}
+                for attribute, column in per_attribute:
+                    chosen: Optional[Hashable] = None
+                    for tid, max_var in column:
+                        if model.get(max_var, False):
+                            chosen = tid
+                            break
+                    if chosen is None:  # pragma: no cover - defensive
+                        for tid, _max_var in column:
+                            if (name, tid) not in self._selector_by_tid or tid in imported_present:
+                                chosen = tid
+                                break
+                    values[attribute] = instance.tuple_by_tid(chosen)[attribute]
+                rows.append((f"lst::{eid}", values))
+            database[name] = self._instance_cache.intern_rows(schema, rows)
+        return database
+
+    def certain_answers(
+        self, engine: QueryEngine, selection: Sequence[int] = ()
+    ) -> Optional[FrozenSet]:
+        """Certain current answers of the engine's query w.r.t.
+        ``S^selection``, or None when ``Mod(S^selection)`` is empty.
+
+        Intersects the engine's answers over :meth:`current_databases`
+        (memoised per (engine, selection)); value-identical current databases
+        share one evaluation through the engine's answer cache and the
+        interned instances of :class:`~repro.core.completion.CurrentDatabaseCache`.
+        """
+        key = (engine, frozenset(selection))
+        if key in self._answer_cache:
+            return self._answer_cache[key]
+        intersection: Optional[Set[Tuple[Any, ...]]] = None
+        answers: Optional[FrozenSet]
+        for database in self.current_databases(selection, relations=engine.relations):
+            if intersection is None:
+                intersection = set(engine.answers(database))
+            else:
+                intersection &= engine.answers(database)
+            if not intersection:
+                break
+        answers = None if intersection is None else frozenset(intersection)
+        self._answer_cache[key] = answers
+        return answers
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """Encoding and solver statistics (benchmarks and diagnostics)."""
+        info: Dict[str, Any] = {
+            "candidates": len(self.candidates),
+            "variables": self.cnf.num_variables,
+            "clauses": len(self.cnf.clauses),
+            "active_passes": len(self._activation_literals),
+            "answer_cache_entries": len(self._answer_cache),
+        }
+        if self._solver is not None:
+            info["solver"] = self._solver.stats()
+        return info
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExtensionSearchSpace({len(self.candidates)} candidates, "
+            f"{self.cnf.num_variables} variables, {len(self.cnf.clauses)} clauses)"
+        )

@@ -121,6 +121,7 @@ class Solver:
         self._cla_decay = 1.0 / 0.999
         self._max_learnts = 1000.0
         self._ok = True
+        self._final_core: Optional[List[int]] = None
         self._stats = {
             "conflicts": 0,
             "decisions": 0,
@@ -357,6 +358,37 @@ class Solver:
         learnt_clause[1], learnt_clause[max_index] = learnt_clause[max_index], learnt_clause[1]
         return levels[abs(learnt_clause[1])], learnt_clause
 
+    def _assumption_core(self, failed: int) -> List[int]:
+        """The subset of the current assumptions responsible for falsifying
+        the assumption literal *failed* (MiniSat's ``analyzeFinal``).
+
+        Walks the trail above the root level, expanding propagation reasons;
+        the decisions it reaches are assumption literals (regular decisions
+        are only ever made after every assumption has been placed, and a
+        falsified assumption is detected before that point).
+        """
+        core = {failed}
+        if self._trail_lim:
+            seen = self._seen
+            levels = self._levels
+            start = abs(failed)
+            seen[start] = 1
+            for index in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
+                lit = self._trail[index]
+                variable = abs(lit)
+                if not seen[variable]:
+                    continue
+                reason = self._reasons[variable]
+                if reason is None:
+                    core.add(lit)  # a decision above the root: an assumption
+                else:
+                    for other in reason.lits:
+                        if levels[abs(other)] > 0:
+                            seen[abs(other)] = 1
+                seen[variable] = 0
+            seen[start] = 0
+        return sorted(core, key=abs)
+
     def _record_learnt(self, lits: List[int]) -> None:
         self._stats["learnt"] += 1
         if len(lits) == 1:
@@ -416,6 +448,7 @@ class Solver:
                 conflicts += 1
                 if not self._trail_lim:
                     self._ok = False  # conflict at the root: UNSAT forever
+                    self._final_core = []
                     return False
                 backjump, learnt = self._analyze(conflict)
                 jump = len(self._trail_lim) - backjump
@@ -439,7 +472,10 @@ class Solver:
                 if value == 1:
                     self._trail_lim.append(len(self._trail))  # dummy level
                 elif value == -1:
-                    return False  # UNSAT under the assumptions
+                    # UNSAT under the assumptions: extract the failing core
+                    # while the trail still holds the falsifying derivation
+                    self._final_core = self._assumption_core(assumption)
+                    return False
                 else:
                     self._decide(assumption)
                     decided = True
@@ -460,7 +496,9 @@ class Solver:
         activities and saved phases persist to the next call.
         """
         if not self._ok:
+            self._final_core = []
             return None
+        self._final_core = None
         assumed = list(assumptions)
         for lit in assumed:
             if lit == 0:
@@ -485,6 +523,18 @@ class Solver:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    def analyze_final(self) -> Optional[List[int]]:
+        """The assumption core of the last UNSAT ``solve(assumptions=...)``.
+
+        Returns a subset of the literals passed as assumptions to the last
+        ``solve`` call that is already unsatisfiable together with the clause
+        database (so re-solving under just the core returns UNSAT again).  An
+        empty list means the clause database itself is unsatisfiable,
+        independent of any assumption.  Returns ``None`` when the last solve
+        was satisfiable or no solve has run yet.
+        """
+        return None if self._final_core is None else list(self._final_core)
+
     def stats(self) -> Dict[str, int]:
         """Search statistics (conflicts, decisions, restarts, learnt, ...)."""
         return dict(self._stats)

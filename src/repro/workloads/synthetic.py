@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.copy_function import CopyFunction, CopySignature
-from repro.core.denial import AttrRef, Comparison, CurrencyAtom, DenialConstraint
+from repro.core.denial import AttrRef, Comparison, Const, CurrencyAtom, DenialConstraint
 from repro.core.instance import TemporalInstance
 from repro.core.schema import RelationSchema
 from repro.core.specification import Specification
@@ -29,6 +29,7 @@ __all__ = [
     "random_specification",
     "random_sp_query",
     "chain_copy_specification",
+    "preservation_workload",
 ]
 
 
@@ -216,6 +217,104 @@ def chain_copy_specification(
         seed=seed,
     )
     return random_specification(config)
+
+
+def preservation_workload(
+    candidates: int = 6,
+    conflict_groups: int = 2,
+    entities: int = 1,
+    spoiler: bool = False,
+    seed: int = 0,
+) -> Tuple[Specification, SPQuery]:
+    """A scalable CPP/BCP workload with a controllable extension search space.
+
+    The specification has a source ``R0`` and a target ``R1`` linked by a copy
+    function covering every attribute of the target, so each of the
+    *candidates* extra source tuples per entity is one candidate import —
+    ``|Ext(ρ)| = 2^(candidates · entities) - 1``.  Attributes:
+
+    * ``a0`` — the payload the query projects; a "larger is more current"
+      denial constraint pins the current ``a0`` to the maximum present value,
+      so certain answers are fully determined per extension;
+    * ``a1`` — a conflict-group id: two *imported* tuples from different
+      groups violate an up/down constraint pair, so exactly the selections
+      confined to one group (per entity) are consistent — the SAT search
+      prunes the cross-group subsets wholesale while the naive path
+      materialises every one of them;
+    * ``a2`` — an import marker (0 on base tuples, 1 on importable ones)
+      gating the group conflict to import/import pairs.
+
+    Base tuples carry the maximal payload, so ρ is currency preserving and
+    CPP must sweep the whole consistent space — the worst case for both
+    engines.  With *spoiler* one candidate of group 1 (per entity) carries a
+    larger payload: CPP gains a violating extension and BCP's witness must
+    import the spoiler.
+
+    Returns ``(specification, query)`` where the query projects ``a0`` of the
+    target.  Deterministic given *seed*.
+    """
+    rng = random.Random(seed)
+    source_schema = RelationSchema("R0", ("a0", "a1", "a2"))
+    target_schema = RelationSchema("R1", ("a0", "a1", "a2"))
+    base_payload = 100
+    source = TemporalInstance(source_schema)
+    target = TemporalInstance(target_schema)
+    mapping: Dict[str, str] = {}
+    for entity_index in range(entities):
+        eid = f"e{entity_index}"
+        base_values = {source_schema.eid: eid, "a0": base_payload, "a1": 0, "a2": 0}
+        source.add(RelationTuple(source_schema, f"s_{eid}_base", base_values))
+        target.add(RelationTuple(target_schema, f"t_{eid}_base", dict(base_values)))
+        mapping[f"t_{eid}_base"] = f"s_{eid}_base"
+        groups = [1 + (i % conflict_groups) for i in range(candidates)]
+        rng.shuffle(groups)
+        for i in range(candidates):
+            payload = rng.randrange(base_payload)
+            if spoiler and i == 0:
+                payload = base_payload + 1
+                groups[i] = 1
+            source.add(
+                RelationTuple(
+                    source_schema,
+                    f"s_{eid}_c{i}",
+                    {source_schema.eid: eid, "a0": payload, "a1": groups[i], "a2": 1},
+                )
+            )
+    copy_function = CopyFunction(
+        "rho_preservation",
+        CopySignature(target_schema, ("a0", "a1", "a2"), source_schema, ("a0", "a1", "a2")),
+        target="R1",
+        source="R0",
+        mapping=mapping,
+    )
+    monotone = DenialConstraint(
+        target_schema,
+        ("s", "t"),
+        body=[Comparison(AttrRef("s", "a0"), ">", AttrRef("t", "a0"))],
+        head=CurrencyAtom("t", "a0", "s"),
+        name="monotone_a0_R1",
+    )
+
+    def group_conflict(op: str, name: str) -> DenialConstraint:
+        return DenialConstraint(
+            target_schema,
+            ("s", "t"),
+            body=[
+                Comparison(AttrRef("s", "a1"), op, AttrRef("t", "a1")),
+                Comparison(AttrRef("s", "a2"), "=", Const(1)),
+                Comparison(AttrRef("t", "a2"), "=", Const(1)),
+            ],
+            head=CurrencyAtom("t", "a1", "s"),
+            name=name,
+        )
+
+    specification = Specification(
+        {"R0": source, "R1": target},
+        {"R1": [monotone, group_conflict(">", "group_up"), group_conflict("<", "group_down")]},
+        [copy_function],
+    )
+    query = SPQuery("R1", target_schema, ["a0"], name="current_payload")
+    return specification, query
 
 
 def random_sp_query(

@@ -1,0 +1,293 @@
+"""Edge-case regression tests for the SAT-encoded preservation layer."""
+
+import pytest
+
+from repro.core.copy_function import CopyFunction, CopySignature
+from repro.core.denial import AttrRef, Comparison, CurrencyAtom, DenialConstraint
+from repro.core.instance import TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.core.tuples import RelationTuple
+from repro.exceptions import InconsistentSpecificationError, SpecificationError
+from repro.preservation.bcp import (
+    bound_violation_core,
+    bounded_currency_preserving_extension,
+    has_bounded_extension,
+)
+from repro.preservation.cpp import find_violating_extension, is_currency_preserving
+from repro.preservation.ecp import currency_preserving_extension_exists, maximal_extension
+from repro.preservation.extensions import apply_imports, candidate_imports
+from repro.preservation.sat_extensions import ExtensionSearchSpace, space_for
+from repro.query.engine import QueryEngine
+from repro.reasoning.ccqa import certain_current_answers
+from repro.workloads import company
+from repro.workloads.synthetic import preservation_workload
+
+
+# --------------------------------------------------------------------------- #
+# Helper specifications
+# --------------------------------------------------------------------------- #
+def _inconsistent_spec():
+    """Two tuples forced to precede each other by an up/down constraint pair."""
+    schema = RelationSchema("R", ("A",))
+    instance = TemporalInstance.from_rows(
+        schema, {"t1": {"EID": "e", "A": 1}, "t2": {"EID": "e", "A": 2}}
+    )
+    constraints = [
+        DenialConstraint(
+            schema, ("s", "t"),
+            [Comparison(AttrRef("s", "A"), op, AttrRef("t", "A"))],
+            CurrencyAtom("t", "A", "s"), name=name,
+        )
+        for op, name in ((">", "up"), ("<", "down"))
+    ]
+    return Specification({"R": instance}, {"R": constraints})
+
+
+def _already_total_spec():
+    """Target/source pair whose currency orders are already total."""
+    s_schema = RelationSchema("S", ("A",))
+    t_schema = RelationSchema("T", ("A",))
+    source = TemporalInstance.from_rows(
+        s_schema,
+        {"s1": {"EID": "e", "A": 1}, "s2": {"EID": "e", "A": 2}},
+    )
+    target = TemporalInstance.from_rows(
+        t_schema,
+        {"t1": {"EID": "e", "A": 1}, "t2": {"EID": "e", "A": 3}},
+    )
+    source.add_order("A", "s1", "s2")
+    target.add_order("A", "t1", "t2")
+    copy_function = CopyFunction(
+        "rho", CopySignature(t_schema, ("A",), s_schema, ("A",)),
+        target="T", source="S", mapping={"t1": "s1"},
+    )
+    return Specification({"S": source, "T": target}, copy_functions=[copy_function])
+
+
+def _chained_spec():
+    """R0 → R1 → R2 with full-coverage signatures: imports into R1 create
+    candidate imports for R1 → R2 that do not exist in the base."""
+    schemas = [RelationSchema(f"C{i}", ("A",)) for i in range(3)]
+    r0 = TemporalInstance.from_rows(
+        schemas[0], {"c0_0": {"EID": "e", "A": 0}, "c0_1": {"EID": "e", "A": 1}}
+    )
+    r1 = TemporalInstance.from_rows(schemas[1], {"c1_0": {"EID": "e", "A": 0}})
+    r2 = TemporalInstance.from_rows(schemas[2], {"c2_0": {"EID": "e", "A": 0}})
+    cf0 = CopyFunction(
+        "rho0", CopySignature(schemas[1], ("A",), schemas[0], ("A",)),
+        target="C1", source="C0", mapping={"c1_0": "c0_0"},
+    )
+    cf1 = CopyFunction(
+        "rho1", CopySignature(schemas[2], ("A",), schemas[1], ("A",)),
+        target="C2", source="C1", mapping={"c2_0": "c1_0"},
+    )
+    return Specification({"C0": r0, "C1": r1, "C2": r2}, copy_functions=[cf0, cf1])
+
+
+# --------------------------------------------------------------------------- #
+# Empty Ext(ρ) and zero candidate imports
+# --------------------------------------------------------------------------- #
+class TestEmptyExtensionSpace:
+    def test_non_covering_copy_function_has_no_candidates(self, company_spec):
+        # ρ of Example 2.2 covers only mgrAddr, so it cannot be extended
+        space = ExtensionSearchSpace(company_spec)
+        assert space.candidates == []
+        assert not space.has_chained_candidates
+
+    def test_cpp_vacuously_preserving(self, company_spec):
+        q1 = company.paper_queries()["Q1"]
+        assert is_currency_preserving(q1, company_spec, method="sat")
+        assert find_violating_extension(q1, company_spec, search="sat") is None
+
+    def test_only_the_empty_selection_is_enumerated(self, company_spec):
+        space = ExtensionSearchSpace(company_spec)
+        assert list(space.iterate_consistent_selections()) == [()]
+
+    def test_all_sources_already_imported(self):
+        spec = _already_total_spec()
+        # import the single remaining candidate (s2) so nothing is left
+        [candidate] = candidate_imports(spec)
+        extended = apply_imports(spec, [candidate]).specification
+        space = ExtensionSearchSpace(extended)
+        assert space.candidates == []
+        assert maximal_extension(extended, search="sat").size_increase == 0
+
+    def test_maximal_extension_of_unextendable_spec_is_empty(self, company_spec):
+        for search in ("sat", "naive"):
+            assert maximal_extension(company_spec, search=search).size_increase == 0
+
+
+# --------------------------------------------------------------------------- #
+# Bound k = 0 and inconsistent bases
+# --------------------------------------------------------------------------- #
+class TestBoundaryBounds:
+    def test_k0_equals_base_cpp(self, manager_spec):
+        queries = company.paper_queries()
+        for name in ("Q1", "Q2"):
+            assert has_bounded_extension(queries[name], manager_spec, k=0, search="sat") == \
+                is_currency_preserving(queries[name], manager_spec, method="sat")
+
+    def test_k0_witness_is_the_empty_extension(self, manager_spec):
+        q1 = company.paper_queries()["Q1"]
+        witness = bounded_currency_preserving_extension(q1, manager_spec, k=0, search="sat")
+        assert witness is not None and witness.size_increase == 0
+
+    def test_negative_k_rejected(self, manager_spec):
+        q2 = company.paper_queries()["Q2"]
+        for search in ("sat", "naive"):
+            with pytest.raises(SpecificationError):
+                has_bounded_extension(q2, manager_spec, k=-1, search=search)
+
+    def test_inconsistent_base(self):
+        spec = _inconsistent_spec()
+        query_schema = spec.instance("R").schema
+        from repro.query.ast import SPQuery
+
+        query = SPQuery("R", query_schema, ["A"])
+        space = ExtensionSearchSpace(spec)
+        assert not space.selection_consistent(())
+        assert not currency_preserving_extension_exists(query, spec, space=space)
+        assert not is_currency_preserving(query, spec, method="sat")
+        with pytest.raises(InconsistentSpecificationError):
+            find_violating_extension(query, spec, search="sat")
+        assert bounded_currency_preserving_extension(query, spec, 1, search="sat") is None
+
+
+# --------------------------------------------------------------------------- #
+# Already-total specifications
+# --------------------------------------------------------------------------- #
+class TestAlreadyTotal:
+    def test_certain_answers_and_cpp(self):
+        spec = _already_total_spec()
+        from repro.query.ast import SPQuery
+
+        query = SPQuery("T", spec.instance("T").schema, ["A"])
+        space = ExtensionSearchSpace(spec)
+        engine = QueryEngine(query)
+        assert space.certain_answers(engine, ()) == certain_current_answers(
+            query, spec, method="candidates"
+        )
+        assert is_currency_preserving(query, spec, method="sat") == \
+            is_currency_preserving(query, spec, method="enumerate")
+
+
+# --------------------------------------------------------------------------- #
+# Duplicate-import dedup in apply_imports
+# --------------------------------------------------------------------------- #
+class TestDuplicateImports:
+    def test_duplicates_are_deduplicated(self, manager_spec):
+        [candidate] = [c for c in candidate_imports(manager_spec) if c.source_tid == "m3"]
+        extension = apply_imports(manager_spec, [candidate, candidate, candidate])
+        assert extension.imports == (candidate,)
+        assert extension.size_increase == 1
+        emp = extension.specification.instance("Emp")
+        assert len(emp) == len(manager_spec.instance("Emp")) + 1
+        [cf] = extension.specification.copy_functions
+        assert cf(candidate.new_tid()) == "m3"
+
+
+# --------------------------------------------------------------------------- #
+# Chained copy functions (imports create new candidates)
+# --------------------------------------------------------------------------- #
+class TestChainedCandidates:
+    def test_chain_is_detected(self):
+        spec = _chained_spec()
+        space = ExtensionSearchSpace(spec)
+        assert space.has_chained_candidates
+
+    def test_bcp_agrees_with_naive_on_chained_spec(self):
+        spec = _chained_spec()
+        from repro.query.ast import SPQuery
+
+        query = SPQuery("C2", spec.instance("C2").schema, ["A"])
+        for k in (0, 1, 2):
+            assert has_bounded_extension(query, spec, k, search="sat") == \
+                has_bounded_extension(query, spec, k, method="enumerate", search="naive")
+
+    def test_imports_create_new_candidates(self):
+        spec = _chained_spec()
+        base_candidates = len(candidate_imports(spec))
+        space = ExtensionSearchSpace(spec)
+        # import c0_1 into C1; the imported tuple becomes importable into C2
+        [index] = [
+            i for i, c in enumerate(space.candidates) if c.copy_function == "rho0"
+            and c.source_tid == "c0_1"
+        ]
+        extended = space.extension((index,)).specification
+        assert len(candidate_imports(extended)) > base_candidates - 1
+
+
+# --------------------------------------------------------------------------- #
+# Bound-violation reporting (analyze_final through the space)
+# --------------------------------------------------------------------------- #
+class TestBoundViolationCore:
+    def test_conflicting_imports_named_regardless_of_bound(self):
+        spec, _query = preservation_workload(candidates=4, conflict_groups=2, seed=3)
+        space = ExtensionSearchSpace(spec)
+        by_group = {}
+        for candidate in space.candidates:
+            source = spec.instance("R0").tuple_by_tid(candidate.source_tid)
+            by_group.setdefault(source["a1"], []).append(candidate)
+        groups = sorted(by_group)
+        clashing = [by_group[groups[0]][0], by_group[groups[1]][0]]
+        result = bound_violation_core(spec, clashing, k=4, space=space)
+        assert result is not None
+        imports, bound_hit = result
+        assert set(imports) == set(clashing)
+        assert not bound_hit  # inconsistent regardless of the bound
+
+    def test_bound_participates_for_compatible_imports(self):
+        spec, _query = preservation_workload(candidates=4, conflict_groups=2, seed=3)
+        space = ExtensionSearchSpace(spec)
+        by_group = {}
+        for candidate in space.candidates:
+            source = spec.instance("R0").tuple_by_tid(candidate.source_tid)
+            by_group.setdefault(source["a1"], []).append(candidate)
+        same_group = next(g for g in by_group.values() if len(g) >= 2)[:2]
+        result = bound_violation_core(spec, same_group, k=1, space=space)
+        assert result is not None
+        imports, bound_hit = result
+        assert bound_hit
+        assert bound_violation_core(spec, same_group, k=2, space=space) is None
+
+    def test_unknown_import_rejected(self, manager_spec):
+        from repro.preservation.extensions import CandidateImport
+
+        with pytest.raises(SpecificationError):
+            bound_violation_core(manager_spec, [CandidateImport("nope", "x", "e")], k=1)
+
+
+# --------------------------------------------------------------------------- #
+# Space validation and reuse
+# --------------------------------------------------------------------------- #
+class TestSpaceReuse:
+    def test_space_for_rejects_mismatches(self, manager_spec, company_spec):
+        space = ExtensionSearchSpace(manager_spec)
+        with pytest.raises(SpecificationError):
+            space_for(company_spec, True, space)
+        with pytest.raises(SpecificationError):
+            space_for(manager_spec, False, space)
+        assert space_for(manager_spec, True, space) is space
+
+    def test_one_space_serves_cpp_ecp_and_bcp(self, manager_spec):
+        q2 = company.paper_queries()["Q2"]
+        space = ExtensionSearchSpace(manager_spec)
+        engine = QueryEngine(q2)
+        assert not is_currency_preserving(q2, manager_spec, method="sat", space=space, engine=engine)
+        assert currency_preserving_extension_exists(q2, manager_spec, space=space)
+        assert maximal_extension(manager_spec, space=space).size_increase == 2
+        witness = bounded_currency_preserving_extension(
+            q2, manager_spec, 1, search="sat", space=space, engine=engine
+        )
+        assert witness is not None and witness.size_increase == 1
+        assert any(imp.source_tid == "m3" for imp in witness.imports)
+
+    def test_interleaved_enumerations_do_not_interfere(self, manager_spec):
+        space = ExtensionSearchSpace(manager_spec)
+        first = space.iterate_consistent_selections()
+        second = space.iterate_consistent_selections()
+        collected_first = {next(first), next(first)}
+        collected_second = set(second)  # exhaust while `first` is mid-pass
+        collected_first.update(first)
+        assert {frozenset(s) for s in collected_first} == {frozenset(s) for s in collected_second}

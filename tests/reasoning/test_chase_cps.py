@@ -94,6 +94,51 @@ class TestChase:
                         assert result.certain(name, attribute, lower, upper)
 
 
+class TestSharedSourceMapping:
+    """Regression: two target tuples copied from the *same* source tuple.
+
+    The chase's back-transfer (target pair ⟹ source pair) is only sound for
+    distinct source tuples; with ρ(t1) = ρ(t2) = s it used to derive s ≺ s,
+    raise a cycle and wrongly report the specification inconsistent (found by
+    the SAT-vs-naive extension-search property harness)."""
+
+    @staticmethod
+    def shared_source_spec():
+        schema_r = RelationSchema("R", ("A",))
+        schema_s = RelationSchema("S", ("A",))
+        r = TemporalInstance.from_rows(schema_r, {"r1": {"EID": "e", "A": 1}})
+        s = TemporalInstance.from_rows(
+            schema_s,
+            {"s1": {"EID": "e", "A": 1}, "s2": {"EID": "e", "A": 1}},
+            orders={"A": [("s1", "s2")]},  # the copies are ordered in the target
+        )
+        cf = CopyFunction(
+            "cf",
+            CopySignature(schema_s, ("A",), schema_r, ("A",)),
+            target="S",
+            source="R",
+            mapping={"s1": "r1", "s2": "r1"},
+        )
+        return Specification({"R": r, "S": s}, copy_functions=[cf])
+
+    def test_chase_reports_consistent(self):
+        assert chase_certain_orders(self.shared_source_spec()).consistent
+
+    def test_all_cps_methods_agree(self):
+        spec = self.shared_source_spec()
+        assert is_consistent(spec, method="chase")
+        assert is_consistent(spec, method="sat")
+        assert is_consistent(spec, method="enumerate")
+
+    def test_compatibility_implications_skip_identical_sources(self):
+        spec = self.shared_source_spec()
+        [cf] = spec.copy_functions
+        implications = list(
+            cf.compatibility_implications(spec.instance("S"), spec.instance("R"))
+        )
+        assert implications == []
+
+
 class TestCPS:
     def test_company_specification_is_consistent(self, company_spec):
         assert is_consistent(company_spec)

@@ -268,3 +268,76 @@ class TestModelEnumeration:
         cnf.add_unit("a", True)
         cnf.add_unit("a", False)
         assert list(iterate_models(cnf)) == []
+
+
+class TestAnalyzeFinal:
+    """Assumption-core extraction (``Solver.analyze_final``)."""
+
+    @staticmethod
+    def _implication_chain():
+        solver = Solver()
+        solver.add_clause([-1, 2])  # 1 -> 2
+        solver.add_clause([-2, 3])  # 2 -> 3
+        return solver
+
+    def test_none_after_a_satisfiable_solve(self):
+        solver = self._implication_chain()
+        assert solver.solve(assumptions=[1]) is not None
+        assert solver.analyze_final() is None
+
+    def test_core_is_a_subset_of_the_assumptions(self):
+        solver = self._implication_chain()
+        assumptions = [1, 5, -3, 7]
+        assert solver.solve(assumptions=assumptions) is None
+        core = solver.analyze_final()
+        assert core is not None
+        assert set(core) <= set(assumptions)
+
+    def test_core_excludes_irrelevant_assumptions(self):
+        solver = self._implication_chain()
+        assert solver.solve(assumptions=[1, 5, -3, 7]) is None
+        assert set(solver.analyze_final()) == {1, -3}
+
+    def test_core_is_unsat_when_reasserted(self):
+        solver = self._implication_chain()
+        assert solver.solve(assumptions=[1, 5, -3, 7]) is None
+        core = solver.analyze_final()
+        assert solver.solve(assumptions=core) is None
+        # ... and the solver is not poisoned: dropping the core solves fine
+        assert solver.solve(assumptions=[5, 7]) is not None
+
+    def test_contradictory_assumptions_core(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[3, -3]) is None
+        core = solver.analyze_final()
+        assert set(core) == {3, -3}
+        assert solver.solve(assumptions=core) is None
+
+    def test_root_level_implication_yields_singleton_core(self):
+        solver = Solver()
+        solver.add_clause([4])  # root-level unit
+        assert solver.solve(assumptions=[-4, 6]) is None
+        assert solver.analyze_final() == [-4]
+
+    def test_unsat_database_yields_empty_core(self):
+        solver = Solver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve(assumptions=[2]) is None
+        assert solver.analyze_final() == []
+        # the empty core re-asserted: the solver stays UNSAT
+        assert solver.solve(assumptions=[]) is None
+
+    def test_core_from_learnt_conflicts(self):
+        # pigeonhole-style: assumptions force 3 pigeons into 2 holes
+        solver = Solver()
+        holes = {(p, h): p * 2 + h + 1 for p in range(3) for h in range(2)}
+        for p in range(3):
+            solver.add_clause([holes[(p, 0)], holes[(p, 1)]])
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    solver.add_clause([-holes[(p1, h)], -holes[(p2, h)]])
+        assert solver.solve() is None is solver.solve(assumptions=[99])
+        assert solver.analyze_final() == []
