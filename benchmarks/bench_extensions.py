@@ -4,18 +4,29 @@ CPP and BCP are decided twice per workload on the ``preservation_workload``
 generator (growing candidate-import counts, conflict groups making most
 subsets inconsistent):
 
-* ``sat``   — :mod:`repro.preservation.sat_extensions`: one warm encoding,
-  consistent extensions enumerated as projected SAT models, certain answers
-  per extension computed on the shared incremental solver;
+* ``sat``   — :mod:`repro.preservation.sat_extensions`: one warm closure
+  encoding, consistent extensions enumerated as projected SAT models, certain
+  answers per extension computed on the shared incremental solver;
 * ``naive`` — the seed path retained as
   :func:`~repro.preservation.extensions.enumerate_extensions_naive`: every
-  subset materialised as a fresh specification and re-encoded from scratch.
+  downward-closed closure subset materialised as a fresh specification and
+  re-encoded from scratch.
+
+A second section exercises **chained** specifications
+(``chained_preservation_workload``: derived candidate imports arranged in
+prerequisite chains).  There BCP's in-space superset sweep — exact for chains
+since the closure encoding — is compared against the *per-extension fallback*
+it replaced: SAT-pruned guesses, but a fresh
+:class:`~repro.preservation.sat_extensions.ExtensionSearchSpace` (full
+re-encoding) per guessed extension, which was the pre-closure behaviour for
+chained copy functions.
 
 Verdicts are asserted equal before any timing is reported.  The naive engine
 is skipped (per workload) once a smaller workload exceeded the naive budget,
 so the largest sizes chart the SAT engine alone; the headline
 ``largest_shared_speedup`` is the speedup on the largest workload the naive
-path finished.
+path finished, and ``chained_speedup`` the in-space-vs-fallback speedup on
+the largest chained workload.
 
 Standalone script (not collected by pytest):
 
@@ -36,7 +47,8 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.preservation.bcp import has_bounded_extension
 from repro.preservation.cpp import is_currency_preserving
 from repro.preservation.sat_extensions import ExtensionSearchSpace
-from repro.workloads.synthetic import preservation_workload
+from repro.query.engine import QueryEngine
+from repro.workloads.synthetic import chained_preservation_workload, preservation_workload
 
 # per-workload wall-clock budget for the naive engine; once one workload
 # exceeds it, larger workloads skip the naive runs entirely
@@ -47,6 +59,39 @@ def _timed(function, *args, **kwargs):
     start = time.perf_counter()
     result = function(*args, **kwargs)
     return time.perf_counter() - start, result
+
+
+def _bcp_per_extension_fallback(query, specification, k):
+    """The pre-closure chained-BCP fallback, reconstructed as the baseline:
+    guesses come from one space, but every guess's CPP oracle materialises the
+    extension and builds a **fresh** search space for it."""
+    space = ExtensionSearchSpace(specification)
+    if not space.selection_consistent(()):
+        return False
+    engine = QueryEngine(query)
+
+    def preserving(selection):
+        if not selection:
+            return is_currency_preserving(
+                query, specification, method="sat", engine=engine, space=space
+            )
+        return is_currency_preserving(
+            query,
+            space.extension(selection).specification,
+            method="sat",
+            engine=engine,
+        )
+
+    if preserving(()):
+        return True
+    if k == 0:
+        return False
+    for selection in space.iterate_consistent_selections(max_imports=k):
+        if not selection:
+            continue
+        if preserving(selection):
+            return True
+    return False
 
 
 def run(smoke: bool, output: str) -> dict:
@@ -122,6 +167,80 @@ def run(smoke: bool, output: str) -> dict:
             flush=True,
         )
 
+    # ------------------------------------------------------------------ #
+    # Chained workloads: in-space superset sweep vs per-extension fallback
+    # ------------------------------------------------------------------ #
+    if smoke:
+        chained_sizes = [(2, 2, 1), (2, 2, 2), (3, 2, 2), (3, 3, 2)]
+    else:
+        chained_sizes = [(2, 2, 2), (3, 2, 2), (3, 3, 2), (4, 3, 2)]
+    chained_headline = None
+    for depth, cands, entities in chained_sizes:
+        specification, query = chained_preservation_workload(
+            depth=depth, candidates=cands, entities=entities, spoiler=True, seed=7
+        )
+        # one bound below the flip (every guess refuted) and the flip itself
+        # (witness found: all spoiler chains imported) — both paths timed.
+        # The in-space timer covers its one space construction, exactly as
+        # the fallback baseline pays for the base space it builds internally.
+        bounds = sorted({depth, depth * entities})
+        constructions_before = ExtensionSearchSpace.constructions
+
+        def run_in_space():
+            space = ExtensionSearchSpace(specification)
+            verdicts = [
+                has_bounded_extension(query, specification, bound,
+                                      search="sat", space=space)
+                for bound in bounds
+            ]
+            return space, verdicts
+
+        sat_s, (space, sat_verdicts) = _timed(run_in_space)
+        in_space = ExtensionSearchSpace.constructions == constructions_before + 1
+        fallback_s = 0.0
+        fallback_verdicts = []
+        for bound in bounds:
+            bound_s, verdict = _timed(
+                _bcp_per_extension_fallback, query, specification, bound
+            )
+            fallback_s += bound_s
+            fallback_verdicts.append(verdict)
+        if sat_verdicts != fallback_verdicts:
+            raise AssertionError(
+                f"chained engines disagree on depth={depth} candidates={cands}: "
+                f"in-space={sat_verdicts} fallback={fallback_verdicts}"
+            )
+        if sat_verdicts[-1] is not True:
+            raise AssertionError(
+                f"k=depth·entities must admit the all-spoiler-chains witness "
+                f"on depth={depth} entities={entities}"
+            )
+        if not in_space:
+            raise AssertionError(
+                f"in-space BCP built a fresh search space on depth={depth}"
+            )
+        entry = {
+            "workload": f"chained depth={depth} candidates={cands} entities={entities}",
+            "chain_depth": depth,
+            "candidates_per_entity": cands,
+            "entities": entities,
+            "closure_size": len(space.candidates),
+            "derived_candidates": len(space.prerequisites),
+            "bcp_bounds": bounds,
+            "bcp_verdicts": sat_verdicts,
+            "chained_sat_s": round(sat_s, 6),
+            "chained_fallback_s": round(fallback_s, 6),
+            "chained_speedup": round(fallback_s / sat_s, 2) if sat_s > 0 else None,
+        }
+        chained_headline = entry
+        results.append(entry)
+        print(
+            f"[bench_extensions] {entry['workload']}: in-space {entry['chained_sat_s']}s "
+            f"fallback {entry['chained_fallback_s']}s "
+            f"({entry['chained_speedup']}x, closure {entry['closure_size']})",
+            flush=True,
+        )
+
     report = {
         "benchmark": "extensions",
         "smoke": smoke,
@@ -130,6 +249,8 @@ def run(smoke: bool, output: str) -> dict:
         "largest_shared_naive_s": largest_shared["naive_s"] if largest_shared else None,
         "largest_shared_sat_s": largest_shared["sat_s"] if largest_shared else None,
         "largest_shared_speedup": largest_shared["speedup"] if largest_shared else None,
+        "chained_workload": chained_headline["workload"] if chained_headline else None,
+        "chained_speedup": chained_headline["chained_speedup"] if chained_headline else None,
     }
     with open(output, "w") as handle:
         json.dump(report, handle, indent=2)

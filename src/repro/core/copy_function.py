@@ -201,6 +201,22 @@ class CopyFunction:
                 return False
         return True
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: name, signature, endpoints and mapping."""
+        if not isinstance(other, CopyFunction):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.signature == other.signature
+            and self.target == other.target
+            and self.source == other.source
+            and self.mapping == other.mapping
+        )
+
+    # copy functions are mutable (the mapping dict), so hashing stays by
+    # identity; equal-but-distinct objects are not conflated in sets/dicts
+    __hash__ = object.__hash__
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"CopyFunction({self.name!r}: {self.signature}, "

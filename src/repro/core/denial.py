@@ -260,5 +260,24 @@ class DenialConstraint:
                     head=(self.head.attribute, head_lower, head_upper),
                 ), support
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality over (schema, variables, body, head).
+
+        The ``name`` is deliberately ignored: it is presentation-only and the
+        auto-generated fallback embeds ``id(self)``, which would make every
+        rebuilt constraint unequal to the original.
+        """
+        if not isinstance(other, DenialConstraint):
+            return NotImplemented
+        return (
+            self.schema == other.schema
+            and self.variables == other.variables
+            and self.body == other.body
+            and self.head == other.head
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.schema, self.variables, self.body, self.head))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DenialConstraint({self.name!r} on {self.schema.name})"

@@ -256,6 +256,25 @@ class TemporalInstance(NormalInstance):
         """Tuple ids of the entity block ``I_e``."""
         return [t.tid for t in self.entity_block(eid)]
 
+    def structurally_equal(self, other: "TemporalInstance") -> bool:
+        """Same schema, same tuples (ids *and* values, in insertion order) and
+        same currency orders.
+
+        Unlike ``__eq__`` (the value-set semantics of the embedded normal
+        instance), this distinguishes tuples by tuple id — the granularity the
+        currency orders and the preservation encodings work at — so a rebuilt
+        instance compares equal to the original exactly when every encoding
+        derived from it would be identical.
+        """
+        if not isinstance(other, TemporalInstance):
+            return False
+        return (
+            self._schema == other.schema
+            and [(t.tid, t.value_tuple()) for t in self._tuples]
+            == [(t.tid, t.value_tuple()) for t in other._tuples]
+            and self._orders == other._orders
+        )
+
     def contained_in(self, other: "TemporalInstance") -> bool:
         """Order containment ``self ⊆ other`` (Section 3): same tuples assumed,
         every currency pair of *self* must appear in *other*."""

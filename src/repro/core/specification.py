@@ -168,6 +168,38 @@ class Specification:
             ],
         )
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same instance names, structurally equal
+        temporal instances (tuple ids, values and currency orders — see
+        :meth:`~repro.core.instance.TemporalInstance.structurally_equal`),
+        equal constraint lists and equal copy functions.
+
+        Two specifications comparing equal here induce identical preservation
+        encodings, which is what lets
+        :func:`~repro.preservation.sat_extensions.space_for` accept a rebuilt
+        value-identical specification for a warm search space.
+        """
+        if not isinstance(other, Specification):
+            return NotImplemented
+        if self is other:
+            return True
+        if set(self.instances) != set(other.instances):
+            return False
+        if any(
+            not instance.structurally_equal(other.instances[name])
+            for name, instance in self.instances.items()
+        ):
+            return False
+        return (
+            self.constraints == other.constraints
+            and self.copy_functions == other.copy_functions
+        )
+
+    # specifications are mutable, so a value-based hash could silently corrupt
+    # container membership mid-build; hashing stays by identity (nothing keys
+    # containers by *equal* specifications, only by the same object)
+    __hash__ = object.__hash__
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Specification({len(self.instances)} instances, "

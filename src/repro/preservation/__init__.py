@@ -6,24 +6,37 @@ from repro.preservation.bcp import (
     bounded_currency_preserving_extension,
     has_bounded_extension,
 )
-from repro.preservation.cpp import find_violating_extension, is_currency_preserving
+from repro.preservation.cpp import (
+    AnswerDifferenceCertificate,
+    find_violating_extension,
+    is_currency_preserving,
+)
 from repro.preservation.ecp import currency_preserving_extension_exists, maximal_extension
 from repro.preservation.extensions import (
+    CandidateClosure,
     CandidateImport,
     SpecificationExtension,
     apply_imports,
+    candidate_closure,
     candidate_imports,
+    could_chain,
     enumerate_extensions,
     enumerate_extensions_naive,
+    has_chained_imports,
 )
 from repro.preservation.sat_extensions import ExtensionSearchSpace
 from repro.preservation.sp_fast import sp_has_bounded_extension, sp_is_currency_preserving
 
 __all__ = [
+    "AnswerDifferenceCertificate",
+    "CandidateClosure",
     "CandidateImport",
     "SpecificationExtension",
     "ExtensionSearchSpace",
+    "candidate_closure",
     "candidate_imports",
+    "could_chain",
+    "has_chained_imports",
     "apply_imports",
     "enumerate_extensions",
     "enumerate_extensions_naive",

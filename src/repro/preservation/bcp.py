@@ -11,18 +11,22 @@ constraints when ``k`` is fixed (Theorem 6.4).
 Both engines realise the "guess an extension, then invoke the CPP oracle"
 algorithm from the upper-bound proof of Theorem 5.3:
 
-* ``search="sat"`` (the default) guesses only *consistent* selections of at
-  most ``k`` imports — the size bound is a single assumption literal on the
-  sequential-counter encoding of
-  :class:`~repro.preservation.sat_extensions.ExtensionSearchSpace`, so bound
-  sweeps reuse the warm solver.  When the copy functions do not chain
-  (imports never create new candidate imports), the inner CPP oracle also
-  runs in-space, as a sweep over the consistent *supersets* of the guessed
-  selection; chained specifications fall back to a per-extension CPP call,
-  which is still fed by SAT-pruned guesses.
+* ``search="sat"`` (the default) enumerates the consistent selections of the
+  one-shot :class:`~repro.preservation.sat_extensions.ExtensionSearchSpace`
+  **once** and decides the inner CPP oracle of every guess of at most ``k``
+  imports in-space, as subset tests over that enumeration with lazily
+  memoised certain answers.  The space encodes the whole candidate-import
+  *closure* (derived imports of chained copy functions carry their own
+  selectors, gated on their prerequisites), so the supersets of a selection
+  within the closure are exactly the extensions of ρ^selection and the check
+  is exact for chained specifications too: the entire decision runs on one
+  warm solver, with zero per-extension re-encoding (asserted by the
+  ``constructions`` counter in the space's ``stats()``).
 * ``search="naive"`` is the seed path over
   :func:`~repro.preservation.extensions.enumerate_extensions_naive` — the
-  reference oracle for the differential tests.
+  reference oracle for the differential tests; *method* selects the CPP
+  oracle applied to each of its guesses (the SAT search always sweeps
+  in-space and only validates *method*).
 
 :func:`bound_violation_core` reports *why* a bound cannot be met: the subset
 of required imports in the solver's final assumption core
@@ -32,11 +36,11 @@ itself participates in the conflict.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.core.specification import Specification
 from repro.exceptions import SpecificationError
-from repro.preservation.cpp import is_currency_preserving
+from repro.preservation.cpp import _METHODS, is_currency_preserving
 from repro.preservation.extensions import (
     CandidateImport,
     SpecificationExtension,
@@ -93,25 +97,116 @@ def _bounded_naive(
     return None
 
 
-def _selection_preserving_by_sweep(
+#: Above this many consistent selections the bounded search stops
+#: materialising the family in memory and streams restricted solver sweeps
+#: instead (time-bounded degradation, never memory-bounded).
+_FAMILY_CAP = 200_000
+
+#: Bound on the maximal-selection harvest itself — the number of ⊆-maximal
+#: consistent selections can be exponential (mutually exclusive candidate
+#: pairs), so the harvest is abandoned past this many and the search streams.
+_MAXIMAL_CAP = 4096
+
+
+def _bounded_by_lazy_sweeps(
     space: ExtensionSearchSpace,
     engine: QueryEngine,
-    selection: Sequence[int],
-) -> bool:
-    """CPP of ``S^selection`` as an in-space sweep over consistent supersets.
+    k: int,
+) -> Optional[Tuple[int, ...]]:
+    """Memory-safe fallback for huge consistent families: per-guess restricted
+    solver sweeps (``supersets_of``) with early exit on the first refuting
+    superset — nothing is materialised beyond the current guess."""
 
-    Exact when imports cannot create new candidate imports (no chained copy
-    functions): the extensions of ρ^selection are then precisely the strict
-    supersets of *selection* within the base candidate universe.
+    def preserving(selection: Tuple[int, ...]) -> bool:
+        guess_answers = space.certain_answers(engine, selection)
+        chosen = set(selection)
+        for superset in space.iterate_consistent_selections(supersets_of=selection):
+            if set(superset) == chosen:
+                continue
+            if space.certain_answers(engine, superset) != guess_answers:
+                return False
+        return True
+
+    if preserving(()):
+        return ()
+    if k == 0:
+        return None
+    for selection in space.iterate_consistent_selections(max_imports=k):
+        if not selection:
+            continue  # ρ itself was already checked
+        if preserving(selection):
+            return selection
+    return None
+
+
+def _bounded_in_space(
+    space: ExtensionSearchSpace,
+    engine: QueryEngine,
+    k: int,
+) -> Optional[Tuple[int, ...]]:
+    """The whole bounded search on one space: the selection (possibly empty)
+    of a currency-preserving extension of at most *k* imports, or None.
+
+    The space's selector universe is the candidate-import *closure* and every
+    consistent selection is downward closed, so the strict supersets of a
+    selection within the space are precisely the extensions of ρ^selection —
+    including the chained imports only importable once some superset import
+    created their source tuple.  The search therefore never re-encodes:
+
+    1. the ⊆-maximal consistent selections are harvested with a handful of
+       SAT calls (consistency is downward monotone), and the whole consistent
+       space is regenerated from them in plain Python
+       (:meth:`~repro.preservation.extensions.CandidateClosure.closed_subsets`);
+    2. the CPP oracle of each guess is a subset test over that family with
+       lazily memoised certain answers — the maximal selections are probed
+       first, since a non-preserving guess is almost always refuted by the
+       answers of a maximum above it, making refutation O(#maximal) cached
+       lookups instead of a sweep.
+
+    When the harvest or the family would be too large to hold in memory
+    (the harvest is capped, and the family size is counted per maximal
+    selection *before* generation), the search degrades to
+    :func:`_bounded_by_lazy_sweeps` — still in-space, just streamed.
     """
-    base_answers = space.certain_answers(engine, selection)
-    chosen = set(selection)
-    for superset in space.iterate_consistent_selections(supersets_of=selection):
-        if set(superset) == chosen:
+    closure = space.closure
+    maximal = space.maximal_consistent_selections(limit=_MAXIMAL_CAP)
+    if maximal is None or (
+        sum(closure.count_closed_subsets(top) for top in maximal) > _FAMILY_CAP
+    ):
+        return _bounded_by_lazy_sweeps(space, engine, k)
+    selections: Dict[FrozenSet[int], Tuple[int, ...]] = {}
+    for top in maximal:
+        for subset in closure.closed_subsets(top):
+            if subset not in selections:
+                selections[subset] = tuple(sorted(subset))
+    ordered = sorted(selections.items(), key=lambda item: (len(item[0]), item[1]))
+    maximal_sets = [frozenset(top) for top in maximal]
+
+    def answers(selection: Tuple[int, ...]):
+        return space.certain_answers(engine, selection)
+
+    def preserving(guess_set: FrozenSet[int], guess: Tuple[int, ...]) -> bool:
+        guess_answers = answers(guess)
+        for top_set, top in zip(maximal_sets, maximal):
+            if guess_set < top_set and answers(top) != guess_answers:
+                return False
+        return all(
+            answers(superset) == guess_answers
+            for superset_set, superset in ordered
+            if guess_set < superset_set
+        )
+
+    # ρ itself first, mirroring the seed order (and the k = 0 case)
+    if preserving(frozenset(), ()):
+        return ()
+    if k == 0:
+        return None
+    for guess_set, guess in ordered:
+        if not 0 < len(guess_set) <= k:
             continue
-        if space.certain_answers(engine, superset) != base_answers:
-            return False
-    return True
+        if preserving(guess_set, guess):
+            return guess
+    return None
 
 
 def bounded_currency_preserving_extension(
@@ -128,13 +223,17 @@ def bounded_currency_preserving_extension(
 
     The size-zero "extension" (ρ itself) is also considered: when ρ is already
     currency preserving, the empty extension witnesses the bound.  *method*
-    is the CPP method applied to each guessed extension (see
-    :func:`~repro.preservation.cpp.is_currency_preserving`).
+    is the CPP method applied to each guess of the **naive** search (see
+    :func:`~repro.preservation.cpp.is_currency_preserving`); the SAT search
+    always decides the inner CPP oracle in-space on the one warm solver and
+    never constructs another search space.
     """
     if k < 0:
         raise SpecificationError("the bound k must be non-negative")
     if search not in SEARCHES:
         raise SpecificationError(f"unknown BCP search {search!r}; expected one of {SEARCHES}")
+    if method not in _METHODS:
+        raise SpecificationError(f"unknown CPP method {method!r}; expected one of {_METHODS}")
     if search == "naive":
         return _bounded_naive(query, specification, k, method, match_entities_by_eid)
     space = space_for(specification, match_entities_by_eid, space)
@@ -142,45 +241,12 @@ def bounded_currency_preserving_extension(
         return None
     if engine is None:
         engine = QueryEngine(query)
-    sp_applicable = isinstance(query, SPQuery) and not specification.has_denial_constraints()
-    sweep = (
-        method in ("auto", "sat")
-        and not (method == "auto" and sp_applicable)
-        and not space.has_chained_candidates
-    )
-
-    def preserving(selection: Tuple[int, ...]) -> bool:
-        if sweep:
-            return _selection_preserving_by_sweep(space, engine, selection)
-        if not selection:
-            # ρ itself: reuse the space for the CPP check on S directly
-            return is_currency_preserving(
-                query,
-                specification,
-                method=method,
-                match_entities_by_eid=match_entities_by_eid,
-                engine=engine,
-                space=space,
-            )
-        return is_currency_preserving(
-            query,
-            space.extension(selection).specification,
-            method=method,
-            match_entities_by_eid=match_entities_by_eid,
-            engine=engine,
-        )
-
-    # ρ itself first, mirroring the seed order (and the k = 0 case)
-    if preserving(()):
-        return apply_imports(specification, [])
-    if k == 0:
+    selection = _bounded_in_space(space, engine, k)
+    if selection is None:
         return None
-    for selection in space.iterate_consistent_selections(max_imports=k):
-        if not selection:
-            continue  # ρ itself was already checked
-        if preserving(selection):
-            return space.extension(selection)
-    return None
+    if not selection:
+        return apply_imports(specification, [])
+    return space.extension(selection)
 
 
 def has_bounded_extension(
@@ -224,6 +290,8 @@ def bound_violation_core(
     final assumption core — the ones that jointly force the failure — and
     whether the size bound itself takes part in the conflict (``bound_hit``
     False means the imports are already inconsistent regardless of *k*).
+    Derived imports may be required too: their prerequisites are forced by
+    the closure encoding and count toward the bound.
     """
     if k < 0:
         raise SpecificationError("the bound k must be non-negative")

@@ -32,7 +32,7 @@ from repro.preservation.extensions import (
     CandidateImport,
     SpecificationExtension,
     apply_imports,
-    candidate_imports,
+    candidate_closure,
 )
 from repro.preservation.sat_extensions import SEARCHES, ExtensionSearchSpace, space_for
 from repro.query.ast import Query, SPQuery
@@ -73,23 +73,37 @@ def maximal_extension(
 ) -> SpecificationExtension:
     """Construct a maximal (hence currency-preserving) extension greedily.
 
-    Candidate imports are considered one at a time (in a deterministic order);
-    an import is kept iff the specification extended so far plus this import
-    is still consistent.  The result admits no further consistent import, so
-    by the definition of currency preservation it preserves the certain
+    Candidate imports of the closure are considered one at a time (in closure
+    order: base candidates first, then level by level); an import is kept iff
+    the specification extended so far plus this import is still consistent.
+    The result admits no further consistent import — chained ones included —
+    so by the definition of currency preservation it preserves the certain
     answers of every query.
+
+    Both engines walk the same order and produce the same extension.  A
+    derived candidate whose prerequisite was rejected is unreachable: in the
+    naive engine it is skipped outright (its source tuple was never created);
+    in the SAT engine the implication clauses force the prerequisite, whose
+    earlier rejection makes the probe unsatisfiable by upward monotonicity of
+    inconsistency.
     """
     if search not in SEARCHES:
         raise SpecificationError(f"unknown ECP search {search!r}; expected one of {SEARCHES}")
     if search == "naive":
-        kept: list[CandidateImport] = []
-        current = apply_imports(specification, [])
-        for candidate in candidate_imports(
+        closure = candidate_closure(
             specification, match_entities_by_eid=match_entities_by_eid
-        ):
+        )
+        kept: list[CandidateImport] = []
+        kept_indices: set[int] = set()
+        current = apply_imports(specification, [])
+        for index, candidate in enumerate(closure.candidates):
+            prerequisite = closure.prerequisites.get(index)
+            if prerequisite is not None and prerequisite not in kept_indices:
+                continue  # the import creating its source tuple was rejected
             trial = apply_imports(specification, kept + [candidate])
             if is_consistent(trial.specification):
                 kept.append(candidate)
+                kept_indices.add(index)
                 current = trial
         return current
     space = space_for(specification, match_entities_by_eid, space)

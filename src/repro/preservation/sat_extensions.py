@@ -5,21 +5,32 @@ copy functions: CPP asks whether *every* consistent extension preserves the
 certain current answers, ECP whether *some* currency-preserving extension
 exists, and BCP whether one exists importing at most ``k`` tuples.  The seed
 realisation (`repro.preservation.extensions.enumerate_extensions_naive`)
-materialises every non-empty subset of candidate imports as a fresh
-:class:`~repro.core.specification.Specification` and re-encodes each one from
-scratch — exponential work even on the (frequent) subsets whose ``Mod(S^e)``
-is empty.
+materialises every downward-closed subset of the candidate-import closure as
+a fresh :class:`~repro.core.specification.Specification` and re-encodes each
+one from scratch — exponential work even on the (frequent) subsets whose
+``Mod(S^e)`` is empty.
 
 This module instead encodes the *whole* search space once, as CNF over one
-**selector variable** per candidate import, conjoined with the completion
-order-encoding of the *maximal* extension (every candidate applied):
+**selector variable** per candidate import of the
+:func:`~repro.preservation.extensions.candidate_closure` — base candidates
+*and* the derived candidates that only become importable once their
+prerequisite import is present (chained copy functions) — conjoined with the
+completion order-encoding of the *maximal* extension (every closure candidate
+applied):
 
 =====================  =====================================================
 Paper notion           Clauses
 =====================  =====================================================
-``ρ^e`` extends ρ      selector variable ``("sel", i)`` per candidate import
+``ρ^e`` extends ρ      selector variable ``("sel", i)`` per closure candidate
                        ``i``; a model's selector assignment *is* an element
                        of ``Ext(ρ)`` (the empty selection is ρ itself)
+chained imports        one implication ``selector(derived) ⟹
+                       selector(prerequisite)`` per derived candidate, so
+                       every model is automatically downward closed — a
+                       derived tuple never appears without the import that
+                       creates its source tuple, and chained specifications
+                       run CPP/ECP/BCP entirely in-space on the one warm
+                       solver (no per-extension re-encoding)
 completion of S^e      currency-pair variables ``(instance, attribute, t1,
                        t2)`` over the entity blocks of the maximal extension;
                        antisymmetry and transitivity are asserted outright,
@@ -36,15 +47,20 @@ completion of S^e      currency-pair variables ``(instance, attribute, t1,
 ``LST(D^c)``           one maximality variable per (instance, entity, tuple,
                        attribute): ``max ⟹ present`` and ``max ∧ present(u)
                        ⟹ u ≺ t``, with an at-least-one clause per (entity,
-                       attribute) — projected model enumeration over these
-                       variables yields the realizable current databases of
-                       ``S^e``, mirroring
-                       :class:`~repro.reasoning.current_db.CurrentDatabaseEnumerator`
+                       attribute); on top, one **value variable** per
+                       (instance, entity, attribute, value) defined as the
+                       disjunction of the maximality variables of the tuples
+                       carrying that value — current databases are enumerated
+                       as models projected onto the *value* variables, so
+                       distinct maximal tuples with equal values are
+                       enumerated once instead of once per tuple
 ``|ρ^e| ≤ |ρ| + k``    a sequential-counter order encoding of the selector
                        count (``("cnt", i, j)`` ⟺ "≥ j of the first i
-                       selectors hold"); the bound ``k`` is one assumption
-                       literal ``¬("cnt", n, k+1)``, so BCP bound sweeps
-                       reuse the warm solver
+                       selectors hold") over *all* closure selectors, so a
+                       derived import's prerequisites count toward the
+                       bound; the bound ``k`` is one assumption literal
+                       ``¬("cnt", n, k+1)``, so BCP bound sweeps reuse the
+                       warm solver
 =====================  =====================================================
 
 All questions run on **one incremental CDCL solver**
@@ -89,10 +105,11 @@ from repro.core.instance import NormalInstance, TemporalInstance
 from repro.core.specification import Specification
 from repro.exceptions import SolverError, SpecificationError
 from repro.preservation.extensions import (
+    CandidateClosure,
     CandidateImport,
     SpecificationExtension,
     apply_imports,
-    candidate_imports,
+    candidate_closure,
 )
 from repro.query.engine import QueryEngine
 from repro.solvers.cnf import CNF
@@ -116,13 +133,16 @@ def space_for(
     The decision procedures accept a pre-built space so one warm solver
     serves a whole CPP/ECP/BCP conversation; a space built for a different
     specification or entity-matching mode would silently answer the wrong
-    question, so mismatches are rejected here.
+    question, so mismatches are rejected here.  The comparison is
+    *structural* (:meth:`Specification.__eq__`): a caller that rebuilds a
+    value-identical specification keeps the warm solver instead of being
+    rejected over object identity.
     """
     if space is None:
         return ExtensionSearchSpace(
             specification, match_entities_by_eid=match_entities_by_eid
         )
-    if space.specification is not specification:
+    if space.specification is not specification and space.specification != specification:
         raise SpecificationError(
             "the supplied extension search space was built for a different specification"
         )
@@ -141,32 +161,47 @@ class ExtensionSearchSpace:
     specification:
         The base specification ``S`` (never mutated).
     match_entities_by_eid:
-        Forwarded to :func:`~repro.preservation.extensions.candidate_imports`;
+        Forwarded to :func:`~repro.preservation.extensions.candidate_closure`;
         must match the flag used by the naive path being replaced.
 
-    A *selection* is a tuple of candidate indices (into :attr:`candidates`);
-    the empty selection denotes ρ itself (``S^∅ = S``).
+    A *selection* is a tuple of candidate indices (into :attr:`candidates`,
+    which spans the whole candidate-import closure — derived candidates
+    included); the empty selection denotes ρ itself (``S^∅ = S``).  Every
+    model of the encoding is downward closed (implication clauses force each
+    derived candidate's prerequisite), so solver-produced selections are
+    always valid elements of ``Ext(ρ)``; a hand-built selection missing a
+    prerequisite simply has no models under *exact* assumptions, and its
+    positive-only consistency probes decide its downward closure.
     """
+
+    #: Total spaces ever built (class-wide).  The decision procedures are
+    #: expected to run whole CPP/ECP/BCP conversations on *one* space; the
+    #: counter lets tests and benchmarks assert that no code path silently
+    #: re-encodes from scratch (the pre-closure BCP fallback did).
+    constructions = 0
 
     def __init__(
         self, specification: Specification, match_entities_by_eid: bool = True
     ) -> None:
+        type(self).constructions += 1
         self.specification = specification
         self.match_entities_by_eid = match_entities_by_eid
-        self.candidates: List[CandidateImport] = candidate_imports(
+        self.closure: CandidateClosure = candidate_closure(
             specification, match_entities_by_eid=match_entities_by_eid
         )
-        self.full_extension: SpecificationExtension = apply_imports(
-            specification, self.candidates
-        )
-        #: the maximal extension S^full — every candidate import applied
+        self.candidates: List[CandidateImport] = list(self.closure.candidates)
+        #: derived candidate index -> index of the import creating its source
+        self.prerequisites: Dict[int, int] = dict(self.closure.prerequisites)
+        self.full_extension: SpecificationExtension = self.closure.extension
+        #: the maximal extension S^full — every closure candidate applied
         self.full: Specification = self.full_extension.specification
         self.cnf = CNF()
         self._selector_vars: List[int] = []
         # (instance name, imported tid) -> candidate index
         self._selector_by_tid: Dict[Tuple[str, Hashable], int] = {}
-        # instance -> [(eid, [(attribute, [(tid, max var)])])] for decoding
-        self._max_slots: Dict[str, List[Tuple[Any, List[Tuple[str, List[Tuple[Hashable, int]]]]]]] = {}
+        # instance -> [(eid, [(attribute, [(value, value var)])])]: the
+        # value-level projection used by current-database enumeration
+        self._value_slots: Dict[str, List[Tuple[Any, List[Tuple[str, List[Tuple[Any, int]]]]]]] = {}
         self._solver: Optional[Solver] = None
         self._fed_clauses = 0
         self._activation_literals: List[int] = []
@@ -174,19 +209,11 @@ class ExtensionSearchSpace:
         self._counter_built = False
         self._instance_cache = CurrentDatabaseCache()
         self._answer_cache: Dict[Tuple[Any, FrozenSet[int]], Optional[FrozenSet]] = {}
-        extendable_targets = {
-            cf.target
-            for cf in specification.copy_functions
-            if cf.signature.covers_all_target_attributes()
-        }
-        #: imports into a source of another extendable copy function can create
-        #: candidate imports that do not exist in the base specification; the
-        #: in-space superset sweep is only exact when this cannot happen
-        self.has_chained_candidates = bool(self.candidates) and any(
-            cf.source in extendable_targets
-            for cf in specification.copy_functions
-            if cf.signature.covers_all_target_attributes()
-        )
+        #: whether any *derived* candidate actually exists — computed from the
+        #: closure itself, not from the copy-function graph, so a spec whose
+        #: graph could chain but whose chained sources have nothing importable
+        #: is (correctly) reported unchained
+        self.has_chained_candidates = bool(self.prerequisites)
         self._build()
 
     # ------------------------------------------------------------------ #
@@ -217,6 +244,12 @@ class ExtensionSearchSpace:
             self._selector_by_tid[
                 (targets[candidate.copy_function], candidate.new_tid())
             ] = index
+        # chained imports: a derived candidate is only importable once the
+        # import creating its source tuple is present
+        for derived, prerequisite in self.prerequisites.items():
+            self.cnf.add_clause(
+                [-self._selector_vars[derived], self._selector_vars[prerequisite]]
+            )
         for name, instance in self.full.instances.items():
             self._encode_instance(name, instance)
         for name in self.full.instances:
@@ -322,18 +355,31 @@ class ExtensionSearchSpace:
         Encoded as ``max(t) ⟹ present(t)``, ``max(t) ∧ present(u) ⟹ u ≺ t``
         and one at-least-one clause per (entity, attribute); with totality and
         antisymmetry on present tuples this pins exactly the true maximum, so
-        the maximality variables are fully determined by (selectors, order).
+        the maximality variables are fully determined by (selectors, order)
+        and exactly one maximality variable holds per (entity, attribute).
+
+        On top, one *value* variable per (entity, attribute, value) is defined
+        as the disjunction of the column's maximality variables carrying that
+        value: ``max(t) ⟹ val(t[A])`` and ``val(v) ⟹ ⋁_{t[A]=v} max(t)``.
+        The value variables are therefore likewise fully determined, exactly
+        one holds per column, and projecting model enumeration onto them
+        yields each distinct current *value* signature once, no matter how
+        many value-equal maximal tuples realise it.
         """
         cnf = self.cnf
-        slots: List[Tuple[Any, List[Tuple[str, List[Tuple[Hashable, int]]]]]] = []
+        value_slots: List[Tuple[Any, List[Tuple[str, List[Tuple[Any, int]]]]]] = []
         for eid in instance.entities():
             block = instance.entity_tids(eid)
-            per_attribute: List[Tuple[str, List[Tuple[Hashable, int]]]] = []
+            value_per_attribute: List[Tuple[str, List[Tuple[Any, int]]]] = []
             for attribute in instance.schema.attributes:
-                column: List[Tuple[Hashable, int]] = []
+                column: List[int] = []
+                by_value: Dict[Any, List[int]] = {}
                 for tid in block:
                     max_var = cnf.variable(("max", name, eid, tid, attribute))
-                    column.append((tid, max_var))
+                    column.append(max_var)
+                    by_value.setdefault(
+                        instance.tuple_by_tid(tid)[attribute], []
+                    ).append(max_var)
                     index = self._selector_by_tid.get((name, tid))
                     if index is not None:  # an absent tuple is never maximal
                         cnf.add_clause([-max_var, self._selector_vars[index]])
@@ -345,10 +391,17 @@ class ExtensionSearchSpace:
                             + self._guards(name, (other,))
                             + [self._pair(name, attribute, other, tid)]
                         )
-                cnf.add_clause([max_var for _tid, max_var in column])
-                per_attribute.append((attribute, column))
-            slots.append((eid, per_attribute))
-        self._max_slots[name] = slots
+                cnf.add_clause(column)
+                value_column: List[Tuple[Any, int]] = []
+                for value, max_vars in by_value.items():
+                    value_var = cnf.variable(("val", name, eid, attribute, value))
+                    value_column.append((value, value_var))
+                    for max_var in max_vars:
+                        cnf.add_clause([-max_var, value_var])
+                    cnf.add_clause([-value_var] + max_vars)
+                value_per_attribute.append((attribute, value_column))
+            value_slots.append((eid, value_per_attribute))
+        self._value_slots[name] = value_slots
 
     # ------------------------------------------------------------------ #
     # Cardinality (sequential counter over the selectors)
@@ -445,6 +498,9 @@ class ExtensionSearchSpace:
         adds constraints, so inconsistency is upward monotone over selections
         and the positive-only probe is exact — and its
         :meth:`~repro.solvers.sat.Solver.analyze_final` core names imports.
+        Derived candidates force their prerequisites through the implication
+        clauses, so for a selection that is not downward closed the probe
+        decides its downward closure (the smallest extension realising it).
         """
         assumptions = self._deactivations() + self._selection_literals(selection, exact=False)
         return self.solver.solve(assumptions) is not None
@@ -494,9 +550,16 @@ class ExtensionSearchSpace:
 
         Runs on the shared solver, projected onto the selector variables with
         activation-literal-gated blocking clauses — learnt state survives both
-        between models and between enumeration passes.  *supersets_of*
-        restricts to selections containing the given candidate indices;
-        *max_imports* bounds the selection size via the counter encoding.
+        between models and between enumeration passes.  Every enumerated
+        selection is downward closed (the implication clauses admit no other
+        models), so for chained specifications this walks exactly the
+        consistent elements of ``Ext(ρ)`` including derived imports.
+        *supersets_of* restricts to selections containing the given candidate
+        indices (plus, implicitly, their prerequisites); *max_imports* bounds
+        the selection size via the counter encoding.  BCP normally regenerates
+        the consistent family from :meth:`maximal_consistent_selections` in
+        plain Python and only streams restricted sweeps through here when
+        that family is too large to materialise.
         """
         fixed = self._selection_literals(supersets_of, exact=False)
         if max_imports is not None:
@@ -535,6 +598,61 @@ class ExtensionSearchSpace:
         finally:
             self._retire_activation(activation)
 
+    def maximal_consistent_selections(
+        self, limit: Optional[int] = None
+    ) -> Optional[List[Selection]]:
+        """The ⊆-maximal consistent selections, or None when *limit* is hit.
+
+        Consistency is downward monotone over selections, so the consistent
+        part of ``Ext(ρ)`` is exactly the union of the downward-closed subsets
+        of these maxima
+        (:meth:`~repro.preservation.extensions.CandidateClosure.closed_subsets`)
+        — BCP exploits this to walk the whole consistent space with a handful
+        of SAT calls instead of one projected model per selection.
+
+        Each round takes one model from the shared solver, greedily extends
+        its selection to a maximal one by positive-assumption probes (exact by
+        monotonicity), and blocks it with an activation-gated clause requiring
+        some selector outside it; each maximal selection is produced exactly
+        once.  The number of maxima can itself be exponential (mutually
+        exclusive candidate pairs); *limit* lets callers abandon the harvest
+        — None is returned the moment more than *limit* maxima exist, so a
+        pathological space costs at most ``limit + 1`` rounds.
+        """
+        activation = self._new_activation()
+        solver = self.solver
+        solver.ensure_vars(self.cnf.num_variables)
+        maximal: List[Selection] = []
+        universe = range(len(self._selector_vars))
+        try:
+            while True:
+                assumptions = [activation] + [
+                    -o for o in self._activation_literals if o != activation
+                ]
+                model = self.solver.solve(assumptions)
+                if model is None:
+                    return maximal
+                chosen = {
+                    index
+                    for index, var in enumerate(self._selector_vars)
+                    if model.get(var, False)
+                }
+                for index in universe:
+                    if index not in chosen and self.selection_consistent(
+                        sorted(chosen | {index})
+                    ):
+                        chosen.add(index)
+                maximal.append(tuple(sorted(chosen)))
+                if limit is not None and len(maximal) > limit:
+                    return None
+                outside = [self._selector_vars[i] for i in universe if i not in chosen]
+                if not outside:  # every candidate imported: nothing above it
+                    return maximal
+                if not solver.add_clause([-activation] + outside):
+                    return maximal
+        finally:
+            self._retire_activation(activation)
+
     def extension(self, selection: Sequence[int]) -> SpecificationExtension:
         """The :class:`SpecificationExtension` realising *selection*."""
         return apply_imports(
@@ -554,25 +672,24 @@ class ExtensionSearchSpace:
         by value), mirroring
         :meth:`~repro.reasoning.current_db.CurrentDatabaseEnumerator.databases`
         but on the shared extension solver: the selection is fixed through
-        *exact* selector assumptions and blocking clauses cover the maximality
+        *exact* selector assumptions and blocking clauses cover the **value**
         variables of *relations* only, gated behind this pass's activation
-        literal."""
+        literal — distinct maximal tuples carrying equal values realise the
+        same value signature and are blocked (and yielded) once."""
         names = list(relations) if relations is not None else list(self.full.instances)
         for name in names:
             self.full.instance(name)  # validates the name
         fixed = self._selection_literals(selection, exact=True)
         projection = [
-            max_var
+            value_var
             for name in names
-            for _eid, per_attribute in self._max_slots[name]
-            for _attribute, column in per_attribute
-            for _tid, max_var in column
+            for _eid, per_attribute in self._value_slots[name]
+            for _attribute, value_column in per_attribute
+            for _value, value_var in value_column
         ]
-        present = self._present_tids(selection)
         activation = self._new_activation()
         solver = self.solver
         solver.ensure_vars(self.cnf.num_variables)
-        seen: Set = set()
         produced = 0
         try:
             while True:
@@ -587,13 +704,9 @@ class ExtensionSearchSpace:
                 blocking = [-activation] + [
                     -var if model.get(var, False) else var for var in projection
                 ]
-                database = self._decode(model, names, present)
+                database = self._decode(model, names)
                 if not solver.add_clause(blocking):
                     return
-                key = tuple(sorted((name, database[name].value_set()) for name in names))
-                if key in seen:
-                    continue
-                seen.add(key)
                 yield database
                 produced += 1
                 if limit is not None and produced >= limit:
@@ -601,41 +714,26 @@ class ExtensionSearchSpace:
         finally:
             self._retire_activation(activation)
 
-    def _present_tids(self, selection: Sequence[int]) -> Dict[str, Set[Hashable]]:
-        """Imported tids present under *selection*, per instance name."""
-        chosen = set(selection)
-        present: Dict[str, Set[Hashable]] = {}
-        for (name, tid), index in self._selector_by_tid.items():
-            if index in chosen:
-                present.setdefault(name, set()).add(tid)
-        return present
-
-    def _decode(
-        self,
-        model: Model,
-        names: Sequence[str],
-        present: Dict[str, Set[Hashable]],
-    ) -> Dict[str, NormalInstance]:
+    def _decode(self, model: Model, names: Sequence[str]) -> Dict[str, NormalInstance]:
         database: Dict[str, NormalInstance] = {}
         for name in names:
             instance = self.full.instance(name)
             schema = instance.schema
-            imported_present = present.get(name, set())
             rows: List[Tuple[Any, Dict[str, Any]]] = []
-            for eid, per_attribute in self._max_slots[name]:
+            for eid, per_attribute in self._value_slots[name]:
                 values: Dict[str, Any] = {schema.eid: eid}
-                for attribute, column in per_attribute:
-                    chosen: Optional[Hashable] = None
-                    for tid, max_var in column:
-                        if model.get(max_var, False):
-                            chosen = tid
+                for attribute, value_column in per_attribute:
+                    chosen_value: Any = None
+                    found = False
+                    for value, value_var in value_column:
+                        if model.get(value_var, False):
+                            chosen_value = value
+                            found = True
                             break
-                    if chosen is None:  # pragma: no cover - defensive
-                        for tid, _max_var in column:
-                            if (name, tid) not in self._selector_by_tid or tid in imported_present:
-                                chosen = tid
-                                break
-                    values[attribute] = instance.tuple_by_tid(chosen)[attribute]
+                    if not found:  # pragma: no cover - defensive
+                        base = instance.entity_block(eid)[0]
+                        chosen_value = base[attribute]
+                    values[attribute] = chosen_value
                 rows.append((f"lst::{eid}", values))
             database[name] = self._instance_cache.intern_rows(schema, rows)
         return database
@@ -674,10 +772,13 @@ class ExtensionSearchSpace:
         """Encoding and solver statistics (benchmarks and diagnostics)."""
         info: Dict[str, Any] = {
             "candidates": len(self.candidates),
+            "derived_candidates": len(self.prerequisites),
+            "closure_depth": max(self.closure.depths, default=0),
             "variables": self.cnf.num_variables,
             "clauses": len(self.cnf.clauses),
             "active_passes": len(self._activation_literals),
             "answer_cache_entries": len(self._answer_cache),
+            "constructions": type(self).constructions,
         }
         if self._solver is not None:
             info["solver"] = self._solver.stats()

@@ -1,6 +1,13 @@
 """PTIME currency-preservation checks for SP queries without denial
 constraints (Theorem 6.4).
 
+Applicability requires an *unchained* specification on top of the
+constraint-free condition: the single-import probes below enumerate base
+candidate imports only, so a chained specification — where an import creates
+a *derived* candidate — can hide an answer change from them
+(:func:`~repro.preservation.extensions.has_chained_imports` gates this
+exactly; chained specifications go to the SAT search).
+
 Without denial constraints the currency orders of distinct entities and
 distinct attributes interact only through copy functions, and copy functions
 relate same-entity tuples only.  Two consequences drive the algorithm:
@@ -37,6 +44,7 @@ from repro.preservation.extensions import (
     CandidateImport,
     apply_imports,
     candidate_imports,
+    has_chained_imports,
 )
 from repro.query.ast import SPQuery
 from repro.query.evaluator import evaluate
@@ -48,12 +56,25 @@ __all__ = ["sp_is_currency_preserving", "sp_has_bounded_extension"]
 Contribution = Optional[Tuple[Any, ...]]  # the entity's answer tuple, or None
 
 
-def _check_applicable(query: SPQuery, specification: Specification) -> None:
+def _check_applicable(
+    query: SPQuery, specification: Specification, match_entities_by_eid: bool
+) -> None:
     if not isinstance(query, SPQuery):
         raise QueryError("the PTIME CPP/BCP algorithms require an SPQuery")
     if specification.has_denial_constraints():
         raise SpecificationError(
             "the PTIME CPP/BCP algorithms require a specification without denial constraints"
+        )
+    if has_chained_imports(specification, match_entities_by_eid=match_entities_by_eid):
+        # the single-import probes below only see base candidate imports; a
+        # chained specification can hide an answer change behind a *derived*
+        # import (one whose source tuple is itself imported), so the
+        # algorithm is unsound for that regime — reject instead of silently
+        # answering the wrong question.  The check is exact (closure-based):
+        # a chaining copy graph with no actual derived candidate stays in.
+        raise SpecificationError(
+            "the PTIME CPP/BCP algorithms require an unchained specification "
+            "(no derived candidate imports); use the SAT search for chained ones"
         )
 
 
@@ -113,9 +134,19 @@ def sp_is_currency_preserving(
     query: SPQuery,
     specification: Specification,
     match_entities_by_eid: bool = True,
+    _applicability_checked: bool = False,
 ) -> bool:
-    """Decide CPP for an SP query on a constraint-free specification (PTIME)."""
-    _check_applicable(query, specification)
+    """Decide CPP for an SP query on a constraint-free specification (PTIME).
+
+    ``_applicability_checked`` is internal: callers that already verified the
+    SP / constraint-free / unchained conditions (the ``"auto"`` dispatch in
+    :mod:`repro.preservation.cpp`, and the bounded search below for its
+    extension specs — an extension of an applicable specification stays
+    applicable, since applying imports can only remove candidates) skip the
+    re-check, which would otherwise redo a full closure round per call.
+    """
+    if not _applicability_checked:
+        _check_applicable(query, specification, match_entities_by_eid)
     chase = chase_certain_orders(specification)
     if not chase.consistent:
         return False  # Mod(S) empty: not currency preserving by definition
@@ -191,13 +222,14 @@ def sp_has_bounded_extension(
     query relation's copy functions (imports elsewhere cannot affect an SP
     query) and checks each with the PTIME CPP test.
     """
-    _check_applicable(query, specification)
+    _check_applicable(query, specification, match_entities_by_eid)
     if k < 0:
         raise SpecificationError("the bound k must be non-negative")
     if not chase_certain_orders(specification).consistent:
         return False
     if sp_is_currency_preserving(
-        query, specification, match_entities_by_eid=match_entities_by_eid
+        query, specification, match_entities_by_eid=match_entities_by_eid,
+        _applicability_checked=True,
     ):
         return True
     relevant_names = {
@@ -216,7 +248,9 @@ def sp_has_bounded_extension(
             if not chase_certain_orders(extension.specification).consistent:
                 continue
             if sp_is_currency_preserving(
-                query, extension.specification, match_entities_by_eid=match_entities_by_eid
+                query, extension.specification,
+                match_entities_by_eid=match_entities_by_eid,
+                _applicability_checked=True,
             ):
                 return True
     return False

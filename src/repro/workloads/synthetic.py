@@ -30,6 +30,7 @@ __all__ = [
     "random_sp_query",
     "chain_copy_specification",
     "preservation_workload",
+    "chained_preservation_workload",
 ]
 
 
@@ -314,6 +315,96 @@ def preservation_workload(
         [copy_function],
     )
     query = SPQuery("R1", target_schema, ["a0"], name="current_payload")
+    return specification, query
+
+
+def chained_preservation_workload(
+    depth: int = 2,
+    candidates: int = 2,
+    entities: int = 1,
+    spoiler: bool = True,
+    seed: int = 0,
+) -> Tuple[Specification, SPQuery]:
+    """A CPP/BCP workload whose interesting extensions are *chained*.
+
+    ``depth + 1`` relations ``L0 → L1 → … → L<depth>`` are linked by
+    full-coverage copy functions, every entity has one mapped base tuple in
+    each relation, and the only unmapped source tuples sit in ``L0`` — so
+    each base candidate import targets ``L1`` and every further hop down the
+    chain is a *derived* candidate, importable only once its prerequisite
+    import created the tuple one relation up.  The candidate closure has
+    ``candidates · depth`` imports per entity arranged in ``candidates``
+    prerequisite chains of length ``depth``.
+
+    A "larger payload is more current" denial constraint on the last relation
+    pins its certain current answer to the maximum present payload; the query
+    projects that payload.  Base tuples carry the maximum, so without
+    *spoiler* every extension preserves the answer and CPP must sweep the
+    whole (chain-structured) consistent space.  With *spoiler* one ``L0``
+    candidate per entity carries a larger payload: CPP gains a violating
+    extension that needs a full chain of ``depth`` imports — invisible to
+    any search confined to base candidates — and BCP has a currency-preserving
+    witness exactly when ``k ≥ depth · entities``: *every* entity's spoiler
+    chain must be imported all the way down (each unimported one leaves a
+    violating extension available), after which no import can change any
+    maximum.
+
+    Returns ``(specification, query)``; deterministic given *seed*.
+    """
+    if depth < 1:
+        raise ValueError("the chain depth must be at least 1")
+    rng = random.Random(seed)
+    base_payload = 100
+    schemas = [RelationSchema(f"L{i}", ("a0",)) for i in range(depth + 1)]
+    instances: Dict[str, TemporalInstance] = {
+        schema.name: TemporalInstance(schema) for schema in schemas
+    }
+    mappings: List[Dict[str, str]] = [{} for _ in range(depth)]
+    for entity_index in range(entities):
+        eid = f"e{entity_index}"
+        for level, schema in enumerate(schemas):
+            instances[schema.name].add(
+                RelationTuple(
+                    schema,
+                    f"b{level}_{eid}",
+                    {schema.eid: eid, "a0": base_payload},
+                )
+            )
+            if level > 0:
+                mappings[level - 1][f"b{level}_{eid}"] = f"b{level - 1}_{eid}"
+        for i in range(candidates):
+            payload = rng.randrange(base_payload)
+            if spoiler and i == 0:
+                payload = base_payload + 1
+            instances["L0"].add(
+                RelationTuple(
+                    schemas[0],
+                    f"c{i}_{eid}",
+                    {schemas[0].eid: eid, "a0": payload},
+                )
+            )
+    copy_functions = [
+        CopyFunction(
+            f"rho_{level}",
+            CopySignature(schemas[level + 1], ("a0",), schemas[level], ("a0",)),
+            target=schemas[level + 1].name,
+            source=schemas[level].name,
+            mapping=mappings[level],
+        )
+        for level in range(depth)
+    ]
+    last = schemas[-1]
+    monotone = DenialConstraint(
+        last,
+        ("s", "t"),
+        body=[Comparison(AttrRef("s", "a0"), ">", AttrRef("t", "a0"))],
+        head=CurrencyAtom("t", "a0", "s"),
+        name=f"monotone_a0_{last.name}",
+    )
+    specification = Specification(
+        instances, {last.name: [monotone]}, copy_functions
+    )
+    query = SPQuery(last.name, last, ["a0"], name="chained_payload")
     return specification, query
 
 

@@ -117,3 +117,65 @@ class TestCompletionChecking:
         emp = company_spec.instance("Emp").copy()
         dept = company_spec.instance("Dept").copy()
         assert not company_spec.is_consistent_completion({"Emp": emp, "Dept": dept})
+
+
+class TestStructuralEquality:
+    def test_rebuilt_specification_compares_equal(self, company_spec):
+        from repro.workloads import company
+
+        rebuilt = company.company_specification()
+        assert rebuilt is not company_spec
+        assert rebuilt == company_spec
+
+    def test_identity_hashing_is_preserved(self, company_spec):
+        # equal-but-distinct specifications stay distinct dict keys: the hash
+        # is by identity because specifications are mutable
+        from repro.workloads import company
+
+        rebuilt = company.company_specification()
+        assert len({id(s) for s in (company_spec, rebuilt)}) == 2
+        assert hash(company_spec) != hash(rebuilt) or company_spec is rebuilt
+
+    def test_value_equal_tuples_with_different_tids_differ(self, company_spec):
+        from repro.core.tuples import RelationTuple
+        from repro.workloads import company
+
+        modified = company.company_specification()
+        emp = modified.instance("Emp")
+        clone_of_first = emp.tuples()[0]
+        emp.add(
+            RelationTuple(
+                emp.schema, "s_extra",
+                {**clone_of_first.values(), emp.schema.eid: clone_of_first.eid},
+            )
+        )
+        assert modified != company_spec
+
+    def test_extra_order_pair_differs(self, company_spec):
+        from repro.workloads import company
+
+        modified = company.company_specification()
+        emp = modified.instance("Emp")
+        attribute = emp.schema.attributes[0]
+        block = emp.entity_tids(emp.entities()[0])
+        if not emp.precedes(attribute, block[0], block[1]):
+            emp.add_order(attribute, block[0], block[1])
+        else:
+            emp.add_order(attribute, block[1], block[2])
+        assert modified != company_spec
+
+    def test_constraint_names_are_presentation_only(self):
+        from repro.core.denial import AttrRef, Comparison, CurrencyAtom, DenialConstraint
+        from repro.core.schema import RelationSchema
+
+        schema = RelationSchema("R", ("A",))
+
+        def build(name):
+            return DenialConstraint(
+                schema, ("s", "t"),
+                [Comparison(AttrRef("s", "A"), ">", AttrRef("t", "A"))],
+                CurrencyAtom("t", "A", "s"), name=name,
+            )
+
+        assert build("x") == build("y")
+        assert build("") == build("")  # auto-names embed id() but are ignored

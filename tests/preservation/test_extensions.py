@@ -1,15 +1,23 @@
-"""Tests for extension enumeration (Ext(ρ))."""
+"""Tests for extension enumeration (Ext(ρ)) and the candidate closure."""
 
 import pytest
 
+from repro.core.copy_function import CopyFunction, CopySignature
+from repro.core.instance import TemporalInstance
+from repro.core.schema import RelationSchema
 from repro.exceptions import SpecificationError
+from repro.core.specification import Specification
 from repro.preservation.extensions import (
+    CandidateImport,
     apply_imports,
+    candidate_closure,
     candidate_imports,
+    could_chain,
     enumerate_extensions,
 )
 from repro.reasoning.cps import is_consistent
 from repro.workloads import company
+from repro.workloads.synthetic import chained_preservation_workload
 
 
 class TestCandidateImports:
@@ -78,6 +86,147 @@ class TestApplyImports:
         assert extension.size_increase == 0
 
 
+class TestStructuredTids:
+    def test_new_tid_is_collision_free(self):
+        """The old ``"import::{cf}::{tid}::{eid}"`` f-string merged these two
+        distinct imports into one tuple id."""
+        first = CandidateImport("cf", "a::b", "c")
+        second = CandidateImport("cf", "a", "b::c")
+        assert f"import::cf::{first.source_tid}::{first.target_eid}" == \
+            f"import::cf::{second.source_tid}::{second.target_eid}"
+        assert first.new_tid() != second.new_tid()
+
+    def test_colliding_imports_create_two_tuples(self):
+        schema_s = RelationSchema("S", ("A",))
+        schema_t = RelationSchema("T", ("A",))
+        source = TemporalInstance.from_rows(
+            schema_s,
+            {"x::y": {"EID": "e", "A": 1}, "x": {"EID": "e", "A": 2}},
+        )
+        target = TemporalInstance.from_rows(schema_t, {"t0": {"EID": "e", "A": 0}})
+        copy_function = CopyFunction(
+            "rho", CopySignature(schema_t, ("A",), schema_s, ("A",)),
+            target="T", source="S",
+        )
+        spec = Specification({"S": source, "T": target}, copy_functions=[copy_function])
+        # both sources import into the same entity; under the f-string scheme
+        # "x::y" → "e" and "x" → "y::e" would collide for eid "y::e" targets —
+        # here we simply assert every candidate lands as its own tuple
+        candidates = candidate_imports(spec)
+        assert len(candidates) == 2
+        extended = apply_imports(spec, candidates).specification
+        assert len(extended.instance("T")) == 1 + 2
+
+    def test_derived_tids_nest(self):
+        spec, _query = chained_preservation_workload(depth=2, candidates=1, seed=0)
+        closure = candidate_closure(spec)
+        [derived] = [c for i, c in enumerate(closure.candidates) if i in closure.prerequisites]
+        [base] = [c for i, c in enumerate(closure.candidates) if i not in closure.prerequisites]
+        assert derived.source_tid == base.new_tid()
+        assert derived.new_tid()[2] == base.new_tid()
+
+
+class TestCandidateClosure:
+    def test_unchained_closure_equals_base_candidates(self, manager_spec):
+        closure = candidate_closure(manager_spec)
+        assert list(closure.candidates) == candidate_imports(manager_spec)
+        assert closure.prerequisites == {}
+        assert set(closure.depths) <= {0}
+
+    def test_chained_closure_levels_and_prerequisites(self):
+        spec, _query = chained_preservation_workload(
+            depth=3, candidates=2, spoiler=False, seed=5
+        )
+        closure = candidate_closure(spec)
+        assert len(closure.candidates) == 2 * 3  # two chains of length three
+        assert max(closure.depths) == 2
+        for index, candidate in enumerate(closure.candidates):
+            chain = closure.prerequisite_chain(index)
+            assert len(chain) == closure.depths[index]
+            if chain:
+                prerequisite = closure.candidates[closure.prerequisites[index]]
+                assert candidate.source_tid == prerequisite.new_tid()
+
+    def test_count_closed_subsets_matches_generation(self):
+        spec, _query = chained_preservation_workload(
+            depth=3, candidates=2, spoiler=False, seed=5
+        )
+        closure = candidate_closure(spec)
+        full = tuple(range(len(closure.candidates)))
+        subsets = list(closure.closed_subsets(full))
+        # two prerequisite chains of length three: 4 prefixes each
+        assert closure.count_closed_subsets(full) == len(subsets) == 4 ** 2
+        assert len({frozenset(s) for s in subsets}) == len(subsets)
+        partial = tuple(full[:3])
+        assert closure.count_closed_subsets(partial) == len(
+            list(closure.closed_subsets(partial))
+        )
+
+    def test_downward_closure_helpers(self):
+        spec, _query = chained_preservation_workload(depth=2, candidates=1, seed=0)
+        closure = candidate_closure(spec)
+        [derived_index] = list(closure.prerequisites)
+        base_index = closure.prerequisites[derived_index]
+        assert not closure.is_downward_closed({derived_index})
+        assert closure.is_downward_closed({base_index})
+        assert closure.downward_closure({derived_index}) == {base_index, derived_index}
+
+    def test_cyclic_copy_graph_rejected(self):
+        schema = RelationSchema("R", ("A",))
+        schema2 = RelationSchema("Q", ("A",))
+        r = TemporalInstance.from_rows(
+            schema, {"r0": {"EID": "e", "A": 0}, "r1": {"EID": "e", "A": 1}}
+        )
+        q = TemporalInstance.from_rows(schema2, {"q0": {"EID": "e", "A": 0}})
+        forward = CopyFunction(
+            "fw", CopySignature(schema2, ("A",), schema, ("A",)),
+            target="Q", source="R",
+        )
+        backward = CopyFunction(
+            "bw", CopySignature(schema, ("A",), schema2, ("A",)),
+            target="R", source="Q",
+        )
+        spec = Specification({"R": r, "Q": q}, copy_functions=[forward, backward])
+        with pytest.raises(SpecificationError, match="cycle"):
+            candidate_closure(spec)
+
+    def test_could_chain_is_a_graph_over_approximation(self, manager_spec):
+        spec, _query = chained_preservation_workload(depth=2, candidates=0, seed=0)
+        assert could_chain(spec)  # the graph chains ...
+        assert candidate_closure(spec).candidates == ()  # ... with nothing to import
+        assert not could_chain(manager_spec)
+
+
+class TestChainedApplyImports:
+    def test_derived_import_applies_in_any_order(self):
+        spec, _query = chained_preservation_workload(depth=2, candidates=1, seed=0)
+        closure = candidate_closure(spec)
+        forward = apply_imports(spec, list(closure.candidates))
+        backward = apply_imports(spec, list(reversed(closure.candidates)))
+        for name in spec.instances:
+            assert forward.specification.instance(name).structurally_equal(
+                backward.specification.instance(name)
+            )
+
+    def test_derived_values_copied_through_the_chain(self):
+        spec, _query = chained_preservation_workload(
+            depth=2, candidates=1, spoiler=True, seed=0
+        )
+        closure = candidate_closure(spec)
+        extended = closure.extension.specification
+        [derived_index] = list(closure.prerequisites)
+        derived = closure.candidates[derived_index]
+        imported = extended.instance("L2").tuple_by_tid(derived.new_tid())
+        assert imported["a0"] == 101  # the spoiler payload, two hops down
+
+    def test_missing_prerequisite_rejected(self):
+        spec, _query = chained_preservation_workload(depth=2, candidates=1, seed=0)
+        closure = candidate_closure(spec)
+        [derived_index] = list(closure.prerequisites)
+        with pytest.raises(SpecificationError, match="prerequisite"):
+            apply_imports(spec, [closure.candidates[derived_index]])
+
+
 class TestEnumerateExtensions:
     def test_all_nonempty_subsets(self, manager_spec):
         extensions = list(enumerate_extensions(manager_spec))
@@ -90,3 +239,12 @@ class TestEnumerateExtensions:
 
     def test_no_extensions_when_nothing_to_import(self, company_spec):
         assert list(enumerate_extensions(company_spec)) == []
+
+    def test_chained_enumeration_is_downward_closed(self):
+        spec, _query = chained_preservation_workload(depth=2, candidates=1, seed=0)
+        extensions = list(enumerate_extensions(spec))
+        # one chain of two imports: {base} and {base, derived} — never the
+        # derived import alone (its source tuple would not exist)
+        assert [e.size_increase for e in extensions] == [1, 2]
+        closure = candidate_closure(spec)
+        assert extensions[1].imports == closure.candidates

@@ -218,6 +218,143 @@ class TestChainedCandidates:
         assert len(candidate_imports(extended)) > base_candidates - 1
 
 
+    def test_chained_flag_is_exact_not_structural(self):
+        """A chaining copy-function *graph* whose chained source has nothing
+        importable must not be flagged (the old over-approximation routed such
+        specs to the slow per-extension path)."""
+        schemas = [RelationSchema(f"C{i}", ("A",)) for i in range(3)]
+        # C0 fully imported into C1 already; C1 has one unmapped tuple for C2
+        r0 = TemporalInstance.from_rows(schemas[0], {"c0_0": {"EID": "e", "A": 0}})
+        r1 = TemporalInstance.from_rows(
+            schemas[1], {"c1_0": {"EID": "e", "A": 0}, "c1_1": {"EID": "e", "A": 1}}
+        )
+        r2 = TemporalInstance.from_rows(schemas[2], {"c2_0": {"EID": "e", "A": 0}})
+        cf0 = CopyFunction(
+            "rho0", CopySignature(schemas[1], ("A",), schemas[0], ("A",)),
+            target="C1", source="C0", mapping={"c1_0": "c0_0"},
+        )
+        cf1 = CopyFunction(
+            "rho1", CopySignature(schemas[2], ("A",), schemas[1], ("A",)),
+            target="C2", source="C1", mapping={"c2_0": "c1_0"},
+        )
+        spec = Specification({"C0": r0, "C1": r1, "C2": r2}, copy_functions=[cf0, cf1])
+        from repro.preservation.extensions import could_chain
+
+        assert could_chain(spec)  # the graph could chain ...
+        space = ExtensionSearchSpace(spec)
+        assert space.candidates  # ... and candidates exist (c1_1 into C2) ...
+        assert not space.has_chained_candidates  # ... but none is derived
+        assert space.prerequisites == {}
+
+    def test_cpp_needs_the_full_chain(self):
+        """The spoiler payload only reaches the query relation through a chain
+        of derived imports — a base-candidate-only search cannot see it."""
+        from repro.workloads.synthetic import chained_preservation_workload
+
+        spec, query = chained_preservation_workload(
+            depth=2, candidates=1, spoiler=True, seed=0
+        )
+        space = ExtensionSearchSpace(spec)
+        witness = find_violating_extension(query, spec, search="sat", space=space)
+        assert witness is not None
+        assert witness.size_increase == 2  # the whole chain
+        assert any(imp.copy_function == "rho_1" for imp in witness.imports)
+        # BCP flips exactly at k = depth
+        assert not has_bounded_extension(query, spec, 1, search="sat", space=space)
+        assert has_bounded_extension(query, spec, 2, search="sat", space=space)
+
+    def test_maximal_harvest_limit_applies_to_the_single_maximum_case(self):
+        """Regression: the early return for 'every candidate imported'
+        bypassed the harvest limit, so limit=0 still produced a maximum."""
+        from repro.workloads.synthetic import chained_preservation_workload
+
+        spec, _query = chained_preservation_workload(
+            depth=2, candidates=2, entities=1, spoiler=True, seed=7
+        )
+        space = ExtensionSearchSpace(spec)
+        assert space.maximal_consistent_selections(limit=0) is None
+        maxima = space.maximal_consistent_selections(limit=1)
+        assert maxima == [tuple(range(len(space.candidates)))]
+
+    def test_family_cap_falls_back_to_lazy_sweeps(self, monkeypatch):
+        """Oversized consistent families degrade to streamed restricted
+        sweeps (time-bounded, memory-safe) with identical verdicts and still
+        zero fresh space constructions."""
+        from repro.preservation import bcp as bcp_module
+        from repro.workloads.synthetic import chained_preservation_workload
+
+        spec, query = chained_preservation_workload(
+            depth=2, candidates=2, entities=1, spoiler=True, seed=3
+        )
+        space = ExtensionSearchSpace(spec)
+        engine = QueryEngine(query)
+        expected = [
+            has_bounded_extension(query, spec, k, search="sat", space=space, engine=engine)
+            for k in (0, 1, 2, 3)
+        ]
+        monkeypatch.setattr(bcp_module, "_FAMILY_CAP", 0)
+        before = ExtensionSearchSpace.constructions
+        got = [
+            has_bounded_extension(query, spec, k, search="sat", space=space, engine=engine)
+            for k in (0, 1, 2, 3)
+        ]
+        assert got == expected == [False, False, True, True]
+        assert ExtensionSearchSpace.constructions == before
+
+    def test_bcp_constructs_no_fresh_space(self):
+        """Acceptance: zero fresh ExtensionSearchSpace constructions inside a
+        chained BCP decision (the pre-closure code re-encoded per guess)."""
+        from repro.workloads.synthetic import chained_preservation_workload
+
+        spec, query = chained_preservation_workload(
+            depth=2, candidates=2, spoiler=True, seed=3
+        )
+        space = ExtensionSearchSpace(spec)
+        assert space.has_chained_candidates
+        engine = QueryEngine(query)
+        before = ExtensionSearchSpace.constructions
+        for k in (0, 1, 2, 3):
+            has_bounded_extension(query, spec, k, search="sat", space=space, engine=engine)
+        assert ExtensionSearchSpace.constructions == before
+        assert space.stats()["constructions"] == before
+
+
+# --------------------------------------------------------------------------- #
+# Answer-difference certificates
+# --------------------------------------------------------------------------- #
+class TestCertificates:
+    def test_lost_answer_certificate_on_example_41(self, manager_spec):
+        q2 = company.paper_queries()["Q2"]
+        for search in ("sat", "naive"):
+            witness = find_violating_extension(q2, manager_spec, search=search)
+            assert witness is not None
+            certificate = witness.certificate
+            assert certificate is not None
+            assert certificate.answer == ("Dupont",)
+            assert not certificate.gained  # Dupont was certain, the import loses it
+            assert certificate.completion_of == "extension"
+            engine = QueryEngine(q2)
+            assert certificate.refutes_certainty(engine)
+            # the completion is restricted to the relations the query reads
+            assert set(certificate.completion) == set(engine.relations)
+
+    def test_chained_witness_carries_certificate(self):
+        from repro.workloads.synthetic import chained_preservation_workload
+
+        spec, query = chained_preservation_workload(
+            depth=3, candidates=1, spoiler=True, seed=2
+        )
+        witness = find_violating_extension(query, spec, search="sat")
+        assert witness is not None and witness.size_increase == 3
+        certificate = witness.certificate
+        assert certificate.answer == ((100,) if not certificate.gained else (101,))
+        assert certificate.refutes_certainty(QueryEngine(query))
+
+    def test_no_witness_means_no_certificate_to_check(self, manager_spec):
+        q1 = company.paper_queries()["Q1"]
+        assert find_violating_extension(q1, manager_spec, search="sat") is None
+
+
 # --------------------------------------------------------------------------- #
 # Bound-violation reporting (analyze_final through the space)
 # --------------------------------------------------------------------------- #
@@ -269,6 +406,30 @@ class TestSpaceReuse:
         with pytest.raises(SpecificationError):
             space_for(manager_spec, False, space)
         assert space_for(manager_spec, True, space) is space
+
+    def test_space_for_accepts_rebuilt_identical_specification(self, manager_spec):
+        """Regression: ``space_for`` compared by object identity, so a caller
+        that rebuilt a value-identical specification lost the warm solver."""
+        space = ExtensionSearchSpace(manager_spec)
+        rebuilt = company.manager_specification()
+        assert rebuilt is not manager_spec
+        assert space_for(rebuilt, True, space) is space
+        # and equal verdicts flow through the reused space
+        q2 = company.paper_queries()["Q2"]
+        assert not is_currency_preserving(q2, rebuilt, method="sat", space=space)
+
+    def test_space_for_still_rejects_structural_differences(self, manager_spec):
+        modified = company.manager_specification()
+        schema = modified.instance("Mgr").schema
+        from repro.core.tuples import RelationTuple
+
+        extra = modified.instance("Mgr").tuples()[0]
+        modified.instance("Mgr").add(
+            RelationTuple(schema, "m_extra", {**extra.values(), schema.eid: extra.eid})
+        )
+        space = ExtensionSearchSpace(manager_spec)
+        with pytest.raises(SpecificationError):
+            space_for(modified, True, space)
 
     def test_one_space_serves_cpp_ecp_and_bcp(self, manager_spec):
         q2 = company.paper_queries()["Q2"]

@@ -25,6 +25,82 @@ class TestApplicability:
         with pytest.raises(SpecificationError):
             sp_is_currency_preserving(company.paper_queries()["Q2"], manager_spec)
 
+    def test_requires_unchained_copy_functions(self):
+        """The single-import probes only see base candidates; on this
+        constraint-free chained spec they would answer True while the closure
+        engines (correctly) find a violating *derived* import — reject
+        instead of silently answering the wrong question."""
+        from repro.core.copy_function import CopyFunction, CopySignature
+        from repro.core.instance import TemporalInstance
+        from repro.core.schema import RelationSchema
+        from repro.core.specification import Specification
+
+        schemas = [RelationSchema(f"L{i}", ("a0",)) for i in range(3)]
+        l0 = TemporalInstance.from_rows(
+            schemas[0],
+            {"b0": {"EID": "e", "a0": 100}, "c0": {"EID": "e", "a0": 101}},
+        )
+        l1 = TemporalInstance.from_rows(schemas[1], {"b1": {"EID": "e", "a0": 100}})
+        l2 = TemporalInstance.from_rows(schemas[2], {"b2": {"EID": "e", "a0": 100}})
+        spec = Specification(
+            {"L0": l0, "L1": l1, "L2": l2},
+            copy_functions=[
+                CopyFunction(
+                    "r0", CopySignature(schemas[1], ("a0",), schemas[0], ("a0",)),
+                    target="L1", source="L0", mapping={"b1": "b0"},
+                ),
+                CopyFunction(
+                    "r1", CopySignature(schemas[2], ("a0",), schemas[1], ("a0",)),
+                    target="L2", source="L1", mapping={"b2": "b1"},
+                ),
+            ],
+        )
+        query = SPQuery("L2", schemas[2], ["a0"])
+        # the closure engines see the violating derived import into L2
+        assert not is_currency_preserving(query, spec, method="enumerate")
+        assert not is_currency_preserving(query, spec, method="auto")  # routes to sat
+        with pytest.raises(SpecificationError):
+            sp_is_currency_preserving(query, spec)
+        with pytest.raises(SpecificationError):
+            sp_has_bounded_extension(query, spec, k=2)
+
+    def test_chaining_graph_without_derived_candidates_stays_eligible(self):
+        """The gate is exact (closure-based), not the copy-graph
+        over-approximation: a fully-mapped upstream copy function admits no
+        derived import, so the PTIME probes remain sound and applicable."""
+        from repro.core.copy_function import CopyFunction, CopySignature
+        from repro.core.instance import TemporalInstance
+        from repro.core.schema import RelationSchema
+        from repro.core.specification import Specification
+        from repro.preservation.extensions import could_chain, has_chained_imports
+
+        schemas = [RelationSchema(f"L{i}", ("a0",)) for i in range(3)]
+        # every L0 tuple already mapped into L1: nothing importable upstream
+        l0 = TemporalInstance.from_rows(schemas[0], {"b0": {"EID": "e", "a0": 100}})
+        l1 = TemporalInstance.from_rows(
+            schemas[1],
+            {"b1": {"EID": "e", "a0": 100}, "c1": {"EID": "e", "a0": 101}},
+        )
+        l2 = TemporalInstance.from_rows(schemas[2], {"b2": {"EID": "e", "a0": 100}})
+        spec = Specification(
+            {"L0": l0, "L1": l1, "L2": l2},
+            copy_functions=[
+                CopyFunction(
+                    "r0", CopySignature(schemas[1], ("a0",), schemas[0], ("a0",)),
+                    target="L1", source="L0", mapping={"b1": "b0"},
+                ),
+                CopyFunction(
+                    "r1", CopySignature(schemas[2], ("a0",), schemas[1], ("a0",)),
+                    target="L2", source="L1", mapping={"b2": "b1"},
+                ),
+            ],
+        )
+        assert could_chain(spec) and not has_chained_imports(spec)
+        query = SPQuery("L2", schemas[2], ["a0"])
+        fast = sp_is_currency_preserving(query, spec)  # accepted, not rejected
+        assert fast == is_currency_preserving(query, spec, method="enumerate")
+        assert fast == is_currency_preserving(query, spec, method="auto")  # routes to sp
+
 
 class TestAgreementWithBruteForce:
     @pytest.mark.parametrize("seed", range(6))

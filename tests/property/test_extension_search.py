@@ -6,15 +6,19 @@ agrees with the seed explicit path
 (:func:`repro.preservation.extensions.enumerate_extensions_naive` plus
 per-subset consistency / CCQA) on
 
-* the *set* of consistent extensions,
+* the *set* of consistent extensions — downward-closed subsets of the
+  candidate-import closure, derived (chained) candidates included,
 * the certain current answers of every consistent extension,
-* CPP verdicts and witness existence,
+* CPP verdicts, witness existence and the validity of the witness's
+  answer-difference certificate (the certificate completion re-evaluated),
 * ECP verdicts and the greedily constructed maximal extension,
-* BCP verdicts for k ∈ {0, 1, 2} (SAT witnesses re-validated by the oracle).
+* BCP verdicts for small bounds (SAT witnesses re-validated by the oracle,
+  with **zero** fresh search-space constructions inside the SAT BCP run).
 
-Tier-1 runs the full ≥200-case harness (seeds 0–199, a few seconds); an
-extended sweep over seeds 200–599 is marked ``slow`` and deselected by the
-default ``-m "not slow"`` configuration (run it with
+Tier-1 runs the full ≥200-case mixed harness (seeds 0–199) plus a dedicated
+≥200-case *chained* sweep over workloads whose interesting extensions need
+derived imports; an extended sweep over seeds 200–599 is marked ``slow`` and
+deselected by the default ``-m "not slow"`` configuration (run it with
 ``pytest -m "slow or not slow"``).
 """
 
@@ -32,7 +36,10 @@ from repro.core.schema import RelationSchema
 from repro.core.specification import Specification
 from repro.core.tuples import RelationTuple
 from repro.exceptions import InconsistentSpecificationError
-from repro.preservation.bcp import has_bounded_extension
+from repro.preservation.bcp import (
+    bounded_currency_preserving_extension,
+    has_bounded_extension,
+)
 from repro.preservation.cpp import find_violating_extension, is_currency_preserving
 from repro.preservation.ecp import currency_preserving_extension_exists, maximal_extension
 from repro.preservation.extensions import apply_imports
@@ -41,9 +48,11 @@ from repro.query.ast import SPQuery
 from repro.query.engine import QueryEngine
 from repro.reasoning.ccqa import certain_current_answers
 from repro.reasoning.cps import is_consistent
+from repro.workloads.synthetic import chained_preservation_workload
 
 CASES = 200
 EXTENDED_CASES = 600  # the slow tier sweeps seeds CASES..EXTENDED_CASES-1 on top
+CHAINED_CASES = 200
 
 
 # --------------------------------------------------------------------------- #
@@ -142,8 +151,8 @@ def _pair_case(rng: random.Random):
 
 def _chain_case(rng: random.Random):
     """Three relations chained by full-coverage copy functions, so imports
-    into the middle relation create candidate imports that do not exist in
-    the base specification (the ``has_chained_candidates`` regime)."""
+    into the middle relation create *derived* candidate imports that do not
+    exist in the base specification (selector implications in the space)."""
     schemas = [RelationSchema(f"C{i}", ("A",)) for i in range(3)]
     instances = {}
     rows_by_relation = []
@@ -190,6 +199,22 @@ def _generate(seed: int):
     return _pair_case(rng)
 
 
+def _generate_chained(seed: int):
+    """Chained-workload generator for the dedicated sweep: alternate between
+    the structured chained preservation workload (derived candidates by
+    construction, tunable chain depth) and fully randomized chain specs."""
+    rng = random.Random(10_000 + seed)
+    if seed % 2 == 0:
+        return chained_preservation_workload(
+            depth=rng.choice((2, 2, 3)),
+            candidates=rng.randint(1, 2),
+            entities=1,
+            spoiler=rng.random() < 0.5,
+            seed=seed,
+        )
+    return _chain_case(rng)
+
+
 # --------------------------------------------------------------------------- #
 # Oracles
 # --------------------------------------------------------------------------- #
@@ -201,37 +226,68 @@ def _oracle_answers(query, specification):
         return None
 
 
-def _oracle_consistent_selections(specification, candidates):
+def _oracle_consistent_selections(specification, closure):
+    """Explicitly materialise every downward-closed subset of the closure and
+    keep the consistent ones (subsets missing a derived import's prerequisite
+    are not extensions at all)."""
     consistent = set()
+    candidates = closure.candidates
     for size in range(len(candidates) + 1):
         for subset in combinations(range(len(candidates)), size):
+            if not closure.is_downward_closed(subset):
+                continue
             chosen = [candidates[i] for i in subset]
             if is_consistent(apply_imports(specification, chosen).specification):
                 consistent.add(frozenset(subset))
     return consistent
 
 
-def _violating(query, specification, search):
+def _violating(query, specification, search, space=None):
     try:
         witness = find_violating_extension(
-            query, specification, search=search, ccqa_method="candidates"
+            query, specification, search=search, ccqa_method="candidates", space=space
         )
     except InconsistentSpecificationError:
         return "inconsistent", None
     return "ok", witness
 
 
+def _assert_valid_certificate(seed, query, specification, witness):
+    """The certificate names a genuinely changed answer and its completion,
+    re-evaluated, refutes the answer's certainty on the claimed side."""
+    certificate = witness.certificate
+    assert certificate is not None, f"seed {seed}: witness carries no certificate"
+    base = _oracle_answers(query, specification)
+    extended = _oracle_answers(query, witness.specification)
+    assert base is not None and extended is not None
+    if certificate.gained:
+        assert certificate.answer in extended and certificate.answer not in base, (
+            f"seed {seed}: certificate answer not gained"
+        )
+        assert certificate.completion_of == "base"
+    else:
+        assert certificate.answer in base and certificate.answer not in extended, (
+            f"seed {seed}: certificate answer not lost"
+        )
+        assert certificate.completion_of == "extension"
+    engine = QueryEngine(query)
+    assert certificate.refutes_certainty(engine), (
+        f"seed {seed}: re-evaluating the query on the certificate completion "
+        f"still produces the changed answer"
+    )
+
+
 # --------------------------------------------------------------------------- #
 # The differential check
 # --------------------------------------------------------------------------- #
-def _check_case(seed: int) -> None:
-    specification, query = _generate(seed)
+def _check_case(seed: int, specification, query, bcp_bounds=(0, 1, 2)) -> None:
     space = ExtensionSearchSpace(specification)
 
-    # 1. the sets of consistent extensions coincide
-    oracle_consistent = _oracle_consistent_selections(specification, space.candidates)
+    # 1. the sets of consistent extensions coincide (closure-wide)
+    oracle_consistent = _oracle_consistent_selections(specification, space.closure)
     sat_consistent = {frozenset(s) for s in space.iterate_consistent_selections()}
     assert sat_consistent == oracle_consistent, f"seed {seed}: consistent sets diverge"
+    assert space.has_chained_candidates == bool(space.prerequisites)
 
     # 2. certain answers agree on every consistent extension (incl. ρ itself)
     engine = QueryEngine(query)
@@ -240,15 +296,15 @@ def _check_case(seed: int) -> None:
         got = space.certain_answers(engine, tuple(selection))
         assert got == expected, f"seed {seed}: answers diverge on {sorted(selection)}"
 
-    # 3. CPP: verdicts agree; a SAT witness is genuinely violating
-    sat_status, sat_witness = _violating(query, specification, "sat")
+    # 3. CPP: verdicts agree; witnesses carry valid certificates
+    sat_status, sat_witness = _violating(query, specification, "sat", space=space)
     naive_status, naive_witness = _violating(query, specification, "naive")
     assert sat_status == naive_status, f"seed {seed}: CPP consistency status diverges"
     assert (sat_witness is None) == (naive_witness is None), f"seed {seed}: CPP verdicts diverge"
-    if sat_witness is not None:
-        base = _oracle_answers(query, specification)
-        assert _oracle_answers(query, sat_witness.specification) != base
-    assert is_currency_preserving(query, specification, method="sat") == \
+    for witness in (sat_witness, naive_witness):
+        if witness is not None:
+            _assert_valid_certificate(seed, query, specification, witness)
+    assert is_currency_preserving(query, specification, method="sat", space=space) == \
         is_currency_preserving(query, specification, method="enumerate")
 
     # 4. ECP and the maximal extension
@@ -258,12 +314,15 @@ def _check_case(seed: int) -> None:
     naive_maximal = maximal_extension(specification, search="naive")
     assert sat_maximal.imports == naive_maximal.imports, f"seed {seed}: maximal diverges"
 
-    # 5. BCP for small bounds; SAT witnesses re-validated by the oracle
-    from repro.preservation.bcp import bounded_currency_preserving_extension
-
-    for k in (0, 1, 2):
+    # 5. BCP for small bounds; SAT witnesses re-validated by the oracle, and
+    #    the whole SAT run must reuse the one space (no fresh constructions)
+    for k in bcp_bounds:
+        constructions_before = ExtensionSearchSpace.constructions
         sat_witness = bounded_currency_preserving_extension(
             query, specification, k, search="sat", space=space, engine=engine
+        )
+        assert ExtensionSearchSpace.constructions == constructions_before, (
+            f"seed {seed}: BCP k={k} built a fresh search space"
         )
         naive_verdict = has_bounded_extension(
             query, specification, k, method="enumerate", search="naive"
@@ -279,11 +338,22 @@ def _check_case(seed: int) -> None:
 @pytest.mark.parametrize("seed", range(CASES))
 def test_sat_and_naive_engines_agree(seed):
     """The ≥200-case differential sweep (tier-1)."""
-    _check_case(seed)
+    specification, query = _generate(seed)
+    _check_case(seed, specification, query)
+
+
+@pytest.mark.parametrize("seed", range(CHAINED_CASES))
+def test_chained_workloads_agree(seed):
+    """≥200 seeded chained specifications: CPP/ECP/BCP verdicts match the
+    explicit closure oracle, witnesses need derived imports, certificates
+    hold (tier-1)."""
+    specification, query = _generate_chained(seed)
+    _check_case(seed, specification, query, bcp_bounds=(0, 1, 2, 3))
 
 
 @pytest.mark.slow
 @pytest.mark.parametrize("seed", range(CASES, EXTENDED_CASES))
 def test_sat_and_naive_engines_agree_extended(seed):
     """400 further seeds for the full property sweep (slow tier)."""
-    _check_case(seed)
+    specification, query = _generate(seed)
+    _check_case(seed, specification, query)
