@@ -1,0 +1,241 @@
+"""Benchmark: warm ReasoningSession vs cold per-call module functions.
+
+Three sections:
+
+* **mixed** — the acceptance workload: a stream of CPS → CCQA → CPP → BCP
+  requests (one round per query) against one specification.  ``cold`` answers
+  each request through the module-level functions, which construct a fresh
+  session — and with it a fresh encoder / search space / engine — per call
+  (the pre-session behaviour); ``warm`` answers the same stream on one
+  :class:`~repro.session.ReasoningSession`, so the CPS probe warms the solver
+  the CCQA enumeration reuses and the CPP sweep leaves behind the memoised
+  answers, current-database lists and maximal harvest that make BCP near-free.
+  Verdicts are asserted equal before any timing is reported; the headline
+  ``mixed_speedup`` is cold/warm on the largest workload.
+
+* **mutation** — incremental invalidation: a warm session absorbs a new
+  denial constraint (``add_denial`` extends the encoder and the space in
+  place) and re-answers CPP, vs rebuilding everything from scratch on the
+  mutated specification.
+
+* **batch** — a request stream over several specifications (with structural
+  duplicates) through :class:`~repro.session.BatchDriver`: serial mode vs the
+  cold per-request loop, plus the multiprocessing mode.
+
+Standalone script (not collected by pytest):
+
+    PYTHONPATH=src python benchmarks/bench_session.py [--smoke] \
+        [--output BENCH_session.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.denial import AttrRef, Comparison, CurrencyAtom, DenialConstraint
+from repro.preservation.bcp import has_bounded_extension
+from repro.preservation.cpp import is_currency_preserving
+from repro.query.ast import SPQuery
+from repro.reasoning.ccqa import certain_current_answers
+from repro.reasoning.cps import is_consistent
+from repro.session import BatchDriver, ProblemRequest, ReasoningSession
+from repro.workloads.synthetic import preservation_workload
+
+
+def _timed(function, *args, **kwargs):
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def _queries(specification):
+    """Five SP query shapes over the workload's target relation — the mixed
+    stream repeats the CPS→CCQA→CPP→BCP round once per shape."""
+    schema = specification.instance("R1").schema
+    return [
+        SPQuery("R1", schema, ["a0"], name="payload"),
+        SPQuery("R1", schema, ["a0", "a1"], name="payload_group"),
+        SPQuery("R1", schema, ["a1"], eq_const={"a2": 0}, name="base_groups"),
+        SPQuery("R1", schema, ["a2"], name="import_marker"),
+        SPQuery("R1", schema, ["a0"], eq_const={"a1": 0}, name="group0_payload"),
+    ]
+
+
+def _mixed_cold(specification, queries, k):
+    verdicts = []
+    for query in queries:
+        verdicts.append(("cps", is_consistent(specification)))
+        verdicts.append(("ccqa", certain_current_answers(query, specification)))
+        verdicts.append(("cpp", is_currency_preserving(query, specification)))
+        verdicts.append(("bcp", has_bounded_extension(query, specification, k)))
+    return verdicts
+
+
+def _mixed_warm(session, queries, k):
+    verdicts = []
+    for query in queries:
+        verdicts.append(("cps", session.consistent()))
+        verdicts.append(("ccqa", session.certain_answers(query)))
+        verdicts.append(("cpp", session.cpp(query)))
+        verdicts.append(("bcp", session.bcp(query, k)))
+    return verdicts
+
+
+def _mutation_constraint(specification):
+    schema = specification.instance("R1").schema
+    return DenialConstraint(
+        schema,
+        ("s", "t"),
+        body=[Comparison(AttrRef("s", "a1"), ">", AttrRef("t", "a1"))],
+        head=CurrencyAtom("t", "a1", "s"),
+        name="bench_mutation_a1",
+    )
+
+
+def _batch_requests(sizes, copies, k):
+    """A request stream over several specs; each spec appears *copies* times
+    as a structurally-equal rebuild (the interning win)."""
+    requests = []
+    for index, (candidates, groups) in enumerate(sizes):
+        for _ in range(copies):
+            specification, query = preservation_workload(
+                candidates=candidates, conflict_groups=groups, seed=20 + index
+            )
+            requests.extend(
+                [
+                    (specification, ProblemRequest("cps")),
+                    (specification, ProblemRequest("ccqa", query=query)),
+                    (specification, ProblemRequest("cpp", query=query)),
+                    (specification, ProblemRequest("bcp", query=query, args=(k,))),
+                ]
+            )
+    return requests
+
+
+def _batch_cold(requests):
+    values = []
+    for specification, request in requests:
+        if request.problem == "cps":
+            values.append(is_consistent(specification))
+        elif request.problem == "ccqa":
+            values.append(certain_current_answers(request.query, specification))
+        elif request.problem == "cpp":
+            values.append(is_currency_preserving(request.query, specification))
+        else:
+            values.append(has_bounded_extension(request.query, specification, *request.args))
+    return values
+
+
+def run(smoke: bool, output: str) -> dict:
+    sizes = [(4, 2), (6, 2)] if smoke else [(4, 2), (6, 2), (8, 3), (10, 3)]
+    bcp_k = 2
+    report = {"benchmark": "session", "smoke": smoke, "results": []}
+
+    mixed_speedup = None
+    for candidates, groups in sizes:
+        specification, _query = preservation_workload(
+            candidates=candidates, conflict_groups=groups, seed=7
+        )
+        queries = _queries(specification)
+
+        cold_s, cold = _timed(_mixed_cold, specification, queries, bcp_k)
+        session = ReasoningSession(specification)
+        warm_s, warm = _timed(_mixed_warm, session, queries, bcp_k)
+        assert warm == cold, f"verdict mismatch on candidates={candidates}"
+
+        # mutation section: absorb a denial constraint on the warm session
+        # (incremental re-encode) and re-answer CPP ...
+        constraint = _mutation_constraint(specification)
+        query = queries[0]
+
+        def _mutate_warm():
+            session.add_denial("R1", constraint)
+            return session.cpp(query)
+
+        mutate_warm_s, mutated_warm = _timed(_mutate_warm)
+        # ... vs rebuilding everything on the mutated specification
+        mutate_cold_s, mutated_cold = _timed(
+            is_currency_preserving, query, specification
+        )
+        assert mutated_warm == mutated_cold
+
+        entry = {
+            "workload": f"candidates={candidates}",
+            "candidates": candidates,
+            "conflict_groups": groups,
+            "queries": len(queries),
+            "bcp_k": bcp_k,
+            "cold_s": round(cold_s, 6),
+            "warm_s": round(warm_s, 6),
+            "speedup": round(cold_s / warm_s, 2) if warm_s > 0 else None,
+            "mutate_rebuild_s": round(mutate_cold_s, 6),
+            "mutate_incremental_s": round(mutate_warm_s, 6),
+            "mutate_speedup": round(mutate_cold_s / mutate_warm_s, 2)
+            if mutate_warm_s > 0
+            else None,
+        }
+        report["results"].append(entry)
+        mixed_speedup = entry["speedup"]
+        print(
+            f"[bench_session] candidates={candidates}: cold {cold_s:.3f}s, "
+            f"warm {warm_s:.3f}s ({entry['speedup']}x); mutation rebuild "
+            f"{mutate_cold_s:.3f}s vs incremental {mutate_warm_s:.3f}s",
+            flush=True,
+        )
+
+    report["mixed_workload"] = report["results"][-1]["workload"]
+    report["mixed_cold_s"] = report["results"][-1]["cold_s"]
+    report["mixed_warm_s"] = report["results"][-1]["warm_s"]
+    report["mixed_speedup"] = mixed_speedup
+
+    # batch section
+    batch_sizes = sizes[: 2 if smoke else 3]
+    requests = _batch_requests(batch_sizes, copies=2, k=bcp_k)
+    batch_cold_s, cold_values = _timed(_batch_cold, requests)
+    serial_s, serial_results = _timed(BatchDriver(serial=True).run, requests)
+    parallel_s, parallel_results = _timed(BatchDriver(processes=2).run, requests)
+    assert [r.value for r in serial_results] == cold_values
+    assert [r.value for r in parallel_results] == cold_values
+    report["batch_requests"] = len(requests)
+    report["batch_cold_s"] = round(batch_cold_s, 6)
+    report["batch_serial_s"] = round(serial_s, 6)
+    report["batch_parallel_s"] = round(parallel_s, 6)
+    report["batch_serial_speedup"] = round(batch_cold_s / serial_s, 2)
+    report["batch_parallel_speedup"] = round(batch_cold_s / parallel_s, 2)
+    print(
+        f"[bench_session] batch of {len(requests)}: cold {batch_cold_s:.3f}s, "
+        f"serial driver {serial_s:.3f}s "
+        f"({report['batch_serial_speedup']}x), parallel {parallel_s:.3f}s "
+        f"({report['batch_parallel_speedup']}x)",
+        flush=True,
+    )
+
+    report["headline"] = {
+        "mixed_warm_s": report["mixed_warm_s"],
+        "mixed_speedup": report["mixed_speedup"],
+        "batch_serial_speedup": report["batch_serial_speedup"],
+        "batch_parallel_speedup": report["batch_parallel_speedup"],
+    }
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"[bench_session] wrote {output}")
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small sizes for CI")
+    parser.add_argument("--output", default="BENCH_session.json")
+    args = parser.parse_args(argv)
+    run(args.smoke, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

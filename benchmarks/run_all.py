@@ -39,7 +39,14 @@ BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(BENCH_DIR)
 
 # benchmarks that are standalone scripts with their own --smoke / --output CLI
-SCRIPT_BENCHMARKS = {"bench_query_evaluator.py", "bench_sat_solver.py", "bench_extensions.py"}
+SCRIPT_BENCHMARKS = {
+    "bench_query_evaluator.py",
+    "bench_sat_solver.py",
+    "bench_extensions.py",
+    "bench_session.py",
+}
+
+HISTORY_FILE = "BENCH_history.json"
 
 # fresh-vs-committed ratio above which --compare flags a metric
 REGRESSION_THRESHOLD = 1.25
@@ -119,6 +126,98 @@ def extract_metrics(report: dict) -> dict:
     return metrics
 
 
+def extract_headline(report: dict) -> dict:
+    """The per-PR trajectory metrics of one BENCH_*.json report.
+
+    Script-style benchmarks may publish an explicit ``headline`` dict; those
+    without one contribute their top-level ``*_s`` / ``*speedup*`` numbers,
+    and pytest-benchmark files contribute the sum of their test means."""
+    if isinstance(report.get("headline"), dict):
+        return {k: v for k, v in report["headline"].items() if isinstance(v, (int, float))}
+    if "benchmarks" in report:  # pytest-benchmark shape
+        total = sum(entry["stats"]["mean"] for entry in report["benchmarks"])
+        return {"total_mean_s": round(total, 6)}
+    return {
+        key: float(value)
+        for key, value in report.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+        and (key.endswith("_s") or "speedup" in key)
+    }
+
+
+def _current_label() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        )
+        if out.returncode == 0:
+            return out.stdout.decode().strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def append_history(result_dir: str, label: str) -> dict:
+    """Append one trajectory entry — the headline metrics of every
+    BENCH_*.json in *result_dir* — to the committed history file."""
+    entry = {"label": label, "benchmarks": {}}
+    for name in sorted(os.listdir(result_dir)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        if name in (HISTORY_FILE, "BENCH_summary.json"):
+            continue
+        with open(os.path.join(result_dir, name)) as handle:
+            headline = extract_headline(json.load(handle))
+        if headline:
+            entry["benchmarks"][name[len("BENCH_"):-len(".json")]] = headline
+    history_path = os.path.join(REPO_ROOT, HISTORY_FILE)
+    history = []
+    if os.path.exists(history_path):
+        with open(history_path) as handle:
+            history = json.load(handle)
+    history.append(entry)
+    with open(history_path, "w") as handle:
+        json.dump(history, handle, indent=2)
+    print(f"[history] appended entry {label!r} to {history_path}")
+    return entry
+
+
+def render_history() -> int:
+    """Print the per-PR trend table from the committed history file."""
+    history_path = os.path.join(REPO_ROOT, HISTORY_FILE)
+    if not os.path.exists(history_path):
+        print(f"[history] no {HISTORY_FILE} yet; run with --history first")
+        return 1
+    with open(history_path) as handle:
+        history = json.load(handle)
+    if not history:
+        print("[history] empty history")
+        return 1
+    labels = [entry.get("label", "?") for entry in history]
+    rows = []  # (benchmark, metric) in first-appearance order
+    for entry in history:
+        for benchmark, metrics in entry.get("benchmarks", {}).items():
+            for metric in metrics:
+                if (benchmark, metric) not in rows:
+                    rows.append((benchmark, metric))
+    if not rows:
+        print("[history] entries carry no headline metrics yet")
+        return 1
+    name_width = max(len(f"{b}.{m}") for b, m in rows)
+    column = max(10, max(len(label) for label in labels) + 2)
+    print("\n[history] perf trajectory (committed BENCH_history.json)")
+    print(f"  {'metric':<{name_width}}" + "".join(f"{label:>{column}}" for label in labels))
+    for benchmark, metric in rows:
+        cells = []
+        for entry in history:
+            value = entry.get("benchmarks", {}).get(benchmark, {}).get(metric)
+            cells.append(f"{value:>{column}.4f}" if isinstance(value, (int, float))
+                         else f"{'-':>{column}}")
+        print(f"  {benchmark + '.' + metric:<{name_width}}" + "".join(cells))
+    return 0
+
+
 def compare_reports(fresh_dir: str, committed_dir: str, threshold: float) -> int:
     """Diff fresh BENCH_*.json files against committed ones; the number of
     regressed metrics (ratio > *threshold*)."""
@@ -175,7 +274,25 @@ def main(argv=None) -> int:
     parser.add_argument("--fail-on-regression", action="store_true",
                         help="with --compare: exit non-zero when any metric "
                              "regresses beyond the tolerance")
+    parser.add_argument("--history", action="store_true",
+                        help="after the run: append the headline metrics to "
+                             f"{HISTORY_FILE} and print the trend table")
+    parser.add_argument("--history-only", action="store_true",
+                        help="skip running: append the headline metrics of the "
+                             "existing BENCH_*.json in --output-dir and print "
+                             "the trend table")
+    parser.add_argument("--render-history", action="store_true",
+                        help="print the committed perf-trajectory table and exit "
+                             "(used by CI)")
+    parser.add_argument("--label", default=None,
+                        help="history entry label (default: the git short sha)")
     args = parser.parse_args(argv)
+
+    if args.render_history:
+        return render_history()
+    if args.history_only:
+        append_history(args.output_dir, args.label or _current_label())
+        return render_history()
 
     if args.compare and os.path.realpath(args.output_dir) == os.path.realpath(REPO_ROOT):
         args.output_dir = tempfile.mkdtemp(prefix="bench_fresh_")
@@ -208,6 +325,9 @@ def main(argv=None) -> int:
               f"(threshold {args.tolerance}x)")
         if args.fail_on_regression and regressions:
             return 3
+    if args.history and not failed:
+        append_history(args.output_dir, args.label or _current_label())
+        render_history()
     return 1 if failed else 0
 
 

@@ -2,12 +2,17 @@
 """Quickstart: the paper's running example (Figure 1, Examples 1.1–3.3).
 
 Builds the company database (Emp, Dept), the denial constraints ϕ1–ϕ4 of
-Example 2.1 and the copy function ρ of Example 2.2, then
+Example 2.1 and the copy function ρ of Example 2.2, opens one
+:class:`~repro.session.ReasoningSession` over the specification, then
 
 * checks that the specification is consistent (CPS),
 * answers the queries Q1–Q4 of Example 1.1 with certain current answers,
 * checks the certain ordering of Example 3.2 (COP), and
 * checks determinism of the Emp current instance (Example 3.3, DCIP).
+
+All four problems run on the session's shared warm substrate: the chase
+fixpoint and the incremental SAT solver the CPS check builds are reused by
+every later question.
 
 Run:  python examples/quickstart.py
 """
@@ -20,16 +25,14 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.analysis.report import render_kv, render_table
-from repro.reasoning.ccqa import certain_current_answers
-from repro.reasoning.cop import certain_ordering
-from repro.reasoning.cps import is_consistent
-from repro.reasoning.dcip import is_deterministic
+from repro.session import ReasoningSession
 from repro.workloads import company
 
 
 def main() -> None:
     specification = company.company_specification()
     queries = company.paper_queries()
+    session = ReasoningSession(specification)
 
     print(render_kv(
         [
@@ -38,7 +41,7 @@ def main() -> None:
             ("denial constraints",
              sum(len(v) for v in specification.constraints.values())),
             ("copy functions", len(specification.copy_functions)),
-            ("consistent (CPS)", is_consistent(specification)),
+            ("consistent (CPS)", session.consistent()),
         ],
         title="Specification S0 (Figure 1 + Example 2.1/2.2)",
     ))
@@ -52,7 +55,7 @@ def main() -> None:
         "Q4": "current budget of R&D",
     }
     for name, query in queries.items():
-        answers = certain_current_answers(query, specification)
+        answers = session.certain_answers(query)
         expected = company.EXPECTED_ANSWERS[name]
         rows.append(
             [
@@ -72,13 +75,13 @@ def main() -> None:
     print(render_kv(
         [
             ("s1 ≺_salary s3 certain (Example 3.2)",
-             certain_ordering(specification, "Emp", {"salary": [("s1", "s3")]})),
+             session.certain_ordering("Emp", {"salary": [("s1", "s3")]})),
             ("t3 ≺_mgrFN t4 certain (Example 3.2)",
-             certain_ordering(specification, "Dept", {"mgrFN": [("t3", "t4")]})),
+             session.certain_ordering("Dept", {"mgrFN": [("t3", "t4")]})),
             ("Emp deterministic for current instances (Example 3.3)",
-             is_deterministic(specification, "Emp")),
+             session.deterministic("Emp")),
             ("Dept deterministic for current instances",
-             is_deterministic(specification, "Dept")),
+             session.deterministic("Dept")),
         ],
         title="Certain orderings and determinism",
     ))

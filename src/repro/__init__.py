@@ -17,7 +17,8 @@ Quickstart
 {('80k',)}
 """
 
-from repro import analysis, core, preservation, query, reasoning, reductions, solvers, workloads
+from repro import analysis, core, preservation, query, reasoning, reductions, session, solvers, workloads
+from repro.session import BatchDriver, ProblemRequest, ReasoningSession
 from repro.core import (
     CopyFunction,
     CopySignature,
@@ -43,6 +44,7 @@ __all__ = [
     "reasoning",
     "preservation",
     "reductions",
+    "session",
     "workloads",
     "analysis",
     "RelationSchema",
@@ -58,5 +60,8 @@ __all__ = [
     "consistent_completions",
     "current_instance",
     "current_database",
+    "ReasoningSession",
+    "BatchDriver",
+    "ProblemRequest",
     "__version__",
 ]

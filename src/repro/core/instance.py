@@ -172,6 +172,14 @@ class TemporalInstance(NormalInstance):
     ) -> None:
         super().__init__(schema, tuples)
         self._orders: Dict[str, PartialOrder] = {a: PartialOrder() for a in schema.attributes}
+        # register constructor-passed tuples in the order carriers, exactly as
+        # a post-construction add() does — otherwise an instance rebuilt from
+        # its tuple list (copy(), apply_imports) would compare structurally
+        # unequal to one grown tuple by tuple, despite inducing identical
+        # encodings
+        for tup in self._tuples:
+            for order in self._orders.values():
+                order.add_element(tup.tid)
         if orders:
             for attribute, order in orders.items():
                 for lower, upper in order.pairs():

@@ -2,12 +2,16 @@
 (Sections 4, 5 and 6 of the paper)."""
 
 from repro.preservation.bcp import (
+    bound_refusal_certificates,
     bound_violation_core,
     bounded_currency_preserving_extension,
     has_bounded_extension,
 )
-from repro.preservation.cpp import (
+from repro.preservation.certificates import (
     AnswerDifferenceCertificate,
+    BoundRefusalCertificate,
+)
+from repro.preservation.cpp import (
     find_violating_extension,
     is_currency_preserving,
 )
@@ -29,6 +33,7 @@ from repro.preservation.sp_fast import sp_has_bounded_extension, sp_is_currency_
 
 __all__ = [
     "AnswerDifferenceCertificate",
+    "BoundRefusalCertificate",
     "CandidateClosure",
     "CandidateImport",
     "SpecificationExtension",
@@ -47,6 +52,7 @@ __all__ = [
     "has_bounded_extension",
     "bounded_currency_preserving_extension",
     "bound_violation_core",
+    "bound_refusal_certificates",
     "sp_is_currency_preserving",
     "sp_has_bounded_extension",
 ]

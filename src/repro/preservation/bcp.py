@@ -11,35 +11,31 @@ constraints when ``k`` is fixed (Theorem 6.4).
 Both engines realise the "guess an extension, then invoke the CPP oracle"
 algorithm from the upper-bound proof of Theorem 5.3:
 
-* ``search="sat"`` (the default) enumerates the consistent selections of the
-  one-shot :class:`~repro.preservation.sat_extensions.ExtensionSearchSpace`
-  **once** and decides the inner CPP oracle of every guess of at most ``k``
-  imports in-space, as subset tests over that enumeration with lazily
-  memoised certain answers.  The space encodes the whole candidate-import
-  *closure* (derived imports of chained copy functions carry their own
-  selectors, gated on their prerequisites), so the supersets of a selection
-  within the closure are exactly the extensions of ρ^selection and the check
-  is exact for chained specifications too: the entire decision runs on one
-  warm solver, with zero per-extension re-encoding (asserted by the
-  ``constructions`` counter in the space's ``stats()``).
-* ``search="naive"`` is the seed path over
+* ``search="sat"`` (the default) runs entirely on the warm space of a
+  :class:`~repro.session.ReasoningSession` — the in-space search lives in
+  :mod:`repro.session.session` (consistent family regenerated lazily from the
+  memoised ⊆-maximal harvest, CPP oracle per guess as cached subset tests,
+  streamed restricted-sweep fallback for genuinely huge families); the
+  functions here are thin back-compat wrappers;
+* ``search="naive"`` is the seed path kept in this module, over
   :func:`~repro.preservation.extensions.enumerate_extensions_naive` — the
   reference oracle for the differential tests; *method* selects the CPP
-  oracle applied to each of its guesses (the SAT search always sweeps
-  in-space and only validates *method*).
+  oracle applied to each of its guesses.
 
-:func:`bound_violation_core` reports *why* a bound cannot be met: the subset
-of required imports in the solver's final assumption core
-(:meth:`~repro.solvers.sat.Solver.analyze_final`), and whether the size bound
-itself participates in the conflict.
+:func:`bound_violation_core` reports *why* a bound cannot be met (the solver's
+final assumption core); :func:`bound_refusal_certificates` goes further and
+materialises one
+:class:`~repro.preservation.certificates.BoundRefusalCertificate` per refused
+in-bound guess — the violating import set plus the consistent extension
+realising it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.specification import Specification
-from repro.exceptions import SpecificationError
+from repro.preservation.certificates import BoundRefusalCertificate
 from repro.preservation.cpp import _METHODS, is_currency_preserving
 from repro.preservation.extensions import (
     CandidateImport,
@@ -47,15 +43,17 @@ from repro.preservation.extensions import (
     apply_imports,
     enumerate_extensions_naive,
 )
-from repro.preservation.sat_extensions import SEARCHES, ExtensionSearchSpace, space_for
+from repro.preservation.sat_extensions import ExtensionSearchSpace
 from repro.query.ast import Query, SPQuery
 from repro.query.engine import QueryEngine
 from repro.reasoning.cps import is_consistent
+from repro.session.session import ReasoningSession
 
 __all__ = [
     "bounded_currency_preserving_extension",
     "has_bounded_extension",
     "bound_violation_core",
+    "bound_refusal_certificates",
 ]
 
 AnyQuery = Union[Query, SPQuery]
@@ -97,116 +95,18 @@ def _bounded_naive(
     return None
 
 
-#: Above this many consistent selections the bounded search stops
-#: materialising the family in memory and streams restricted solver sweeps
-#: instead (time-bounded degradation, never memory-bounded).
-_FAMILY_CAP = 200_000
-
-#: Bound on the maximal-selection harvest itself — the number of ⊆-maximal
-#: consistent selections can be exponential (mutually exclusive candidate
-#: pairs), so the harvest is abandoned past this many and the search streams.
-_MAXIMAL_CAP = 4096
-
-
-def _bounded_by_lazy_sweeps(
-    space: ExtensionSearchSpace,
-    engine: QueryEngine,
-    k: int,
-) -> Optional[Tuple[int, ...]]:
-    """Memory-safe fallback for huge consistent families: per-guess restricted
-    solver sweeps (``supersets_of``) with early exit on the first refuting
-    superset — nothing is materialised beyond the current guess."""
-
-    def preserving(selection: Tuple[int, ...]) -> bool:
-        guess_answers = space.certain_answers(engine, selection)
-        chosen = set(selection)
-        for superset in space.iterate_consistent_selections(supersets_of=selection):
-            if set(superset) == chosen:
-                continue
-            if space.certain_answers(engine, superset) != guess_answers:
-                return False
-        return True
-
-    if preserving(()):
-        return ()
-    if k == 0:
-        return None
-    for selection in space.iterate_consistent_selections(max_imports=k):
-        if not selection:
-            continue  # ρ itself was already checked
-        if preserving(selection):
-            return selection
-    return None
-
-
-def _bounded_in_space(
-    space: ExtensionSearchSpace,
-    engine: QueryEngine,
-    k: int,
-) -> Optional[Tuple[int, ...]]:
-    """The whole bounded search on one space: the selection (possibly empty)
-    of a currency-preserving extension of at most *k* imports, or None.
-
-    The space's selector universe is the candidate-import *closure* and every
-    consistent selection is downward closed, so the strict supersets of a
-    selection within the space are precisely the extensions of ρ^selection —
-    including the chained imports only importable once some superset import
-    created their source tuple.  The search therefore never re-encodes:
-
-    1. the ⊆-maximal consistent selections are harvested with a handful of
-       SAT calls (consistency is downward monotone), and the whole consistent
-       space is regenerated from them in plain Python
-       (:meth:`~repro.preservation.extensions.CandidateClosure.closed_subsets`);
-    2. the CPP oracle of each guess is a subset test over that family with
-       lazily memoised certain answers — the maximal selections are probed
-       first, since a non-preserving guess is almost always refuted by the
-       answers of a maximum above it, making refutation O(#maximal) cached
-       lookups instead of a sweep.
-
-    When the harvest or the family would be too large to hold in memory
-    (the harvest is capped, and the family size is counted per maximal
-    selection *before* generation), the search degrades to
-    :func:`_bounded_by_lazy_sweeps` — still in-space, just streamed.
-    """
-    closure = space.closure
-    maximal = space.maximal_consistent_selections(limit=_MAXIMAL_CAP)
-    if maximal is None or (
-        sum(closure.count_closed_subsets(top) for top in maximal) > _FAMILY_CAP
-    ):
-        return _bounded_by_lazy_sweeps(space, engine, k)
-    selections: Dict[FrozenSet[int], Tuple[int, ...]] = {}
-    for top in maximal:
-        for subset in closure.closed_subsets(top):
-            if subset not in selections:
-                selections[subset] = tuple(sorted(subset))
-    ordered = sorted(selections.items(), key=lambda item: (len(item[0]), item[1]))
-    maximal_sets = [frozenset(top) for top in maximal]
-
-    def answers(selection: Tuple[int, ...]):
-        return space.certain_answers(engine, selection)
-
-    def preserving(guess_set: FrozenSet[int], guess: Tuple[int, ...]) -> bool:
-        guess_answers = answers(guess)
-        for top_set, top in zip(maximal_sets, maximal):
-            if guess_set < top_set and answers(top) != guess_answers:
-                return False
-        return all(
-            answers(superset) == guess_answers
-            for superset_set, superset in ordered
-            if guess_set < superset_set
-        )
-
-    # ρ itself first, mirroring the seed order (and the k = 0 case)
-    if preserving(frozenset(), ()):
-        return ()
-    if k == 0:
-        return None
-    for guess_set, guess in ordered:
-        if not 0 < len(guess_set) <= k:
-            continue
-        if preserving(guess_set, guess):
-            return guess
-    return None
+def _session_for(
+    specification: Specification,
+    match_entities_by_eid: bool,
+    session: Optional[ReasoningSession],
+    space: Optional[ExtensionSearchSpace],
+) -> ReasoningSession:
+    session = ReasoningSession.for_specification(
+        specification, session, match_entities_by_eid=match_entities_by_eid
+    )
+    if space is not None:
+        session.adopt_space(space)
+    return session
 
 
 def bounded_currency_preserving_extension(
@@ -218,6 +118,7 @@ def bounded_currency_preserving_extension(
     search: str = "auto",
     engine: Optional[QueryEngine] = None,
     space: Optional[ExtensionSearchSpace] = None,
+    session: Optional[ReasoningSession] = None,
 ) -> Optional[SpecificationExtension]:
     """A currency-preserving extension importing at most *k* tuples, or None.
 
@@ -228,25 +129,9 @@ def bounded_currency_preserving_extension(
     always decides the inner CPP oracle in-space on the one warm solver and
     never constructs another search space.
     """
-    if k < 0:
-        raise SpecificationError("the bound k must be non-negative")
-    if search not in SEARCHES:
-        raise SpecificationError(f"unknown BCP search {search!r}; expected one of {SEARCHES}")
-    if method not in _METHODS:
-        raise SpecificationError(f"unknown CPP method {method!r}; expected one of {_METHODS}")
-    if search == "naive":
-        return _bounded_naive(query, specification, k, method, match_entities_by_eid)
-    space = space_for(specification, match_entities_by_eid, space)
-    if not space.selection_consistent(()):
-        return None
-    if engine is None:
-        engine = QueryEngine(query)
-    selection = _bounded_in_space(space, engine, k)
-    if selection is None:
-        return None
-    if not selection:
-        return apply_imports(specification, [])
-    return space.extension(selection)
+    return _session_for(
+        specification, match_entities_by_eid, session, space
+    ).bounded_extension(query, k, method=method, search=search, engine=engine)
 
 
 def has_bounded_extension(
@@ -258,6 +143,7 @@ def has_bounded_extension(
     search: str = "auto",
     engine: Optional[QueryEngine] = None,
     space: Optional[ExtensionSearchSpace] = None,
+    session: Optional[ReasoningSession] = None,
 ) -> bool:
     """Decide BCP."""
     return (
@@ -270,9 +156,31 @@ def has_bounded_extension(
             search=search,
             engine=engine,
             space=space,
+            session=session,
         )
         is not None
     )
+
+
+def bound_refusal_certificates(
+    query: AnyQuery,
+    specification: Specification,
+    k: int,
+    match_entities_by_eid: bool = True,
+    engine: Optional[QueryEngine] = None,
+    space: Optional[ExtensionSearchSpace] = None,
+    session: Optional[ReasoningSession] = None,
+) -> Optional[List[BoundRefusalCertificate]]:
+    """*Why* BCP answers "no" for bound *k*: one certificate per refused
+    in-bound guess (ρ itself included), each naming the violating import set
+    and carrying the materialised consistent extension realising it.
+
+    Returns None when BCP answers "yes" (nothing to refuse) and the empty
+    list when the refusal is the base specification's inconsistency.
+    """
+    return _session_for(
+        specification, match_entities_by_eid, session, space
+    ).bcp_refusal(query, k, engine=engine)
 
 
 def bound_violation_core(
@@ -281,6 +189,7 @@ def bound_violation_core(
     k: int,
     match_entities_by_eid: bool = True,
     space: Optional[ExtensionSearchSpace] = None,
+    session: Optional[ReasoningSession] = None,
 ) -> Optional[Tuple[List[CandidateImport], bool]]:
     """Why no consistent extension realises *required_imports* within *k*.
 
@@ -293,15 +202,6 @@ def bound_violation_core(
     Derived imports may be required too: their prerequisites are forced by
     the closure encoding and count toward the bound.
     """
-    if k < 0:
-        raise SpecificationError("the bound k must be non-negative")
-    space = space_for(specification, match_entities_by_eid, space)
-    indices = []
-    for imp in required_imports:
-        try:
-            indices.append(space.candidates.index(imp))
-        except ValueError:
-            raise SpecificationError(
-                f"{imp!r} is not a candidate import of the specification"
-            ) from None
-    return space.bounded_selection_core(indices, k)
+    return _session_for(
+        specification, match_entities_by_eid, session, space
+    ).bound_violation_core(required_imports, k)

@@ -1,0 +1,139 @@
+"""Certificates the preservation layer attaches to its verdicts.
+
+Two kinds of evidence are produced:
+
+* :class:`AnswerDifferenceCertificate` — why a CPP witness extension violates
+  preservation: the concrete answer tuple that changed and a current database
+  of a completion refuting its certainty (moved here from
+  :mod:`repro.preservation.cpp`, which re-exports it).
+* :class:`BoundRefusalCertificate` — why a BCP guess of at most ``k`` imports
+  is *not* currency preserving: the violating import set (a consistent strict
+  superset of the guess within ``Ext(ρ)``) together with the materialised
+  extension realising it and the two disagreeing certain-answer sets.  A BCP
+  "no" answer is the conjunction of one such certificate per in-bound guess.
+
+Both are cross-checked by the property harness against the explicit oracles:
+re-evaluating the query on an answer-difference certificate's completion must
+miss the changed answer, and a bound-refusal certificate's extension must be
+consistent, strictly contain the guess and change the certain answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Iterable, Mapping, Tuple
+
+from repro.core.instance import NormalInstance
+from repro.exceptions import SolverError
+from repro.preservation.extensions import CandidateImport, SpecificationExtension
+from repro.query.engine import QueryEngine
+
+__all__ = [
+    "AnswerDifferenceCertificate",
+    "BoundRefusalCertificate",
+    "changed_answer",
+    "certificate_from_databases",
+]
+
+
+@dataclass(frozen=True)
+class AnswerDifferenceCertificate:
+    """Why a violating extension violates: one changed answer tuple, plus the
+    completion refuting its certainty.
+
+    Attributes
+    ----------
+    answer:
+        The concrete answer tuple in the symmetric difference of the certain
+        current answers w.r.t. ``S`` and w.r.t. ``S^e``.
+    gained:
+        True when *answer* is certain w.r.t. the extension but not the base
+        specification; False when it was certain w.r.t. the base and the
+        extension loses it.
+    completion_of:
+        ``"extension"`` for a lost answer (the completion belongs to
+        ``Mod(S^e)``), ``"base"`` for a gained one (it belongs to ``Mod(S)``
+        — the extension makes certain what the base could avoid).
+    completion:
+        The current database ``LST(D^c)`` of the witnessing completion,
+        restricted to the relations the query reads; evaluating the query on
+        it does **not** produce *answer*, which is exactly the refutation of
+        certainty on the ``completion_of`` side.
+    """
+
+    answer: Tuple[Any, ...]
+    gained: bool
+    completion_of: str
+    completion: Mapping[str, NormalInstance]
+
+    def refutes_certainty(self, engine: QueryEngine) -> bool:
+        """Re-evaluate the query on the certificate completion: True iff the
+        changed answer is indeed absent (the certificate is valid)."""
+        return self.answer not in engine.answers(dict(self.completion))
+
+
+@dataclass(frozen=True)
+class BoundRefusalCertificate:
+    """Why one BCP guess fails: a consistent superset extension whose certain
+    answers differ.
+
+    Attributes
+    ----------
+    guess:
+        The candidate imports of the refused guess (possibly empty: ρ itself).
+    violating_imports:
+        The imports of the refuting selection — a consistent, strictly larger
+        element of ``Ext(ρ)`` containing the guess.
+    extension:
+        The materialised :class:`SpecificationExtension` realising
+        *violating_imports* (its ``Mod`` is non-empty by construction).
+    guess_answers / extension_answers:
+        The certain current answers w.r.t. the guess and w.r.t. the refuting
+        extension; they differ, which is what denies the guess preservation.
+    """
+
+    guess: Tuple[CandidateImport, ...]
+    violating_imports: Tuple[CandidateImport, ...]
+    extension: SpecificationExtension
+    guess_answers: FrozenSet
+    extension_answers: FrozenSet
+
+    def refutes_preservation(self) -> bool:
+        """Structural self-check: the violating imports strictly contain the
+        guess and the two answer sets disagree."""
+        return (
+            set(self.guess) < set(self.violating_imports)
+            and self.guess_answers != self.extension_answers
+        )
+
+
+def changed_answer(
+    base_answers: FrozenSet, extended_answers: FrozenSet
+) -> Tuple[Tuple[Any, ...], bool]:
+    """A deterministic element of the symmetric difference, and whether it
+    was gained (present in the extension's answers only)."""
+    difference = base_answers ^ extended_answers
+    answer = min(difference, key=repr)
+    return answer, answer in extended_answers
+
+
+def certificate_from_databases(
+    engine: QueryEngine,
+    answer: Tuple[Any, ...],
+    gained: bool,
+    databases: Iterable[Mapping[str, NormalInstance]],
+) -> AnswerDifferenceCertificate:
+    """Scan the refuted side's current *databases* until one lacks the
+    changed answer — that database is the certificate completion."""
+    for database in databases:
+        if answer not in engine.answers(database):
+            return AnswerDifferenceCertificate(
+                answer=answer,
+                gained=gained,
+                completion_of="base" if gained else "extension",
+                completion=database,
+            )
+    raise SolverError(  # pragma: no cover - encoding-bug guard
+        "no current database refutes the changed answer; the certain-answer "
+        "sets and the current-database enumeration disagree"
+    )

@@ -14,14 +14,14 @@ PTIME algorithm for SP queries when no denial constraints are present
 
 Two general engines realise the quantification over ``Ext(ρ)``:
 
-* ``search="sat"`` (the default) walks only the *consistent* extensions, as
-  projected models of the one-shot closure encoding in
-  :mod:`repro.preservation.sat_extensions` — inconsistent subsets are pruned
-  by the solver wholesale, chained (derived) imports carry their own selector
-  variables, and every certain-answer computation runs on the same warm
-  incremental solver;
-* ``search="naive"`` is the seed path: explicit enumeration of every
-  downward-closed subset of the candidate closure via
+* ``search="sat"`` (the default) walks only the *consistent* extensions on
+  the warm solver of a :class:`~repro.session.ReasoningSession`'s extension
+  search space — the decision logic lives on the session
+  (:meth:`~repro.session.ReasoningSession.find_violating_extension`); the
+  functions here are thin back-compat wrappers that construct (or accept) a
+  session;
+* ``search="naive"`` is the seed path kept in this module: explicit
+  enumeration of every downward-closed subset of the candidate closure via
   :func:`~repro.preservation.extensions.enumerate_extensions_naive`, each
   materialised and re-encoded from scratch.  It is the reference oracle for
   the property-based differential tests.
@@ -29,12 +29,11 @@ Two general engines realise the quantification over ``Ext(ρ)``:
 Answer-difference certificates
 ------------------------------
 A violating extension returned by :func:`find_violating_extension` carries an
-:class:`AnswerDifferenceCertificate` on its ``certificate`` field: the
-concrete answer tuple that changed, whether it was *gained* (certain w.r.t.
-``S^e`` but not ``S``) or *lost* (certain w.r.t. ``S`` but not ``S^e``), and a
-current database of a witnessing completion on which re-evaluating the query
-shows the tuple is not certain — of ``S^e`` for a lost answer, of ``S`` for a
-gained one.  SAT-search certificates are additionally cross-checked against
+:class:`~repro.preservation.certificates.AnswerDifferenceCertificate` on its
+``certificate`` field (re-exported here): the concrete answer tuple that
+changed, whether it was *gained* or *lost*, and a current database of a
+witnessing completion on which re-evaluating the query shows the tuple is not
+certain.  SAT-search certificates are additionally cross-checked against
 :func:`~repro.reasoning.ccqa.certain_current_answers` on the materialised
 extension before being returned, so an encoding bug surfaces as an error
 instead of a bogus witness.
@@ -42,22 +41,25 @@ instead of a bogus witness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
+from typing import FrozenSet, Optional, Union
 
-from repro.core.instance import NormalInstance
 from repro.core.specification import Specification
-from repro.exceptions import InconsistentSpecificationError, SolverError, SpecificationError
+from repro.exceptions import InconsistentSpecificationError, SpecificationError
+from repro.preservation.certificates import (
+    AnswerDifferenceCertificate,
+    certificate_from_databases,
+    changed_answer,
+)
 from repro.preservation.extensions import (
     SpecificationExtension,
     enumerate_extensions_naive,
-    has_chained_imports,
 )
-from repro.preservation.sat_extensions import SEARCHES, ExtensionSearchSpace, space_for
+from repro.preservation.sat_extensions import SEARCHES, ExtensionSearchSpace
 from repro.query.ast import Query, SPQuery
 from repro.query.engine import QueryEngine
 from repro.reasoning.ccqa import certain_current_answers
 from repro.reasoning.current_db import CurrentDatabaseEnumerator
+from repro.session.session import CPP_METHODS, ReasoningSession
 
 __all__ = [
     "AnswerDifferenceCertificate",
@@ -66,93 +68,7 @@ __all__ = [
 ]
 
 AnyQuery = Union[Query, SPQuery]
-_METHODS = ("auto", "enumerate", "sp", "sat")
-
-
-@dataclass(frozen=True)
-class AnswerDifferenceCertificate:
-    """Why a violating extension violates: one changed answer tuple, plus the
-    completion refuting its certainty.
-
-    Attributes
-    ----------
-    answer:
-        The concrete answer tuple in the symmetric difference of the certain
-        current answers w.r.t. ``S`` and w.r.t. ``S^e``.
-    gained:
-        True when *answer* is certain w.r.t. the extension but not the base
-        specification; False when it was certain w.r.t. the base and the
-        extension loses it.
-    completion_of:
-        ``"extension"`` for a lost answer (the completion belongs to
-        ``Mod(S^e)``), ``"base"`` for a gained one (it belongs to ``Mod(S)``
-        — the extension makes certain what the base could avoid).
-    completion:
-        The current database ``LST(D^c)`` of the witnessing completion,
-        restricted to the relations the query reads; evaluating the query on
-        it does **not** produce *answer*, which is exactly the refutation of
-        certainty on the ``completion_of`` side.
-    """
-
-    answer: Tuple[Any, ...]
-    gained: bool
-    completion_of: str
-    completion: Mapping[str, NormalInstance]
-
-    def refutes_certainty(self, engine: QueryEngine) -> bool:
-        """Re-evaluate the query on the certificate completion: True iff the
-        changed answer is indeed absent (the certificate is valid)."""
-        return self.answer not in engine.answers(dict(self.completion))
-
-
-def _changed_answer(
-    base_answers: FrozenSet, extended_answers: FrozenSet
-) -> Tuple[Tuple[Any, ...], bool]:
-    """A deterministic element of the symmetric difference, and whether it
-    was gained (present in the extension's answers only)."""
-    difference = base_answers ^ extended_answers
-    answer = min(difference, key=repr)
-    return answer, answer in extended_answers
-
-
-def _certificate_from_databases(
-    engine: QueryEngine,
-    answer: Tuple[Any, ...],
-    gained: bool,
-    databases: Iterable[Mapping[str, NormalInstance]],
-) -> AnswerDifferenceCertificate:
-    """Scan the refuted side's current *databases* until one lacks the
-    changed answer — that database is the certificate completion."""
-    for database in databases:
-        if answer not in engine.answers(database):
-            return AnswerDifferenceCertificate(
-                answer=answer,
-                gained=gained,
-                completion_of="base" if gained else "extension",
-                completion=database,
-            )
-    raise SolverError(  # pragma: no cover - encoding-bug guard
-        "no current database refutes the changed answer; the certain-answer "
-        "sets and the current-database enumeration disagree"
-    )
-
-
-def _certificate_sat(
-    space: ExtensionSearchSpace,
-    engine: QueryEngine,
-    selection: Tuple[int, ...],
-    base_answers: FrozenSet,
-    extended_answers: FrozenSet,
-) -> AnswerDifferenceCertificate:
-    """Build the certificate on the warm solver's current-database pass."""
-    answer, gained = _changed_answer(base_answers, extended_answers)
-    refuted_selection: Tuple[int, ...] = () if gained else selection
-    return _certificate_from_databases(
-        engine,
-        answer,
-        gained,
-        space.current_databases(refuted_selection, relations=engine.relations),
-    )
+_METHODS = CPP_METHODS
 
 
 def _certificate_naive(
@@ -164,9 +80,9 @@ def _certificate_naive(
 ) -> AnswerDifferenceCertificate:
     """Certificate for the seed search: the refuted side is re-enumerated with
     the pre-existing :class:`CurrentDatabaseEnumerator` (no SAT space)."""
-    answer, gained = _changed_answer(base_answers, extended_answers)
+    answer, gained = changed_answer(base_answers, extended_answers)
     refuted = specification if gained else extension.specification
-    return _certificate_from_databases(
+    return certificate_from_databases(
         engine,
         answer,
         gained,
@@ -214,6 +130,21 @@ def _find_violating_naive(
     return None
 
 
+def _session_for(
+    specification: Specification,
+    match_entities_by_eid: bool,
+    session: Optional[ReasoningSession],
+    space: Optional[ExtensionSearchSpace],
+) -> ReasoningSession:
+    """Shared wrapper plumbing: a validated session with an adopted space."""
+    session = ReasoningSession.for_specification(
+        specification, session, match_entities_by_eid=match_entities_by_eid
+    )
+    if space is not None:
+        session.adopt_space(space)
+    return session
+
+
 def find_violating_extension(
     query: AnyQuery,
     specification: Specification,
@@ -223,6 +154,7 @@ def find_violating_extension(
     engine: Optional[QueryEngine] = None,
     search: str = "auto",
     space: Optional[ExtensionSearchSpace] = None,
+    session: Optional[ReasoningSession] = None,
 ) -> Optional[SpecificationExtension]:
     """A witness extension whose certain answers differ from the base ones, or
     None when every (consistent) extension preserves them.
@@ -236,59 +168,30 @@ def find_violating_extension(
     in that case ρ is not currency preserving by definition and there is no
     meaningful witness to return.
 
-    One :class:`QueryEngine` (supplied or built here) is shared by the base
-    check and every extension, so the compiled plan — and answer sets of
-    value-identical current databases — are reused across ``Ext(ρ)``.
+    One :class:`QueryEngine` (supplied or built by the session) is shared by
+    the base check and every extension, so the compiled plan — and answer
+    sets of value-identical current databases — are reused across ``Ext(ρ)``.
 
     *search* picks the engine: ``"sat"`` (the ``"auto"`` default) enumerates
     consistent extensions — chained derived imports included — on the warm
-    solver of *space* (built here when not supplied), ``"naive"`` is the seed
-    closure-subset enumeration.  *ccqa_method* applies to the naive search
-    and to the SAT search's certificate cross-check; the SAT search computes
-    certain answers through the space's own current-database enumeration and
-    re-validates any witness against
-    :func:`~repro.reasoning.ccqa.certain_current_answers` on the materialised
-    extension before returning it.  Witness identity may differ between the
-    engines (the SAT search returns witnesses in solver order, the naive
-    search in subset-size order); the *verdict* — witness vs no witness —
-    always agrees.
+    solver of the session's space (adopted from *space* when supplied),
+    ``"naive"`` is the seed closure-subset enumeration.  *ccqa_method*
+    applies to the naive search and to the SAT search's certificate
+    cross-check.  Witness identity may differ between the engines (the SAT
+    search returns witnesses in solver order, the naive search in subset-size
+    order); the *verdict* — witness vs no witness — always agrees.
     """
     if search not in SEARCHES:
         raise SpecificationError(f"unknown CPP search {search!r}; expected one of {SEARCHES}")
-    if engine is None:
-        engine = QueryEngine(query)
-    if search == "naive":
-        return _find_violating_naive(
-            query, specification, max_imports, match_entities_by_eid, ccqa_method, engine
-        )
-    space = space_for(specification, match_entities_by_eid, space)
-    base_answers = space.certain_answers(engine, ())
-    if base_answers is None:
-        raise InconsistentSpecificationError(
-            "the base specification has no consistent completion"
-        )
-    for selection in space.iterate_consistent_selections(max_imports=max_imports):
-        if not selection:
-            continue  # the empty selection is ρ itself, not an extension
-        extended_answers = space.certain_answers(engine, selection)
-        if extended_answers == base_answers:
-            continue
-        witness = space.extension(selection)
-        certificate = _certificate_sat(
-            space, engine, selection, base_answers, extended_answers
-        )
-        # cross-check the in-space answers against the pre-existing CCQA path
-        # on the materialised extension: an encoding bug must not ship a
-        # bogus witness
-        revalidated = _certain(query, witness.specification, ccqa_method, engine=engine)
-        if revalidated is None or (certificate.answer in revalidated) != certificate.gained:
-            raise SolverError(
-                "the SAT search found a violating extension that "
-                "certain_current_answers on the materialised extension refutes"
-            )
-        witness.certificate = certificate
-        return witness
-    return None
+    return _session_for(
+        specification, match_entities_by_eid, session, space
+    ).find_violating_extension(
+        query,
+        max_imports=max_imports,
+        ccqa_method=ccqa_method,
+        engine=engine,
+        search=search,
+    )
 
 
 def is_currency_preserving(
@@ -300,6 +203,7 @@ def is_currency_preserving(
     ccqa_method: str = "auto",
     engine: Optional[QueryEngine] = None,
     space: Optional[ExtensionSearchSpace] = None,
+    session: Optional[ReasoningSession] = None,
 ) -> bool:
     """Decide CPP: are the specification's copy functions currency preserving
     for *query*?
@@ -314,41 +218,10 @@ def is_currency_preserving(
     (:func:`~repro.preservation.extensions.has_chained_imports` — exact, so a
     chaining copy graph with nothing chained-importable keeps the fast path).
     """
-    if method not in _METHODS:
-        raise SpecificationError(f"unknown CPP method {method!r}; expected one of {_METHODS}")
-    applicability_checked = False
-    if method == "auto":
-        if (
-            isinstance(query, SPQuery)
-            and not specification.has_denial_constraints()
-            and not has_chained_imports(
-                specification, match_entities_by_eid=match_entities_by_eid
-            )
-        ):
-            method = "sp"
-            applicability_checked = True  # exactly sp_fast's applicability test
-        else:
-            method = "sat"
-    if method == "sp":
-        from repro.preservation.sp_fast import sp_is_currency_preserving
-
-        return sp_is_currency_preserving(
-            query,
-            specification,
-            match_entities_by_eid=match_entities_by_eid,
-            _applicability_checked=applicability_checked,
-        )
-    try:
-        witness = find_violating_extension(
-            query,
-            specification,
-            max_imports=max_imports,
-            match_entities_by_eid=match_entities_by_eid,
-            ccqa_method=ccqa_method,
-            engine=engine,
-            search="naive" if method == "enumerate" else "sat",
-            space=space,
-        )
-    except InconsistentSpecificationError:
-        return False
-    return witness is None
+    return _session_for(specification, match_entities_by_eid, session, space).cpp(
+        query,
+        method=method,
+        max_imports=max_imports,
+        ccqa_method=ccqa_method,
+        engine=engine,
+    )

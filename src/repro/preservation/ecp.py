@@ -12,14 +12,14 @@ When the specification is inconsistent, the problem coincides with CPS
 (Σp2-complete / NP-complete): ρ can be made currency preserving iff ``Mod(S)``
 is non-empty, which for an inconsistent ``S`` it is not.
 
-The greedy construction runs, by default, as a sequence of consistency probes
-under assumptions on the warm solver of
-:class:`~repro.preservation.sat_extensions.ExtensionSearchSpace` — one
-encoding instead of one :class:`~repro.core.specification.Specification`
-materialisation plus one cold consistency check per candidate.  The seed
-materialise-and-check loop is retained under ``search="naive"`` as the
-differential-testing oracle; both produce the *same* extension (the greedy
-order is the candidate order in both engines).
+The greedy construction runs, by default, on the warm solver of a
+:class:`~repro.session.ReasoningSession`'s extension search space — and when
+a BCP sweep already harvested the ⊆-maximal consistent selections, the greedy
+replays against that harvest with **zero** further SAT calls
+(:meth:`~repro.preservation.sat_extensions.ExtensionSearchSpace.greedy_maximal_selection`).
+The seed materialise-and-check loop is retained here under ``search="naive"``
+as the differential-testing oracle; both produce the *same* extension (the
+greedy order is the candidate order in every engine).
 """
 
 from __future__ import annotations
@@ -34,9 +34,10 @@ from repro.preservation.extensions import (
     apply_imports,
     candidate_closure,
 )
-from repro.preservation.sat_extensions import SEARCHES, ExtensionSearchSpace, space_for
+from repro.preservation.sat_extensions import ExtensionSearchSpace
 from repro.query.ast import Query, SPQuery
 from repro.reasoning.cps import is_consistent
+from repro.session.session import ReasoningSession
 
 __all__ = ["currency_preserving_extension_exists", "maximal_extension"]
 
@@ -47,6 +48,7 @@ def currency_preserving_extension_exists(
     query: AnyQuery,
     specification: Specification,
     space: Optional[ExtensionSearchSpace] = None,
+    session: Optional[ReasoningSession] = None,
 ) -> bool:
     """Decide ECP.
 
@@ -55,14 +57,48 @@ def currency_preserving_extension_exists(
     no extension can be currency preserving (condition (a) of the definition
     fails for every extension), so the answer is False.
 
-    When *space* is supplied the consistency check is one assumption probe on
-    its warm solver; otherwise it is a standalone CPS decision (the chase for
-    constraint-free specifications, one SAT call otherwise).
+    When *space* (or a *session* with a warm space) is supplied the
+    consistency check is one assumption probe on its warm solver; otherwise it
+    is a standalone CPS decision (the chase for constraint-free
+    specifications, one SAT call otherwise).  A space built for a different
+    specification would answer the wrong question and is rejected (the
+    entity-matching mode is irrelevant to a base-consistency probe, so it is
+    deliberately not checked here).
     """
-    del query  # the decision does not depend on the query (Proposition 5.2)
     if space is not None:
+        if (
+            space.specification is not specification
+            and space.specification != specification
+        ):
+            raise SpecificationError(
+                "the supplied extension search space was built for a different "
+                "specification"
+            )
         return space.selection_consistent(())
-    return is_consistent(specification)
+    return ReasoningSession.for_specification(specification, session).ecp(query)
+
+
+def _maximal_extension_naive(
+    specification: Specification, match_entities_by_eid: bool
+) -> SpecificationExtension:
+    """The seed greedy: one materialised specification plus one cold
+    consistency check per closure candidate (the differential oracle)."""
+    closure = candidate_closure(
+        specification, match_entities_by_eid=match_entities_by_eid
+    )
+    kept: list[CandidateImport] = []
+    kept_indices: set[int] = set()
+    current = apply_imports(specification, [])
+    for index, candidate in enumerate(closure.candidates):
+        prerequisite = closure.prerequisites.get(index)
+        if prerequisite is not None and prerequisite not in kept_indices:
+            continue  # the import creating its source tuple was rejected
+        trial = apply_imports(specification, kept + [candidate])
+        if is_consistent(trial.specification):
+            kept.append(candidate)
+            kept_indices.add(index)
+            current = trial
+    return current
 
 
 def maximal_extension(
@@ -70,6 +106,7 @@ def maximal_extension(
     match_entities_by_eid: bool = True,
     search: str = "auto",
     space: Optional[ExtensionSearchSpace] = None,
+    session: Optional[ReasoningSession] = None,
 ) -> SpecificationExtension:
     """Construct a maximal (hence currency-preserving) extension greedily.
 
@@ -80,35 +117,17 @@ def maximal_extension(
     so by the definition of currency preservation it preserves the certain
     answers of every query.
 
-    Both engines walk the same order and produce the same extension.  A
+    All engines walk the same order and produce the same extension.  A
     derived candidate whose prerequisite was rejected is unreachable: in the
     naive engine it is skipped outright (its source tuple was never created);
     in the SAT engine the implication clauses force the prerequisite, whose
     earlier rejection makes the probe unsatisfiable by upward monotonicity of
-    inconsistency.
+    inconsistency — and against a memoised maximal harvest the probe becomes
+    a subset test, with identical outcome by downward monotonicity.
     """
-    if search not in SEARCHES:
-        raise SpecificationError(f"unknown ECP search {search!r}; expected one of {SEARCHES}")
-    if search == "naive":
-        closure = candidate_closure(
-            specification, match_entities_by_eid=match_entities_by_eid
-        )
-        kept: list[CandidateImport] = []
-        kept_indices: set[int] = set()
-        current = apply_imports(specification, [])
-        for index, candidate in enumerate(closure.candidates):
-            prerequisite = closure.prerequisites.get(index)
-            if prerequisite is not None and prerequisite not in kept_indices:
-                continue  # the import creating its source tuple was rejected
-            trial = apply_imports(specification, kept + [candidate])
-            if is_consistent(trial.specification):
-                kept.append(candidate)
-                kept_indices.add(index)
-                current = trial
-        return current
-    space = space_for(specification, match_entities_by_eid, space)
-    chosen: list[int] = []
-    for index in range(len(space.candidates)):
-        if space.selection_consistent(chosen + [index]):
-            chosen.append(index)
-    return space.extension(chosen)
+    session = ReasoningSession.for_specification(
+        specification, session, match_entities_by_eid=match_entities_by_eid
+    )
+    if space is not None:
+        session.adopt_space(space)
+    return session.maximal_extension(search=search)

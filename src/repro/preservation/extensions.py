@@ -312,25 +312,46 @@ class CandidateClosure:
 
         The prerequisite relation is a forest (every derived candidate has
         exactly one prerequisite), so the downward-closed subsets are the
-        products of per-tree ancestor-closed subtrees; they are generated
-        directly, without filtering the full powerset.
+        products of per-tree ancestor-closed subtrees.  The product is
+        generated **lazily** (one subset at a time, depth-first): consumers
+        that stop early — the bounded search materialises at most its family
+        cap before degrading to restricted solver sweeps — pay only for what
+        they draw, never for the whole (possibly exponential) family.
         """
         roots, children = self._forest_of(selection)
 
-        def subtree_options(index: int) -> List[FrozenSet[int]]:
-            with_node = [frozenset({index})]
-            for child in children.get(index, ()):
-                child_options = subtree_options(child)
-                with_node = [
-                    base | extra for base in with_node for extra in child_options
-                ]
-            return [frozenset()] + with_node
+        def subtree_options(index: int) -> Iterator[FrozenSet[int]]:
+            yield frozenset()
+            node = frozenset({index})
+            for kid_set in product_over(tuple(children.get(index, ()))):
+                yield node | kid_set
 
-        combos: List[FrozenSet[int]] = [frozenset()]
-        for root in roots:
-            root_options = subtree_options(root)
-            combos = [base | extra for base in combos for extra in root_options]
-        return iter(combos)
+        def product_over(nodes: Sequence[int]) -> Iterator[FrozenSet[int]]:
+            # iterative depth-first product (one heap frame per node): wide
+            # closures — thousands of independent candidates — must not hit
+            # the interpreter recursion limit on the first draw.  Recursion
+            # remains only across tree *depth* (prerequisite chains), which
+            # the closure construction already bounds.
+            if not nodes:
+                yield frozenset()
+                return
+            last = len(nodes) - 1
+            partial: List[FrozenSet[int]] = [frozenset()] * (len(nodes) + 1)
+            generators: List[Iterator[FrozenSet[int]]] = [subtree_options(nodes[0])]
+            while generators:
+                level = len(generators) - 1
+                choice = next(generators[level], None)
+                if choice is None:
+                    generators.pop()
+                    continue
+                combined = partial[level] | choice
+                if level == last:
+                    yield combined
+                else:
+                    partial[level + 1] = combined
+                    generators.append(subtree_options(nodes[level + 1]))
+
+        return product_over(tuple(roots))
 
 
 def candidate_closure(

@@ -122,6 +122,15 @@ Selection = Tuple[int, ...]
 #: Search-engine selector shared by the CPP/ECP/BCP entry points.
 SEARCHES = ("auto", "sat", "naive")
 
+#: Per-(selection, relations) bound on memoised current-database lists; a
+#: selection with more realizable databases is streamed instead of pinned.
+_DB_MEMO_CAP = 256
+
+#: Bound on the memoised consistent-selection enumeration; a larger family is
+#: streamed on every pass instead of pinned in memory (the huge-family BCP
+#: fallback must stay time-bounded, never memory-bounded).
+_SELECTION_MEMO_CAP = 100_000
+
 
 def space_for(
     specification: Specification,
@@ -209,6 +218,22 @@ class ExtensionSearchSpace:
         self._counter_built = False
         self._instance_cache = CurrentDatabaseCache()
         self._answer_cache: Dict[Tuple[Any, FrozenSet[int]], Optional[FrozenSet]] = {}
+        # (selection, relations) -> the complete list of its current databases;
+        # lets every engine sweeping the same selections (CPP after CCQA, a
+        # second query's CPP, BCP after CPP) skip the SAT enumeration entirely
+        self._database_memo: Dict[
+            Tuple[FrozenSet[int], Tuple[str, ...]], List[Dict[str, NormalInstance]]
+        ] = {}
+        # the complete ⊆-maximal harvest, memoised by
+        # maximal_consistent_selections() so ECP's greedy and repeated BCP
+        # sweeps reuse it without further SAT calls
+        self._maximal_cache: Optional[List[Selection]] = None
+        # the complete consistent-selection enumeration, memoised after the
+        # first exhaustive pass; restricted calls (max_imports / supersets_of)
+        # filter it exactly — every cached selection is downward closed, so
+        # "contains the given indices" and "size ≤ bound" are the precise
+        # solver-side semantics
+        self._selection_cache: Optional[List[Selection]] = None
         #: whether any *derived* candidate actually exists — computed from the
         #: closure itself, not from the copy-function graph, so a spec whose
         #: graph could chain but whose chained sources have nothing importable
@@ -301,33 +326,36 @@ class ExtensionSearchSpace:
         )
 
     def _encode_denial_constraints(self, name: str) -> None:
-        instance = self.full.instance(name)
         for constraint in self.full.constraints_for(name):
-            for implication, support in constraint.grounded_implications_with_support(
-                instance
-            ):
-                guards = self._guards(name, support)
-                premises: List[int] = []
-                vacuous = False
-                for attribute, lower, upper in implication.premises:
-                    if not self._same_entity(instance, lower, upper):
-                        vacuous = True  # the premise can never hold
-                        break
-                    premises.append(-self._pair(name, attribute, lower, upper))
-                if vacuous:
-                    continue
-                head = implication.head
-                if head is None:
-                    self.cnf.add_clause(guards + premises)
-                    continue
-                attribute, lower, upper = head
+            self._encode_denial_constraint(name, constraint)
+
+    def _encode_denial_constraint(self, name: str, constraint) -> None:
+        instance = self.full.instance(name)
+        for implication, support in constraint.grounded_implications_with_support(
+            instance
+        ):
+            guards = self._guards(name, support)
+            premises: List[int] = []
+            vacuous = False
+            for attribute, lower, upper in implication.premises:
                 if not self._same_entity(instance, lower, upper):
-                    # the head can never be satisfied: the premises must fail
-                    self.cnf.add_clause(guards + premises)
-                else:
-                    self.cnf.add_clause(
-                        guards + premises + [self._pair(name, attribute, lower, upper)]
-                    )
+                    vacuous = True  # the premise can never hold
+                    break
+                premises.append(-self._pair(name, attribute, lower, upper))
+            if vacuous:
+                continue
+            head = implication.head
+            if head is None:
+                self.cnf.add_clause(guards + premises)
+                continue
+            attribute, lower, upper = head
+            if not self._same_entity(instance, lower, upper):
+                # the head can never be satisfied: the premises must fail
+                self.cnf.add_clause(guards + premises)
+            else:
+                self.cnf.add_clause(
+                    guards + premises + [self._pair(name, attribute, lower, upper)]
+                )
 
     def _encode_copy_functions(self) -> None:
         for copy_function in self.full.copy_functions:
@@ -537,6 +565,85 @@ class ExtensionSearchSpace:
         return imports, bound is not None and bound in core
 
     # ------------------------------------------------------------------ #
+    # Base-specification probes (the session facade's CPS/COP/DCIP backend)
+    # ------------------------------------------------------------------ #
+    def _pair_literal(self, pair: Tuple[str, str, Hashable, Hashable], positive: bool = True) -> int:
+        if not self.cnf.has_variable(pair):
+            # allocating a fresh unconstrained variable would make probes
+            # vacuously satisfiable — reject caller mistakes outright
+            raise SolverError(f"currency pair {pair!r} is not part of the encoding")
+        return self.cnf.literal(pair, positive)
+
+    def base_probe(
+        self, pairs: Iterable[Tuple[str, str, Hashable, Hashable]] = ()
+    ) -> bool:
+        """Whether a consistent completion of the *base* specification (every
+        selector false) satisfies all currency *pairs*.
+
+        This is :meth:`CompletionEncoder.satisfiable` on the shared extension
+        solver: once a preservation question has built the space, the base
+        problems (CPS, COP's per-pair checks, DCIP's maximality probes) run
+        warm on it instead of encoding the specification a second time.
+        """
+        assumptions = (
+            self._deactivations()
+            + self._selection_literals((), exact=True)
+            + [self._pair_literal(pair) for pair in pairs]
+        )
+        return self.solver.solve(assumptions) is not None
+
+    def base_excludes_some_pair(
+        self, pairs: Sequence[Tuple[str, str, Hashable, Hashable]]
+    ) -> bool:
+        """Whether some consistent completion of the base specification misses
+        at least one of *pairs* — COP's complement question, as one gated
+        clause on the warm solver (retired afterwards)."""
+        literals = [-self._pair_literal(pair) for pair in pairs]
+        activation = self._new_activation()
+        self.cnf.add_clause([-activation] + literals)
+        solver = self.solver  # syncs the gated clause
+        try:
+            assumptions = (
+                [activation]
+                + [-o for o in self._activation_literals if o != activation]
+                + self._selection_literals((), exact=True)
+            )
+            return solver.solve(assumptions) is not None
+        finally:
+            self._retire_activation(activation)
+
+    # ------------------------------------------------------------------ #
+    # Incremental mutation (the session facade's dependency map)
+    # ------------------------------------------------------------------ #
+    def _invalidate_derived_caches(self) -> None:
+        self._answer_cache.clear()
+        self._database_memo.clear()
+        self._maximal_cache = None
+        self._selection_cache = None
+
+    def add_order(
+        self, instance_name: str, attribute: str, lower: Hashable, upper: Hashable
+    ) -> None:
+        """Extend the encoding after ``lower ≺_attribute upper`` was added to
+        the base specification (one additive unit clause; the candidate
+        closure is order-independent, so the selector universe is unchanged).
+        """
+        instance = self.full.instance(instance_name)
+        if not instance.precedes(attribute, lower, upper):
+            instance.add_order(attribute, lower, upper)
+        self.cnf.add_clause([self._pair_literal((instance_name, attribute, lower, upper))])
+        self._invalidate_derived_caches()
+
+    def add_denial(self, instance_name: str, constraint) -> None:
+        """Extend the encoding after *constraint* was attached to the named
+        instance.  Additive: the constraint's groundings over the maximal
+        extension are gated on their supports exactly as at build time; no
+        existing clause, selector or maximality/value variable changes."""
+        self.full.add_constraint(instance_name, constraint)
+        self._encode_denial_constraint(instance_name, constraint)
+        self._invalidate_derived_caches()
+
+    # ------------------------------------------------------------------ #
     # Enumeration
     # ------------------------------------------------------------------ #
     def iterate_consistent_selections(
@@ -560,7 +667,28 @@ class ExtensionSearchSpace:
         the consistent family from :meth:`maximal_consistent_selections` in
         plain Python and only streams restricted sweeps through here when
         that family is too large to materialise.
+
+        The first pass that runs to exhaustion with no restrictions memoises
+        the complete enumeration; later passes — restricted ones included,
+        since every selection is downward closed and the restrictions are
+        plain subset/size predicates on it — replay the cached list with zero
+        SAT work.
         """
+        if self._selection_cache is not None:
+            required = self.closure.downward_closure(supersets_of)
+            produced = 0
+            for selection in self._selection_cache:
+                if max_imports is not None and len(selection) > max_imports:
+                    continue
+                if not required <= set(selection):
+                    continue
+                yield selection
+                produced += 1
+                if limit is not None and produced >= limit:
+                    return
+            return
+        unrestricted = max_imports is None and not supersets_of and limit is None
+        collected: Optional[List[Selection]] = [] if unrestricted else None
         fixed = self._selection_literals(supersets_of, exact=False)
         if max_imports is not None:
             bound = self.bound_assumption(max_imports)
@@ -579,6 +707,8 @@ class ExtensionSearchSpace:
                 )
                 model = self.solver.solve(assumptions)
                 if model is None:
+                    if collected is not None:
+                        self._selection_cache = collected
                     return
                 selection = tuple(
                     index
@@ -590,7 +720,11 @@ class ExtensionSearchSpace:
                     for var in self._selector_vars
                 ]
                 if not solver.add_clause(blocking):
-                    return
+                    return  # root-level conflict: keep the seed semantics, no cache
+                if collected is not None:
+                    collected.append(selection)
+                    if len(collected) > _SELECTION_MEMO_CAP:
+                        collected = None  # too many to pin; stream every pass
                 yield selection
                 produced += 1
                 if limit is not None and produced >= limit:
@@ -611,19 +745,32 @@ class ExtensionSearchSpace:
         of SAT calls instead of one projected model per selection.
 
         Each round takes one model from the shared solver, greedily extends
-        its selection to a maximal one by positive-assumption probes (exact by
-        monotonicity), and blocks it with an activation-gated clause requiring
-        some selector outside it; each maximal selection is produced exactly
-        once.  The number of maxima can itself be exponential (mutually
-        exclusive candidate pairs); *limit* lets callers abandon the harvest
-        — None is returned the moment more than *limit* maxima exist, so a
-        pathological space costs at most ``limit + 1`` rounds.
+        its selection to a maximal one (:meth:`extend_to_maximal`), and blocks
+        it with an activation-gated clause requiring some selector outside it;
+        each maximal selection is produced exactly once.  The number of maxima
+        can itself be exponential (mutually exclusive candidate pairs);
+        *limit* lets callers abandon the harvest — None is returned the moment
+        more than *limit* maxima exist, so a pathological space costs at most
+        ``limit + 1`` rounds.
+
+        A *complete* harvest is memoised on the space, so later callers — a
+        second BCP sweep, ECP's :meth:`greedy_maximal_selection` — get it back
+        without any further SAT work.
         """
+        if self._maximal_cache is not None:
+            if limit is not None and len(self._maximal_cache) > limit:
+                return None
+            return list(self._maximal_cache)
         activation = self._new_activation()
         solver = self.solver
         solver.ensure_vars(self.cnf.num_variables)
         maximal: List[Selection] = []
         universe = range(len(self._selector_vars))
+
+        def complete(harvest: List[Selection]) -> List[Selection]:
+            self._maximal_cache = list(harvest)
+            return harvest
+
         try:
             while True:
                 assumptions = [activation] + [
@@ -631,27 +778,62 @@ class ExtensionSearchSpace:
                 ]
                 model = self.solver.solve(assumptions)
                 if model is None:
-                    return maximal
-                chosen = {
-                    index
-                    for index, var in enumerate(self._selector_vars)
-                    if model.get(var, False)
-                }
-                for index in universe:
-                    if index not in chosen and self.selection_consistent(
-                        sorted(chosen | {index})
-                    ):
-                        chosen.add(index)
+                    return complete(maximal)
+                chosen = set(
+                    self.extend_to_maximal(
+                        index
+                        for index, var in enumerate(self._selector_vars)
+                        if model.get(var, False)
+                    )
+                )
                 maximal.append(tuple(sorted(chosen)))
                 if limit is not None and len(maximal) > limit:
                     return None
                 outside = [self._selector_vars[i] for i in universe if i not in chosen]
                 if not outside:  # every candidate imported: nothing above it
-                    return maximal
+                    return complete(maximal)
                 if not solver.add_clause([-activation] + outside):
-                    return maximal
+                    return complete(maximal)
         finally:
             self._retire_activation(activation)
+
+    def extend_to_maximal(self, selection: Iterable[int]) -> Selection:
+        """Greedily extend a consistent *selection* to a ⊆-maximal consistent
+        one, probing candidates in index order (exact: consistency is
+        downward monotone, so a positive-assumption probe per candidate
+        decides whether it still fits above the current selection)."""
+        chosen = set(selection)
+        for index in range(len(self._selector_vars)):
+            if index not in chosen and self.selection_consistent(sorted(chosen | {index})):
+                chosen.add(index)
+        return tuple(sorted(chosen))
+
+    def greedy_maximal_selection(self) -> List[int]:
+        """The selection the index-order greedy construction produces — the
+        ECP witness of Proposition 5.2.
+
+        When the complete ⊆-maximal harvest is memoised (a BCP sweep ran
+        first), the greedy run needs **zero** SAT calls: ``chosen ∪ {i}`` is
+        consistent iff it is contained in some maximal consistent selection
+        (downward monotonicity), so each step is a subset test against the
+        harvest.  Otherwise it falls back to one consistency probe per
+        candidate on the warm solver — identical output either way.
+        """
+        if self._maximal_cache is not None:
+            maxima = [set(selection) for selection in self._maximal_cache]
+            chosen: List[int] = []
+            chosen_set: Set[int] = set()
+            for index in range(len(self._selector_vars)):
+                trial = chosen_set | {index}
+                if any(trial <= top for top in maxima):
+                    chosen.append(index)
+                    chosen_set.add(index)
+            return chosen
+        chosen = []
+        for index in range(len(self._selector_vars)):
+            if self.selection_consistent(chosen + [index]):
+                chosen.append(index)
+        return chosen
 
     def extension(self, selection: Sequence[int]) -> SpecificationExtension:
         """The :class:`SpecificationExtension` realising *selection*."""
@@ -748,19 +930,46 @@ class ExtensionSearchSpace:
         (memoised per (engine, selection)); value-identical current databases
         share one evaluation through the engine's answer cache and the
         interned instances of :class:`~repro.core.completion.CurrentDatabaseCache`.
+        On top, the complete database list of each (selection, relations) pair
+        is memoised up to :data:`_DB_MEMO_CAP` entries, so every further
+        engine sweeping the same selections — a second query's CPP, the BCP
+        sweep after CPP, a session's CCQA before either — intersects plain
+        lists instead of re-running the SAT enumeration.
         """
         key = (engine, frozenset(selection))
         if key in self._answer_cache:
             return self._answer_cache[key]
         intersection: Optional[Set[Tuple[Any, ...]]] = None
         answers: Optional[FrozenSet]
-        for database in self.current_databases(selection, relations=engine.relations):
-            if intersection is None:
-                intersection = set(engine.answers(database))
-            else:
-                intersection &= engine.answers(database)
-            if not intersection:
-                break
+        memo_key = (frozenset(selection), tuple(engine.relations))
+        memoised = self._database_memo.get(memo_key)
+        if memoised is not None:
+            for database in memoised:
+                if intersection is None:
+                    intersection = set(engine.answers(database))
+                else:
+                    intersection &= engine.answers(database)
+                if not intersection:
+                    break
+        else:
+            collected: Optional[List[Dict[str, NormalInstance]]] = []
+            for database in self.current_databases(selection, relations=engine.relations):
+                if collected is not None:
+                    collected.append(database)
+                    if len(collected) > _DB_MEMO_CAP:
+                        collected = None  # too many to pin; stream the rest
+                if intersection is None:
+                    intersection = set(engine.answers(database))
+                else:
+                    intersection &= engine.answers(database)
+                if not intersection:
+                    # seed semantics: an emptied intersection ends the sweep
+                    # immediately; the (now partial) database list is not
+                    # memoised
+                    collected = None
+                    break
+            if collected is not None:
+                self._database_memo[memo_key] = collected
         answers = None if intersection is None else frozenset(intersection)
         self._answer_cache[key] = answers
         return answers
@@ -778,6 +987,9 @@ class ExtensionSearchSpace:
             "clauses": len(self.cnf.clauses),
             "active_passes": len(self._activation_literals),
             "answer_cache_entries": len(self._answer_cache),
+            "database_memo_entries": len(self._database_memo),
+            "maximal_harvest_cached": self._maximal_cache is not None,
+            "selection_enumeration_cached": self._selection_cache is not None,
             "constructions": type(self).constructions,
         }
         if self._solver is not None:

@@ -47,9 +47,8 @@ from repro.preservation.extensions import (
     has_chained_imports,
 )
 from repro.query.ast import SPQuery
-from repro.query.evaluator import evaluate
-from repro.reasoning.ccqa import UnknownValue, sp_certain_answers
 from repro.reasoning.chase import chase_certain_orders
+from repro.reasoning.sp import UnknownValue, sp_certain_answers
 
 __all__ = ["sp_is_currency_preserving", "sp_has_bounded_extension"]
 

@@ -16,26 +16,27 @@ Strategies
 * ``"enumerate"``   — exhaustive enumeration of ``Mod(S)`` (ground truth).
 * ``"candidates"``  — enumeration of realizable *current databases* via the
   SAT-backed :class:`~repro.reasoning.current_db.CurrentDatabaseEnumerator`
-  (the default general path).
+  (the default general path), or — on a session whose extension search space
+  is already warm — via the space's value-level projection.
 * ``"sp"``          — the PTIME algorithm of Proposition 6.3 (SP queries, no
-  denial constraints).
+  denial constraints; :mod:`repro.reasoning.sp`, re-exported here).
 * ``"auto"``        — picks ``"sp"`` when applicable, ``"candidates"`` otherwise.
+
+All strategies live on :class:`~repro.session.ReasoningSession`; the functions
+below are thin back-compat wrappers that construct (or accept, via *session*)
+a session, so repeated calls against one warm session share the compiled
+query engine, the completion encoder and the memoised answer sets.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Hashable, Optional, Set, Tuple, Union
+from typing import Any, Optional, Tuple, Union
 
-from repro.core.completion import CurrentDatabaseCache, consistent_completions
-from repro.core.instance import NormalInstance
 from repro.core.specification import Specification
-from repro.core.tuples import RelationTuple
-from repro.exceptions import InconsistentSpecificationError, QueryError, SpecificationError
 from repro.query.ast import Query, SPQuery
 from repro.query.engine import QueryEngine
-from repro.query.evaluator import evaluate
-from repro.reasoning.chase import chase_certain_orders
-from repro.reasoning.current_db import CurrentDatabaseEnumerator
+from repro.reasoning.sp import UnknownValue, sp_certain_answers
+from repro.session.session import CCQA_METHODS, ReasoningSession
 
 __all__ = [
     "certain_current_answers",
@@ -45,165 +46,30 @@ __all__ = [
 ]
 
 AnyQuery = Union[Query, SPQuery]
-_METHODS = ("auto", "enumerate", "candidates", "sp")
+_METHODS = CCQA_METHODS
 
 
-class UnknownValue:
-    """A fresh constant ``c_{e,A}`` marking a cell with several possible
-    current values (Proposition 6.3).  Unknown values compare equal only to
-    themselves, so any selection or join condition touching them fails and the
-    corresponding answer tuples are discarded."""
-
-    __slots__ = ("entity", "attribute")
-
-    def __init__(self, entity: Any, attribute: str) -> None:
-        self.entity = entity
-        self.attribute = attribute
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"⊥({self.entity},{self.attribute})"
-
-    def __hash__(self) -> int:
-        return hash((id(self),))
-
-
-# --------------------------------------------------------------------------- #
-# General strategies
-# --------------------------------------------------------------------------- #
-def _answers_by_enumeration(
-    query: AnyQuery,
-    specification: Specification,
-    engine: Optional[QueryEngine] = None,
-) -> Optional[FrozenSet]:
-    """Intersection of Q over all consistent completions; None when Mod(S)=∅.
-
-    The query is compiled once into a :class:`QueryEngine`; completions that
-    induce value-identical current databases share one evaluation — and, via
-    :class:`~repro.core.completion.CurrentDatabaseCache`, one decoded
-    :class:`NormalInstance` per distinct current instance, so the engine's
-    answer cache and the per-column query indexes are both reused.  For
-    positive queries (no active-domain dependence) only the current instances
-    of the relations the query reads are materialised per completion.
-    """
-    engine = engine if engine is not None else QueryEngine(query)
-    needed = set(engine.relations)
-    restrict = engine.plan.positive
-    cache = CurrentDatabaseCache()
-    intersection: Optional[Set[Tuple[Any, ...]]] = None
-    for completion in consistent_completions(specification):
-        if restrict:
-            database = cache.current_database(
-                completion, relations=[name for name in completion if name in needed]
-            )
-        else:
-            database = cache.current_database(completion)
-        answers = set(engine.answers(database))
-        intersection = answers if intersection is None else (intersection & answers)
-        if intersection is not None and not intersection:
-            # keep scanning only to confirm consistency was already witnessed
-            return frozenset()
-    if intersection is None:
-        return None
-    return frozenset(intersection)
-
-
-def _answers_by_candidates(
-    query: AnyQuery,
-    specification: Specification,
-    engine: Optional[QueryEngine] = None,
-) -> Optional[FrozenSet]:
-    """Intersection of Q over realizable current databases; None when Mod(S)=∅."""
-    engine = engine if engine is not None else QueryEngine(query)
-    enumerator = CurrentDatabaseEnumerator(specification, relations=engine.relations)
-    intersection: Optional[Set[Tuple[Any, ...]]] = None
-    for database in enumerator.databases():
-        answers = set(engine.answers(database))
-        intersection = answers if intersection is None else (intersection & answers)
-        if intersection is not None and not intersection:
-            return frozenset()
-    if intersection is None:
-        return None
-    return frozenset(intersection)
-
-
-# --------------------------------------------------------------------------- #
-# SP / no denial constraints: Proposition 6.3
-# --------------------------------------------------------------------------- #
-def sp_certain_answers(query: SPQuery, specification: Specification) -> Optional[FrozenSet]:
-    """The PTIME algorithm of Proposition 6.3.
-
-    Requires an SP query and a specification without denial constraints.
-    Returns None when ``Mod(S)`` is empty.
-    """
-    if specification.has_denial_constraints():
-        raise SpecificationError(
-            "the SP algorithm applies only to specifications without denial constraints"
-        )
-    if not isinstance(query, SPQuery):
-        raise QueryError("sp_certain_answers() requires an SPQuery")
-    chase = chase_certain_orders(specification)
-    if not chase.consistent:
-        return None
-    instance = specification.instance(query.relation)
-    schema = instance.schema
-    poss = NormalInstance(schema)
-    for eid in instance.entities():
-        block = instance.entity_tids(eid)
-        values: Dict[str, Any] = {schema.eid: eid}
-        for attribute in schema.attributes:
-            order = chase.order_for(query.relation, attribute)
-            sinks = order.maxima(block)
-            sink_values = {instance.tuple_by_tid(tid)[attribute] for tid in sinks}
-            if len(sink_values) == 1:
-                values[attribute] = next(iter(sink_values))
-            else:
-                values[attribute] = UnknownValue(eid, attribute)
-        poss.add(RelationTuple(schema, f"poss::{eid}", values))
-    answers = evaluate(query, {query.relation: poss})
-    return frozenset(
-        row for row in answers if not any(isinstance(value, UnknownValue) for value in row)
-    )
-
-
-# --------------------------------------------------------------------------- #
-# Public API
-# --------------------------------------------------------------------------- #
 def certain_current_answers(
     query: AnyQuery,
     specification: Specification,
     method: str = "auto",
     engine: Optional[QueryEngine] = None,
-) -> FrozenSet[Tuple[Any, ...]]:
+    session: Optional[ReasoningSession] = None,
+):
     """The set of certain current answers to *query* w.r.t. *specification*.
 
-    Raises :class:`InconsistentSpecificationError` when ``Mod(S)`` is empty
-    (every tuple would be vacuously certain; there is no meaningful answer
-    set to return).
+    Raises :class:`~repro.exceptions.InconsistentSpecificationError` when
+    ``Mod(S)`` is empty (every tuple would be vacuously certain; there is no
+    meaningful answer set to return).
 
     *engine* optionally supplies a pre-built :class:`QueryEngine` for *query*
-    so callers that decide CCQA repeatedly (the preservation layer) reuse the
-    compiled plan and the answer cache across specifications.
+    so callers that decide CCQA repeatedly reuse the compiled plan and the
+    answer cache across specifications; *session* supplies a whole warm
+    :class:`~repro.session.ReasoningSession`.
     """
-    if method not in _METHODS:
-        raise SpecificationError(f"unknown CCQA method {method!r}; expected one of {_METHODS}")
-    if engine is not None and engine.source is not query:
-        raise SpecificationError("the supplied engine was compiled for a different query")
-    if method == "auto":
-        if isinstance(query, SPQuery) and not specification.has_denial_constraints():
-            method = "sp"
-        else:
-            method = "candidates"
-    if method == "sp":
-        answers = sp_certain_answers(query, specification)  # type: ignore[arg-type]
-    elif method == "enumerate":
-        answers = _answers_by_enumeration(query, specification, engine=engine)
-    else:
-        answers = _answers_by_candidates(query, specification, engine=engine)
-    if answers is None:
-        raise InconsistentSpecificationError(
-            "the specification has no consistent completion; certain answers are vacuous"
-        )
-    return answers
+    return ReasoningSession.for_specification(specification, session).certain_answers(
+        query, method=method, engine=engine
+    )
 
 
 def is_certain_answer(
@@ -212,14 +78,13 @@ def is_certain_answer(
     specification: Specification,
     method: str = "auto",
     engine: Optional[QueryEngine] = None,
+    session: Optional[ReasoningSession] = None,
 ) -> bool:
     """Decide CCQA for a single candidate tuple.
 
     Follows the paper's convention that the problem is vacuously true when the
     specification is inconsistent.
     """
-    try:
-        answers = certain_current_answers(query, specification, method=method, engine=engine)
-    except InconsistentSpecificationError:
-        return True
-    return tuple(answer) in answers
+    return ReasoningSession.for_specification(specification, session).is_certain_answer(
+        query, answer, method=method, engine=engine
+    )

@@ -8,34 +8,23 @@ Theorem 3.4: Πp2-complete (combined) / coNP-complete (data); PTIME without
 denial constraints (Theorem 6.1, via the ``PO∞`` fixpoint and Lemma 6.2).
 
 The general decision runs the complement as a single SAT question: does a
-consistent completion exist that misses at least one pair of ``O_t``?
+consistent completion exist that misses at least one pair of ``O_t``?  The
+logic lives on :class:`~repro.session.ReasoningSession` (the complement
+clause is activation-gated and retired after the probe, so the session's warm
+solver is not poisoned for later questions); this module-level function is a
+thin back-compat wrapper.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Mapping, Tuple, Union
+from typing import Optional
 
-from repro.core.instance import TemporalInstance
 from repro.core.specification import Specification
-from repro.exceptions import SpecificationError
-from repro.reasoning.chase import chase_certain_orders
-from repro.solvers.order_encoding import CompletionEncoder
+from repro.session.session import COP_METHODS, CurrencyOrderSpec, ReasoningSession
 
 __all__ = ["certain_ordering", "CurrencyOrderSpec"]
 
-# a currency order may be given as a TemporalInstance (paper style) or as a
-# mapping attribute -> iterable of (lower_tid, upper_tid) pairs
-CurrencyOrderSpec = Union[TemporalInstance, Mapping[str, Iterable[Tuple[Hashable, Hashable]]]]
-
-_METHODS = ("auto", "chase", "sat")
-
-
-def _order_pairs(order: CurrencyOrderSpec) -> Dict[str, Tuple[Tuple[Hashable, Hashable], ...]]:
-    if isinstance(order, TemporalInstance):
-        return {
-            attribute: tuple(po.pairs()) for attribute, po in order.orders().items() if len(po)
-        }
-    return {attribute: tuple(pairs) for attribute, pairs in order.items()}
+_METHODS = COP_METHODS
 
 
 def certain_ordering(
@@ -43,48 +32,10 @@ def certain_ordering(
     instance_name: str,
     currency_order: CurrencyOrderSpec,
     method: str = "auto",
+    session: Optional[ReasoningSession] = None,
 ) -> bool:
     """Decide COP: is *currency_order* contained in every consistent completion
     of the named instance?"""
-    if method not in _METHODS:
-        raise SpecificationError(f"unknown COP method {method!r}; expected one of {_METHODS}")
-    instance = specification.instance(instance_name)
-    pairs_by_attribute = _order_pairs(currency_order)
-    for attribute in pairs_by_attribute:
-        instance.schema.check_attributes([attribute])
-
-    all_pairs = [
-        (instance_name, attribute, lower, upper)
-        for attribute, pairs in pairs_by_attribute.items()
-        for lower, upper in pairs
-    ]
-    if not all_pairs:
-        return True
-
-    if method == "auto":
-        method = "chase" if not specification.has_denial_constraints() else "sat"
-
-    if method == "chase":
-        if specification.has_denial_constraints():
-            raise SpecificationError(
-                "the chase decides COP only without denial constraints; use method='sat'"
-            )
-        result = chase_certain_orders(specification)
-        if not result.consistent:
-            return True  # Mod(S) empty: vacuously certain
-        return all(
-            result.certain(name, attribute, lower, upper)
-            for name, attribute, lower, upper in all_pairs
-        )
-
-    # One encoder (and one warm incremental solver) serves both questions.
-    encoder = CompletionEncoder(specification)
-    # A pair relating tuples of different entities can never hold in any
-    # completion, so such an order is certain only vacuously (Mod(S) empty).
-    for _name, _attribute, lower, upper in all_pairs:
-        if instance.tuple_by_tid(lower).eid != instance.tuple_by_tid(upper).eid:
-            return not encoder.satisfiable()
-    # Complement question as one SAT call: does a consistent completion exist
-    # in which at least one pair of O_t is missing?
-    encoder.forbid_all_of(all_pairs)
-    return not encoder.satisfiable()
+    return ReasoningSession.for_specification(specification, session).certain_ordering(
+        instance_name, currency_order, method=method
+    )

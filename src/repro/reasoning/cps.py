@@ -15,36 +15,31 @@ Three strategies are provided:
 
 ``"auto"`` picks the chase when the specification carries no denial
 constraints and SAT otherwise.
+
+The decision itself lives on :class:`~repro.session.ReasoningSession`; this
+module-level function is a thin back-compat wrapper that constructs (or
+accepts, via *session*) a session, so repeated calls against one warm session
+share the chase result and the incremental solver.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.completion import first_consistent_completion
 from repro.core.specification import Specification
-from repro.exceptions import SpecificationError
-from repro.reasoning.chase import chase_certain_orders
-from repro.solvers.order_encoding import CompletionEncoder
+from repro.session.session import CPS_METHODS, ReasoningSession
 
 __all__ = ["is_consistent"]
 
-_METHODS = ("auto", "chase", "sat", "enumerate")
+_METHODS = CPS_METHODS
 
 
-def is_consistent(specification: Specification, method: str = "auto") -> bool:
+def is_consistent(
+    specification: Specification,
+    method: str = "auto",
+    session: Optional[ReasoningSession] = None,
+) -> bool:
     """Decide CPS: whether the specification has a consistent completion."""
-    if method not in _METHODS:
-        raise SpecificationError(f"unknown CPS method {method!r}; expected one of {_METHODS}")
-    if method == "auto":
-        method = "chase" if not specification.has_denial_constraints() else "sat"
-    if method == "chase":
-        if specification.has_denial_constraints():
-            raise SpecificationError(
-                "the chase decides CPS only for specifications without denial constraints; "
-                "use method='sat' or 'auto'"
-            )
-        return chase_certain_orders(specification).consistent
-    if method == "sat":
-        return CompletionEncoder(specification).satisfiable()
-    return first_consistent_completion(specification) is not None
+    return ReasoningSession.for_specification(specification, session).consistent(
+        method=method
+    )

@@ -19,6 +19,7 @@ from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Sequ
 from repro.core.completion import CurrentDatabaseCache
 from repro.core.instance import NormalInstance
 from repro.core.specification import Specification
+from repro.exceptions import SolverError
 from repro.solvers.order_encoding import CompletionEncoder
 
 __all__ = ["CurrentDatabaseEnumerator"]
@@ -39,7 +40,11 @@ class CurrentDatabaseEnumerator:
     """
 
     def __init__(
-        self, specification: Specification, relations: Optional[Iterable[str]] = None
+        self,
+        specification: Specification,
+        relations: Optional[Iterable[str]] = None,
+        encoder: Optional[CompletionEncoder] = None,
+        cache: Optional[CurrentDatabaseCache] = None,
     ) -> None:
         self.specification = specification
         self.relations: List[str] = (
@@ -47,13 +52,21 @@ class CurrentDatabaseEnumerator:
         )
         for name in self.relations:
             specification.instance(name)  # validates the name
-        self.encoder = CompletionEncoder(specification)
+        # *encoder* and *cache* let warm callers (the session facade) share
+        # one completion encoding — and one interned-instance store — across
+        # several enumerators; the encoder's ``maximality_encoded`` registry
+        # keeps overlapping relation sets from re-encoding maximality.
+        if encoder is not None and encoder.specification is not specification:
+            raise SolverError(
+                "the supplied encoder was built for a different specification"
+            )
+        self.encoder = encoder if encoder is not None else CompletionEncoder(specification)
         self._max_variables: List[MaxVariable] = []
         # Decoded instances are interned by value so that models inducing the
         # same current instance share one NormalInstance object — and with it
         # the lazily built per-column indexes of the query evaluator.  Yielded
         # databases share these instances; callers must not mutate them.
-        self._instance_cache = CurrentDatabaseCache()
+        self._instance_cache = cache if cache is not None else CurrentDatabaseCache()
         self._add_maximality_variables()
         # Blocking clauses of one enumeration pass are gated behind a fresh
         # activation literal per pass, so the encoder's incremental solver —
@@ -69,6 +82,17 @@ class CurrentDatabaseEnumerator:
         cnf = self.encoder.cnf
         for name in self.relations:
             instance = self.specification.instance(name)
+            if name in self.encoder.maximality_encoded:
+                # another enumerator on this encoder already added the
+                # clauses; only the projection variable names are needed
+                for eid in instance.entities():
+                    for attribute in instance.schema.attributes:
+                        for tid in instance.entity_tids(eid):
+                            self._max_variables.append(
+                                self._max_name(name, eid, tid, attribute)
+                            )
+                continue
+            self.encoder.maximality_encoded.add(name)
             for eid in instance.entities():
                 block = instance.entity_tids(eid)
                 for attribute in instance.schema.attributes:
@@ -127,35 +151,43 @@ class CurrentDatabaseEnumerator:
         cnf = self.encoder.cnf
         projection = [cnf.variable(v) for v in self._max_variables]
         solver = self.encoder.solver
-        activation = cnf.variable(("__block__", len(self._activation_literals) + 1))
+        # drawn from the encoder so enumerators sharing one encoder never
+        # collide on activation variables
+        activation = self.encoder.new_activation()
         self._activation_literals.append(activation)
         solver.ensure_vars(cnf.num_variables)
         seen = set()
         produced = 0
-        while True:
-            # recomputed per model: passes started after this one must be
-            # deactivated too
-            assumptions = [activation] + [
-                -other for other in self._activation_literals if other != activation
-            ]
-            model = solver.solve(assumptions)
-            if model is None:
-                return
-            blocking = [-activation] + [
-                -variable if model.get(variable, False) else variable
-                for variable in projection
-            ]
-            database = self._decode(model)
-            if not solver.add_clause(blocking):
-                return
-            key = tuple(sorted((name, database[name].value_set()) for name in self.relations))
-            if key in seen:
-                continue
-            seen.add(key)
-            yield database
-            produced += 1
-            if limit is not None and produced >= limit:
-                return
+        try:
+            while True:
+                # recomputed per model: passes started after this one must be
+                # deactivated too
+                assumptions = [activation] + [
+                    -other for other in self._activation_literals if other != activation
+                ]
+                model = solver.solve(assumptions)
+                if model is None:
+                    return
+                blocking = [-activation] + [
+                    -variable if model.get(variable, False) else variable
+                    for variable in projection
+                ]
+                database = self._decode(model)
+                if not solver.add_clause(blocking):
+                    return
+                key = tuple(sorted((name, database[name].value_set()) for name in self.relations))
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield database
+                produced += 1
+                if limit is not None and produced >= limit:
+                    return
+        finally:
+            # a finished (or abandoned) pass permanently disables its blocking
+            # clauses, so later solve calls need not assume its negation
+            self._activation_literals.remove(activation)
+            self.encoder.retire_activation(activation)
 
     def is_empty(self) -> bool:
         """Whether ``Mod(S)`` is empty (no realizable current database)."""

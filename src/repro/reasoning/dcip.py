@@ -12,21 +12,25 @@ The general solver decomposes the question per (entity, attribute) cell: the
 current value of the cell is the value of the block's maximal tuple, so the
 current instance is unique iff every *realizable* maximal tuple of every cell
 carries the same value.  Realizability of "tuple t is maximal for (e, A)" is
-one SAT call on the completion encoding.
+one assumption-based SAT call on the session's warm solver —
+:meth:`~repro.session.ReasoningSession.deterministic` holds the loop;
+:func:`is_deterministic` is the thin back-compat wrapper.
+:func:`realizable_maxima` is kept as a standalone utility for callers that
+manage their own encoder.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional, Tuple
+from typing import Hashable, List, Optional
 
 from repro.core.specification import Specification
-from repro.exceptions import SpecificationError
 from repro.reasoning.chase import chase_certain_orders
+from repro.session.session import DCIP_METHODS, ReasoningSession
 from repro.solvers.order_encoding import CompletionEncoder
 
 __all__ = ["is_deterministic", "realizable_maxima"]
 
-_METHODS = ("auto", "chase", "sat")
+_METHODS = DCIP_METHODS
 
 
 def realizable_maxima(
@@ -43,9 +47,11 @@ def realizable_maxima(
     Each check is one *assumption-based* SAT call: "tuple t is maximal" is the
     conjunction of the pair variables ``other ≺_attribute t``, which is passed
     as assumptions to the encoder's incremental solver instead of re-encoding
-    the specification per candidate.  Callers probing many cells (DCIP) pass a
+    the specification per candidate.  Callers probing many cells pass a
     shared *encoder* (and optionally the pre-computed chase result *certain*)
-    so clauses learnt on one cell prune the search on every later cell.
+    so clauses learnt on one cell prune the search on every later cell; the
+    session facade's :meth:`~repro.session.ReasoningSession.realizable_maxima`
+    does exactly that against its own substrate.
     """
     instance = specification.instance(instance_name)
     block = instance.entity_tids(eid)
@@ -73,52 +79,9 @@ def is_deterministic(
     specification: Specification,
     instance_name: Optional[str] = None,
     method: str = "auto",
+    session: Optional[ReasoningSession] = None,
 ) -> bool:
     """Decide DCIP for the named relation (or for every relation when None)."""
-    if method not in _METHODS:
-        raise SpecificationError(f"unknown DCIP method {method!r}; expected one of {_METHODS}")
-    names = [instance_name] if instance_name is not None else specification.instance_names()
-    for name in names:
-        specification.instance(name)
-
-    if method == "auto":
-        method = "chase" if not specification.has_denial_constraints() else "sat"
-
-    if method == "chase":
-        if specification.has_denial_constraints():
-            raise SpecificationError(
-                "the chase decides DCIP only without denial constraints; use method='sat'"
-            )
-        result = chase_certain_orders(specification)
-        if not result.consistent:
-            return True  # vacuously deterministic
-        for name in names:
-            instance = specification.instance(name)
-            for attribute in instance.schema.attributes:
-                order = result.orders[(name, attribute)]
-                for eid in instance.entities():
-                    block = instance.entity_tids(eid)
-                    sinks = order.maxima(block)
-                    values = {instance.tuple_by_tid(tid)[attribute] for tid in sinks}
-                    if len(values) > 1:
-                        return False
-        return True
-
-    # SAT-backed per-cell decomposition on one shared incremental encoder:
-    # the consistency check and every per-cell maximality probe reuse the
-    # same solver, so learnt clauses accumulate across the whole scan.
-    base = CompletionEncoder(specification)
-    if not base.satisfiable():
-        return True  # Mod(S) empty: vacuously deterministic
-    certain = chase_certain_orders(specification)
-    for name in names:
-        instance = specification.instance(name)
-        for eid in instance.entities():
-            for attribute in instance.schema.attributes:
-                maxima = realizable_maxima(
-                    specification, name, eid, attribute, encoder=base, certain=certain
-                )
-                values = {instance.tuple_by_tid(tid)[attribute] for tid in maxima}
-                if len(values) > 1:
-                    return False
-    return True
+    return ReasoningSession.for_specification(specification, session).deterministic(
+        instance_name, method=method
+    )

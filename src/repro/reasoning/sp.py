@@ -1,0 +1,84 @@
+"""The PTIME certain-answer algorithm for SP queries (Proposition 6.3).
+
+Split out of :mod:`repro.reasoning.ccqa` so the session facade
+(:mod:`repro.session`) and the PTIME preservation algorithms
+(:mod:`repro.preservation.sp_fast`) can share it without importing the CCQA
+entry points (which themselves construct sessions).  ``ccqa`` re-exports both
+names, so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Optional
+
+from repro.core.instance import NormalInstance
+from repro.core.specification import Specification
+from repro.core.tuples import RelationTuple
+from repro.exceptions import QueryError, SpecificationError
+from repro.query.ast import SPQuery
+from repro.query.evaluator import evaluate
+from repro.reasoning.chase import ChaseResult, chase_certain_orders
+
+__all__ = ["UnknownValue", "sp_certain_answers"]
+
+
+class UnknownValue:
+    """A fresh constant ``c_{e,A}`` marking a cell with several possible
+    current values (Proposition 6.3).  Unknown values compare equal only to
+    themselves, so any selection or join condition touching them fails and the
+    corresponding answer tuples are discarded."""
+
+    __slots__ = ("entity", "attribute")
+
+    def __init__(self, entity: Any, attribute: str) -> None:
+        self.entity = entity
+        self.attribute = attribute
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"⊥({self.entity},{self.attribute})"
+
+    def __hash__(self) -> int:
+        return hash((id(self),))
+
+
+def sp_certain_answers(
+    query: SPQuery,
+    specification: Specification,
+    chase: Optional[ChaseResult] = None,
+) -> Optional[FrozenSet]:
+    """The PTIME algorithm of Proposition 6.3.
+
+    Requires an SP query and a specification without denial constraints.
+    Returns None when ``Mod(S)`` is empty.  *chase* optionally supplies a
+    pre-computed :func:`~repro.reasoning.chase.chase_certain_orders` result so
+    warm callers (the session facade) skip the fixpoint re-run.
+    """
+    if specification.has_denial_constraints():
+        raise SpecificationError(
+            "the SP algorithm applies only to specifications without denial constraints"
+        )
+    if not isinstance(query, SPQuery):
+        raise QueryError("sp_certain_answers() requires an SPQuery")
+    if chase is None:
+        chase = chase_certain_orders(specification)
+    if not chase.consistent:
+        return None
+    instance = specification.instance(query.relation)
+    schema = instance.schema
+    poss = NormalInstance(schema)
+    for eid in instance.entities():
+        block = instance.entity_tids(eid)
+        values: Dict[str, Any] = {schema.eid: eid}
+        for attribute in schema.attributes:
+            order = chase.order_for(query.relation, attribute)
+            sinks = order.maxima(block)
+            sink_values = {instance.tuple_by_tid(tid)[attribute] for tid in sinks}
+            if len(sink_values) == 1:
+                values[attribute] = next(iter(sink_values))
+            else:
+                values[attribute] = UnknownValue(eid, attribute)
+        poss.add(RelationTuple(schema, f"poss::{eid}", values))
+    answers = evaluate(query, {query.relation: poss})
+    return frozenset(
+        row for row in answers if not any(isinstance(value, UnknownValue) for value in row)
+    )

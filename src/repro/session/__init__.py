@@ -1,0 +1,14 @@
+"""The warm-state session layer: one facade over all eight decision problems
+(CPS, COP, DCIP, CCQA/SP, CPP, ECP, BCP), mutation-aware cache invalidation,
+and a parallel batch driver with per-worker session interning."""
+
+from repro.session.batch import PROBLEMS, BatchDriver, BatchResult, ProblemRequest
+from repro.session.session import ReasoningSession
+
+__all__ = [
+    "ReasoningSession",
+    "BatchDriver",
+    "BatchResult",
+    "ProblemRequest",
+    "PROBLEMS",
+]

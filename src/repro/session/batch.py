@@ -1,0 +1,259 @@
+"""Batch evaluation of (specification, problem) request streams.
+
+Production traffic rarely asks one question about one specification: it asks
+many questions about many — frequently repeated — specifications.
+:class:`BatchDriver` evaluates a stream of requests with **per-worker session
+reuse keyed by structural specification equality** (the ``space_for`` interning
+idea lifted to whole sessions): requests over value-identical specifications
+are grouped and answered by one warm :class:`~repro.session.ReasoningSession`,
+so a CPS probe in one request warms the CCQA/CPP/BCP answers of the next.
+
+Two execution modes share the grouping logic:
+
+* ``serial=True`` runs everything in-process, in deterministic request order —
+  the mode the differential tests pin against;
+* the default parallel mode fans the groups out over a ``multiprocessing``
+  pool (specifications and queries are plain picklable objects); results come
+  back in request order either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.specification import Specification
+from repro.exceptions import SpecificationError
+from repro.query.ast import Query, SPQuery
+from repro.session.session import ReasoningSession
+
+__all__ = ["ProblemRequest", "BatchResult", "BatchDriver", "PROBLEMS"]
+
+AnyQuery = Union[Query, SPQuery]
+
+#: problem name -> session method; the request's ``args``/``kwargs`` are
+#: forwarded after the query (when the problem takes one).
+PROBLEMS = {
+    "cps": "consistent",
+    "ccqa": "certain_answers",
+    "cop": "certain_ordering",
+    "dcip": "deterministic",
+    "sp": "sp_answers",
+    "cpp": "cpp",
+    "ecp": "ecp",
+    "bcp": "bcp",
+}
+
+#: problems whose first positional argument is the request's query
+_QUERY_PROBLEMS = {"ccqa", "sp", "cpp", "ecp", "bcp"}
+
+
+@dataclass(frozen=True)
+class ProblemRequest:
+    """One decision-problem request against a specification.
+
+    ``problem`` is a key of :data:`PROBLEMS`; *query* is passed first for the
+    query-taking problems (CCQA, SP, CPP, ECP, BCP); *args*/*kwargs* carry the
+    remaining positional/keyword arguments — e.g. ``args=("Emp", order)`` for
+    COP, ``args=(2,)`` for BCP's bound ``k``.
+    """
+
+    problem: str
+    query: Optional[AnyQuery] = None
+    args: Tuple[Any, ...] = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.problem not in PROBLEMS:
+            raise SpecificationError(
+                f"unknown problem {self.problem!r}; expected one of {sorted(PROBLEMS)}"
+            )
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one request: its original stream index, the answer value
+    (or None) and the ``repr`` of the raised exception, if any."""
+
+    index: int
+    problem: str
+    value: Any = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _answer(session: ReasoningSession, request: ProblemRequest) -> Any:
+    method = getattr(session, PROBLEMS[request.problem])
+    if request.problem in _QUERY_PROBLEMS:
+        return method(request.query, *request.args, **dict(request.kwargs))
+    return method(*request.args, **dict(request.kwargs))
+
+
+class _SessionPool:
+    """Interned sessions keyed by *structural* specification equality.
+
+    Specifications hash by identity, so interning is a linear scan over the
+    (small, capped) pool using :meth:`Specification.__eq__` — exactly the
+    comparison ``space_for`` accepts a rebuilt value-identical specification
+    with.  Within one batch the driver's grouping already merges equal specs,
+    so hits come from *across* batches: the serial pool lives on the driver
+    and a parallel worker's pool lives for the multiprocessing pool's
+    lifetime, so a later request stream naming a spec already served finds
+    the warm session again.  Eviction is FIFO at the cap; the pool is a
+    throughput lever, not a correctness one."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise SpecificationError("the session pool needs capacity >= 1")
+        self.capacity = capacity
+        self._entries: List[Tuple[Specification, ReasoningSession]] = []
+        self.hits = 0
+        self.misses = 0
+
+    def session_for(self, specification: Specification) -> ReasoningSession:
+        for known, session in self._entries:
+            if known is specification or known == specification:
+                self.hits += 1
+                return session
+        self.misses += 1
+        session = ReasoningSession(specification)
+        if len(self._entries) >= self.capacity:
+            self._entries.pop(0)
+        self._entries.append((specification, session))
+        return session
+
+
+# ------------------------------------------------------------------ #
+# Worker-side machinery (module level so the pool can pickle it)
+# ------------------------------------------------------------------ #
+_WORKER_POOL: Optional[_SessionPool] = None
+
+
+def _init_worker(capacity: int) -> None:
+    global _WORKER_POOL
+    _WORKER_POOL = _SessionPool(capacity)
+
+
+def _run_group(
+    payload: Tuple[Specification, List[Tuple[int, ProblemRequest]]]
+) -> List[BatchResult]:
+    specification, items = payload
+    assert _WORKER_POOL is not None  # set by _init_worker
+    return _evaluate_group(_WORKER_POOL, specification, items)
+
+
+def _evaluate_group(
+    pool: _SessionPool,
+    specification: Specification,
+    items: Sequence[Tuple[int, ProblemRequest]],
+) -> List[BatchResult]:
+    session = pool.session_for(specification)
+    results: List[BatchResult] = []
+    for index, request in items:
+        try:
+            results.append(
+                BatchResult(index=index, problem=request.problem, value=_answer(session, request))
+            )
+        except Exception as error:  # noqa: BLE001 - faithfully reported per request
+            results.append(
+                BatchResult(index=index, problem=request.problem, error=repr(error))
+            )
+    return results
+
+
+class BatchDriver:
+    """Evaluate a stream of ``(specification, request)`` pairs.
+
+    Parameters
+    ----------
+    processes:
+        Worker-process count for the parallel mode (default: let
+        :mod:`multiprocessing` pick).  Ignored when *serial* is set.
+    serial:
+        Run everything in-process, in deterministic order — bit-identical
+        results across runs, no pickling round-trips.
+    session_cache_size:
+        Capacity of each worker's interned-session pool.
+    """
+
+    def __init__(
+        self,
+        processes: Optional[int] = None,
+        serial: bool = False,
+        session_cache_size: int = 8,
+    ) -> None:
+        self.processes = processes
+        self.serial = serial
+        self.session_cache_size = session_cache_size
+        # both pools persist across run() calls, so a driver served
+        # repeatedly (the production shape) keeps its warm sessions between
+        # batches: the in-process _SessionPool for serial mode, and one
+        # long-lived multiprocessing.Pool whose workers hold theirs in
+        # _WORKER_POOL for parallel mode (released by close()/``with``)
+        self._local_pool = _SessionPool(session_cache_size)
+        self._workers: Optional[multiprocessing.pool.Pool] = None
+
+    def _worker_pool(self) -> "multiprocessing.pool.Pool":
+        if self._workers is None:
+            self._workers = multiprocessing.Pool(
+                processes=self.processes,
+                initializer=_init_worker,
+                initargs=(self.session_cache_size,),
+            )
+        return self._workers
+
+    def close(self) -> None:
+        """Release the worker processes (parallel mode); the driver stays
+        usable — a later run() spawns a fresh pool."""
+        if self._workers is not None:
+            self._workers.close()
+            self._workers.join()
+            self._workers = None
+
+    def __enter__(self) -> "BatchDriver":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def _group(
+        self, requests: Sequence[Tuple[Specification, ProblemRequest]]
+    ) -> List[Tuple[Specification, List[Tuple[int, ProblemRequest]]]]:
+        """Group requests by structurally-equal specification (first-appearance
+        order), so each group is answered by one warm session."""
+        groups: List[Tuple[Specification, List[Tuple[int, ProblemRequest]]]] = []
+        for index, (specification, request) in enumerate(requests):
+            for known, items in groups:
+                if known is specification or known == specification:
+                    items.append((index, request))
+                    break
+            else:
+                groups.append((specification, [(index, request)]))
+        return groups
+
+    def run(
+        self, requests: Sequence[Tuple[Specification, ProblemRequest]]
+    ) -> List[BatchResult]:
+        """Answer every request; results are returned in request order."""
+        requests = list(requests)
+        groups = self._group(requests)
+        if self.serial or len(groups) <= 1:
+            answered: List[BatchResult] = []
+            for specification, items in groups:
+                answered.extend(_evaluate_group(self._local_pool, specification, items))
+        else:
+            answered = [
+                result
+                for group_results in self._worker_pool().map(_run_group, groups)
+                for result in group_results
+            ]
+        ordered: List[Optional[BatchResult]] = [None] * len(requests)
+        for result in answered:
+            ordered[result.index] = result
+        assert all(result is not None for result in ordered)
+        return ordered  # type: ignore[return-value]

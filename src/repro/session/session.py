@@ -1,0 +1,1231 @@
+"""One warm-state facade over all eight decision problems.
+
+The paper's decision problems — CPS, COP, DCIP, CCQA (plus its SP special
+case) and the preservation trio CPP/ECP/BCP — all reason over the *same*
+specification, yet the module-level entry points historically rebuilt their
+own substrate (chase fixpoint, completion encoder, query engine, extension
+search space) on every call.  :class:`ReasoningSession` owns that substrate
+once, lazily:
+
+* ``chase`` — the PTIME certain-order fixpoint (Theorem 6.1);
+* ``encoder`` — the base completion encoding with its incremental CDCL solver;
+* ``space`` — the :class:`~repro.preservation.sat_extensions.ExtensionSearchSpace`
+  over ``Ext(ρ)`` (built on the first preservation question; once present, the
+  base problems run on *its* warm solver instead of the encoder's);
+* per-query :class:`~repro.query.engine.QueryEngine` instances and
+  current-database enumerators sharing the encoder and one interned-instance
+  cache.
+
+So a CPS probe warms the solver that the subsequent CCQA enumeration reuses,
+and a CPP sweep leaves behind the memoised certain answers, current-database
+lists and the ⊆-maximal harvest that make the following BCP and ECP decisions
+near-free.  The module-level functions in :mod:`repro.reasoning` and
+:mod:`repro.preservation` are thin wrappers that construct (or accept) a
+session.
+
+Incremental mutation
+--------------------
+``add_order`` / ``add_denial`` / ``add_tuple`` / ``add_copy_function`` /
+``add_copy_import`` mutate the specification **in place** and invalidate only
+the dependent caches, following :data:`ReasoningSession.CACHE_DEPENDENCIES`:
+
+========================  =========  ==========  =========  ============
+cache                     add_order  add_denial  add_tuple  add_copy_*
+========================  =========  ==========  =========  ============
+chase                     rebuild    **keep**    rebuild    rebuild
+query engines             keep       keep        keep       keep
+column indexes            keep       keep        self [1]_  self [1]_
+encoder                   extend     extend      extend [2]_ extend [2]_
+extension search space    extend     extend      rebuild    rebuild
+current-db enumerators    keep       keep        rebuild    keep [3]_
+memoised answers          clear      clear       clear      clear
+========================  =========  ==========  =========  ============
+
+.. [1] :class:`~repro.core.instance.NormalInstance` invalidates only the
+   mutated instance's own row/index caches.
+.. [2] The completion encoding grows *additively* when a tuple is added
+   (new pair variables, block clauses, groundings — every existing clause
+   stays valid), so the warm solver is extended via ``add_clause`` between
+   solves.  The one unsound case — an encoder already carrying enumerator
+   maximality clauses, whose reverse direction does not survive a grown
+   block — falls back to a full rebuild; the property harness asserts the
+   incremental and rebuilt encoders answer identically.
+.. [3] ``add_copy_function`` leaves maximality intact (blocks unchanged);
+   ``add_copy_import`` adds a tuple and therefore rebuilds the enumerators.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.core.completion import CurrentDatabaseCache, consistent_completions, first_consistent_completion
+from repro.core.copy_function import CopyFunction
+from repro.core.instance import TemporalInstance
+from repro.core.specification import Specification
+from repro.core.tuples import RelationTuple
+from repro.exceptions import (
+    InconsistentSpecificationError,
+    SolverError,
+    SpecificationError,
+)
+from repro.preservation.certificates import (
+    BoundRefusalCertificate,
+    certificate_from_databases,
+    changed_answer,
+)
+from repro.preservation.extensions import (
+    CandidateImport,
+    SpecificationExtension,
+    apply_imports,
+    has_chained_imports,
+)
+from repro.preservation.sat_extensions import (
+    SEARCHES,
+    ExtensionSearchSpace,
+    Selection,
+    space_for,
+)
+from repro.preservation.sp_fast import sp_is_currency_preserving
+from repro.query.ast import Query, SPQuery
+from repro.query.engine import QueryEngine
+from repro.reasoning.chase import ChaseResult, chase_certain_orders
+from repro.reasoning.current_db import CurrentDatabaseEnumerator
+from repro.reasoning.sp import sp_certain_answers
+from repro.solvers.order_encoding import CompletionEncoder
+
+__all__ = ["ReasoningSession"]
+
+AnyQuery = Union[Query, SPQuery]
+
+#: Method vocabularies, shared with the back-compat wrapper modules.
+CPS_METHODS = ("auto", "chase", "sat", "enumerate")
+COP_METHODS = ("auto", "chase", "sat")
+DCIP_METHODS = ("auto", "chase", "sat")
+CCQA_METHODS = ("auto", "enumerate", "candidates", "sp")
+CPP_METHODS = ("auto", "enumerate", "sp", "sat")
+
+#: Above this many consistent selections the bounded search stops
+#: materialising the family in memory and streams restricted solver sweeps
+#: instead (time-bounded degradation, never memory-bounded).  The family is
+#: generated lazily from the maximal harvest, so an oversized one costs at
+#: most this many subsets before the fallback kicks in — there is no up-front
+#: pre-count.
+_FAMILY_CAP = 200_000
+
+#: Bound on the maximal-selection harvest itself — the number of ⊆-maximal
+#: consistent selections can be exponential (mutually exclusive candidate
+#: pairs), so the harvest is abandoned past this many and the search streams.
+_MAXIMAL_CAP = 4096
+
+#: Bound on the per-query state a long-lived session pins (compiled engines,
+#: memoised answer sets, the query objects keeping their ids stable).  The
+#: memo is keyed by query object identity, so a caller minting a fresh query
+#: per request — the batch-driver shape — grows it linearly; past the cap it
+#: is cleared wholesale, like the engine and current-database caches (a
+#: safety valve, not a tuning knob).
+_MAX_TRACKED_QUERIES = 1024
+
+# a currency order may be given as a TemporalInstance (paper style) or as a
+# mapping attribute -> iterable of (lower_tid, upper_tid) pairs
+CurrencyOrderSpec = Union[TemporalInstance, Mapping[str, Iterable[Tuple[Hashable, Hashable]]]]
+
+
+def _order_pairs(order: CurrencyOrderSpec) -> Dict[str, Tuple[Tuple[Hashable, Hashable], ...]]:
+    if isinstance(order, TemporalInstance):
+        return {
+            attribute: tuple(po.pairs()) for attribute, po in order.orders().items() if len(po)
+        }
+    return {attribute: tuple(pairs) for attribute, pairs in order.items()}
+
+
+# --------------------------------------------------------------------------- #
+# The in-space bounded search (BCP's engine, shared with the refusal
+# certificates); operates purely on a space and an engine.
+# --------------------------------------------------------------------------- #
+Refutation = Tuple[Selection, Selection]  # (refused guess, refuting superset)
+
+
+def _bounded_by_lazy_sweeps(
+    space: ExtensionSearchSpace,
+    engine: QueryEngine,
+    k: int,
+    refutations: Optional[List[Refutation]] = None,
+) -> Optional[Selection]:
+    """Memory-safe fallback for huge consistent families: per-guess restricted
+    solver sweeps (``supersets_of``) with early exit on the first refuting
+    superset — nothing is materialised beyond the current guess."""
+
+    def preserving(selection: Selection) -> bool:
+        guess_answers = space.certain_answers(engine, selection)
+        chosen = set(selection)
+        for superset in space.iterate_consistent_selections(supersets_of=selection):
+            if set(superset) == chosen:
+                continue
+            if space.certain_answers(engine, superset) != guess_answers:
+                if refutations is not None:
+                    refutations.append((selection, superset))
+                return False
+        return True
+
+    if preserving(()):
+        return ()
+    if k == 0:
+        return None
+    for selection in space.iterate_consistent_selections(max_imports=k):
+        if not selection:
+            continue  # ρ itself was already checked
+        if preserving(selection):
+            return selection
+    return None
+
+
+def _bounded_in_space(
+    space: ExtensionSearchSpace,
+    engine: QueryEngine,
+    k: int,
+    refutations: Optional[List[Refutation]] = None,
+) -> Optional[Selection]:
+    """The whole bounded search on one space: the selection (possibly empty)
+    of a currency-preserving extension of at most *k* imports, or None.
+
+    The space's selector universe is the candidate-import *closure* and every
+    consistent selection is downward closed, so the strict supersets of a
+    selection within the space are precisely the extensions of ρ^selection —
+    including the chained imports only importable once some superset import
+    created their source tuple.  The search therefore never re-encodes:
+
+    1. the ⊆-maximal consistent selections are harvested with a handful of
+       SAT calls (consistency is downward monotone), and the whole consistent
+       space is regenerated from them lazily in plain Python
+       (:meth:`~repro.preservation.extensions.CandidateClosure.closed_subsets`
+       is a generator; materialisation stops at :data:`_FAMILY_CAP` and
+       degrades to :func:`_bounded_by_lazy_sweeps` — still in-space, just
+       streamed — with no up-front family pre-count);
+    2. the CPP oracle of each guess is a subset test over that family with
+       lazily memoised certain answers — the maximal selections are probed
+       first, since a non-preserving guess is almost always refuted by the
+       answers of a maximum above it, making refutation O(#maximal) cached
+       lookups instead of a sweep.
+
+    *refutations*, when supplied, collects ``(guess, refuting superset)``
+    pairs for every refused in-bound guess — the raw material of BCP's
+    :class:`~repro.preservation.certificates.BoundRefusalCertificate`.
+    """
+    closure = space.closure
+    maximal = space.maximal_consistent_selections(limit=_MAXIMAL_CAP)
+    if maximal is None:
+        return _bounded_by_lazy_sweeps(space, engine, k, refutations)
+    selections: Dict[FrozenSet[int], Selection] = {}
+    for top in maximal:
+        for subset in closure.closed_subsets(top):
+            if subset not in selections:
+                selections[subset] = tuple(sorted(subset))
+                if len(selections) > _FAMILY_CAP:
+                    return _bounded_by_lazy_sweeps(space, engine, k, refutations)
+    ordered = sorted(selections.items(), key=lambda item: (len(item[0]), item[1]))
+    maximal_sets = [frozenset(top) for top in maximal]
+
+    def answers(selection: Selection):
+        return space.certain_answers(engine, selection)
+
+    def preserving(guess_set: FrozenSet[int], guess: Selection) -> bool:
+        guess_answers = answers(guess)
+        for top_set, top in zip(maximal_sets, maximal):
+            if guess_set < top_set and answers(top) != guess_answers:
+                if refutations is not None:
+                    refutations.append((guess, top))
+                return False
+        for superset_set, superset in ordered:
+            if guess_set < superset_set and answers(superset) != guess_answers:
+                if refutations is not None:
+                    refutations.append((guess, superset))
+                return False
+        return True
+
+    # ρ itself first, mirroring the seed order (and the k = 0 case)
+    if preserving(frozenset(), ()):
+        return ()
+    if k == 0:
+        return None
+    for guess_set, guess in ordered:
+        if not 0 < len(guess_set) <= k:
+            continue
+        if preserving(guess_set, guess):
+            return guess
+    return None
+
+
+class ReasoningSession:
+    """Warm, mutation-aware reasoning over one specification.
+
+    Parameters
+    ----------
+    specification:
+        The specification ``S``.  The session holds (and, through the
+        mutation API, mutates) this object — callers that need the original
+        untouched should pass ``specification.copy()``.
+    match_entities_by_eid:
+        Entity-matching mode of the candidate-import enumeration, forwarded
+        to the extension search space (preservation problems only).
+
+    All substrate is built lazily, so constructing a session costs nothing;
+    the wrapper functions in :mod:`repro.reasoning` / :mod:`repro.preservation`
+    build one per call, which reproduces the historical cold behaviour.
+    Keeping a session alive across calls is what unlocks the warm paths.
+    """
+
+    #: cache name -> {mutation -> "keep" | "extend" | "rebuild" | "clear"}.
+    #: ``extend`` means the cache object survives and is grown incrementally
+    #: (additive clauses on a warm solver); ``rebuild`` means it is dropped
+    #: and lazily reconstructed on next use.  ``add_tuple``/``add_copy_import``
+    #: keep the encoder only while it carries no enumerator maximality
+    #: clauses — otherwise they fall back to a rebuild (see the module docs).
+    CACHE_DEPENDENCIES: Mapping[str, Mapping[str, str]] = {
+        "chase": {
+            "add_order": "rebuild",
+            "add_denial": "keep",
+            "add_tuple": "rebuild",
+            "add_copy_function": "rebuild",
+            "add_copy_import": "rebuild",
+        },
+        "encoder": {
+            "add_order": "extend",
+            "add_denial": "extend",
+            "add_tuple": "extend-or-rebuild",
+            "add_copy_function": "extend",
+            "add_copy_import": "extend-or-rebuild",
+        },
+        "space": {
+            "add_order": "extend",
+            "add_denial": "extend",
+            "add_tuple": "rebuild",
+            "add_copy_function": "rebuild",
+            "add_copy_import": "rebuild",
+        },
+        "enumerators": {
+            "add_order": "keep",
+            "add_denial": "keep",
+            "add_tuple": "rebuild",
+            "add_copy_function": "keep",
+            "add_copy_import": "rebuild",
+        },
+        "engines": {
+            "add_order": "keep",
+            "add_denial": "keep",
+            "add_tuple": "keep",
+            "add_copy_function": "keep",
+            "add_copy_import": "keep",
+        },
+        "answers": {
+            "add_order": "clear",
+            "add_denial": "clear",
+            "add_tuple": "clear",
+            "add_copy_function": "clear",
+            "add_copy_import": "clear",
+        },
+    }
+
+    def __init__(
+        self, specification: Specification, match_entities_by_eid: bool = True
+    ) -> None:
+        self.specification = specification
+        self.match_entities_by_eid = match_entities_by_eid
+        self._chase: Optional[ChaseResult] = None
+        self._encoder: Optional[CompletionEncoder] = None
+        self._space: Optional[ExtensionSearchSpace] = None
+        self._engines: Dict[int, QueryEngine] = {}
+        self._enumerators: Dict[FrozenSet[str], CurrentDatabaseEnumerator] = {}
+        self._database_cache = CurrentDatabaseCache()
+        self._answer_memo: Dict[Tuple[int, str], Optional[FrozenSet]] = {}
+        self._verdict_memo: Dict[Any, Any] = {}
+        self._pinned_queries: List[AnyQuery] = []
+        self.mutations = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers for the wrapper layer
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_specification(
+        cls,
+        specification: Specification,
+        session: Optional["ReasoningSession"] = None,
+        match_entities_by_eid: Optional[bool] = None,
+    ) -> "ReasoningSession":
+        """*session* validated against the specification, or a fresh session.
+
+        Mirrors :func:`~repro.preservation.sat_extensions.space_for`: a
+        supplied session built for a different specification (structural
+        comparison) or entity-matching mode would silently answer the wrong
+        question, so mismatches are rejected."""
+        if session is None:
+            return cls(
+                specification,
+                True if match_entities_by_eid is None else match_entities_by_eid,
+            )
+        if (
+            session.specification is not specification
+            and session.specification != specification
+        ):
+            raise SpecificationError(
+                "the supplied session was built for a different specification"
+            )
+        if (
+            match_entities_by_eid is not None
+            and session.match_entities_by_eid != match_entities_by_eid
+        ):
+            raise SpecificationError(
+                "the supplied session uses a different entity-matching mode"
+            )
+        return session
+
+    def adopt_space(self, space: ExtensionSearchSpace) -> ExtensionSearchSpace:
+        """Adopt a pre-built extension search space (validated) as this
+        session's preservation backend.
+
+        A space built from a *structurally equal but distinct* specification
+        object is re-pointed at this session's live specification: the two
+        induce identical encodings (that is what the structural check
+        certifies), but materialised extensions — and therefore ECP/BCP
+        results, CPP witnesses and refusal certificates — are built from
+        ``space.specification``, which must track the session's in-place
+        mutations rather than a stale twin."""
+        space = space_for(self.specification, self.match_entities_by_eid, space)
+        if space.specification is not self.specification:
+            space.specification = self.specification
+        self._space = space
+        return space
+
+    # ------------------------------------------------------------------ #
+    # The shared substrate (lazy)
+    # ------------------------------------------------------------------ #
+    @property
+    def chase(self) -> ChaseResult:
+        """The certain-order fixpoint ``PO∞`` (cached; survives add_denial)."""
+        if self._chase is None:
+            self._chase = chase_certain_orders(self.specification)
+        return self._chase
+
+    @property
+    def encoder(self) -> CompletionEncoder:
+        """The base completion encoder and its warm incremental solver."""
+        if self._encoder is None:
+            self._encoder = CompletionEncoder(self.specification)
+        return self._encoder
+
+    @property
+    def space(self) -> ExtensionSearchSpace:
+        """The extension search space over ``Ext(ρ)`` (built on first use;
+        once present it becomes the backend for the base problems too)."""
+        if self._space is None:
+            self._space = ExtensionSearchSpace(
+                self.specification, match_entities_by_eid=self.match_entities_by_eid
+            )
+        return self._space
+
+    def engine(
+        self, query: AnyQuery, supplied: Optional[QueryEngine] = None
+    ) -> QueryEngine:
+        """The session's compiled :class:`QueryEngine` for *query* (one per
+        query object; *supplied* lets wrapper callers donate a pre-built one,
+        which the session then owns)."""
+        key = id(query)
+        if supplied is not None:
+            if supplied.source is not query:
+                raise SpecificationError(
+                    "the supplied engine was compiled for a different query"
+                )
+            self._evict_query_state_if_full()
+            self._engines[key] = supplied
+            return supplied
+        engine = self._engines.get(key)
+        if engine is None:
+            self._evict_query_state_if_full()
+            engine = QueryEngine(query)
+            self._engines[key] = engine
+        return engine
+
+    def _evict_query_state_if_full(self) -> None:
+        if (
+            len(self._engines) >= _MAX_TRACKED_QUERIES
+            or len(self._pinned_queries) >= _MAX_TRACKED_QUERIES
+        ):
+            self._engines.clear()
+            self._answer_memo.clear()
+            self._pinned_queries.clear()
+
+    def _enumerator(self, relations: Iterable[str]) -> CurrentDatabaseEnumerator:
+        key = frozenset(relations)
+        enumerator = self._enumerators.get(key)
+        if enumerator is None:
+            enumerator = CurrentDatabaseEnumerator(
+                self.specification,
+                relations=sorted(key),
+                encoder=self.encoder,
+                cache=self._database_cache,
+            )
+            self._enumerators[key] = enumerator
+        return enumerator
+
+    # ------------------------------------------------------------------ #
+    # Backend-agnostic base-specification probes
+    # ------------------------------------------------------------------ #
+    def _base_satisfiable(self) -> bool:
+        """``Mod(S) ≠ ∅`` on whichever warm solver exists (the space's, once a
+        preservation question built it; the encoder's otherwise)."""
+        if self._space is not None:
+            return self._space.selection_consistent(())
+        return self.encoder.satisfiable()
+
+    def _probe_pairs(self, pairs: Sequence[Tuple[str, str, Hashable, Hashable]]) -> bool:
+        """Whether some consistent completion satisfies all currency *pairs*."""
+        if self._space is not None:
+            return self._space.base_probe(pairs)
+        return self.encoder.satisfiable(pairs)
+
+    def _excludes_some_pair(
+        self, pairs: Sequence[Tuple[str, str, Hashable, Hashable]]
+    ) -> bool:
+        """Whether some consistent completion misses at least one of *pairs*
+        (COP's complement), as one gated clause retired after the probe."""
+        if self._space is not None:
+            return self._space.base_excludes_some_pair(pairs)
+        encoder = self.encoder
+        activation = encoder.add_gated_clause(
+            [(encoder.pair_name(*pair), False) for pair in pairs]
+        )
+        try:
+            return encoder.solver.solve([activation]) is not None
+        finally:
+            encoder.retire_activation(activation)
+
+    # ------------------------------------------------------------------ #
+    # CPS — consistency (Section 3)
+    # ------------------------------------------------------------------ #
+    def consistent(self, method: str = "auto") -> bool:
+        """Decide CPS: whether the specification has a consistent completion."""
+        if method not in CPS_METHODS:
+            raise SpecificationError(
+                f"unknown CPS method {method!r}; expected one of {CPS_METHODS}"
+            )
+        if method == "auto":
+            method = "chase" if not self.specification.has_denial_constraints() else "sat"
+        if method == "chase":
+            if self.specification.has_denial_constraints():
+                raise SpecificationError(
+                    "the chase decides CPS only for specifications without denial "
+                    "constraints; use method='sat' or 'auto'"
+                )
+            return self.chase.consistent
+        if method == "sat":
+            key = ("cps", "sat")
+            if key not in self._verdict_memo:
+                self._verdict_memo[key] = self._base_satisfiable()
+            return self._verdict_memo[key]
+        return first_consistent_completion(self.specification) is not None
+
+    # ------------------------------------------------------------------ #
+    # COP — certain ordering (Section 3)
+    # ------------------------------------------------------------------ #
+    def certain_ordering(
+        self,
+        instance_name: str,
+        currency_order: CurrencyOrderSpec,
+        method: str = "auto",
+    ) -> bool:
+        """Decide COP: is *currency_order* contained in every consistent
+        completion of the named instance?"""
+        if method not in COP_METHODS:
+            raise SpecificationError(
+                f"unknown COP method {method!r}; expected one of {COP_METHODS}"
+            )
+        instance = self.specification.instance(instance_name)
+        pairs_by_attribute = _order_pairs(currency_order)
+        for attribute in pairs_by_attribute:
+            instance.schema.check_attributes([attribute])
+        all_pairs = [
+            (instance_name, attribute, lower, upper)
+            for attribute, pairs in pairs_by_attribute.items()
+            for lower, upper in pairs
+        ]
+        if not all_pairs:
+            return True
+        if method == "auto":
+            method = "chase" if not self.specification.has_denial_constraints() else "sat"
+        if method == "chase":
+            if self.specification.has_denial_constraints():
+                raise SpecificationError(
+                    "the chase decides COP only without denial constraints; use method='sat'"
+                )
+            result = self.chase
+            if not result.consistent:
+                return True  # Mod(S) empty: vacuously certain
+            return all(
+                result.certain(name, attribute, lower, upper)
+                for name, attribute, lower, upper in all_pairs
+            )
+        # A pair relating tuples of different entities can never hold in any
+        # completion, so such an order is certain only vacuously (Mod(S) empty).
+        for _name, _attribute, lower, upper in all_pairs:
+            if instance.tuple_by_tid(lower).eid != instance.tuple_by_tid(upper).eid:
+                return not self._base_satisfiable()
+        # Complement question as one SAT call on the warm solver: does a
+        # consistent completion exist missing at least one pair of O_t?
+        return not self._excludes_some_pair(all_pairs)
+
+    # ------------------------------------------------------------------ #
+    # DCIP — deterministic current instances (Section 3)
+    # ------------------------------------------------------------------ #
+    def realizable_maxima(
+        self, instance_name: str, eid: Hashable, attribute: str
+    ) -> List[Hashable]:
+        """Tuple ids of the entity block that are maximal for *attribute* in
+        at least one consistent completion — assumption probes on the warm
+        solver, pruned by the cached chase orders."""
+        instance = self.specification.instance(instance_name)
+        block = instance.entity_tids(eid)
+        certain = self.chase
+        maxima: List[Hashable] = []
+        for tid in block:
+            # sound pruning: a tuple below another one in every completion can
+            # never be maximal
+            if certain.consistent and any(
+                certain.certain(instance_name, attribute, tid, other)
+                for other in block
+                if other != tid
+            ):
+                continue
+            assumptions = [
+                (instance_name, attribute, other, tid) for other in block if other != tid
+            ]
+            if self._probe_pairs(assumptions):
+                maxima.append(tid)
+        return maxima
+
+    def deterministic(
+        self, instance_name: Optional[str] = None, method: str = "auto"
+    ) -> bool:
+        """Decide DCIP for the named relation (or every relation when None)."""
+        if method not in DCIP_METHODS:
+            raise SpecificationError(
+                f"unknown DCIP method {method!r}; expected one of {DCIP_METHODS}"
+            )
+        names = (
+            [instance_name]
+            if instance_name is not None
+            else self.specification.instance_names()
+        )
+        for name in names:
+            self.specification.instance(name)
+        if method == "auto":
+            method = "chase" if not self.specification.has_denial_constraints() else "sat"
+        if method == "chase":
+            if self.specification.has_denial_constraints():
+                raise SpecificationError(
+                    "the chase decides DCIP only without denial constraints; use method='sat'"
+                )
+            result = self.chase
+            if not result.consistent:
+                return True  # vacuously deterministic
+            for name in names:
+                instance = self.specification.instance(name)
+                for attribute in instance.schema.attributes:
+                    order = result.orders[(name, attribute)]
+                    for eid in instance.entities():
+                        block = instance.entity_tids(eid)
+                        sinks = order.maxima(block)
+                        values = {instance.tuple_by_tid(tid)[attribute] for tid in sinks}
+                        if len(values) > 1:
+                            return False
+            return True
+        # SAT-backed per-cell decomposition on the shared warm solver: the
+        # consistency check and every per-cell maximality probe reuse it, so
+        # learnt clauses accumulate across the whole scan.
+        if not self._base_satisfiable():
+            return True  # Mod(S) empty: vacuously deterministic
+        for name in names:
+            instance = self.specification.instance(name)
+            for eid in instance.entities():
+                for attribute in instance.schema.attributes:
+                    maxima = self.realizable_maxima(name, eid, attribute)
+                    values = {instance.tuple_by_tid(tid)[attribute] for tid in maxima}
+                    if len(values) > 1:
+                        return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # CCQA — certain current query answering (Sections 3 and 6)
+    # ------------------------------------------------------------------ #
+    def sp_answers(self, query: SPQuery) -> Optional[FrozenSet]:
+        """The PTIME SP algorithm of Proposition 6.3 on the cached chase;
+        None when ``Mod(S)`` is empty."""
+        if self.specification.has_denial_constraints():
+            return sp_certain_answers(query, self.specification)  # raises
+        return sp_certain_answers(query, self.specification, chase=self.chase)
+
+    def _answers_by_enumeration(self, engine: QueryEngine) -> Optional[FrozenSet]:
+        """Intersection of Q over all consistent completions (the oracle
+        path); None when ``Mod(S)`` is empty.  Decoded current instances are
+        interned in the session-wide cache, so repeated oracle calls share
+        column indexes and engine answer-cache entries."""
+        needed = set(engine.relations)
+        restrict = engine.plan.positive
+        cache = self._database_cache
+        intersection: Optional[Set[Tuple[Any, ...]]] = None
+        for completion in consistent_completions(self.specification):
+            if restrict:
+                database = cache.current_database(
+                    completion,
+                    relations=[name for name in completion if name in needed],
+                )
+            else:
+                database = cache.current_database(completion)
+            answers = set(engine.answers(database))
+            intersection = answers if intersection is None else (intersection & answers)
+            if intersection is not None and not intersection:
+                return frozenset()
+        if intersection is None:
+            return None
+        return frozenset(intersection)
+
+    def _answers_by_candidates(self, engine: QueryEngine) -> Optional[FrozenSet]:
+        """Intersection of Q over realizable current databases; None when
+        ``Mod(S)`` is empty.  Runs on the space when one exists (value-level
+        projection, memoised database lists), else on a current-database
+        enumerator sharing the session encoder."""
+        if self._space is not None:
+            return self._space.certain_answers(engine, ())
+        enumerator = self._enumerator(engine.relations)
+        intersection: Optional[Set[Tuple[Any, ...]]] = None
+        for database in enumerator.databases():
+            answers = set(engine.answers(database))
+            intersection = answers if intersection is None else (intersection & answers)
+            if intersection is not None and not intersection:
+                return frozenset()
+        if intersection is None:
+            return None
+        return frozenset(intersection)
+
+    def certain_answers(
+        self,
+        query: AnyQuery,
+        method: str = "auto",
+        engine: Optional[QueryEngine] = None,
+    ) -> FrozenSet[Tuple[Any, ...]]:
+        """The set of certain current answers to *query* (memoised until the
+        next mutation).
+
+        Raises :class:`InconsistentSpecificationError` when ``Mod(S)`` is
+        empty (every tuple would be vacuously certain; there is no meaningful
+        answer set to return).
+        """
+        if method not in CCQA_METHODS:
+            raise SpecificationError(
+                f"unknown CCQA method {method!r}; expected one of {CCQA_METHODS}"
+            )
+        if engine is not None and engine.source is not query:
+            raise SpecificationError("the supplied engine was compiled for a different query")
+        if method == "auto":
+            if isinstance(query, SPQuery) and not self.specification.has_denial_constraints():
+                method = "sp"
+            else:
+                method = "candidates"
+        key = (id(query), method)
+        if key in self._answer_memo:
+            answers = self._answer_memo[key]
+        else:
+            if method == "sp":
+                answers = self.sp_answers(query)  # type: ignore[arg-type]
+            elif method == "enumerate":
+                answers = self._answers_by_enumeration(self.engine(query, engine))
+            else:
+                answers = self._answers_by_candidates(self.engine(query, engine))
+            self._evict_query_state_if_full()
+            self._answer_memo[key] = answers
+            self._pinned_queries.append(query)  # keep id(query) stable
+        if answers is None:
+            raise InconsistentSpecificationError(
+                "the specification has no consistent completion; certain answers are vacuous"
+            )
+        return answers
+
+    def is_certain_answer(
+        self,
+        query: AnyQuery,
+        answer: Tuple[Any, ...],
+        method: str = "auto",
+        engine: Optional[QueryEngine] = None,
+    ) -> bool:
+        """Decide CCQA for a single candidate tuple (vacuously true when the
+        specification is inconsistent, following the paper's convention)."""
+        try:
+            answers = self.certain_answers(query, method=method, engine=engine)
+        except InconsistentSpecificationError:
+            return True
+        return tuple(answer) in answers
+
+    # ------------------------------------------------------------------ #
+    # CPP — currency preservation (Sections 4, 5 and 6)
+    # ------------------------------------------------------------------ #
+    def _has_chained_imports(self) -> bool:
+        if self._space is not None:
+            return self._space.has_chained_candidates
+        return has_chained_imports(
+            self.specification, match_entities_by_eid=self.match_entities_by_eid
+        )
+
+    def _revalidate(
+        self,
+        query: AnyQuery,
+        specification: Specification,
+        ccqa_method: str,
+        engine: Optional[QueryEngine],
+    ) -> Optional[FrozenSet]:
+        """Certain answers of a *materialised* extension through the
+        pre-existing CCQA path (a throwaway cold session), or None when
+        inconsistent — the cross-check that keeps encoding bugs from shipping
+        a bogus witness."""
+        try:
+            return ReasoningSession(
+                specification, self.match_entities_by_eid
+            ).certain_answers(query, method=ccqa_method, engine=engine)
+        except InconsistentSpecificationError:
+            return None
+
+    def find_violating_extension(
+        self,
+        query: AnyQuery,
+        max_imports: Optional[int] = None,
+        ccqa_method: str = "auto",
+        engine: Optional[QueryEngine] = None,
+        search: str = "auto",
+    ) -> Optional[SpecificationExtension]:
+        """A witness extension whose certain answers differ from the base
+        ones (with an answer-difference certificate attached), or None when
+        every consistent extension preserves them.  See
+        :func:`repro.preservation.cpp.find_violating_extension` for the full
+        contract; the SAT search runs on this session's warm space."""
+        if search not in SEARCHES:
+            raise SpecificationError(
+                f"unknown CPP search {search!r}; expected one of {SEARCHES}"
+            )
+        engine = self.engine(query, engine)
+        if search == "naive":
+            from repro.preservation.cpp import _find_violating_naive
+
+            return _find_violating_naive(
+                query,
+                self.specification,
+                max_imports,
+                self.match_entities_by_eid,
+                ccqa_method,
+                engine,
+            )
+        space = self.space
+        base_answers = space.certain_answers(engine, ())
+        if base_answers is None:
+            raise InconsistentSpecificationError(
+                "the base specification has no consistent completion"
+            )
+        for selection in space.iterate_consistent_selections(max_imports=max_imports):
+            if not selection:
+                continue  # the empty selection is ρ itself, not an extension
+            extended_answers = space.certain_answers(engine, selection)
+            if extended_answers == base_answers:
+                continue
+            witness = space.extension(selection)
+            answer, gained = changed_answer(base_answers, extended_answers)
+            refuted_selection: Selection = () if gained else selection
+            certificate = certificate_from_databases(
+                engine,
+                answer,
+                gained,
+                space.current_databases(refuted_selection, relations=engine.relations),
+            )
+            # cross-check the in-space answers against the pre-existing CCQA
+            # path on the materialised extension: an encoding bug must not
+            # ship a bogus witness
+            revalidated = self._revalidate(
+                query, witness.specification, ccqa_method, engine
+            )
+            if revalidated is None or (certificate.answer in revalidated) != certificate.gained:
+                raise SolverError(
+                    "the SAT search found a violating extension that "
+                    "certain_current_answers on the materialised extension refutes"
+                )
+            witness.certificate = certificate
+            return witness
+        return None
+
+    def cpp(
+        self,
+        query: AnyQuery,
+        method: str = "auto",
+        max_imports: Optional[int] = None,
+        ccqa_method: str = "auto",
+        engine: Optional[QueryEngine] = None,
+    ) -> bool:
+        """Decide CPP: are the specification's copy functions currency
+        preserving for *query*?  (``"auto"`` picks the PTIME SP algorithm
+        when applicable — SP query, no denial constraints, unchained — and
+        the warm SAT search otherwise.)"""
+        if method not in CPP_METHODS:
+            raise SpecificationError(
+                f"unknown CPP method {method!r}; expected one of {CPP_METHODS}"
+            )
+        applicability_checked = False
+        if method == "auto":
+            if (
+                isinstance(query, SPQuery)
+                and not self.specification.has_denial_constraints()
+                and not self._has_chained_imports()
+            ):
+                method = "sp"
+                applicability_checked = True  # exactly sp_fast's applicability test
+            else:
+                method = "sat"
+        if method == "sp":
+            return sp_is_currency_preserving(
+                query,
+                self.specification,
+                match_entities_by_eid=self.match_entities_by_eid,
+                _applicability_checked=applicability_checked,
+            )
+        try:
+            witness = self.find_violating_extension(
+                query,
+                max_imports=max_imports,
+                ccqa_method=ccqa_method,
+                engine=engine,
+                search="naive" if method == "enumerate" else "sat",
+            )
+        except InconsistentSpecificationError:
+            return False
+        return witness is None
+
+    # ------------------------------------------------------------------ #
+    # ECP — existence of currency-preserving extensions (Section 5)
+    # ------------------------------------------------------------------ #
+    def ecp(self, query: Optional[AnyQuery] = None) -> bool:
+        """Decide ECP: O(1) "yes" for consistent specifications
+        (Proposition 5.2), "no" for inconsistent ones.  The query is
+        irrelevant to the decision."""
+        del query
+        if self._space is not None:
+            return self._space.selection_consistent(())
+        return self.consistent()
+
+    def maximal_extension(self, search: str = "auto") -> SpecificationExtension:
+        """The greedy maximal (hence currency-preserving) extension of
+        Proposition 5.2 — from the memoised ⊆-maximal harvest with zero SAT
+        calls when a BCP sweep ran first, by warm consistency probes
+        otherwise; both produce the extension the seed greedy builds."""
+        if search not in SEARCHES:
+            raise SpecificationError(
+                f"unknown ECP search {search!r}; expected one of {SEARCHES}"
+            )
+        if search == "naive":
+            from repro.preservation.ecp import _maximal_extension_naive
+
+            return _maximal_extension_naive(
+                self.specification, self.match_entities_by_eid
+            )
+        space = self.space
+        return space.extension(space.greedy_maximal_selection())
+
+    # ------------------------------------------------------------------ #
+    # BCP — bounded copying (Section 5)
+    # ------------------------------------------------------------------ #
+    def bounded_extension(
+        self,
+        query: AnyQuery,
+        k: int,
+        method: str = "auto",
+        search: str = "auto",
+        engine: Optional[QueryEngine] = None,
+    ) -> Optional[SpecificationExtension]:
+        """A currency-preserving extension importing at most *k* tuples (the
+        empty extension — ρ itself — included), or None.  The SAT search runs
+        entirely on this session's warm space; see
+        :func:`repro.preservation.bcp.bounded_currency_preserving_extension`."""
+        if k < 0:
+            raise SpecificationError("the bound k must be non-negative")
+        if search not in SEARCHES:
+            raise SpecificationError(
+                f"unknown BCP search {search!r}; expected one of {SEARCHES}"
+            )
+        if method not in CPP_METHODS:
+            raise SpecificationError(
+                f"unknown CPP method {method!r}; expected one of {CPP_METHODS}"
+            )
+        if search == "naive":
+            from repro.preservation.bcp import _bounded_naive
+
+            return _bounded_naive(
+                query, self.specification, k, method, self.match_entities_by_eid
+            )
+        space = self.space
+        if not space.selection_consistent(()):
+            return None
+        engine = self.engine(query, engine)
+        selection = _bounded_in_space(space, engine, k)
+        if selection is None:
+            return None
+        if not selection:
+            return apply_imports(self.specification, [])
+        return space.extension(selection)
+
+    def bcp(
+        self,
+        query: AnyQuery,
+        k: int,
+        method: str = "auto",
+        search: str = "auto",
+        engine: Optional[QueryEngine] = None,
+    ) -> bool:
+        """Decide BCP."""
+        return (
+            self.bounded_extension(query, k, method=method, search=search, engine=engine)
+            is not None
+        )
+
+    def bcp_refusal(
+        self,
+        query: AnyQuery,
+        k: int,
+        engine: Optional[QueryEngine] = None,
+    ) -> Optional[List[BoundRefusalCertificate]]:
+        """*Why* BCP answers "no": one
+        :class:`~repro.preservation.certificates.BoundRefusalCertificate` per
+        refused in-bound guess (the empty guess — ρ itself — included), each
+        carrying the violating import set and the materialised consistent
+        extension realising it.
+
+        Returns None when BCP answers "yes" (some guess is preserving — there
+        is nothing to refuse), and the empty list when the refusal is the
+        base specification's inconsistency rather than any guess's failure.
+        """
+        if k < 0:
+            raise SpecificationError("the bound k must be non-negative")
+        space = self.space
+        if not space.selection_consistent(()):
+            return []
+        engine = self.engine(query, engine)
+        refutations: List[Refutation] = []
+        selection = _bounded_in_space(space, engine, k, refutations)
+        if selection is not None:
+            return None
+        certificates: List[BoundRefusalCertificate] = []
+        for guess, refuter in refutations:
+            guess_answers = space.certain_answers(engine, guess)
+            extension_answers = space.certain_answers(engine, refuter)
+            certificates.append(
+                BoundRefusalCertificate(
+                    guess=tuple(space.candidates[i] for i in sorted(set(guess))),
+                    violating_imports=tuple(
+                        space.candidates[i] for i in sorted(set(refuter))
+                    ),
+                    extension=space.extension(refuter),
+                    guess_answers=guess_answers,
+                    extension_answers=extension_answers,
+                )
+            )
+        return certificates
+
+    def bound_violation_core(
+        self, required_imports: Sequence[CandidateImport], k: int
+    ) -> Optional[Tuple[List[CandidateImport], bool]]:
+        """Why no consistent extension realises *required_imports* within *k*
+        (see :func:`repro.preservation.bcp.bound_violation_core`)."""
+        if k < 0:
+            raise SpecificationError("the bound k must be non-negative")
+        space = self.space
+        indices = []
+        for imp in required_imports:
+            try:
+                indices.append(space.candidates.index(imp))
+            except ValueError:
+                raise SpecificationError(
+                    f"{imp!r} is not a candidate import of the specification"
+                ) from None
+        return space.bounded_selection_core(indices, k)
+
+    # ------------------------------------------------------------------ #
+    # Incremental mutation
+    # ------------------------------------------------------------------ #
+    def _clear_answer_state(self) -> None:
+        self._answer_memo.clear()
+        self._verdict_memo.clear()
+        self.mutations += 1
+
+    def _drop_or_extend_encoder_for_tuple(self, instance_name: str, tid: Hashable) -> None:
+        """Extend the encoder with the new tuple's additive delta, or fall
+        back to a full rebuild when it carries enumerator maximality clauses
+        (whose reverse direction would be unsound for the grown block)."""
+        if self._encoder is None:
+            return
+        if self._encoder.maximality_encoded:
+            self._encoder = None
+        else:
+            self._encoder.add_tuple_incremental(instance_name, tid)
+
+    def add_order(
+        self, instance_name: str, attribute: str, lower: Hashable, upper: Hashable
+    ) -> None:
+        """Record ``lower ≺_attribute upper`` in the live specification.
+
+        Invalidates the chase; the encoder and the space each gain one unit
+        clause on their warm solvers; engines, enumerators and column indexes
+        survive.  A pair already present is a no-op."""
+        instance = self.specification.instance(instance_name)
+        if not instance.add_order(attribute, lower, upper):
+            return  # already recorded: nothing changed
+        self._chase = None
+        if self._encoder is not None:
+            self._encoder.add_order_pair(instance_name, attribute, lower, upper)
+        if self._space is not None:
+            self._space.add_order(instance_name, attribute, lower, upper)
+        self._clear_answer_state()
+
+    def add_denial(self, instance_name: str, constraint) -> None:
+        """Attach a denial constraint to the named instance.
+
+        The chase survives untouched (it never reads denial constraints), as
+        do column indexes, engines and enumerators; the encoder and the space
+        are extended in place with the constraint's grounded implications."""
+        self.specification.add_constraint(instance_name, constraint)
+        if self._encoder is not None:
+            self._encoder.add_denial_constraint(instance_name, constraint)
+        if self._space is not None:
+            self._space.add_denial(instance_name, constraint)
+        self._clear_answer_state()
+
+    def add_tuple(
+        self,
+        instance_name: str,
+        tid: Union[Hashable, RelationTuple],
+        values: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Add a tuple (a :class:`RelationTuple`, or ``tid`` + *values*) to
+        the named instance.
+
+        The chase, the space (its candidate closure may grow) and the
+        current-database enumerators are invalidated; the encoder is extended
+        incrementally with the purely additive block/grounding delta — unless
+        it already carries maximality clauses, in which case it is rebuilt
+        (the property harness asserts both routes answer identically)."""
+        instance = self.specification.instance(instance_name)
+        tup = (
+            tid
+            if isinstance(tid, RelationTuple)
+            else RelationTuple(instance.schema, tid, dict(values or {}))
+        )
+        instance.add(tup)
+        self._chase = None
+        self._space = None
+        self._enumerators.clear()
+        self._drop_or_extend_encoder_for_tuple(instance_name, tup.tid)
+        self._clear_answer_state()
+
+    def add_copy_function(self, copy_function: CopyFunction) -> None:
+        """Attach a new copy function (validated against the instances).
+
+        Chase and space are invalidated (the candidate closure changes); the
+        encoder gains the function's ≺-compatibility implications in place;
+        enumerators survive (no block changed)."""
+        self.specification.add_copy_function(copy_function)
+        self._chase = None
+        self._space = None
+        if self._encoder is not None:
+            self._encoder.add_copy_function(copy_function)
+        self._clear_answer_state()
+
+    def add_copy_import(self, candidate: CandidateImport) -> None:
+        """Apply one candidate import to the live specification: materialise
+        the imported tuple in the copy function's target instance and extend
+        the function's mapping to cover it.
+
+        Combines a tuple addition with a copy-function extension, so the
+        chase, the space and the enumerators are invalidated; the encoder is
+        extended incrementally (new block delta plus the new mapping pair's
+        compatibility implications) with the same rebuild fallback as
+        :meth:`add_tuple`."""
+        specification = self.specification
+        position = None
+        for index, existing in enumerate(specification.copy_functions):
+            if existing.name == candidate.copy_function:
+                position = index
+                break
+        if position is None:
+            raise SpecificationError(
+                f"unknown copy function {candidate.copy_function!r} in import"
+            )
+        copy_function = specification.copy_functions[position]
+        if not copy_function.signature.covers_all_target_attributes():
+            raise SpecificationError(
+                f"copy function {copy_function.name!r} does not cover all target "
+                "attributes and therefore cannot be extended"
+            )
+        source = specification.instance(copy_function.source)
+        if not source.has_tid(candidate.source_tid):
+            raise SpecificationError(
+                f"import references source tuple {candidate.source_tid!r} which "
+                f"does not exist in {copy_function.source!r}"
+            )
+        target = specification.instance(copy_function.target)
+        if candidate.target_eid not in target.entities():
+            raise SpecificationError(
+                f"import targets unknown entity {candidate.target_eid!r} in "
+                f"{copy_function.target!r} (extensions introduce no new entities)"
+            )
+        source_tuple = source.tuple_by_tid(candidate.source_tid)
+        new_tid = candidate.new_tid()
+        values: Dict[str, Any] = {target.schema.eid: candidate.target_eid}
+        for target_attr, source_attr in copy_function.signature.pairs():
+            values[target_attr] = source_tuple[source_attr]
+        if not target.has_tid(new_tid):
+            target.add(RelationTuple(target.schema, new_tid, values))
+        specification.copy_functions[position] = copy_function.extended_with(
+            {new_tid: candidate.source_tid}
+        )
+        self._chase = None
+        self._space = None
+        self._enumerators.clear()
+        self._drop_or_extend_encoder_for_tuple(copy_function.target, new_tid)
+        self._clear_answer_state()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """Substrate and cache statistics (benchmarks and diagnostics)."""
+        info: Dict[str, Any] = {
+            "mutations": self.mutations,
+            "chase_cached": self._chase is not None,
+            "encoder_built": self._encoder is not None,
+            "space_built": self._space is not None,
+            "engines": len(self._engines),
+            "enumerators": len(self._enumerators),
+            "answer_memo_entries": len(self._answer_memo),
+        }
+        if self._space is not None:
+            info["space"] = self._space.stats()
+        return info
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReasoningSession({self.specification!r}, "
+            f"mutations={self.mutations})"
+        )

@@ -22,7 +22,7 @@ A model decodes back into a full consistent completion.
 from __future__ import annotations
 
 from itertools import combinations, permutations
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.instance import TemporalInstance
 from repro.core.specification import Specification
@@ -56,6 +56,16 @@ class CompletionEncoder:
         self._solver: Optional[Solver] = None
         self._fed_clauses = 0
         self._cached_model: Optional[Tuple[int, Optional[Model]]] = None
+        self._activation_count = 0
+        #: instance names whose maximality clauses a
+        #: :class:`~repro.reasoning.current_db.CurrentDatabaseEnumerator` has
+        #: already added to ``self.cnf``.  Enumerators sharing one encoder
+        #: consult this registry so overlapping relation sets are encoded
+        #: once; it also marks the encoder as *non-extendable* by
+        #: :meth:`add_tuple_incremental` (the reverse maximality clauses
+        #: "all present others below ⟹ max" become too strong when a block
+        #: grows, so a session must rebuild instead).
+        self.maximality_encoded: Set[str] = set()
         self._build()
 
     # ------------------------------------------------------------------ #
@@ -112,48 +122,69 @@ class CompletionEncoder:
         )
 
     def _encode_denial_constraints(self, name: str) -> None:
-        instance = self.specification.instance(name)
         for constraint in self.specification.constraints_for(name):
-            for implication in constraint.grounded_implications(instance):
-                premises: List[Tuple[PairVariable, bool]] = []
-                vacuous = False
-                for attribute, lower, upper in implication.premises:
-                    if not self._same_entity(instance, lower, upper):
-                        vacuous = True  # the premise can never hold
-                        break
-                    premises.append((self.pair_name(name, attribute, lower, upper), True))
-                if vacuous:
-                    continue
-                head = implication.head
-                if head is None:
-                    self.cnf.add_implication(premises, None)
-                    continue
-                attribute, lower, upper = head
+            self._encode_denial_constraint(name, constraint)
+
+    def _encode_denial_constraint(self, name: str, constraint, only_tid=None) -> None:
+        """Ground one denial constraint into implications.
+
+        *only_tid*, when given, restricts to groundings whose support involves
+        that tuple id — the additive delta after a tuple was added.
+        """
+        instance = self.specification.instance(name)
+        for implication, support in constraint.grounded_implications_with_support(instance):
+            if only_tid is not None and only_tid not in support:
+                continue
+            premises: List[Tuple[PairVariable, bool]] = []
+            vacuous = False
+            for attribute, lower, upper in implication.premises:
                 if not self._same_entity(instance, lower, upper):
-                    # the head can never be satisfied: the premises must fail
-                    self.cnf.add_implication(premises, None)
-                else:
-                    self.cnf.add_implication(
-                        premises, (self.pair_name(name, attribute, lower, upper), True)
-                    )
+                    vacuous = True  # the premise can never hold
+                    break
+                premises.append((self.pair_name(name, attribute, lower, upper), True))
+            if vacuous:
+                continue
+            head = implication.head
+            if head is None:
+                self.cnf.add_implication(premises, None)
+                continue
+            attribute, lower, upper = head
+            if not self._same_entity(instance, lower, upper):
+                # the head can never be satisfied: the premises must fail
+                self.cnf.add_implication(premises, None)
+            else:
+                self.cnf.add_implication(
+                    premises, (self.pair_name(name, attribute, lower, upper), True)
+                )
 
     def _encode_copy_functions(self) -> None:
         for copy_function in self.specification.copy_functions:
-            target = self.specification.instance(copy_function.target)
-            source = self.specification.instance(copy_function.source)
-            for (src_attr, s1, s2), (tgt_attr, t1, t2) in copy_function.compatibility_implications(
-                target, source
-            ):
-                if not self._same_entity(source, s1, s2):
-                    continue
-                source_pair = (self.pair_name(copy_function.source, src_attr, s1, s2), True)
-                if not self._same_entity(target, t1, t2):
-                    self.cnf.add_implication([source_pair], None)
-                else:
-                    self.cnf.add_implication(
-                        [source_pair],
-                        (self.pair_name(copy_function.target, tgt_attr, t1, t2), True),
-                    )
+            self._encode_copy_function(copy_function)
+
+    def _encode_copy_function(self, copy_function, only_tid=None) -> None:
+        """≺-compatibility implications of one copy function.
+
+        *only_tid*, when given, restricts to implications involving that tuple
+        id (in the source or target role) — the additive delta after a mapped
+        tuple was added or a mapping pair extended.
+        """
+        target = self.specification.instance(copy_function.target)
+        source = self.specification.instance(copy_function.source)
+        for (src_attr, s1, s2), (tgt_attr, t1, t2) in copy_function.compatibility_implications(
+            target, source
+        ):
+            if only_tid is not None and only_tid not in (s1, s2, t1, t2):
+                continue
+            if not self._same_entity(source, s1, s2):
+                continue
+            source_pair = (self.pair_name(copy_function.source, src_attr, s1, s2), True)
+            if not self._same_entity(target, t1, t2):
+                self.cnf.add_implication([source_pair], None)
+            else:
+                self.cnf.add_implication(
+                    [source_pair],
+                    (self.pair_name(copy_function.target, tgt_attr, t1, t2), True),
+                )
 
     # ------------------------------------------------------------------ #
     # Extra constraints used by the decision procedures
@@ -175,6 +206,110 @@ class CompletionEncoder:
         for other in instance.entity_tids(eid):
             if other != tid:
                 self.require_pair(instance_name, attribute, other, tid)
+
+    # ------------------------------------------------------------------ #
+    # Activation-gated clauses (scoped constraints on a shared encoder)
+    # ------------------------------------------------------------------ #
+    def new_activation(self) -> int:
+        """A fresh activation literal.  Clauses gated behind it (``¬act ∨ …``)
+        constrain only the solve calls that *assume* the literal; callers that
+        share one encoder (the session facade, concurrent current-database
+        enumeration passes) draw their activation literals here so they never
+        collide."""
+        self._activation_count += 1
+        return self.cnf.variable(("__enc_act__", self._activation_count))
+
+    def add_gated_clause(self, named_literals: Iterable[Tuple[PairVariable, bool]]) -> int:
+        """Add a clause active only under a fresh activation literal, which is
+        returned.  Every variable must already be part of the encoding (a
+        fresh unconstrained variable would make the clause vacuous)."""
+        literals = []
+        for name, positive in named_literals:
+            if not self.cnf.has_variable(name):
+                raise SolverError(f"currency pair {name!r} is not part of the encoding")
+            literals.append(self.cnf.literal(name, positive))
+        activation = self.new_activation()
+        self.cnf.add_clause([-activation] + literals)
+        return activation
+
+    def retire_activation(self, activation: int) -> None:
+        """Permanently disable the clauses gated behind *activation* (a root
+        unit in the CNF, so rebuilt solvers honour it too)."""
+        self.cnf.add_clause([-activation])
+
+    # ------------------------------------------------------------------ #
+    # Incremental mutation (the session facade's dependency map)
+    # ------------------------------------------------------------------ #
+    def add_order_pair(
+        self, instance_name: str, attribute: str, lower: Hashable, upper: Hashable
+    ) -> None:
+        """Extend the encoding after ``lower ≺_attribute upper`` was added to
+        the specification's partial order (one additive unit clause)."""
+        self.cnf.add_unit(self.pair_name(instance_name, attribute, lower, upper), True)
+
+    def add_denial_constraint(self, instance_name: str, constraint) -> None:
+        """Extend the encoding after *constraint* was attached to the named
+        instance.  Sound incrementally: a new denial constraint only *adds*
+        grounded implications; every existing clause remains valid."""
+        self._encode_denial_constraint(instance_name, constraint)
+
+    def add_copy_function(self, copy_function) -> None:
+        """Extend the encoding after *copy_function* was added to the
+        specification (additive ≺-compatibility implications)."""
+        self._encode_copy_function(copy_function)
+
+    def add_tuple_incremental(self, instance_name: str, tid: Hashable) -> None:
+        """Extend the encoding after tuple *tid* was added to the named
+        instance.
+
+        Growing an entity block only *adds* well-formedness obligations — pair
+        variables, antisymmetry/totality/transitivity for pairs involving the
+        new tuple, the denial groundings and copy implications its presence
+        admits — so the delta is purely additive ``add_clause`` work between
+        solves and the warm solver state stays valid.  The one exception is an
+        encoder that already carries maximality clauses (``maximality_encoded``
+        non-empty): their "all others below ⟹ max" direction does not survive
+        a grown block, so such encoders must be rebuilt instead — asserted
+        here rather than silently producing a wrong encoding.
+        """
+        if self.maximality_encoded:
+            raise SolverError(
+                "add_tuple_incremental() on an encoder with maximality clauses; "
+                "the enumerator's reverse clauses would be too strong for the "
+                "grown block — rebuild the encoder instead"
+            )
+        instance = self.specification.instance(instance_name)
+        new = instance.tuple_by_tid(tid)
+        block = instance.entity_tids(new.eid)
+        others = [other for other in block if other != tid]
+        for attribute in instance.schema.attributes:
+            domain = self._pair_domain.setdefault((instance_name, attribute), [])
+            for other in others:
+                forward = self.pair_name(instance_name, attribute, other, tid)
+                backward = self.pair_name(instance_name, attribute, tid, other)
+                self.cnf.variable(forward)
+                self.cnf.variable(backward)
+                domain.append((other, tid))
+                domain.append((tid, other))
+                self.cnf.add_named_clause([(forward, False), (backward, False)])
+                self.cnf.add_named_clause([(forward, True), (backward, True)])
+            for a in others:
+                for b in others:
+                    if a == b:
+                        continue
+                    for triple in ((a, b, tid), (a, tid, b), (tid, a, b)):
+                        self.cnf.add_implication(
+                            [
+                                (self.pair_name(instance_name, attribute, triple[0], triple[1]), True),
+                                (self.pair_name(instance_name, attribute, triple[1], triple[2]), True),
+                            ],
+                            (self.pair_name(instance_name, attribute, triple[0], triple[2]), True),
+                        )
+        for constraint in self.specification.constraints_for(instance_name):
+            self._encode_denial_constraint(instance_name, constraint, only_tid=tid)
+        for copy_function in self.specification.copy_functions:
+            if instance_name in (copy_function.source, copy_function.target):
+                self._encode_copy_function(copy_function, only_tid=tid)
 
     # ------------------------------------------------------------------ #
     # Solving and decoding

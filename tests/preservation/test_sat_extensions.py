@@ -280,7 +280,7 @@ class TestChainedCandidates:
         """Oversized consistent families degrade to streamed restricted
         sweeps (time-bounded, memory-safe) with identical verdicts and still
         zero fresh space constructions."""
-        from repro.preservation import bcp as bcp_module
+        from repro.session import session as session_module
         from repro.workloads.synthetic import chained_preservation_workload
 
         spec, query = chained_preservation_workload(
@@ -292,7 +292,7 @@ class TestChainedCandidates:
             has_bounded_extension(query, spec, k, search="sat", space=space, engine=engine)
             for k in (0, 1, 2, 3)
         ]
-        monkeypatch.setattr(bcp_module, "_FAMILY_CAP", 0)
+        monkeypatch.setattr(session_module, "_FAMILY_CAP", 0)
         before = ExtensionSearchSpace.constructions
         got = [
             has_bounded_extension(query, spec, k, search="sat", space=space, engine=engine)

@@ -1,0 +1,281 @@
+"""Property sweep: mutate-then-ask equals rebuild-then-ask.
+
+For ≥200 seeded random specifications, a warm :class:`ReasoningSession` is
+exercised (so its encoder/space/enumerators exist), mutated in place through
+the session API, and asked again; an identical mutation is applied to an
+independently generated copy of the specification and answered through the
+module-level functions (which build a *fresh* session per call — the
+rebuild-then-ask side).  Every answer must agree, across all eight decision
+problems: CPS, COP, DCIP, CCQA, SP, CPP, ECP and BCP.
+
+This is also the soundness harness for the incremental encoder/space deltas
+(`add_clause` between solves) against the full-rebuild semantics, and the
+cross-check of the BCP bound-refusal certificates.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.denial import AttrRef, Comparison, CurrencyAtom, DenialConstraint
+from repro.core.tuples import RelationTuple
+from repro.exceptions import InconsistentSpecificationError
+from repro.preservation.bcp import bound_refusal_certificates, has_bounded_extension
+from repro.preservation.cpp import is_currency_preserving
+from repro.preservation.ecp import currency_preserving_extension_exists
+from repro.preservation.extensions import apply_imports, candidate_imports
+from repro.reasoning.ccqa import certain_current_answers, sp_certain_answers
+from repro.reasoning.cop import certain_ordering
+from repro.reasoning.cps import is_consistent
+from repro.reasoning.dcip import is_deterministic
+from repro.session import ReasoningSession
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    chained_preservation_workload,
+    preservation_workload,
+    random_specification,
+    random_sp_query,
+)
+
+#: seeds per tier-1 sweep section; the acceptance criterion asks for ≥200
+#: overall (they run in tier-1; the `slow` sections add more below).
+BASE_SEEDS = 140
+PRESERVATION_SEEDS = 60
+
+
+# --------------------------------------------------------------------------- #
+# Mutations, applied identically through the session API and to a plain spec
+# --------------------------------------------------------------------------- #
+def _pick_order_mutation(spec, rng):
+    """A safe (acyclic) new order pair, or None."""
+    for name in spec.instance_names():
+        instance = spec.instance(name)
+        for eid in instance.entities():
+            block = instance.entity_tids(eid)
+            if len(block) < 2:
+                continue
+            attribute = rng.choice(instance.schema.attributes)
+            lower, upper = rng.sample(block, 2)
+            order = instance.order(attribute)
+            if not order.precedes(upper, lower) and not order.precedes(lower, upper):
+                return (name, attribute, lower, upper)
+    return None
+
+
+def _denial_for(spec, rng):
+    """A monotone 'larger a0 first' constraint on a random instance."""
+    name = rng.choice(spec.instance_names())
+    schema = spec.instance(name).schema
+    attribute = schema.attributes[0]
+    return name, DenialConstraint(
+        schema,
+        ("s", "t"),
+        body=[Comparison(AttrRef("s", attribute), ">", AttrRef("t", attribute))],
+        head=CurrencyAtom("t", attribute, "s"),
+        name=f"sweep_monotone_{name}_{attribute}",
+    )
+
+
+def _tuple_for(spec, rng, tag):
+    name = rng.choice(spec.instance_names())
+    instance = spec.instance(name)
+    schema = instance.schema
+    eid = rng.choice(instance.entities())
+    values = {schema.eid: eid}
+    for attribute in schema.attributes:
+        values[attribute] = rng.randrange(4)
+    return name, RelationTuple(schema, f"sweep_{tag}", values)
+
+
+def _mutations(spec, rng, kinds, tag):
+    """A deterministic list of (kind, payload) mutations available on *spec*."""
+    chosen = []
+    if "order" in kinds:
+        order = _pick_order_mutation(spec, rng)
+        if order is not None:
+            chosen.append(("order", order))
+    if "denial" in kinds:
+        chosen.append(("denial", _denial_for(spec, rng)))
+    if "tuple" in kinds:
+        chosen.append(("tuple", _tuple_for(spec, rng, tag)))
+    if "import" in kinds:
+        candidates = candidate_imports(spec)
+        if candidates:
+            chosen.append(("import", rng.choice(candidates)))
+    return chosen
+
+
+def _apply_to_session(session, kind, payload):
+    if kind == "order":
+        name, attribute, lower, upper = payload
+        session.add_order(name, attribute, lower, upper)
+    elif kind == "denial":
+        name, constraint = payload
+        session.add_denial(name, constraint)
+    elif kind == "tuple":
+        name, tup = payload
+        session.add_tuple(name, tup)
+    else:
+        session.add_copy_import(payload)
+
+
+def _apply_to_spec(spec, kind, payload):
+    """The rebuild side: the same mutation through the plain core API."""
+    if kind == "order":
+        name, attribute, lower, upper = payload
+        spec.instance(name).add_order(attribute, lower, upper)
+        return spec
+    if kind == "denial":
+        name, constraint = payload
+        spec.add_constraint(name, constraint)
+        return spec
+    if kind == "tuple":
+        name, tup = payload
+        spec.instance(name).add(RelationTuple(tup.schema, tup.tid, tup.values()))
+        return spec
+    return apply_imports(spec, [payload]).specification
+
+
+# --------------------------------------------------------------------------- #
+# Answer comparison (errors compared by type)
+# --------------------------------------------------------------------------- #
+def _outcome(thunk):
+    try:
+        return ("ok", thunk())
+    except InconsistentSpecificationError:
+        return ("inconsistent", None)
+
+
+def _check_base_problems(seed, session, rebuilt, query):
+    assert session.specification == rebuilt, f"seed {seed}: spec drifted from rebuild"
+    assert session.consistent() == is_consistent(rebuilt), f"seed {seed}: CPS"
+    name = rebuilt.instance_names()[0]
+    instance = rebuilt.instance(name)
+    for eid in instance.entities():
+        block = instance.entity_tids(eid)
+        if len(block) >= 2:
+            order = {instance.schema.attributes[-1]: [(block[0], block[1])]}
+            assert session.certain_ordering(name, order) == certain_ordering(
+                rebuilt, name, order
+            ), f"seed {seed}: COP"
+            break
+    assert session.deterministic() == is_deterministic(rebuilt), f"seed {seed}: DCIP"
+    warm = _outcome(lambda: session.certain_answers(query))
+    cold = _outcome(lambda: certain_current_answers(query, rebuilt))
+    assert warm == cold, f"seed {seed}: CCQA {warm} != {cold}"
+    if not rebuilt.has_denial_constraints():
+        assert session.sp_answers(query) == sp_certain_answers(
+            query, rebuilt
+        ), f"seed {seed}: SP"
+
+
+def _check_preservation_problems(seed, session, rebuilt, query, k=1):
+    assert session.specification == rebuilt, f"seed {seed}: spec drifted from rebuild"
+    assert session.cpp(query) == is_currency_preserving(
+        query, rebuilt.copy()
+    ), f"seed {seed}: CPP"
+    assert session.ecp(query) == currency_preserving_extension_exists(
+        query, rebuilt.copy()
+    ), f"seed {seed}: ECP"
+    assert session.bcp(query, k) == has_bounded_extension(
+        query, rebuilt.copy(), k
+    ), f"seed {seed}: BCP"
+
+
+def _run_base_seed(seed):
+    rng = random.Random(seed * 7919)
+    config = SyntheticConfig(
+        entities=2,
+        tuples_per_entity=2,
+        attributes=2,
+        order_density=0.4,
+        value_domain=3,
+        with_constraints=bool(seed % 2),
+        relations=1 + (seed % 2),
+        with_copy_functions=seed % 4 >= 2,
+        seed=seed,
+    )
+    spec = random_specification(config)
+    rebuilt = random_specification(config)
+    query = random_sp_query(spec, seed=seed)
+    session = ReasoningSession(spec)
+    # warm the substrate before mutating, so the mutations exercise the
+    # incremental encoder/enumerator paths rather than fresh builds
+    _check_base_problems(seed, session, rebuilt, query)
+    kinds = [("order", "tuple"), ("denial", "order"), ("tuple", "denial")][seed % 3]
+    for kind, payload in _mutations(spec, rng, kinds, tag=f"{seed}"):
+        _apply_to_session(session, kind, payload)
+        rebuilt = _apply_to_spec(rebuilt, kind, payload)
+        _check_base_problems(seed, session, rebuilt, query)
+
+
+def _run_preservation_seed(seed):
+    rng = random.Random(seed * 104729)
+    if seed % 3 == 2:
+        spec, query = chained_preservation_workload(
+            depth=1 + seed % 2, candidates=1, entities=1, spoiler=bool(seed % 2), seed=seed
+        )
+        rebuilt, _ = chained_preservation_workload(
+            depth=1 + seed % 2, candidates=1, entities=1, spoiler=bool(seed % 2), seed=seed
+        )
+    else:
+        spec, query = preservation_workload(
+            candidates=2, conflict_groups=1 + seed % 2, entities=1,
+            spoiler=bool(seed % 2), seed=seed,
+        )
+        rebuilt, _ = preservation_workload(
+            candidates=2, conflict_groups=1 + seed % 2, entities=1,
+            spoiler=bool(seed % 2), seed=seed,
+        )
+    session = ReasoningSession(spec)
+    _check_base_problems(seed, session, rebuilt, query)
+    _check_preservation_problems(seed, session, rebuilt, query)
+    kinds = [("import", "order"), ("denial",), ("order", "import")][seed % 3]
+    for kind, payload in _mutations(spec, rng, kinds, tag=f"p{seed}"):
+        _apply_to_session(session, kind, payload)
+        rebuilt = _apply_to_spec(rebuilt, kind, payload)
+        _check_preservation_problems(seed, session, rebuilt, query)
+    # cross-check bound-refusal certificates on the final state
+    refusals = session.bcp_refusal(query, 0)
+    if refusals is None:
+        assert has_bounded_extension(query, rebuilt.copy(), 0)
+    else:
+        assert not has_bounded_extension(query, rebuilt.copy(), 0)
+        for certificate in refusals:
+            assert certificate.refutes_preservation(), f"seed {seed}: refusal self-check"
+            assert is_consistent(
+                certificate.extension.specification
+            ), f"seed {seed}: refusal extension inconsistent"
+            assert certain_current_answers(
+                query, certificate.extension.specification
+            ) == certificate.extension_answers, f"seed {seed}: refusal answers"
+
+
+# --------------------------------------------------------------------------- #
+# Tier-1 sweeps (≥200 seeds overall)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(BASE_SEEDS))
+def test_mutate_equals_rebuild_base_problems(seed):
+    _run_base_seed(seed)
+
+
+@pytest.mark.parametrize("seed", range(PRESERVATION_SEEDS))
+def test_mutate_equals_rebuild_preservation_problems(seed):
+    _run_preservation_seed(seed)
+
+
+# --------------------------------------------------------------------------- #
+# Extended sweeps (excluded from tier-1 via the `slow` marker)
+# --------------------------------------------------------------------------- #
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(1000, 1200))
+def test_mutate_equals_rebuild_base_problems_slow(seed):
+    _run_base_seed(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(1000, 1100))
+def test_mutate_equals_rebuild_preservation_problems_slow(seed):
+    _run_preservation_seed(seed)

@@ -56,14 +56,14 @@ class TestSPAlgorithm:
     def test_missing_chase_order_entry_raises_specification_error(self, monkeypatch):
         """Regression: a chase result lacking a (relation, attribute) entry
         must surface as a clear SpecificationError, not a bare KeyError."""
-        from repro.reasoning import ccqa
+        from repro.reasoning import sp
         from repro.reasoning.chase import ChaseResult
 
         config = SyntheticConfig(with_constraints=False, seed=3)
         spec = random_specification(config)
         query = random_sp_query(spec, seed=3)
         monkeypatch.setattr(
-            ccqa,
+            sp,
             "chase_certain_orders",
             lambda specification: ChaseResult(consistent=True, orders={}, iterations=0),
         )

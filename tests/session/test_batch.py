@@ -1,0 +1,143 @@
+"""Tests for the batch driver: grouping by structural spec equality, serial
+vs parallel result equality, per-request error isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.reasoning.ccqa import certain_current_answers
+from repro.reasoning.cps import is_consistent
+from repro.session import BatchDriver, ProblemRequest
+from repro.session.batch import _SessionPool
+from repro.workloads import company
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    preservation_workload,
+    random_specification,
+    random_sp_query,
+)
+
+
+def _request_stream():
+    """A small mixed stream: two structurally-equal copies of one spec, one
+    distinct spec, requests over all eight problems."""
+    spec_a = random_specification(SyntheticConfig(seed=1, with_constraints=True))
+    spec_a_again = random_specification(SyntheticConfig(seed=1, with_constraints=True))
+    query_a = random_sp_query(spec_a, seed=1)
+    spec_b, query_b = preservation_workload(
+        candidates=2, conflict_groups=1, spoiler=True, seed=2
+    )
+    spec_c = random_specification(SyntheticConfig(seed=5, with_constraints=False))
+    query_c = random_sp_query(spec_c, seed=5)
+    name = spec_a.instance_names()[0]
+    block = spec_a.instance(name).entity_tids("e0")
+    order = {spec_a.instance(name).schema.attributes[0]: [(block[0], block[1])]}
+    return [
+        (spec_a, ProblemRequest("cps")),
+        (spec_a_again, ProblemRequest("ccqa", query=query_a)),
+        (spec_a, ProblemRequest("cop", args=(name, order))),
+        (spec_a_again, ProblemRequest("dcip")),
+        (spec_b, ProblemRequest("cpp", query=query_b)),
+        (spec_b, ProblemRequest("ecp", query=query_b)),
+        (spec_b, ProblemRequest("bcp", query=query_b, args=(1,))),
+        (spec_c, ProblemRequest("sp", query=query_c)),
+    ]
+
+
+class TestGroupingAndSerial:
+    def test_structurally_equal_specs_share_one_session(self):
+        requests = _request_stream()
+        driver = BatchDriver(serial=True)
+        groups = driver._group(requests)
+        # spec_a and spec_a_again are value-identical -> one group; spec_b
+        # and spec_c are their own groups
+        assert len(groups) == 3
+        assert [len(items) for _spec, items in groups] == [4, 3, 1]
+
+    def test_serial_results_match_direct_module_calls(self):
+        requests = _request_stream()
+        results = BatchDriver(serial=True).run(requests)
+        assert [r.index for r in results] == list(range(len(requests)))
+        assert all(r.ok for r in results), [r.error for r in results]
+        spec_a, _ = requests[0]
+        query_a = requests[1][1].query
+        assert results[0].value == is_consistent(spec_a.copy())
+        assert results[1].value == certain_current_answers(query_a, spec_a.copy())
+        assert results[4].value in (True, False)
+        assert results[5].value is True  # ECP on a consistent spec
+
+    def test_errors_are_isolated_per_request(self):
+        spec = random_specification(SyntheticConfig(seed=3))
+        requests = [
+            (spec, ProblemRequest("cps")),
+            (spec, ProblemRequest("cps", kwargs={"method": "bogus"})),
+            (spec, ProblemRequest("cps")),
+        ]
+        results = BatchDriver(serial=True).run(requests)
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok and "SpecificationError" in results[1].error
+
+    def test_unknown_problem_rejected_at_request_construction(self):
+        with pytest.raises(SpecificationError):
+            ProblemRequest("nope")
+
+    def test_session_pool_interns_structurally(self):
+        pool = _SessionPool(capacity=2)
+        spec = company.company_specification()
+        rebuilt = company.company_specification()
+        assert pool.session_for(spec) is pool.session_for(rebuilt)
+        assert pool.hits == 1 and pool.misses == 1
+        other = random_specification(SyntheticConfig(seed=4))
+        assert pool.session_for(other) is not pool.session_for(spec)
+
+
+class TestCrossBatchReuse:
+    def test_serial_driver_keeps_sessions_across_runs(self):
+        """The driver's in-process pool persists between run() calls, so a
+        later batch naming an already-served spec reuses the warm session."""
+        spec = random_specification(SyntheticConfig(seed=6, with_constraints=True))
+        rebuilt = random_specification(SyntheticConfig(seed=6, with_constraints=True))
+        driver = BatchDriver(serial=True)
+        first = driver.run([(spec, ProblemRequest("cps"))])
+        second = driver.run([(rebuilt, ProblemRequest("cps"))])
+        assert first[0].value == second[0].value
+        assert driver._local_pool.hits == 1 and driver._local_pool.misses == 1
+
+    def test_ecp_wrapper_rejects_a_space_for_another_spec(self):
+        from repro.preservation.ecp import currency_preserving_extension_exists
+        from repro.preservation.sat_extensions import ExtensionSearchSpace
+
+        spec_a, query = preservation_workload(candidates=2, conflict_groups=1, seed=7)
+        spec_b, _ = preservation_workload(candidates=3, conflict_groups=1, seed=8)
+        space = ExtensionSearchSpace(spec_b)
+        with pytest.raises(SpecificationError):
+            currency_preserving_extension_exists(query, spec_a, space=space)
+        assert currency_preserving_extension_exists(query, spec_b, space=space)
+
+
+class TestParallel:
+    def test_parallel_matches_serial(self):
+        requests = _request_stream()
+        serial = BatchDriver(serial=True).run(requests)
+        with BatchDriver(processes=2) as driver:
+            parallel = driver.run(requests)
+        assert [(r.index, r.problem, r.value, r.error) for r in serial] == [
+            (r.index, r.problem, r.value, r.error) for r in parallel
+        ]
+
+    def test_worker_pool_persists_across_runs(self):
+        """The multiprocessing pool lives on the driver, so workers (and
+        their interned sessions) survive between batches."""
+        spec_a = random_specification(SyntheticConfig(seed=9, with_constraints=True))
+        spec_b = random_specification(SyntheticConfig(seed=10, with_constraints=True))
+        stream = [(spec_a, ProblemRequest("cps")), (spec_b, ProblemRequest("cps"))]
+        with BatchDriver(processes=2) as driver:
+            first = driver.run(stream)
+            pool = driver._workers
+            assert pool is not None  # a single-group run would stay in-process
+            second = driver.run([(spec_a, ProblemRequest("dcip")),
+                                 (spec_b, ProblemRequest("dcip"))])
+            assert driver._workers is pool  # same worker processes
+        assert driver._workers is None  # released on exit
+        assert all(r.ok for r in first + second)
