@@ -1,8 +1,35 @@
-"""Setup shim: metadata lives in pyproject.toml.
+"""Packaging metadata for the data-currency reproduction library.
 
-Kept so that ``pip install -e .`` works on minimal offline environments that
-lack the ``wheel`` package (pip falls back to the legacy editable install).
+Plain setup.py (no pyproject.toml) so that ``pip install -e .`` works on
+minimal offline environments that lack the ``wheel`` package: pip falls back
+to the legacy editable install, which only needs setuptools.
 """
-from setuptools import setup
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-currency",
+    version="0.6.0",
+    description=(
+        "Reproduction of Fan-Geerts-Wijsen 'Determining the Currency of "
+        "Data': the eight decision problems over a warm incremental-SAT "
+        "reasoning session"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    # the library itself is dependency-free (stdlib only); the dev extra
+    # adds the test runner and the strict-typing gate used by CI
+    install_requires=[],
+    extras_require={
+        "dev": [
+            "pytest",
+            "mypy",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "reprolint = repro.analysis.static.cli:main",
+        ],
+    },
+)

@@ -1,0 +1,119 @@
+"""The ``reprolint`` command-line driver.
+
+Usage::
+
+    reprolint [paths...] [--fail-on-findings] [--select R2,R4]
+              [--list-rules] [--show-suppressed]
+
+With no paths, lints ``src/repro`` (falling back to ``repro`` when invoked
+from inside ``src``).  Exit status is 0 when the tree is clean, 1 when
+unsuppressed findings remain and ``--fail-on-findings`` was given, 2 on
+usage errors.  Without ``--fail-on-findings`` the findings are printed but
+the exit status stays 0 — useful for exploratory runs during triage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.static.framework import Linter, Rule
+from repro.analysis.static.rules import ALL_RULES, rule_by_identifier
+
+__all__ = ["main"]
+
+
+def _default_paths() -> List[str]:
+    for candidate in (os.path.join("src", "repro"), "repro"):
+        if os.path.isdir(candidate):
+            return [candidate]
+    return ["."]
+
+
+def _list_rules() -> str:
+    lines = ["reprolint rules:", ""]
+    for rule in ALL_RULES:
+        scope = "project-wide" if rule.project_wide else "per-module"
+        lines.append(f"  {rule.code}  {rule.name}  [{scope}]")
+        lines.append(f"      {rule.summary}")
+        lines.append(f"      why: {rule.rationale}")
+    lines.append("")
+    lines.append(
+        "suppress per line with: "
+        "# reprolint: allow(<rule>[, <rule>...]) — <reason>  (reason required)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant linter for the repro reasoning stack",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--fail-on-findings",
+        action="store_true",
+        help="exit 1 when unsuppressed findings remain (CI mode)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule codes/names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every rule and exit",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings silenced by pragmas (with their reasons)",
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        print(_list_rules())
+        return 0
+
+    rules: Optional[Tuple[Rule, ...]] = None
+    if options.select:
+        try:
+            rules = tuple(
+                rule_by_identifier(identifier.strip())
+                for identifier in options.select.split(",")
+                if identifier.strip()
+            )
+        except KeyError as error:
+            print(f"reprolint: {error.args[0]}", file=sys.stderr)
+            return 2
+        if not rules:
+            print("reprolint: --select names no rules", file=sys.stderr)
+            return 2
+
+    paths = list(options.paths) or _default_paths()
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"reprolint: no such path: {path}", file=sys.stderr)
+            return 2
+
+    report = Linter(rules).lint_paths(paths)
+    for finding in report.findings:
+        if finding.suppressed and not options.show_suppressed:
+            continue
+        print(finding.render())
+    print(f"reprolint: {report.summary()}")
+    if options.fail_on_findings and not report.ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tools/reprolint
+    sys.exit(main())

@@ -1,0 +1,382 @@
+"""The lint framework: module contexts, the rule protocol and the driver.
+
+Rules are small classes with a ``check(context)`` generator over raw
+findings; the :class:`Linter` parses each file once, parses its pragmas,
+runs every enabled rule and applies suppressions.  Project-wide rules (the
+pickle-safety reachability pass) additionally receive a
+:class:`ProjectIndex` of every class definition across all linted files, so
+they can follow annotations across module boundaries.
+
+Suppression bookkeeping is strict both ways: a finding is only suppressed by
+a pragma naming its rule on the finding's line, and a pragma that suppresses
+nothing at all is itself reported (``P1 unused-suppression``) — stale
+exemptions must not outlive the code they excused.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Linter",
+    "ModuleContext",
+    "ProjectIndex",
+    "Rule",
+    "iter_python_files",
+    "module_name_for",
+]
+
+#: Rule codes reserved by the framework itself (never suppressable).
+PARSE_ERROR_CODE = "E0"
+PRAGMA_ERROR_CODE = "P0"
+UNUSED_SUPPRESSION_CODE = "P1"
+_FRAMEWORK_CODES = {PARSE_ERROR_CODE, PRAGMA_ERROR_CODE, UNUSED_SUPPRESSION_CODE}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, suppressed or not."""
+
+    rule: str  # rule code, e.g. "R2"
+    name: str  # rule name, e.g. "identity-compare"
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    suppression_reason: Optional[str] = None
+
+    def render(self) -> str:
+        status = " [suppressed: {0}]".format(self.suppression_reason) if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule}({self.name}) {self.message}{status}"
+        )
+
+
+@dataclass
+class ModuleContext:
+    """Everything a per-module rule sees: the file, its AST and helpers."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    module: Optional[str]  # dotted name under the package root, when derivable
+
+    _parents: Optional[Dict[ast.AST, ast.AST]] = field(default=None, repr=False)
+
+    def parent_map(self) -> Dict[ast.AST, ast.AST]:
+        """child node -> parent node, built once per module on first use."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        parents = self.parent_map()
+        current: Optional[ast.AST] = parents.get(node)
+        while current is not None:
+            yield current
+            current = parents.get(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+
+@dataclass
+class ProjectIndex:
+    """All class definitions (and module-level type aliases) across the run.
+
+    ``classes`` maps a class name to every ``(context, node)`` defining it —
+    names may repeat across modules, and reachability follows all of them.
+    ``aliases`` maps ``(module path, alias name)`` to the set of type names
+    the alias expands to (one level; callers iterate to a fixpoint).
+    """
+
+    classes: Dict[str, List[Tuple[ModuleContext, ast.ClassDef]]] = field(
+        default_factory=dict
+    )
+    aliases: Dict[Tuple[str, str], Set[str]] = field(default_factory=dict)
+
+    def add_module(self, context: ModuleContext) -> None:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef):
+                self.classes.setdefault(node.name, []).append((context, node))
+        for statement in context.tree.body:
+            if (
+                isinstance(statement, ast.Assign)
+                and len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)
+            ):
+                names = {
+                    child.id
+                    for child in ast.walk(statement.value)
+                    if isinstance(child, ast.Name)
+                }
+                if names:
+                    self.aliases[(context.path, statement.targets[0].id)] = names
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``code``/``name``/``summary``/``rationale`` and implement
+    either :meth:`check` (per module) or :meth:`check_project` (whole run;
+    set ``project_wide = True``).  ``rationale`` records the historical bug
+    class the rule encodes — it is surfaced by ``reprolint --list-rules``.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    rationale: str = ""
+    project_wide: bool = False
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, contexts: Sequence[ModuleContext], index: ProjectIndex
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(
+        self, context: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.code,
+            name=self.name,
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.unsuppressed)} finding(s), "
+            f"{len(self.suppressed)} suppressed, {self.files} file(s)"
+        )
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files and directories into a sorted stream of ``.py`` files."""
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def module_name_for(path: str) -> Optional[str]:
+    """The dotted module name of *path* under a ``repro`` package root, or
+    None when the file does not live under one (fixtures, scripts)."""
+    normalized = os.path.normpath(path).replace(os.sep, "/")
+    marker = "/repro/"
+    if normalized.startswith("repro/"):
+        trimmed = normalized
+    elif marker in normalized:
+        trimmed = "repro/" + normalized.split(marker, 1)[1]
+    else:
+        return None
+    if trimmed.endswith(".py"):
+        trimmed = trimmed[: -len(".py")]
+    if trimmed.endswith("/__init__"):
+        trimmed = trimmed[: -len("/__init__")]
+    return trimmed.replace("/", ".")
+
+
+class Linter:
+    """Run a set of rules over files, applying pragma suppressions."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        if rules is None:
+            from repro.analysis.static.rules import ALL_RULES
+
+            rules = ALL_RULES
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+
+    # ------------------------------------------------------------------ #
+    def _load(self, path: str) -> Tuple[Optional[ModuleContext], List[Finding]]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            return None, [
+                Finding(
+                    rule=PARSE_ERROR_CODE,
+                    name="parse-error",
+                    path=path,
+                    line=1,
+                    col=1,
+                    message=f"cannot read file: {error}",
+                )
+            ]
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            return None, [
+                Finding(
+                    rule=PARSE_ERROR_CODE,
+                    name="parse-error",
+                    path=path,
+                    line=error.lineno or 1,
+                    col=(error.offset or 0) + 1,
+                    message=f"syntax error: {error.msg}",
+                )
+            ]
+        context = ModuleContext(
+            path=path, source=source, tree=tree, module=module_name_for(path)
+        )
+        return context, []
+
+    # ------------------------------------------------------------------ #
+    def lint_paths(self, paths: Iterable[str]) -> LintReport:
+        """Lint every python file under *paths* (files or directories)."""
+        from repro.analysis.static.pragmas import parse_pragmas
+
+        report = LintReport()
+        contexts: List[ModuleContext] = []
+        index = ProjectIndex()
+        for path in iter_python_files(paths):
+            report.files += 1
+            context, errors = self._load(path)
+            report.findings.extend(errors)
+            if context is None:
+                continue
+            contexts.append(context)
+            index.add_module(context)
+
+        per_module: Dict[str, List[Finding]] = {
+            context.path: [] for context in contexts
+        }
+        for context in contexts:
+            for rule in self.rules:
+                if rule.project_wide:
+                    continue
+                per_module[context.path].extend(rule.check(context))
+        for rule in self.rules:
+            if not rule.project_wide:
+                continue
+            for finding in rule.check_project(contexts, index):
+                if finding.path in per_module:
+                    per_module[finding.path].append(finding)
+                else:  # a project rule may point at a file outside the run
+                    report.findings.append(finding)
+
+        for context in contexts:
+            report.findings.extend(
+                self._apply_pragmas(
+                    context, parse_pragmas(context.source), per_module[context.path]
+                )
+            )
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _apply_pragmas(
+        self,
+        context: ModuleContext,
+        table: "PragmaTableLike",
+        findings: List[Finding],
+    ) -> List[Finding]:
+        resolved: List[Finding] = []
+        used: Set[Tuple[int, str]] = set()  # (pragma source line, rule identifier)
+        for finding in findings:
+            suppression = None
+            if finding.rule not in _FRAMEWORK_CODES:
+                for pragma in table.allowed(finding.line):
+                    for identifier in pragma.rules:
+                        if identifier in (finding.rule, finding.name):
+                            suppression = pragma
+                            used.add((pragma.source_line, identifier))
+                            break
+                    if suppression is not None:
+                        break
+            if suppression is not None:
+                resolved.append(
+                    replace(
+                        finding,
+                        suppressed=True,
+                        suppression_reason=suppression.reason,
+                    )
+                )
+            else:
+                resolved.append(finding)
+        for problem in table.problems:
+            resolved.append(
+                Finding(
+                    rule=PRAGMA_ERROR_CODE,
+                    name="pragma",
+                    path=context.path,
+                    line=problem.line,
+                    col=1,
+                    message=problem.message,
+                )
+            )
+        for pragmas in table.by_line.values():
+            for pragma in pragmas:
+                for identifier in pragma.rules:
+                    if (pragma.source_line, identifier) not in used:
+                        resolved.append(
+                            Finding(
+                                rule=UNUSED_SUPPRESSION_CODE,
+                                name="unused-suppression",
+                                path=context.path,
+                                line=pragma.source_line,
+                                col=1,
+                                message=(
+                                    f"pragma allows {identifier} but no such "
+                                    "finding fires on the target line; remove "
+                                    "the stale suppression"
+                                ),
+                            )
+                        )
+        return resolved
+
+
+# typing aid for _apply_pragmas (PragmaTable lives in pragmas.py; importing it
+# here at module level would be fine, but the structural alias keeps the
+# import graph one-directional)
+from repro.analysis.static.pragmas import PragmaTable as PragmaTableLike  # noqa: E402

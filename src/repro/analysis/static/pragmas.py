@@ -1,0 +1,154 @@
+"""Inline suppression pragmas.
+
+Grammar (one pragma per comment)::
+
+    # reprolint: allow(<rule>[, <rule>...]) <sep> <reason>
+
+where ``<rule>`` is a rule code (``R4``) or rule name (``warm-state``) and
+``<sep>`` is an em-dash ``—``, a double hyphen ``--`` or a colon ``:``.  The
+reason is **mandatory**: a suppression that cannot say why it exists is a
+finding in its own right, not an exemption.  Unknown rule identifiers are
+rejected for the same reason — a typo must not silently disable nothing.
+
+Placement: a trailing pragma applies to the physical line it sits on; a
+pragma that is the whole line (a standalone comment) applies to the next
+line.  Both anchor on the line the finding is *reported* at (the first line
+of a multi-line expression).
+
+Pragmas are recognised on real COMMENT tokens only (via :mod:`tokenize`), so
+a pragma-shaped string literal — this module contains several — is never
+mistaken for a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["PRAGMA_MARKER", "Pragma", "PragmaProblem", "parse_pragmas"]
+
+PRAGMA_MARKER = "reprolint:"
+
+# "# reprolint: allow(R2, R4) — reason text"
+_PRAGMA_RE = re.compile(
+    r"^#\s*reprolint:\s*allow\(\s*(?P<rules>[^)]*?)\s*\)\s*(?:—|--|:)\s*(?P<reason>.*\S)\s*$"
+)
+# the marker alone, to catch malformed pragmas instead of ignoring them
+_MARKER_RE = re.compile(r"^#\s*reprolint:")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression: the line it *applies to*, the rule identifiers
+    it allows and the mandatory reason."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    source_line: int = 0  # the physical line the comment sits on
+
+
+@dataclass
+class PragmaProblem:
+    """A malformed pragma (reported as an unsuppressable finding)."""
+
+    line: int
+    message: str
+
+
+@dataclass
+class PragmaTable:
+    """All pragmas of a module, indexed by the line they apply to."""
+
+    by_line: Dict[int, List[Pragma]] = field(default_factory=dict)
+    problems: List[PragmaProblem] = field(default_factory=list)
+
+    def allowed(self, line: int) -> List[Pragma]:
+        return self.by_line.get(line, [])
+
+
+def _known_identifiers() -> Set[str]:
+    # imported lazily: rules.py imports nothing from here at module level,
+    # but keeping the import inside the function avoids any cycle risk
+    from repro.analysis.static.rules import ALL_RULES
+
+    known: Set[str] = set()
+    for rule in ALL_RULES:
+        known.add(rule.code)
+        known.add(rule.name)
+    return known
+
+
+def parse_pragmas(source: str) -> PragmaTable:
+    """Extract every ``reprolint`` pragma from *source*.
+
+    Malformed pragmas (missing reason, unknown rule identifier, unparseable
+    shape) are collected as :class:`PragmaProblem` entries rather than raised:
+    the linter reports them as findings so a broken suppression fails CI
+    instead of silently suppressing nothing.
+    """
+    table = PragmaTable()
+    known = _known_identifiers()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # the caller already reports the file as unparseable
+        return table
+
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        comment = token.string.strip()
+        if not _MARKER_RE.match(comment):
+            continue
+        line = token.start[0]
+        match = _PRAGMA_RE.match(comment)
+        if match is None:
+            table.problems.append(
+                PragmaProblem(
+                    line=line,
+                    message=(
+                        "malformed reprolint pragma; expected "
+                        "'# reprolint: allow(<rule>[, <rule>...]) — <reason>' "
+                        "(the reason is required)"
+                    ),
+                )
+            )
+            continue
+        rules = tuple(
+            identifier.strip()
+            for identifier in match.group("rules").split(",")
+            if identifier.strip()
+        )
+        reason = match.group("reason").strip()
+        if not rules:
+            table.problems.append(
+                PragmaProblem(line=line, message="reprolint pragma allows no rules")
+            )
+            continue
+        unknown = [identifier for identifier in rules if identifier not in known]
+        if unknown:
+            table.problems.append(
+                PragmaProblem(
+                    line=line,
+                    message=(
+                        f"reprolint pragma names unknown rule(s) "
+                        f"{', '.join(sorted(unknown))}; known identifiers are "
+                        f"{', '.join(sorted(known))}"
+                    ),
+                )
+            )
+            continue
+        # a standalone comment line suppresses the next line; a trailing
+        # comment suppresses its own line
+        source_lines = source.splitlines()
+        text_before = (
+            source_lines[line - 1][: token.start[1]] if line <= len(source_lines) else ""
+        )
+        applies_to = line + 1 if not text_before.strip() else line
+        pragma = Pragma(line=applies_to, rules=rules, reason=reason, source_line=line)
+        table.by_line.setdefault(applies_to, []).append(pragma)
+    return table

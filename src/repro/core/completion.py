@@ -14,6 +14,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.core.current import current_tuple
 from repro.core.instance import NormalInstance, TemporalInstance
+from repro.core.schema import RelationSchema
 from repro.core.specification import Specification
 from repro.core.tuples import RelationTuple
 
@@ -50,7 +51,7 @@ class CurrentDatabaseCache:
         self._max_entries = max_entries
 
     def intern_rows(
-        self, schema, rows: List[Tuple[Any, Mapping[str, Any]]]
+        self, schema: RelationSchema, rows: List[Tuple[Any, Mapping[str, Any]]]
     ) -> NormalInstance:
         """The shared instance for *rows* (``(tid, {attribute: value})`` pairs
         over *schema*), constructing it only on the first occurrence of the

@@ -32,7 +32,7 @@ def current_tuple(completion: TemporalInstance, eid: Any) -> RelationTuple:
         order = completion.order(attribute)
         greatest_tid = order.greatest(block) if len(block) > 1 else block[0]
         values[attribute] = completion.tuple_by_tid(greatest_tid)[attribute]
-    return RelationTuple(completion.schema, f"lst::{eid}", values)
+    return RelationTuple(completion.schema, ("lst", eid), values)
 
 
 def current_instance(completion: TemporalInstance) -> NormalInstance:

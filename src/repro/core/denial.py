@@ -146,6 +146,7 @@ class DenialConstraint:
         self.variables: Tuple[str, ...] = tuple(variables)
         self.body: Tuple[Predicate, ...] = tuple(body)
         self.head = head
+        # reprolint: allow(R2, R3) — presentation-only fallback label, excluded from __eq__/__hash__
         self.name = name or f"dc_{schema.name}_{id(self) & 0xFFFF:04x}"
 
     @staticmethod

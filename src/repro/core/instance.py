@@ -60,6 +60,16 @@ class NormalInstance:
             raise TupleError(f"duplicate tuple id {tup.tid!r} in instance {self._schema.name!r}")
         self._tuples.append(tup)
         self._by_tid[tup.tid] = tup
+        self._invalidate_row_caches()
+
+    def _invalidate_row_caches(self) -> None:
+        """Reset every derived view of the tuple carrier.
+
+        Any method that writes ``_tuples``/``_by_tid`` must call this in the
+        same body (enforced statically by reprolint rule R5); the lazy rows,
+        value-set and per-column indexes are only correct because no write
+        path skips it.
+        """
         self._rows = None
         self._value_set = None
         self._indexes.clear()

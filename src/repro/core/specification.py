@@ -181,6 +181,7 @@ class Specification:
         """
         if not isinstance(other, Specification):
             return NotImplemented
+        # reprolint: allow(R2) — identity fast path inside the structural __eq__ itself
         if self is other:
             return True
         if set(self.instances) != set(other.instances):

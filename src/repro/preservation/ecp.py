@@ -67,6 +67,7 @@ def currency_preserving_extension_exists(
     """
     if space is not None:
         if (
+            # reprolint: allow(R2) — identity fast path in front of the structural check below
             space.specification is not specification
             and space.specification != specification
         ):

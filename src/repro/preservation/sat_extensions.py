@@ -101,6 +101,7 @@ from typing import (
 )
 
 from repro.core.completion import CurrentDatabaseCache
+from repro.core.denial import DenialConstraint
 from repro.core.instance import NormalInstance, TemporalInstance
 from repro.core.specification import Specification
 from repro.exceptions import SolverError, SpecificationError
@@ -148,9 +149,11 @@ def space_for(
     rejected over object identity.
     """
     if space is None:
+        # reprolint: allow(R4) — space_for IS the blessed factory warm callers go through
         return ExtensionSearchSpace(
             specification, match_entities_by_eid=match_entities_by_eid
         )
+    # reprolint: allow(R2) — identity fast path in front of the structural comparison
     if space.specification is not specification and space.specification != specification:
         raise SpecificationError(
             "the supplied extension search space was built for a different specification"
@@ -329,7 +332,9 @@ class ExtensionSearchSpace:
         for constraint in self.full.constraints_for(name):
             self._encode_denial_constraint(name, constraint)
 
-    def _encode_denial_constraint(self, name: str, constraint) -> None:
+    def _encode_denial_constraint(
+        self, name: str, constraint: DenialConstraint
+    ) -> None:
         instance = self.full.instance(name)
         for implication, support in constraint.grounded_implications_with_support(
             instance
@@ -479,6 +484,7 @@ class ExtensionSearchSpace:
     def solver(self) -> Solver:
         """The incremental solver, synced with every clause of ``self.cnf``."""
         if self._solver is None:
+            # reprolint: allow(R4) — the lazy factory behind the space's own warm solver
             self._solver = Solver(self.cnf.num_variables)
         solver = self._solver
         solver.ensure_vars(self.cnf.num_variables)
@@ -634,7 +640,9 @@ class ExtensionSearchSpace:
         self.cnf.add_clause([self._pair_literal((instance_name, attribute, lower, upper))])
         self._invalidate_derived_caches()
 
-    def add_denial(self, instance_name: str, constraint) -> None:
+    def add_denial(
+        self, instance_name: str, constraint: DenialConstraint
+    ) -> None:
         """Extend the encoding after *constraint* was attached to the named
         instance.  Additive: the constraint's groundings over the maximal
         extension are gated on their supports exactly as at build time; no
@@ -916,7 +924,7 @@ class ExtensionSearchSpace:
                         base = instance.entity_block(eid)[0]
                         chosen_value = base[attribute]
                     values[attribute] = chosen_value
-                rows.append((f"lst::{eid}", values))
+                rows.append((("lst", eid), values))
             database[name] = self._instance_cache.intern_rows(schema, rows)
         return database
 

@@ -56,10 +56,16 @@ class CurrentDatabaseEnumerator:
         # one completion encoding — and one interned-instance store — across
         # several enumerators; the encoder's ``maximality_encoded`` registry
         # keeps overlapping relation sets from re-encoding maximality.
-        if encoder is not None and encoder.specification is not specification:
+        if (
+            encoder is not None
+            # reprolint: allow(R2) — identity fast path in front of the structural check below
+            and encoder.specification is not specification
+            and encoder.specification != specification
+        ):
             raise SolverError(
                 "the supplied encoder was built for a different specification"
             )
+        # reprolint: allow(R4) — cold-start fallback for standalone (non-session) use
         self.encoder = encoder if encoder is not None else CompletionEncoder(specification)
         self._max_variables: List[MaxVariable] = []
         # Decoded instances are interned by value so that models inducing the
@@ -132,7 +138,7 @@ class CurrentDatabaseEnumerator:
                     if chosen is None:  # pragma: no cover - defensive
                         chosen = instance.entity_tids(eid)[0]
                     values[attribute] = instance.tuple_by_tid(chosen)[attribute]
-                rows.append((f"lst::{eid}", values))
+                rows.append((("lst", eid), values))
             database[name] = self._instance_cache.intern_rows(instance.schema, rows)
         return database
 

@@ -58,6 +58,7 @@ def realizable_maxima(
     if certain is None:
         certain = chase_certain_orders(specification)
     if encoder is None:
+        # reprolint: allow(R4) — cold-start fallback for standalone (non-session) use
         encoder = CompletionEncoder(specification)
     maxima: List[Hashable] = []
     for tid in block:

@@ -77,7 +77,7 @@ def sp_certain_answers(
                 values[attribute] = next(iter(sink_values))
             else:
                 values[attribute] = UnknownValue(eid, attribute)
-        poss.add(RelationTuple(schema, f"poss::{eid}", values))
+        poss.add(RelationTuple(schema, ("poss", eid), values))
     answers = evaluate(query, {query.relation: poss})
     return frozenset(
         row for row in answers if not any(isinstance(value, UnknownValue) for value in row)

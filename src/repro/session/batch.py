@@ -116,6 +116,7 @@ class _SessionPool:
 
     def session_for(self, specification: Specification) -> ReasoningSession:
         for known, session in self._entries:
+            # reprolint: allow(R2) — identity fast path in front of the structural check
             if known is specification or known == specification:
                 self.hits += 1
                 return session
@@ -217,7 +218,7 @@ class BatchDriver:
     def __enter__(self) -> "BatchDriver":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------ #
@@ -229,6 +230,7 @@ class BatchDriver:
         groups: List[Tuple[Specification, List[Tuple[int, ProblemRequest]]]] = []
         for index, (specification, request) in enumerate(requests):
             for known, items in groups:
+                # reprolint: allow(R2) — identity fast path in front of the structural check
                 if known is specification or known == specification:
                     items.append((index, request))
                     break

@@ -24,6 +24,8 @@ from __future__ import annotations
 from itertools import combinations, permutations
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
+from repro.core.copy_function import CopyFunction
+from repro.core.denial import DenialConstraint
 from repro.core.instance import TemporalInstance
 from repro.core.specification import Specification
 from repro.exceptions import SolverError
@@ -125,7 +127,12 @@ class CompletionEncoder:
         for constraint in self.specification.constraints_for(name):
             self._encode_denial_constraint(name, constraint)
 
-    def _encode_denial_constraint(self, name: str, constraint, only_tid=None) -> None:
+    def _encode_denial_constraint(
+        self,
+        name: str,
+        constraint: DenialConstraint,
+        only_tid: Optional[Hashable] = None,
+    ) -> None:
         """Ground one denial constraint into implications.
 
         *only_tid*, when given, restricts to groundings whose support involves
@@ -161,7 +168,9 @@ class CompletionEncoder:
         for copy_function in self.specification.copy_functions:
             self._encode_copy_function(copy_function)
 
-    def _encode_copy_function(self, copy_function, only_tid=None) -> None:
+    def _encode_copy_function(
+        self, copy_function: CopyFunction, only_tid: Optional[Hashable] = None
+    ) -> None:
         """≺-compatibility implications of one copy function.
 
         *only_tid*, when given, restricts to implications involving that tuple
@@ -247,13 +256,15 @@ class CompletionEncoder:
         the specification's partial order (one additive unit clause)."""
         self.cnf.add_unit(self.pair_name(instance_name, attribute, lower, upper), True)
 
-    def add_denial_constraint(self, instance_name: str, constraint) -> None:
+    def add_denial_constraint(
+        self, instance_name: str, constraint: DenialConstraint
+    ) -> None:
         """Extend the encoding after *constraint* was attached to the named
         instance.  Sound incrementally: a new denial constraint only *adds*
         grounded implications; every existing clause remains valid."""
         self._encode_denial_constraint(instance_name, constraint)
 
-    def add_copy_function(self, copy_function) -> None:
+    def add_copy_function(self, copy_function: CopyFunction) -> None:
         """Extend the encoding after *copy_function* was added to the
         specification (additive ≺-compatibility implications)."""
         self._encode_copy_function(copy_function)

@@ -121,6 +121,7 @@ def _random_instance(
     for entity_index in range(config.entities):
         eid = f"e{entity_index}"
         for tuple_index in range(config.tuples_per_entity):
+            # reprolint: allow(R3) — generator mints ids from its own separator-free alphabet
             tid = f"{schema.name}_{eid}_t{tuple_index}"
             values = {schema.eid: eid}
             for attribute in schema.attributes:
@@ -264,8 +265,11 @@ def preservation_workload(
     for entity_index in range(entities):
         eid = f"e{entity_index}"
         base_values = {source_schema.eid: eid, "a0": base_payload, "a1": 0, "a2": 0}
+        # reprolint: allow(R3) — generator mints ids from its own separator-free alphabet
         source.add(RelationTuple(source_schema, f"s_{eid}_base", base_values))
+        # reprolint: allow(R3) — generator mints ids from its own separator-free alphabet
         target.add(RelationTuple(target_schema, f"t_{eid}_base", dict(base_values)))
+        # reprolint: allow(R3) — generator mints ids from its own separator-free alphabet
         mapping[f"t_{eid}_base"] = f"s_{eid}_base"
         groups = [1 + (i % conflict_groups) for i in range(candidates)]
         rng.shuffle(groups)
@@ -277,6 +281,7 @@ def preservation_workload(
             source.add(
                 RelationTuple(
                     source_schema,
+                    # reprolint: allow(R3) — generator mints ids from its own separator-free alphabet
                     f"s_{eid}_c{i}",
                     {source_schema.eid: eid, "a0": payload, "a1": groups[i], "a2": 1},
                 )
@@ -366,11 +371,13 @@ def chained_preservation_workload(
             instances[schema.name].add(
                 RelationTuple(
                     schema,
+                    # reprolint: allow(R3) — generator mints ids from its own separator-free alphabet
                     f"b{level}_{eid}",
                     {schema.eid: eid, "a0": base_payload},
                 )
             )
             if level > 0:
+                # reprolint: allow(R3) — generator mints ids from its own separator-free alphabet
                 mappings[level - 1][f"b{level}_{eid}"] = f"b{level - 1}_{eid}"
         for i in range(candidates):
             payload = rng.randrange(base_payload)
@@ -379,6 +386,7 @@ def chained_preservation_workload(
             instances["L0"].add(
                 RelationTuple(
                     schemas[0],
+                    # reprolint: allow(R3) — generator mints ids from its own separator-free alphabet
                     f"c{i}_{eid}",
                     {schemas[0].eid: eid, "a0": payload},
                 )

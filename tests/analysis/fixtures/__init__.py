@@ -1,0 +1,4 @@
+# Lint fixtures: each rN_bad.py module violates rule RN, each rN_good.py is
+# the minimal compliant counterpart.  These modules are linted as *files* by
+# tests/analysis/test_reprolint.py — they are never imported or executed, so
+# undefined names inside them are deliberate.

@@ -1,0 +1,13 @@
+"""Broken pragmas: missing reason, unknown rule, stale suppression."""
+
+
+def no_reason(spec, other_spec):
+    return spec is other_spec  # reprolint: allow(R2)
+
+
+def unknown_rule(spec, other_spec):
+    return spec is other_spec  # reprolint: allow(R99) — there is no rule R99
+
+
+def stale(value):
+    return value + 1  # reprolint: allow(R2) — nothing fires on this line

@@ -1,0 +1,10 @@
+"""Valid pragmas: trailing form and standalone form, both with reasons."""
+
+
+def same_spec(spec, other_spec):
+    return spec is other_spec  # reprolint: allow(R2) — fixture exercising the trailing form
+
+
+def cache_probe(spec, other_spec):
+    # reprolint: allow(identity-compare) — fixture exercising the standalone form and rule names
+    return spec is other_spec

@@ -1,0 +1,15 @@
+"""R1 violations: an unregistered mutator, a phantom registration and a
+cache with an incomplete mutation row."""
+
+
+class BadSession:
+    CACHE_DEPENDENCIES = {
+        "chase": {"add_tuple": "extend", "add_ghost": "rebuild"},
+        "encoder": {"add_tuple": "rebuild"},
+    }
+
+    def add_tuple(self, tup):
+        self.mutations += 1
+
+    def add_widget(self, widget):
+        self._clear_answer_state()

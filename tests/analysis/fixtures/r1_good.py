@@ -1,0 +1,20 @@
+"""R1 clean: every mutator registered, every cache covers every mutation."""
+
+
+class GoodSession:
+    CACHE_DEPENDENCIES = {
+        "chase": {"add_tuple": "extend", "add_order": "extend"},
+        "encoder": {"add_tuple": "rebuild", "add_order": "extend"},
+    }
+
+    def add_tuple(self, tup):
+        self._clear_answer_state()
+
+    def add_order(self, lower, upper):
+        self._clear_answer_state()
+
+    def lookup(self, name):
+        return name
+
+    def _clear_answer_state(self):
+        pass

@@ -1,0 +1,10 @@
+"""R2 violations: identity comparison and an identity-keyed spec dict."""
+
+
+def same_spec(spec, other_spec):
+    return spec is other_spec
+
+
+def register(specification, sessions):
+    sessions[id(specification)] = specification
+    return sessions

@@ -1,0 +1,14 @@
+"""R2 clean: structural comparison; identity only against singletons."""
+
+
+def same_spec(spec, other_spec):
+    return spec == other_spec
+
+
+def missing(spec):
+    return spec is None
+
+
+def register(specification, sessions):
+    sessions[specification] = specification
+    return sessions

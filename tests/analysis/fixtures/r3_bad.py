@@ -1,0 +1,9 @@
+"""R3 violations: f-string and concatenation composite keys built from ids."""
+
+
+def make_key(tid, eid):
+    return f"import::{tid}::{eid}"
+
+
+def concat_key(prefix, eid):
+    return prefix + "::" + eid

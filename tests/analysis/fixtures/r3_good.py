@@ -1,0 +1,13 @@
+"""R3 clean: structured-tuple keys; ids in strings only for display."""
+
+
+def make_key(tid, eid):
+    return ("import", tid, eid)
+
+
+def describe(tid, eid):
+    return f"tuple {tid} of entity {eid}"
+
+
+def error_text(tid):
+    raise KeyError(f"unknown tuple {tid!r} in instance")

@@ -1,0 +1,11 @@
+"""R4 violations: naive oracle call and fresh substrate in a hot path."""
+
+
+def hot_path(cnf, specification):
+    solver = Solver(cnf.num_variables)
+    encoder = CompletionEncoder(specification)
+    return solver, encoder
+
+
+def answer(specification):
+    return enumerate_extensions_naive(specification)

@@ -1,0 +1,9 @@
+"""R4 clean: warm substrate reuse; naive calls only inside oracle scopes."""
+
+
+def warm_path(session):
+    return session.space.extension(())
+
+
+def _reference_answer_naive(specification):
+    return enumerate_extensions_naive(specification)

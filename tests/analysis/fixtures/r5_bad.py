@@ -1,0 +1,15 @@
+"""R5 violation: a carrier write with no cache invalidation in the body."""
+
+
+class BadInstance:
+    def __init__(self, schema):
+        self._tuples = []
+        self._by_tid = {}
+        self._indexes = {}
+
+    def add(self, tup):
+        self._tuples.append(tup)
+        self._by_tid[tup.tid] = tup
+
+    def _invalidate_row_caches(self):
+        self._indexes.clear()

@@ -1,0 +1,22 @@
+"""R5 clean: every carrier write invalidates (or delegates to a parent that
+does)."""
+
+
+class GoodInstance:
+    def __init__(self, schema):
+        self._tuples = []
+        self._by_tid = {}
+        self._indexes = {}
+
+    def add(self, tup):
+        self._tuples.append(tup)
+        self._by_tid[tup.tid] = tup
+        self._invalidate_row_caches()
+
+    def _invalidate_row_caches(self):
+        self._indexes.clear()
+
+
+class DelegatingInstance(GoodInstance):
+    def add(self, tup):
+        super().add(tup)

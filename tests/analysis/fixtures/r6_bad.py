@@ -1,0 +1,15 @@
+"""R6 violation: an unpicklable member reachable (transitively) from the
+process boundary."""
+
+from threading import Lock
+from typing import Iterator
+
+
+class Payload:
+    lock: Lock
+
+
+class ProblemRequest:
+    problem: str
+    payload: Payload
+    stream: Iterator[str]

@@ -1,0 +1,13 @@
+"""R6 clean: only picklable members reachable from the process boundary."""
+
+from typing import Optional, Tuple
+
+
+class Payload:
+    values: Tuple[str, ...]
+
+
+class ProblemRequest:
+    problem: str
+    payload: Payload
+    note: Optional[str]
