@@ -1,0 +1,211 @@
+"""Benchmark: the fault-tolerant reasoning service, fault-off vs fault-on.
+
+One request stream (a CPS/DCIP/COP/CPP/ECP mix across four logical sessions)
+is driven through :class:`~repro.serve.ReasoningService` twice:
+
+* **fault-off** — no injected faults; measures the service's baseline
+  throughput and latency distribution (p50/p99 per request, including lane
+  queueing).
+* **fault-on** — a sustained chaos plan (periodic worker kills, stalls and
+  transient errors via :mod:`repro.testing.faults`); measures how much
+  throughput survives and that the tail latency stays *bounded* while workers
+  are being killed and respawned under load.
+
+Answer values are checked against a warm serial session before any timing is
+reported; under faults, every non-ok answer must carry a structured failure
+or an explicit degraded label — the bench fails on a silently wrong value.
+
+Standalone script (not collected by pytest):
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke] \
+        [--output BENCH_serve.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve import ReasoningService
+from repro.session import ProblemRequest, ReasoningSession
+from repro.session.batch import _answer
+from repro.testing.faults import Fault, FaultPlan
+from repro.workloads import company
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    preservation_workload,
+    random_specification,
+)
+
+ORDER = {"salary": [("s1", "s3")]}
+
+#: sustained chaos for the fault-on section: a stall every 4th request, a
+#: worker crash every 9th, a transient error every 7th — per worker process,
+#: with fresh counters in every respawned incarnation
+CHAOS = FaultPlan.of(
+    Fault("worker.execute", "sleep", seconds=0.01, every=4),
+    Fault("worker.execute", "kill", every=9),
+    Fault("worker.request", "raise", every=7),
+)
+
+
+def _workload(rounds):
+    """``rounds`` rounds of a five-problem mix across four logical specs."""
+    spec_a = company.company_specification()
+    spec_b, query_b = preservation_workload(
+        candidates=2, conflict_groups=1, spoiler=True, seed=2
+    )
+    spec_c = random_specification(SyntheticConfig(seed=5, with_constraints=False))
+    spec_d = random_specification(SyntheticConfig(seed=9, with_constraints=False))
+    round_mix = [
+        (spec_a, ProblemRequest("cps")),
+        (spec_a, ProblemRequest("cop", args=("Emp", ORDER))),
+        (spec_b, ProblemRequest("cpp", query=query_b)),
+        (spec_b, ProblemRequest("ecp", query=query_b)),
+        (spec_c, ProblemRequest("cps")),
+        (spec_c, ProblemRequest("dcip")),
+        (spec_d, ProblemRequest("cps")),
+        (spec_d, ProblemRequest("dcip")),
+    ]
+    return round_mix * rounds
+
+
+def _oracle_values(pairs):
+    """Fault-free expected values from warm serial sessions (interned by
+    specification identity — the stream reuses four spec objects)."""
+    sessions = {}
+    expected = []
+    for specification, request in pairs:
+        session = sessions.get(id(specification))
+        if session is None:
+            session = ReasoningSession(specification)
+            sessions[id(specification)] = session
+        expected.append(_answer(session, request))
+    return expected
+
+
+async def _drive(service, pairs, deadline):
+    latencies = [0.0] * len(pairs)
+
+    async def one(index, specification, item):
+        started = time.perf_counter()
+        answer = await service.submit(specification, item, deadline=deadline)
+        latencies[index] = time.perf_counter() - started
+        return answer
+
+    answers = await asyncio.gather(
+        *[one(i, s, item) for i, (s, item) in enumerate(pairs)]
+    )
+    return answers, latencies
+
+
+def _percentile(values, fraction):
+    ordered = sorted(values)
+    position = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[position]
+
+
+def _run_section(pairs, expected, fault_plan, deadline):
+    async def scenario():
+        async with ReasoningService(
+            processes=2, retries=2, queue_limit=len(pairs), fault_plan=fault_plan
+        ) as service:
+            started = time.perf_counter()
+            answers, latencies = await _drive(service, pairs, deadline)
+            elapsed = time.perf_counter() - started
+            return answers, latencies, elapsed, service.stats()
+
+    answers, latencies, elapsed, stats = asyncio.run(scenario())
+    ok = degraded = failed = silently_wrong = 0
+    for answer, truth in zip(answers, expected):
+        if answer.ok:
+            ok += 1
+            if answer.value != truth:
+                silently_wrong += 1
+        elif answer.degraded is not None:
+            degraded += 1
+        else:
+            failed += 1
+            assert answer.failure is not None  # failures are always structured
+    return {
+        "requests": len(pairs),
+        "ok": ok,
+        "degraded": degraded,
+        "failed": failed,
+        "silently_wrong": silently_wrong,
+        "total_s": round(elapsed, 6),
+        "throughput_rps": round(len(pairs) / elapsed, 2),
+        "p50_s": round(_percentile(latencies, 0.50), 6),
+        "p99_s": round(_percentile(latencies, 0.99), 6),
+        "respawns": stats["supervisor"]["respawns"],
+    }
+
+
+def run(smoke: bool, output: str) -> dict:
+    rounds = 3 if smoke else 10
+    pairs = _workload(rounds)
+    expected = _oracle_values(pairs)
+    deadline = 30.0  # generous per-request deadline; hangs are bench bugs
+
+    fault_off = _run_section(pairs, expected, None, deadline)
+    print(
+        f"[bench_serve] fault-off: {fault_off['requests']} requests in "
+        f"{fault_off['total_s']:.3f}s ({fault_off['throughput_rps']} req/s, "
+        f"p50 {fault_off['p50_s'] * 1000:.1f}ms, p99 {fault_off['p99_s'] * 1000:.1f}ms)",
+        flush=True,
+    )
+    assert fault_off["silently_wrong"] == 0
+    assert fault_off["ok"] == fault_off["requests"]
+
+    fault_on = _run_section(pairs, expected, CHAOS, deadline)
+    print(
+        f"[bench_serve] fault-on:  {fault_on['ok']} ok / "
+        f"{fault_on['degraded']} degraded / {fault_on['failed']} failed in "
+        f"{fault_on['total_s']:.3f}s ({fault_on['throughput_rps']} req/s, "
+        f"p99 {fault_on['p99_s'] * 1000:.1f}ms, "
+        f"{fault_on['respawns']} respawns)",
+        flush=True,
+    )
+    assert fault_on["silently_wrong"] == 0
+
+    report = {
+        "benchmark": "serve",
+        "smoke": smoke,
+        "fault_off": fault_off,
+        "fault_on": fault_on,
+        "fault_off_total_s": fault_off["total_s"],
+        "fault_off_p99_s": fault_off["p99_s"],
+        "fault_on_total_s": fault_on["total_s"],
+        "fault_on_p99_s": fault_on["p99_s"],
+        "headline": {
+            "fault_off_throughput_rps": fault_off["throughput_rps"],
+            "fault_off_p99_s": fault_off["p99_s"],
+            "fault_on_throughput_rps": fault_on["throughput_rps"],
+            "fault_on_p99_s": fault_on["p99_s"],
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"[bench_serve] wrote {output}")
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small sizes for CI")
+    parser.add_argument("--output", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+    run(args.smoke, args.output)
+    return 0
+
+
+# the spawn context re-imports this module in every worker process, so the
+# entry point MUST stay behind the main guard
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,6 +44,7 @@ SCRIPT_BENCHMARKS = {
     "bench_sat_solver.py",
     "bench_extensions.py",
     "bench_session.py",
+    "bench_serve.py",
 }
 
 HISTORY_FILE = "BENCH_history.json"

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""The fault-tolerant reasoning service in five minutes.
+
+Starts a :class:`repro.serve.ReasoningService` over two worker processes and
+walks the serving surface:
+
+* submitting reads (``ProblemRequest``) and a mutation (``Mutation``) that
+  routes to the warm session owning the specification's structural
+  fingerprint;
+* streaming answers as they complete, out of submission order;
+* deadline propagation — an expired per-request deadline comes back as a
+  *labeled* ``Degraded`` answer, not an exception and not a wrong value;
+* what a worker crash looks like from the outside, by compiling in a fault
+  with :mod:`repro.testing.faults`: the killed worker is respawned, the read
+  is retried, and the caller just sees ``attempts == 2``.
+
+Run:  python examples/serve_quickstart.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve import Mutation, ReasoningService
+from repro.session import ProblemRequest
+from repro.testing.faults import Fault, FaultPlan
+from repro.workloads import company
+from repro.workloads.synthetic import preservation_workload
+
+ORDER = {"salary": [("s1", "s2")]}
+
+
+async def serve_basics() -> None:
+    spec = company.company_specification()
+    queries = company.paper_queries()
+
+    async with ReasoningService(processes=2) as service:
+        # --- reads route to the warm session for this specification --------
+        answers = await service.gather(
+            [
+                (spec, ProblemRequest("cps")),
+                (spec, ProblemRequest("dcip", args=("Emp",))),
+                (spec, ProblemRequest("ccqa", query=queries["Q1"])),
+            ]
+        )
+        print("consistent (CPS):        ", answers[0].value)
+        print("deterministic Emp (DCIP):", answers[1].value)
+        print("certain answers to Q1:   ", answers[2].value)
+
+        # --- a mutation commits into the owning session's log --------------
+        before = await service.submit(spec, ProblemRequest("cop", args=("Emp", ORDER)))
+        committed = await service.submit(
+            spec, Mutation("add_order", args=("Emp", "salary", "s1", "s2"))
+        )
+        after = await service.submit(spec, ProblemRequest("cop", args=("Emp", ORDER)))
+        print("\ncertain order before/after add_order:", before.value, "->", after.value)
+        assert committed.ok
+
+        # --- streaming yields (index, answer) as results land --------------
+        print("\nstreaming five CPS checks:")
+        stream = service.stream([(spec, ProblemRequest("cps")) for _ in range(5)])
+        async for index, answer in stream:
+            print(f"  request {index}: ok={answer.ok} value={answer.value}")
+
+        # --- an expired deadline degrades with a label, never lies ---------
+        # (deadlines are charged inside the solver, so a *cold* session is
+        # needed here — the warm session above would answer CPS from its
+        # memo without ever entering a solve, expired deadline or not)
+        cold_spec, cold_query = preservation_workload(
+            candidates=3, conflict_groups=2, seed=1
+        )
+        late = await service.submit(
+            cold_spec, ProblemRequest("cpp", query=cold_query), deadline=-1.0
+        )
+        assert not late.ok and late.degraded is not None
+        print("\nexpired deadline:", late.degraded.reason, "| attempted:",
+              late.degraded.attempted)
+
+
+async def serve_through_a_crash() -> None:
+    # generation=0 scopes the kill to the first worker incarnation: the
+    # respawned worker starts with fresh fault counters and answers the retry
+    plan = FaultPlan.of(Fault("worker.execute", "kill", after=1, times=1,
+                              generation=0))
+    spec = company.company_specification()
+
+    async with ReasoningService(processes=1, retries=1, fault_plan=plan) as service:
+        warm = await service.submit(spec, ProblemRequest("cps"))
+        survived = await service.submit(spec, ProblemRequest("cps"))
+        stats = service.stats()["supervisor"]
+
+    print("\n--- crash drill ---")
+    print("first read:  ok =", warm.ok, "attempts =", warm.attempts)
+    print("second read: ok =", survived.ok, "attempts =", survived.attempts,
+          "(worker was killed mid-request and respawned)")
+    print("supervisor respawns:", stats["respawns"])
+    assert survived.ok and survived.attempts == 2
+
+
+def main() -> None:
+    asyncio.run(serve_basics())
+    asyncio.run(serve_through_a_crash())
+
+
+# worker processes are spawned and re-import __main__; the guard is mandatory
+if __name__ == "__main__":
+    main()

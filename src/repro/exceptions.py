@@ -4,13 +4,26 @@ All library-specific errors derive from :class:`CurrencyError` so callers can
 catch a single base class.  The individual subclasses mirror the places where
 the paper's model imposes well-formedness conditions: schemas, partial orders,
 denial constraints, copy functions and specifications.
+
+The serving layer adds a second axis: *transience*.  Every exception carries a
+``retryable`` class attribute (False by default); the service retries only
+errors that declare themselves transient (:class:`Overloaded`,
+:class:`WorkerCrashed`), and :class:`ErrorRecord` preserves the flag across
+the worker process boundary, where the exception object itself cannot travel
+(tracebacks and ``__cause__`` chains are not reliably picklable).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
 
 class CurrencyError(Exception):
     """Base class for all errors raised by the library."""
+
+    #: whether retrying the same operation may succeed (transient failure)
+    retryable: bool = False
 
 
 class SchemaError(CurrencyError):
@@ -61,3 +74,100 @@ class SolverError(CurrencyError):
 
 class ReductionError(CurrencyError):
     """A reduction was given an input outside its expected form."""
+
+
+class ResourceBudgetExceeded(CurrencyError):
+    """A solver call ran out of its conflict/propagation/deadline budget.
+
+    The exception is *resumable*: the interrupted solver keeps every learnt
+    clause, variable activity and saved phase, so calling ``solve`` again
+    (with a fresh or larger budget) continues the search instead of
+    restarting it and reaches the identical verdict the uninterrupted run
+    would have reached.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        conflicts: int = 0,
+        propagations: int = 0,
+        elapsed_s: float = 0.0,
+    ) -> None:
+        super().__init__(
+            f"solver budget exhausted ({reason}): {conflicts} conflicts, "
+            f"{propagations} propagations, {elapsed_s:.3f}s elapsed"
+        )
+        #: which limit fired: ``"conflicts"``, ``"propagations"`` or ``"deadline"``
+        self.reason = reason
+        self.conflicts = conflicts
+        self.propagations = propagations
+        self.elapsed_s = elapsed_s
+
+
+class ServiceError(CurrencyError):
+    """Base class for errors raised by the serving layer."""
+
+
+class Overloaded(ServiceError):
+    """Admission control rejected a request: the target session's queue is
+    full.  Retryable — the queue drains as the worker makes progress."""
+
+    retryable = True
+
+
+class DeadlineExceeded(ServiceError):
+    """A request's deadline expired before (or while) it was being answered.
+    Not retryable: the deadline is gone."""
+
+
+class WorkerCrashed(ServiceError):
+    """The worker process owning a request died while the request was in
+    flight.  Retryable — the supervisor respawns the worker and re-warms its
+    sessions, so a retry lands on a healthy process."""
+
+    retryable = True
+
+
+# --------------------------------------------------------------------------- #
+# The picklable error record (crosses the worker process boundary)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ErrorRecord:
+    """A structured, picklable description of a raised exception.
+
+    Exception *objects* do not reliably survive the worker process boundary
+    (tracebacks, ``__cause__`` chains and closure state are unpicklable), so
+    results carry this flat record instead: the exception class name, its
+    message, the most specific :class:`CurrencyError` subclass kind (None for
+    foreign exceptions) and the transience flag the retry policy reads.
+    """
+
+    exception: str
+    message: str
+    kind: Optional[str] = None
+    retryable: bool = False
+
+    @classmethod
+    def from_exception(cls, error: BaseException) -> "ErrorRecord":
+        """The record of *error*, preserving kind and retryability."""
+        kind = type(error).__name__ if isinstance(error, CurrencyError) else None
+        retryable = bool(getattr(error, "retryable", False))
+        return cls(
+            exception=type(error).__name__,
+            message=str(error),
+            kind=kind,
+            retryable=retryable,
+        )
+
+    def render(self) -> str:
+        """A ``repr(exception)``-compatible one-line rendering."""
+        return f"{self.exception}({self.message!r})"
+
+    def as_dict(self) -> Mapping[str, object]:
+        """A JSON-friendly view (benchmark reports, logs)."""
+        return {
+            "exception": self.exception,
+            "message": self.message,
+            "kind": self.kind,
+            "retryable": self.retryable,
+        }

@@ -1,0 +1,31 @@
+"""Fault-tolerant serving of warm reasoning sessions.
+
+Public surface:
+
+* :class:`~repro.serve.service.ReasoningService` — the asyncio service:
+  submit ``(specification, ProblemRequest | Mutation)`` pairs, await
+  structured :class:`~repro.serve.protocol.Answer` objects.
+* :class:`~repro.serve.protocol.Mutation` / :class:`Degraded` /
+  :class:`Answer` — the wire types.
+* :class:`~repro.serve.supervisor.WorkerSupervisor` — the generic supervised
+  worker pool (also the engine of the batch driver's parallel mode).
+* :class:`~repro.serve.router.AffinityRouter` — structural interning of
+  specifications to session lanes.
+"""
+
+from repro.serve.protocol import Answer, Degraded, Mutation
+from repro.serve.router import AffinityRouter, SessionEntry
+from repro.serve.service import ReasoningService, ServeItem
+from repro.serve.supervisor import WorkerSupervisor, WorkResult
+
+__all__ = [
+    "Answer",
+    "Degraded",
+    "Mutation",
+    "AffinityRouter",
+    "SessionEntry",
+    "ReasoningService",
+    "ServeItem",
+    "WorkerSupervisor",
+    "WorkResult",
+]

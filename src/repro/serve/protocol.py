@@ -1,0 +1,103 @@
+"""Wire types of the reasoning service.
+
+Everything here crosses the worker process boundary, so every field is a
+plain picklable value — specifications, queries, tuples of primitives,
+:class:`~repro.exceptions.ErrorRecord` — never a live session, solver or
+lock.
+
+A client submits either a :class:`~repro.session.batch.ProblemRequest` (a
+read: one of the eight decision problems) or a :class:`Mutation` (a write:
+one incremental ``add_*`` step).  Both come back as an :class:`Answer`, whose
+three mutually-exclusive-ish shapes are:
+
+* ``ok`` — ``value`` holds the verdict/answer set;
+* ``degraded`` — the deadline or budget ran out; :class:`Degraded` names the
+  problem, the exhausted resource and the work spent, and ``value`` is
+  **never** populated (a degraded answer is explicitly labeled, not silently
+  wrong — the chaos property suite pins this);
+* ``failure`` — a structured :class:`ErrorRecord` (crash, poison, rejection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Tuple
+
+from repro.exceptions import ErrorRecord, SpecificationError
+
+__all__ = ["Mutation", "Degraded", "Answer", "MUTATIONS"]
+
+#: the incremental-mutation vocabulary — exactly the session's ``add_*`` API
+MUTATIONS = (
+    "add_order",
+    "add_denial",
+    "add_tuple",
+    "add_copy_function",
+    "add_copy_import",
+)
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One incremental specification mutation, by session method name.
+
+    Mutations are applied by the worker owning the spec's warm session and —
+    once acknowledged — recorded in the service's per-session mutation log,
+    which is what a respawned worker replays to re-warm the session after a
+    crash.  They are therefore **not retried** on worker death (at-least-once
+    re-execution could double-apply a non-idempotent write); the caller gets
+    a structured :class:`~repro.exceptions.WorkerCrashed` failure and decides.
+    """
+
+    op: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in MUTATIONS:
+            raise SpecificationError(
+                f"unknown mutation {self.op!r}; expected one of {MUTATIONS}"
+            )
+
+    def apply(self, session: Any) -> None:
+        """Apply to a :class:`~repro.session.ReasoningSession`."""
+        getattr(session, self.op)(*self.args, **dict(self.kwargs))
+
+
+@dataclass(frozen=True)
+class Degraded:
+    """What was tried before the deadline/budget ran out.
+
+    ``reason`` is the exhausted resource (``"deadline"``, ``"conflicts"``,
+    ``"propagations"`` or ``"injected"``); ``attempted`` is a human-readable
+    account of the evaluation that was cut short; ``spent`` carries the
+    conflicts/propagations/elapsed-seconds consumed.  The interrupted solver
+    state survives in the warm session, so re-asking with a larger deadline
+    resumes rather than restarts.
+    """
+
+    problem: str
+    reason: str
+    attempted: str
+    spent: Mapping[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Answer:
+    """The service's reply to one request or mutation."""
+
+    problem: str
+    value: Any = None
+    failure: Optional[ErrorRecord] = None
+    degraded: Optional[Degraded] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """True only for a full-fidelity answer — never for a degraded one."""
+        return self.failure is None and self.degraded is None
+
+    @property
+    def error(self) -> Optional[str]:
+        """Rendered failure, mirroring :attr:`BatchResult.error`."""
+        return None if self.failure is None else self.failure.render()

@@ -1,0 +1,110 @@
+"""Session affinity: one warm session (and one lane) per logical spec.
+
+The router assigns every submitted specification a stable integer *session
+key*.  The key doubles as the supervisor lane, so all traffic for one logical
+session flows FIFO through one worker — the invariant that makes worker-side
+warm state and mutation ordering correct.
+
+Interning follows the ``space_for`` convention, with one serving-specific
+twist: a **structurally equal** specification joins an existing entry *only
+while that entry is unmutated*.  Once a session has (or is applying) a
+mutation, its logical state has diverged from what any structural twin
+describes, so twins match by object identity only and a fresh twin gets its
+own session.  The caller's specification object is thus a *handle*: the
+service never mutates it — mutations live in the entry's log, replayed by
+workers onto their private pickled copies.
+
+The log is the crash-recovery story: every request ships ``(base
+specification, committed log)``, and a worker that lost its warm session (a
+respawn, or an LRU eviction) rebuilds it by replaying the log onto the base.
+Mutations are appended to the log only once a worker acknowledged them, so a
+crashed mutation is never silently half-committed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.specification import Specification
+from repro.exceptions import SpecificationError
+from repro.serve.protocol import Mutation
+
+__all__ = ["AffinityRouter", "SessionEntry"]
+
+
+class SessionEntry:
+    """One logical session: base spec, committed mutation log, key."""
+
+    __slots__ = ("key", "specification", "log", "pending_mutations")
+
+    def __init__(self, key: int, specification: Specification) -> None:
+        self.key = key
+        self.specification = specification
+        self.log: List[Mutation] = []
+        self.pending_mutations = 0
+
+    @property
+    def mutated(self) -> bool:
+        """Whether this session's state may differ from its base spec."""
+        return bool(self.log) or self.pending_mutations > 0
+
+
+class AffinityRouter:
+    """Intern specifications to :class:`SessionEntry` instances."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise SpecificationError("the router needs capacity >= 1")
+        self.capacity = capacity
+        self._entries: List[SessionEntry] = []
+        self._next_key = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def entry_for(self, specification: Specification) -> SessionEntry:
+        """The entry owning *specification* (interned), or a fresh one.
+
+        Identity always matches; structural equality matches only unmutated
+        entries (a mutated session's answers no longer describe the twin)."""
+        for entry in self._entries:
+            # the structural probe is gated on the entry being unmutated
+            # reprolint: allow(R2) — identity is the session-handle fast path
+            if entry.specification is specification or (
+                not entry.mutated and entry.specification == specification
+            ):
+                self.hits += 1
+                return entry
+        self.misses += 1
+        entry = SessionEntry(self._next_key, specification)
+        self._next_key += 1
+        if len(self._entries) >= self.capacity:
+            self._evict_one()
+        self._entries.append(entry)
+        return entry
+
+    def _evict_one(self) -> None:
+        """Drop the oldest entry with no in-flight mutation (a re-appearing
+        spec then simply gets a fresh key and a cold session)."""
+        for index, entry in enumerate(self._entries):
+            if entry.pending_mutations == 0:
+                del self._entries[index]
+                self.evictions += 1
+                return
+        # every entry has a mutation in flight: grow past capacity rather
+        # than orphan an uncommitted write
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "sessions": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "mutated_sessions": sum(1 for e in self._entries if e.mutated),
+        }
+
+    def entry_by_key(self, key: int) -> Optional[SessionEntry]:
+        for entry in self._entries:
+            if entry.key == key:
+                return entry
+        return None

@@ -1,0 +1,326 @@
+"""The fault-tolerant reasoning service.
+
+:class:`ReasoningService` is an asyncio facade over a
+:class:`~repro.serve.supervisor.WorkerSupervisor`: clients submit
+``(specification, ProblemRequest | Mutation)`` pairs and await structured
+:class:`~repro.serve.protocol.Answer` objects, which arrive as each completes
+— there is no batch barrier.
+
+Request lifecycle
+-----------------
+1. The :class:`~repro.serve.router.AffinityRouter` interns the specification
+   to a session entry; the entry's key is the supervisor *lane*, so all
+   traffic for one warm session runs FIFO on one worker.
+2. The request ships as ``(key, base spec, committed mutation log, item,
+   absolute deadline)``.  The worker keeps an LRU of warm
+   :class:`~repro.session.ReasoningSession` objects keyed by session key and
+   replays any log suffix it has not yet applied — which is also exactly how
+   a *respawned* worker re-warms the sessions it lost.
+3. Deadlines propagate end-to-end: the service converts ``deadline=`` to an
+   absolute monotonic timestamp (comparable across processes on Linux); the
+   supervisor expires still-queued requests at it and kills workers that hang
+   past it; the worker converts it to a solver
+   :class:`~repro.solvers.budget.Budget` so the search itself stops in time.
+4. Budget exhaustion comes back as a :class:`Degraded` answer naming the
+   problem, the exhausted resource and the spend — never as a silently
+   truncated value.  Worker crashes surface as structured
+   :class:`~repro.exceptions.WorkerCrashed` failures after the configured
+   retries (reads only; mutations are never retried), overload as an
+   immediate :class:`~repro.exceptions.Overloaded` rejection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import (
+    Any,
+    AsyncIterator,
+    Dict,
+    Iterable,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.specification import Specification
+from repro.exceptions import ErrorRecord, Overloaded, ResourceBudgetExceeded
+from repro.serve.protocol import Answer, Degraded, Mutation
+from repro.serve.router import AffinityRouter
+from repro.serve.supervisor import WorkerSupervisor, WorkResult
+from repro.session.batch import ProblemRequest, _answer
+from repro.session.session import ReasoningSession
+from repro.solvers.budget import Budget, DeadlineLike, budget_scope
+from repro.testing.faults import FaultPlan
+
+__all__ = ["ReasoningService", "ServeItem"]
+
+#: what a client may submit alongside a specification
+ServeItem = Union[ProblemRequest, Mutation]
+
+
+@dataclass(frozen=True)
+class _ServeWork:
+    """The picklable unit shipped to a worker for one request."""
+
+    session_key: int
+    specification: Specification
+    log: Tuple[Mutation, ...]
+    item: ServeItem
+    deadline: Optional[float] = None  # absolute time.monotonic()
+    session_capacity: int = 8
+
+
+class _WorkerSession:
+    """Worker-side warm session plus how much of the log it reflects."""
+
+    __slots__ = ("session", "applied")
+
+    def __init__(self, session: ReasoningSession, applied: int) -> None:
+        self.session = session
+        self.applied = applied
+
+
+def _serve_handler(work: _ServeWork, state: Dict[str, Any]) -> Any:
+    """Worker-side execution of one :class:`_ServeWork` item.
+
+    The session store is an LRU keyed by session key; a missing session (cold
+    worker, respawn, eviction) is rebuilt from the shipped base specification
+    — the pickled copy is private to this process — and the committed log is
+    replayed.  ``applied`` counts log entries reflected in the session; a
+    mutation executed *as a request* bumps it too, anticipating the service's
+    commit, so the next request's longer log replays nothing twice (lanes are
+    FIFO, which makes the counter and the log advance in lockstep).
+    """
+    sessions: "OrderedDict[int, _WorkerSession]" = state.setdefault(
+        "sessions", OrderedDict()
+    )
+    entry = sessions.get(work.session_key)
+    if entry is None:
+        entry = _WorkerSession(ReasoningSession(work.specification), 0)
+        sessions[work.session_key] = entry
+        while len(sessions) > max(1, work.session_capacity):
+            sessions.popitem(last=False)
+    else:
+        sessions.move_to_end(work.session_key)
+    for mutation in work.log[entry.applied :]:
+        mutation.apply(entry.session)
+        entry.applied += 1
+    budget = Budget(deadline=work.deadline) if work.deadline is not None else None
+    if isinstance(work.item, Mutation):
+        with budget_scope(budget):
+            work.item.apply(entry.session)
+        entry.applied += 1
+        return True
+    problem = work.item.problem
+    try:
+        with budget_scope(budget):
+            return _answer(entry.session, work.item)
+    except ResourceBudgetExceeded as error:
+        return Degraded(
+            problem=problem,
+            reason=error.reason,
+            attempted=(
+                f"warm {problem} evaluation on session {work.session_key} "
+                f"(mutation log length {len(work.log)}); interrupted solver "
+                "state is retained, so a wider deadline resumes the search"
+            ),
+            spent={
+                "conflicts": float(error.conflicts),
+                "propagations": float(error.propagations),
+                "elapsed_s": error.elapsed_s,
+            },
+        )
+
+
+class ReasoningService:
+    """Async reasoning service with per-session affinity and fault tolerance.
+
+    Parameters
+    ----------
+    processes:
+        Worker process count.
+    queue_limit:
+        Admission-control bound on *queued* requests per session lane; the
+        limit turns overload into immediate :class:`Overloaded` failures
+        instead of unbounded queues.
+    retries:
+        Retry budget for transient read failures (worker crashes, injected
+        transient errors).  Mutations are never retried.
+    default_deadline:
+        Deadline (seconds, or a :class:`Budget`) applied to requests that do
+        not carry their own.
+    session_capacity:
+        Router-side cap on concurrently tracked logical sessions.
+    worker_session_capacity:
+        Per-worker LRU cap on warm sessions.
+    fault_plan:
+        Chaos-testing plan installed in every worker (see
+        :mod:`repro.testing.faults`).
+    hang_grace_s:
+        How far past its deadline a request may run before its worker is
+        killed and respawned.
+    """
+
+    def __init__(
+        self,
+        processes: Optional[int] = None,
+        *,
+        queue_limit: int = 16,
+        retries: int = 1,
+        default_deadline: Optional[DeadlineLike] = None,
+        session_capacity: int = 64,
+        worker_session_capacity: int = 8,
+        fault_plan: Optional[FaultPlan] = None,
+        hang_grace_s: float = 2.0,
+        backoff_s: float = 0.05,
+    ) -> None:
+        self._supervisor = WorkerSupervisor(
+            _serve_handler,
+            processes,
+            lane_capacity=queue_limit,
+            retries=retries,
+            backoff_s=backoff_s,
+            hang_grace_s=hang_grace_s,
+            fault_plan=fault_plan,
+        )
+        self._router = AffinityRouter(capacity=session_capacity)
+        self._default_deadline = default_deadline
+        self._worker_session_capacity = worker_session_capacity
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        self._supervisor.close()
+
+    async def __aenter__(self) -> "ReasoningService":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _absolute_deadline(deadline: Optional[DeadlineLike]) -> Optional[float]:
+        if deadline is None:
+            return None
+        if isinstance(deadline, Budget):
+            return deadline.deadline  # may be None for pure work budgets
+        return time.monotonic() + float(deadline)
+
+    async def submit(
+        self,
+        specification: Specification,
+        item: ServeItem,
+        *,
+        deadline: Optional[DeadlineLike] = None,
+    ) -> Answer:
+        """Answer one request or apply one mutation; never raises for
+        per-request failures — they come back as structured :class:`Answer`
+        failures (or :class:`Degraded` labels)."""
+        problem = item.op if isinstance(item, Mutation) else item.problem
+        effective = deadline if deadline is not None else self._default_deadline
+        abs_deadline = self._absolute_deadline(effective)
+        entry = self._router.entry_for(specification)
+        work = _ServeWork(
+            session_key=entry.key,
+            specification=entry.specification,
+            log=tuple(entry.log),
+            item=item,
+            deadline=abs_deadline,
+            session_capacity=self._worker_session_capacity,
+        )
+        is_mutation = isinstance(item, Mutation)
+        if is_mutation:
+            entry.pending_mutations += 1
+        try:
+            try:
+                future = self._supervisor.submit(
+                    entry.key, work, deadline=abs_deadline, retry=not is_mutation
+                )
+            except Overloaded as error:
+                return Answer(
+                    problem=problem, failure=ErrorRecord.from_exception(error)
+                )
+            result: WorkResult = await asyncio.wrap_future(future)
+            if is_mutation and result.ok and not isinstance(result.value, Degraded):
+                entry.log.append(item)
+            return self._to_answer(problem, result)
+        finally:
+            if is_mutation:
+                entry.pending_mutations -= 1
+
+    @staticmethod
+    def _to_answer(problem: str, result: WorkResult) -> Answer:
+        if result.ok:
+            if isinstance(result.value, Degraded):
+                return Answer(
+                    problem=problem, degraded=result.value, attempts=result.attempts
+                )
+            return Answer(problem=problem, value=result.value, attempts=result.attempts)
+        record = result.failure
+        assert record is not None
+        if record.kind in ("DeadlineExceeded", "ResourceBudgetExceeded"):
+            # supervisor-level expiry (queued past deadline, or hung worker
+            # killed): degrade explicitly rather than fail opaquely
+            degraded = Degraded(
+                problem=problem,
+                reason="deadline",
+                attempted=record.message,
+            )
+            return Answer(
+                problem=problem,
+                failure=record,
+                degraded=degraded,
+                attempts=result.attempts,
+            )
+        return Answer(problem=problem, failure=record, attempts=result.attempts)
+
+    async def stream(
+        self,
+        requests: Iterable[Tuple[Specification, ServeItem]],
+        *,
+        deadline: Optional[DeadlineLike] = None,
+    ) -> AsyncIterator[Tuple[int, Answer]]:
+        """Submit every ``(specification, item)`` pair and yield
+        ``(index, answer)`` **in completion order** — one slow or degraded
+        session never gates its neighbours' answers."""
+        pairs = list(requests)
+        tasks = [
+            asyncio.ensure_future(self.submit(spec, item, deadline=deadline))
+            for spec, item in pairs
+        ]
+        by_task = {task: index for index, task in enumerate(tasks)}
+        pending = set(tasks)
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                yield by_task[task], task.result()
+
+    async def gather(
+        self,
+        requests: Sequence[Tuple[Specification, ServeItem]],
+        *,
+        deadline: Optional[DeadlineLike] = None,
+    ) -> Sequence[Answer]:
+        """All answers, in request order (a convenience over :meth:`stream`)."""
+        answers: Dict[int, Answer] = {}
+        async for index, answer in self.stream(requests, deadline=deadline):
+            answers[index] = answer
+        return [answers[index] for index in range(len(answers))]
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """Router interning and supervisor health counters."""
+        return {
+            "router": self._router.stats(),
+            "supervisor": self._supervisor.stats(),
+        }

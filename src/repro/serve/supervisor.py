@@ -1,0 +1,536 @@
+"""Crash-surviving worker supervision.
+
+:class:`WorkerSupervisor` owns a fixed set of spawned worker processes and a
+set of *lanes* — per-key FIFO queues (one per warm session, or one per batch
+group) with a sticky worker assignment, so every request for one lane is
+executed by the same worker in submission order.  It exists because
+``multiprocessing.Pool`` does not survive its workers: a worker that dies
+mid-task (segfault, OOM kill, ``os._exit``) strands the task forever and the
+whole batch with it.  The supervisor instead:
+
+* detects death via ``Process.is_alive`` (no timeout needed — a crashed
+  worker is observably dead immediately) and **respawns** the worker with a
+  fresh inbox and a bumped *generation*, failing only the in-flight item;
+* stale results from a previous incarnation are discarded by generation;
+* kills and respawns a worker whose in-flight item overran its deadline by
+  more than ``hang_grace_s`` (the watchdog path — a hung worker is not dead,
+  so it must be killed to free the lane);
+* expires *queued* items whose deadline passed before dispatch (an expired
+  request must not occupy a worker);
+* applies **admission control**: a lane whose queue is at ``lane_capacity``
+  rejects new work with :class:`~repro.exceptions.Overloaded` instead of
+  queueing unboundedly;
+* retries transient failures (``ErrorRecord.retryable`` — worker crashes and
+  injected transient errors) with exponential backoff, requeueing **at the
+  lane front** so per-lane FIFO order is preserved across retries.
+
+Process-boundary hygiene: workers are started with the ``spawn`` context
+(forking from a threaded parent can deadlock on inherited lock state);
+payloads are pickled on the submitting thread (an unpicklable *request* fails
+synchronously at submit, not asynchronously in a queue feeder thread); and
+results are pickled *by the worker* with the failure captured as a
+:class:`~repro.exceptions.ErrorRecord` — an unpicklable result value becomes
+a structured per-request failure instead of a silently lost message in
+``multiprocessing.Queue``'s feeder thread.
+
+Every incarnation gets a **fresh inbox and a fresh outbox**.  Sharing one
+result queue across incarnations looks natural but is quietly broken: a
+``multiprocessing.Queue`` pickled into a *second* spawn process after a
+previous holder hard-crashed delivers its puts into the void (the size
+counter advances, no bytes ever reach the supervisor's pipe), deadlocking
+every post-respawn result.  Per-incarnation queues are the supported
+one-queue-one-process pattern, and they also make crash isolation exact: a
+killed worker takes only its own channel down.
+
+Every handed-back outcome is a :class:`WorkResult`; the supervisor never
+raises through a future, so callers branch on ``result.ok`` uniformly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Hashable, List, Optional, Tuple
+
+from repro.exceptions import (
+    DeadlineExceeded,
+    ErrorRecord,
+    Overloaded,
+    ServiceError,
+    SpecificationError,
+    WorkerCrashed,
+)
+from repro.testing import faults
+from repro.testing.faults import FaultPlan
+
+__all__ = ["WorkerSupervisor", "WorkResult"]
+
+#: a worker-side request handler: (work, per-process state dict) -> value.
+#: Must be a module-level function (the spawn context pickles it by name).
+Handler = Callable[[Any, Dict[str, Any]], Any]
+
+
+@dataclass
+class WorkResult:
+    """Outcome of one supervised work item (never an exception)."""
+
+    value: Any = None
+    failure: Optional[ErrorRecord] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def _worker_main(
+    worker_id: int,
+    generation: int,
+    inbox: "multiprocessing.queues.Queue[Any]",
+    outbox: "multiprocessing.queues.Queue[Any]",
+    handler: Handler,
+    fault_plan: Optional[FaultPlan],
+) -> None:
+    """One worker incarnation: pull, execute, pre-pickle, push.
+
+    The result body is pickled *here* so that an unpicklable value (a poisoned
+    result) is caught and converted into a structured failure rather than
+    killing the queue's feeder thread and silently losing the message.  The
+    envelope itself — ``(worker_id, generation, request_id, bytes)`` — is
+    always picklable.
+    """
+    if fault_plan is not None:
+        faults.install(fault_plan.for_generation(generation))
+    state: Dict[str, Any] = {}
+    while True:
+        message = inbox.get()
+        if message is None:
+            return
+        request_id, payload = message
+        try:
+            faults.trip("worker.request")
+            work = pickle.loads(payload)
+            faults.trip("worker.execute")
+            value = handler(work, state)
+            pill = faults.trip("worker.result")
+            if pill is not None:
+                value = pill
+            body = pickle.dumps((True, value))
+        except BaseException as error:  # noqa: BLE001 - converted to a record
+            body = pickle.dumps((False, ErrorRecord.from_exception(error)))
+        outbox.put((worker_id, generation, request_id, body))
+
+
+class _WorkItem:
+    __slots__ = ("id", "lane", "payload", "deadline", "retry", "attempts",
+                 "not_before", "future")
+
+    def __init__(
+        self,
+        item_id: int,
+        lane: Hashable,
+        payload: bytes,
+        deadline: Optional[float],
+        retry: bool,
+    ) -> None:
+        self.id = item_id
+        self.lane = lane
+        self.payload = payload
+        self.deadline = deadline  # absolute time.monotonic(), or None
+        self.retry = retry
+        self.attempts = 0
+        self.not_before = 0.0  # backoff gate for retried items
+        self.future: "Future[WorkResult]" = Future()
+
+
+class _Worker:
+    __slots__ = ("index", "generation", "process", "inbox", "outbox", "busy")
+
+    def __init__(
+        self,
+        index: int,
+        generation: int,
+        process: "multiprocessing.process.BaseProcess",
+        inbox: "multiprocessing.queues.Queue[Any]",
+        outbox: "multiprocessing.queues.Queue[Any]",
+    ) -> None:
+        self.index = index
+        self.generation = generation
+        self.process = process
+        self.inbox = inbox
+        self.outbox = outbox
+        self.busy: Optional[_WorkItem] = None
+
+
+class WorkerSupervisor:
+    """Supervised worker pool with lane affinity, respawn and retry.
+
+    Parameters
+    ----------
+    handler:
+        Module-level worker function ``(work, state) -> value``; *state* is a
+        per-process dict surviving across requests (warm sessions live there).
+    processes:
+        Worker count (default: up to 4, bounded by the CPU count).
+    lane_capacity:
+        Maximum *queued* items per lane; further submits raise
+        :class:`Overloaded`.  None disables admission control (batch mode).
+    retries:
+        How many times a retryable failure is re-attempted (with exponential
+        backoff, requeued at the lane front to preserve FIFO order).
+    backoff_s:
+        Base backoff delay; attempt *n* waits ``backoff_s * 2**(n-1)``.
+    hang_grace_s:
+        How far past its deadline an in-flight item may run before the
+        watchdog kills (and respawns) the worker executing it.
+    fault_plan:
+        Optional :class:`FaultPlan` installed in every worker incarnation
+        (filtered by generation) — the chaos harness's entry point.
+    """
+
+    def __init__(
+        self,
+        handler: Handler,
+        processes: Optional[int] = None,
+        *,
+        lane_capacity: Optional[int] = None,
+        retries: int = 1,
+        backoff_s: float = 0.05,
+        hang_grace_s: float = 2.0,
+        fault_plan: Optional[FaultPlan] = None,
+        poll_interval_s: float = 0.005,
+    ) -> None:
+        if processes is not None and processes < 1:
+            raise SpecificationError("the supervisor needs at least one worker")
+        if lane_capacity is not None and lane_capacity < 1:
+            raise SpecificationError("lane_capacity must be >= 1 (or None)")
+        if retries < 0:
+            raise SpecificationError("retries must be >= 0")
+        self._handler = handler
+        self._lane_capacity = lane_capacity
+        self._retries = retries
+        self._backoff_s = backoff_s
+        self._hang_grace_s = hang_grace_s
+        self._fault_plan = fault_plan
+        self._poll_interval_s = poll_interval_s
+        count = processes if processes is not None else max(2, min(4, os.cpu_count() or 2))
+        # spawn, not fork: the supervisor runs a pump thread, and forking a
+        # threaded parent can inherit held lock state and deadlock the child
+        self._ctx = multiprocessing.get_context("spawn")
+        self._lock = threading.Lock()
+        self._lanes: Dict[Hashable, Deque[_WorkItem]] = {}
+        self._lane_owner: Dict[Hashable, int] = {}
+        self._lane_order: Dict[int, Deque[Hashable]] = {
+            index: deque() for index in range(count)
+        }
+        self._next_id = 0
+        self._closed = False
+        self.respawns = 0
+        self._workers: List[_Worker] = [self._spawn(index, 0) for index in range(count)]
+        self._pump_thread = threading.Thread(
+            target=self._pump, name="repro-supervisor", daemon=True
+        )
+        self._pump_thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _spawn(self, index: int, generation: int) -> _Worker:
+        # fresh queues per incarnation — see the module docstring: a Queue
+        # re-pickled into a second spawn process after a crash silently
+        # swallows every put, so channels are never shared across respawns
+        inbox: "multiprocessing.queues.Queue[Any]" = self._ctx.Queue()
+        outbox: "multiprocessing.queues.Queue[Any]" = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(index, generation, inbox, outbox,
+                  self._handler, self._fault_plan),
+            daemon=True,
+        )
+        process.start()
+        return _Worker(index, generation, process, inbox, outbox)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the supervisor still accepts work."""
+        return not self._closed and self._pump_thread.is_alive()
+
+    def close(self) -> None:
+        """Stop accepting work, fail anything still pending and reap the
+        workers.  Safe to call twice."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            orphans: List[_WorkItem] = []
+            for lane_queue in self._lanes.values():
+                orphans.extend(lane_queue)
+                lane_queue.clear()
+            for worker in self._workers:
+                if worker.busy is not None:
+                    orphans.append(worker.busy)
+                    worker.busy = None
+        self._pump_thread.join(timeout=5.0)
+        for worker in self._workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+            worker.process.join(timeout=5.0)
+        record = ErrorRecord.from_exception(ServiceError("supervisor closed"))
+        for item in orphans:
+            self._finish(item, WorkResult(failure=record, attempts=item.attempts))
+
+    def __enter__(self) -> "WorkerSupervisor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        lane: Hashable,
+        work: Any,
+        *,
+        deadline: Optional[float] = None,
+        retry: bool = True,
+    ) -> "Future[WorkResult]":
+        """Enqueue *work* on *lane*; the future resolves to a
+        :class:`WorkResult` (never raises through the future).
+
+        *deadline* is an absolute :func:`time.monotonic` timestamp: an item
+        still queued past it fails with :class:`DeadlineExceeded`, and an item
+        executing ``hang_grace_s`` past it gets its worker killed.  *retry*
+        gates the retransmission of retryable failures — non-idempotent work
+        (mutations) should pass ``retry=False`` so an at-least-once re-run can
+        never double-apply.
+        """
+        payload = pickle.dumps(work)  # unpicklable requests fail fast, here
+        with self._lock:
+            if self._closed:
+                raise ServiceError("the supervisor is closed")
+            lane_queue = self._lanes.get(lane)
+            if lane_queue is None:
+                lane_queue = deque()
+                self._lanes[lane] = lane_queue
+                owner = self._least_loaded_worker()
+                self._lane_owner[lane] = owner
+                self._lane_order[owner].append(lane)
+            if (
+                self._lane_capacity is not None
+                and len(lane_queue) >= self._lane_capacity
+            ):
+                raise Overloaded(
+                    f"lane {lane!r} already holds {len(lane_queue)} queued "
+                    f"requests (capacity {self._lane_capacity})"
+                )
+            item = _WorkItem(self._next_id, lane, payload, deadline, retry)
+            self._next_id += 1
+            lane_queue.append(item)
+            self._dispatch_locked()
+        return item.future
+
+    def _least_loaded_worker(self) -> int:
+        def load(index: int) -> Tuple[int, int]:
+            queued = sum(len(self._lanes[lane]) for lane in self._lane_order[index])
+            busy = 1 if self._workers and self._workers[index].busy is not None else 0
+            return (queued + busy, index)
+
+        if not self._workers:  # during __init__, before workers exist
+            return self._next_id % len(self._lane_order)
+        return min(range(len(self._workers)), key=load)
+
+    # ------------------------------------------------------------------ #
+    # The pump: results, death, hangs, expiry, dispatch
+    # ------------------------------------------------------------------ #
+    def _pump(self) -> None:
+        while not self._closed:
+            drained = self._drain_outboxes()
+            finished = self._reap()
+            for item, result in finished:
+                self._finish(item, result)
+            if not drained:
+                time.sleep(self._poll_interval_s)
+
+    def _drain_outboxes(self) -> bool:
+        """Collect every already-available result envelope from every live
+        incarnation's outbox; True when at least one arrived."""
+        with self._lock:
+            workers = list(self._workers)
+        finished: List[Tuple[_WorkItem, WorkResult]] = []
+        drained = False
+        for outbox_owner in workers:
+            while True:
+                try:
+                    envelope = outbox_owner.outbox.get_nowait()
+                except queue.Empty:
+                    break
+                drained = True
+                worker_id, generation, request_id, body = envelope
+                with self._lock:
+                    worker = self._workers[worker_id]
+                    item = worker.busy
+                    if (
+                        worker.generation == generation
+                        and item is not None
+                        and item.id == request_id
+                    ):
+                        worker.busy = None
+                        ok, value = pickle.loads(body)
+                        if ok:
+                            finished.append(
+                                (item, WorkResult(value=value, attempts=item.attempts))
+                            )
+                        else:
+                            retried = self._retry_locked(item, value)
+                            if not retried:
+                                finished.append(
+                                    (item,
+                                     WorkResult(failure=value, attempts=item.attempts))
+                                )
+                    # a mismatched generation or id is a stale message from a
+                    # superseded incarnation (we drained its old outbox after
+                    # a respawn): drop it
+        for item, result in finished:
+            self._finish(item, result)
+        return drained
+
+    def _retry_locked(self, item: _WorkItem, record: ErrorRecord) -> bool:
+        """Requeue a retryably-failed item at its lane's front (backoff-gated)
+        unless its retry budget or deadline is spent.  Returns True when the
+        item was requeued."""
+        if not (item.retry and record.retryable and item.attempts <= self._retries):
+            return False
+        now = time.monotonic()
+        if item.deadline is not None and now >= item.deadline:
+            return False
+        item.not_before = now + self._backoff_s * (2 ** (item.attempts - 1))
+        self._lanes[item.lane].appendleft(item)
+        return True
+
+    def _reap(self) -> List[Tuple[_WorkItem, WorkResult]]:
+        """Handle dead and hung workers and expired queued items."""
+        finished: List[Tuple[_WorkItem, WorkResult]] = []
+        now = time.monotonic()
+        with self._lock:
+            if self._closed:
+                return []
+            for slot, worker in enumerate(self._workers):
+                item = worker.busy
+                if not worker.process.is_alive():
+                    if item is None and not self._backlog_locked(worker.index):
+                        # dead but idle with nothing queued: defer the respawn
+                        # until work arrives, so a worker dying on startup
+                        # cannot drive a hot respawn loop
+                        continue
+                    worker.busy = None
+                    self._respawn_locked(slot)
+                    if item is not None:
+                        record = ErrorRecord.from_exception(
+                            WorkerCrashed(
+                                # reprolint: allow(R3) — human-readable crash message, not a lookup key
+                                f"worker {slot} (generation {worker.generation}) "
+                                f"died executing request {item.id}"
+                            )
+                        )
+                        if not self._retry_locked(item, record):
+                            finished.append(
+                                (item, WorkResult(failure=record, attempts=item.attempts))
+                            )
+                elif (
+                    item is not None
+                    and item.deadline is not None
+                    and now > item.deadline + self._hang_grace_s
+                ):
+                    # hung past the grace window: the worker must die so the
+                    # lane (and its sibling lanes) can make progress again
+                    worker.busy = None
+                    worker.process.kill()
+                    worker.process.join(timeout=5.0)
+                    self._respawn_locked(slot)
+                    record = ErrorRecord.from_exception(
+                        DeadlineExceeded(
+                            # reprolint: allow(R3) — human-readable timeout message, not a lookup key
+                            f"request {item.id} overran its deadline by more than "
+                            f"{self._hang_grace_s:.1f}s; its worker was killed"
+                        )
+                    )
+                    finished.append(
+                        (item, WorkResult(failure=record, attempts=item.attempts))
+                    )
+            for lane_queue in self._lanes.values():
+                for item in list(lane_queue):
+                    if item.deadline is not None and now >= item.deadline:
+                        lane_queue.remove(item)
+                        record = ErrorRecord.from_exception(
+                            DeadlineExceeded(
+                                # reprolint: allow(R3) — human-readable expiry message, not a lookup key
+                                f"request {item.id} expired after waiting "
+                                f"{self._queue_wait(item, now):.3f}s in its lane"
+                            )
+                        )
+                        finished.append(
+                            (item, WorkResult(failure=record, attempts=item.attempts))
+                        )
+            self._dispatch_locked()
+        return finished
+
+    @staticmethod
+    def _queue_wait(item: _WorkItem, now: float) -> float:
+        if item.deadline is None:
+            return 0.0
+        return max(0.0, now - item.deadline)
+
+    def _respawn_locked(self, slot: int) -> None:
+        old = self._workers[slot]
+        self._workers[slot] = self._spawn(old.index, old.generation + 1)
+        self.respawns += 1
+
+    def _backlog_locked(self, index: int) -> int:
+        return sum(len(self._lanes[lane]) for lane in self._lane_order[index])
+
+    def _dispatch_locked(self) -> None:
+        now = time.monotonic()
+        for worker in self._workers:
+            if worker.busy is not None or not worker.process.is_alive():
+                # a dead idle worker is respawned by _reap once it has work
+                continue
+            order = self._lane_order[worker.index]
+            for _ in range(len(order)):
+                lane = order[0]
+                order.rotate(-1)
+                lane_queue = self._lanes[lane]
+                if not lane_queue or lane_queue[0].not_before > now:
+                    continue
+                item = lane_queue.popleft()
+                item.attempts += 1
+                worker.busy = item
+                worker.inbox.put((item.id, item.payload))
+                break
+
+    @staticmethod
+    def _finish(item: _WorkItem, result: WorkResult) -> None:
+        if not item.future.done():
+            item.future.set_result(result)
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """Supervision counters (respawns, load) for diagnostics."""
+        with self._lock:
+            queued = sum(len(lane_queue) for lane_queue in self._lanes.values())
+            busy = sum(1 for worker in self._workers if worker.busy is not None)
+            return {
+                "workers": len(self._workers),
+                "respawns": self.respawns,
+                "lanes": len(self._lanes),
+                "queued": queued,
+                "in_flight": busy,
+            }

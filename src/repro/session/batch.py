@@ -12,21 +12,48 @@ Two execution modes share the grouping logic:
 
 * ``serial=True`` runs everything in-process, in deterministic request order —
   the mode the differential tests pin against;
-* the default parallel mode fans the groups out over a ``multiprocessing``
-  pool (specifications and queries are plain picklable objects); results come
-  back in request order either way.
+* the default parallel mode fans the groups out over a supervised worker pool
+  (:class:`~repro.serve.supervisor.WorkerSupervisor`; specifications and
+  queries are plain picklable objects); results come back in request order
+  either way.
+
+The parallel mode is fault-isolated per group: a worker that dies mid-group
+(crash, OOM kill) is detected and respawned by the supervisor, and only the
+requests of the group it was executing come back as structured
+:class:`~repro.exceptions.ErrorRecord` failures — every other group's answers
+are unaffected.  An optional ``group_timeout`` bounds each group's wall-clock
+(bleeding into the session layer as a solver budget is the caller's choice
+via per-request ``kwargs={"deadline": ...}``); a hung group's worker is
+killed at the timeout rather than stalling the batch forever.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.specification import Specification
-from repro.exceptions import SpecificationError
+from repro.exceptions import ErrorRecord, SpecificationError
 from repro.query.ast import Query, SPQuery
 from repro.session.session import ReasoningSession
+from repro.testing import faults
+from repro.testing.faults import FaultPlan
+
+if TYPE_CHECKING:  # the runtime import is deferred to _worker_pool()
+    # (repro.serve.service imports this module for ProblemRequest/_answer, so
+    # a module-level import back into repro.serve would be circular)
+    from repro.serve.supervisor import WorkerSupervisor
 
 __all__ = ["ProblemRequest", "BatchResult", "BatchDriver", "PROBLEMS"]
 
@@ -74,16 +101,26 @@ class ProblemRequest:
 @dataclass
 class BatchResult:
     """Outcome of one request: its original stream index, the answer value
-    (or None) and the ``repr`` of the raised exception, if any."""
+    (or None) and a structured, picklable failure record, if any.
+
+    ``failure`` survives the worker process boundary with the exception class
+    name, message, :class:`~repro.exceptions.CurrencyError` kind and the
+    retryable flag intact; :attr:`error` renders it as the historical
+    ``repr``-style string for display and back-compat."""
 
     index: int
     problem: str
     value: Any = None
-    error: Optional[str] = None
+    failure: Optional[ErrorRecord] = None
 
     @property
     def ok(self) -> bool:
-        return self.error is None
+        return self.failure is None
+
+    @property
+    def error(self) -> Optional[str]:
+        """Rendered failure string (None when the request succeeded)."""
+        return None if self.failure is None else self.failure.render()
 
 
 def _answer(session: ReasoningSession, request: ProblemRequest) -> Any:
@@ -103,8 +140,10 @@ class _SessionPool:
     so hits come from *across* batches: the serial pool lives on the driver
     and a parallel worker's pool lives for the multiprocessing pool's
     lifetime, so a later request stream naming a spec already served finds
-    the warm session again.  Eviction is FIFO at the cap; the pool is a
-    throughput lever, not a correctness one."""
+    the warm session again.  Eviction is LRU at the cap — a hit promotes its
+    entry to most-recently-used, so the sessions a recurring workload keeps
+    asking about survive churn from one-off specs; the pool is a throughput
+    lever, not a correctness one."""
 
     def __init__(self, capacity: int = 8) -> None:
         if capacity < 1:
@@ -113,38 +152,50 @@ class _SessionPool:
         self._entries: List[Tuple[Specification, ReasoningSession]] = []
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def session_for(self, specification: Specification) -> ReasoningSession:
-        for known, session in self._entries:
+        for position, (known, session) in enumerate(self._entries):
             # reprolint: allow(R2) — identity fast path in front of the structural check
             if known is specification or known == specification:
                 self.hits += 1
+                self._entries.append(self._entries.pop(position))  # promote
                 return session
         self.misses += 1
         session = ReasoningSession(specification)
         if len(self._entries) >= self.capacity:
-            self._entries.pop(0)
+            self._entries.pop(0)  # least recently used
+            self.evictions += 1
         self._entries.append((specification, session))
         return session
 
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus the current fill level."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "sessions": len(self._entries),
+            "capacity": self.capacity,
+        }
+
 
 # ------------------------------------------------------------------ #
-# Worker-side machinery (module level so the pool can pickle it)
+# Worker-side machinery (module level so the spawn context can pickle it)
 # ------------------------------------------------------------------ #
-_WORKER_POOL: Optional[_SessionPool] = None
-
-
-def _init_worker(capacity: int) -> None:
-    global _WORKER_POOL
-    _WORKER_POOL = _SessionPool(capacity)
-
-
-def _run_group(
-    payload: Tuple[Specification, List[Tuple[int, ProblemRequest]]]
+def _run_group_supervised(
+    work: Tuple[Specification, List[Tuple[int, ProblemRequest]], int],
+    state: Dict[str, Any],
 ) -> List[BatchResult]:
-    specification, items = payload
-    assert _WORKER_POOL is not None  # set by _init_worker
-    return _evaluate_group(_WORKER_POOL, specification, items)
+    """Supervised-worker handler for one group; the worker's interned-session
+    pool lives in its per-process *state* dict, surviving across groups and
+    across batches (the supervisor keeps workers alive between runs)."""
+    specification, items, capacity = work
+    pool = state.get("sessions")
+    if not isinstance(pool, _SessionPool) or pool.capacity != capacity:
+        pool = _SessionPool(capacity)
+        state["sessions"] = pool
+    return _evaluate_group(pool, specification, items)
 
 
 def _evaluate_group(
@@ -152,6 +203,7 @@ def _evaluate_group(
     specification: Specification,
     items: Sequence[Tuple[int, ProblemRequest]],
 ) -> List[BatchResult]:
+    faults.trip("batch.group")
     session = pool.session_for(specification)
     results: List[BatchResult] = []
     for index, request in items:
@@ -161,7 +213,11 @@ def _evaluate_group(
             )
         except Exception as error:  # noqa: BLE001 - faithfully reported per request
             results.append(
-                BatchResult(index=index, problem=request.problem, error=repr(error))
+                BatchResult(
+                    index=index,
+                    problem=request.problem,
+                    failure=ErrorRecord.from_exception(error),
+                )
             )
     return results
 
@@ -172,13 +228,22 @@ class BatchDriver:
     Parameters
     ----------
     processes:
-        Worker-process count for the parallel mode (default: let
-        :mod:`multiprocessing` pick).  Ignored when *serial* is set.
+        Worker-process count for the parallel mode (default: the
+        supervisor's, up to 4 bounded by the CPU count).  Ignored when
+        *serial* is set.
     serial:
         Run everything in-process, in deterministic order — bit-identical
         results across runs, no pickling round-trips.
     session_cache_size:
         Capacity of each worker's interned-session pool.
+    group_timeout:
+        Optional per-group wall-clock bound (seconds, measured from the
+        ``run()`` call).  A group whose worker hangs past it is killed and
+        its requests fail with :class:`~repro.exceptions.DeadlineExceeded`
+        records; other groups are unaffected.
+    fault_plan:
+        Optional :class:`~repro.testing.faults.FaultPlan` installed in every
+        worker — the chaos harness's entry point for batch tests.
     """
 
     def __init__(
@@ -186,33 +251,45 @@ class BatchDriver:
         processes: Optional[int] = None,
         serial: bool = False,
         session_cache_size: int = 8,
+        group_timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.processes = processes
         self.serial = serial
         self.session_cache_size = session_cache_size
+        self.group_timeout = group_timeout
+        self.fault_plan = fault_plan
         # both pools persist across run() calls, so a driver served
         # repeatedly (the production shape) keeps its warm sessions between
         # batches: the in-process _SessionPool for serial mode, and one
-        # long-lived multiprocessing.Pool whose workers hold theirs in
-        # _WORKER_POOL for parallel mode (released by close()/``with``)
+        # long-lived WorkerSupervisor whose workers hold theirs in their
+        # handler state for parallel mode (released by close()/``with``)
         self._local_pool = _SessionPool(session_cache_size)
-        self._workers: Optional[multiprocessing.pool.Pool] = None
+        self._workers: Optional["WorkerSupervisor"] = None
 
-    def _worker_pool(self) -> "multiprocessing.pool.Pool":
+    def _worker_pool(self) -> "WorkerSupervisor":
+        from repro.serve.supervisor import WorkerSupervisor
+
+        if self._workers is not None and not self._workers.alive:
+            # a prior run (or an external close) broke the pool: replace it
+            # instead of failing every subsequent batch
+            self._workers.close()
+            self._workers = None
         if self._workers is None:
-            self._workers = multiprocessing.Pool(
-                processes=self.processes,
-                initializer=_init_worker,
-                initargs=(self.session_cache_size,),
+            self._workers = WorkerSupervisor(
+                _run_group_supervised,
+                self.processes,
+                lane_capacity=None,  # batches are finite; no admission control
+                retries=0,  # a crashed group fails its own requests only
+                fault_plan=self.fault_plan,
             )
         return self._workers
 
     def close(self) -> None:
         """Release the worker processes (parallel mode); the driver stays
-        usable — a later run() spawns a fresh pool."""
+        usable — a later run() spawns a fresh supervisor."""
         if self._workers is not None:
             self._workers.close()
-            self._workers.join()
             self._workers = None
 
     def __enter__(self) -> "BatchDriver":
@@ -249,13 +326,43 @@ class BatchDriver:
             for specification, items in groups:
                 answered.extend(_evaluate_group(self._local_pool, specification, items))
         else:
-            answered = [
-                result
-                for group_results in self._worker_pool().map(_run_group, groups)
-                for result in group_results
-            ]
+            answered = self._run_supervised(groups)
         ordered: List[Optional[BatchResult]] = [None] * len(requests)
         for result in answered:
             ordered[result.index] = result
         assert all(result is not None for result in ordered)
         return ordered  # type: ignore[return-value]
+
+    def _run_supervised(
+        self, groups: Sequence[Tuple[Specification, List[Tuple[int, ProblemRequest]]]]
+    ) -> List[BatchResult]:
+        """Fan the groups out over the supervised pool.  A group whose worker
+        crashed or hung comes back as per-request failure records; every
+        other group's answers are returned untouched."""
+        supervisor = self._worker_pool()
+        deadline = (
+            time.monotonic() + self.group_timeout
+            if self.group_timeout is not None
+            else None
+        )
+        futures = [
+            supervisor.submit(
+                lane,
+                (specification, items, self.session_cache_size),
+                deadline=deadline,
+            )
+            for lane, (specification, items) in enumerate(groups)
+        ]
+        answered: List[BatchResult] = []
+        for (_specification, items), future in zip(groups, futures):
+            outcome = future.result()
+            if outcome.ok:
+                answered.extend(outcome.value)
+            else:
+                answered.extend(
+                    BatchResult(
+                        index=index, problem=request.problem, failure=outcome.failure
+                    )
+                    for index, request in items
+                )
+        return answered

@@ -58,6 +58,7 @@ from __future__ import annotations
 
 from typing import (
     Any,
+    ContextManager,
     Dict,
     FrozenSet,
     Hashable,
@@ -105,6 +106,7 @@ from repro.query.engine import QueryEngine
 from repro.reasoning.chase import ChaseResult, chase_certain_orders
 from repro.reasoning.current_db import CurrentDatabaseEnumerator
 from repro.reasoning.sp import sp_certain_answers
+from repro.solvers.budget import Budget, DeadlineLike, budget_scope
 from repro.solvers.order_encoding import CompletionEncoder
 
 __all__ = ["ReasoningSession"]
@@ -412,6 +414,26 @@ class ReasoningSession:
         return space
 
     # ------------------------------------------------------------------ #
+    # Deadline propagation
+    # ------------------------------------------------------------------ #
+    def deadline_scope(self, deadline: Optional[DeadlineLike]) -> "ContextManager[Optional[Budget]]":
+        """An ambient solver-budget scope for *deadline*.
+
+        A number is seconds-from-now; a pre-built
+        :class:`~repro.solvers.budget.Budget` is installed as-is (letting
+        callers bound conflicts/propagations instead of wall clock).  Every
+        solver probe the session performs inside the scope — including probes
+        of substrate built lazily during the call — charges the same budget;
+        exhaustion raises :class:`~repro.exceptions.ResourceBudgetExceeded`,
+        resumably (a repeat call without a deadline picks the search back up
+        on the warm solver).  The problem methods' ``deadline=`` keyword is a
+        shorthand for wrapping the call in this scope.
+        """
+        if deadline is None:
+            return budget_scope(None)
+        return budget_scope(Budget.ensure(deadline))
+
+    # ------------------------------------------------------------------ #
     # The shared substrate (lazy)
     # ------------------------------------------------------------------ #
     @property
@@ -519,8 +541,13 @@ class ReasoningSession:
     # ------------------------------------------------------------------ #
     # CPS — consistency (Section 3)
     # ------------------------------------------------------------------ #
-    def consistent(self, method: str = "auto") -> bool:
+    def consistent(
+        self, method: str = "auto", deadline: Optional[DeadlineLike] = None
+    ) -> bool:
         """Decide CPS: whether the specification has a consistent completion."""
+        if deadline is not None:
+            with self.deadline_scope(deadline):
+                return self.consistent(method=method)
         if method not in CPS_METHODS:
             raise SpecificationError(
                 f"unknown CPS method {method!r}; expected one of {CPS_METHODS}"
@@ -549,9 +576,13 @@ class ReasoningSession:
         instance_name: str,
         currency_order: CurrencyOrderSpec,
         method: str = "auto",
+        deadline: Optional[DeadlineLike] = None,
     ) -> bool:
         """Decide COP: is *currency_order* contained in every consistent
         completion of the named instance?"""
+        if deadline is not None:
+            with self.deadline_scope(deadline):
+                return self.certain_ordering(instance_name, currency_order, method=method)
         if method not in COP_METHODS:
             raise SpecificationError(
                 f"unknown COP method {method!r}; expected one of {COP_METHODS}"
@@ -620,9 +651,15 @@ class ReasoningSession:
         return maxima
 
     def deterministic(
-        self, instance_name: Optional[str] = None, method: str = "auto"
+        self,
+        instance_name: Optional[str] = None,
+        method: str = "auto",
+        deadline: Optional[DeadlineLike] = None,
     ) -> bool:
         """Decide DCIP for the named relation (or every relation when None)."""
+        if deadline is not None:
+            with self.deadline_scope(deadline):
+                return self.deterministic(instance_name, method=method)
         if method not in DCIP_METHODS:
             raise SpecificationError(
                 f"unknown DCIP method {method!r}; expected one of {DCIP_METHODS}"
@@ -728,6 +765,7 @@ class ReasoningSession:
         query: AnyQuery,
         method: str = "auto",
         engine: Optional[QueryEngine] = None,
+        deadline: Optional[DeadlineLike] = None,
     ) -> FrozenSet[Tuple[Any, ...]]:
         """The set of certain current answers to *query* (memoised until the
         next mutation).
@@ -736,6 +774,9 @@ class ReasoningSession:
         empty (every tuple would be vacuously certain; there is no meaningful
         answer set to return).
         """
+        if deadline is not None:
+            with self.deadline_scope(deadline):
+                return self.certain_answers(query, method=method, engine=engine)
         if method not in CCQA_METHODS:
             raise SpecificationError(
                 f"unknown CCQA method {method!r}; expected one of {CCQA_METHODS}"
@@ -772,9 +813,13 @@ class ReasoningSession:
         answer: Tuple[Any, ...],
         method: str = "auto",
         engine: Optional[QueryEngine] = None,
+        deadline: Optional[DeadlineLike] = None,
     ) -> bool:
         """Decide CCQA for a single candidate tuple (vacuously true when the
         specification is inconsistent, following the paper's convention)."""
+        if deadline is not None:
+            with self.deadline_scope(deadline):
+                return self.is_certain_answer(query, answer, method=method, engine=engine)
         try:
             answers = self.certain_answers(query, method=method, engine=engine)
         except InconsistentSpecificationError:
@@ -816,12 +861,22 @@ class ReasoningSession:
         ccqa_method: str = "auto",
         engine: Optional[QueryEngine] = None,
         search: str = "auto",
+        deadline: Optional[DeadlineLike] = None,
     ) -> Optional[SpecificationExtension]:
         """A witness extension whose certain answers differ from the base
         ones (with an answer-difference certificate attached), or None when
         every consistent extension preserves them.  See
         :func:`repro.preservation.cpp.find_violating_extension` for the full
         contract; the SAT search runs on this session's warm space."""
+        if deadline is not None:
+            with self.deadline_scope(deadline):
+                return self.find_violating_extension(
+                    query,
+                    max_imports=max_imports,
+                    ccqa_method=ccqa_method,
+                    engine=engine,
+                    search=search,
+                )
         if search not in SEARCHES:
             raise SpecificationError(
                 f"unknown CPP search {search!r}; expected one of {SEARCHES}"
@@ -882,11 +937,21 @@ class ReasoningSession:
         max_imports: Optional[int] = None,
         ccqa_method: str = "auto",
         engine: Optional[QueryEngine] = None,
+        deadline: Optional[DeadlineLike] = None,
     ) -> bool:
         """Decide CPP: are the specification's copy functions currency
         preserving for *query*?  (``"auto"`` picks the PTIME SP algorithm
         when applicable — SP query, no denial constraints, unchained — and
         the warm SAT search otherwise.)"""
+        if deadline is not None:
+            with self.deadline_scope(deadline):
+                return self.cpp(
+                    query,
+                    method=method,
+                    max_imports=max_imports,
+                    ccqa_method=ccqa_method,
+                    engine=engine,
+                )
         if method not in CPP_METHODS:
             raise SpecificationError(
                 f"unknown CPP method {method!r}; expected one of {CPP_METHODS}"
@@ -924,20 +989,32 @@ class ReasoningSession:
     # ------------------------------------------------------------------ #
     # ECP — existence of currency-preserving extensions (Section 5)
     # ------------------------------------------------------------------ #
-    def ecp(self, query: Optional[AnyQuery] = None) -> bool:
+    def ecp(
+        self,
+        query: Optional[AnyQuery] = None,
+        deadline: Optional[DeadlineLike] = None,
+    ) -> bool:
         """Decide ECP: O(1) "yes" for consistent specifications
         (Proposition 5.2), "no" for inconsistent ones.  The query is
         irrelevant to the decision."""
         del query
+        if deadline is not None:
+            with self.deadline_scope(deadline):
+                return self.ecp()
         if self._space is not None:
             return self._space.selection_consistent(())
         return self.consistent()
 
-    def maximal_extension(self, search: str = "auto") -> SpecificationExtension:
+    def maximal_extension(
+        self, search: str = "auto", deadline: Optional[DeadlineLike] = None
+    ) -> SpecificationExtension:
         """The greedy maximal (hence currency-preserving) extension of
         Proposition 5.2 — from the memoised ⊆-maximal harvest with zero SAT
         calls when a BCP sweep ran first, by warm consistency probes
         otherwise; both produce the extension the seed greedy builds."""
+        if deadline is not None:
+            with self.deadline_scope(deadline):
+                return self.maximal_extension(search=search)
         if search not in SEARCHES:
             raise SpecificationError(
                 f"unknown ECP search {search!r}; expected one of {SEARCHES}"
@@ -962,11 +1039,17 @@ class ReasoningSession:
         method: str = "auto",
         search: str = "auto",
         engine: Optional[QueryEngine] = None,
+        deadline: Optional[DeadlineLike] = None,
     ) -> Optional[SpecificationExtension]:
         """A currency-preserving extension importing at most *k* tuples (the
         empty extension — ρ itself — included), or None.  The SAT search runs
         entirely on this session's warm space; see
         :func:`repro.preservation.bcp.bounded_currency_preserving_extension`."""
+        if deadline is not None:
+            with self.deadline_scope(deadline):
+                return self.bounded_extension(
+                    query, k, method=method, search=search, engine=engine
+                )
         if k < 0:
             raise SpecificationError("the bound k must be non-negative")
         if search not in SEARCHES:
@@ -1002,10 +1085,13 @@ class ReasoningSession:
         method: str = "auto",
         search: str = "auto",
         engine: Optional[QueryEngine] = None,
+        deadline: Optional[DeadlineLike] = None,
     ) -> bool:
         """Decide BCP."""
         return (
-            self.bounded_extension(query, k, method=method, search=search, engine=engine)
+            self.bounded_extension(
+                query, k, method=method, search=search, engine=engine, deadline=deadline
+            )
             is not None
         )
 
@@ -1014,6 +1100,7 @@ class ReasoningSession:
         query: AnyQuery,
         k: int,
         engine: Optional[QueryEngine] = None,
+        deadline: Optional[DeadlineLike] = None,
     ) -> Optional[List[BoundRefusalCertificate]]:
         """*Why* BCP answers "no": one
         :class:`~repro.preservation.certificates.BoundRefusalCertificate` per
@@ -1025,6 +1112,9 @@ class ReasoningSession:
         is nothing to refuse), and the empty list when the refusal is the
         base specification's inconsistency rather than any guess's failure.
         """
+        if deadline is not None:
+            with self.deadline_scope(deadline):
+                return self.bcp_refusal(query, k, engine=engine)
         if k < 0:
             raise SpecificationError("the bound k must be non-negative")
         space = self.space

@@ -1,0 +1,176 @@
+"""Resource budgets and deadline propagation for the solver substrate.
+
+A :class:`Budget` bounds how much work SAT search may spend: a conflict cap,
+a propagation cap and/or a wall-clock deadline.  :meth:`Solver.solve
+<repro.solvers.sat.Solver.solve>` charges every conflict against the active
+budget and raises :class:`~repro.exceptions.ResourceBudgetExceeded` when a
+limit fires — *resumably*: the learnt clauses, activities and saved phases of
+the interrupted search survive, so re-solving continues where the budget ran
+out and reaches the identical verdict.
+
+Budgets are *ambient*: :func:`budget_scope` installs one in a
+:class:`contextvars.ContextVar`, and every ``solve`` call in the dynamic
+extent — including solvers built lazily inside the scope — charges against
+it.  That is how a deadline propagates through the session layer without
+threading a parameter through every encoder, enumerator and search space: the
+session converts ``deadline=...`` to a budget once, and the dozens of solver
+probes a single CPP sweep performs all share it (cumulative spend, one
+deadline).  One solve call may also be bounded directly via
+``solve(budget=...)``, which overrides the ambient scope for that call.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterator, Optional, Union
+
+from repro.exceptions import ResourceBudgetExceeded, SpecificationError
+
+__all__ = ["Budget", "DeadlineLike", "budget_scope", "current_budget"]
+
+
+class Budget:
+    """A mutable spend tracker shared by every solve call in its scope.
+
+    Parameters
+    ----------
+    max_conflicts:
+        Total conflicts allowed across all charged solve calls.
+    max_propagations:
+        Total unit propagations allowed.
+    deadline:
+        Absolute :func:`time.monotonic` timestamp after which the budget is
+        exhausted.  Prefer :meth:`from_timeout` for "seconds from now".
+    """
+
+    __slots__ = ("max_conflicts", "max_propagations", "deadline",
+                 "conflicts", "propagations", "started")
+
+    def __init__(
+        self,
+        max_conflicts: Optional[int] = None,
+        max_propagations: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> None:
+        if max_conflicts is None and max_propagations is None and deadline is None:
+            raise SpecificationError(
+                "a Budget needs at least one of max_conflicts, "
+                "max_propagations or deadline"
+            )
+        self.max_conflicts = max_conflicts
+        self.max_propagations = max_propagations
+        self.deadline = deadline
+        self.conflicts = 0
+        self.propagations = 0
+        self.started = time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_timeout(cls, seconds: float) -> "Budget":
+        """A pure wall-clock budget expiring *seconds* from now."""
+        return cls(deadline=time.monotonic() + seconds)
+
+    @classmethod
+    def ensure(cls, deadline: "DeadlineLike") -> "Budget":
+        """Coerce a deadline-like value: a number is seconds-from-now, a
+        Budget passes through unchanged."""
+        if isinstance(deadline, Budget):
+            return deadline
+        return cls.from_timeout(float(deadline))
+
+    # ------------------------------------------------------------------ #
+    def elapsed(self) -> float:
+        """Seconds since the budget was created."""
+        return time.monotonic() - self.started
+
+    def remaining_time(self) -> Optional[float]:
+        """Seconds until the deadline (None when no deadline is set)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def _exceeded_reason(self, check_time: bool = True) -> Optional[str]:
+        if self.max_conflicts is not None and self.conflicts >= self.max_conflicts:
+            return "conflicts"
+        if (
+            self.max_propagations is not None
+            and self.propagations >= self.max_propagations
+        ):
+            return "propagations"
+        if check_time and self.deadline is not None and time.monotonic() >= self.deadline:
+            return "deadline"
+        return None
+
+    def _raise(self, reason: str) -> None:
+        raise ResourceBudgetExceeded(
+            reason,
+            conflicts=self.conflicts,
+            propagations=self.propagations,
+            elapsed_s=self.elapsed(),
+        )
+
+    def check(self) -> None:
+        """Raise :class:`ResourceBudgetExceeded` if any limit already fired
+        (called at solve entry, so an expired deadline never starts a search)."""
+        reason = self._exceeded_reason()
+        if reason is not None:
+            self._raise(reason)
+
+    def charge(self, conflicts: int = 0, propagations: int = 0) -> None:
+        """Record spent work and raise if a limit fired.  The deadline is
+        only consulted when conflicts are charged — once per conflict, never
+        per propagation — keeping the hot loop free of clock reads."""
+        self.conflicts += conflicts
+        self.propagations += propagations
+        reason = self._exceeded_reason(check_time=conflicts > 0)
+        if reason is not None:
+            self._raise(reason)
+
+    def spent(self) -> Dict[str, float]:
+        """What has been consumed so far (degraded-answer reporting)."""
+        return {
+            "conflicts": float(self.conflicts),
+            "propagations": float(self.propagations),
+            "elapsed_s": self.elapsed(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        limits = []
+        if self.max_conflicts is not None:
+            limits.append(f"conflicts<={self.max_conflicts}")
+        if self.max_propagations is not None:
+            limits.append(f"propagations<={self.max_propagations}")
+        if self.deadline is not None:
+            limits.append(f"deadline in {self.deadline - time.monotonic():.3f}s")
+        return f"Budget({', '.join(limits)}; spent {self.conflicts} conflicts)"
+
+
+#: session/service deadline arguments: seconds-from-now or a full Budget
+DeadlineLike = Union[int, float, "Budget"]
+
+_CURRENT: ContextVar[Optional[Budget]] = ContextVar("repro_solver_budget", default=None)
+
+
+def current_budget() -> Optional[Budget]:
+    """The ambient budget installed by the innermost :func:`budget_scope`."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def budget_scope(budget: Optional[Budget]) -> Iterator[Optional[Budget]]:
+    """Install *budget* as the ambient budget for the dynamic extent.
+
+    ``budget_scope(None)`` is a no-op (the enclosing scope, if any, stays
+    active), so call sites can pass an optional budget through unconditionally.
+    Nested scopes shadow the outer one — the innermost budget wins.
+    """
+    if budget is None:
+        yield None
+        return
+    token = _CURRENT.set(budget)
+    try:
+        yield budget
+    finally:
+        _CURRENT.reset(token)

@@ -31,7 +31,9 @@ from heapq import heapify, heappop, heappush
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SolverError
+from repro.solvers.budget import Budget, current_budget
 from repro.solvers.cnf import CNF, Literal
+from repro.testing import faults
 
 __all__ = [
     "Solver",
@@ -437,10 +439,37 @@ class Solver:
                 return variable
         return None
 
-    def _search(self, assumptions: Sequence[int], budget: int) -> Optional[bool]:
-        """Run CDCL until SAT (True), UNSAT (False) or *budget* conflicts
-        trigger a restart (None)."""
+    def _charge_budget(self, budget: Optional[Budget], charged_from: int) -> int:
+        """Charge one conflict (plus the propagation delta since
+        *charged_from*) against *budget*; the new charged-up-to mark.
+
+        The learnt clause of the conflict is already recorded when this runs,
+        so an interrupting :class:`ResourceBudgetExceeded` leaves the solver
+        one learnt clause richer — resuming continues, never repeats.  The
+        trail is cancelled to the root before the exception propagates so the
+        solver is immediately reusable.
+        """
+        propagated = self._stats["propagations"]
+        try:
+            faults.trip("solver.conflict")
+            if budget is not None:
+                budget.charge(conflicts=1, propagations=propagated - charged_from)
+        except Exception:
+            self._cancel_until(0)
+            raise
+        return propagated
+
+    def _search(
+        self,
+        assumptions: Sequence[int],
+        restart_limit: int,
+        budget: Optional[Budget] = None,
+    ) -> Optional[bool]:
+        """Run CDCL until SAT (True), UNSAT (False) or *restart_limit*
+        conflicts trigger a restart (None); every conflict is charged against
+        *budget*, which raises when exhausted."""
         conflicts = 0
+        charged_from = self._stats["propagations"]
         while True:
             conflict = self._propagate()
             if conflict is not None:
@@ -457,8 +486,9 @@ class Solver:
                 self._cancel_until(backjump)
                 self._record_learnt(learnt)
                 self._decay_activities()
+                charged_from = self._charge_budget(budget, charged_from)
                 continue
-            if conflicts >= budget:
+            if conflicts >= restart_limit:
                 self._stats["restarts"] += 1
                 self._cancel_until(0)
                 return None
@@ -488,16 +518,29 @@ class Solver:
             self._stats["decisions"] += 1
             self._decide(variable if self._phase[variable] else -variable)
 
-    def solve(self, assumptions: Sequence[int] = ()) -> Optional[Model]:
+    def solve(
+        self, assumptions: Sequence[int] = (), budget: Optional[Budget] = None
+    ) -> Optional[Model]:
         """A total model over all allocated variables, or None (UNSAT).
 
         *assumptions* is a conjunction of literals assumed true for this call
         only; the clause database is not modified.  Learnt clauses, variable
         activities and saved phases persist to the next call.
+
+        *budget* (or, when None, the ambient budget installed by
+        :func:`~repro.solvers.budget.budget_scope`) bounds the search:
+        exceeding it raises :class:`~repro.exceptions.ResourceBudgetExceeded`
+        with the learnt state intact, so a later ``solve`` resumes the search
+        and reaches the identical verdict.  An already-exhausted budget raises
+        before the search starts.
         """
+        faults.trip("solver.solve")
+        effective = budget if budget is not None else current_budget()
         if not self._ok:
             self._final_core = []
             return None
+        if effective is not None:
+            effective.check()
         self._final_core = None
         assumed = list(assumptions)
         for lit in assumed:
@@ -508,7 +551,9 @@ class Solver:
         outcome: Optional[bool] = None
         attempt = 0
         while outcome is None:
-            outcome = self._search(assumed, _luby(2, attempt) * self._RESTART_BASE)
+            outcome = self._search(
+                assumed, _luby(2, attempt) * self._RESTART_BASE, effective
+            )
             attempt += 1
         if not outcome:
             self._cancel_until(0)

@@ -1,0 +1,5 @@
+"""Testing support: deterministic fault injection for the robustness suite."""
+
+from repro.testing import faults
+
+__all__ = ["faults"]

@@ -1,0 +1,197 @@
+"""Chaos tests for the batch driver's supervised parallel mode.
+
+The contract: a worker failure (crash, hang, poisoned result) fails only the
+requests of the group it was executing — every other group's results are
+exactly what a fault-free serial run produces."""
+
+import pytest
+
+from repro.session import BatchDriver, ProblemRequest
+from repro.session.batch import _SessionPool
+from repro.testing.faults import Fault, FaultPlan
+from repro.workloads import company
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    preservation_workload,
+    random_specification,
+)
+
+
+def _three_group_stream():
+    """Three structurally distinct specs → three parallel groups."""
+    spec_a = company.company_specification()
+    spec_b, query_b = preservation_workload(
+        candidates=2, conflict_groups=1, spoiler=True, seed=2
+    )
+    spec_c = random_specification(SyntheticConfig(seed=5, with_constraints=False))
+    return [
+        (spec_a, ProblemRequest("cps")),
+        (spec_a, ProblemRequest("dcip", args=("Emp",))),
+        (spec_b, ProblemRequest("cpp", query=query_b)),
+        (spec_b, ProblemRequest("ecp", query=query_b)),
+        (spec_c, ProblemRequest("cps")),
+    ]
+
+
+def _serial_oracle(requests):
+    return BatchDriver(serial=True).run(requests)
+
+
+def _by_spec(requests, results, spec):
+    return [r for (s, _), r in zip(requests, results) if s is spec]
+
+
+class TestCrashIsolation:
+    def test_killed_group_fails_alone_with_neighbours_exact(self):
+        requests = _three_group_stream()
+        oracle = _serial_oracle(requests)
+        # one worker, killed on its first group (generation 0 only): the
+        # first group's requests fail, the respawned worker answers the rest
+        plan = FaultPlan.of(
+            Fault("batch.group", "kill", after=0, times=1, generation=0)
+        )
+        with BatchDriver(processes=1, fault_plan=plan) as driver:
+            results = driver.run(requests)
+            respawns = driver._workers.stats()["respawns"]
+        assert respawns == 1
+        # group 0 (the company spec, requests 0-1) died with the worker
+        for result in results[:2]:
+            assert not result.ok
+            assert result.failure is not None
+            assert result.failure.kind == "WorkerCrashed"
+            assert result.failure.retryable
+        # groups 1 and 2 match the serial oracle exactly
+        for result, truth in zip(results[2:], oracle[2:]):
+            assert result.ok
+            assert (result.index, result.problem, result.value) == (
+                truth.index,
+                truth.problem,
+                truth.value,
+            )
+
+    def test_error_string_property_stays_compatible(self):
+        plan = FaultPlan.of(
+            Fault("batch.group", "kill", after=0, times=1, generation=0)
+        )
+        with BatchDriver(processes=1, fault_plan=plan) as driver:
+            results = driver.run(_three_group_stream())
+        failed = [r for r in results if not r.ok]
+        assert failed
+        # .error renders the structured record in the historical repr style
+        assert failed[0].error.startswith("WorkerCrashed(")
+        ok = [r for r in results if r.ok]
+        assert ok and all(r.error is None for r in ok)
+
+    def test_failure_records_survive_pickling(self):
+        import pickle
+
+        plan = FaultPlan.of(
+            Fault("batch.group", "kill", after=0, times=1, generation=0)
+        )
+        with BatchDriver(processes=1, fault_plan=plan) as driver:
+            results = driver.run(_three_group_stream())
+        clone = pickle.loads(pickle.dumps(results))
+        assert [r.ok for r in clone] == [r.ok for r in results]
+        failed = next(r for r in clone if not r.ok)
+        assert failed.failure.kind == "WorkerCrashed"
+
+
+class TestHangsAndPoison:
+    def test_hung_group_is_killed_at_the_group_timeout(self):
+        requests = _three_group_stream()
+        oracle = _serial_oracle(requests)
+        # two workers, each sleeping on the *second* group it executes: the
+        # first two groups complete, the third hangs whichever worker it
+        # lands on and is killed at group_timeout + hang grace
+        plan = FaultPlan.of(
+            Fault("batch.group", "sleep", seconds=30.0, after=1, times=1)
+        )
+        with BatchDriver(processes=2, fault_plan=plan, group_timeout=0.4) as driver:
+            results = driver.run(requests)
+        for result, truth in zip(results[:4], oracle[:4]):
+            assert result.ok, result.error
+            assert result.value == truth.value
+        hung = results[4]
+        assert not hung.ok
+        assert hung.failure.kind == "DeadlineExceeded"
+
+    def test_poisoned_group_result_is_a_structured_failure(self):
+        requests = _three_group_stream()
+        oracle = _serial_oracle(requests)
+        plan = FaultPlan.of(Fault("worker.result", "poison", after=0, times=1))
+        with BatchDriver(processes=1, fault_plan=plan) as driver:
+            results = driver.run(requests)
+        for result in results[:2]:
+            assert not result.ok
+            assert result.failure.exception == "TypeError"
+            assert "unpicklable" in result.failure.message
+        for result, truth in zip(results[2:], oracle[2:]):
+            assert result.ok and result.value == truth.value
+
+    def test_transient_error_is_structured_and_marked_retryable(self):
+        requests = _three_group_stream()
+        plan = FaultPlan.of(
+            Fault("worker.execute", "raise", after=0, times=1,
+                  message="transient blip")
+        )
+        with BatchDriver(processes=1, fault_plan=plan) as driver:
+            results = driver.run(requests)
+        failed = [r for r in results if not r.ok]
+        assert failed
+        assert failed[0].failure.exception == "InjectedFault"
+        assert failed[0].failure.retryable
+        assert failed[0].failure.message == "transient blip"
+
+
+class TestPoolResilience:
+    def test_driver_replaces_an_externally_broken_pool(self):
+        requests = _three_group_stream()
+        oracle = _serial_oracle(requests)
+        with BatchDriver(processes=1) as driver:
+            first = driver.run(requests)
+            broken = driver._workers
+            broken.close()  # simulate the pool dying out from under the driver
+            assert not broken.alive
+            second = driver.run(requests)
+            assert driver._workers is not broken
+        for results in (first, second):
+            for result, truth in zip(results, oracle):
+                assert result.ok
+                assert result.value == truth.value
+
+
+class TestSessionPoolLRU:
+    def _spec(self, seed):
+        return random_specification(SyntheticConfig(seed=seed, with_constraints=False))
+
+    def test_hit_promotes_and_eviction_drops_least_recent(self):
+        pool = _SessionPool(capacity=2)
+        spec_a, spec_b, spec_c = self._spec(1), self._spec(2), self._spec(3)
+        session_a = pool.session_for(spec_a)
+        pool.session_for(spec_b)
+        # touching A promotes it to most-recently-used ...
+        assert pool.session_for(spec_a) is session_a
+        # ... so inserting C evicts B, not A
+        pool.session_for(spec_c)
+        assert pool.evictions == 1
+        assert pool.session_for(spec_a) is session_a
+        # B is cold again: re-asking builds a fresh session (a miss)
+        misses_before = pool.misses
+        pool.session_for(spec_b)
+        assert pool.misses == misses_before + 1
+
+    def test_stats_counters(self):
+        pool = _SessionPool(capacity=2)
+        spec_a, spec_b, spec_c = self._spec(1), self._spec(2), self._spec(3)
+        pool.session_for(spec_a)
+        pool.session_for(spec_a)
+        pool.session_for(spec_b)
+        pool.session_for(spec_c)
+        stats = pool.stats()
+        assert stats == {
+            "hits": 1,
+            "misses": 3,
+            "evictions": 1,
+            "sessions": 2,
+            "capacity": 2,
+        }
