@@ -913,6 +913,36 @@ class PickleSafetyRule(Rule):
                             frontier.append(type_name)
 
 
+# --------------------------------------------------------------------------- #
+# R7 — snapshot safety: everything reachable from SessionSnapshot pickles
+# --------------------------------------------------------------------------- #
+class SnapshotSafetyRule(PickleSafetyRule):
+    """R7: types reachable from :class:`SessionSnapshot` must not declare
+    unpicklable members.
+
+    The snapshot is the warm-state hand-off format (disk cache, worker
+    re-warm, batch shipping): unlike R6's request boundary it *deliberately*
+    carries ``Solver`` — the solver grew ``__getstate__``/``__setstate__``
+    exactly so learnt clauses, activities and phases survive the hop — so
+    ``Solver`` is excused here while every other unpicklable (locks,
+    generators, IO handles, threads) stays fatal.  R6 keeps ``Solver`` banned
+    at *its* roots: a request or result carrying a whole solver is still a
+    design smell, even a picklable one.
+    """
+
+    code = "R7"
+    name = "snapshot-safety"
+    summary = "every member reachable from SessionSnapshot must pickle"
+    rationale = (
+        "SessionSnapshot is pickled to disk, shipped to respawned workers "
+        "and interned by the batch driver; one reachable lock or generator "
+        "breaks restore-instead-of-re-solve everywhere at once"
+    )
+
+    ROOTS = ("SessionSnapshot",)
+    UNPICKLABLE: FrozenSet[str] = PickleSafetyRule.UNPICKLABLE - {"Solver"}
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     CacheDependenciesRule(),
     IdentityComparisonRule(),
@@ -920,6 +950,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     WarmStateRule(),
     IndexInvalidateRule(),
     PickleSafetyRule(),
+    SnapshotSafetyRule(),
 )
 
 

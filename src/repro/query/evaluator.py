@@ -505,6 +505,21 @@ class EvaluationPlan:
             self.skeleton = None
 
     # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Dict[str, Any]:
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        # the memo is keyed by id(node): those ids are meaningless in the
+        # unpickling process (and may collide with live objects there, turning
+        # a Not into a "positive" node) — recompute it on restore instead
+        del state["positive_memo"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        memo: Dict[int, bool] = {}
+        _classify_positive(self.formula, memo)
+        self.positive_memo = memo
+
     def _expand(self, assignment: Assignment) -> Tuple[Any, ...]:
         return tuple(assignment[name] for name in self.head_names)
 

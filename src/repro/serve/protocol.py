@@ -32,6 +32,7 @@ MUTATIONS = (
     "add_order",
     "add_denial",
     "add_tuple",
+    "add_tuples",
     "add_copy_function",
     "add_copy_import",
 )

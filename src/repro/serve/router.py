@@ -19,11 +19,28 @@ specification, committed log)``, and a worker that lost its warm session (a
 respawn, or an LRU eviction) rebuilds it by replaying the log onto the base.
 Mutations are appended to the log only once a worker acknowledged them, so a
 crashed mutation is never silently half-committed.
+
+Snapshot compaction bounds that story: without it the log — and with it the
+per-entry memory and every respawn's replay cost — grows linearly for the
+life of the session.  The service periodically folds the applied prefix into
+a pickled warm-session snapshot (see :mod:`repro.session.snapshot`):
+:meth:`SessionEntry.compact` records the snapshot, **truncates the log to the
+suffix past the watermark**, and advances ``log_base`` — the absolute number
+of mutations the snapshot already reflects.  Requests then ship ``(snapshot,
+log_base, suffix log)`` and a cold worker restores the snapshot and replays
+only the suffix.  The entry invariant: ``log_base + len(log)`` is the total
+number of committed mutations, and ``snapshot`` is present whenever
+``log_base > 0``.
+
+``base_log`` records how many of those mutations were already folded in when
+the entry was *created* — zero normally, the persisted watermark for entries
+resumed from an on-disk snapshot store.  Structural twins may join an entry
+exactly while it has diverged by nothing beyond that blessed base state.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.specification import Specification
 from repro.exceptions import SpecificationError
@@ -31,36 +48,111 @@ from repro.serve.protocol import Mutation
 
 __all__ = ["AffinityRouter", "SessionEntry"]
 
+#: service-provided hook answering "is there a persisted snapshot for this
+#: base specification?" with ``(snapshot bytes, folded mutation count)``
+SnapshotLoader = Callable[[Specification], Optional[Tuple[bytes, int]]]
+
 
 class SessionEntry:
-    """One logical session: base spec, committed mutation log, key."""
+    """One logical session: base spec, snapshot, committed mutation log, key."""
 
-    __slots__ = ("key", "specification", "log", "pending_mutations")
+    __slots__ = (
+        "key",
+        "specification",
+        "log",
+        "pending_mutations",
+        "snapshot",
+        "log_base",
+        "base_log",
+        "compacting",
+    )
 
-    def __init__(self, key: int, specification: Specification) -> None:
+    def __init__(
+        self,
+        key: int,
+        specification: Specification,
+        snapshot: Optional[bytes] = None,
+        log_base: int = 0,
+    ) -> None:
+        if log_base > 0 and snapshot is None:
+            raise SpecificationError(
+                "a session entry with folded mutations needs the snapshot "
+                "that folded them"
+            )
         self.key = key
         self.specification = specification
+        #: committed mutations *past* the snapshot watermark (the suffix a
+        #: worker replays after restoring the snapshot)
         self.log: List[Mutation] = []
         self.pending_mutations = 0
+        #: pickled :class:`~repro.session.snapshot.SessionSnapshot`, or None
+        self.snapshot: Optional[bytes] = snapshot
+        #: how many committed mutations the snapshot already reflects
+        self.log_base = log_base
+        #: the watermark at entry creation (the blessed resume point —
+        #: non-zero only for entries restored from an on-disk store)
+        self.base_log = log_base
+        #: service-side guard: one snapshot probe in flight at a time
+        self.compacting = False
+
+    @property
+    def total_log_length(self) -> int:
+        """Committed mutations over the session's whole life (folded + suffix)."""
+        return self.log_base + len(self.log)
 
     @property
     def mutated(self) -> bool:
-        """Whether this session's state may differ from its base spec."""
-        return bool(self.log) or self.pending_mutations > 0
+        """Whether this session's state may differ from the state a fresh
+        structural twin of its base specification describes — i.e. whether it
+        diverged past the entry's blessed creation state."""
+        return self.total_log_length > self.base_log or self.pending_mutations > 0
+
+    def compact(self, snapshot: bytes, applied: int) -> bool:
+        """Fold the first *applied* committed mutations into *snapshot*.
+
+        Truncates the retained log to the suffix past the watermark and
+        advances ``log_base``; the entry's total committed count is invariant
+        under compaction.  A stale probe — one that reflects no more than the
+        current watermark — is rejected (False) rather than allowed to move
+        the watermark backwards."""
+        if applied > self.total_log_length:
+            raise SpecificationError(
+                f"snapshot claims {applied} applied mutations but only "
+                f"{self.total_log_length} were ever committed"
+            )
+        if applied < self.log_base or (
+            applied == self.log_base and self.snapshot is not None
+        ):
+            return False
+        self.log = self.log[applied - self.log_base :]
+        self.log_base = applied
+        self.snapshot = snapshot
+        return True
 
 
 class AffinityRouter:
-    """Intern specifications to :class:`SessionEntry` instances."""
+    """Intern specifications to :class:`SessionEntry` instances.
 
-    def __init__(self, capacity: int = 64) -> None:
+    *snapshot_loader*, when provided, is probed on every interning miss: a
+    hit creates the fresh entry pre-warmed from the persisted snapshot (its
+    ``base_log`` watermark marks the folded mutations as the entry's blessed
+    base state, so structural twins still join it)."""
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        snapshot_loader: Optional[SnapshotLoader] = None,
+    ) -> None:
         if capacity < 1:
             raise SpecificationError("the router needs capacity >= 1")
         self.capacity = capacity
         self._entries: List[SessionEntry] = []
         self._next_key = 0
+        self._snapshot_loader = snapshot_loader
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.snapshot_resumes = 0
 
     def entry_for(self, specification: Specification) -> SessionEntry:
         """The entry owning *specification* (interned), or a fresh one.
@@ -76,7 +168,14 @@ class AffinityRouter:
                 self.hits += 1
                 return entry
         self.misses += 1
-        entry = SessionEntry(self._next_key, specification)
+        snapshot: Optional[bytes] = None
+        log_base = 0
+        if self._snapshot_loader is not None:
+            loaded = self._snapshot_loader(specification)
+            if loaded is not None:
+                snapshot, log_base = loaded
+                self.snapshot_resumes += 1
+        entry = SessionEntry(self._next_key, specification, snapshot, log_base)
         self._next_key += 1
         if len(self._entries) >= self.capacity:
             self._evict_one()
@@ -100,7 +199,10 @@ class AffinityRouter:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "snapshot_resumes": self.snapshot_resumes,
             "mutated_sessions": sum(1 for e in self._entries if e.mutated),
+            "compacted_sessions": sum(1 for e in self._entries if e.log_base > 0),
+            "retained_log_entries": sum(len(e.log) for e in self._entries),
         }
 
     def entry_by_key(self, key: int) -> Optional[SessionEntry]:

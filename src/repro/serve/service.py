@@ -32,6 +32,7 @@ Request lifecycle
 from __future__ import annotations
 
 import asyncio
+import pickle
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -49,10 +50,16 @@ from typing import (
 from repro.core.specification import Specification
 from repro.exceptions import ErrorRecord, Overloaded, ResourceBudgetExceeded
 from repro.serve.protocol import Answer, Degraded, Mutation
-from repro.serve.router import AffinityRouter
+from repro.serve.router import AffinityRouter, SessionEntry
 from repro.serve.supervisor import WorkerSupervisor, WorkResult
 from repro.session.batch import ProblemRequest, _answer
 from repro.session.session import ReasoningSession
+from repro.session.snapshot import (
+    SnapshotStore,
+    restore_bytes,
+    snapshot_bytes,
+    specification_fingerprint,
+)
 from repro.solvers.budget import Budget, DeadlineLike, budget_scope
 from repro.testing.faults import FaultPlan
 
@@ -63,19 +70,39 @@ ServeItem = Union[ProblemRequest, Mutation]
 
 
 @dataclass(frozen=True)
+class _SnapshotProbe:
+    """Service-internal request: snapshot the lane's warm session.
+
+    Runs FIFO behind every committed mutation of its lane, so the snapshot it
+    returns — ``(absolute applied count, snapshot bytes)`` — reflects exactly
+    the log the service shipped with it."""
+
+    problem: str = "snapshot"
+
+
+@dataclass(frozen=True)
 class _ServeWork:
-    """The picklable unit shipped to a worker for one request."""
+    """The picklable unit shipped to a worker for one request.
+
+    ``log`` holds only the committed mutations *past* ``log_base`` — the
+    suffix a worker replays after restoring ``snapshot`` (the pickled warm
+    session that already reflects the first ``log_base`` mutations)."""
 
     session_key: int
     specification: Specification
     log: Tuple[Mutation, ...]
-    item: ServeItem
+    item: Union[ServeItem, _SnapshotProbe]
     deadline: Optional[float] = None  # absolute time.monotonic()
     session_capacity: int = 8
+    snapshot: Optional[bytes] = None
+    log_base: int = 0
 
 
 class _WorkerSession:
-    """Worker-side warm session plus how much of the log it reflects."""
+    """Worker-side warm session plus how much of the log it reflects.
+
+    ``applied`` counts *absolute* committed mutations (snapshot-folded ones
+    included), matching the service's ``log_base + offset`` arithmetic."""
 
     __slots__ = ("session", "applied")
 
@@ -88,27 +115,40 @@ def _serve_handler(work: _ServeWork, state: Dict[str, Any]) -> Any:
     """Worker-side execution of one :class:`_ServeWork` item.
 
     The session store is an LRU keyed by session key; a missing session (cold
-    worker, respawn, eviction) is rebuilt from the shipped base specification
-    — the pickled copy is private to this process — and the committed log is
-    replayed.  ``applied`` counts log entries reflected in the session; a
-    mutation executed *as a request* bumps it too, anticipating the service's
-    commit, so the next request's longer log replays nothing twice (lanes are
-    FIFO, which makes the counter and the log advance in lockstep).
+    worker, respawn, eviction) is rebuilt by **restoring the shipped
+    snapshot** when there is one — zero re-solving — or from the base
+    specification otherwise (both copies are private to this process), then
+    replaying the shipped log suffix.  ``applied`` counts the committed
+    mutations reflected in the session; a mutation executed *as a request*
+    bumps it too, anticipating the service's commit, so the next request's
+    longer log replays nothing twice (lanes are FIFO, which makes the counter
+    and the log advance in lockstep).
     """
     sessions: "OrderedDict[int, _WorkerSession]" = state.setdefault(
         "sessions", OrderedDict()
     )
     entry = sessions.get(work.session_key)
+    if entry is not None and entry.applied < work.log_base:
+        # warm state older than the shipped watermark (cannot happen under
+        # lane stickiness, but a snapshot restore is strictly cheaper than
+        # debugging a stale replay): rebuild below
+        del sessions[work.session_key]
+        entry = None
     if entry is None:
-        entry = _WorkerSession(ReasoningSession(work.specification), 0)
+        if work.snapshot is not None:
+            entry = _WorkerSession(restore_bytes(work.snapshot), work.log_base)
+        else:
+            entry = _WorkerSession(ReasoningSession(work.specification), 0)
         sessions[work.session_key] = entry
         while len(sessions) > max(1, work.session_capacity):
             sessions.popitem(last=False)
     else:
         sessions.move_to_end(work.session_key)
-    for mutation in work.log[entry.applied :]:
+    for mutation in work.log[entry.applied - work.log_base :]:
         mutation.apply(entry.session)
         entry.applied += 1
+    if isinstance(work.item, _SnapshotProbe):
+        return (entry.applied, snapshot_bytes(entry.session))
     budget = Budget(deadline=work.deadline) if work.deadline is not None else None
     if isinstance(work.item, Mutation):
         with budget_scope(budget):
@@ -163,6 +203,20 @@ class ReasoningService:
     hang_grace_s:
         How far past its deadline a request may run before its worker is
         killed and respawned.
+    compact_log_threshold:
+        Once a session's retained mutation-log suffix reaches this length,
+        the service folds it into a warm-session snapshot (a
+        :class:`_SnapshotProbe` on the same lane) and truncates the log past
+        the watermark — bounding both the per-entry memory and the replay
+        cost of every later respawn.  ``None`` disables compaction.
+    snapshot_dir:
+        Opt-in on-disk snapshot cache.  Every compacted snapshot is also
+        persisted under its base specification's content fingerprint, and a
+        service restarted with the same directory resumes sessions for
+        structurally-equal base specifications from the persisted warm state
+        — **including the mutations folded into it** (durable-session
+        semantics; suffix mutations committed after the last snapshot are
+        not durable).
     """
 
     def __init__(
@@ -177,6 +231,8 @@ class ReasoningService:
         fault_plan: Optional[FaultPlan] = None,
         hang_grace_s: float = 2.0,
         backoff_s: float = 0.05,
+        compact_log_threshold: Optional[int] = 32,
+        snapshot_dir: Optional[str] = None,
     ) -> None:
         self._supervisor = WorkerSupervisor(
             _serve_handler,
@@ -187,9 +243,19 @@ class ReasoningService:
             hang_grace_s=hang_grace_s,
             fault_plan=fault_plan,
         )
-        self._router = AffinityRouter(capacity=session_capacity)
+        self._snapshot_store = (
+            SnapshotStore(snapshot_dir) if snapshot_dir is not None else None
+        )
+        self._router = AffinityRouter(
+            capacity=session_capacity,
+            snapshot_loader=self._load_persisted if self._snapshot_store else None,
+        )
         self._default_deadline = default_deadline
         self._worker_session_capacity = worker_session_capacity
+        if compact_log_threshold is not None and compact_log_threshold < 1:
+            raise ValueError("compact_log_threshold must be >= 1 (or None)")
+        self._compact_log_threshold = compact_log_threshold
+        self.compactions = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -228,14 +294,7 @@ class ReasoningService:
         effective = deadline if deadline is not None else self._default_deadline
         abs_deadline = self._absolute_deadline(effective)
         entry = self._router.entry_for(specification)
-        work = _ServeWork(
-            session_key=entry.key,
-            specification=entry.specification,
-            log=tuple(entry.log),
-            item=item,
-            deadline=abs_deadline,
-            session_capacity=self._worker_session_capacity,
-        )
+        work = self._work_for(entry, item, abs_deadline)
         is_mutation = isinstance(item, Mutation)
         if is_mutation:
             entry.pending_mutations += 1
@@ -251,10 +310,94 @@ class ReasoningService:
             result: WorkResult = await asyncio.wrap_future(future)
             if is_mutation and result.ok and not isinstance(result.value, Degraded):
                 entry.log.append(item)
+                if (
+                    self._compact_log_threshold is not None
+                    and len(entry.log) >= self._compact_log_threshold
+                ):
+                    await self._compact_entry(entry)
             return self._to_answer(problem, result)
         finally:
             if is_mutation:
                 entry.pending_mutations -= 1
+
+    def _work_for(
+        self,
+        entry: SessionEntry,
+        item: Union[ServeItem, _SnapshotProbe],
+        abs_deadline: Optional[float] = None,
+    ) -> _ServeWork:
+        return _ServeWork(
+            session_key=entry.key,
+            specification=entry.specification,
+            log=tuple(entry.log),
+            item=item,
+            deadline=abs_deadline,
+            session_capacity=self._worker_session_capacity,
+            snapshot=entry.snapshot,
+            log_base=entry.log_base,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Snapshot compaction and persistence
+    # ------------------------------------------------------------------ #
+    async def _compact_entry(self, entry: SessionEntry) -> bool:
+        """Fold *entry*'s committed log into a warm snapshot.
+
+        The probe runs FIFO on the entry's own lane, so it observes every
+        mutation committed before it was enqueued; its ``(applied, bytes)``
+        answer truncates the retained log past the watermark (the satellite
+        bound: the log can never again grow without limit).  Failures —
+        overload, a worker crash mid-probe — leave the entry's log intact;
+        compaction is a throughput lever, never a correctness dependency."""
+        if entry.compacting:
+            return False
+        entry.compacting = True
+        try:
+            try:
+                future = self._supervisor.submit(
+                    entry.key, self._work_for(entry, _SnapshotProbe()), retry=False
+                )
+            except Overloaded:
+                return False
+            result: WorkResult = await asyncio.wrap_future(future)
+            if not result.ok or not isinstance(result.value, tuple):
+                return False
+            applied, payload = result.value
+            if not entry.compact(payload, applied):
+                return False
+            self.compactions += 1
+            if self._snapshot_store is not None:
+                self._snapshot_store.store(
+                    specification_fingerprint(entry.specification),
+                    pickle.dumps((entry.log_base, entry.snapshot)),
+                )
+            return True
+        finally:
+            entry.compacting = False
+
+    async def checkpoint(self, specification: Specification) -> bool:
+        """Snapshot *specification*'s session now, regardless of log length
+        (and persist it when a ``snapshot_dir`` is configured) — e.g. before
+        a planned shutdown.  True when a fresh snapshot was recorded."""
+        return await self._compact_entry(self._router.entry_for(specification))
+
+    def _load_persisted(
+        self, specification: Specification
+    ) -> Optional[Tuple[bytes, int]]:
+        """Router miss hook: resume from the on-disk store, if possible."""
+        assert self._snapshot_store is not None
+        payload = self._snapshot_store.load(
+            specification_fingerprint(specification)
+        )
+        if payload is None:
+            return None
+        try:
+            log_base, snapshot = pickle.loads(payload)
+        except Exception:
+            return None
+        if not isinstance(snapshot, bytes) or not isinstance(log_base, int):
+            return None
+        return snapshot, log_base
 
     @staticmethod
     def _to_answer(problem: str, result: WorkResult) -> Answer:
@@ -319,8 +462,12 @@ class ReasoningService:
 
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, Any]:
-        """Router interning and supervisor health counters."""
-        return {
+        """Router interning, supervisor health, and snapshot counters."""
+        stats: Dict[str, Any] = {
             "router": self._router.stats(),
             "supervisor": self._supervisor.stats(),
+            "compactions": self.compactions,
         }
+        if self._snapshot_store is not None:
+            stats["snapshot_store"] = self._snapshot_store.stats()
+        return stats

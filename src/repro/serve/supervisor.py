@@ -44,6 +44,14 @@ killed worker takes only its own channel down.
 
 Every handed-back outcome is a :class:`WorkResult`; the supervisor never
 raises through a future, so callers branch on ``result.ok`` uniformly.
+
+The supervisor itself ships payloads opaquely, but both of its clients
+exploit that opacity for warm-state hand-off: the serving layer and the batch
+driver embed pickled :class:`~repro.session.snapshot.SessionSnapshot` bytes
+in their work items, so a **respawned** worker (this module's whole reason to
+exist) re-warms its lost sessions by restoring a snapshot and replaying only
+the log suffix past its watermark — instead of re-solving from the base
+specification.
 """
 
 from __future__ import annotations

@@ -1,9 +1,17 @@
 """The warm-state session layer: one facade over all eight decision problems
 (CPS, COP, DCIP, CCQA/SP, CPP, ECP, BCP), mutation-aware cache invalidation,
-and a parallel batch driver with per-worker session interning."""
+snapshot/restore hand-off between processes, and a parallel batch driver with
+per-worker session interning."""
 
 from repro.session.batch import PROBLEMS, BatchDriver, BatchResult, ProblemRequest
 from repro.session.session import ReasoningSession
+from repro.session.snapshot import (
+    SessionSnapshot,
+    SnapshotStore,
+    restore_bytes,
+    snapshot_bytes,
+    specification_fingerprint,
+)
 
 __all__ = [
     "ReasoningSession",
@@ -11,4 +19,9 @@ __all__ = [
     "BatchResult",
     "ProblemRequest",
     "PROBLEMS",
+    "SessionSnapshot",
+    "SnapshotStore",
+    "restore_bytes",
+    "snapshot_bytes",
+    "specification_fingerprint",
 ]

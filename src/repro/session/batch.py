@@ -47,6 +47,7 @@ from repro.core.specification import Specification
 from repro.exceptions import ErrorRecord, SpecificationError
 from repro.query.ast import Query, SPQuery
 from repro.session.session import ReasoningSession
+from repro.session.snapshot import restore_bytes, snapshot_bytes
 from repro.testing import faults
 from repro.testing.faults import FaultPlan
 
@@ -153,8 +154,20 @@ class _SessionPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.restores = 0
 
-    def session_for(self, specification: Specification) -> ReasoningSession:
+    def session_for(
+        self, specification: Specification, snapshot: Optional[bytes] = None
+    ) -> ReasoningSession:
+        """The interned warm session for *specification*.
+
+        A miss normally builds a cold session; when *snapshot* carries
+        :func:`~repro.session.snapshot.snapshot_bytes` of a structurally
+        equal specification's warm session (shipped by the driver), the miss
+        **restores** it instead — the pool inherits every cache the donor
+        earned, with zero re-solving.  A snapshot that fails to restore falls
+        back to the cold build: shipping is a throughput lever, never a
+        correctness dependency."""
         for position, (known, session) in enumerate(self._entries):
             # reprolint: allow(R2) — identity fast path in front of the structural check
             if known is specification or known == specification:
@@ -162,7 +175,15 @@ class _SessionPool:
                 self._entries.append(self._entries.pop(position))  # promote
                 return session
         self.misses += 1
-        session = ReasoningSession(specification)
+        session = None
+        if snapshot is not None:
+            try:
+                session = restore_bytes(snapshot)
+                self.restores += 1
+            except Exception:  # corrupt/mismatched payload: rebuild instead
+                session = None
+        if session is None:
+            session = ReasoningSession(specification)
         if len(self._entries) >= self.capacity:
             self._entries.pop(0)  # least recently used
             self.evictions += 1
@@ -175,6 +196,7 @@ class _SessionPool:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "restores": self.restores,
             "sessions": len(self._entries),
             "capacity": self.capacity,
         }
@@ -184,27 +206,47 @@ class _SessionPool:
 # Worker-side machinery (module level so the spawn context can pickle it)
 # ------------------------------------------------------------------ #
 def _run_group_supervised(
-    work: Tuple[Specification, List[Tuple[int, ProblemRequest]], int],
+    work: Tuple[
+        Specification,
+        List[Tuple[int, ProblemRequest]],
+        int,
+        Optional[bytes],
+        bool,
+    ],
     state: Dict[str, Any],
-) -> List[BatchResult]:
+) -> Tuple[List[BatchResult], Optional[bytes]]:
     """Supervised-worker handler for one group; the worker's interned-session
     pool lives in its per-process *state* dict, surviving across groups and
-    across batches (the supervisor keeps workers alive between runs)."""
-    specification, items, capacity = work
+    across batches (the supervisor keeps workers alive between runs).
+
+    *snapshot*, when shipped, warms a pool miss without re-solving; when the
+    driver asks (*want_snapshot* — it has none cached for this spec yet), the
+    group's now-warm session is snapshotted and returned alongside the
+    results, so the driver can warm *other* workers (and post-``close()``
+    successors) with it."""
+    specification, items, capacity, snapshot, want_snapshot = work
     pool = state.get("sessions")
     if not isinstance(pool, _SessionPool) or pool.capacity != capacity:
         pool = _SessionPool(capacity)
         state["sessions"] = pool
-    return _evaluate_group(pool, specification, items)
+    results = _evaluate_group(pool, specification, items, snapshot=snapshot)
+    payload: Optional[bytes] = None
+    if want_snapshot:
+        try:
+            payload = snapshot_bytes(pool.session_for(specification))
+        except Exception:  # an unpicklable oddity must not fail the answers
+            payload = None
+    return results, payload
 
 
 def _evaluate_group(
     pool: _SessionPool,
     specification: Specification,
     items: Sequence[Tuple[int, ProblemRequest]],
+    snapshot: Optional[bytes] = None,
 ) -> List[BatchResult]:
     faults.trip("batch.group")
-    session = pool.session_for(specification)
+    session = pool.session_for(specification, snapshot=snapshot)
     results: List[BatchResult] = []
     for index, request in items:
         try:
@@ -266,6 +308,15 @@ class BatchDriver:
         # handler state for parallel mode (released by close()/``with``)
         self._local_pool = _SessionPool(session_cache_size)
         self._workers: Optional["WorkerSupervisor"] = None
+        # driver-side snapshot cache: pickled warm sessions keyed by
+        # structural spec equality, shipped with every parallel group so a
+        # pool miss (fresh worker, respawn, post-close() supervisor, a group
+        # landing on a different lane) restores instead of re-solving; it
+        # outlives close(), which is what makes a re-opened driver's first
+        # parallel batch warm
+        self._snapshots: List[Tuple[Specification, bytes]] = []
+        self.snapshots_shipped = 0
+        self.snapshots_captured = 0
 
     def _worker_pool(self) -> "WorkerSupervisor":
         from repro.serve.supervisor import WorkerSupervisor
@@ -333,6 +384,38 @@ class BatchDriver:
         assert all(result is not None for result in ordered)
         return ordered  # type: ignore[return-value]
 
+    # ------------------------------------------------------------------ #
+    # Snapshot cache (parallel mode)
+    # ------------------------------------------------------------------ #
+    def _snapshot_for(self, specification: Specification) -> Optional[bytes]:
+        """The cached warm-session snapshot for *specification*, if any.
+
+        Falls back to snapshotting a structurally-equal warm session from the
+        serial pool — a driver warmed serially hands its parallel workers the
+        earned caches instead of making each re-solve from scratch."""
+        for position, (known, payload) in enumerate(self._snapshots):
+            # reprolint: allow(R2) — identity fast path in front of the structural check
+            if known is specification or known == specification:
+                self._snapshots.append(self._snapshots.pop(position))  # promote
+                return payload
+        for known, session in self._local_pool._entries:
+            # reprolint: allow(R2) — identity fast path in front of the structural check
+            if known is specification or known == specification:
+                payload = snapshot_bytes(session)
+                self._cache_snapshot(specification, payload)
+                return payload
+        return None
+
+    def _cache_snapshot(self, specification: Specification, payload: bytes) -> None:
+        for position, (known, _) in enumerate(self._snapshots):
+            # reprolint: allow(R2) — identity fast path in front of the structural check
+            if known is specification or known == specification:
+                self._snapshots[position] = (specification, payload)
+                return
+        if len(self._snapshots) >= self.session_cache_size:
+            self._snapshots.pop(0)  # least recently used
+        self._snapshots.append((specification, payload))
+
     def _run_supervised(
         self, groups: Sequence[Tuple[Specification, List[Tuple[int, ProblemRequest]]]]
     ) -> List[BatchResult]:
@@ -345,19 +428,33 @@ class BatchDriver:
             if self.group_timeout is not None
             else None
         )
-        futures = [
-            supervisor.submit(
-                lane,
-                (specification, items, self.session_cache_size),
-                deadline=deadline,
+        futures = []
+        for lane, (specification, items) in enumerate(groups):
+            payload = self._snapshot_for(specification)
+            if payload is not None:
+                self.snapshots_shipped += 1
+            futures.append(
+                supervisor.submit(
+                    lane,
+                    (
+                        specification,
+                        items,
+                        self.session_cache_size,
+                        payload,
+                        payload is None,  # ask for one back when we have none
+                    ),
+                    deadline=deadline,
+                )
             )
-            for lane, (specification, items) in enumerate(groups)
-        ]
         answered: List[BatchResult] = []
-        for (_specification, items), future in zip(groups, futures):
+        for (specification, items), future in zip(groups, futures):
             outcome = future.result()
             if outcome.ok:
-                answered.extend(outcome.value)
+                results, payload = outcome.value
+                answered.extend(results)
+                if payload is not None:
+                    self.snapshots_captured += 1
+                    self._cache_snapshot(specification, payload)
             else:
                 answered.extend(
                     BatchResult(

@@ -106,6 +106,7 @@ from repro.query.engine import QueryEngine
 from repro.reasoning.chase import ChaseResult, chase_certain_orders
 from repro.reasoning.current_db import CurrentDatabaseEnumerator
 from repro.reasoning.sp import sp_certain_answers
+from repro.session.snapshot import SessionSnapshot
 from repro.solvers.budget import Budget, DeadlineLike, budget_scope
 from repro.solvers.order_encoding import CompletionEncoder
 
@@ -301,6 +302,7 @@ class ReasoningSession:
             "add_order": "rebuild",
             "add_denial": "keep",
             "add_tuple": "rebuild",
+            "add_tuples": "rebuild",
             "add_copy_function": "rebuild",
             "add_copy_import": "rebuild",
         },
@@ -308,6 +310,7 @@ class ReasoningSession:
             "add_order": "extend",
             "add_denial": "extend",
             "add_tuple": "extend-or-rebuild",
+            "add_tuples": "extend-or-rebuild",
             "add_copy_function": "extend",
             "add_copy_import": "extend-or-rebuild",
         },
@@ -315,6 +318,7 @@ class ReasoningSession:
             "add_order": "extend",
             "add_denial": "extend",
             "add_tuple": "rebuild",
+            "add_tuples": "rebuild",
             "add_copy_function": "rebuild",
             "add_copy_import": "rebuild",
         },
@@ -322,6 +326,7 @@ class ReasoningSession:
             "add_order": "keep",
             "add_denial": "keep",
             "add_tuple": "rebuild",
+            "add_tuples": "rebuild",
             "add_copy_function": "keep",
             "add_copy_import": "rebuild",
         },
@@ -329,6 +334,7 @@ class ReasoningSession:
             "add_order": "keep",
             "add_denial": "keep",
             "add_tuple": "keep",
+            "add_tuples": "keep",
             "add_copy_function": "keep",
             "add_copy_import": "keep",
         },
@@ -336,6 +342,7 @@ class ReasoningSession:
             "add_order": "clear",
             "add_denial": "clear",
             "add_tuple": "clear",
+            "add_tuples": "clear",
             "add_copy_function": "clear",
             "add_copy_import": "clear",
         },
@@ -1225,16 +1232,87 @@ class ReasoningSession:
         it already carries maximality clauses, in which case it is rebuilt
         (the property harness asserts both routes answer identically)."""
         instance = self.specification.instance(instance_name)
-        tup = (
-            tid
-            if isinstance(tid, RelationTuple)
-            else RelationTuple(instance.schema, tid, dict(values or {}))
-        )
+        tup = self._coerce_tuple(instance, tid, values)
         instance.add(tup)
         self._chase = None
         self._space = None
         self._enumerators.clear()
         self._drop_or_extend_encoder_for_tuple(instance_name, tup.tid)
+        self._clear_answer_state()
+
+    @staticmethod
+    def _coerce_tuple(
+        instance: TemporalInstance,
+        tid: Union[Hashable, RelationTuple],
+        values: Optional[Mapping[str, Any]],
+    ) -> RelationTuple:
+        """*tid* + *values* as a validated :class:`RelationTuple` of
+        *instance*.
+
+        A pre-built tuple passed together with *values* is a contradictory
+        call (the values would be silently dropped), and one built against a
+        different schema — the instance layer only compares schema *names* —
+        would be chased as-is; both are rejected here."""
+        if isinstance(tid, RelationTuple):
+            if values is not None:
+                raise ValueError(
+                    "add_tuple() received both a pre-built RelationTuple and "
+                    "a values mapping; the tuple already carries its values — "
+                    "pass one or the other"
+                )
+            if tid.schema != instance.schema:
+                raise SpecificationError(
+                    f"tuple {tid.tid!r} was built against a different schema "
+                    f"than instance {instance.schema.name!r} declares"
+                )
+            return tid
+        return RelationTuple(instance.schema, tid, dict(values or {}))
+
+    def add_tuples(
+        self,
+        instance_name: str,
+        tuples: Iterable[Union[RelationTuple, Tuple[Hashable, Mapping[str, Any]]]],
+    ) -> None:
+        """Add a batch of tuples (each a :class:`RelationTuple` or a
+        ``(tid, values)`` pair) to the named instance.
+
+        Equivalent to one :meth:`add_tuple` per element but pays the
+        invalidation once: a single encoder delta pass (the denial groundings
+        and copy implications the batch admits are enumerated once, not once
+        per tuple — see
+        :meth:`~repro.solvers.order_encoding.CompletionEncoder.add_tuples_incremental`)
+        and a single answer-state clear.  The whole batch is validated before
+        the first tuple lands, so a bad element mutates nothing."""
+        instance = self.specification.instance(instance_name)
+        batch: List[RelationTuple] = []
+        for item in tuples:
+            if isinstance(item, RelationTuple):
+                batch.append(self._coerce_tuple(instance, item, None))
+            else:
+                tid, values = item
+                batch.append(self._coerce_tuple(instance, tid, dict(values or {})))
+        seen_tids = set(instance.tids())
+        for tup in batch:
+            if tup.tid in seen_tids:
+                raise SpecificationError(
+                    f"duplicate tuple id {tup.tid!r} in add_tuples() batch for "
+                    f"instance {instance_name!r}"
+                )
+            seen_tids.add(tup.tid)
+        if not batch:
+            return
+        for tup in batch:
+            instance.add(tup)
+        self._chase = None
+        self._space = None
+        self._enumerators.clear()
+        if self._encoder is not None:
+            if self._encoder.maximality_encoded:
+                self._encoder = None
+            else:
+                self._encoder.add_tuples_incremental(
+                    instance_name, [tup.tid for tup in batch]
+                )
         self._clear_answer_state()
 
     def add_copy_function(self, copy_function: CopyFunction) -> None:
@@ -1303,6 +1381,79 @@ class ReasoningSession:
         self._enumerators.clear()
         self._drop_or_extend_encoder_for_tuple(copy_function.target, new_tid)
         self._clear_answer_state()
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore (warm-state hand-off)
+    # ------------------------------------------------------------------ #
+    def snapshot(self, detach: bool = True) -> SessionSnapshot:
+        """Freeze this session's warm state as a picklable
+        :class:`~repro.session.snapshot.SessionSnapshot`.
+
+        Captures the live specification, the chase fixpoint, the encoder and
+        search space with their warm CDCL solvers, the decoded
+        current-database lists and memoised harvests, compiled query engines,
+        and the answer/verdict memos — everything another process needs to
+        answer with zero re-solving.  With *detach* (the default) the
+        snapshot shares nothing with this session, so later mutations here
+        cannot corrupt it; ``detach=False`` skips the defensive copy for
+        callers that serialise the snapshot immediately
+        (:func:`~repro.session.snapshot.snapshot_bytes`)."""
+        id_to_query: Dict[int, AnyQuery] = {id(q): q for q in self._pinned_queries}
+        for engine in self._engines.values():
+            id_to_query.setdefault(id(engine.source), engine.source)
+        answers = tuple(
+            (id_to_query[query_id], method, answer)
+            for (query_id, method), answer in self._answer_memo.items()
+            if query_id in id_to_query
+        )
+        snapshot = SessionSnapshot(
+            specification=self.specification,
+            match_entities_by_eid=self.match_entities_by_eid,
+            mutations=self.mutations,
+            chase=self._chase,
+            encoder=self._encoder,
+            space=self._space,
+            database_cache=self._database_cache,
+            enumerators=tuple(
+                (tuple(sorted(key)), enumerator)
+                for key, enumerator in self._enumerators.items()
+            ),
+            engines=tuple(self._engines.values()),
+            answers=answers,
+            verdicts=dict(self._verdict_memo),
+            pinned_queries=tuple(self._pinned_queries),
+        )
+        return snapshot.detach() if detach else snapshot
+
+    @classmethod
+    def restore(cls, snapshot: SessionSnapshot, copy: bool = True) -> "ReasoningSession":
+        """A warm session resumed from *snapshot* — no chase, no re-encode,
+        no re-solving; every memoised answer the donor had earned is hot.
+
+        With *copy* (the default) the snapshot survives intact and can be
+        restored again; ``copy=False`` moves its state into the session (the
+        fast path for snapshots that just crossed a process boundary and have
+        no other owner).  Id-keyed caches (engines, answer memo) are re-keyed
+        against the restored query objects."""
+        if copy:
+            snapshot = snapshot.detach()
+        session = cls(snapshot.specification, snapshot.match_entities_by_eid)
+        session._chase = snapshot.chase
+        session._encoder = snapshot.encoder
+        if snapshot.space is not None:
+            session.adopt_space(snapshot.space)
+        session._database_cache = snapshot.database_cache
+        session._enumerators = {
+            frozenset(names): enumerator for names, enumerator in snapshot.enumerators
+        }
+        session._engines = {id(engine.source): engine for engine in snapshot.engines}
+        session._pinned_queries = list(snapshot.pinned_queries)
+        session._answer_memo = {
+            (id(query), method): answer for query, method, answer in snapshot.answers
+        }
+        session._verdict_memo = dict(snapshot.verdicts)
+        session.mutations = snapshot.mutations
+        return session
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -22,7 +22,7 @@ A model decodes back into a full consistent completion.
 from __future__ import annotations
 
 from itertools import combinations, permutations
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import AbstractSet, Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.copy_function import CopyFunction
 from repro.core.denial import DenialConstraint
@@ -132,15 +132,20 @@ class CompletionEncoder:
         name: str,
         constraint: DenialConstraint,
         only_tid: Optional[Hashable] = None,
+        only_tids: Optional[AbstractSet[Hashable]] = None,
     ) -> None:
         """Ground one denial constraint into implications.
 
-        *only_tid*, when given, restricts to groundings whose support involves
-        that tuple id — the additive delta after a tuple was added.
+        *only_tid* (or the set *only_tids*), when given, restricts to
+        groundings whose support involves those tuple ids — the additive
+        delta after tuples were added.  The set form grounds each qualifying
+        implication once, where tuple-at-a-time deltas would re-emit a
+        grounding touching several new tuples once per tuple.
         """
+        restriction = {only_tid} if only_tid is not None else only_tids
         instance = self.specification.instance(name)
         for implication, support in constraint.grounded_implications_with_support(instance):
-            if only_tid is not None and only_tid not in support:
+            if restriction is not None and restriction.isdisjoint(support):
                 continue
             premises: List[Tuple[PairVariable, bool]] = []
             vacuous = False
@@ -169,20 +174,25 @@ class CompletionEncoder:
             self._encode_copy_function(copy_function)
 
     def _encode_copy_function(
-        self, copy_function: CopyFunction, only_tid: Optional[Hashable] = None
+        self,
+        copy_function: CopyFunction,
+        only_tid: Optional[Hashable] = None,
+        only_tids: Optional[AbstractSet[Hashable]] = None,
     ) -> None:
         """≺-compatibility implications of one copy function.
 
-        *only_tid*, when given, restricts to implications involving that tuple
-        id (in the source or target role) — the additive delta after a mapped
-        tuple was added or a mapping pair extended.
+        *only_tid* (or the set *only_tids*), when given, restricts to
+        implications involving those tuple ids (in the source or target role)
+        — the additive delta after mapped tuples were added or mapping pairs
+        extended.
         """
+        restriction = {only_tid} if only_tid is not None else only_tids
         target = self.specification.instance(copy_function.target)
         source = self.specification.instance(copy_function.source)
         for (src_attr, s1, s2), (tgt_attr, t1, t2) in copy_function.compatibility_implications(
             target, source
         ):
-            if only_tid is not None and only_tid not in (s1, s2, t1, t2):
+            if restriction is not None and restriction.isdisjoint((s1, s2, t1, t2)):
                 continue
             if not self._same_entity(source, s1, s2):
                 continue
@@ -283,16 +293,59 @@ class CompletionEncoder:
         a grown block, so such encoders must be rebuilt instead — asserted
         here rather than silently producing a wrong encoding.
         """
+        self.add_tuples_incremental(instance_name, (tid,))
+
+    def add_tuples_incremental(
+        self, instance_name: str, tids: Sequence[Hashable]
+    ) -> None:
+        """Extend the encoding after a *batch* of tuples was added to the
+        named instance — one delta pass instead of N.
+
+        Per-tuple well-formedness deltas replay the tuple-at-a-time order (a
+        later tuple's pair variables against an earlier one are minted exactly
+        once), but the denial groundings and copy implications the batch
+        admits are enumerated in a **single** pass over the specification,
+        restricted to groundings touching any new tuple — the dominant cost
+        of the tuple mutation path, previously paid once per tuple.
+        """
         if self.maximality_encoded:
             raise SolverError(
-                "add_tuple_incremental() on an encoder with maximality clauses; "
-                "the enumerator's reverse clauses would be too strong for the "
-                "grown block — rebuild the encoder instead"
+                "add_tuple(s)_incremental() on an encoder with maximality "
+                "clauses; the enumerator's reverse clauses would be too "
+                "strong for the grown block — rebuild the encoder instead"
             )
         instance = self.specification.instance(instance_name)
-        new = instance.tuple_by_tid(tid)
-        block = instance.entity_tids(new.eid)
-        others = [other for other in block if other != tid]
+        new_set = set(tids)
+        processed: Set[Hashable] = set()
+        for tid in tids:
+            if tid in processed:
+                continue
+            new = instance.tuple_by_tid(tid)
+            block = instance.entity_tids(new.eid)
+            # replay the sequential order: pairs against a batch-mate are
+            # minted by whichever of the two comes later in the batch
+            others = [
+                other
+                for other in block
+                if other != tid and (other not in new_set or other in processed)
+            ]
+            self._add_tuple_block_delta(instance_name, instance, tid, others)
+            processed.add(tid)
+        for constraint in self.specification.constraints_for(instance_name):
+            self._encode_denial_constraint(instance_name, constraint, only_tids=new_set)
+        for copy_function in self.specification.copy_functions:
+            if instance_name in (copy_function.source, copy_function.target):
+                self._encode_copy_function(copy_function, only_tids=new_set)
+
+    def _add_tuple_block_delta(
+        self,
+        instance_name: str,
+        instance: TemporalInstance,
+        tid: Hashable,
+        others: Sequence[Hashable],
+    ) -> None:
+        """Pair variables, antisymmetry/totality and transitivity triples for
+        one new tuple against the *others* already in its entity block."""
         for attribute in instance.schema.attributes:
             domain = self._pair_domain.setdefault((instance_name, attribute), [])
             for other in others:
@@ -316,11 +369,6 @@ class CompletionEncoder:
                             ],
                             (self.pair_name(instance_name, attribute, triple[0], triple[2]), True),
                         )
-        for constraint in self.specification.constraints_for(instance_name):
-            self._encode_denial_constraint(instance_name, constraint, only_tid=tid)
-        for copy_function in self.specification.copy_functions:
-            if instance_name in (copy_function.source, copy_function.target):
-                self._encode_copy_function(copy_function, only_tid=tid)
 
     # ------------------------------------------------------------------ #
     # Solving and decoding

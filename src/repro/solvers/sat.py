@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from collections import Counter
 from heapq import heapify, heappop, heappush
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SolverError
 from repro.solvers.budget import Budget, current_budget
@@ -134,6 +134,43 @@ class Solver:
             "max_backjump": 0,
         }
         self.ensure_vars(num_variables)
+
+    # ------------------------------------------------------------------ #
+    # Pickling
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Dict[str, Any]:
+        """Everything but the watch lists (rebuilt on restore).
+
+        A solver at rest — between ``solve`` calls — has backtracked to the
+        root level, so the trail holds only root-level facts and
+        ``_qhead == len(_trail)``: no propagation is in flight, which is what
+        makes dropping the watchers safe.  Clause *identity* still matters
+        (``_reasons`` may reference the clause that propagated a root-level
+        fact, and learnt-DB reduction keeps such locked clauses alive), so
+        clauses are pickled as shared objects, not flattened to literal
+        lists.  Deleted learnts are dropped here instead of waiting for the
+        next ``_reduce_learnts`` pass.
+        """
+        if self._trail_lim:
+            self._cancel_until(0)
+        state = dict(self.__dict__)
+        del state["_watches"]
+        state["_learnts"] = [c for c in self._learnts if not c.deleted]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        watches: Dict[int, List[_Clause]] = {}
+        for variable in range(1, len(self._values)):
+            watches[variable] = []
+            watches[-variable] = []
+        for clause in self._clauses:
+            watches[clause.lits[0]].append(clause)
+            watches[clause.lits[1]].append(clause)
+        for clause in self._learnts:
+            watches[clause.lits[0]].append(clause)
+            watches[clause.lits[1]].append(clause)
+        self._watches = watches
 
     # ------------------------------------------------------------------ #
     # Variables and clauses

@@ -1,0 +1,15 @@
+"""R7 violation: an unpicklable member reachable (transitively) from the
+snapshot root."""
+
+from threading import Lock
+from typing import Generator
+
+
+class EncoderState:
+    lock: Lock
+
+
+class SessionSnapshot:
+    mutations: int
+    encoder: EncoderState
+    stream: Generator

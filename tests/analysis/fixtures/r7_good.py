@@ -1,0 +1,19 @@
+"""R7 clean: everything reachable from the snapshot root pickles — including
+a Solver, which the snapshot deliberately carries (R7's one exemption over
+R6's unpicklable set)."""
+
+from typing import Optional, Tuple
+
+
+class Solver:
+    clauses: Tuple[Tuple[int, ...], ...]
+
+
+class EncoderState:
+    solver: Solver
+
+
+class SessionSnapshot:
+    mutations: int
+    encoder: EncoderState
+    note: Optional[str]

@@ -38,7 +38,7 @@ def codes(report):
 # --------------------------------------------------------------------------- #
 # per-rule fixtures: fires on bad, quiet on good, quiet when disabled
 # --------------------------------------------------------------------------- #
-RULE_CODES = ["R1", "R2", "R3", "R4", "R5", "R6"]
+RULE_CODES = ["R1", "R2", "R3", "R4", "R5", "R6", "R7"]
 
 
 @pytest.mark.parametrize("code", RULE_CODES)
@@ -101,6 +101,16 @@ def test_r6_reaches_transitively_through_member_types():
     messages = [f.message for f in report.unsuppressed if f.rule == "R6"]
     assert any("'lock'" in message and "'Payload'" in message for message in messages)
     assert any("'stream'" in message for message in messages)
+
+
+def test_r7_excuses_solver_but_not_other_unpicklables():
+    report = lint(FIXTURES / "r7_bad.py")
+    messages = [f.message for f in report.unsuppressed if f.rule == "R7"]
+    assert any("'lock'" in message and "'EncoderState'" in message for message in messages)
+    assert any("'stream'" in message for message in messages)
+    # the good fixture routes a Solver through the snapshot: R7's exemption
+    clean = lint(FIXTURES / "r7_good.py")
+    assert not clean.findings, [f.render() for f in clean.findings]
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,166 @@
+"""Property sweep: snapshot → pickle → restore → ask equals rebuild → ask.
+
+For ≥200 seeded random specifications a warm session is snapshotted **mid
+mutation stream** (after some mutations, before others), the snapshot crosses
+a real pickle boundary, and the restored session must answer every decision
+problem exactly like an independently rebuilt specification — both right
+after the restore and after the *remaining* mutations are applied to the
+restored session (the restored warm state must stay correctly incremental,
+not just correctly frozen).  A handful of seeds additionally restore in a
+spawned subprocess, the serving layer's actual hop.
+
+Reuses the mutation/check helpers of :mod:`test_session_mutation`, so the two
+sweeps stay in lockstep about what "equivalent" means.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro.session import ReasoningSession, SessionSnapshot, restore_bytes, snapshot_bytes
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    preservation_workload,
+    random_specification,
+    random_sp_query,
+)
+
+from test_session_mutation import (
+    _apply_to_session,
+    _apply_to_spec,
+    _check_base_problems,
+    _check_preservation_problems,
+    _mutations,
+)
+
+#: seeds per tier-1 sweep section; ≥200 overall per the acceptance criterion
+BASE_SEEDS = 140
+PRESERVATION_SEEDS = 60
+
+
+def _roundtrip(session):
+    """Snapshot, cross a real pickle boundary, restore."""
+    payload = snapshot_bytes(session)
+    assert isinstance(payload, bytes)
+    restored = restore_bytes(payload)
+    assert isinstance(session.snapshot(), SessionSnapshot)  # detached capture too
+    return restored
+
+
+def _run_base_seed(seed):
+    rng = random.Random(seed * 6151)
+    config = SyntheticConfig(
+        entities=2,
+        tuples_per_entity=2,
+        attributes=2,
+        order_density=0.4,
+        value_domain=3,
+        with_constraints=bool(seed % 2),
+        relations=1 + (seed % 2),
+        with_copy_functions=seed % 4 >= 2,
+        seed=seed,
+    )
+    spec = random_specification(config)
+    rebuilt = random_specification(config)
+    query = random_sp_query(spec, seed=seed)
+    session = ReasoningSession(spec)
+    # warm the substrate so the snapshot has real caches to carry
+    _check_base_problems(seed, session, rebuilt, query)
+    kinds = [("order", "tuple"), ("denial", "order"), ("tuple", "denial")][seed % 3]
+    mutations = _mutations(spec, rng, kinds, tag=f"snap{seed}")
+    split = len(mutations) // 2 if mutations else 0
+    for kind, payload in mutations[:split]:
+        _apply_to_session(session, kind, payload)
+        rebuilt = _apply_to_spec(rebuilt, kind, payload)
+    # mid-stream snapshot: some mutations folded in, some still to come
+    restored = _roundtrip(session)
+    _check_base_problems(seed, restored, rebuilt, query)
+    for kind, payload in mutations[split:]:
+        _apply_to_session(restored, kind, payload)
+        rebuilt = _apply_to_spec(rebuilt, kind, payload)
+        _check_base_problems(seed, restored, rebuilt, query)
+    # the donor was not perturbed by the snapshot: it still answers for the
+    # pre-snapshot state it last saw
+    assert session.mutations == restored.mutations - len(mutations[split:])
+
+
+def _run_preservation_seed(seed):
+    rng = random.Random(seed * 9973)
+    spec, query = preservation_workload(
+        candidates=2, conflict_groups=1 + seed % 2, entities=1,
+        spoiler=bool(seed % 2), seed=seed,
+    )
+    rebuilt, _ = preservation_workload(
+        candidates=2, conflict_groups=1 + seed % 2, entities=1,
+        spoiler=bool(seed % 2), seed=seed,
+    )
+    session = ReasoningSession(spec)
+    _check_preservation_problems(seed, session, rebuilt, query)
+    restored = _roundtrip(session)
+    _check_preservation_problems(seed, restored, rebuilt, query)
+    kinds = [("import", "order"), ("denial",), ("order", "import")][seed % 3]
+    for kind, payload in _mutations(spec, rng, kinds, tag=f"snapp{seed}"):
+        # apply to the plain spec first: `spec` is aliased by the *donor*
+        # session, whose `_mutations` picks need the un-mutated view
+        _apply_to_session(restored, kind, payload)
+        rebuilt = _apply_to_spec(rebuilt, kind, payload)
+    _check_preservation_problems(seed, restored, rebuilt, query)
+
+
+# --------------------------------------------------------------------------- #
+# Tier-1 sweeps (≥200 seeds overall)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(BASE_SEEDS))
+def test_snapshot_restore_equals_rebuild_base_problems(seed):
+    _run_base_seed(seed)
+
+
+@pytest.mark.parametrize("seed", range(PRESERVATION_SEEDS))
+def test_snapshot_restore_equals_rebuild_preservation_problems(seed):
+    _run_preservation_seed(seed)
+
+
+# --------------------------------------------------------------------------- #
+# Restore in a spawned subprocess (the serving layer's real hop)
+# --------------------------------------------------------------------------- #
+def _subprocess_check(payload, queue):
+    session = restore_bytes(payload)
+    queue.put((session.consistent(), session.deterministic(), session.mutations))
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_snapshot_restores_in_a_subprocess(seed):
+    config = SyntheticConfig(
+        entities=2, tuples_per_entity=2, attributes=2, order_density=0.4,
+        value_domain=3, with_constraints=True, seed=seed,
+    )
+    session = ReasoningSession(random_specification(config))
+    expected = (session.consistent(), session.deterministic(), session.mutations)
+    context = multiprocessing.get_context("spawn")
+    queue = context.Queue()
+    process = context.Process(
+        target=_subprocess_check, args=(snapshot_bytes(session), queue)
+    )
+    process.start()
+    try:
+        assert queue.get(timeout=60) == expected
+    finally:
+        process.join(timeout=10)
+
+
+# --------------------------------------------------------------------------- #
+# Extended sweeps (excluded from tier-1 via the `slow` marker)
+# --------------------------------------------------------------------------- #
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(2000, 2150))
+def test_snapshot_restore_equals_rebuild_base_problems_slow(seed):
+    _run_base_seed(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(2000, 2080))
+def test_snapshot_restore_equals_rebuild_preservation_problems_slow(seed):
+    _run_preservation_seed(seed)

@@ -194,4 +194,5 @@ class TestSessionPoolLRU:
             "evictions": 1,
             "sessions": 2,
             "capacity": 2,
+            "restores": 0,
         }
