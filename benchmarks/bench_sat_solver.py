@@ -35,6 +35,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.reasoning.current_db import CurrentDatabaseEnumerator
+from repro.solvers.backend import available_backends, create_solver
 from repro.solvers.cnf import CNF
 from repro.solvers.sat import Solver, iterate_models, solve_naive
 from repro.workloads import company
@@ -193,10 +194,50 @@ def run(smoke: bool, output: str) -> dict:
     total_naive += naive_s
     total_cdcl += cdcl_s
 
+    # ------------------------------------------------------------------ #
+    # backend matrix: every registered engine over the same three
+    # workloads, differentially checked against the reference run above
+    # ------------------------------------------------------------------ #
+    matrix = []
+    reference_count = cdcl_count
+    for name in available_backends():
+        def backend_solve(formula_clauses, num_variables):
+            engine = create_solver(name, num_variables)
+            for clause in formula_clauses:
+                engine.add_clause(clause)
+            return engine.solve()
+
+        random_s, random_model = _timed(backend_solve, clauses, num_vars)
+        if (random_model is not None) != results[0]["satisfiable"]:
+            raise AssertionError(f"backend {name!r} diverges on random_3cnf")
+        php_s, php_model = _timed(backend_solve, php.clauses, php.num_variables)
+        if php_model is not None:
+            raise AssertionError(f"backend {name!r} finds a pigeonhole model")
+        enum_s, enum_count = _timed(
+            lambda: sum(
+                1 for _ in iterate_models(cnf, project_onto=projection, backend=name)
+            )
+        )
+        if enum_count != reference_count:
+            raise AssertionError(
+                f"backend {name!r} enumeration diverges: "
+                f"{enum_count} != {reference_count}"
+            )
+        matrix.append(
+            {
+                "backend": name,
+                "random_3cnf_s": round(random_s, 6),
+                "pigeonhole_s": round(php_s, 6),
+                "enumeration_s": round(enum_s, 6),
+                "total_s": round(random_s + php_s + enum_s, 6),
+            }
+        )
+
     report = {
         "benchmark": "sat_solver",
         "smoke": smoke,
         "results": results,
+        "backend_matrix": matrix,
         "total_naive_s": round(total_naive, 6),
         "total_cdcl_s": round(total_cdcl, 6),
         "overall_speedup": round(total_naive / total_cdcl, 2) if total_cdcl > 0 else None,

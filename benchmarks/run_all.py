@@ -146,6 +146,19 @@ def extract_headline(report: dict) -> dict:
     }
 
 
+def _active_backend() -> str:
+    """The solver backend the benchmarks ran on — the process default
+    (``$REPRO_SOLVER_BACKEND`` or the reference engine), recorded per
+    history entry so trajectory numbers are never compared across engines."""
+    try:
+        sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+        from repro.solvers.backend import default_backend
+
+        return default_backend()
+    except Exception:
+        return os.environ.get("REPRO_SOLVER_BACKEND") or "reference"
+
+
 def _current_label() -> str:
     try:
         out = subprocess.run(
@@ -162,7 +175,7 @@ def _current_label() -> str:
 def append_history(result_dir: str, label: str) -> dict:
     """Append one trajectory entry — the headline metrics of every
     BENCH_*.json in *result_dir* — to the committed history file."""
-    entry = {"label": label, "benchmarks": {}}
+    entry = {"label": label, "backend": _active_backend(), "benchmarks": {}}
     for name in sorted(os.listdir(result_dir)):
         if not (name.startswith("BENCH_") and name.endswith(".json")):
             continue
@@ -195,7 +208,11 @@ def render_history() -> int:
     if not history:
         print("[history] empty history")
         return 1
-    labels = [entry.get("label", "?") for entry in history]
+    labels = [
+        entry.get("label", "?")
+        + ("@" + backend if (backend := entry.get("backend", "reference")) != "reference" else "")
+        for entry in history
+    ]
     rows = []  # (benchmark, metric) in first-appearance order
     for entry in history:
         for benchmark, metrics in entry.get("benchmarks", {}).items():

@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-currency",
-    version="0.6.0",
+    version="0.7.0",
     description=(
         "Reproduction of Fan-Geerts-Wijsen 'Determining the Currency of "
         "Data': the eight decision problems over a warm incremental-SAT "
@@ -19,12 +19,16 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     # the library itself is dependency-free (stdlib only); the dev extra
-    # adds the test runner and the strict-typing gate used by CI
+    # adds the test runner and the strict-typing gate used by CI, and the
+    # pysat extra enables the optional Glucose-backed solver backend
     install_requires=[],
     extras_require={
         "dev": [
             "pytest",
             "mypy",
+        ],
+        "pysat": [
+            "python-sat",
         ],
     },
     entry_points={

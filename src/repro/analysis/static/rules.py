@@ -1,4 +1,4 @@
-"""The project-specific rules (R1–R6).
+"""The project-specific rules (R1–R8).
 
 Each rule encodes one hard-won invariant of the warm-state reasoning stack —
 see the class docstrings for the historical bug each one would have caught.
@@ -559,8 +559,12 @@ class WarmStateRule(Rule):
     )
 
     HOT_PREFIXES = ("repro.session", "repro.reasoning", "repro.preservation")
+    #: ``create_solver`` is the backend factory (PR 9): constructing through
+    #: it is *correct* everywhere (R8 insists on it), but in a hot layer a
+    #: fresh engine still discards warm state, so it needs the same blessing
+    #: pragma as a direct construction did.
     FRESH_TYPES: FrozenSet[str] = frozenset(
-        {"Solver", "CompletionEncoder", "ExtensionSearchSpace"}
+        {"Solver", "CompletionEncoder", "ExtensionSearchSpace", "create_solver"}
     )
 
     def _applies(self, context: ModuleContext) -> bool:
@@ -808,6 +812,8 @@ class PickleSafetyRule(Rule):
             "BufferedReader",
             "BufferedWriter",
             "Solver",
+            "SolverBackend",
+            "PySATBackend",
         }
     )
 
@@ -928,6 +934,12 @@ class SnapshotSafetyRule(PickleSafetyRule):
     generators, IO handles, threads) stays fatal.  R6 keeps ``Solver`` banned
     at *its* roots: a request or result carrying a whole solver is still a
     design smell, even a picklable one.
+
+    The protocol-typed ``SolverBackend`` is excused too: holders degrade in
+    ``__getstate__`` when the engine reports ``supports_snapshot() is
+    False``.  A member annotated as the *concrete* ``PySATBackend`` stays
+    fatal — a C-extension handle with no degradation seam cannot cross the
+    pickle boundary.
     """
 
     code = "R7"
@@ -940,7 +952,64 @@ class SnapshotSafetyRule(PickleSafetyRule):
     )
 
     ROOTS = ("SessionSnapshot",)
-    UNPICKLABLE: FrozenSet[str] = PickleSafetyRule.UNPICKLABLE - {"Solver"}
+    UNPICKLABLE: FrozenSet[str] = PickleSafetyRule.UNPICKLABLE - {
+        "Solver",
+        "SolverBackend",
+    }
+
+
+# --------------------------------------------------------------------------- #
+# R8 — backend purity: solvers come from the factory, not direct construction
+# --------------------------------------------------------------------------- #
+class BackendPurityRule(Rule):
+    """R8: no direct concrete-backend construction outside ``repro.solvers``.
+
+    The ``SolverBackend`` seam (PR 9) makes the SAT engine a configuration
+    choice threaded through encoder, space, session, snapshot and serve.  A
+    direct ``Solver()`` (or ``PySATBackend()``) call anywhere else re-welds
+    a layer to one engine: it silently ignores the session's ``backend=``
+    selection, splits warm state across engines, and breaks the
+    cross-backend restore refusal that keeps snapshots honest.  Constructing
+    through :func:`repro.solvers.backend.create_solver` (or a layer's
+    ``backend=`` parameter) is the only blessed route.
+    """
+
+    code = "R8"
+    name = "backend-purity"
+    summary = "no direct Solver()/PySATBackend() construction outside repro.solvers"
+    rationale = (
+        "a direct concrete-engine construction bypasses the backend registry, "
+        "ignoring the configured backend= selection and welding the call site "
+        "to one engine (the seam PR 9 exists to cut)"
+    )
+
+    HOME_PREFIX = "repro.solvers"
+    CONCRETE_BACKENDS: FrozenSet[str] = frozenset({"Solver", "PySATBackend"})
+
+    def _applies(self, context: ModuleContext) -> bool:
+        if context.module is None:
+            return True  # fixtures and scripts: always check
+        return not (
+            context.module == self.HOME_PREFIX
+            or context.module.startswith(self.HOME_PREFIX + ".")
+        )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not self._applies(context):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _callee_identifier(node)
+            if callee in self.CONCRETE_BACKENDS:
+                yield self.finding(
+                    context,
+                    node,
+                    f"direct {callee}() construction outside repro.solvers; "
+                    "go through repro.solvers.backend.create_solver() (or the "
+                    "layer's backend= parameter) so the configured engine is "
+                    "honoured",
+                )
 
 
 ALL_RULES: Tuple[Rule, ...] = (
@@ -951,6 +1020,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     IndexInvalidateRule(),
     PickleSafetyRule(),
     SnapshotSafetyRule(),
+    BackendPurityRule(),
 )
 
 

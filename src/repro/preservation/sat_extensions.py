@@ -114,7 +114,8 @@ from repro.preservation.extensions import (
 )
 from repro.query.engine import QueryEngine
 from repro.solvers.cnf import CNF
-from repro.solvers.sat import Model, Solver
+from repro.solvers.backend import SolverBackend, create_solver, resolve_backend
+from repro.solvers.sat import Model
 
 __all__ = ["ExtensionSearchSpace", "space_for", "SEARCHES"]
 
@@ -137,6 +138,7 @@ def space_for(
     specification: Specification,
     match_entities_by_eid: bool,
     space: Optional["ExtensionSearchSpace"],
+    backend: Optional[str] = None,
 ) -> "ExtensionSearchSpace":
     """*space* validated against (specification, flag), or a fresh space.
 
@@ -146,12 +148,14 @@ def space_for(
     question, so mismatches are rejected here.  The comparison is
     *structural* (:meth:`Specification.__eq__`): a caller that rebuilds a
     value-identical specification keeps the warm solver instead of being
-    rejected over object identity.
+    rejected over object identity.  *backend*, when given, must match the
+    supplied space's solver backend — warm state never silently migrates
+    between engines.
     """
     if space is None:
         # reprolint: allow(R4) — space_for IS the blessed factory warm callers go through
         return ExtensionSearchSpace(
-            specification, match_entities_by_eid=match_entities_by_eid
+            specification, match_entities_by_eid=match_entities_by_eid, backend=backend
         )
     # reprolint: allow(R2) — identity fast path in front of the structural comparison
     if space.specification is not specification and space.specification != specification:
@@ -161,6 +165,11 @@ def space_for(
     if space.match_entities_by_eid != match_entities_by_eid:
         raise SpecificationError(
             "the supplied extension search space uses a different entity-matching mode"
+        )
+    if backend is not None and space.backend != resolve_backend(backend):
+        raise SpecificationError(
+            f"the supplied extension search space uses solver backend "
+            f"{space.backend!r}, not {resolve_backend(backend)!r}"
         )
     return space
 
@@ -193,11 +202,16 @@ class ExtensionSearchSpace:
     constructions = 0
 
     def __init__(
-        self, specification: Specification, match_entities_by_eid: bool = True
+        self,
+        specification: Specification,
+        match_entities_by_eid: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         type(self).constructions += 1
         self.specification = specification
         self.match_entities_by_eid = match_entities_by_eid
+        #: resolved solver backend name (see :mod:`repro.solvers.backend`)
+        self.backend = resolve_backend(backend)
         self.closure: CandidateClosure = candidate_closure(
             specification, match_entities_by_eid=match_entities_by_eid
         )
@@ -214,7 +228,7 @@ class ExtensionSearchSpace:
         # instance -> [(eid, [(attribute, [(value, value var)])])]: the
         # value-level projection used by current-database enumeration
         self._value_slots: Dict[str, List[Tuple[Any, List[Tuple[str, List[Tuple[Any, int]]]]]]] = {}
-        self._solver: Optional[Solver] = None
+        self._solver: Optional[SolverBackend] = None
         self._fed_clauses = 0
         self._activation_literals: List[int] = []
         self._activation_count = 0
@@ -481,11 +495,11 @@ class ExtensionSearchSpace:
     # The shared solver
     # ------------------------------------------------------------------ #
     @property
-    def solver(self) -> Solver:
+    def solver(self) -> SolverBackend:
         """The incremental solver, synced with every clause of ``self.cnf``."""
         if self._solver is None:
             # reprolint: allow(R4) — the lazy factory behind the space's own warm solver
-            self._solver = Solver(self.cnf.num_variables)
+            self._solver = create_solver(self.backend, self.cnf.num_variables)
         solver = self._solver
         solver.ensure_vars(self.cnf.num_variables)
         clauses = self.cnf.clauses
@@ -1003,6 +1017,33 @@ class ExtensionSearchSpace:
         if self._solver is not None:
             info["solver"] = self._solver.stats()
         return info
+
+    # ------------------------------------------------------------------ #
+    # Pickling (warm-state snapshots)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Dict[str, Any]:
+        """Degrade gracefully for engines whose warm state cannot pickle.
+
+        Backends with ``supports_snapshot()`` travel with the space (PR 8).
+        Otherwise the engine is dropped and the feed cursor reset: the next
+        probe rebuilds a cold solver from ``self.cnf``.  Dropping the engine
+        also drops pass-blocking clauses that were fed straight to it, which
+        is sound — they are all guarded by activation literals that every
+        later solve assumes negative (:meth:`_deactivations`).
+        """
+        state = dict(self.__dict__)
+        solver = state.get("_solver")
+        if solver is not None and not solver.supports_snapshot():
+            state["_solver"] = None
+            state["_fed_clauses"] = 0
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        # spaces pickled before the backend seam existed default to the
+        # reference engine
+        if "backend" not in self.__dict__:
+            self.backend = "reference"
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -20,6 +20,7 @@ from repro.core.completion import CurrentDatabaseCache
 from repro.core.instance import NormalInstance
 from repro.core.specification import Specification
 from repro.exceptions import SolverError
+from repro.solvers.backend import resolve_backend
 from repro.solvers.order_encoding import CompletionEncoder
 
 __all__ = ["CurrentDatabaseEnumerator"]
@@ -45,6 +46,7 @@ class CurrentDatabaseEnumerator:
         relations: Optional[Iterable[str]] = None,
         encoder: Optional[CompletionEncoder] = None,
         cache: Optional[CurrentDatabaseCache] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.specification = specification
         self.relations: List[str] = (
@@ -65,8 +67,16 @@ class CurrentDatabaseEnumerator:
             raise SolverError(
                 "the supplied encoder was built for a different specification"
             )
-        # reprolint: allow(R4) — cold-start fallback for standalone (non-session) use
-        self.encoder = encoder if encoder is not None else CompletionEncoder(specification)
+        if encoder is not None and backend is not None:
+            if encoder.backend != resolve_backend(backend):
+                raise SolverError(
+                    f"the supplied encoder uses solver backend {encoder.backend!r}, "
+                    f"not {resolve_backend(backend)!r}"
+                )
+        if encoder is None:
+            # reprolint: allow(R4) — cold-start fallback for standalone (non-session) use
+            encoder = CompletionEncoder(specification, backend=backend)
+        self.encoder = encoder
         self._max_variables: List[MaxVariable] = []
         # Decoded instances are interned by value so that models inducing the
         # same current instance share one NormalInstance object — and with it

@@ -55,11 +55,13 @@ from repro.serve.supervisor import WorkerSupervisor, WorkResult
 from repro.session.batch import ProblemRequest, _answer
 from repro.session.session import ReasoningSession
 from repro.session.snapshot import (
+    SessionSnapshot,
     SnapshotStore,
     restore_bytes,
     snapshot_bytes,
     specification_fingerprint,
 )
+from repro.solvers.backend import resolve_backend
 from repro.solvers.budget import Budget, DeadlineLike, budget_scope
 from repro.testing.faults import FaultPlan
 
@@ -96,6 +98,9 @@ class _ServeWork:
     session_capacity: int = 8
     snapshot: Optional[bytes] = None
     log_base: int = 0
+    #: solver backend every worker-side session is built (or restored) on;
+    #: the service validates persisted snapshots against it before shipping
+    backend: str = "reference"
 
 
 class _WorkerSession:
@@ -136,9 +141,13 @@ def _serve_handler(work: _ServeWork, state: Dict[str, Any]) -> Any:
         entry = None
     if entry is None:
         if work.snapshot is not None:
-            entry = _WorkerSession(restore_bytes(work.snapshot), work.log_base)
+            entry = _WorkerSession(
+                restore_bytes(work.snapshot, backend=work.backend), work.log_base
+            )
         else:
-            entry = _WorkerSession(ReasoningSession(work.specification), 0)
+            entry = _WorkerSession(
+                ReasoningSession(work.specification, backend=work.backend), 0
+            )
         sessions[work.session_key] = entry
         while len(sessions) > max(1, work.session_capacity):
             sessions.popitem(last=False)
@@ -233,7 +242,10 @@ class ReasoningService:
         backoff_s: float = 0.05,
         compact_log_threshold: Optional[int] = 32,
         snapshot_dir: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> None:
+        #: resolved solver backend every worker-side session runs on
+        self.backend = resolve_backend(backend)
         self._supervisor = WorkerSupervisor(
             _serve_handler,
             processes,
@@ -335,6 +347,7 @@ class ReasoningService:
             session_capacity=self._worker_session_capacity,
             snapshot=entry.snapshot,
             log_base=entry.log_base,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------ #
@@ -384,7 +397,13 @@ class ReasoningService:
     def _load_persisted(
         self, specification: Specification
     ) -> Optional[Tuple[bytes, int]]:
-        """Router miss hook: resume from the on-disk store, if possible."""
+        """Router miss hook: resume from the on-disk store, if possible.
+
+        The backend check must happen *here*, not in the worker: a shipped
+        snapshot carries a ``log_base`` watermark the router's log arithmetic
+        depends on, so a worker cannot silently fall back to a cold build —
+        a persisted snapshot from a different solver backend is simply not
+        resumed (the lane starts cold on this service's backend instead)."""
         assert self._snapshot_store is not None
         payload = self._snapshot_store.load(
             specification_fingerprint(specification)
@@ -396,6 +415,11 @@ class ReasoningService:
         except Exception:
             return None
         if not isinstance(snapshot, bytes) or not isinstance(log_base, int):
+            return None
+        try:
+            if SessionSnapshot.from_bytes(snapshot).backend != self.backend:
+                return None
+        except Exception:
             return None
         return snapshot, log_base
 

@@ -48,6 +48,7 @@ from repro.exceptions import ErrorRecord, SpecificationError
 from repro.query.ast import Query, SPQuery
 from repro.session.session import ReasoningSession
 from repro.session.snapshot import restore_bytes, snapshot_bytes
+from repro.solvers.backend import resolve_backend
 from repro.testing import faults
 from repro.testing.faults import FaultPlan
 
@@ -146,10 +147,12 @@ class _SessionPool:
     asking about survive churn from one-off specs; the pool is a throughput
     lever, not a correctness one."""
 
-    def __init__(self, capacity: int = 8) -> None:
+    def __init__(self, capacity: int = 8, backend: Optional[str] = None) -> None:
         if capacity < 1:
             raise SpecificationError("the session pool needs capacity >= 1")
         self.capacity = capacity
+        #: resolved solver backend every pooled session is built on
+        self.backend = resolve_backend(backend)
         self._entries: List[Tuple[Specification, ReasoningSession]] = []
         self.hits = 0
         self.misses = 0
@@ -178,12 +181,14 @@ class _SessionPool:
         session = None
         if snapshot is not None:
             try:
-                session = restore_bytes(snapshot)
+                # a snapshot recorded on a different backend raises here and
+                # falls through to the cold build — warm state never migrates
+                session = restore_bytes(snapshot, backend=self.backend)
                 self.restores += 1
             except Exception:  # corrupt/mismatched payload: rebuild instead
                 session = None
         if session is None:
-            session = ReasoningSession(specification)
+            session = ReasoningSession(specification, backend=self.backend)
         if len(self._entries) >= self.capacity:
             self._entries.pop(0)  # least recently used
             self.evictions += 1
@@ -212,6 +217,7 @@ def _run_group_supervised(
         int,
         Optional[bytes],
         bool,
+        str,
     ],
     state: Dict[str, Any],
 ) -> Tuple[List[BatchResult], Optional[bytes]]:
@@ -224,10 +230,14 @@ def _run_group_supervised(
     group's now-warm session is snapshotted and returned alongside the
     results, so the driver can warm *other* workers (and post-``close()``
     successors) with it."""
-    specification, items, capacity, snapshot, want_snapshot = work
+    specification, items, capacity, snapshot, want_snapshot, backend = work
     pool = state.get("sessions")
-    if not isinstance(pool, _SessionPool) or pool.capacity != capacity:
-        pool = _SessionPool(capacity)
+    if (
+        not isinstance(pool, _SessionPool)
+        or pool.capacity != capacity
+        or pool.backend != backend
+    ):
+        pool = _SessionPool(capacity, backend=backend)
         state["sessions"] = pool
     results = _evaluate_group(pool, specification, items, snapshot=snapshot)
     payload: Optional[bytes] = None
@@ -295,18 +305,22 @@ class BatchDriver:
         session_cache_size: int = 8,
         group_timeout: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.processes = processes
         self.serial = serial
         self.session_cache_size = session_cache_size
         self.group_timeout = group_timeout
         self.fault_plan = fault_plan
+        #: resolved solver backend every session (serial pool and worker
+        #: pools alike) is built on; shipped with each parallel group
+        self.backend = resolve_backend(backend)
         # both pools persist across run() calls, so a driver served
         # repeatedly (the production shape) keeps its warm sessions between
         # batches: the in-process _SessionPool for serial mode, and one
         # long-lived WorkerSupervisor whose workers hold theirs in their
         # handler state for parallel mode (released by close()/``with``)
-        self._local_pool = _SessionPool(session_cache_size)
+        self._local_pool = _SessionPool(session_cache_size, backend=backend)
         self._workers: Optional["WorkerSupervisor"] = None
         # driver-side snapshot cache: pickled warm sessions keyed by
         # structural spec equality, shipped with every parallel group so a
@@ -442,6 +456,7 @@ class BatchDriver:
                         self.session_cache_size,
                         payload,
                         payload is None,  # ask for one back when we have none
+                        self.backend,
                     ),
                     deadline=deadline,
                 )

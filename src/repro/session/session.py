@@ -107,6 +107,7 @@ from repro.reasoning.chase import ChaseResult, chase_certain_orders
 from repro.reasoning.current_db import CurrentDatabaseEnumerator
 from repro.reasoning.sp import sp_certain_answers
 from repro.session.snapshot import SessionSnapshot
+from repro.solvers.backend import resolve_backend
 from repro.solvers.budget import Budget, DeadlineLike, budget_scope
 from repro.solvers.order_encoding import CompletionEncoder
 
@@ -305,6 +306,7 @@ class ReasoningSession:
             "add_tuples": "rebuild",
             "add_copy_function": "rebuild",
             "add_copy_import": "rebuild",
+            "set_backend": "keep",
         },
         "encoder": {
             "add_order": "extend",
@@ -313,6 +315,7 @@ class ReasoningSession:
             "add_tuples": "extend-or-rebuild",
             "add_copy_function": "extend",
             "add_copy_import": "extend-or-rebuild",
+            "set_backend": "rebuild",
         },
         "space": {
             "add_order": "extend",
@@ -321,6 +324,7 @@ class ReasoningSession:
             "add_tuples": "rebuild",
             "add_copy_function": "rebuild",
             "add_copy_import": "rebuild",
+            "set_backend": "rebuild",
         },
         "enumerators": {
             "add_order": "keep",
@@ -329,6 +333,7 @@ class ReasoningSession:
             "add_tuples": "rebuild",
             "add_copy_function": "keep",
             "add_copy_import": "rebuild",
+            "set_backend": "rebuild",
         },
         "engines": {
             "add_order": "keep",
@@ -337,6 +342,7 @@ class ReasoningSession:
             "add_tuples": "keep",
             "add_copy_function": "keep",
             "add_copy_import": "keep",
+            "set_backend": "keep",
         },
         "answers": {
             "add_order": "clear",
@@ -345,14 +351,21 @@ class ReasoningSession:
             "add_tuples": "clear",
             "add_copy_function": "clear",
             "add_copy_import": "clear",
+            "set_backend": "keep",
         },
     }
 
     def __init__(
-        self, specification: Specification, match_entities_by_eid: bool = True
+        self,
+        specification: Specification,
+        match_entities_by_eid: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         self.specification = specification
         self.match_entities_by_eid = match_entities_by_eid
+        #: resolved solver backend name every lazily-built solver layer uses
+        #: (see :mod:`repro.solvers.backend`)
+        self.backend = resolve_backend(backend)
         self._chase: Optional[ChaseResult] = None
         self._encoder: Optional[CompletionEncoder] = None
         self._space: Optional[ExtensionSearchSpace] = None
@@ -373,17 +386,20 @@ class ReasoningSession:
         specification: Specification,
         session: Optional["ReasoningSession"] = None,
         match_entities_by_eid: Optional[bool] = None,
+        backend: Optional[str] = None,
     ) -> "ReasoningSession":
         """*session* validated against the specification, or a fresh session.
 
         Mirrors :func:`~repro.preservation.sat_extensions.space_for`: a
         supplied session built for a different specification (structural
-        comparison) or entity-matching mode would silently answer the wrong
-        question, so mismatches are rejected."""
+        comparison), entity-matching mode or solver backend would silently
+        answer the wrong question (or on the wrong engine), so mismatches
+        are rejected."""
         if session is None:
             return cls(
                 specification,
                 True if match_entities_by_eid is None else match_entities_by_eid,
+                backend=backend,
             )
         if (
             # reprolint: allow(R2) — identity fast path in front of the structural check below
@@ -400,6 +416,11 @@ class ReasoningSession:
             raise SpecificationError(
                 "the supplied session uses a different entity-matching mode"
             )
+        if backend is not None and session.backend != resolve_backend(backend):
+            raise SpecificationError(
+                f"the supplied session uses solver backend {session.backend!r}, "
+                f"not {resolve_backend(backend)!r}"
+            )
         return session
 
     def adopt_space(self, space: ExtensionSearchSpace) -> ExtensionSearchSpace:
@@ -413,7 +434,9 @@ class ReasoningSession:
         results, CPP witnesses and refusal certificates — are built from
         ``space.specification``, which must track the session's in-place
         mutations rather than a stale twin."""
-        space = space_for(self.specification, self.match_entities_by_eid, space)
+        space = space_for(
+            self.specification, self.match_entities_by_eid, space, backend=self.backend
+        )
         # reprolint: allow(R2) — re-pointing a structurally-equal twin requires the identity probe
         if space.specification is not self.specification:
             space.specification = self.specification
@@ -455,7 +478,7 @@ class ReasoningSession:
         """The base completion encoder and its warm incremental solver."""
         if self._encoder is None:
             # reprolint: allow(R4) — the session's own lazy factory for the warm encoder
-            self._encoder = CompletionEncoder(self.specification)
+            self._encoder = CompletionEncoder(self.specification, backend=self.backend)
         return self._encoder
 
     @property
@@ -465,7 +488,9 @@ class ReasoningSession:
         if self._space is None:
             # reprolint: allow(R4) — the session's own lazy factory for the warm search space
             self._space = ExtensionSearchSpace(
-                self.specification, match_entities_by_eid=self.match_entities_by_eid
+                self.specification,
+                match_entities_by_eid=self.match_entities_by_eid,
+                backend=self.backend,
             )
         return self._space
 
@@ -509,6 +534,7 @@ class ReasoningSession:
                 relations=sorted(key),
                 encoder=self.encoder,
                 cache=self._database_cache,
+                backend=self.backend,
             )
             self._enumerators[key] = enumerator
         return enumerator
@@ -1382,6 +1408,24 @@ class ReasoningSession:
         self._drop_or_extend_encoder_for_tuple(copy_function.target, new_tid)
         self._clear_answer_state()
 
+    def set_backend(self, backend: str) -> None:
+        """Switch the session to a different registered solver backend.
+
+        Warm solver state never migrates between engines: the encoder, the
+        space and the enumerators are dropped and lazily rebuilt on the new
+        backend.  The chase (solver-free), compiled query engines and the
+        answer/verdict memos survive — memoised answers are semantic facts
+        about the specification, identical across backends (the
+        backend-differential harness is what certifies that)."""
+        resolved = resolve_backend(backend)
+        if resolved == self.backend:
+            return
+        self.backend = resolved
+        self._encoder = None
+        self._space = None
+        self._enumerators.clear()
+        self.mutations += 1
+
     # ------------------------------------------------------------------ #
     # Snapshot / restore (warm-state hand-off)
     # ------------------------------------------------------------------ #
@@ -1409,6 +1453,7 @@ class ReasoningSession:
         snapshot = SessionSnapshot(
             specification=self.specification,
             match_entities_by_eid=self.match_entities_by_eid,
+            backend=self.backend,
             mutations=self.mutations,
             chase=self._chase,
             encoder=self._encoder,
@@ -1426,7 +1471,12 @@ class ReasoningSession:
         return snapshot.detach() if detach else snapshot
 
     @classmethod
-    def restore(cls, snapshot: SessionSnapshot, copy: bool = True) -> "ReasoningSession":
+    def restore(
+        cls,
+        snapshot: SessionSnapshot,
+        copy: bool = True,
+        backend: Optional[str] = None,
+    ) -> "ReasoningSession":
         """A warm session resumed from *snapshot* — no chase, no re-encode,
         no re-solving; every memoised answer the donor had earned is hot.
 
@@ -1434,10 +1484,26 @@ class ReasoningSession:
         restored again; ``copy=False`` moves its state into the session (the
         fast path for snapshots that just crossed a process boundary and have
         no other owner).  Id-keyed caches (engines, answer memo) are re-keyed
-        against the restored query objects."""
+        against the restored query objects.
+
+        Warm solver state is backend-specific, so a *backend* request that
+        differs from the snapshot's recorded backend is refused (switch with
+        :meth:`set_backend` after restoring, which rebuilds cold) — and a
+        snapshot from a backend not registered in this process fails fast
+        with the list of available engines."""
+        if backend is not None and resolve_backend(backend) != snapshot.backend:
+            raise SpecificationError(
+                f"snapshot was taken on solver backend {snapshot.backend!r}; "
+                f"refusing to restore it as {resolve_backend(backend)!r} "
+                "(restore first, then set_backend() to switch cold)"
+            )
         if copy:
             snapshot = snapshot.detach()
-        session = cls(snapshot.specification, snapshot.match_entities_by_eid)
+        session = cls(
+            snapshot.specification,
+            snapshot.match_entities_by_eid,
+            backend=snapshot.backend,
+        )
         session._chase = snapshot.chase
         session._encoder = snapshot.encoder
         if snapshot.space is not None:

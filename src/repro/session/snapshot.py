@@ -98,6 +98,10 @@ class SessionSnapshot:
     answers: Tuple[Tuple[AnyQuery, str, Optional[FrozenSet[Tuple[Any, ...]]]], ...]
     verdicts: Dict[Tuple[str, ...], bool]
     pinned_queries: Tuple[AnyQuery, ...]
+    #: solver backend the warm state was earned on.  Warm solver state is
+    #: engine-specific, so restore refuses a different backend request; the
+    #: default keeps snapshots pickled before the backend seam restorable.
+    backend: str = "reference"
 
     def to_bytes(self) -> bytes:
         """Serialise (the wire/disk format of the serving layer)."""
@@ -127,11 +131,18 @@ def snapshot_bytes(session: "ReasoningSession") -> bytes:
     return session.snapshot(detach=False).to_bytes()
 
 
-def restore_bytes(payload: bytes) -> "ReasoningSession":
-    """A warm session restored from :func:`snapshot_bytes` output."""
+def restore_bytes(payload: bytes, backend: Optional[str] = None) -> "ReasoningSession":
+    """A warm session restored from :func:`snapshot_bytes` output.
+
+    *backend*, when given, asserts which solver backend the caller expects;
+    a mismatch with the snapshot's recorded backend is refused (see
+    :meth:`ReasoningSession.restore`).
+    """
     from repro.session.session import ReasoningSession
 
-    return ReasoningSession.restore(SessionSnapshot.from_bytes(payload), copy=False)
+    return ReasoningSession.restore(
+        SessionSnapshot.from_bytes(payload), copy=False, backend=backend
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -305,15 +316,31 @@ class SnapshotStore:
         self.hits += 1
         return payload
 
-    def load_session(self, specification: Specification) -> Optional["ReasoningSession"]:
+    def load_session(
+        self, specification: Specification, backend: Optional[str] = None
+    ) -> Optional["ReasoningSession"]:
         """Restore the cached warm session for *specification*, if one is
-        stored and still unpickles; a corrupt entry is dropped as a miss."""
+        stored and still unpickles; a corrupt entry is dropped as a miss.
+
+        With *backend*, an entry recorded on a different solver backend is a
+        plain miss — the file is left in place (it is a valid snapshot, just
+        not for this engine), and the caller builds cold.
+        """
         fingerprint = specification_fingerprint(specification)
         payload = self.load(fingerprint)
         if payload is None:
             return None
+        if backend is not None:
+            try:
+                snapshot = SessionSnapshot.from_bytes(payload)
+            except Exception:
+                snapshot = None
+            if snapshot is not None and snapshot.backend != backend:
+                self.hits -= 1
+                self.misses += 1
+                return None
         try:
-            return restore_bytes(payload)
+            return restore_bytes(payload, backend=backend)
         except Exception:
             self.hits -= 1
             self.misses += 1

@@ -1,5 +1,15 @@
 """SAT/QBF solving substrate and the Boolean encoding of consistent completions."""
 
+from repro.solvers.backend import (
+    PYSAT_AVAILABLE,
+    SolverBackend,
+    available_backends,
+    backend_factory,
+    create_solver,
+    default_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.solvers.cnf import CNF
 from repro.solvers.order_encoding import CompletionEncoder, PairVariable
 from repro.solvers.qbf import QuantifierBlock, evaluate_qbf, exists, forall
@@ -8,6 +18,14 @@ from repro.solvers.sat import Solver, is_satisfiable, iterate_models, solve, sol
 __all__ = [
     "CNF",
     "Solver",
+    "SolverBackend",
+    "PYSAT_AVAILABLE",
+    "register_backend",
+    "available_backends",
+    "backend_factory",
+    "default_backend",
+    "resolve_backend",
+    "create_solver",
     "solve",
     "solve_naive",
     "solve_cnf",

@@ -1,0 +1,351 @@
+"""Pluggable SAT solver backends behind one narrow protocol.
+
+Every decision problem in the reasoning stack bottoms out in an incremental
+SAT engine.  This module pins down the exact surface the stack uses as the
+:class:`SolverBackend` protocol and keeps a registry of named factories for
+it, so the engine behind an encoder, search space, session, batch driver or
+serving worker is a configuration choice (``backend="reference"``) instead
+of a hard-wired class.
+
+Two backends ship here:
+
+``reference``
+    The pure-python CDCL :class:`~repro.solvers.sat.Solver` — always
+    available, fully picklable (``supports_snapshot() is True``), and the
+    semantic yardstick every other engine is differentially tested against.
+
+``pysat``
+    A thin adapter over `python-sat <https://pysathq.github.io/>`_ (Glucose
+    4 core), registered only when the library is importable.  Its warm
+    state lives in a C object, so ``supports_snapshot()`` is False and the
+    warm-state pipeline degrades to re-encode-on-restore.
+
+Assumption semantics are normative across backends (and regression-tested
+per backend): duplicate assumptions are idempotent; a syntactically
+contradictory assumption list (``x`` and ``-x`` both present) short-circuits
+to UNSAT before any search with ``analyze_final()`` reporting exactly that
+pair, earlier-assumed literal first; cores contain no duplicates, are sorted
+by variable, and are always a subset of the assumptions passed.
+
+The default backend is ``reference``; the environment variable
+``REPRO_SOLVER_BACKEND`` overrides it process-wide (that is how the
+optional-backends CI job runs the whole suite under pysat without touching
+call sites).
+
+Registering an engine::
+
+    from repro.solvers.backend import register_backend
+
+    register_backend("kissat", KissatAdapter)   # factory: (num_variables) -> backend
+"""
+
+from __future__ import annotations
+
+import os
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from repro.exceptions import SolverError
+from repro.solvers.budget import Budget, current_budget
+from repro.solvers.sat import Model, Solver
+from repro.testing import faults
+
+__all__ = [
+    "SolverBackend",
+    "DEFAULT_BACKEND",
+    "BACKEND_ENV_VAR",
+    "PYSAT_AVAILABLE",
+    "PySATBackend",
+    "register_backend",
+    "available_backends",
+    "backend_factory",
+    "default_backend",
+    "resolve_backend",
+    "create_solver",
+]
+
+DEFAULT_BACKEND = "reference"
+BACKEND_ENV_VAR = "REPRO_SOLVER_BACKEND"
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """The exact solver surface the reasoning stack consumes.
+
+    Engines are constructed by a registered factory taking the initial
+    variable count: ``factory(num_variables) -> SolverBackend``.  All
+    methods follow the reference CDCL :class:`~repro.solvers.sat.Solver`
+    semantics; the assumption semantics documented on
+    :meth:`Solver.solve` are normative for every implementation.
+    """
+
+    @property
+    def num_variables(self) -> int:
+        """Number of variables allocated so far."""
+        ...
+
+    def ensure_vars(self, count: int) -> None:
+        """Grow the variable space to at least *count* variables."""
+        ...
+
+    def add_clause(self, literals: Sequence[int]) -> bool:
+        """Add a clause; False iff the engine is now permanently UNSAT.
+
+        Engines that cannot detect root-level conflicts eagerly may keep
+        returning True and report UNSAT from the next :meth:`solve`.
+        """
+        ...
+
+    def solve(
+        self, assumptions: Sequence[int] = (), budget: Optional[Budget] = None
+    ) -> Optional[Model]:
+        """A total model over all allocated variables, or None (UNSAT).
+
+        *budget* (or the ambient :func:`~repro.solvers.budget.budget_scope`)
+        bounds the search.  The reference engine interrupts mid-search;
+        external engines may only be able to enforce it between calls
+        (check before, charge after) — both raise
+        :class:`~repro.exceptions.ResourceBudgetExceeded` once exhausted.
+        """
+        ...
+
+    def analyze_final(self) -> Optional[List[int]]:
+        """Assumption core of the last UNSAT solve (see ``Solver``)."""
+        ...
+
+    def stats(self) -> Dict[str, int]:
+        """Search statistics; keys follow the reference engine."""
+        ...
+
+    def supports_snapshot(self) -> bool:
+        """Whether warm state survives pickling.
+
+        True means ``__getstate__``/``__setstate__`` round-trip the full
+        warm state (learnt clauses, activities, phases).  False makes the
+        snapshot pipeline drop the engine and re-encode on restore.
+        """
+        ...
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+BackendFactory = Callable[[int], SolverBackend]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register *factory* under *name* (later registrations replace earlier).
+
+    The factory is called with the initial variable count and must return a
+    :class:`SolverBackend`.
+    """
+    if not name or not isinstance(name, str):
+        raise SolverError(f"backend name must be a non-empty string, got {name!r}")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, default first, the rest sorted."""
+    names = sorted(_REGISTRY)
+    if DEFAULT_BACKEND in names:
+        names.remove(DEFAULT_BACKEND)
+        names.insert(0, DEFAULT_BACKEND)
+    return names
+
+
+def backend_factory(name: str) -> BackendFactory:
+    """The factory registered under *name*; raises SolverError when unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SolverError(
+            f"unknown solver backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def default_backend() -> str:
+    """The process default: ``$REPRO_SOLVER_BACKEND`` or ``reference``."""
+    return os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Normalise a ``backend=`` argument to a registered backend name.
+
+    None means "the process default".  The returned name is validated
+    against the registry so constructing layers fail fast with the list of
+    available engines instead of deep inside a solve call.
+    """
+    name = default_backend() if backend is None else backend
+    backend_factory(name)  # validate: raises on unknown names
+    return name
+
+
+def create_solver(backend: Optional[str], num_variables: int = 0) -> SolverBackend:
+    """Construct a solver from the registry (None → process default)."""
+    return backend_factory(resolve_backend(backend))(num_variables)
+
+
+# --------------------------------------------------------------------------- #
+# Reference backend: the in-tree CDCL solver is already the full surface
+# --------------------------------------------------------------------------- #
+register_backend("reference", Solver)
+
+
+# --------------------------------------------------------------------------- #
+# Optional PySAT backend (import-guarded)
+# --------------------------------------------------------------------------- #
+try:  # pragma: no cover - exercised only when python-sat is installed
+    from pysat.solvers import Glucose4 as _PySATEngine  # type: ignore[import-not-found,import-untyped]
+
+    PYSAT_AVAILABLE = True
+except Exception:  # pragma: no cover - the common offline path
+    _PySATEngine = None
+    PYSAT_AVAILABLE = False
+
+
+class PySATBackend:
+    """A :class:`SolverBackend` over python-sat's Glucose 4 core.
+
+    The engine object is a C extension: fast, incremental (assumptions via
+    ``solve(assumptions=...)``, cores via ``get_core``), but opaque to
+    pickle — ``supports_snapshot()`` is False and holders degrade to
+    re-encoding on restore.  Budgets are enforced best-effort: checked
+    before the call and charged with the engine's accumulated statistics
+    after it (the C search cannot be interrupted at the k-th conflict the
+    way the reference engine can).
+    """
+
+    def __init__(self, num_variables: int = 0) -> None:
+        if _PySATEngine is None:  # pragma: no cover - guarded by registration
+            raise SolverError(
+                "the 'pysat' backend requires the python-sat package"
+            )
+        self._engine = _PySATEngine(incr=True)
+        self._num_variables = 0
+        self._ok = True
+        self._final_core: Optional[List[int]] = None
+        self._charged: Dict[str, int] = {"conflicts": 0, "propagations": 0}
+        self.ensure_vars(num_variables)
+
+    # -- variables ----------------------------------------------------- #
+    @property
+    def num_variables(self) -> int:
+        return self._num_variables
+
+    def ensure_vars(self, count: int) -> None:
+        if count > self._num_variables:
+            self._num_variables = count
+
+    # -- clauses ------------------------------------------------------- #
+    def add_clause(self, literals: Sequence[int]) -> bool:
+        if not self._ok:
+            return False
+        lits: List[int] = []
+        seen = set()
+        for lit in literals:
+            if lit == 0:
+                raise SolverError("0 is not a valid literal")
+            self.ensure_vars(lit if lit > 0 else -lit)
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            lits.append(lit)
+        if not lits:
+            self._ok = False
+            return False
+        self._engine.add_clause(lits)
+        return True
+
+    # -- solving ------------------------------------------------------- #
+    def solve(
+        self, assumptions: Sequence[int] = (), budget: Optional[Budget] = None
+    ) -> Optional[Model]:
+        faults.trip("solver.solve")
+        effective = budget if budget is not None else current_budget()
+        if not self._ok:
+            self._final_core = []
+            return None
+        if effective is not None:
+            effective.check()
+        self._final_core = None
+        # normative assumption semantics (see the protocol): duplicates are
+        # idempotent, a contradictory pair is UNSAT by inspection with the
+        # pair itself as the core, earlier-assumed literal first
+        assumed: List[int] = []
+        seen = set()
+        for lit in assumptions:
+            if lit == 0:
+                raise SolverError("0 is not a valid literal")
+            if lit in seen:
+                continue
+            if -lit in seen:
+                self._final_core = [-lit, lit]
+                return None
+            seen.add(lit)
+            assumed.append(lit)
+            self.ensure_vars(lit if lit > 0 else -lit)
+        satisfiable = self._engine.solve(assumptions=assumed)
+        self._charge(effective)
+        if not satisfiable:
+            if assumed:
+                core = self._engine.get_core() or []
+                self._final_core = sorted(set(core), key=abs)
+            else:
+                self._final_core = []
+            return None
+        positives = {lit for lit in (self._engine.get_model() or []) if lit > 0}
+        return {
+            variable: variable in positives
+            for variable in range(1, self._num_variables + 1)
+        }
+
+    def _charge(self, budget: Optional[Budget]) -> None:
+        """Charge the delta of the engine's accumulated search statistics."""
+        if budget is None:
+            return
+        accumulated = self._engine.accum_stats() or {}
+        conflicts = int(accumulated.get("conflicts", 0))
+        propagations = int(accumulated.get("propagations", 0))
+        budget.charge(
+            conflicts=max(0, conflicts - self._charged["conflicts"]),
+            propagations=max(0, propagations - self._charged["propagations"]),
+        )
+        self._charged = {"conflicts": conflicts, "propagations": propagations}
+
+    # -- introspection ------------------------------------------------- #
+    def analyze_final(self) -> Optional[List[int]]:
+        return None if self._final_core is None else list(self._final_core)
+
+    def stats(self) -> Dict[str, int]:
+        accumulated = dict(self._engine.accum_stats() or {})
+        return {
+            "conflicts": int(accumulated.get("conflicts", 0)),
+            "decisions": int(accumulated.get("decisions", 0)),
+            "propagations": int(accumulated.get("propagations", 0)),
+            "restarts": int(accumulated.get("restarts", 0)),
+            "learnt": 0,
+            "deleted": 0,
+            "max_backjump": 0,
+        }
+
+    def supports_snapshot(self) -> bool:
+        """C-extension warm state does not survive pickling."""
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PySATBackend({self._num_variables} variables)"
+
+
+if PYSAT_AVAILABLE:  # pragma: no cover - exercised in the optional-backends job
+    register_backend("pysat", PySATBackend)

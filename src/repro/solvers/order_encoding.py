@@ -29,8 +29,9 @@ from repro.core.denial import DenialConstraint
 from repro.core.instance import TemporalInstance
 from repro.core.specification import Specification
 from repro.exceptions import SolverError
+from repro.solvers.backend import SolverBackend, create_solver, resolve_backend
 from repro.solvers.cnf import CNF
-from repro.solvers.sat import Model, Solver, iterate_models
+from repro.solvers.sat import Model, iterate_models
 
 __all__ = ["PairVariable", "CompletionEncoder"]
 
@@ -51,11 +52,13 @@ class CompletionEncoder:
     the specification per candidate.
     """
 
-    def __init__(self, specification: Specification) -> None:
+    def __init__(self, specification: Specification, backend: Optional[str] = None) -> None:
         self.specification = specification
+        #: resolved solver backend name (see :mod:`repro.solvers.backend`)
+        self.backend = resolve_backend(backend)
         self.cnf = CNF()
         self._pair_domain: Dict[Tuple[str, str], List[Tuple[Hashable, Hashable]]] = {}
-        self._solver: Optional[Solver] = None
+        self._solver: Optional[SolverBackend] = None
         self._fed_clauses = 0
         self._cached_model: Optional[Tuple[int, Optional[Model]]] = None
         self._activation_count = 0
@@ -374,10 +377,10 @@ class CompletionEncoder:
     # Solving and decoding
     # ------------------------------------------------------------------ #
     @property
-    def solver(self) -> Solver:
+    def solver(self) -> SolverBackend:
         """The incremental solver, synced with every clause of ``self.cnf``."""
         if self._solver is None:
-            self._solver = Solver(self.cnf.num_variables)
+            self._solver = create_solver(self.backend, self.cnf.num_variables)
         solver = self._solver
         solver.ensure_vars(self.cnf.num_variables)
         clauses = self.cnf.clauses
@@ -450,5 +453,31 @@ class CompletionEncoder:
         self, limit: Optional[int] = None
     ) -> Iterable[Dict[str, TemporalInstance]]:
         """Enumerate consistent completions (distinct SAT models)."""
-        for model in iterate_models(self.cnf, limit=limit):
+        for model in iterate_models(self.cnf, limit=limit, backend=self.backend):
             yield self.decode(model)
+
+    # ------------------------------------------------------------------ #
+    # Pickling (warm-state snapshots)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Dict[str, object]:
+        """Degrade gracefully for engines whose warm state cannot pickle.
+
+        When the active backend supports snapshots the solver travels with
+        the encoder (PR 8's warm-state pipeline).  Otherwise the solver is
+        dropped and the feed cursor reset, so the first question after a
+        restore lazily rebuilds a cold engine from ``self.cnf``.
+        """
+        state = dict(self.__dict__)
+        solver = state.get("_solver")
+        if solver is not None and not solver.supports_snapshot():
+            state["_solver"] = None
+            state["_fed_clauses"] = 0
+            state["_cached_model"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        # encoders pickled before the backend seam existed default to the
+        # reference engine
+        if "backend" not in self.__dict__:
+            self.backend = "reference"

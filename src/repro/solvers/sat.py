@@ -3,13 +3,15 @@
 No external SAT/SMT bindings are available offline, so the library ships its
 own complete solver.  The engine is a modern CDCL core:
 
-* two-watched-literal unit propagation (clauses are never copied or shrunk);
+* two-watched-literal unit propagation (clauses are never copied or shrunk),
+  with binary clauses special-cased into flat implication adjacency lists
+  that skip the watch machinery entirely;
 * first-UIP conflict analysis with clause learning and self-subsumption
   minimisation of the learnt clause;
 * non-chronological backjumping;
 * VSIDS-style decision scoring with phase saving;
 * Luby-sequence restarts;
-* periodic reduction of the learnt-clause database.
+* periodic, glue-aware (LBD) reduction of the learnt-clause database.
 
 The incremental :class:`Solver` keeps all of this state — learnt clauses,
 variable activities, saved phases — alive across calls, so the enumeration
@@ -65,18 +67,27 @@ def _luby(base: int, index: int) -> int:
 class _Clause:
     """A clause under two-watched-literal invariants.
 
-    ``lits[0]`` and ``lits[1]`` are the watched literals.  Learnt clauses
-    carry an activity score for the database-reduction heuristic and can be
-    marked deleted (they are then dropped lazily from the watch lists).
+    ``lits[0]`` and ``lits[1]`` are the watched literals.  Binary clauses are
+    not watched at all — they live in the solver's flat binary-implication
+    adjacency lists instead (``_bins``), where propagation needs no watch
+    juggling.  Learnt clauses carry an activity score and an LBD ("glue":
+    the number of distinct decision levels in the clause when it was learnt)
+    for the database-reduction heuristic and can be marked deleted (the
+    reduction pass purges them from the watch lists eagerly, so propagation
+    never has to check).  ``blocker`` is a cached literal of the clause —
+    when it is currently satisfied the propagation loop skips the clause
+    without touching its literal list (MiniSat's blocker optimisation).
     """
 
-    __slots__ = ("lits", "learnt", "activity", "deleted")
+    __slots__ = ("lits", "learnt", "activity", "deleted", "lbd", "blocker")
 
-    def __init__(self, lits: List[int], learnt: bool) -> None:
+    def __init__(self, lits: List[int], learnt: bool, lbd: int = 0) -> None:
         self.lits = lits
         self.learnt = learnt
+        self.blocker = lits[0]
         self.activity = 0.0
         self.deleted = False
+        self.lbd = lbd
 
 
 class Solver:
@@ -103,13 +114,38 @@ class Solver:
     _CLAUSE_RESCALE = 1e20
 
     def __init__(self, num_variables: int = 0) -> None:
+        self._var_count = 0
+        # Literal-indexed storage trick used by the three hot maps below:
+        # a list of length ``2 * _cap + 1`` holds variable ``v``'s positive
+        # literal at index ``v`` and its negative literal at index ``-v``
+        # (python's negative indexing resolves it from the tail; the +1 keeps
+        # the two ranges disjoint).  A literal — of either sign — is then one
+        # plain subscript, with no branch, ``abs`` or offset arithmetic in
+        # the propagation inner loop.  Capacity grows by doubling with an
+        # amortised-O(1) rebuild because appending would shift every
+        # negative index.
+        self._cap = 16
+        # ``_assign[lit]``: +1 when *lit* is true, -1 when false, 0 unassigned
+        self._assign: List[int] = [0] * (2 * self._cap + 1)
         # per-variable state, 1-indexed (slot 0 unused)
-        self._values: List[int] = [0]  # 0 unassigned, +1 true, -1 false
         self._levels: List[int] = [0]
         self._reasons: List[Optional[_Clause]] = [None]
         self._activity: List[float] = [0.0]
         self._phase: List[bool] = [False]
-        self._watches: Dict[int, List[_Clause]] = {}
+        # watch lists hold the clauses watching each literal; each clause
+        # additionally carries a ``blocker`` literal hint (see ``_Clause``)
+        # whose being satisfied lets propagation skip the clause entirely
+        self._watches: List[List[_Clause]] = [
+            [] for _ in range(2 * self._cap + 1)
+        ]
+        # binary-implication adjacency as parallel lists: for a binary
+        # clause (x ∨ y), ``_bins[-x]`` holds ``[ [y, ...], [clause, ...] ]``
+        # — falsifying one literal implies the other without touching the
+        # watch machinery, and the satisfied-implication fast path never
+        # touches the clause object at all
+        self._bins: List[List[List[Any]]] = [
+            [[], []] for _ in range(2 * self._cap + 1)
+        ]
         self._clauses: List[_Clause] = []
         self._learnts: List[_Clause] = []
         self._trail: List[int] = []
@@ -138,6 +174,14 @@ class Solver:
     # ------------------------------------------------------------------ #
     # Pickling
     # ------------------------------------------------------------------ #
+    def supports_snapshot(self) -> bool:
+        """Whether this engine's warm state survives pickling (it does: the
+        reference backend is the one engine snapshots were designed around).
+        Part of the :class:`~repro.solvers.backend.SolverBackend` surface —
+        layers holding an engine consult it before capturing warm state, and
+        degrade to re-encode-on-restore when it answers False."""
+        return True
+
     def __getstate__(self) -> Dict[str, Any]:
         """Everything but the watch lists (rebuilt on restore).
 
@@ -155,22 +199,42 @@ class Solver:
             self._cancel_until(0)
         state = dict(self.__dict__)
         del state["_watches"]
+        del state["_bins"]
         state["_learnts"] = [c for c in self._learnts if not c.deleted]
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__dict__.update(state)
-        watches: Dict[int, List[_Clause]] = {}
-        for variable in range(1, len(self._values)):
-            watches[variable] = []
-            watches[-variable] = []
+        size = 2 * self._cap + 1
+        watches: List[List[_Clause]] = [[] for _ in range(size)]
+        bins: List[List[List[Any]]] = [[[], []] for _ in range(size)]
         for clause in self._clauses:
-            watches[clause.lits[0]].append(clause)
-            watches[clause.lits[1]].append(clause)
+            self._attach(clause, watches, bins)
         for clause in self._learnts:
-            watches[clause.lits[0]].append(clause)
-            watches[clause.lits[1]].append(clause)
+            self._attach(clause, watches, bins)
         self._watches = watches
+        self._bins = bins
+
+    @staticmethod
+    def _attach(
+        clause: _Clause,
+        watches: List[List[_Clause]],
+        bins: List[List[List[Any]]],
+    ) -> None:
+        """Index *clause* for propagation: binaries into the implication
+        adjacency lists, everything longer into the (blocker, clause) watch
+        lists — each watch carries the opposite watch as its blocker."""
+        lits = clause.lits
+        if len(lits) == 2:
+            pair = bins[-lits[0]]
+            pair[0].append(lits[1])
+            pair[1].append(clause)
+            pair = bins[-lits[1]]
+            pair[0].append(lits[0])
+            pair[1].append(clause)
+        else:
+            watches[lits[0]].append(clause)
+            watches[lits[1]].append(clause)
 
     # ------------------------------------------------------------------ #
     # Variables and clauses
@@ -178,25 +242,41 @@ class Solver:
     @property
     def num_variables(self) -> int:
         """Number of variables allocated so far."""
-        return len(self._values) - 1
+        return self._var_count
 
     def ensure_vars(self, count: int) -> None:
         """Grow the variable space to at least *count* variables."""
-        while self.num_variables < count:
-            variable = self.num_variables + 1
-            self._values.append(0)
+        if count <= self._var_count:
+            return
+        if count > self._cap:
+            cap = self._cap
+            while cap < count:
+                cap *= 2
+            size = 2 * cap + 1
+            assign = [0] * size
+            watches: List[List[_Clause]] = [[] for _ in range(size)]
+            bins: List[List[List[Any]]] = [[[], []] for _ in range(size)]
+            for v in range(1, self._var_count + 1):
+                assign[v] = self._assign[v]
+                assign[-v] = self._assign[-v]
+                watches[v] = self._watches[v]
+                watches[-v] = self._watches[-v]
+                bins[v] = self._bins[v]
+                bins[-v] = self._bins[-v]
+            self._assign, self._watches, self._bins = assign, watches, bins
+            self._cap = cap
+        while self._var_count < count:
+            variable = self._var_count + 1
+            self._var_count = variable
             self._levels.append(0)
             self._reasons.append(None)
             self._activity.append(0.0)
             self._phase.append(False)
             self._seen.append(0)
-            self._watches[variable] = []
-            self._watches[-variable] = []
             heappush(self._heap, (0.0, variable))
 
     def _lit_value(self, lit: int) -> int:
-        value = self._values[lit if lit > 0 else -lit]
-        return value if lit > 0 else -value
+        return self._assign[lit]
 
     def add_clause(self, literals: Sequence[int]) -> bool:
         """Add a clause; returns False iff the solver became unsatisfiable.
@@ -214,12 +294,12 @@ class Solver:
         for lit in literals:
             if lit == 0:
                 raise SolverError("0 is not a valid literal")
-            self.ensure_vars(abs(lit))
+            self.ensure_vars(lit if lit > 0 else -lit)
             if -lit in seen:
                 return True  # tautology
             if lit in seen:
                 continue
-            value = self._lit_value(lit)
+            value = self._assign[lit]
             if value == 1:
                 return True  # already satisfied at the root level
             if value == -1:
@@ -234,16 +314,16 @@ class Solver:
             return True
         clause = _Clause(lits, learnt=False)
         self._clauses.append(clause)
-        self._watches[lits[0]].append(clause)
-        self._watches[lits[1]].append(clause)
+        self._attach(clause, self._watches, self._bins)
         return True
 
     # ------------------------------------------------------------------ #
     # Trail management
     # ------------------------------------------------------------------ #
     def _enqueue(self, lit: int, reason: Optional[_Clause]) -> None:
-        variable = abs(lit)
-        self._values[variable] = 1 if lit > 0 else -1
+        variable = lit if lit > 0 else -lit
+        self._assign[lit] = 1
+        self._assign[-lit] = -1
         self._levels[variable] = len(self._trail_lim)
         self._reasons[variable] = reason
         self._trail.append(lit)
@@ -256,13 +336,19 @@ class Solver:
         if len(self._trail_lim) <= level:
             return
         bound = self._trail_lim[level]
+        assign = self._assign
+        phase = self._phase
+        reasons = self._reasons
+        activity = self._activity
+        heap = self._heap
         for index in range(len(self._trail) - 1, bound - 1, -1):
             lit = self._trail[index]
-            variable = abs(lit)
-            self._phase[variable] = lit > 0  # phase saving
-            self._values[variable] = 0
-            self._reasons[variable] = None
-            heappush(self._heap, (-self._activity[variable], variable))
+            variable = lit if lit > 0 else -lit
+            phase[variable] = lit > 0  # phase saving
+            assign[lit] = 0
+            assign[-lit] = 0
+            reasons[variable] = None
+            heappush(heap, (-activity[variable], variable))
         del self._trail[bound:]
         del self._trail_lim[level:]
         self._qhead = len(self._trail)
@@ -271,42 +357,88 @@ class Solver:
     # Propagation
     # ------------------------------------------------------------------ #
     def _propagate(self) -> Optional[_Clause]:
-        """Exhaust the propagation queue; the conflicting clause or None."""
-        values = self._values
+        """Exhaust the propagation queue; the conflicting clause or None.
+
+        The inner loop is the profile leader of the whole stack, so it is
+        written against hoisted locals (attribute loads dominate otherwise),
+        enqueues inline, counts propagations once as a delta on exit, and
+        scans the flat binary-implication adjacency of each dequeued literal
+        before touching the watch machinery at all.
+        """
+        assign = self._assign
+        levels = self._levels
+        reasons = self._reasons
         watches = self._watches
-        while self._qhead < len(self._trail):
-            lit = self._trail[self._qhead]
-            self._qhead += 1
-            self._stats["propagations"] += 1
+        bins = self._bins
+        trail = self._trail
+        level = len(self._trail_lim)
+        qhead = self._qhead
+        conflict: Optional[_Clause] = None
+        while qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
+            # binary implications: no watches to repair, just assign or fail
+            # (``bins[lit]`` holds the implications of clauses whose other
+            # literal ``lit`` just falsified — see ``_attach``)
+            pair = bins[lit]
+            blits = pair[0]
+            if blits:
+                for index, other in enumerate(blits):
+                    value = assign[other]
+                    if value == 0:
+                        assign[other] = 1
+                        assign[-other] = -1
+                        clause = pair[1][index]
+                        variable = other if other > 0 else -other
+                        levels[variable] = level
+                        reasons[variable] = clause
+                        trail.append(other)
+                    elif value < 0:  # falsified: conflict
+                        conflict = pair[1][index]
+                        break
+                if conflict is not None:
+                    break
             watchers = watches[-lit]
+            if not watchers:
+                continue
             kept: List[_Clause] = []
             watches[-lit] = kept
             for position, clause in enumerate(watchers):
-                if clause.deleted:
+                if assign[clause.blocker] == 1:
+                    kept.append(clause)
                     continue
                 lits = clause.lits
                 # put the falsified watch at slot 1
                 if lits[0] == -lit:
                     lits[0], lits[1] = lits[1], lits[0]
                 first = lits[0]
-                value = values[first] if first > 0 else -values[-first]
+                value = assign[first]
                 if value == 1:
+                    clause.blocker = first
                     kept.append(clause)
                     continue
                 for index in range(2, len(lits)):
-                    other = lits[index]
-                    if (values[other] if other > 0 else -values[-other]) != -1:
+                    if assign[lits[index]] >= 0:
                         lits[1], lits[index] = lits[index], lits[1]
                         watches[lits[1]].append(clause)
                         break
                 else:
                     kept.append(clause)
-                    if value == -1:  # conflict
+                    if value < 0:  # conflict
                         kept.extend(watchers[position + 1:])
-                        self._qhead = len(self._trail)
-                        return clause
-                    self._enqueue(first, clause)
-        return None
+                        conflict = clause
+                        break
+                    assign[first] = 1
+                    assign[-first] = -1
+                    variable = first if first > 0 else -first
+                    levels[variable] = level
+                    reasons[variable] = clause
+                    trail.append(first)
+            if conflict is not None:
+                break
+        self._stats["propagations"] += qhead - self._qhead
+        self._qhead = len(trail) if conflict is not None else qhead
+        return conflict
 
     # ------------------------------------------------------------------ #
     # Conflict analysis (first UIP)
@@ -322,10 +454,10 @@ class Solver:
             self._heap = [
                 (-self._activity[v], v)
                 for v in range(1, self.num_variables + 1)
-                if self._values[v] == 0
+                if self._assign[v] == 0
             ]
             heapify(self._heap)
-        elif self._values[variable] == 0:
+        elif self._assign[variable] == 0:
             heappush(self._heap, (-activity, variable))
 
     def _bump_clause(self, clause: _Clause) -> None:
@@ -336,11 +468,20 @@ class Solver:
                 learnt.activity *= scale
             self._cla_inc *= scale
 
-    def _analyze(self, conflict: _Clause) -> Tuple[int, List[int]]:
-        """First-UIP learnt clause and the backjump level."""
+    def _analyze(self, conflict: _Clause) -> Tuple[int, List[int], int]:
+        """First-UIP learnt clause, the backjump level, and the clause's LBD
+        (its "glue": the number of distinct decision levels it spans).
+
+        Hot path: locals are hoisted and the VSIDS bump is inlined — every
+        bumped variable is currently assigned (it sits on the trail), so the
+        push-back-into-the-heap branch of ``_bump_var`` can never fire here
+        and only the rare activity rescale needs handling, after the loop."""
         seen = self._seen
         levels = self._levels
         trail = self._trail
+        reasons = self._reasons
+        activity = self._activity
+        var_inc = self._var_inc
         current_level = len(self._trail_lim)
         learnt: List[int] = []
         to_clear: List[int] = []
@@ -348,54 +489,75 @@ class Solver:
         asserting: Optional[int] = None
         index = len(trail) - 1
         clause: Optional[_Clause] = conflict
+        rescale = False
         while True:
             assert clause is not None
             if clause.learnt:
                 self._bump_clause(clause)
             for lit in clause.lits:
-                variable = abs(lit)
+                variable = lit if lit > 0 else -lit
                 if not seen[variable] and levels[variable] > 0:
                     seen[variable] = 1
                     to_clear.append(variable)
-                    self._bump_var(variable)
+                    bumped = activity[variable] + var_inc
+                    activity[variable] = bumped
+                    if bumped > self._ACTIVITY_RESCALE:
+                        rescale = True
                     if levels[variable] >= current_level:
                         path_count += 1
                     else:
                         learnt.append(lit)
-            while not seen[abs(trail[index])]:
+            while True:
+                asserting = trail[index]
                 index -= 1
-            asserting = trail[index]
-            index -= 1
+                if seen[asserting if asserting > 0 else -asserting]:
+                    break
             path_count -= 1
             if path_count == 0:
                 break
-            clause = self._reasons[abs(asserting)]
+            clause = reasons[asserting if asserting > 0 else -asserting]
+        if rescale:
+            scale = 1.0 / self._ACTIVITY_RESCALE
+            for v in range(1, self.num_variables + 1):
+                activity[v] *= scale
+            self._var_inc *= scale
+            assign = self._assign
+            self._heap = [
+                (-activity[v], v)
+                for v in range(1, self.num_variables + 1)
+                if assign[v] == 0
+            ]
+            heapify(self._heap)
         # self-subsumption minimisation: a context literal is redundant when
         # its reason is made entirely of literals already in the clause
         minimized: List[int] = []
         for lit in learnt:
-            reason = self._reasons[abs(lit)]
+            reason = reasons[lit if lit > 0 else -lit]
             if reason is None:
                 minimized.append(lit)
                 continue
             for other in reason.lits:
-                variable = abs(other)
+                variable = other if other > 0 else -other
                 if not seen[variable] and levels[variable] > 0:
                     minimized.append(lit)
                     break
         learnt_clause = [-asserting] + minimized
-        seen[abs(asserting)] = 0
+        seen[asserting if asserting > 0 else -asserting] = 0
         for variable in to_clear:
             seen[variable] = 0
+        lbd = len({levels[lit if lit > 0 else -lit] for lit in learnt_clause})
         if len(learnt_clause) == 1:
-            return 0, learnt_clause
+            return 0, learnt_clause, lbd
         # watch a literal of the backjump level at slot 1
         max_index = 1
+        max_level = levels[learnt_clause[1] if learnt_clause[1] > 0 else -learnt_clause[1]]
         for index in range(2, len(learnt_clause)):
-            if levels[abs(learnt_clause[index])] > levels[abs(learnt_clause[max_index])]:
-                max_index = index
+            lit = learnt_clause[index]
+            lit_level = levels[lit if lit > 0 else -lit]
+            if lit_level > max_level:
+                max_index, max_level = index, lit_level
         learnt_clause[1], learnt_clause[max_index] = learnt_clause[max_index], learnt_clause[1]
-        return levels[abs(learnt_clause[1])], learnt_clause
+        return max_level, learnt_clause, lbd
 
     def _assumption_core(self, failed: int) -> List[int]:
         """The subset of the current assumptions responsible for falsifying
@@ -428,33 +590,49 @@ class Solver:
             seen[start] = 0
         return sorted(core, key=abs)
 
-    def _record_learnt(self, lits: List[int]) -> None:
+    def _record_learnt(self, lits: List[int], lbd: int = 0) -> None:
         self._stats["learnt"] += 1
         if len(lits) == 1:
             self._enqueue(lits[0], None)
             return
-        clause = _Clause(lits, learnt=True)
+        clause = _Clause(lits, learnt=True, lbd=lbd)
         self._bump_clause(clause)
         self._learnts.append(clause)
-        self._watches[lits[0]].append(clause)
-        self._watches[lits[1]].append(clause)
+        self._attach(clause, self._watches, self._bins)
         self._enqueue(lits[0], clause)
 
     def _reduce_learnts(self) -> None:
-        """Drop the less active half of the learnt clauses (keep binary
-        clauses and clauses that are currently propagation reasons)."""
-        self._learnts.sort(key=lambda c: c.activity)
+        """Drop the worse half of the learnt clauses, judged by glue first
+        (high LBD goes first) and activity second.  "Glue" clauses
+        (``lbd <= 2``), binary clauses and clauses that are currently
+        propagation reasons always survive — glue-2 clauses connect exactly
+        two decision levels and re-deriving them is what restarts spend most
+        of their time on."""
+        self._learnts.sort(key=lambda c: (-c.lbd, c.activity))
         keep_from = len(self._learnts) // 2
         kept: List[_Clause] = []
         for index, clause in enumerate(self._learnts):
             locked = self._reasons[abs(clause.lits[0])] is clause
-            if index >= keep_from or len(clause.lits) <= 2 or locked:
+            if (
+                index >= keep_from
+                or len(clause.lits) <= 2
+                or clause.lbd <= 2
+                or locked
+            ):
                 kept.append(clause)
             else:
                 clause.deleted = True
                 self._stats["deleted"] += 1
         self._learnts = kept
         self._max_learnts *= 1.3
+        # purge deleted clauses from the watch lists eagerly so the
+        # propagation inner loop needs no per-entry deleted check (binaries
+        # are never deleted, so the implication lists need no purge)
+        watches = self._watches
+        for index in range(len(watches)):
+            watchers = watches[index]
+            if watchers:
+                watches[index] = [c for c in watchers if not c.deleted]
 
     def _decay_activities(self) -> None:
         self._var_inc *= self._var_decay
@@ -466,7 +644,7 @@ class Solver:
     def _pick_branch_variable(self) -> Optional[int]:
         heap = self._heap
         activity = self._activity
-        values = self._values
+        values = self._assign
         while heap:
             negated, variable = heappop(heap)
             if values[variable] == 0 and -negated == activity[variable]:
@@ -516,12 +694,12 @@ class Solver:
                     self._ok = False  # conflict at the root: UNSAT forever
                     self._final_core = []
                     return False
-                backjump, learnt = self._analyze(conflict)
+                backjump, learnt, lbd = self._analyze(conflict)
                 jump = len(self._trail_lim) - backjump
                 if jump > self._stats["max_backjump"]:
                     self._stats["max_backjump"] = jump
                 self._cancel_until(backjump)
-                self._record_learnt(learnt)
+                self._record_learnt(learnt, lbd)
                 self._decay_activities()
                 charged_from = self._charge_budget(budget, charged_from)
                 continue
@@ -564,6 +742,16 @@ class Solver:
         only; the clause database is not modified.  Learnt clauses, variable
         activities and saved phases persist to the next call.
 
+        Assumption semantics (normative for every registered backend, see
+        :class:`~repro.solvers.backend.SolverBackend`): duplicate assumptions
+        are idempotent — ``solve([x, x])`` behaves exactly like
+        ``solve([x])``, including the reported core.  A syntactically
+        contradictory assumption list (both ``x`` and ``-x`` present)
+        short-circuits to UNSAT without searching; ``analyze_final()`` then
+        reports exactly the offending pair, earlier-assumed literal first.
+        Cores never contain duplicates, are sorted by variable, and are
+        always a subset of the assumptions passed.
+
         *budget* (or, when None, the ambient budget installed by
         :func:`~repro.solvers.budget.budget_scope`) bounds the search:
         exceeding it raises :class:`~repro.exceptions.ResourceBudgetExceeded`
@@ -579,10 +767,23 @@ class Solver:
         if effective is not None:
             effective.check()
         self._final_core = None
-        assumed = list(assumptions)
-        for lit in assumed:
+        # normalise the assumption list: duplicates are idempotent, and a
+        # syntactically contradictory pair is UNSAT by inspection — the core
+        # is exactly that pair, earlier-assumed literal first (searching
+        # instead would surface whichever derivation the solver tripped over
+        # first, in trail order that varies with learnt state)
+        assumed: List[int] = []
+        seen_assumptions = set()
+        for lit in assumptions:
             if lit == 0:
                 raise SolverError("0 is not a valid literal")
+            if lit in seen_assumptions:
+                continue
+            if -lit in seen_assumptions:
+                self._final_core = [-lit, lit]
+                return None
+            seen_assumptions.add(lit)
+            assumed.append(lit)
             self.ensure_vars(abs(lit))
         self._cancel_until(0)
         outcome: Optional[bool] = None
@@ -595,10 +796,8 @@ class Solver:
         if not outcome:
             self._cancel_until(0)
             return None
-        model = {
-            variable: self._values[variable] == 1
-            for variable in range(1, self.num_variables + 1)
-        }
+        positives = self._assign[1 : self._var_count + 1]
+        model = dict(zip(range(1, self._var_count + 1), [x == 1 for x in positives]))
         self._cancel_until(0)
         return model
 
@@ -632,19 +831,31 @@ class Solver:
 # Module-level API (CDCL-backed)
 # --------------------------------------------------------------------------- #
 def solve(
-    clauses: Sequence[Clause], num_variables: Optional[int] = None
+    clauses: Sequence[Clause],
+    num_variables: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Optional[Model]:
-    """Solve a raw clause list; returns a total model or None if unsatisfiable."""
-    solver = Solver(num_variables or 0)
+    """Solve a raw clause list; returns a total model or None if unsatisfiable.
+
+    *backend* selects a registered solver backend (default: the reference
+    CDCL engine) — imported lazily because the backend registry itself
+    imports this module.
+    """
+    if backend is None:
+        solver: Any = Solver(num_variables or 0)
+    else:
+        from repro.solvers.backend import create_solver
+
+        solver = create_solver(backend, num_variables or 0)
     for clause in clauses:
         if not solver.add_clause(clause):
             return None
     return solver.solve()
 
 
-def solve_cnf(cnf: CNF) -> Optional[Model]:
+def solve_cnf(cnf: CNF, backend: Optional[str] = None) -> Optional[Model]:
     """Solve a :class:`CNF`; returns a total model over its variables or None."""
-    return solve(cnf.clauses, cnf.num_variables)
+    return solve(cnf.clauses, cnf.num_variables, backend=backend)
 
 
 def is_satisfiable(cnf: CNF) -> bool:
@@ -653,7 +864,10 @@ def is_satisfiable(cnf: CNF) -> bool:
 
 
 def iterate_models(
-    cnf: CNF, project_onto: Optional[Sequence[int]] = None, limit: Optional[int] = None
+    cnf: CNF,
+    project_onto: Optional[Sequence[int]] = None,
+    limit: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Iterator[Model]:
     """Enumerate models, optionally projected onto a subset of variables.
 
@@ -663,8 +877,17 @@ def iterate_models(
     carries the whole enumeration, so clauses learnt while finding one model
     (and the variable activities and saved phases) keep pruning the search
     for all later models instead of restarting from scratch.
+
+    *backend* selects a registered solver backend for the enumeration
+    (default: the reference CDCL engine) — imported lazily because the
+    backend registry itself imports this module.
     """
-    solver = Solver(cnf.num_variables)
+    if backend is None:
+        solver: Any = Solver(cnf.num_variables)
+    else:
+        from repro.solvers.backend import create_solver
+
+        solver = create_solver(backend, cnf.num_variables)
     for clause in cnf.clauses:
         if not solver.add_clause(clause):
             return

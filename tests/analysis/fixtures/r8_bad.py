@@ -1,0 +1,10 @@
+"""R8 violations: concrete solver engines constructed outside ``repro.solvers``."""
+
+
+def hot_probe(cnf):
+    solver = Solver(cnf.num_variables)
+    return solver.solve()
+
+
+def adapter_shortcut():
+    return PySATBackend(0)

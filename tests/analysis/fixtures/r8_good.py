@@ -1,0 +1,9 @@
+"""R8 clean: engines come from the session's warm substrate, never built directly."""
+
+
+def warm_probe(session):
+    return session.encoder.satisfiable()
+
+
+def configured(specification, backend):
+    return ReasoningSession(specification, backend=backend)

@@ -1,4 +1,4 @@
-"""Tests for the reprolint static-analysis framework (R1–R6).
+"""Tests for the reprolint static-analysis framework (R1–R8).
 
 Three layers: per-rule fixture tests (each rule fires on its bug class and
 stays quiet on the compliant twin, and stops firing when the rule is
@@ -38,7 +38,7 @@ def codes(report):
 # --------------------------------------------------------------------------- #
 # per-rule fixtures: fires on bad, quiet on good, quiet when disabled
 # --------------------------------------------------------------------------- #
-RULE_CODES = ["R1", "R2", "R3", "R4", "R5", "R6", "R7"]
+RULE_CODES = ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"]
 
 
 @pytest.mark.parametrize("code", RULE_CODES)
@@ -94,6 +94,36 @@ def test_r4_flags_both_naive_call_and_fresh_substrate():
     assert any("naive" in message for message in messages)
     assert any("fresh Solver()" in message for message in messages)
     assert any("fresh CompletionEncoder()" in message for message in messages)
+
+
+def test_r4_flags_factory_construction_in_hot_path(tmp_path):
+    # create_solver is the R8-blessed route, but in a hot layer a fresh
+    # engine still discards warm state — R4 learned the factory's name
+    path = tmp_path / "hot.py"
+    path.write_text(
+        "def hot(cnf, backend):\n"
+        "    return create_solver(backend, cnf.num_variables)\n"
+    )
+    report = lint(path, rules=[rule_by_identifier("R4")])
+    assert any("create_solver" in f.message for f in report.unsuppressed)
+
+
+def test_r8_flags_both_concrete_backends():
+    report = lint(FIXTURES / "r8_bad.py")
+    messages = [f.message for f in report.unsuppressed if f.rule == "R8"]
+    assert any("Solver()" in message for message in messages)
+    assert any("PySATBackend()" in message for message in messages)
+    assert all("create_solver" in message for message in messages)
+
+
+def test_r8_quiet_inside_repro_solvers(tmp_path):
+    # the same construction is legal inside the backend's home package
+    home = tmp_path / "src" / "repro" / "solvers" / "engine.py"
+    home.parent.mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+    home.write_text("def build(n):\n    return Solver(n)\n")
+    report = lint(home, rules=[rule_by_identifier("R8")])
+    assert not report.findings
 
 
 def test_r6_reaches_transitively_through_member_types():

@@ -71,3 +71,20 @@ def two_entity_instance(pair_schema):
         "u2": {"EID": "e2", "A": 4, "B": 40},
     }
     return TemporalInstance.from_rows(pair_schema, rows)
+
+
+#: every solver backend the differential sweeps should try; optional engines
+#: skip cleanly (per backend, not per test run) when their library is absent
+KNOWN_BACKENDS = ("reference", "pysat")
+
+
+@pytest.fixture(scope="session", params=KNOWN_BACKENDS)
+def backend(request):
+    """Each registered solver backend in turn (session-scoped so the
+    hypothesis harnesses can share it without the function-scoped-fixture
+    health check firing); unregistered optional backends are skipped."""
+    from repro.solvers.backend import available_backends
+
+    if request.param not in available_backends():
+        pytest.skip(f"solver backend {request.param!r} is not installed")
+    return request.param

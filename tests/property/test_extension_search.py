@@ -280,8 +280,8 @@ def _assert_valid_certificate(seed, query, specification, witness):
 # --------------------------------------------------------------------------- #
 # The differential check
 # --------------------------------------------------------------------------- #
-def _check_case(seed: int, specification, query, bcp_bounds=(0, 1, 2)) -> None:
-    space = ExtensionSearchSpace(specification)
+def _check_case(seed: int, specification, query, bcp_bounds=(0, 1, 2), backend=None) -> None:
+    space = ExtensionSearchSpace(specification, backend=backend)
 
     # 1. the sets of consistent extensions coincide (closure-wide)
     oracle_consistent = _oracle_consistent_selections(specification, space.closure)
@@ -336,24 +336,24 @@ def _check_case(seed: int, specification, query, bcp_bounds=(0, 1, 2)) -> None:
 
 
 @pytest.mark.parametrize("seed", range(CASES))
-def test_sat_and_naive_engines_agree(seed):
-    """The ≥200-case differential sweep (tier-1)."""
+def test_sat_and_naive_engines_agree(seed, backend):
+    """The ≥200-case differential sweep (tier-1), per registered backend."""
     specification, query = _generate(seed)
-    _check_case(seed, specification, query)
+    _check_case(seed, specification, query, backend=backend)
 
 
 @pytest.mark.parametrize("seed", range(CHAINED_CASES))
-def test_chained_workloads_agree(seed):
+def test_chained_workloads_agree(seed, backend):
     """≥200 seeded chained specifications: CPP/ECP/BCP verdicts match the
     explicit closure oracle, witnesses need derived imports, certificates
-    hold (tier-1)."""
+    hold (tier-1, per registered backend)."""
     specification, query = _generate_chained(seed)
-    _check_case(seed, specification, query, bcp_bounds=(0, 1, 2, 3))
+    _check_case(seed, specification, query, bcp_bounds=(0, 1, 2, 3), backend=backend)
 
 
 @pytest.mark.slow
 @pytest.mark.parametrize("seed", range(CASES, EXTENDED_CASES))
-def test_sat_and_naive_engines_agree_extended(seed):
+def test_sat_and_naive_engines_agree_extended(seed, backend):
     """400 further seeds for the full property sweep (slow tier)."""
     specification, query = _generate(seed)
-    _check_case(seed, specification, query)
+    _check_case(seed, specification, query, backend=backend)

@@ -89,14 +89,18 @@ class TestPartialOrderProperties:
 # SAT solver invariants
 # --------------------------------------------------------------------------- #
 class TestSATProperties:
+    """Differential sweep: every registered backend (the session-scoped
+    ``backend`` fixture) must return identical verdicts, satisfying models,
+    and projected-model counts as the seed DPLL oracle."""
+
     @given(cnf_clauses)
     @settings(max_examples=60, deadline=None)
-    def test_models_satisfy_every_clause(self, clause_spec):
+    def test_models_satisfy_every_clause(self, backend, clause_spec):
         clauses = [
             tuple(var if positive else -var for var, positive in clause)
             for clause in clause_spec
         ]
-        model = solve(clauses, num_variables=5)
+        model = solve(clauses, num_variables=5, backend=backend)
         if model is None:
             # verify unsatisfiability by brute force over 5 variables
             from itertools import product
@@ -112,21 +116,23 @@ class TestSATProperties:
 
     @given(cnf_clauses)
     @settings(max_examples=60, deadline=None)
-    def test_cdcl_and_naive_verdicts_agree(self, clause_spec):
-        """The CDCL engine and the retained seed DPLL (`solve_naive`) return
-        the same satisfiability verdict on random formulas."""
+    def test_cdcl_and_naive_verdicts_agree(self, backend, clause_spec):
+        """The active backend and the retained seed DPLL (`solve_naive`)
+        return the same satisfiability verdict on random formulas."""
         clauses = [
             tuple(var if positive else -var for var, positive in clause)
             for clause in clause_spec
         ]
-        assert (solve(clauses, num_variables=5) is None) == (
+        assert (solve(clauses, num_variables=5, backend=backend) is None) == (
             solve_naive(clauses, num_variables=5) is None
         )
 
     @given(cnf_clauses, st.lists(st.integers(1, 5), min_size=1, max_size=5, unique=True))
     @settings(max_examples=40, deadline=None)
-    def test_projected_model_counts_match_naive_enumeration(self, clause_spec, projection):
-        """Incremental CDCL enumeration under `project_onto` yields exactly as
+    def test_projected_model_counts_match_naive_enumeration(
+        self, backend, clause_spec, projection
+    ):
+        """Incremental enumeration under `project_onto` yields exactly as
         many distinct projected models as seed-style from-scratch re-solving
         with blocking clauses."""
         cnf = CNF()
@@ -134,7 +140,9 @@ class TestSATProperties:
             cnf.variable(f"x{variable}")
         for clause in clause_spec:
             cnf.add_clause(var if positive else -var for var, positive in clause)
-        cdcl_count = sum(1 for _ in iterate_models(cnf, project_onto=projection))
+        cdcl_count = sum(
+            1 for _ in iterate_models(cnf, project_onto=projection, backend=backend)
+        )
 
         clauses = list(cnf.clauses)
         naive_count = 0

@@ -50,7 +50,7 @@ def _roundtrip(session):
     return restored
 
 
-def _run_base_seed(seed):
+def _run_base_seed(seed, backend=None):
     rng = random.Random(seed * 6151)
     config = SyntheticConfig(
         entities=2,
@@ -66,7 +66,7 @@ def _run_base_seed(seed):
     spec = random_specification(config)
     rebuilt = random_specification(config)
     query = random_sp_query(spec, seed=seed)
-    session = ReasoningSession(spec)
+    session = ReasoningSession(spec, backend=backend)
     # warm the substrate so the snapshot has real caches to carry
     _check_base_problems(seed, session, rebuilt, query)
     kinds = [("order", "tuple"), ("denial", "order"), ("tuple", "denial")][seed % 3]
@@ -87,7 +87,7 @@ def _run_base_seed(seed):
     assert session.mutations == restored.mutations - len(mutations[split:])
 
 
-def _run_preservation_seed(seed):
+def _run_preservation_seed(seed, backend=None):
     rng = random.Random(seed * 9973)
     spec, query = preservation_workload(
         candidates=2, conflict_groups=1 + seed % 2, entities=1,
@@ -97,7 +97,7 @@ def _run_preservation_seed(seed):
         candidates=2, conflict_groups=1 + seed % 2, entities=1,
         spoiler=bool(seed % 2), seed=seed,
     )
-    session = ReasoningSession(spec)
+    session = ReasoningSession(spec, backend=backend)
     _check_preservation_problems(seed, session, rebuilt, query)
     restored = _roundtrip(session)
     _check_preservation_problems(seed, restored, rebuilt, query)
@@ -114,13 +114,13 @@ def _run_preservation_seed(seed):
 # Tier-1 sweeps (≥200 seeds overall)
 # --------------------------------------------------------------------------- #
 @pytest.mark.parametrize("seed", range(BASE_SEEDS))
-def test_snapshot_restore_equals_rebuild_base_problems(seed):
-    _run_base_seed(seed)
+def test_snapshot_restore_equals_rebuild_base_problems(seed, backend):
+    _run_base_seed(seed, backend=backend)
 
 
 @pytest.mark.parametrize("seed", range(PRESERVATION_SEEDS))
-def test_snapshot_restore_equals_rebuild_preservation_problems(seed):
-    _run_preservation_seed(seed)
+def test_snapshot_restore_equals_rebuild_preservation_problems(seed, backend):
+    _run_preservation_seed(seed, backend=backend)
 
 
 # --------------------------------------------------------------------------- #

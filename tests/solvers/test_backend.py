@@ -1,0 +1,261 @@
+"""The SolverBackend seam: registry, normative assumption semantics, and the
+snapshot degradation / cross-backend-refusal contracts.
+
+The assumption-semantics tests run once per registered backend (the session
+``backend`` fixture from conftest), so an optional engine that drifts from
+the reference semantics fails here before any differential sweep does.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.exceptions import SolverError, SpecificationError
+from repro.session import ReasoningSession, SnapshotStore, restore_bytes, snapshot_bytes
+from repro.solvers.backend import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    PYSAT_AVAILABLE,
+    SolverBackend,
+    _REGISTRY,
+    available_backends,
+    backend_factory,
+    create_solver,
+    default_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.solvers.order_encoding import CompletionEncoder
+from repro.solvers.sat import Solver
+from repro.workloads.synthetic import SyntheticConfig, random_specification
+
+
+class _FragileSolver(Solver):
+    """A reference engine that pretends its warm state cannot be pickled,
+    standing in for C-extension backends in snapshot-degradation tests."""
+
+    def supports_snapshot(self) -> bool:
+        return False
+
+
+@pytest.fixture()
+def scratch_backend():
+    """Register a second fully functional backend under a scratch name and
+    guarantee it is unregistered afterwards."""
+    name = "scratch"
+    register_backend(name, _FragileSolver)
+    try:
+        yield name
+    finally:
+        _REGISTRY.pop(name, None)
+
+
+def _spec(seed=0):
+    return random_specification(
+        SyntheticConfig(
+            entities=2,
+            tuples_per_entity=2,
+            attributes=2,
+            order_density=0.4,
+            value_domain=3,
+            with_constraints=True,
+            seed=seed,
+        )
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_reference_is_always_first(self):
+        names = available_backends()
+        assert names[0] == DEFAULT_BACKEND
+        assert names[1:] == sorted(names[1:])
+
+    def test_unknown_backend_reports_available(self):
+        with pytest.raises(SolverError) as excinfo:
+            backend_factory("no-such-engine")
+        assert "no-such-engine" in str(excinfo.value)
+        assert "reference" in str(excinfo.value)
+
+    def test_resolve_none_is_process_default(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None) == DEFAULT_BACKEND
+
+    def test_env_var_overrides_default(self, monkeypatch, scratch_backend):
+        monkeypatch.setenv(BACKEND_ENV_VAR, scratch_backend)
+        assert default_backend() == scratch_backend
+        assert resolve_backend(None) == scratch_backend
+        # an explicit argument still wins over the environment
+        assert resolve_backend("reference") == "reference"
+
+    def test_env_var_pointing_at_unregistered_engine_fails_fast(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "missing-engine")
+        with pytest.raises(SolverError):
+            resolve_backend(None)
+
+    def test_register_rejects_bad_names(self):
+        with pytest.raises(SolverError):
+            register_backend("", Solver)
+
+    def test_create_solver_builds_the_named_engine(self, scratch_backend):
+        engine = create_solver(scratch_backend, 3)
+        assert isinstance(engine, _FragileSolver)
+        assert engine.num_variables == 3
+
+    def test_every_registered_backend_satisfies_the_protocol(self, backend):
+        assert isinstance(create_solver(backend, 2), SolverBackend)
+
+    @pytest.mark.skipif(not PYSAT_AVAILABLE, reason="python-sat not installed")
+    def test_pysat_registers_when_importable(self):
+        assert "pysat" in available_backends()
+        assert create_solver("pysat").supports_snapshot() is False
+
+
+# --------------------------------------------------------------------------- #
+# Normative assumption semantics, per backend (regression for the historical
+# duplicate/contradictory divergence between engines)
+# --------------------------------------------------------------------------- #
+class TestAssumptionSemantics:
+    def test_duplicate_assumptions_are_idempotent(self, backend):
+        solver = create_solver(backend, 2)
+        solver.add_clause([1, 2])
+        model = solver.solve(assumptions=[1, 1, 1])
+        assert model is not None and model[1] is True
+        assert solver.analyze_final() is None
+
+    def test_duplicates_do_not_inflate_the_core(self, backend):
+        solver = create_solver(backend, 2)
+        solver.add_clause([-1, -2])
+        assert solver.solve(assumptions=[2, 1, 2, 1]) is None
+        core = solver.analyze_final()
+        assert core is not None
+        assert len(core) == len(set(core))
+        assert set(core) <= {1, 2}
+        assert core == sorted(core, key=abs)
+
+    def test_contradictory_pair_is_unsat_with_the_pair_as_core(self, backend):
+        solver = create_solver(backend, 1)
+        assert solver.solve(assumptions=[1, -1]) is None
+        assert solver.analyze_final() == [1, -1]
+
+    def test_contradictory_pair_core_orders_earlier_literal_first(self, backend):
+        solver = create_solver(backend, 3)
+        assert solver.solve(assumptions=[-3, 1, 3]) is None
+        assert solver.analyze_final() == [-3, 3]
+
+    def test_contradiction_short_circuits_before_search(self, backend):
+        solver = create_solver(backend, 2)
+        solver.add_clause([1, 2])
+        before = solver.stats()["conflicts"]
+        assert solver.solve(assumptions=[2, -2]) is None
+        assert solver.stats()["conflicts"] == before
+
+    def test_core_is_a_subset_of_the_assumptions(self, backend):
+        solver = create_solver(backend, 4)
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        solver.add_clause([-3, -1])
+        assert solver.solve(assumptions=[1, 4]) is None
+        core = solver.analyze_final()
+        assert core is not None and core
+        assert set(core) <= {1, 4}
+
+    def test_models_are_total_over_allocated_variables(self, backend):
+        solver = create_solver(backend, 4)
+        solver.add_clause([1])
+        model = solver.solve()
+        assert model is not None
+        assert set(model) == {1, 2, 3, 4}
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot capability and graceful degradation
+# --------------------------------------------------------------------------- #
+class TestSnapshotDegradation:
+    def test_reference_backend_supports_snapshot(self):
+        assert create_solver("reference").supports_snapshot() is True
+
+    def test_encoder_drops_unpicklable_engine_and_re_encodes(self, scratch_backend):
+        encoder = CompletionEncoder(_spec(), backend=scratch_backend)
+        verdict = encoder.satisfiable()
+        assert encoder._solver is not None  # warmed
+        clone = pickle.loads(pickle.dumps(encoder))
+        assert clone._solver is None  # degraded: engine not carried
+        assert clone._fed_clauses == 0
+        assert clone.satisfiable() == verdict  # re-encoded, same answer
+
+    def test_session_snapshot_round_trips_on_non_snapshot_backend(self, scratch_backend):
+        specification = _spec(3)
+        session = ReasoningSession(specification, backend=scratch_backend)
+        expected = (session.consistent(), session.deterministic())
+        restored = restore_bytes(snapshot_bytes(session))
+        assert restored.backend == scratch_backend
+        assert (restored.consistent(), restored.deterministic()) == expected
+
+
+# --------------------------------------------------------------------------- #
+# Cross-backend restore refusal
+# --------------------------------------------------------------------------- #
+class TestCrossBackendRestore:
+    def test_snapshot_records_the_backend_name(self, scratch_backend):
+        session = ReasoningSession(_spec(), backend=scratch_backend)
+        assert session.snapshot().backend == scratch_backend
+
+    def test_restore_refuses_a_different_backend(self, scratch_backend):
+        payload = snapshot_bytes(ReasoningSession(_spec()))
+        with pytest.raises(SpecificationError, match="refusing to restore"):
+            restore_bytes(payload, backend=scratch_backend)
+        # the matching backend (and the "whatever it was" default) still work
+        assert restore_bytes(payload, backend="reference").backend == "reference"
+        assert restore_bytes(payload).backend == "reference"
+
+    def test_restore_of_an_unregistered_backend_fails_cleanly(self, scratch_backend):
+        payload = snapshot_bytes(ReasoningSession(_spec(), backend=scratch_backend))
+        _REGISTRY.pop(scratch_backend)
+        try:
+            with pytest.raises(SolverError):
+                restore_bytes(payload)
+        finally:
+            register_backend(scratch_backend, _FragileSolver)
+
+    def test_store_treats_backend_mismatch_as_miss_without_deleting(
+        self, tmp_path, scratch_backend
+    ):
+        specification = _spec(5)
+        store = SnapshotStore(str(tmp_path))
+        store.store_session(ReasoningSession(specification))
+        assert store.load_session(specification, backend=scratch_backend) is None
+        assert store.entries()  # the (valid) file was left in place
+        hit = store.load_session(specification, backend="reference")
+        assert hit is not None and hit.backend == "reference"
+
+
+# --------------------------------------------------------------------------- #
+# set_backend: the registered cache mutation
+# --------------------------------------------------------------------------- #
+class TestSetBackend:
+    def test_same_backend_is_a_no_op(self):
+        session = ReasoningSession(_spec())
+        mutations = session.mutations
+        session.set_backend("reference")
+        assert session.mutations == mutations
+
+    def test_switch_rebuilds_solver_holders_and_keeps_answers(self, scratch_backend):
+        session = ReasoningSession(_spec(7))
+        verdict = session.consistent()
+        warm_encoder = session.encoder
+        session.set_backend(scratch_backend)
+        assert session.backend == scratch_backend
+        assert session.encoder is not warm_encoder  # rebuilt on the new engine
+        assert session.encoder.backend == scratch_backend
+        assert session.consistent() == verdict
+
+    def test_switch_to_unknown_backend_is_rejected_atomically(self):
+        session = ReasoningSession(_spec())
+        with pytest.raises(SolverError):
+            session.set_backend("missing-engine")
+        assert session.backend == "reference"
