@@ -13,10 +13,13 @@ Three sections:
   Verdicts are asserted equal before any timing is reported; the headline
   ``mixed_speedup`` is cold/warm on the largest workload.
 
-* **mutation** — incremental invalidation: a warm session absorbs a new
-  denial constraint (``add_denial`` extends the encoder and the space in
-  place) and re-answers CPP, vs rebuilding everything from scratch on the
-  mutated specification.
+* **mutation** — the streaming fast path: one mixed mutation stream
+  (``add_tuple`` / ``add_order`` / ``add_denial`` with windowed CPS / CCQA /
+  CPP re-asks, :func:`~repro.workloads.streaming_mutation_workload`) replayed
+  through a ``"delta"``-invalidation session vs a ``"coarse"`` one — the
+  pre-delta rebuild/clear policy.  Transcripts are asserted identical before
+  timing is reported.  See ``bench_streaming.py`` for the full
+  sustained-throughput tier (p50/p99 latency, ``--scale``).
 
 * **batch** — a request stream over several specifications (with structural
   duplicates) through :class:`~repro.session.BatchDriver`: serial mode vs the
@@ -40,6 +43,7 @@ Standalone script (not collected by pytest):
 from __future__ import annotations
 
 import argparse
+import copy
 import json
 import os
 import sys
@@ -47,8 +51,8 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.core.denial import AttrRef, Comparison, CurrencyAtom, DenialConstraint
 from repro.core.tuples import RelationTuple
+from repro.exceptions import InconsistentSpecificationError
 from repro.preservation.bcp import has_bounded_extension
 from repro.preservation.cpp import is_currency_preserving
 from repro.query.ast import SPQuery
@@ -61,7 +65,11 @@ from repro.session import (
     restore_bytes,
     snapshot_bytes,
 )
-from repro.workloads.synthetic import preservation_workload
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    preservation_workload,
+    streaming_mutation_workload,
+)
 
 
 def _timed(function, *args, **kwargs):
@@ -103,15 +111,31 @@ def _mixed_warm(session, queries, k):
     return verdicts
 
 
-def _mutation_constraint(specification):
-    schema = specification.instance("R1").schema
-    return DenialConstraint(
-        schema,
-        ("s", "t"),
-        body=[Comparison(AttrRef("s", "a1"), ">", AttrRef("t", "a1"))],
-        head=CurrencyAtom("t", "a1", "s"),
-        name="bench_mutation_a1",
-    )
+def _stream_outcome(function):
+    try:
+        return ("ok", function())
+    except InconsistentSpecificationError:
+        return ("inconsistent", None)
+
+
+def _replay_stream(policy, base, events, queries, window=8):
+    """Replay one streaming workload on a fresh session of the given
+    invalidation *policy*; the windowed-answer transcript is returned so the
+    delta and coarse replays can be asserted identical."""
+    session = ReasoningSession(copy.deepcopy(base), invalidation=policy)
+    transcript = []
+    for index, event in enumerate(events):
+        event.apply(session)
+        if (index + 1) % window == 0:
+            transcript.append(("cps", _stream_outcome(session.consistent)))
+            for query in queries:
+                transcript.append(
+                    ("ccqa", _stream_outcome(lambda: session.certain_answers(query)))
+                )
+            transcript.append(
+                ("cpp", _stream_outcome(lambda: session.cpp(queries[0])))
+            )
+    return transcript
 
 
 def _batch_requests(sizes, copies, k):
@@ -267,19 +291,21 @@ def run(smoke: bool, output: str) -> dict:
         warm_s, warm = _timed(_mixed_warm, session, queries, bcp_k)
         assert warm == cold, f"verdict mismatch on candidates={candidates}"
 
-        # mutation section: absorb a denial constraint on the warm session
-        # (incremental re-encode) and re-answer CPP ...
-        constraint = _mutation_constraint(specification)
-        query = queries[0]
-
-        def _mutate_warm():
-            session.add_denial("R1", constraint)
-            return session.cpp(query)
-
-        mutate_warm_s, mutated_warm = _timed(_mutate_warm)
-        # ... vs rebuilding everything on the mutated specification
+        # mutation section: the streaming fast path — one mixed mutation
+        # stream replayed under delta invalidation vs the coarse
+        # rebuild/clear policy, windowed answers asserted identical
+        stream_config = SyntheticConfig(
+            entities=2, tuples_per_entity=2, attributes=2, order_density=0.3,
+            relations=2, with_copy_functions=True, seed=7 + candidates,
+        )
+        base, events, stream_queries = streaming_mutation_workload(
+            config=stream_config, mutations=8 * candidates, seed=stream_config.seed
+        )
+        mutate_warm_s, mutated_warm = _timed(
+            _replay_stream, "delta", base, events, stream_queries
+        )
         mutate_cold_s, mutated_cold = _timed(
-            is_currency_preserving, query, specification
+            _replay_stream, "coarse", base, events, stream_queries
         )
         assert mutated_warm == mutated_cold
 
@@ -360,6 +386,7 @@ def run(smoke: bool, output: str) -> dict:
     report["headline"] = {
         "mixed_warm_s": report["mixed_warm_s"],
         "mixed_speedup": report["mixed_speedup"],
+        "mutate_speedup": report["results"][-1]["mutate_speedup"],
         "batch_serial_speedup": report["batch_serial_speedup"],
         "batch_parallel_warm_s": report["batch_parallel_warm_s"],
         "snapshot_restore_s": report["snapshot_restore_s"],

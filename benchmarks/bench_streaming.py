@@ -1,0 +1,290 @@
+"""Benchmark: sustained streaming-mutation throughput, delta vs rebuild.
+
+The ROADMAP 4b traffic shape: a long additive mutation stream
+(``add_tuple`` / ``add_order`` / ``add_denial``) with windowed re-asks of
+CPS / CCQA / CPP.  One :func:`~repro.workloads.streaming_mutation_workload`
+event stream is replayed through two :class:`~repro.session.ReasoningSession`
+instances that differ only in invalidation policy:
+
+* ``delta`` — footprint-scoped invalidation: the chase/encoder/space extend
+  on their warm solvers and only the memo entries whose relations intersect
+  the mutation's copy-component are evicted;
+* ``coarse`` — the pre-delta behaviour (rebuild/clear on every tuple
+  mutation), the rebuild-policy baseline.
+
+Every windowed answer is recorded during the timed replays and the two
+transcripts are asserted identical before any number is reported — the
+speedup is only meaningful if the fast path returns the same answers.  The
+``mutation_stats()`` counters are additionally asserted to show the fast
+path actually ran (space extended, memo entries retained across disjoint
+components) rather than silently falling back to rebuild.
+
+Reported per workload: sustained mutations/sec, p50/p99 re-ask latency and
+the delta-over-coarse ``streaming_speedup`` headline.  A separate untimed
+``tracemalloc`` replay records peak memory; ``--scale`` swaps in a
+10⁴-tuple specification (ROADMAP item 5) for that pass and for a delta-only
+throughput measurement (the coarse baseline is left out at scale — it would
+rebuild a 10⁴-tuple encoding per window).
+
+Standalone script (not collected by pytest):
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py [--smoke] [--scale] \
+        [--output BENCH_streaming.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import os
+import sys
+import time
+import tracemalloc
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.exceptions import InconsistentSpecificationError
+from repro.session import ReasoningSession
+from repro.workloads.synthetic import SyntheticConfig, streaming_mutation_workload
+
+
+def _outcome(function):
+    """An answer or the inconsistency verdict — both sides must agree on
+    which, so the verdict is part of the recorded transcript."""
+    try:
+        return ("ok", function())
+    except InconsistentSpecificationError:
+        return ("inconsistent", None)
+
+
+def _percentile(samples, fraction):
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _replay(session, events, queries, window, with_cpp=True):
+    """Replay the stream, timing every mutation and every windowed re-ask.
+
+    Returns ``(mutate_times, ask_times, transcript)``; the transcript lists
+    every windowed answer in order so two replays can be diffed exactly.
+    """
+    mutate_times, ask_times, transcript = [], [], []
+    for index, event in enumerate(events):
+        start = time.perf_counter()
+        event.apply(session)
+        mutate_times.append(time.perf_counter() - start)
+        if (index + 1) % window == 0:
+            start = time.perf_counter()
+            transcript.append(("cps", _outcome(session.consistent)))
+            ask_times.append(time.perf_counter() - start)
+            for query in queries:
+                start = time.perf_counter()
+                transcript.append(
+                    ("ccqa", _outcome(lambda: session.certain_answers(query)))
+                )
+                ask_times.append(time.perf_counter() - start)
+            if with_cpp:
+                start = time.perf_counter()
+                transcript.append(("cpp", _outcome(lambda: session.cpp(queries[0]))))
+                ask_times.append(time.perf_counter() - start)
+    return mutate_times, ask_times, transcript
+
+
+def _workloads(smoke):
+    """(name, config, mutations, window, with_cpp) per workload.
+
+    ``components`` keeps its two relations copy-disjoint, so the delta
+    session must retain the other component's memo entries; ``chained``
+    links them with a copy function, so the space absorbs tuple deltas with
+    live candidate imports.
+    """
+    workloads = [
+        (
+            "components",
+            SyntheticConfig(
+                entities=2, tuples_per_entity=2, attributes=2,
+                order_density=0.3, relations=2, seed=11,
+            ),
+            48 if smoke else 96,
+            8,
+            True,
+        ),
+        (
+            "chained",
+            SyntheticConfig(
+                entities=2, tuples_per_entity=2, attributes=2,
+                order_density=0.3, relations=2, with_copy_functions=True, seed=7,
+            ),
+            32 if smoke else 64,
+            8,
+            True,
+        ),
+    ]
+    return workloads
+
+
+def _scale_config():
+    """The 10⁴-tuple tier: 2 relations x 2500 entities x 2 tuples.
+
+    ``order_density=1.0`` keeps every base block totally ordered, so the
+    current-database space stays small while the encoding itself carries the
+    full 10⁴-tuple load."""
+    return SyntheticConfig(
+        entities=2500, tuples_per_entity=2, attributes=2,
+        order_density=1.0, relations=2, seed=13,
+    )
+
+
+def _peak_memory_replay(config, mutations, seed):
+    """Peak traced memory (MiB) of a delta-session replay, untimed.
+
+    Run separately from the timed replays: tracemalloc instrumentation slows
+    allocation several-fold and would poison the latency numbers.  The window
+    is pinned to the emitted event count (the generator drops order events
+    that would cycle, so the requested count is an upper bound) — exactly one
+    re-ask window fires, after the final mutation."""
+    specification, events, queries = streaming_mutation_workload(
+        config=config, mutations=mutations, seed=seed
+    )
+    session = ReasoningSession(copy.deepcopy(specification), invalidation="delta")
+    tracemalloc.start()
+    try:
+        _replay(session, events, queries, max(1, len(events)), with_cpp=False)
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / (1024 * 1024)
+
+
+def run(smoke: bool, scale: bool, output: str) -> dict:
+    report = {"benchmark": "streaming", "smoke": smoke, "scale": scale, "results": []}
+    streaming_speedup = None
+    delta_rate = None
+    p50 = p99 = None
+
+    for name, config, mutations, window, with_cpp in _workloads(smoke):
+        specification, events, queries = streaming_mutation_workload(
+            config=config, mutations=mutations, seed=config.seed
+        )
+        delta = ReasoningSession(copy.deepcopy(specification), invalidation="delta")
+        coarse = ReasoningSession(copy.deepcopy(specification), invalidation="coarse")
+
+        delta_mutate, delta_ask, delta_answers = _replay(
+            delta, events, queries, window, with_cpp
+        )
+        coarse_mutate, coarse_ask, coarse_answers = _replay(
+            coarse, events, queries, window, with_cpp
+        )
+        assert delta_answers == coarse_answers, f"{name}: transcript diverged"
+
+        stats = delta.mutation_stats()
+        assert stats["space_rebuilt"] == 0, f"{name}: space delta fell back"
+        if name == "chained":
+            assert stats["space_extended"] > 0, "chained: space never extended"
+        if name == "components":
+            assert stats["memo_retained"] > 0, "components: no memo retention"
+
+        delta_total = sum(delta_mutate) + sum(delta_ask)
+        coarse_total = sum(coarse_mutate) + sum(coarse_ask)
+        entry = {
+            "workload": name,
+            "mutations": len(events),
+            "window": window,
+            "delta_total_s": round(delta_total, 6),
+            "coarse_total_s": round(coarse_total, 6),
+            "streaming_speedup": round(coarse_total / delta_total, 2)
+            if delta_total > 0
+            else None,
+            "delta_mutations_per_sec": round(len(events) / sum(delta_mutate), 1)
+            if sum(delta_mutate) > 0
+            else None,
+            "coarse_mutations_per_sec": round(len(events) / sum(coarse_mutate), 1)
+            if sum(coarse_mutate) > 0
+            else None,
+            "reask_p50_s": round(_percentile(delta_ask, 0.50), 6),
+            "reask_p99_s": round(_percentile(delta_ask, 0.99), 6),
+            "coarse_reask_p50_s": round(_percentile(coarse_ask, 0.50), 6),
+            "coarse_reask_p99_s": round(_percentile(coarse_ask, 0.99), 6),
+            "mutation_stats": stats,
+        }
+        report["results"].append(entry)
+        streaming_speedup = entry["streaming_speedup"]
+        delta_rate = entry["delta_mutations_per_sec"]
+        p50, p99 = entry["reask_p50_s"], entry["reask_p99_s"]
+        print(
+            f"[bench_streaming] {name}: {len(events)} mutations, delta "
+            f"{delta_total:.3f}s vs coarse {coarse_total:.3f}s "
+            f"({entry['streaming_speedup']}x); {entry['delta_mutations_per_sec']} "
+            f"mut/s, re-ask p50 {p50:.4f}s p99 {p99:.4f}s",
+            flush=True,
+        )
+
+    # peak memory: one untimed tracemalloc replay (the scale tier when
+    # requested, otherwise the last smoke workload's shape)
+    if scale:
+        config = _scale_config()
+        # re-asks dominate wall clock at 10^4 tuples (seconds each), so the
+        # scale tier keeps the full mutation stream for the throughput number
+        # but limits itself to two re-ask windows for the latency tail
+        scale_mutations = 128
+        specification, events, queries = streaming_mutation_workload(
+            config=config, mutations=scale_mutations, seed=config.seed
+        )
+        scale_window = max(1, len(events) // 2)
+        session = ReasoningSession(copy.deepcopy(specification), invalidation="delta")
+        mutate_times, ask_times, _answers = _replay(
+            session, events, queries, scale_window, with_cpp=False
+        )
+        report["scale_tuples"] = sum(
+            len(specification.instance(n).tids())
+            for n in specification.instance_names()
+        )
+        report["scale_mutations_per_sec"] = (
+            round(len(events) / sum(mutate_times), 1) if sum(mutate_times) > 0 else None
+        )
+        report["scale_reask_p99_s"] = round(_percentile(ask_times, 0.99), 6)
+        # peak memory is dominated by the 10^4-tuple encoding, not the stream
+        # length, so a short stream keeps the instrumented replay affordable
+        peak_mb = _peak_memory_replay(config, 32, config.seed)
+        print(
+            f"[bench_streaming] scale: {report['scale_tuples']} tuples, "
+            f"{report['scale_mutations_per_sec']} mut/s, peak {peak_mb:.1f} MiB",
+            flush=True,
+        )
+    else:
+        name, config, mutations, window, _with_cpp = _workloads(smoke)[-1]
+        peak_mb = _peak_memory_replay(config, mutations, config.seed)
+    report["peak_memory_mb"] = round(peak_mb, 2)
+
+    report["headline"] = {
+        "streaming_speedup": streaming_speedup,
+        "delta_mutations_per_sec": delta_rate,
+        "reask_p50_s": p50,
+        "reask_p99_s": p99,
+        "peak_memory_mb": report["peak_memory_mb"],
+    }
+    if scale:
+        report["headline"]["scale_mutations_per_sec"] = report["scale_mutations_per_sec"]
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"[bench_streaming] wrote {output}")
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small sizes for CI")
+    parser.add_argument("--scale", action="store_true",
+                        help="add the 10^4-tuple tier (throughput + peak memory)")
+    parser.add_argument("--output", default="BENCH_streaming.json")
+    args = parser.parse_args(argv)
+    run(args.smoke, args.scale, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

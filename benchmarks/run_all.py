@@ -9,7 +9,13 @@ Benchmarks are opt-in — the tier-1 gate stays ``python -m pytest -x -q``
 Usage:
 
     python benchmarks/run_all.py [--output-dir DIR] [--timeout SECONDS] \
-        [--only SUBSTRING] [--compare]
+        [--only SUBSTRING] [--compare] [--scale] [--profile]
+
+``--scale`` forwards ``--scale`` to the benchmarks in ``SCALE_BENCHMARKS``
+(the 10⁴-tuple tier with ``tracemalloc`` peak memory, which then flows into
+``BENCH_history.json`` through the headline).  ``--profile`` runs each script
+benchmark under ``cProfile`` and annotates its top-3 hot functions (by
+cumulative time) into the produced JSON.
 
 Each benchmark writes ``BENCH_<name>.json`` into ``--output-dir`` (default:
 the repository root).  Failures and timeouts are reported but do not abort the
@@ -45,6 +51,13 @@ SCRIPT_BENCHMARKS = {
     "bench_extensions.py",
     "bench_session.py",
     "bench_serve.py",
+    "bench_streaming.py",
+}
+
+# script benchmarks that understand --scale (the 10^4-tuple tier with peak
+# memory; kept behind a driver flag so CI smoke stays fast)
+SCALE_BENCHMARKS = {
+    "bench_streaming.py",
 }
 
 HISTORY_FILE = "BENCH_history.json"
@@ -61,16 +74,26 @@ def discover() -> list:
     )
 
 
-def run_one(name: str, output_dir: str, timeout: float) -> dict:
+def run_one(
+    name: str, output_dir: str, timeout: float,
+    scale: bool = False, profile: bool = False,
+) -> dict:
     stem = name[len("bench_"):-len(".py")]
     output = os.path.join(output_dir, f"BENCH_{stem}.json")
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    profile_path = None
     if name in SCRIPT_BENCHMARKS:
-        command = [sys.executable, os.path.join(BENCH_DIR, name), "--smoke",
-                   "--output", output]
+        interpreter = [sys.executable]
+        if profile:
+            profile_path = os.path.join(output_dir, f"BENCH_{stem}.prof")
+            interpreter = [sys.executable, "-m", "cProfile", "-o", profile_path]
+        command = interpreter + [os.path.join(BENCH_DIR, name), "--smoke",
+                                 "--output", output]
+        if scale and name in SCALE_BENCHMARKS:
+            command.append("--scale")
     else:
         command = [
             sys.executable, "-m", "pytest", os.path.join(BENCH_DIR, name),
@@ -87,6 +110,8 @@ def run_one(name: str, output_dir: str, timeout: float) -> dict:
     except subprocess.TimeoutExpired:
         status = "timeout"
         detail = f"exceeded {timeout:.0f}s"
+    if status == "ok" and profile_path and os.path.exists(profile_path):
+        annotate_profile(output, profile_path)
     return {
         "benchmark": name,
         "status": status,
@@ -94,6 +119,43 @@ def run_one(name: str, output_dir: str, timeout: float) -> dict:
         "output": output if status == "ok" else None,
         "detail": detail,
     }
+
+
+def annotate_profile(output: str, profile_path: str, top: int = 3) -> None:
+    """Inject the top-*top* hot functions (by cumulative time) of a cProfile
+    dump into the benchmark's JSON report, so the next perf PR starts from
+    data instead of re-profiling."""
+    import pstats
+
+    stats = pstats.Stats(profile_path)
+    stats.sort_stats("cumulative")
+    hot = []
+    for func in stats.fcn_list or []:
+        filename, lineno, function = func
+        # skip interpreter built-ins ("~"), synthetic frames and the
+        # benchmark harness itself — the useful entries point into the
+        # library code the next perf PR would optimise
+        if filename.startswith(("<", "~")) or function.startswith("<"):
+            continue
+        if os.path.dirname(os.path.abspath(filename)) == BENCH_DIR:
+            continue
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        hot.append({
+            "function": f"{os.path.basename(filename)}:{lineno}:{function}",
+            "calls": nc,
+            "cumulative_s": round(ct, 6),
+            "tottime_s": round(tt, 6),
+        })
+        if len(hot) >= top:
+            break
+    try:
+        with open(output) as handle:
+            report = json.load(handle)
+    except (OSError, ValueError):
+        return
+    report["profile"] = {"sorted_by": "cumulative", "top_functions": hot}
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
 
 
 def extract_metrics(report: dict) -> dict:
@@ -283,6 +345,13 @@ def main(argv=None) -> int:
                         help="per-benchmark timeout in seconds")
     parser.add_argument("--only", default=None,
                         help="run only benchmarks whose filename contains this substring")
+    parser.add_argument("--scale", action="store_true",
+                        help="pass --scale to scale-capable benchmarks "
+                             "(10^4-tuple tier with peak-memory tracking; "
+                             "slower, off in CI smoke)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run script benchmarks under cProfile and annotate "
+                             "the top-3 hot functions into each BENCH_*.json")
     parser.add_argument("--compare", action="store_true",
                         help="run into a scratch dir and diff against the committed "
                              "BENCH_*.json files (prints a regression table)")
@@ -326,7 +395,8 @@ def main(argv=None) -> int:
     results = []
     for name in names:
         print(f"[run_all] {name} ...", flush=True)
-        result = run_one(name, args.output_dir, args.timeout)
+        result = run_one(name, args.output_dir, args.timeout,
+                         scale=args.scale, profile=args.profile)
         print(f"[run_all] {name}: {result['status']} ({result['seconds']}s)", flush=True)
         if result["detail"]:
             print(result["detail"], flush=True)

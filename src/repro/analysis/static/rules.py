@@ -69,13 +69,17 @@ def _calls_self_method(body: Sequence[ast.stmt], prefix: str) -> bool:
 # --------------------------------------------------------------------------- #
 class CacheDependenciesRule(Rule):
     """R1: every mutating method of a class carrying a ``CACHE_DEPENDENCIES``
-    map is registered in it, and the map names no phantom methods.
+    map is registered in it, the map names no phantom methods, and every
+    policy is a literal from the known vocabulary (:attr:`POLICIES`).
 
     Historical bug: the PR-5 mutation API grew method by method, and nothing
     forced a new mutator to state which caches it invalidates — a forgotten
     entry meant a stale chase or encoder silently answering for a mutated
     specification.  The 200-seed mutation harness catches this at runtime;
-    this rule catches it before a solver ever runs.
+    this rule catches it before a solver ever runs.  The vocabulary check
+    exists because the policies are dispatched by string comparison: a typo
+    (``"exttend"``) would silently behave as an unknown policy instead of
+    failing loudly.
     """
 
     code = "R1"
@@ -87,6 +91,13 @@ class CacheDependenciesRule(Rule):
     )
 
     MUTATOR_PREFIXES = ("add_", "remove_", "delete_", "set_", "drop_", "insert_")
+
+    #: the complete invalidation-policy vocabulary; every per-cache entry of
+    #: CACHE_DEPENDENCIES must be one of these literals (``"delta"`` is the
+    #: footprint-scoped fast path added with the streaming-mutation tier)
+    POLICIES: FrozenSet[str] = frozenset(
+        {"keep", "extend", "extend-or-rebuild", "rebuild", "clear", "delta"}
+    )
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(context.tree):
@@ -166,6 +177,34 @@ class CacheDependenciesRule(Rule):
             }
             registered |= names
             per_cache[cache_label] = (cache_value, names)
+            for inner_key, inner_value in zip(cache_value.keys, cache_value.values):
+                mutation_label = (
+                    inner_key.value
+                    if isinstance(inner_key, ast.Constant)
+                    and isinstance(inner_key.value, str)
+                    else ast.unparse(inner_key) if inner_key is not None else "?"
+                )
+                if not (
+                    isinstance(inner_value, ast.Constant)
+                    and isinstance(inner_value.value, str)
+                ):
+                    yield self.finding(
+                        context,
+                        inner_value,
+                        f"cache {cache_label!r} gives mutation "
+                        f"{mutation_label!r} a non-literal policy; policies "
+                        "must be literal strings so the vocabulary can be "
+                        "checked statically",
+                    )
+                elif inner_value.value not in self.POLICIES:
+                    allowed = ", ".join(sorted(self.POLICIES))
+                    yield self.finding(
+                        context,
+                        inner_value,
+                        f"cache {cache_label!r} gives mutation "
+                        f"{mutation_label!r} unknown policy "
+                        f"{inner_value.value!r}; the vocabulary is: {allowed}",
+                    )
 
         for cache_label, (cache_node, names) in per_cache.items():
             for missing in sorted(registered - names):
@@ -211,9 +250,13 @@ class IdentityComparisonRule(Rule):
     Historical bug: ``space_for`` compared specifications with ``is``, so a
     caller that rebuilt a value-identical specification was handed a warm
     solver for "a different specification" — PR 4 replaced the check with
-    ``Specification.__eq__``.  Identity is only meaningful for these types as
-    a *fast path in front of* the structural comparison, which is exactly
-    what the pragma reasons on the surviving call sites say.
+    ``Specification.__eq__``.  The same bug class resurfaced in the session's
+    answer memo, which keyed entries by ``id(query)``: a caller re-building a
+    value-identical query missed the memo every time (and kept dead entries
+    alive), so ``Query``/``SPQuery`` grew structural equality and joined this
+    rule's types.  Identity is only meaningful for these types as a *fast
+    path in front of* the structural comparison, which is exactly what the
+    pragma reasons on the surviving call sites say.
     """
 
     code = "R2"
@@ -234,6 +277,8 @@ class IdentityComparisonRule(Rule):
             "CandidateImport",
             "RelationTuple",
             "PartialOrder",
+            "Query",
+            "SPQuery",
         }
     )
     NAME_HINTS: FrozenSet[str] = frozenset(
@@ -252,6 +297,8 @@ class IdentityComparisonRule(Rule):
             "source_tuple",
             "target_tuple",
             "partial_order",
+            "query",
+            "sp_query",
         }
     )
 

@@ -232,7 +232,15 @@ class ExtensionSearchSpace:
         self._fed_clauses = 0
         self._activation_literals: List[int] = []
         self._activation_count = 0
-        self._counter_built = False
+        #: how many selectors the sequential counter currently covers; the
+        #: counter is chained, so :meth:`_ensure_counter` can *top it up* when
+        #: :meth:`extend_with_tuples` grows the selector universe
+        self._counter_size = 0
+        #: (instance, eid) -> maximality-encoding generation.  A block that
+        #: gains tuples is re-encoded with fresh generation-suffixed max/value
+        #: variables (CNF clauses cannot be retracted); absent means the
+        #: build-time generation 0 is still current.
+        self._maximality_generation: Dict[Tuple[str, Hashable], int] = {}
         self._instance_cache = CurrentDatabaseCache()
         self._answer_cache: Dict[Tuple[Any, FrozenSet[int]], Optional[FrozenSet]] = {}
         # (selection, relations) -> the complete list of its current databases;
@@ -347,12 +355,24 @@ class ExtensionSearchSpace:
             self._encode_denial_constraint(name, constraint)
 
     def _encode_denial_constraint(
-        self, name: str, constraint: DenialConstraint
+        self,
+        name: str,
+        constraint: DenialConstraint,
+        only_tids: Optional[Set[Hashable]] = None,
     ) -> None:
+        """Gated groundings of *constraint* over the maximal extension.
+
+        With *only_tids*, only groundings whose support touches one of the
+        given tuple ids are emitted — the delta pass of
+        :meth:`extend_with_tuples`, which must not duplicate the groundings
+        already encoded over the previous tuple universe.
+        """
         instance = self.full.instance(name)
         for implication, support in constraint.grounded_implications_with_support(
             instance
         ):
+            if only_tids is not None and only_tids.isdisjoint(support):
+                continue
             guards = self._guards(name, support)
             premises: List[int] = []
             vacuous = False
@@ -376,15 +396,36 @@ class ExtensionSearchSpace:
                     guards + premises + [self._pair(name, attribute, lower, upper)]
                 )
 
-    def _encode_copy_functions(self) -> None:
+    def _encode_copy_functions(
+        self, only_new: Optional[Dict[str, Set[Hashable]]] = None
+    ) -> None:
+        """≺-compatibility implications of the maximal extension.
+
+        With *only_new* (instance -> freshly materialised tuple ids), only
+        implications touching a fresh tuple are emitted — fresh *base* tuples
+        are unmapped and contribute nothing, but fresh *candidate-import*
+        tuples extend the copy-function mappings of the maximal extension and
+        their implications must land on the warm solver.
+        """
         for copy_function in self.full.copy_functions:
             target = self.full.instance(copy_function.target)
             source = self.full.instance(copy_function.source)
+            src_new: Set[Hashable] = set()
+            tgt_new: Set[Hashable] = set()
+            if only_new is not None:
+                src_new = only_new.get(copy_function.source, set())
+                tgt_new = only_new.get(copy_function.target, set())
+                if not src_new and not tgt_new:
+                    continue
             # compatibility_implications yields only distinct same-entity
             # source pairs and distinct same-entity target pairs
             for (src_attr, s1, s2), (tgt_attr, t1, t2) in copy_function.compatibility_implications(
                 target, source
             ):
+                if only_new is not None and not (
+                    s1 in src_new or s2 in src_new or t1 in tgt_new or t2 in tgt_new
+                ):
+                    continue
                 guards = self._guards(copy_function.source, (s1, s2)) + self._guards(
                     copy_function.target, (t1, t2)
                 )
@@ -413,42 +454,58 @@ class ExtensionSearchSpace:
         yields each distinct current *value* signature once, no matter how
         many value-equal maximal tuples realise it.
         """
-        cnf = self.cnf
         value_slots: List[Tuple[Any, List[Tuple[str, List[Tuple[Any, int]]]]]] = []
         for eid in instance.entities():
-            block = instance.entity_tids(eid)
-            value_per_attribute: List[Tuple[str, List[Tuple[Any, int]]]] = []
-            for attribute in instance.schema.attributes:
-                column: List[int] = []
-                by_value: Dict[Any, List[int]] = {}
-                for tid in block:
-                    max_var = cnf.variable(("max", name, eid, tid, attribute))
-                    column.append(max_var)
-                    by_value.setdefault(
-                        instance.tuple_by_tid(tid)[attribute], []
-                    ).append(max_var)
-                    index = self._selector_by_tid.get((name, tid))
-                    if index is not None:  # an absent tuple is never maximal
-                        cnf.add_clause([-max_var, self._selector_vars[index]])
-                    for other in block:
-                        if other == tid:
-                            continue
-                        cnf.add_clause(
-                            [-max_var]
-                            + self._guards(name, (other,))
-                            + [self._pair(name, attribute, other, tid)]
-                        )
-                cnf.add_clause(column)
-                value_column: List[Tuple[Any, int]] = []
-                for value, max_vars in by_value.items():
-                    value_var = cnf.variable(("val", name, eid, attribute, value))
-                    value_column.append((value, value_var))
-                    for max_var in max_vars:
-                        cnf.add_clause([-max_var, value_var])
-                    cnf.add_clause([-value_var] + max_vars)
-                value_per_attribute.append((attribute, value_column))
-            value_slots.append((eid, value_per_attribute))
+            value_slots.append(self._encode_block_maximality(name, instance, eid, 0))
         self._value_slots[name] = value_slots
+
+    def _encode_block_maximality(
+        self, name: str, instance: TemporalInstance, eid: Hashable, generation: int
+    ) -> Tuple[Any, List[Tuple[str, List[Tuple[Any, int]]]]]:
+        """Encode one (entity, attribute)-block's maximality/value columns.
+
+        *generation* versions the variable names: generation 0 is the
+        build-time encoding, and :meth:`extend_with_tuples` re-encodes a grown
+        block under the next generation (clauses cannot be retracted, so the
+        old columns are abandoned in place — they stay satisfiable, since the
+        block's ≺-greatest present *old* tuple can carry the old maximality
+        variable, and nothing projects onto them any more).  Returns the
+        block's ``_value_slots`` entry.
+        """
+        cnf = self.cnf
+        suffix: Tuple[Any, ...] = (generation,) if generation else ()
+        value_per_attribute: List[Tuple[str, List[Tuple[Any, int]]]] = []
+        block = instance.entity_tids(eid)
+        for attribute in instance.schema.attributes:
+            column: List[int] = []
+            by_value: Dict[Any, List[int]] = {}
+            for tid in block:
+                max_var = cnf.variable(("max", name, eid, tid, attribute) + suffix)
+                column.append(max_var)
+                by_value.setdefault(
+                    instance.tuple_by_tid(tid)[attribute], []
+                ).append(max_var)
+                index = self._selector_by_tid.get((name, tid))
+                if index is not None:  # an absent tuple is never maximal
+                    cnf.add_clause([-max_var, self._selector_vars[index]])
+                for other in block:
+                    if other == tid:
+                        continue
+                    cnf.add_clause(
+                        [-max_var]
+                        + self._guards(name, (other,))
+                        + [self._pair(name, attribute, other, tid)]
+                    )
+            cnf.add_clause(column)
+            value_column: List[Tuple[Any, int]] = []
+            for value, max_vars in by_value.items():
+                value_var = cnf.variable(("val", name, eid, attribute, value) + suffix)
+                value_column.append((value, value_var))
+                for max_var in max_vars:
+                    cnf.add_clause([-max_var, value_var])
+                cnf.add_clause([-value_var] + max_vars)
+            value_per_attribute.append((attribute, value_column))
+        return (eid, value_per_attribute)
 
     # ------------------------------------------------------------------ #
     # Cardinality (sequential counter over the selectors)
@@ -458,11 +515,10 @@ class ExtensionSearchSpace:
         return self.cnf.variable(("cnt", i, j))
 
     def _ensure_counter(self) -> None:
-        if self._counter_built:
+        if self._counter_size >= len(self._selector_vars):
             return
-        self._counter_built = True
         cnf = self.cnf
-        for i in range(1, len(self._selector_vars) + 1):
+        for i in range(self._counter_size + 1, len(self._selector_vars) + 1):
             x = self._selector_vars[i - 1]
             for j in range(1, i + 1):
                 s_ij = self._count_var(i, j)
@@ -480,6 +536,7 @@ class ExtensionSearchSpace:
                     cnf.add_clause([-self._count_var(i - 1, j), s_ij])
                     reverse.append(self._count_var(i - 1, j))
                 cnf.add_clause(reverse)
+        self._counter_size = len(self._selector_vars)
 
     def bound_assumption(self, max_imports: int) -> Optional[int]:
         """The assumption literal enforcing ``|selection| ≤ max_imports``, or
@@ -664,6 +721,148 @@ class ExtensionSearchSpace:
         self.full.add_constraint(instance_name, constraint)
         self._encode_denial_constraint(instance_name, constraint)
         self._invalidate_derived_caches()
+
+    def extend_with_tuples(self, instance_name: str, tids: Iterable[Hashable]) -> bool:
+        """Try to extend the warm encoding after tuples were added to
+        *instance_name* of the (shared, already-mutated) base specification.
+
+        Returns True when the delta landed on the warm solver, False when the
+        caller must rebuild the space from scratch.  The delta is sound only
+        when the recomputed candidate closure *extends* the encoded one — same
+        candidates at the same indices, same prerequisites, possibly new
+        candidates appended (a new source tuple can admit new imports).  Any
+        other shape change (reordered candidates, rewired prerequisites)
+        falls back to rebuild.
+
+        On success the encoding grows strictly additively, mirroring
+        :meth:`~repro.solvers.order_encoding.CompletionEncoder.add_tuples_incremental`:
+
+        * one selector variable and prerequisite implication per appended
+          candidate (the sequential counter, if built, is topped up lazily by
+          :meth:`_ensure_counter`);
+        * per grown entity block, pair variables, antisymmetry, guarded
+          totality and transitivity for exactly the pairs/triples involving a
+          fresh tuple, plus unit clauses for any base order pairs that touch
+          one (fresh tuples normally arrive unordered);
+        * denial groundings and copy implications restricted to supports
+          touching a fresh tuple (``only_tids``/``only_new``);
+        * a fresh-generation maximality/value re-encode of each grown block
+          (:meth:`_encode_block_maximality`), replacing its ``_value_slots``
+          entry so enumeration projects onto the new columns.
+        """
+        new_tids = set(tids)
+        new_closure = candidate_closure(
+            self.specification, match_entities_by_eid=self.match_entities_by_eid
+        )
+        new_candidates = list(new_closure.candidates)
+        n_old = len(self.candidates)
+        if len(new_candidates) < n_old or new_candidates[:n_old] != self.candidates:
+            return False
+        new_prerequisites = dict(new_closure.prerequisites)
+        for index in range(n_old):
+            if new_prerequisites.get(index) != self.prerequisites.get(index):
+                return False
+        old_tids = {name: set(inst.tids()) for name, inst in self.full.instances.items()}
+        if set(self.specification.instance_names()) != set(old_tids):
+            return False  # an instance appeared or vanished: not a tuple delta
+        self.closure = new_closure
+        self.candidates = new_candidates
+        self.prerequisites = new_prerequisites
+        self.full_extension = new_closure.extension
+        self.full = self.full_extension.specification
+        self.has_chained_candidates = bool(self.prerequisites)
+        # 1. selectors + prerequisite implications for appended candidates
+        targets = {cf.name: cf.target for cf in self.specification.copy_functions}
+        for index in range(n_old, len(new_candidates)):
+            candidate = new_candidates[index]
+            self._selector_vars.append(self.cnf.variable(("sel", index)))
+            self._selector_by_tid[
+                (targets[candidate.copy_function], candidate.new_tid())
+            ] = index
+        for derived, prerequisite in new_prerequisites.items():
+            if derived >= n_old:
+                self.cnf.add_clause(
+                    [-self._selector_vars[derived], self._selector_vars[prerequisite]]
+                )
+        # 2. the fresh tuples of the maximal extension: the explicit adds plus
+        #    every newly admitted candidate import
+        fresh: Dict[str, Set[Hashable]] = {}
+        for name, instance in self.full.instances.items():
+            added = set(instance.tids()) - old_tids[name]
+            if added:
+                fresh[name] = added
+        if new_tids - fresh.get(instance_name, set()):
+            return False  # the "new" tids were already encoded: stale caller
+        cnf = self.cnf
+        for name, added in fresh.items():
+            instance = self.full.instance(name)
+            added_by_eid: Dict[Any, List[Hashable]] = {}
+            for tid in added:
+                added_by_eid.setdefault(instance.tuple_by_tid(tid).eid, []).append(tid)
+            # 3. order scaffolding for the grown blocks, one fresh tuple at a
+            #    time (others = block minus the still-pending fresh tuples, so
+            #    each new pair/triple is emitted exactly once)
+            for attribute in instance.schema.attributes:
+                for eid, new_in_block in added_by_eid.items():
+                    block = list(instance.entity_tids(eid))
+                    pending = set(new_in_block)
+                    for tid in [t for t in block if t in pending]:
+                        pending.discard(tid)
+                        others = [t for t in block if t != tid and t not in pending]
+                        for other in others:
+                            forward = self._pair(name, attribute, other, tid)
+                            backward = self._pair(name, attribute, tid, other)
+                            cnf.add_clause([-forward, -backward])
+                            cnf.add_clause(
+                                self._guards(name, (other, tid)) + [forward, backward]
+                            )
+                        for a in others:
+                            for b in others:
+                                if a == b:
+                                    continue
+                                cnf.add_clause(
+                                    [
+                                        -self._pair(name, attribute, a, b),
+                                        -self._pair(name, attribute, b, tid),
+                                        self._pair(name, attribute, a, tid),
+                                    ]
+                                )
+                                cnf.add_clause(
+                                    [
+                                        -self._pair(name, attribute, a, tid),
+                                        -self._pair(name, attribute, tid, b),
+                                        self._pair(name, attribute, a, b),
+                                    ]
+                                )
+                                cnf.add_clause(
+                                    [
+                                        -self._pair(name, attribute, tid, a),
+                                        -self._pair(name, attribute, a, b),
+                                        self._pair(name, attribute, tid, b),
+                                    ]
+                                )
+                for lower, upper in instance.order(attribute).pairs():
+                    if lower in added or upper in added:
+                        cnf.add_clause([self._pair(name, attribute, lower, upper)])
+            # 4. denial groundings whose support touches a fresh tuple
+            for constraint in self.full.constraints_for(name):
+                self._encode_denial_constraint(name, constraint, only_tids=added)
+            # 5. fresh-generation maximality/value columns per grown block
+            slots = self._value_slots[name]
+            for eid in added_by_eid:
+                generation = self._maximality_generation.get((name, eid), 0) + 1
+                self._maximality_generation[(name, eid)] = generation
+                entry = self._encode_block_maximality(name, instance, eid, generation)
+                for position, (slot_eid, _per_attribute) in enumerate(slots):
+                    if slot_eid == eid:
+                        slots[position] = entry
+                        break
+                else:
+                    slots.append(entry)
+        # 6. copy implications touching a fresh (candidate-import) tuple
+        self._encode_copy_functions(only_new=fresh)
+        self._invalidate_derived_caches()
+        return True
 
     # ------------------------------------------------------------------ #
     # Enumeration
@@ -1012,6 +1211,7 @@ class ExtensionSearchSpace:
             "database_memo_entries": len(self._database_memo),
             "maximal_harvest_cached": self._maximal_cache is not None,
             "selection_enumeration_cached": self._selection_cache is not None,
+            "regenerated_blocks": len(self._maximality_generation),
             "constructions": type(self).constructions,
         }
         if self._solver is not None:
@@ -1044,6 +1244,12 @@ class ExtensionSearchSpace:
         # reference engine
         if "backend" not in self.__dict__:
             self.backend = "reference"
+        # spaces pickled before the tuple-delta seam carry the boolean
+        # counter flag; the chained counter they built covers every selector
+        if "_counter_size" not in self.__dict__:
+            built = self.__dict__.pop("_counter_built", False)
+            self._counter_size = len(self._selector_vars) if built else 0
+        self.__dict__.setdefault("_maximality_generation", {})
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

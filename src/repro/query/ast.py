@@ -354,6 +354,20 @@ class Query:
         """Constants mentioned in the query."""
         return query_constants(self.formula)
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality over (head, formula).
+
+        The ``name`` is presentation-only and deliberately ignored, so two
+        independently-built but identical queries hit the same cache entries
+        (the session's answer memo and engine table key by the query itself).
+        """
+        if not isinstance(other, Query):
+            return NotImplemented
+        return self.head == other.head and self.formula == other.formula
+
+    def __hash__(self) -> int:
+        return hash((self.head, self.formula))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         head = ", ".join(v.name for v in self.head)
         return f"Query {self.name}({head})"
@@ -448,6 +462,24 @@ class SPQuery:
         if bound:
             body = Exists(tuple(bound), body)
         return Query(head, body, name=self.name)
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (
+            self.relation,
+            self.schema,
+            self.projection,
+            tuple(sorted(self.eq_const.items(), key=lambda item: item[0])),
+            self.eq_attr,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality (``name`` ignored, as for :class:`Query`)."""
+        if not isinstance(other, SPQuery):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SPQuery {self.name}: π_{list(self.projection)} σ({self.eq_const}) {self.relation}"

@@ -19,13 +19,19 @@ pre-processing step for the general solvers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.partial_order import PartialOrder
 from repro.core.specification import Specification
 from repro.exceptions import CycleError, SpecificationError
 
-__all__ = ["ChaseResult", "chase_certain_orders"]
+__all__ = [
+    "ChaseResult",
+    "chase_certain_orders",
+    "extend_chase_with_tuples",
+    "extend_chase_with_order",
+    "extend_chase_with_copies",
+]
 
 OrderKey = Tuple[str, str]  # (instance name, attribute)
 
@@ -79,6 +85,39 @@ def _initial_orders(specification: Specification) -> Dict[OrderKey, PartialOrder
     return orders
 
 
+def _propagate(specification: Specification, orders: Dict[OrderKey, PartialOrder]) -> int:
+    """Run the Step-3 fixpoint loop on *orders* in place; return iterations.
+
+    Raises :class:`CycleError` when propagation produces a cycle.  Because the
+    transfer rules are monotone closure operators, starting from *any* set of
+    orders between the base orders and the fixpoint converges to the same
+    ``PO∞`` — which is what makes the warm re-runs in the ``extend_*``
+    entry points below sound.
+    """
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        for copy_function in specification.copy_functions:
+            target_instance = specification.instance(copy_function.target)
+            source_instance = specification.instance(copy_function.source)
+            for (src_attr, s1, s2), (tgt_attr, t1, t2) in (
+                copy_function.compatibility_implications(target_instance, source_instance)
+            ):
+                source_order = orders[(copy_function.source, src_attr)]
+                target_order = orders[(copy_function.target, tgt_attr)]
+                # Step 3(a)i: source order pairs are inherited by the target.
+                if source_order.precedes(s1, s2) and not target_order.precedes(t1, t2):
+                    target_order.add(t1, t2)
+                    changed = True
+                # Step 3(a)ii: target order pairs transfer back to the source.
+                if target_order.precedes(t1, t2) and not source_order.precedes(s1, s2):
+                    source_order.add(s1, s2)
+                    changed = True
+    return iterations
+
+
 def chase_certain_orders(specification: Specification) -> ChaseResult:
     """Run the fixpoint propagation of Theorem 6.1.
 
@@ -87,28 +126,93 @@ def chase_certain_orders(specification: Specification) -> ChaseResult:
     solvers layer them on top via SAT).
     """
     orders = _initial_orders(specification)
-    iterations = 0
-    changed = True
     try:
-        while changed:
-            changed = False
-            iterations += 1
-            for copy_function in specification.copy_functions:
-                target_instance = specification.instance(copy_function.target)
-                source_instance = specification.instance(copy_function.source)
-                for (src_attr, s1, s2), (tgt_attr, t1, t2) in (
-                    copy_function.compatibility_implications(target_instance, source_instance)
-                ):
-                    source_order = orders[(copy_function.source, src_attr)]
-                    target_order = orders[(copy_function.target, tgt_attr)]
-                    # Step 3(a)i: source order pairs are inherited by the target.
-                    if source_order.precedes(s1, s2) and not target_order.precedes(t1, t2):
-                        target_order.add(t1, t2)
-                        changed = True
-                    # Step 3(a)ii: target order pairs transfer back to the source.
-                    if target_order.precedes(t1, t2) and not source_order.precedes(s1, s2):
-                        source_order.add(s1, s2)
-                        changed = True
+        iterations = _propagate(specification, orders)
     except CycleError:
-        return ChaseResult(consistent=False, orders={}, iterations=iterations)
+        return ChaseResult(consistent=False, orders={}, iterations=1)
     return ChaseResult(consistent=True, orders=orders, iterations=iterations)
+
+
+# --------------------------------------------------------------------------- #
+# Incremental maintenance (the session's "extend" policy for the chase)
+# --------------------------------------------------------------------------- #
+# All session mutations are additive, so a cached *inconsistent* chase stays
+# inconsistent under every mutation (the cycle that killed it survives in the
+# larger specification) — callers keep such results untouched.  A consistent
+# cached result sits between the new base orders and the new fixpoint, so by
+# monotonicity re-running propagation from it converges to the new ``PO∞``.
+
+
+def extend_chase_with_tuples(
+    result: ChaseResult,
+    specification: Specification,
+    instance_name: str,
+    tids: Iterable[Hashable],
+) -> ChaseResult:
+    """Extend a consistent chase after tuples were added to *instance_name*.
+
+    Freshly added tuples are unmapped by every copy function (the session
+    validates that tids are new), so they admit no compatibility implications
+    yet: registering them as order elements *is* the new fixpoint.
+    """
+    if not result.consistent:
+        return result
+    instance = specification.instance(instance_name)
+    for attribute in instance.schema.attributes:
+        order = result.orders[(instance_name, attribute)]
+        for tid in tids:
+            order.add_element(tid)
+    return ChaseResult(consistent=True, orders=result.orders, iterations=result.iterations)
+
+
+def extend_chase_with_order(
+    result: ChaseResult,
+    specification: Specification,
+    instance_name: str,
+    attribute: str,
+    lower: Hashable,
+    upper: Hashable,
+) -> ChaseResult:
+    """Extend a consistent chase after one currency pair was added.
+
+    Adds the pair to the fixpoint order (transitively closed by
+    :class:`PartialOrder`) and re-runs propagation warm from there.
+    """
+    if not result.consistent:
+        return result
+    try:
+        order = result.orders[(instance_name, attribute)]
+        if not order.precedes(lower, upper):
+            order.add(lower, upper)
+        iterations = _propagate(specification, result.orders)
+    except CycleError:
+        return ChaseResult(consistent=False, orders={}, iterations=result.iterations)
+    return ChaseResult(
+        consistent=True, orders=result.orders, iterations=result.iterations + iterations
+    )
+
+
+def extend_chase_with_copies(
+    result: ChaseResult,
+    specification: Specification,
+    new_tuples: Iterable[Tuple[str, Hashable]] = (),
+) -> ChaseResult:
+    """Extend a consistent chase after a copy function was added or extended.
+
+    *new_tuples* lists ``(instance_name, tid)`` pairs materialised by the
+    mutation (e.g. the imported tuple of ``add_copy_import``); they are
+    registered as order elements before propagation re-runs warm.
+    """
+    if not result.consistent:
+        return result
+    try:
+        for instance_name, tid in new_tuples:
+            instance = specification.instance(instance_name)
+            for attribute in instance.schema.attributes:
+                result.orders[(instance_name, attribute)].add_element(tid)
+        iterations = _propagate(specification, result.orders)
+    except CycleError:
+        return ChaseResult(consistent=False, orders={}, iterations=result.iterations)
+    return ChaseResult(
+        consistent=True, orders=result.orders, iterations=result.iterations + iterations
+    )

@@ -21,9 +21,12 @@ three mutually-exclusive-ish shapes are:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Tuple
 
 from repro.exceptions import ErrorRecord, SpecificationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.footprint import MutationFootprint
 
 __all__ = ["Mutation", "Degraded", "Answer", "MUTATIONS"]
 
@@ -63,6 +66,96 @@ class Mutation:
     def apply(self, session: Any) -> None:
         """Apply to a :class:`~repro.session.ReasoningSession`."""
         getattr(session, self.op)(*self.args, **dict(self.kwargs))
+
+    def _argument(self, index: int, name: str) -> Any:
+        if index < len(self.args):
+            return self.args[index]
+        return self.kwargs[name]
+
+    def footprint(self, specification: Any) -> "MutationFootprint":
+        """The mutation's invalidation scope against *specification*.
+
+        Mirrors the per-mutator footprints a warm
+        :class:`~repro.session.ReasoningSession` records (see
+        :mod:`repro.session.footprint`), computed service-side so the
+        committed mutation log carries scoping metadata without a round-trip
+        to the worker owning the session.  *specification* is typically the
+        service's **base** specification, so tuples referenced only by
+        earlier log entries may be unresolvable; anything that cannot be
+        scoped precisely degrades to ``global_invalidation`` — the log's
+        metadata errs towards over-invalidation, never under.
+        """
+        from repro.session.footprint import MutationFootprint, component_of
+
+        try:
+            if self.op == "add_copy_function":
+                return MutationFootprint(op=self.op, global_invalidation=True)
+            if self.op == "add_copy_import":
+                candidate = self._argument(0, "candidate")
+                target = next(
+                    cf.target
+                    for cf in specification.copy_functions
+                    if cf.name == candidate.copy_function
+                )
+                component = component_of(specification, target)
+                return MutationFootprint(
+                    op=self.op,
+                    relations=component,
+                    blocks=frozenset(
+                        (relation, candidate.target_eid) for relation in component
+                    ),
+                    attributes=frozenset(
+                        specification.instance(target).schema.attributes
+                    ),
+                )
+            instance_name = self._argument(0, "instance_name")
+            instance = specification.instance(instance_name)
+            component = component_of(specification, instance_name)
+            eids = set()
+            attributes: set = set()
+            if self.op == "add_order":
+                attributes.add(self._argument(1, "attribute"))
+                for position, name in ((2, "lower"), (3, "upper")):
+                    tid = self._argument(position, name)
+                    if instance.has_tid(tid):
+                        eids.add(instance.tuple_by_tid(tid).eid)
+            elif self.op == "add_tuple":
+                eids.add(self._tuple_eid(instance, self._argument(1, "tid")))
+                attributes.update(instance.schema.attributes)
+            elif self.op == "add_tuples":
+                for item in self._argument(1, "tuples"):
+                    eids.add(self._tuple_eid(instance, item))
+                attributes.update(instance.schema.attributes)
+            # add_denial scopes to the component alone: the constraint reads
+            # whole instances, not specific blocks
+            return MutationFootprint(
+                op=self.op,
+                relations=component,
+                blocks=frozenset(
+                    (relation, eid) for relation in component for eid in eids
+                ),
+                attributes=frozenset(attributes),
+            )
+        except Exception:
+            # unresolvable reference (e.g. a tid minted by an earlier log
+            # entry): degrade to the global scope rather than guess
+            return MutationFootprint(op=self.op, global_invalidation=True)
+
+    def _tuple_eid(self, instance: Any, item: Any) -> Any:
+        """The entity of one ``add_tuple``/``add_tuples`` element: a
+        :class:`RelationTuple`, a ``(tid, values)`` pair, or a bare tid
+        paired with a ``values=`` kwarg."""
+        if hasattr(item, "eid"):
+            return item.eid
+        if isinstance(item, tuple) and len(item) == 2:
+            tid, values = item
+            return dict(values or {})[instance.schema.eid]
+        values = self.kwargs.get("values")
+        if values is not None:
+            return dict(values)[instance.schema.eid]
+        if len(self.args) > 2 and self.args[2] is not None:
+            return dict(self.args[2])[instance.schema.eid]
+        return instance.tuple_by_tid(item).eid
 
 
 @dataclass(frozen=True)

@@ -40,11 +40,14 @@ exactly while it has diverged by nothing beyond that blessed base state.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.specification import Specification
 from repro.exceptions import SpecificationError
 from repro.serve.protocol import Mutation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.footprint import MutationFootprint
 
 __all__ = ["AffinityRouter", "SessionEntry"]
 
@@ -60,11 +63,15 @@ class SessionEntry:
         "key",
         "specification",
         "log",
+        "footprints",
+        "mutations_by_op",
+        "global_invalidations",
         "pending_mutations",
         "snapshot",
         "log_base",
         "base_log",
         "compacting",
+        "worker_mutation_stats",
     )
 
     def __init__(
@@ -84,6 +91,14 @@ class SessionEntry:
         #: committed mutations *past* the snapshot watermark (the suffix a
         #: worker replays after restoring the snapshot)
         self.log: List[Mutation] = []
+        #: one footprint per retained log entry (truncated in lockstep by
+        #: :meth:`compact`) — the scoping metadata riding the mutation log
+        self.footprints: List["MutationFootprint"] = []
+        #: lifetime counters (never truncated by compaction)
+        self.mutations_by_op: Dict[str, int] = {}
+        self.global_invalidations = 0
+        #: the owning worker's ``mutation_stats()`` as of the last probe
+        self.worker_mutation_stats: Optional[Dict[str, int]] = None
         self.pending_mutations = 0
         #: pickled :class:`~repro.session.snapshot.SessionSnapshot`, or None
         self.snapshot: Optional[bytes] = snapshot
@@ -107,6 +122,19 @@ class SessionEntry:
         diverged past the entry's blessed creation state."""
         return self.total_log_length > self.base_log or self.pending_mutations > 0
 
+    def commit(self, mutation: Mutation) -> None:
+        """Append an acknowledged mutation to the log, with its footprint.
+
+        The footprint (see :meth:`Mutation.footprint`) is computed against
+        the entry's base specification, so the retained log carries the
+        scoping metadata a reader needs to reason about what each committed
+        write can have dirtied; lifetime op counters survive compaction."""
+        self.log.append(mutation)
+        self.footprints.append(mutation.footprint(self.specification))
+        self.mutations_by_op[mutation.op] = self.mutations_by_op.get(mutation.op, 0) + 1
+        if self.footprints[-1].global_invalidation:
+            self.global_invalidations += 1
+
     def compact(self, snapshot: bytes, applied: int) -> bool:
         """Fold the first *applied* committed mutations into *snapshot*.
 
@@ -124,6 +152,7 @@ class SessionEntry:
             applied == self.log_base and self.snapshot is not None
         ):
             return False
+        self.footprints = self.footprints[applied - self.log_base :]
         self.log = self.log[applied - self.log_base :]
         self.log_base = applied
         self.snapshot = snapshot
@@ -203,7 +232,30 @@ class AffinityRouter:
             "mutated_sessions": sum(1 for e in self._entries if e.mutated),
             "compacted_sessions": sum(1 for e in self._entries if e.log_base > 0),
             "retained_log_entries": sum(len(e.log) for e in self._entries),
+            "mutations": self._mutation_stats(),
         }
+
+    def _mutation_stats(self) -> Dict[str, Any]:
+        """Footprint-derived aggregates over every tracked session's log."""
+        by_op: Dict[str, int] = {}
+        relations: set = set()
+        for entry in self._entries:
+            for op, count in entry.mutations_by_op.items():
+                by_op[op] = by_op.get(op, 0) + count
+            for footprint in entry.footprints:
+                relations.update(footprint.relations)
+        return {
+            "committed": sum(by_op.values()),
+            "by_op": by_op,
+            "global_invalidations": sum(
+                e.global_invalidations for e in self._entries
+            ),
+            "footprint_relations": len(relations),
+        }
+
+    def entries(self) -> Tuple[SessionEntry, ...]:
+        """Every tracked session entry (a read-only view for stats)."""
+        return tuple(self._entries)
 
     def entry_by_key(self, key: int) -> Optional[SessionEntry]:
         for entry in self._entries:

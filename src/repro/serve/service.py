@@ -83,6 +83,16 @@ class _SnapshotProbe:
 
 
 @dataclass(frozen=True)
+class _StatsProbe:
+    """Service-internal request: the warm session's ``mutation_stats()``.
+
+    Runs FIFO behind the lane's committed mutations, so the counters it
+    returns reflect exactly the invalidation work those mutations cost."""
+
+    problem: str = "mutation_stats"
+
+
+@dataclass(frozen=True)
 class _ServeWork:
     """The picklable unit shipped to a worker for one request.
 
@@ -93,7 +103,7 @@ class _ServeWork:
     session_key: int
     specification: Specification
     log: Tuple[Mutation, ...]
-    item: Union[ServeItem, _SnapshotProbe]
+    item: Union[ServeItem, _SnapshotProbe, _StatsProbe]
     deadline: Optional[float] = None  # absolute time.monotonic()
     session_capacity: int = 8
     snapshot: Optional[bytes] = None
@@ -158,6 +168,8 @@ def _serve_handler(work: _ServeWork, state: Dict[str, Any]) -> Any:
         entry.applied += 1
     if isinstance(work.item, _SnapshotProbe):
         return (entry.applied, snapshot_bytes(entry.session))
+    if isinstance(work.item, _StatsProbe):
+        return dict(entry.session.mutation_stats())
     budget = Budget(deadline=work.deadline) if work.deadline is not None else None
     if isinstance(work.item, Mutation):
         with budget_scope(budget):
@@ -321,7 +333,7 @@ class ReasoningService:
                 )
             result: WorkResult = await asyncio.wrap_future(future)
             if is_mutation and result.ok and not isinstance(result.value, Degraded):
-                entry.log.append(item)
+                entry.commit(item)
                 if (
                     self._compact_log_threshold is not None
                     and len(entry.log) >= self._compact_log_threshold
@@ -335,7 +347,7 @@ class ReasoningService:
     def _work_for(
         self,
         entry: SessionEntry,
-        item: Union[ServeItem, _SnapshotProbe],
+        item: Union[ServeItem, _SnapshotProbe, _StatsProbe],
         abs_deadline: Optional[float] = None,
     ) -> _ServeWork:
         return _ServeWork(
@@ -393,6 +405,27 @@ class ReasoningService:
         (and persist it when a ``snapshot_dir`` is configured) — e.g. before
         a planned shutdown.  True when a fresh snapshot was recorded."""
         return await self._compact_entry(self._router.entry_for(specification))
+
+    async def mutation_stats(self, specification: Specification) -> Dict[str, int]:
+        """The warm session's invalidation counters
+        (:meth:`~repro.session.ReasoningSession.mutation_stats`), probed on
+        the session's own lane so they run FIFO behind its committed
+        mutations.  The result is also cached on the session entry, where
+        :meth:`stats` surfaces the last probe per session."""
+        entry = self._router.entry_for(specification)
+        future = self._supervisor.submit(
+            entry.key, self._work_for(entry, _StatsProbe()), retry=True
+        )
+        result: WorkResult = await asyncio.wrap_future(future)
+        if not result.ok or not isinstance(result.value, dict):
+            record = result.failure
+            raise RuntimeError(
+                record.render()
+                if record is not None
+                else "mutation-stats probe returned no counters"
+            )
+        entry.worker_mutation_stats = result.value
+        return result.value
 
     def _load_persisted(
         self, specification: Specification
@@ -486,12 +519,21 @@ class ReasoningService:
 
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, Any]:
-        """Router interning, supervisor health, and snapshot counters."""
+        """Router interning, supervisor health, snapshot counters, and the
+        mutation scoping aggregates (under ``router.mutations``) plus each
+        session's last-probed worker invalidation counters."""
         stats: Dict[str, Any] = {
             "router": self._router.stats(),
             "supervisor": self._supervisor.stats(),
             "compactions": self.compactions,
         }
+        worker_stats = {
+            entry.key: entry.worker_mutation_stats
+            for entry in self._router.entries()
+            if entry.worker_mutation_stats is not None
+        }
+        if worker_stats:
+            stats["worker_mutation_stats"] = worker_stats
         if self._snapshot_store is not None:
             stats["snapshot_store"] = self._snapshot_store.stats()
         return stats

@@ -1,0 +1,101 @@
+"""Mutation footprints: what a session mutation can actually dirty.
+
+The scoped-delta invalidation policy (``"delta"`` in
+:data:`~repro.session.session.ReasoningSession.CACHE_DEPENDENCIES`) rests on a
+factorisation argument: denial constraints are per-instance and copy functions
+relate exactly their source/target instances, so the set of consistent
+completions of a specification factors as a product over the connected
+components of the *copy graph* (instances as nodes, copy functions as edges).
+A mutation confined to one component cannot change the certain answers of a
+query whose relations live entirely in other components — the completions
+restricted to those components are the same set before and after, **except**
+when the mutation makes the whole specification inconsistent (an empty model
+set is global).  The session therefore pairs footprint-scoped retention with
+one warm consistency probe before serving any retained state.
+
+A :class:`MutationFootprint` records the mutation's kind, the copy-component
+of instance names it can reach (computed *after* the mutation, so a new copy
+function's freshly-merged component is what gets invalidated), the entity
+blocks and attributes it touched, and whether it demands global invalidation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Tuple, Union
+
+from repro.core.specification import Specification
+from repro.query.ast import Query, SPQuery
+
+__all__ = [
+    "MutationFootprint",
+    "copy_components",
+    "component_of",
+    "query_relations",
+]
+
+AnyQuery = Union[Query, SPQuery]
+
+
+@dataclass(frozen=True)
+class MutationFootprint:
+    """The invalidation scope of one session mutation.
+
+    ``relations`` is already expanded across the copy-component of the
+    mutated instance; ``blocks`` are ``(relation, eid)`` pairs for the entity
+    blocks the mutation touched (expanded the same way, since copy functions
+    transfer order information across instances within a block's entity);
+    ``global_invalidation`` marks mutations whose reach cannot be scoped
+    (today: ``add_copy_function``, which rewires the component structure
+    itself and admits new candidate imports everywhere along the new edge).
+    """
+
+    op: str
+    relations: FrozenSet[str] = frozenset()
+    blocks: FrozenSet[Tuple[str, Hashable]] = frozenset()
+    attributes: FrozenSet[str] = frozenset()
+    global_invalidation: bool = False
+
+    def intersects_relations(self, relations: Iterable[str]) -> bool:
+        """Whether a query/cache entry over *relations* may be dirtied."""
+        if self.global_invalidation:
+            return True
+        return not self.relations.isdisjoint(relations)
+
+
+def copy_components(specification: Specification) -> Dict[str, FrozenSet[str]]:
+    """Connected components of the copy graph, as instance -> component."""
+    parent: Dict[str, str] = {name: name for name in specification.instance_names()}
+
+    def find(name: str) -> str:
+        root = name
+        while parent[root] != root:
+            root = parent[root]
+        while parent[name] != root:
+            parent[name], name = root, parent[name]
+        return root
+
+    for copy_function in specification.copy_functions:
+        source, target = find(copy_function.source), find(copy_function.target)
+        if source != target:
+            parent[source] = target
+    members: Dict[str, set] = {}
+    for name in parent:
+        members.setdefault(find(name), set()).add(name)
+    return {
+        name: frozenset(group)
+        for group in members.values()
+        for name in group
+    }
+
+
+def component_of(specification: Specification, instance_name: str) -> FrozenSet[str]:
+    """The copy-component containing *instance_name*."""
+    return copy_components(specification)[instance_name]
+
+
+def query_relations(query: AnyQuery) -> FrozenSet[str]:
+    """The relations a query reads (its invalidation key)."""
+    if isinstance(query, SPQuery):
+        return frozenset({query.relation})
+    return query.relations()

@@ -29,17 +29,17 @@ Incremental mutation
 ``add_copy_import`` mutate the specification **in place** and invalidate only
 the dependent caches, following :data:`ReasoningSession.CACHE_DEPENDENCIES`:
 
-========================  =========  ==========  =========  ============
-cache                     add_order  add_denial  add_tuple  add_copy_*
-========================  =========  ==========  =========  ============
-chase                     rebuild    **keep**    rebuild    rebuild
-query engines             keep       keep        keep       keep
-column indexes            keep       keep        self [1]_  self [1]_
-encoder                   extend     extend      extend [2]_ extend [2]_
-extension search space    extend     extend      rebuild    rebuild
-current-db enumerators    keep       keep        rebuild    keep [3]_
-memoised answers          clear      clear       clear      clear
-========================  =========  ==========  =========  ============
+========================  =========  ==========  ================  ============
+cache                     add_order  add_denial  add_tuple(s)      add_copy_*
+========================  =========  ==========  ================  ============
+chase                     extend     **keep**    extend            extend
+query engines             keep       keep        keep              keep
+column indexes            keep       keep        self [1]_         self [1]_
+encoder                   extend     extend      extend [2]_       extend [2]_
+extension search space    extend     extend      extend-or-rebuild rebuild [3]_
+current-db enumerators    keep       keep        delta             delta [4]_
+memoised answers          delta      delta       delta             delta [4]_
+========================  =========  ==========  ================  ============
 
 .. [1] :class:`~repro.core.instance.NormalInstance` invalidates only the
    mutated instance's own row/index caches.
@@ -50,8 +50,18 @@ memoised answers          clear      clear       clear      clear
    maximality clauses, whose reverse direction does not survive a grown
    block — falls back to a full rebuild; the property harness asserts the
    incremental and rebuilt encoders answer identically.
-.. [3] ``add_copy_function`` leaves maximality intact (blocks unchanged);
-   ``add_copy_import`` adds a tuple and therefore rebuilds the enumerators.
+.. [3] ``add_copy_function`` rewires the copy graph (new candidate imports
+   everywhere along the new edge), so the space rebuilds and the memo is
+   cleared globally; ``add_copy_import`` attempts the space tuple delta but
+   always lands on the rebuild arm today, because the applied candidate
+   leaves the candidate set and the selector prefix no longer matches.
+.. [4] ``delta`` evicts only entries whose relations intersect the
+   mutation's :class:`~repro.session.footprint.MutationFootprint` (the copy
+   component of the mutated instance); see that module for the soundness
+   argument and :meth:`ReasoningSession.mutation_stats` for the counters
+   that prove the fast path was taken.  Retained state is guarded by one
+   warm consistency probe (a mutation can flip the whole specification to
+   inconsistent, which no per-component scope can see).
 """
 
 from __future__ import annotations
@@ -103,9 +113,16 @@ from repro.preservation.sat_extensions import (
 from repro.preservation.sp_fast import sp_is_currency_preserving
 from repro.query.ast import Query, SPQuery
 from repro.query.engine import QueryEngine
-from repro.reasoning.chase import ChaseResult, chase_certain_orders
+from repro.reasoning.chase import (
+    ChaseResult,
+    chase_certain_orders,
+    extend_chase_with_copies,
+    extend_chase_with_order,
+    extend_chase_with_tuples,
+)
 from repro.reasoning.current_db import CurrentDatabaseEnumerator
 from repro.reasoning.sp import sp_certain_answers
+from repro.session.footprint import MutationFootprint, component_of, query_relations
 from repro.session.snapshot import SessionSnapshot
 from repro.solvers.backend import resolve_backend
 from repro.solvers.budget import Budget, DeadlineLike, budget_scope
@@ -135,11 +152,11 @@ _FAMILY_CAP = 200_000
 #: pairs), so the harvest is abandoned past this many and the search streams.
 _MAXIMAL_CAP = 4096
 
-#: Bound on the per-query state a long-lived session pins (compiled engines,
-#: memoised answer sets, the query objects keeping their ids stable).  The
-#: memo is keyed by query object identity, so a caller minting a fresh query
-#: per request — the batch-driver shape — grows it linearly; past the cap it
-#: is cleared wholesale, like the engine and current-database caches (a
+#: Bound on the per-query state a long-lived session holds (compiled engines
+#: and memoised answer sets).  Both are keyed *structurally*, so a caller
+#: minting a value-equal query per request — the batch-driver shape — hits
+#: the same entry; only genuinely distinct queries grow the tables, and past
+#: the cap they are cleared wholesale, like the current-database caches (a
 #: safety valve, not a tuning knob).
 _MAX_TRACKED_QUERIES = 1024
 
@@ -292,20 +309,41 @@ class ReasoningSession:
     Keeping a session alive across calls is what unlocks the warm paths.
     """
 
-    #: cache name -> {mutation -> "keep" | "extend" | "rebuild" | "clear"}.
-    #: ``extend`` means the cache object survives and is grown incrementally
-    #: (additive clauses on a warm solver); ``rebuild`` means it is dropped
-    #: and lazily reconstructed on next use.  ``add_tuple``/``add_copy_import``
-    #: keep the encoder only while it carries no enumerator maximality
-    #: clauses — otherwise they fall back to a rebuild (see the module docs).
+    #: cache name -> {mutation -> policy}.  The full policy vocabulary
+    #: (machine-checked by reprolint rule R1):
+    #:
+    #: ``"keep"``
+    #:     The cache survives untouched — the mutation cannot dirty it.
+    #: ``"extend"``
+    #:     The cache object survives and is grown incrementally in place
+    #:     (additive clauses on a warm solver; a warm fixpoint re-run for the
+    #:     chase).
+    #: ``"extend-or-rebuild"``
+    #:     Extension is attempted and falls back to a drop-and-lazy-rebuild
+    #:     when it would be unsound (an encoder carrying enumerator
+    #:     maximality clauses; a space whose candidate closure changed
+    #:     shape).  :meth:`mutation_stats` counts which arm was taken.
+    #: ``"rebuild"``
+    #:     The cache is dropped and lazily reconstructed on next use.
+    #: ``"clear"``
+    #:     The cache is emptied wholesale (dictionary caches).
+    #: ``"delta"``
+    #:     Footprint-scoped eviction: only entries whose relations intersect
+    #:     the mutation's :class:`~repro.session.footprint.MutationFootprint`
+    #:     are dropped; disjoint entries (and, for the enumerator table,
+    #:     enumerators over disjoint relation sets) survive, guarded by one
+    #:     warm consistency probe before retained state is served.  Sessions
+    #:     constructed with ``invalidation="coarse"`` degrade every
+    #:     ``delta`` to the pre-footprint behaviour (``clear``/``rebuild``)
+    #:     — the differential baseline for the streaming benchmarks.
     CACHE_DEPENDENCIES: Mapping[str, Mapping[str, str]] = {
         "chase": {
-            "add_order": "rebuild",
+            "add_order": "extend",
             "add_denial": "keep",
-            "add_tuple": "rebuild",
-            "add_tuples": "rebuild",
-            "add_copy_function": "rebuild",
-            "add_copy_import": "rebuild",
+            "add_tuple": "extend",
+            "add_tuples": "extend",
+            "add_copy_function": "extend",
+            "add_copy_import": "extend",
             "set_backend": "keep",
         },
         "encoder": {
@@ -320,19 +358,19 @@ class ReasoningSession:
         "space": {
             "add_order": "extend",
             "add_denial": "extend",
-            "add_tuple": "rebuild",
-            "add_tuples": "rebuild",
+            "add_tuple": "extend-or-rebuild",
+            "add_tuples": "extend-or-rebuild",
             "add_copy_function": "rebuild",
-            "add_copy_import": "rebuild",
+            "add_copy_import": "extend-or-rebuild",
             "set_backend": "rebuild",
         },
         "enumerators": {
             "add_order": "keep",
             "add_denial": "keep",
-            "add_tuple": "rebuild",
-            "add_tuples": "rebuild",
+            "add_tuple": "delta",
+            "add_tuples": "delta",
             "add_copy_function": "keep",
-            "add_copy_import": "rebuild",
+            "add_copy_import": "delta",
             "set_backend": "rebuild",
         },
         "engines": {
@@ -345,36 +383,70 @@ class ReasoningSession:
             "set_backend": "keep",
         },
         "answers": {
-            "add_order": "clear",
-            "add_denial": "clear",
-            "add_tuple": "clear",
-            "add_tuples": "clear",
+            "add_order": "delta",
+            "add_denial": "delta",
+            "add_tuple": "delta",
+            "add_tuples": "delta",
             "add_copy_function": "clear",
-            "add_copy_import": "clear",
+            "add_copy_import": "delta",
             "set_backend": "keep",
         },
     }
+
+    #: Invalidation modes: ``"delta"`` (footprint-scoped, the default) and
+    #: ``"coarse"`` (every ``delta`` policy degraded to the pre-footprint
+    #: ``clear``/``rebuild``, every chase/space ``extend``-on-mutation
+    #: degraded to a rebuild — the streaming benchmarks' baseline).
+    INVALIDATION_MODES = ("delta", "coarse")
 
     def __init__(
         self,
         specification: Specification,
         match_entities_by_eid: bool = True,
         backend: Optional[str] = None,
+        invalidation: str = "delta",
     ) -> None:
         self.specification = specification
         self.match_entities_by_eid = match_entities_by_eid
         #: resolved solver backend name every lazily-built solver layer uses
         #: (see :mod:`repro.solvers.backend`)
         self.backend = resolve_backend(backend)
+        if invalidation not in self.INVALIDATION_MODES:
+            raise SpecificationError(
+                f"unknown invalidation mode {invalidation!r}; expected one of "
+                f"{self.INVALIDATION_MODES}"
+            )
+        self.invalidation = invalidation
         self._chase: Optional[ChaseResult] = None
         self._encoder: Optional[CompletionEncoder] = None
         self._space: Optional[ExtensionSearchSpace] = None
-        self._engines: Dict[int, QueryEngine] = {}
+        self._engines: Dict[AnyQuery, QueryEngine] = {}
         self._enumerators: Dict[FrozenSet[str], CurrentDatabaseEnumerator] = {}
         self._database_cache = CurrentDatabaseCache()
-        self._answer_memo: Dict[Tuple[int, str], Optional[FrozenSet]] = {}
+        self._answer_memo: Dict[Tuple[AnyQuery, str], Optional[FrozenSet]] = {}
         self._verdict_memo: Dict[Any, Any] = {}
-        self._pinned_queries: List[AnyQuery] = []
+        #: query -> relations it reads, filled lazily at eviction time (the
+        #: per-entry footprint index of the ``"delta"`` answer policy)
+        self._memo_relations: Dict[AnyQuery, FrozenSet[str]] = {}
+        #: set when retained state outlived a mutation that could have made
+        #: the whole specification inconsistent; discharged by one warm
+        #: consistency probe before the memo is served again
+        self._needs_consistency_recheck = False
+        self._mutation_stats: Dict[str, int] = {
+            "memo_evicted": 0,
+            "memo_retained": 0,
+            "chase_extended": 0,
+            "chase_rebuilt": 0,
+            "space_extended": 0,
+            "space_rebuilt": 0,
+            "encoder_extended": 0,
+            "encoder_rebuilt": 0,
+            "enumerators_retained": 0,
+            "enumerators_dropped": 0,
+            "consistency_rechecks": 0,
+            "footprint_relations": 0,
+            "footprint_blocks": 0,
+        }
         self.mutations = 0
 
     # ------------------------------------------------------------------ #
@@ -498,32 +570,33 @@ class ReasoningSession:
         self, query: AnyQuery, supplied: Optional[QueryEngine] = None
     ) -> QueryEngine:
         """The session's compiled :class:`QueryEngine` for *query* (one per
-        query object; *supplied* lets wrapper callers donate a pre-built one,
-        which the session then owns)."""
-        key = id(query)
+        *structurally distinct* query — :class:`Query`/:class:`SPQuery`
+        compare and hash by structure, so value-equal queries minted per
+        request share one engine; *supplied* lets wrapper callers donate a
+        pre-built one, which the session then owns)."""
         if supplied is not None:
-            if supplied.source is not query:
+            if supplied.source != query:
                 raise SpecificationError(
                     "the supplied engine was compiled for a different query"
                 )
             self._evict_query_state_if_full()
-            self._engines[key] = supplied
+            self._engines[query] = supplied
             return supplied
-        engine = self._engines.get(key)
+        engine = self._engines.get(query)
         if engine is None:
             self._evict_query_state_if_full()
             engine = QueryEngine(query)
-            self._engines[key] = engine
+            self._engines[query] = engine
         return engine
 
     def _evict_query_state_if_full(self) -> None:
         if (
             len(self._engines) >= _MAX_TRACKED_QUERIES
-            or len(self._pinned_queries) >= _MAX_TRACKED_QUERIES
+            or len(self._answer_memo) >= _MAX_TRACKED_QUERIES
         ):
             self._engines.clear()
             self._answer_memo.clear()
-            self._pinned_queries.clear()
+            self._memo_relations.clear()
 
     def _enumerator(self, relations: Iterable[str]) -> CurrentDatabaseEnumerator:
         key = frozenset(relations)
@@ -814,14 +887,15 @@ class ReasoningSession:
             raise SpecificationError(
                 f"unknown CCQA method {method!r}; expected one of {CCQA_METHODS}"
             )
-        if engine is not None and engine.source is not query:
+        if engine is not None and engine.source != query:
             raise SpecificationError("the supplied engine was compiled for a different query")
         if method == "auto":
             if isinstance(query, SPQuery) and not self.specification.has_denial_constraints():
                 method = "sp"
             else:
                 method = "candidates"
-        key = (id(query), method)
+        self._discharge_consistency_recheck()
+        key = (query, method)
         if key in self._answer_memo:
             answers = self._answer_memo[key]
         else:
@@ -833,7 +907,7 @@ class ReasoningSession:
                 answers = self._answers_by_candidates(self.engine(query, engine))
             self._evict_query_state_if_full()
             self._answer_memo[key] = answers
-            self._pinned_queries.append(query)  # keep id(query) stable
+            self._memo_relations.setdefault(query, query_relations(query))
         if answers is None:
             raise InconsistentSpecificationError(
                 "the specification has no consistent completion; certain answers are vacuous"
@@ -1196,10 +1270,141 @@ class ReasoningSession:
     # ------------------------------------------------------------------ #
     # Incremental mutation
     # ------------------------------------------------------------------ #
+    def _discharge_consistency_recheck(self) -> None:
+        """One warm consistency probe guarding footprint-retained state.
+
+        Scoped retention is sound per copy-component **except** for the one
+        global effect a mutation can have: flipping the whole specification
+        to inconsistent (``Mod(S) = ∅`` empties every component's completion
+        set at once).  The first answer served after such a mutation pays one
+        warm SAT probe; if the specification died, every retained memo entry
+        and enumerator is dropped and the normal path recomputes (raising
+        :class:`InconsistentSpecificationError` as a fresh session would)."""
+        if not self._needs_consistency_recheck:
+            return
+        self._needs_consistency_recheck = False
+        if not (self._answer_memo or self._enumerators):
+            return
+        self._mutation_stats["consistency_rechecks"] += 1
+        if not self._base_satisfiable():
+            self._answer_memo.clear()
+            self._memo_relations.clear()
+            self._enumerators.clear()
+
     def _clear_answer_state(self) -> None:
         self._answer_memo.clear()
+        self._memo_relations.clear()
         self._verdict_memo.clear()
         self.mutations += 1
+
+    def _finish_mutation(self, footprint: MutationFootprint) -> None:
+        """Evict memoised answers per *footprint* and count the mutation.
+
+        ``"delta"`` answer policy: an entry survives iff its query's
+        relations are disjoint from the footprint's (component-expanded)
+        relations — see :mod:`repro.session.footprint` for why that is sound
+        — and any retained state arms the consistency recheck.  Coarse
+        sessions and globally-invalidating mutations clear wholesale.
+        Verdict memos (CPS & friends) are specification-global and always
+        cleared; they cost one warm probe to recompute."""
+        stats = self._mutation_stats
+        stats["footprint_relations"] += len(footprint.relations)
+        stats["footprint_blocks"] += len(footprint.blocks)
+        if self.invalidation != "delta" or footprint.global_invalidation:
+            stats["memo_evicted"] += len(self._answer_memo)
+            self._answer_memo.clear()
+            self._memo_relations.clear()
+        else:
+            for key in list(self._answer_memo):
+                query = key[0]
+                relations = self._memo_relations.get(query)
+                if relations is None:
+                    relations = query_relations(query)
+                    self._memo_relations[query] = relations
+                if footprint.intersects_relations(relations):
+                    del self._answer_memo[key]
+                    stats["memo_evicted"] += 1
+                else:
+                    stats["memo_retained"] += 1
+            if self._answer_memo or self._enumerators:
+                self._needs_consistency_recheck = True
+        self._verdict_memo.clear()
+        self.mutations += 1
+
+    def _evict_enumerators(self, footprint: MutationFootprint, keep_attached: bool) -> None:
+        """Footprint-scoped eviction of the current-database enumerators.
+
+        An enumerator survives when it still shares the session's live
+        encoder and the mutation's policy keeps attached enumerators
+        (*keep_attached*: order/denial/copy-function mutations, whose clauses
+        reached it through that shared encoder), or — the ``"delta"`` arm —
+        when its relation set is disjoint from the footprint (a *detached*
+        enumerator holds the pre-mutation encoder, which still enumerates the
+        correct databases for untouched components; the consistency recheck
+        guards the one global hazard)."""
+        for key in list(self._enumerators):
+            enumerator = self._enumerators[key]
+            # the shared-warm-solver check is about object identity (is this
+            # the live encoder?), not structural equality
+            attached = self._encoder is not None and enumerator.encoder is self._encoder
+            if attached and keep_attached:
+                self._mutation_stats["enumerators_retained"] += 1
+                continue
+            if (
+                self.invalidation == "delta"
+                and not footprint.intersects_relations(key)
+            ):
+                self._mutation_stats["enumerators_retained"] += 1
+                continue
+            del self._enumerators[key]
+            self._mutation_stats["enumerators_dropped"] += 1
+
+    def _footprint_for_instance(
+        self,
+        op: str,
+        instance_name: str,
+        eids: Iterable[Hashable] = (),
+        attributes: Iterable[str] = (),
+    ) -> MutationFootprint:
+        """The (component-expanded) footprint of a mutation on one instance,
+        computed against the already-mutated specification."""
+        component = component_of(self.specification, instance_name)
+        return MutationFootprint(
+            op=op,
+            relations=component,
+            blocks=frozenset(
+                (relation, eid) for relation in component for eid in eids
+            ),
+            attributes=frozenset(attributes),
+        )
+
+    def _invalidate_chase(self, extended: Optional[ChaseResult]) -> None:
+        """Install the incrementally-extended chase (delta mode) or drop the
+        cached one (coarse mode / no extension available)."""
+        if self._chase is None:
+            return
+        if self.invalidation == "delta" and extended is not None:
+            self._chase = extended
+            self._mutation_stats["chase_extended"] += 1
+        else:
+            self._chase = None
+            self._mutation_stats["chase_rebuilt"] += 1
+
+    def _extend_or_rebuild_space_for_tuples(
+        self, instance_name: str, tids: Sequence[Hashable]
+    ) -> None:
+        """The space's ``extend-or-rebuild`` policy for added tuples: grow
+        the warm space in place when the candidate closure kept its shape,
+        drop it for a lazy rebuild otherwise."""
+        if self._space is None:
+            return
+        if self.invalidation == "delta" and self._space.extend_with_tuples(
+            instance_name, tids
+        ):
+            self._mutation_stats["space_extended"] += 1
+        else:
+            self._space = None
+            self._mutation_stats["space_rebuilt"] += 1
 
     def _drop_or_extend_encoder_for_tuple(self, instance_name: str, tid: Hashable) -> None:
         """Extend the encoder with the new tuple's additive delta, or fall
@@ -1209,39 +1414,58 @@ class ReasoningSession:
             return
         if self._encoder.maximality_encoded:
             self._encoder = None
+            self._mutation_stats["encoder_rebuilt"] += 1
         else:
             self._encoder.add_tuple_incremental(instance_name, tid)
+            self._mutation_stats["encoder_extended"] += 1
 
     def add_order(
         self, instance_name: str, attribute: str, lower: Hashable, upper: Hashable
     ) -> None:
         """Record ``lower ≺_attribute upper`` in the live specification.
 
-        Invalidates the chase; the encoder and the space each gain one unit
-        clause on their warm solvers; engines, enumerators and column indexes
-        survive.  A pair already present is a no-op."""
+        The chase is extended by a warm fixpoint re-run from the new pair;
+        the encoder and the space each gain one unit clause on their warm
+        solvers; engines and column indexes survive, and the answer memo /
+        enumerators follow the footprint-scoped ``delta`` policy.  A pair
+        already present is a no-op."""
         instance = self.specification.instance(instance_name)
         if not instance.add_order(attribute, lower, upper):
             return  # already recorded: nothing changed
-        self._chase = None
+        extended = (
+            extend_chase_with_order(
+                self._chase, self.specification, instance_name, attribute, lower, upper
+            )
+            if self._chase is not None and self.invalidation == "delta"
+            else None
+        )
+        self._invalidate_chase(extended)
         if self._encoder is not None:
             self._encoder.add_order_pair(instance_name, attribute, lower, upper)
         if self._space is not None:
             self._space.add_order(instance_name, attribute, lower, upper)
-        self._clear_answer_state()
+        eids = {instance.tuple_by_tid(lower).eid, instance.tuple_by_tid(upper).eid}
+        footprint = self._footprint_for_instance(
+            "add_order", instance_name, eids=eids, attributes=(attribute,)
+        )
+        self._evict_enumerators(footprint, keep_attached=True)
+        self._finish_mutation(footprint)
 
     def add_denial(self, instance_name: str, constraint: DenialConstraint) -> None:
         """Attach a denial constraint to the named instance.
 
         The chase survives untouched (it never reads denial constraints), as
-        do column indexes, engines and enumerators; the encoder and the space
-        are extended in place with the constraint's grounded implications."""
+        do column indexes and engines; the encoder and the space are extended
+        in place with the constraint's grounded implications, and the answer
+        memo / enumerators follow the footprint-scoped ``delta`` policy."""
         self.specification.add_constraint(instance_name, constraint)
         if self._encoder is not None:
             self._encoder.add_denial_constraint(instance_name, constraint)
         if self._space is not None:
             self._space.add_denial(instance_name, constraint)
-        self._clear_answer_state()
+        footprint = self._footprint_for_instance("add_denial", instance_name)
+        self._evict_enumerators(footprint, keep_attached=True)
+        self._finish_mutation(footprint)
 
     def add_tuple(
         self,
@@ -1252,19 +1476,36 @@ class ReasoningSession:
         """Add a tuple (a :class:`RelationTuple`, or ``tid`` + *values*) to
         the named instance.
 
-        The chase, the space (its candidate closure may grow) and the
-        current-database enumerators are invalidated; the encoder is extended
-        incrementally with the purely additive block/grounding delta — unless
-        it already carries maximality clauses, in which case it is rebuilt
-        (the property harness asserts both routes answer identically)."""
+        The chase is extended in place (a fresh tuple is unmapped by every
+        copy function, so registering it as an order element *is* the new
+        fixpoint); the space attempts its tuple delta and falls back to a
+        rebuild when the candidate closure changed shape; the encoder is
+        extended incrementally with the purely additive block/grounding delta
+        — unless it already carries maximality clauses, in which case it is
+        rebuilt (the property harness asserts both routes answer
+        identically).  The answer memo and enumerators follow the
+        footprint-scoped ``delta`` policy."""
         instance = self.specification.instance(instance_name)
         tup = self._coerce_tuple(instance, tid, values)
         instance.add(tup)
-        self._chase = None
-        self._space = None
-        self._enumerators.clear()
+        extended = (
+            extend_chase_with_tuples(
+                self._chase, self.specification, instance_name, (tup.tid,)
+            )
+            if self._chase is not None and self.invalidation == "delta"
+            else None
+        )
+        self._invalidate_chase(extended)
+        self._extend_or_rebuild_space_for_tuples(instance_name, (tup.tid,))
         self._drop_or_extend_encoder_for_tuple(instance_name, tup.tid)
-        self._clear_answer_state()
+        footprint = self._footprint_for_instance(
+            "add_tuple",
+            instance_name,
+            eids=(tup.eid,),
+            attributes=instance.schema.attributes,
+        )
+        self._evict_enumerators(footprint, keep_attached=False)
+        self._finish_mutation(footprint)
 
     @staticmethod
     def _coerce_tuple(
@@ -1329,41 +1570,71 @@ class ReasoningSession:
             return
         for tup in batch:
             instance.add(tup)
-        self._chase = None
-        self._space = None
-        self._enumerators.clear()
+        tids = [tup.tid for tup in batch]
+        extended = (
+            extend_chase_with_tuples(self._chase, self.specification, instance_name, tids)
+            if self._chase is not None and self.invalidation == "delta"
+            else None
+        )
+        self._invalidate_chase(extended)
+        self._extend_or_rebuild_space_for_tuples(instance_name, tids)
         if self._encoder is not None:
             if self._encoder.maximality_encoded:
                 self._encoder = None
+                self._mutation_stats["encoder_rebuilt"] += 1
             else:
-                self._encoder.add_tuples_incremental(
-                    instance_name, [tup.tid for tup in batch]
-                )
-        self._clear_answer_state()
+                self._encoder.add_tuples_incremental(instance_name, tids)
+                self._mutation_stats["encoder_extended"] += 1
+        footprint = self._footprint_for_instance(
+            "add_tuples",
+            instance_name,
+            eids={tup.eid for tup in batch},
+            attributes=instance.schema.attributes,
+        )
+        self._evict_enumerators(footprint, keep_attached=False)
+        self._finish_mutation(footprint)
 
     def add_copy_function(self, copy_function: CopyFunction) -> None:
         """Attach a new copy function (validated against the instances).
 
-        Chase and space are invalidated (the candidate closure changes); the
-        encoder gains the function's ≺-compatibility implications in place;
-        enumerators survive (no block changed)."""
+        The chase is extended by a warm fixpoint re-run over the new
+        function's implications; the space is invalidated (the candidate
+        closure changes shape); the encoder gains the function's
+        ≺-compatibility implications in place; enumerators sharing the live
+        encoder survive (no block changed, and the implications reached them
+        through it).  The mutation rewires the copy graph itself, so its
+        footprint is global and the answer memo is cleared wholesale."""
         self.specification.add_copy_function(copy_function)
-        self._chase = None
-        self._space = None
+        extended = (
+            extend_chase_with_copies(self._chase, self.specification)
+            if self._chase is not None and self.invalidation == "delta"
+            else None
+        )
+        self._invalidate_chase(extended)
+        if self._space is not None:
+            self._space = None
+            self._mutation_stats["space_rebuilt"] += 1
         if self._encoder is not None:
             self._encoder.add_copy_function(copy_function)
-        self._clear_answer_state()
+            self._mutation_stats["encoder_extended"] += 1
+        footprint = MutationFootprint(op="add_copy_function", global_invalidation=True)
+        self._evict_enumerators(footprint, keep_attached=True)
+        self._finish_mutation(footprint)
 
     def add_copy_import(self, candidate: CandidateImport) -> None:
         """Apply one candidate import to the live specification: materialise
         the imported tuple in the copy function's target instance and extend
         the function's mapping to cover it.
 
-        Combines a tuple addition with a copy-function extension, so the
-        chase, the space and the enumerators are invalidated; the encoder is
-        extended incrementally (new block delta plus the new mapping pair's
-        compatibility implications) with the same rebuild fallback as
-        :meth:`add_tuple`."""
+        Combines a tuple addition with a copy-function extension: the chase
+        registers the imported tuple and re-runs its fixpoint warm; the
+        encoder is extended incrementally (new block delta plus the new
+        mapping pair's compatibility implications) with the same rebuild
+        fallback as :meth:`add_tuple`; the space is invalidated — the applied
+        candidate leaves the candidate set, which always changes the
+        closure's shape, so the tuple delta's prefix check could never pass.
+        The answer memo and enumerators follow the footprint-scoped
+        ``delta`` policy over the copy function's component."""
         specification = self.specification
         position = None
         for index, existing in enumerate(specification.copy_functions):
@@ -1397,16 +1668,34 @@ class ReasoningSession:
         values: Dict[str, Any] = {target.schema.eid: candidate.target_eid}
         for target_attr, source_attr in copy_function.signature.pairs():
             values[target_attr] = source_tuple[source_attr]
-        if not target.has_tid(new_tid):
+        added = not target.has_tid(new_tid)
+        if added:
             target.add(RelationTuple(target.schema, new_tid, values))
         specification.copy_functions[position] = copy_function.extended_with(
             {new_tid: candidate.source_tid}
         )
-        self._chase = None
-        self._space = None
-        self._enumerators.clear()
+        extended = (
+            extend_chase_with_copies(
+                self._chase,
+                self.specification,
+                new_tuples=[(copy_function.target, new_tid)] if added else (),
+            )
+            if self._chase is not None and self.invalidation == "delta"
+            else None
+        )
+        self._invalidate_chase(extended)
+        if self._space is not None:
+            self._space = None
+            self._mutation_stats["space_rebuilt"] += 1
         self._drop_or_extend_encoder_for_tuple(copy_function.target, new_tid)
-        self._clear_answer_state()
+        footprint = self._footprint_for_instance(
+            "add_copy_import",
+            copy_function.target,
+            eids=(candidate.target_eid,),
+            attributes=target.schema.attributes,
+        )
+        self._evict_enumerators(footprint, keep_attached=False)
+        self._finish_mutation(footprint)
 
     def set_backend(self, backend: str) -> None:
         """Switch the session to a different registered solver backend.
@@ -1442,13 +1731,12 @@ class ReasoningSession:
         cannot corrupt it; ``detach=False`` skips the defensive copy for
         callers that serialise the snapshot immediately
         (:func:`~repro.session.snapshot.snapshot_bytes`)."""
-        id_to_query: Dict[int, AnyQuery] = {id(q): q for q in self._pinned_queries}
-        for engine in self._engines.values():
-            id_to_query.setdefault(id(engine.source), engine.source)
+        # a pending consistency recheck is an obligation, not state: discharge
+        # it now so the snapshot's memo is served untested by the restorer
+        self._discharge_consistency_recheck()
         answers = tuple(
-            (id_to_query[query_id], method, answer)
-            for (query_id, method), answer in self._answer_memo.items()
-            if query_id in id_to_query
+            (query, method, answer)
+            for (query, method), answer in self._answer_memo.items()
         )
         snapshot = SessionSnapshot(
             specification=self.specification,
@@ -1466,7 +1754,11 @@ class ReasoningSession:
             engines=tuple(self._engines.values()),
             answers=answers,
             verdicts=dict(self._verdict_memo),
-            pinned_queries=tuple(self._pinned_queries),
+            # engines/answers are keyed structurally now; the field survives
+            # so snapshots stay readable by older readers
+            pinned_queries=tuple(
+                dict.fromkeys(query for query, _method in self._answer_memo)
+            ),
         )
         return snapshot.detach() if detach else snapshot
 
@@ -1483,8 +1775,9 @@ class ReasoningSession:
         With *copy* (the default) the snapshot survives intact and can be
         restored again; ``copy=False`` moves its state into the session (the
         fast path for snapshots that just crossed a process boundary and have
-        no other owner).  Id-keyed caches (engines, answer memo) are re-keyed
-        against the restored query objects.
+        no other owner).  The engine table and answer memo key queries
+        structurally, so value-equal queries built after the restore hit the
+        donor's warm entries directly.
 
         Warm solver state is backend-specific, so a *backend* request that
         differs from the snapshot's recorded backend is refused (switch with
@@ -1512,10 +1805,9 @@ class ReasoningSession:
         session._enumerators = {
             frozenset(names): enumerator for names, enumerator in snapshot.enumerators
         }
-        session._engines = {id(engine.source): engine for engine in snapshot.engines}
-        session._pinned_queries = list(snapshot.pinned_queries)
+        session._engines = {engine.source: engine for engine in snapshot.engines}
         session._answer_memo = {
-            (id(query), method): answer for query, method, answer in snapshot.answers
+            (query, method): answer for query, method, answer in snapshot.answers
         }
         session._verdict_memo = dict(snapshot.verdicts)
         session.mutations = snapshot.mutations
@@ -1538,6 +1830,19 @@ class ReasoningSession:
         if self._space is not None:
             info["space"] = self._space.stats()
         return info
+
+    def mutation_stats(self) -> Dict[str, int]:
+        """Counters proving which invalidation arm each mutation took.
+
+        ``memo_evicted`` / ``memo_retained`` count answer-memo entries across
+        all mutations; ``chase/space/encoder_extended`` vs ``*_rebuilt``
+        count the extend-vs-rebuild decisions; ``enumerators_retained`` /
+        ``enumerators_dropped`` the footprint-scoped enumerator eviction;
+        ``consistency_rechecks`` the warm probes that guarded retained state;
+        ``footprint_relations`` / ``footprint_blocks`` the cumulative
+        footprint sizes.  Benchmarks and chaos tests assert on these to prove
+        the fast path was actually taken."""
+        return dict(self._mutation_stats)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -82,8 +82,10 @@ class SessionSnapshot:
 
     Produced by :meth:`ReasoningSession.snapshot`, consumed by
     :meth:`ReasoningSession.restore`.  ``answers`` carries the memoised
-    answer sets keyed by the *query object* (not ``id(query)`` — ids do not
-    survive pickling); restore re-keys them by the restored objects' ids.
+    answer sets keyed *structurally* by the query object (queries hash and
+    compare by value, never by ``id()``), so the entries survive pickling
+    and a restored session's freshly-built but value-equal queries hit the
+    warm memo directly.
     """
 
     specification: Specification

@@ -8,9 +8,11 @@ from repro.workloads.company import (
 )
 from repro.workloads.synthetic import (
     SyntheticConfig,
+    MutationEvent,
     random_specification,
     random_sp_query,
     chain_copy_specification,
+    streaming_mutation_workload,
 )
 
 __all__ = [
@@ -19,7 +21,9 @@ __all__ = [
     "manager_specification",
     "paper_queries",
     "SyntheticConfig",
+    "MutationEvent",
     "random_specification",
     "random_sp_query",
     "chain_copy_specification",
+    "streaming_mutation_workload",
 ]

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.copy_function import CopyFunction, CopySignature
+from repro.exceptions import CycleError
 from repro.core.denial import AttrRef, Comparison, Const, CurrencyAtom, DenialConstraint
 from repro.core.instance import TemporalInstance
 from repro.core.schema import RelationSchema
@@ -26,11 +27,13 @@ from repro.query.ast import SPQuery
 
 __all__ = [
     "SyntheticConfig",
+    "MutationEvent",
     "random_specification",
     "random_sp_query",
     "chain_copy_specification",
     "preservation_workload",
     "chained_preservation_workload",
+    "streaming_mutation_workload",
 ]
 
 
@@ -414,6 +417,146 @@ def chained_preservation_workload(
     )
     query = SPQuery(last.name, last, ["a0"], name="chained_payload")
     return specification, query
+
+
+@dataclass(frozen=True)
+class MutationEvent:
+    """One event of a streaming-mutation workload.
+
+    ``op`` is the name of a :class:`~repro.session.session.ReasoningSession`
+    mutator (``add_tuple`` / ``add_order`` / ``add_denial``) and ``args`` its
+    positional arguments, so the same event stream drives a warm session
+    (:meth:`apply`) and a cold rebuilt specification
+    (:meth:`apply_to_specification`) — the differential harnesses replay one
+    stream through both and compare answers.
+    """
+
+    op: str
+    args: Tuple[object, ...]
+
+    def apply(self, session: object) -> None:
+        """Apply this event to a warm session (any object exposing ``op``)."""
+        getattr(session, self.op)(*self.args)
+
+    def apply_to_specification(self, specification: Specification) -> None:
+        """Apply this event directly to a bare specification."""
+        if self.op == "add_tuple":
+            instance_name, tup = self.args
+            specification.instance(instance_name).add(tup)
+        elif self.op == "add_order":
+            instance_name, attribute, lower, upper = self.args
+            specification.instance(instance_name).add_order(attribute, lower, upper)
+        elif self.op == "add_denial":
+            instance_name, constraint = self.args
+            specification.add_constraint(instance_name, constraint)
+        else:  # pragma: no cover - the generator below emits only the above
+            raise ValueError(f"unknown streaming mutation op {self.op!r}")
+
+
+def streaming_mutation_workload(
+    config: Optional[SyntheticConfig] = None,
+    mutations: int = 64,
+    tuple_weight: int = 6,
+    order_weight: int = 3,
+    denial_weight: int = 1,
+    seed: int = 0,
+) -> Tuple[Specification, List[MutationEvent], List[SPQuery]]:
+    """The ROADMAP 4b traffic shape: a long additive mutation stream.
+
+    Returns ``(specification, events, queries)``: a base specification from
+    *config* (or a moderate default), a deterministic stream of *mutations*
+    events mixing ``add_tuple`` / ``add_order`` / ``add_denial`` in the given
+    weights, and one SP re-ask query per relation.  The stream is built
+    against a shadow copy of the evolving specification, so order events can
+    reference streamed tuples and every candidate order pair is validated
+    against the accumulated orders (base pairs follow a shuffled permutation,
+    so a pair ordered by creation rank can contradict them); pairs that would
+    cycle are dropped, keeping the *order* part of the stream acyclic on any
+    consumer — denial constraints may still drive the specification
+    inconsistent, which the differential harnesses treat as just another
+    outcome to agree on.
+
+    The event objects are shared, immutable and specification-agnostic:
+    deep-copy the base specification once per consumer and replay.
+    """
+    import copy as _copy
+
+    if mutations < 0:
+        raise ValueError("the number of mutations must be non-negative")
+    config = config or SyntheticConfig(
+        entities=3, tuples_per_entity=2, attributes=2, order_density=0.2, seed=seed
+    )
+    rng = random.Random(seed ^ 0x5EED)
+    specification = random_specification(config)
+    # a shadow copy absorbs every generated event, so order events that would
+    # cycle against the base orders (or each other) are detected and skipped
+    # at generation time — the published stream always replays cleanly
+    shadow = _copy.deepcopy(specification)
+    # the evolving tuple universe: (relation, eid) -> tids in creation order
+    blocks: Dict[Tuple[str, str], List[Tuple[str, Dict[str, object]]]] = {}
+    schemas: Dict[str, RelationSchema] = {}
+    for name in specification.instance_names():
+        instance = specification.instance(name)
+        schemas[name] = instance.schema
+        for tup in instance.tuples():
+            blocks.setdefault((name, tup.eid), []).append((tup.tid, {}))
+    ops = (
+        ["add_tuple"] * tuple_weight
+        + ["add_order"] * order_weight
+        + ["add_denial"] * denial_weight
+    )
+    if not ops:
+        raise ValueError("at least one mutation weight must be positive")
+    events: List[MutationEvent] = []
+    for index in range(mutations):
+        op = ops[index % len(ops)]
+        relation = rng.choice(sorted(schemas))
+        schema = schemas[relation]
+        if op == "add_tuple":
+            eid = f"e{rng.randrange(config.entities)}"
+            # reprolint: allow(R3) — generator mints ids from its own separator-free alphabet
+            tid = f"{relation}_{eid}_stream{index}"
+            values: Dict[str, object] = {schema.eid: eid}
+            for attribute in schema.attributes:
+                values[attribute] = rng.randrange(config.value_domain)
+            tup = RelationTuple(schema, tid, values)
+            shadow.instance(relation).add(tup)
+            events.append(MutationEvent("add_tuple", (relation, tup)))
+            blocks.setdefault((relation, eid), []).append((tid, values))
+        elif op == "add_order":
+            candidates = [key for key in sorted(blocks) if len(blocks[key]) >= 2]
+            if not candidates:
+                continue
+            key = candidates[rng.randrange(len(candidates))]
+            block = blocks[key]
+            lower_rank = rng.randrange(len(block) - 1)
+            upper_rank = rng.randrange(lower_rank + 1, len(block))
+            attribute = rng.choice(schemas[key[0]].attributes)
+            lower, upper = block[lower_rank][0], block[upper_rank][0]
+            try:
+                shadow.instance(key[0]).add_order(attribute, lower, upper)
+            except CycleError:
+                # the base orders follow a shuffled permutation, so a pair
+                # ordered by creation rank can contradict them (certain at
+                # order_density=1.0) — drop the event; the stream must
+                # replay cleanly on any consumer
+                continue
+            events.append(MutationEvent("add_order", (key[0], attribute, lower, upper)))
+        else:
+            attribute = rng.choice(schema.attributes)
+            constraint = DenialConstraint(
+                schema,
+                ("s", "t"),
+                body=[Comparison(AttrRef("s", attribute), ">", AttrRef("t", attribute))],
+                head=CurrencyAtom("t", attribute, "s"),
+                name=f"stream_dc_{index}",
+            )
+            events.append(MutationEvent("add_denial", (relation, constraint)))
+    queries = [
+        random_sp_query(specification, relation=name, seed=seed + offset)
+        for offset, name in enumerate(specification.instance_names())
+    ]
+    return specification, events, queries
 
 
 def random_sp_query(

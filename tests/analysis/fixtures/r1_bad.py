@@ -1,5 +1,8 @@
-"""R1 violations: an unregistered mutator, a phantom registration and a
-cache with an incomplete mutation row."""
+"""R1 violations: an unregistered mutator, a phantom registration, a cache
+with an incomplete mutation row, an out-of-vocabulary policy and a
+non-literal policy."""
+
+EXTEND = "extend"
 
 
 class BadSession:
@@ -13,3 +16,13 @@ class BadSession:
 
     def add_widget(self, widget):
         self._clear_answer_state()
+
+
+class TypoPolicySession:
+    CACHE_DEPENDENCIES = {
+        "chase": {"add_tuple": "exttend"},
+        "encoder": {"add_tuple": EXTEND},
+    }
+
+    def add_tuple(self, tup):
+        self.mutations += 1

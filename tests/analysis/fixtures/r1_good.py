@@ -1,10 +1,13 @@
-"""R1 clean: every mutator registered, every cache covers every mutation."""
+"""R1 clean: every mutator registered, every cache covers every mutation,
+every policy a literal from the known vocabulary (including the
+footprint-scoped ``"delta"``)."""
 
 
 class GoodSession:
     CACHE_DEPENDENCIES = {
         "chase": {"add_tuple": "extend", "add_order": "extend"},
-        "encoder": {"add_tuple": "rebuild", "add_order": "extend"},
+        "encoder": {"add_tuple": "rebuild", "add_order": "extend-or-rebuild"},
+        "answers": {"add_tuple": "delta", "add_order": "delta"},
     }
 
     def add_tuple(self, tup):

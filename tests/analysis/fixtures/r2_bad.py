@@ -1,4 +1,5 @@
-"""R2 violations: identity comparison and an identity-keyed spec dict."""
+"""R2 violations: identity comparison, an identity-keyed spec dict, and an
+id()-derived memo key on a query (the session answer-memo bug class)."""
 
 
 def same_spec(spec, other_spec):
@@ -8,3 +9,12 @@ def same_spec(spec, other_spec):
 def register(specification, sessions):
     sessions[id(specification)] = specification
     return sessions
+
+
+def memoise(query, memo, answer):
+    memo[id(query)] = answer
+    return memo
+
+
+def same_query(sp_query, other_sp_query):
+    return sp_query is other_sp_query

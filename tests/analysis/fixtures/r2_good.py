@@ -1,4 +1,5 @@
-"""R2 clean: structural comparison; identity only against singletons."""
+"""R2 clean: structural comparison; identity only against singletons;
+queries keyed structurally."""
 
 
 def same_spec(spec, other_spec):
@@ -12,3 +13,8 @@ def missing(spec):
 def register(specification, sessions):
     sessions[specification] = specification
     return sessions
+
+
+def memoise(query, memo, answer):
+    memo[query] = answer
+    return memo

@@ -74,11 +74,58 @@ def test_r1_flags_unregistered_mutator_and_phantom_entry():
     assert any("has no entry for mutation" in message for message in messages)
 
 
+def test_r1_flags_out_of_vocabulary_and_non_literal_policies():
+    report = lint(FIXTURES / "r1_bad.py")
+    messages = [f.message for f in report.unsuppressed if f.rule == "R1"]
+    assert any("unknown policy 'exttend'" in message for message in messages)
+    assert any("non-literal policy" in message for message in messages)
+
+
+def test_r1_accepts_the_full_policy_vocabulary(tmp_path):
+    rule = rule_by_identifier("R1")
+    policies = sorted(rule.POLICIES)
+    assert set(policies) == {
+        "keep", "extend", "extend-or-rebuild", "rebuild", "clear", "delta"
+    }
+    row = ", ".join(f"'mutate_{i}': '{policy}'" for i, policy in enumerate(policies))
+    path = tmp_path / "vocab.py"
+    path.write_text(
+        "class VocabSession:\n"
+        f"    CACHE_DEPENDENCIES = {{'cache': {{{row}}}}}\n"
+        + "".join(
+            f"    def mutate_{i}(self):\n        self.mutations += 1\n"
+            for i in range(len(policies))
+        )
+    )
+    report = lint(path, rules=[rule])
+    # only 'mutate_N is not an add_* method' style findings must not appear:
+    # the literal policies themselves are all accepted
+    assert not any(
+        "policy" in f.message for f in report.unsuppressed
+    ), [f.render() for f in report.unsuppressed]
+
+
 def test_r2_flags_identity_keyed_spec_dict():
     report = lint(FIXTURES / "r2_bad.py")
     messages = [f.message for f in report.unsuppressed if f.rule == "R2"]
     assert any("id()" in message for message in messages)
     assert any("identity comparison" in message for message in messages)
+
+
+def test_r2_flags_id_keyed_query_memo():
+    # the session answer-memo bug class: memoising by id(query) misses every
+    # value-identical re-ask and keeps dead entries alive
+    report = lint(FIXTURES / "r2_bad.py")
+    id_findings = [
+        f for f in report.unsuppressed if f.rule == "R2" and "id()" in f.message
+    ]
+    assert len(id_findings) >= 2  # the spec dict and the query memo
+    identity = [
+        f
+        for f in report.unsuppressed
+        if f.rule == "R2" and "identity comparison" in f.message
+    ]
+    assert len(identity) >= 2  # the spec compare and the sp_query compare
 
 
 def test_r3_flags_id_concatenated_key():

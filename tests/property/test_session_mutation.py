@@ -15,6 +15,7 @@ cross-check of the BCP bound-refusal certificates.
 
 from __future__ import annotations
 
+import copy
 import random
 
 import pytest
@@ -37,12 +38,16 @@ from repro.workloads.synthetic import (
     preservation_workload,
     random_specification,
     random_sp_query,
+    streaming_mutation_workload,
 )
 
 #: seeds per tier-1 sweep section; the acceptance criterion asks for ≥200
 #: overall (they run in tier-1; the `slow` sections add more below).
 BASE_SEEDS = 140
 PRESERVATION_SEEDS = 60
+#: seeds for the long-stream sweep (32-mutation streams, windowed re-asks);
+#: runs per registered solver backend via the session-scoped fixture.
+STREAM_SEEDS = 200
 
 
 # --------------------------------------------------------------------------- #
@@ -251,6 +256,70 @@ def _run_preservation_seed(seed):
             assert certain_current_answers(
                 query, certificate.extension.specification
             ) == certificate.extension_answers, f"seed {seed}: refusal answers"
+
+
+# --------------------------------------------------------------------------- #
+# Long-stream sweep: sustained mutation streams with windowed re-asks
+# --------------------------------------------------------------------------- #
+def _check_all_eight(seed, session, rebuilt, query, k=1):
+    """All eight decision problems, inconsistency compared as an outcome
+    (the stream's denial constraints routinely flip specs inconsistent)."""
+    _check_base_problems(seed, session, rebuilt, query)
+    for label, warm_thunk, cold_thunk in (
+        ("CPP", lambda: session.cpp(query),
+         lambda: is_currency_preserving(query, rebuilt.copy())),
+        ("ECP", lambda: session.ecp(query),
+         lambda: currency_preserving_extension_exists(query, rebuilt.copy())),
+        ("BCP", lambda: session.bcp(query, k),
+         lambda: has_bounded_extension(query, rebuilt.copy(), k)),
+    ):
+        warm = _outcome(warm_thunk)
+        cold = _outcome(cold_thunk)
+        assert warm == cold, f"seed {seed}: {label} {warm} != {cold}"
+
+
+def _run_stream_seed(seed, backend, mutations=32, window=8):
+    """One sustained stream: a warm delta-policy session against a cold
+    rebuilt specification, re-asked every *window* mutations.
+
+    Intermediate windows compare the base problems (CPS, COP, DCIP, CCQA,
+    SP); the final state compares all eight.  The mutation counters then
+    prove the fast path actually ran: the space never fell back to a rebuild
+    mid-stream."""
+    config = SyntheticConfig(
+        entities=2,
+        tuples_per_entity=2,
+        attributes=2,
+        order_density=0.3,
+        value_domain=3,
+        relations=1 + seed % 2,
+        with_copy_functions=seed % 4 >= 2,
+        seed=seed,
+    )
+    specification, events, queries = streaming_mutation_workload(
+        config=config, mutations=mutations, seed=seed
+    )
+    session = ReasoningSession(
+        copy.deepcopy(specification), backend=backend, invalidation="delta"
+    )
+    rebuilt = copy.deepcopy(specification)
+    query = queries[seed % len(queries)]
+    # warm the substrate before the stream so the mutations exercise the
+    # incremental chase/encoder/space paths rather than fresh builds
+    _check_base_problems(seed, session, rebuilt, query)
+    for index, event in enumerate(events):
+        event.apply(session)
+        event.apply_to_specification(rebuilt)
+        if (index + 1) % window == 0 and index + 1 < len(events):
+            _check_base_problems(seed, session, rebuilt, query)
+    _check_all_eight(seed, session, rebuilt, query)
+    stats = session.mutation_stats()
+    assert stats["space_rebuilt"] == 0, f"seed {seed}: space delta fell back"
+
+
+@pytest.mark.parametrize("seed", range(STREAM_SEEDS))
+def test_long_stream_equals_rebuild(seed, backend):
+    _run_stream_seed(seed, backend)
 
 
 # --------------------------------------------------------------------------- #
